@@ -1,0 +1,22 @@
+// Command cj2loc prints the repository's code-base size inventory, the
+// reproduction of the paper's §4.2.3.1 comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"condorj2/internal/experiments"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to measure")
+	flag.Parse()
+	report, err := experiments.CountCode(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cj2loc:", err)
+		os.Exit(1)
+	}
+	fmt.Print(experiments.RenderCodeSize(report))
+}

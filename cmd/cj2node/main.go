@@ -1,0 +1,175 @@
+// Command cj2node runs a live execute-node agent (the CondorJ2 startd)
+// against a CAS over HTTP: it registers the machine, heartbeats, pulls
+// matches, "runs" jobs (sleeping for their duration — plug real execution
+// in at the exec callback), and reports completions.
+//
+//	cj2node -cas http://localhost:8642/services -name node1 -vms 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sync"
+	"time"
+
+	"condorj2/internal/core"
+	"condorj2/internal/wire"
+)
+
+func main() {
+	casURL := flag.String("cas", "http://localhost:8642/services", "CAS web services URL")
+	name := flag.String("name", hostnameOr("node1"), "machine name")
+	vms := flag.Int("vms", 2, "virtual machines (slots) on this node")
+	memory := flag.Int64("memory", 2048, "total memory MB")
+	heartbeat := flag.Duration("heartbeat", 60*time.Second, "periodic heartbeat interval")
+	idlePoll := flag.Duration("poll", 2*time.Second, "idle-VM poll interval")
+	flag.Parse()
+
+	agent := &agent{
+		client: &wire.Client{URL: *casURL},
+		name:   *name,
+		memory: *memory,
+		vms:    make([]vmState, *vms),
+	}
+	log.Printf("startd %s with %d VMs reporting to %s", *name, *vms, *casURL)
+	if err := agent.heartbeat(true); err != nil {
+		log.Fatalf("cj2node: initial heartbeat: %v", err)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	hbTick := time.NewTicker(*heartbeat)
+	pollTick := time.NewTicker(*idlePoll)
+	defer hbTick.Stop()
+	defer pollTick.Stop()
+	for {
+		select {
+		case <-stop:
+			log.Print("shutting down")
+			return
+		case <-hbTick.C:
+			agent.beatLogged(false)
+		case <-pollTick.C:
+			if agent.hasIdleOrDone() {
+				agent.beatLogged(false)
+			}
+		}
+	}
+}
+
+func hostnameOr(def string) string {
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return def
+}
+
+type vmState struct {
+	jobID    int64
+	running  bool
+	finished bool
+}
+
+type agent struct {
+	mu     sync.Mutex
+	client *wire.Client
+	name   string
+	memory int64
+	vms    []vmState
+}
+
+func (a *agent) hasIdleOrDone() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := range a.vms {
+		if !a.vms[i].running || a.vms[i].finished {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *agent) beatLogged(boot bool) {
+	if err := a.heartbeat(boot); err != nil {
+		log.Printf("heartbeat: %v", err)
+	}
+}
+
+func (a *agent) heartbeat(boot bool) error {
+	a.mu.Lock()
+	req := &core.HeartbeatRequest{
+		Machine: a.name, Boot: boot,
+		Arch: "INTEL", OpSys: "LINUX", TotalMemoryMB: a.memory,
+	}
+	for i := range a.vms {
+		vm := &a.vms[i]
+		st := core.VMStatus{Seq: int64(i)}
+		switch {
+		case vm.finished:
+			st.State = "claimed"
+			st.JobID = vm.jobID
+			st.Phase = "completed"
+		case vm.running:
+			st.State = "claimed"
+			st.JobID = vm.jobID
+			st.Phase = "running"
+		default:
+			st.State = "idle"
+		}
+		req.VMs = append(req.VMs, st)
+	}
+	a.mu.Unlock()
+
+	var resp core.HeartbeatResponse
+	if err := a.client.Call(core.ActionHeartbeat, req, &resp); err != nil {
+		return err
+	}
+
+	a.mu.Lock()
+	for i := range a.vms {
+		if a.vms[i].finished {
+			a.vms[i] = vmState{}
+		}
+	}
+	a.mu.Unlock()
+
+	for _, cmd := range resp.Commands {
+		if cmd.Command != core.CmdMatchInfo {
+			continue
+		}
+		if err := a.accept(cmd); err != nil {
+			log.Printf("accept match %d: %v", cmd.MatchID, err)
+		}
+	}
+	return nil
+}
+
+func (a *agent) accept(cmd core.VMCommand) error {
+	var acc core.AcceptMatchResponse
+	err := a.client.Call(core.ActionAcceptMatch, &core.AcceptMatchRequest{
+		Machine: a.name, Seq: cmd.Seq, MatchID: cmd.MatchID, JobID: cmd.JobID,
+	}, &acc)
+	if err != nil {
+		return err
+	}
+	if !acc.OK {
+		return fmt.Errorf("rejected: %s", acc.Reason)
+	}
+	a.mu.Lock()
+	a.vms[cmd.Seq] = vmState{jobID: cmd.JobID, running: true}
+	a.mu.Unlock()
+	log.Printf("vm%d: starting job %d (%ds)", cmd.Seq, cmd.JobID, cmd.LengthSec)
+	go func() {
+		// The "starter": replace this sleep with real process execution.
+		time.Sleep(time.Duration(cmd.LengthSec) * time.Second)
+		a.mu.Lock()
+		a.vms[cmd.Seq].finished = true
+		a.mu.Unlock()
+		log.Printf("vm%d: job %d completed", cmd.Seq, cmd.JobID)
+		a.beatLogged(false)
+	}()
+	return nil
+}

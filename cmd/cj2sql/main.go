@@ -1,0 +1,120 @@
+// Command cj2sql is an interactive SQL shell for the embedded database
+// engine — the administrator's "expressive query language over the
+// operational data". Point it at a CAS WAL file (offline inspection) or an
+// empty path for a scratch database.
+//
+//	cj2sql -data /var/lib/condorj2/cas.wal
+//	> SELECT state, count(*) FROM jobs GROUP BY state;
+//	> \d jobs
+//	> \tables
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"condorj2/internal/sqldb"
+)
+
+func main() {
+	data := flag.String("data", "", "WAL file to open (empty = scratch in-memory database)")
+	flag.Parse()
+
+	var db *sqldb.DB
+	if *data != "" {
+		var err error
+		db, err = sqldb.Open(sqldb.Options{VFS: sqldb.OSVFS{}, Path: *data})
+		if err != nil {
+			log.Fatalf("cj2sql: %v", err)
+		}
+		fmt.Printf("opened %s (%d tables)\n", *data, len(db.TableNames()))
+	} else {
+		db = sqldb.New()
+		fmt.Println("scratch in-memory database")
+	}
+	defer db.Close()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\q` || line == "exit" || line == "quit":
+			return
+		case line == `\tables`:
+			for _, t := range db.TableNames() {
+				fmt.Println(t)
+			}
+		case strings.HasPrefix(line, `\d `):
+			name := strings.TrimSpace(strings.TrimPrefix(line, `\d `))
+			if schema, ok := db.Schema(name); ok {
+				fmt.Println(schema.DDL())
+			} else {
+				fmt.Printf("no table %q\n", name)
+			}
+		default:
+			runStatement(db, line)
+		}
+		fmt.Print("> ")
+	}
+}
+
+func runStatement(db *sqldb.DB, sql string) {
+	upper := strings.ToUpper(strings.TrimSpace(sql))
+	if strings.HasPrefix(upper, "SELECT") || strings.HasPrefix(upper, "EXPLAIN") {
+		rows, err := db.Query(sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		printRows(rows)
+		return
+	}
+	res, err := db.Exec(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("ok (%d rows affected)\n", res.RowsAffected)
+}
+
+func printRows(rows *sqldb.Rows) {
+	widths := make([]int, len(rows.Columns))
+	cells := make([][]string, 0, len(rows.Data)+1)
+	header := make([]string, len(rows.Columns))
+	for i, c := range rows.Columns {
+		header[i] = c
+		widths[i] = len(c)
+	}
+	cells = append(cells, header)
+	for _, row := range rows.Data {
+		line := make([]string, len(row))
+		for i, v := range row {
+			s := strings.Trim(v.String(), "'")
+			line[i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+		cells = append(cells, line)
+	}
+	for ri, line := range cells {
+		for i, cell := range line {
+			fmt.Printf("%-*s  ", widths[i], cell)
+		}
+		fmt.Println()
+		if ri == 0 {
+			for _, w := range widths {
+				fmt.Print(strings.Repeat("-", w), "  ")
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("(%d rows)\n", rows.Len())
+}

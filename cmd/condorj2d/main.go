@@ -1,0 +1,59 @@
+// Command condorj2d runs a live CondorJ2 Application Server: the embedded
+// database (optionally WAL-backed for durability), the web services
+// endpoint under /services, the pool web site under /, and the periodic
+// scheduling cycle.
+//
+//	condorj2d -listen :8642 -data /var/lib/condorj2/cas.wal
+//
+// Execute nodes point cj2node at the /services URL; users use cj2sub or a
+// browser.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"condorj2/internal/core"
+	"condorj2/internal/sqldb"
+)
+
+func main() {
+	listen := flag.String("listen", ":8642", "HTTP listen address")
+	data := flag.String("data", "", "WAL file path for durability (empty = in-memory)")
+	pool := flag.Int("pool", 8, "database connection pool size")
+	flag.Parse()
+
+	var engine *sqldb.DB
+	if *data != "" {
+		var err error
+		engine, err = sqldb.Open(sqldb.Options{VFS: sqldb.OSVFS{}, Path: *data})
+		if err != nil {
+			log.Fatalf("condorj2d: opening database: %v", err)
+		}
+		log.Printf("recovered database from %s", *data)
+	}
+	cas, err := core.New(core.Options{Engine: engine, PoolSize: *pool})
+	if err != nil {
+		log.Fatalf("condorj2d: %v", err)
+	}
+	defer cas.Close()
+	cas.StartScheduler()
+
+	srv := &http.Server{Addr: *listen, Handler: cas.HTTPHandler()}
+	go func() {
+		log.Printf("CondorJ2 Application Server listening on %s", *listen)
+		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatalf("condorj2d: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Fprintln(os.Stderr, "shutting down")
+	srv.Close()
+}

@@ -1,0 +1,223 @@
+// Command repro regenerates the paper's tables and figures on the
+// simulated substrate.
+//
+// Usage:
+//
+//	repro -exp table1|table2|codesize|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|condor5k|all
+//	repro -exp fig7 -scale 0.25   # shrink cluster/horizon for a quick look
+//
+// Full-scale runs match the paper's parameters (180-VM sweeps, the
+// 10,000-VM Figure 10 cluster); -scale trades fidelity for speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"condorj2/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to regenerate (table1, table2, codesize, fig7..fig16, condor5k, all)")
+	scale := flag.Float64("scale", 1.0, "cluster/horizon scale factor (1.0 = paper scale)")
+	flag.Parse()
+
+	if err := run(*exp, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, scale float64) error {
+	if scale <= 0 || scale > 1 {
+		return fmt.Errorf("-scale must be in (0, 1], got %v", scale)
+	}
+	sc := func(n int) int {
+		v := int(float64(n) * scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	scD := func(d time.Duration) time.Duration {
+		v := time.Duration(float64(d) * scale)
+		if v < time.Minute {
+			v = time.Minute
+		}
+		return v
+	}
+
+	all := exp == "all"
+	ran := false
+
+	if all || exp == "table1" {
+		ran = true
+		steps, err := experiments.Table1Trace()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTrace("Table 1: data flow through the Condor system", steps))
+	}
+	if all || exp == "table2" {
+		ran = true
+		steps, err := experiments.Table2Trace()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderTrace("Table 2: data flow through the CondorJ2 system", steps))
+	}
+	if all || exp == "codesize" {
+		ran = true
+		root, err := repoRoot()
+		if err != nil {
+			return err
+		}
+		report, err := experiments.CountCode(root)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderCodeSize(report))
+	}
+	if all || exp == "fig7" || exp == "fig8" || exp == "fig9" {
+		ran = true
+		cfg := experiments.ThroughputConfig{
+			PhysicalNodes: sc(45), VMsPerNode: 4,
+			Horizon: scD(20 * time.Minute), Ramp: scD(2 * time.Minute),
+		}
+		results, err := experiments.Sweep(experiments.PaperJobLengths, cfg)
+		if err != nil {
+			return err
+		}
+		if all || exp == "fig7" {
+			fmt.Println(experiments.RenderFigure7(results))
+		}
+		if all || exp == "fig8" {
+			fmt.Println(experiments.RenderFigure8(results))
+		}
+		if all || exp == "fig9" {
+			fmt.Println(experiments.RenderFigure9(results))
+		}
+	}
+	if all || exp == "fig10" {
+		ran = true
+		cfg := experiments.PaperLargeCluster()
+		cfg.PhysicalNodes = sc(cfg.PhysicalNodes)
+		cfg.Jobs = sc(cfg.Jobs)
+		cfg.Horizon = scD(cfg.Horizon)
+		res, err := experiments.RunLargeCluster(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFigure10(res))
+		fmt.Printf("completed %d jobs; peak running %.0f\n\n", res.TotalCompleted, res.PeakRunning)
+	}
+	if all || exp == "fig11" || exp == "fig12" {
+		ran = true
+		cfg := experiments.PaperMixed()
+		cfg.PhysicalNodes = sc(cfg.PhysicalNodes)
+		cfg.ShortJobs = sc(cfg.ShortJobs)
+		cfg.LongJobs = sc(cfg.LongJobs)
+		res, err := experiments.RunMixed(cfg)
+		if err != nil {
+			return err
+		}
+		if all || exp == "fig11" {
+			fmt.Println(experiments.RenderFigure11(res))
+		}
+		if all || exp == "fig12" {
+			fmt.Println(experiments.RenderFigure12(res))
+		}
+	}
+	if all || exp == "fig13" || exp == "fig14" {
+		ran = true
+		cfg := experiments.PaperFig13()
+		cfg.QueueDepth = sc(cfg.QueueDepth)
+		cfg.Horizon = scD(cfg.Horizon)
+		res, err := experiments.RunFig13(cfg)
+		if err != nil {
+			return err
+		}
+		if all || exp == "fig13" {
+			fmt.Println(experiments.RenderFigure13(res))
+		}
+		if all || exp == "fig14" {
+			fmt.Println(experiments.RenderFigure14(res))
+		}
+	}
+	if all || exp == "fig15" {
+		ran = true
+		cfg := experiments.PaperFig15(false)
+		cfg.Nodes = sc(cfg.Nodes)
+		cfg.ShortJobs = sc(cfg.ShortJobs)
+		cfg.LongJobs = sc(cfg.LongJobs)
+		res, err := experiments.RunFig15(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFigure15(res, "15"))
+	}
+	if all || exp == "fig16" {
+		ran = true
+		cfg := experiments.PaperFig15(true)
+		cfg.Nodes = sc(cfg.Nodes)
+		cfg.ShortJobs = sc(cfg.ShortJobs)
+		cfg.LongJobs = sc(cfg.LongJobs)
+		res, err := experiments.RunFig15(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderFigure15(res, "16"))
+	}
+	if all || exp == "condor5k" {
+		ran = true
+		cfg := experiments.PaperCrash()
+		cfg.Nodes = sc(cfg.Nodes)
+		cfg.Jobs = sc(cfg.Jobs)
+		cfg.MaxShadows = sc(cfg.MaxShadows)
+		res, err := experiments.RunCrash(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.RenderCrash(res))
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+// repoRoot locates the module root by walking up to go.mod.
+func repoRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(dir + "/go.mod"); err == nil {
+			return dir, nil
+		}
+		parent := dir[:max(0, lastSlash(dir))]
+		if parent == dir || parent == "" {
+			return ".", nil
+		}
+		dir = parent
+	}
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return 0
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,41 @@
+// Large cluster: a scaled-down Figure 10 — hundreds of virtual machines
+// ramped up in pulsed batches, long jobs, and the CAS server's CPU
+// utilization chart showing the startup spike, turnover plateaus, and
+// periodic database maintenance bursts.
+//
+//	go run ./examples/largecluster            # 400 VMs, ~2 hours virtual
+//	go run ./examples/largecluster -full      # the paper's 10,000 VMs, 8 hours
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"condorj2/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the paper-scale 10,000-VM experiment (slow)")
+	flag.Parse()
+
+	cfg := experiments.LargeClusterConfig{
+		PhysicalNodes: 20, VMsPerNode: 20, // 400 VMs
+		Jobs: 2000, Batches: 10,
+		JobLength:  40 * time.Minute,
+		PulseEvery: 3 * time.Minute,
+		Horizon:    2 * time.Hour,
+		Seed:       7,
+	}
+	if *full {
+		cfg = experiments.PaperLargeCluster()
+	}
+	res, err := experiments.RunLargeCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.RenderFigure10(res))
+	fmt.Printf("completed %d jobs; peak jobs in progress %.0f of %d VMs\n",
+		res.TotalCompleted, res.PeakRunning, cfg.PhysicalNodes*cfg.VMsPerNode)
+}

@@ -1,0 +1,29 @@
+// Mixed workload: the paper's §5.2.3 scenario at reduced scale — a
+// two-to-one mix of one-minute and six-minute jobs on a 60-VM cluster —
+// showing CondorJ2 absorbing workload skew with its "brute-force" pull
+// model and printing the Figure 11/12 charts.
+//
+//	go run ./examples/mixedworkload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"condorj2/internal/experiments"
+)
+
+func main() {
+	res, err := experiments.RunMixed(experiments.MixedConfig{
+		PhysicalNodes: 10, VMsPerNode: 6, // 60 VMs
+		ShortJobs: 480, LongJobs: 120, // 1,200 minutes of work → optimal 20 min
+		Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.RenderFigure11(res))
+	fmt.Println(experiments.RenderFigure12(res))
+	fmt.Printf("average demand: %.1f jobs/s — no special smoothing needed at this rate\n",
+		float64(res.TotalCompleted)/(res.CompletionMinute*60))
+}

@@ -1,0 +1,149 @@
+// Web services: run the real thing — a CAS HTTP server, two execute-node
+// agents speaking SOAP-style envelopes over localhost, short real jobs,
+// plus a user client querying pool state and a browser-equivalent fetch of
+// the pool web site. Everything happens in wall-clock time and finishes in
+// a few seconds.
+//
+//	go run ./examples/webservices
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"condorj2/internal/core"
+	"condorj2/internal/wire"
+)
+
+func main() {
+	cas, err := core.New(core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cas.Close()
+	cas.StartScheduler()
+	defer cas.StopScheduler()
+
+	srv := httptest.NewServer(cas.HTTPHandler())
+	defer srv.Close()
+	fmt.Println("CAS serving at", srv.URL)
+
+	client := &wire.Client{URL: srv.URL + "/services"}
+
+	// Two execute nodes as goroutine agents (the cj2node logic, inlined).
+	for n := 0; n < 2; n++ {
+		name := fmt.Sprintf("webnode%d", n)
+		go runAgent(client, name, 2)
+	}
+
+	// Submit ten 1-second jobs.
+	var sub core.SubmitResponse
+	err = client.Call(core.ActionSubmitJob, &core.SubmitRequest{
+		Owner: "webuser", Count: 10, LengthSec: 1,
+	}, &sub)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("submitted jobs %d..%d\n", sub.FirstJobID, sub.LastJobID)
+
+	// Wait for the pool to drain.
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var stats core.UserStatsResponse
+		if err := client.Call(core.ActionUserStats, &core.UserStatsRequest{Owner: "webuser"}, &stats); err != nil {
+			log.Fatal(err)
+		}
+		if stats.CompletedJobs == 10 {
+			fmt.Printf("all jobs completed; accounted runtime %ds\n", stats.TotalRuntimeSec)
+			break
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
+
+	// Pool status over the service interface.
+	var pool core.PoolStatusResponse
+	if err := client.Call(core.ActionPoolStatus, &core.PoolStatusRequest{}, &pool); err != nil {
+		log.Fatal(err)
+	}
+	for _, sc := range pool.VMs {
+		fmt.Printf("vms %-8s %d\n", sc.State, sc.Count)
+	}
+
+	// The same data through the web site (what a browser sees).
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(body), "Pool Status") {
+		fmt.Println("web site reachable: Pool Status page rendered")
+	}
+}
+
+// runAgent is a minimal real-time startd: heartbeat, accept matches, sleep
+// for the job duration, report completion.
+func runAgent(client *wire.Client, name string, vms int) {
+	type vmState struct {
+		jobID    int64
+		running  bool
+		finished bool
+	}
+	states := make([]vmState, vms)
+	beat := func(boot bool) {
+		req := &core.HeartbeatRequest{
+			Machine: name, Boot: boot, Arch: "INTEL", OpSys: "LINUX", TotalMemoryMB: 1024,
+		}
+		for i := range states {
+			st := core.VMStatus{Seq: int64(i), State: "idle"}
+			if states[i].running {
+				st.State = "claimed"
+				st.JobID = states[i].jobID
+				st.Phase = "running"
+				if states[i].finished {
+					st.Phase = "completed"
+				}
+			}
+			req.VMs = append(req.VMs, st)
+		}
+		var resp core.HeartbeatResponse
+		if err := client.Call(core.ActionHeartbeat, req, &resp); err != nil {
+			log.Printf("%s: heartbeat: %v", name, err)
+			return
+		}
+		for i := range states {
+			if states[i].finished {
+				states[i] = vmState{}
+			}
+		}
+		for _, cmd := range resp.Commands {
+			if cmd.Command != core.CmdMatchInfo {
+				continue
+			}
+			var acc core.AcceptMatchResponse
+			err := client.Call(core.ActionAcceptMatch, &core.AcceptMatchRequest{
+				Machine: name, Seq: cmd.Seq, MatchID: cmd.MatchID, JobID: cmd.JobID,
+			}, &acc)
+			if err != nil || !acc.OK {
+				continue
+			}
+			seq := cmd.Seq
+			states[seq] = vmState{jobID: cmd.JobID, running: true}
+			length := cmd.LengthSec
+			go func() {
+				time.Sleep(time.Duration(length) * time.Second)
+				states[seq].finished = true
+			}()
+		}
+	}
+	beat(true)
+	for {
+		time.Sleep(500 * time.Millisecond)
+		beat(false)
+	}
+}

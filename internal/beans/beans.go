@@ -1,0 +1,407 @@
+// Package beans is the persistence layer of the CondorJ2 architecture: a
+// container providing the J2EE/EJB services the paper's prototype got from
+// JBoss — container-managed persistence (entity structs mapped 1:1 to
+// tuples), container-managed transaction demarcation with deadlock retry,
+// and pooled database connections via database/sql.
+//
+// An entity is a Go struct whose exported fields carry `bean` tags:
+//
+//	type Job struct {
+//	    ID    int64  `bean:"id,pk,auto"`
+//	    Owner string `bean:"owner"`
+//	    State string `bean:"state"`
+//	}
+//
+// The container maps it to a table (snake-cased struct name by default),
+// and provides Find / Insert / Update / Delete against any *sql.Tx or
+// *sql.DB. There is intentionally no caching tier: as in the paper, "the
+// 'live' operational data resides in the database", and the subset of bean
+// instances in memory at any instant is just whatever the in-flight
+// requests materialized (§4.1 footnote 1).
+package beans
+
+import (
+	"database/sql"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrNotFound is returned by Find when no tuple matches the key.
+var ErrNotFound = errors.New("beans: entity not found")
+
+// field is one mapped struct field.
+type field struct {
+	name  string // column name
+	index int    // struct field index
+	pk    bool
+	auto  bool
+}
+
+// Meta is the mapping of one entity type.
+type Meta struct {
+	Table  string
+	typ    reflect.Type
+	fields []field
+	pks    []field
+}
+
+var (
+	metaMu    sync.RWMutex
+	metaCache = make(map[reflect.Type]*Meta)
+)
+
+// TableNamer lets an entity override its table name; without it the table
+// is the snake-cased struct name.
+type TableNamer interface {
+	TableName() string
+}
+
+// MetaOf computes (and caches) the mapping for an entity type. The sample
+// may be a struct or pointer to struct.
+func MetaOf(sample any) (*Meta, error) {
+	t := reflect.TypeOf(sample)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	if t.Kind() != reflect.Struct {
+		return nil, fmt.Errorf("beans: entity must be a struct, got %s", t)
+	}
+	metaMu.RLock()
+	m, ok := metaCache[t]
+	metaMu.RUnlock()
+	if ok {
+		return m, nil
+	}
+	table := snakeCase(t.Name())
+	if tn, ok := reflect.New(t).Interface().(TableNamer); ok {
+		table = tn.TableName()
+	}
+	m = &Meta{Table: table, typ: t}
+	for i := 0; i < t.NumField(); i++ {
+		sf := t.Field(i)
+		tag := sf.Tag.Get("bean")
+		if tag == "-" || !sf.IsExported() {
+			continue
+		}
+		f := field{name: snakeCase(sf.Name), index: i}
+		if tag != "" {
+			parts := strings.Split(tag, ",")
+			if parts[0] != "" {
+				f.name = parts[0]
+			}
+			for _, p := range parts[1:] {
+				switch p {
+				case "pk":
+					f.pk = true
+				case "auto":
+					f.auto = true
+				case "table":
+					// handled below via separate tag form
+				}
+			}
+		}
+		m.fields = append(m.fields, f)
+		if f.pk {
+			m.pks = append(m.pks, f)
+		}
+	}
+	if len(m.fields) == 0 {
+		return nil, fmt.Errorf("beans: %s has no mapped fields", t)
+	}
+	if len(m.pks) == 0 {
+		return nil, fmt.Errorf("beans: %s has no primary key field (tag a field with `bean:\"col,pk\"`)", t)
+	}
+	metaMu.Lock()
+	metaCache[t] = m
+	metaMu.Unlock()
+	return m, nil
+}
+
+// WithTable returns a copy of the meta bound to a different table name.
+func (m *Meta) WithTable(table string) *Meta {
+	c := *m
+	c.Table = table
+	return &c
+}
+
+func snakeCase(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 {
+				prev := s[i-1]
+				if prev >= 'a' && prev <= 'z' || prev >= '0' && prev <= '9' {
+					b.WriteByte('_')
+				}
+			}
+			b.WriteRune(r - 'A' + 'a')
+			continue
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// Querier is the subset of database/sql shared by *sql.DB and *sql.Tx, so
+// bean operations run equally inside or outside container transactions.
+type Querier interface {
+	Exec(query string, args ...any) (sql.Result, error)
+	Query(query string, args ...any) (*sql.Rows, error)
+	QueryRow(query string, args ...any) *sql.Row
+}
+
+// Insert persists a new entity. Auto fields with zero values receive their
+// generated ids back.
+func Insert(q Querier, entity any) error {
+	m, v, err := metaAndValue(entity)
+	if err != nil {
+		return err
+	}
+	var cols []string
+	var marks []string
+	var args []any
+	var autoField *field
+	for i := range m.fields {
+		f := &m.fields[i]
+		fv := v.Field(f.index)
+		if f.auto && fv.Kind() == reflect.Int64 && fv.Int() == 0 {
+			autoField = f
+			continue // let the database assign it
+		}
+		cols = append(cols, f.name)
+		marks = append(marks, "?")
+		args = append(args, fv.Interface())
+	}
+	query := fmt.Sprintf("INSERT INTO %s (%s) VALUES (%s)",
+		m.Table, strings.Join(cols, ", "), strings.Join(marks, ", "))
+	res, err := q.Exec(query, args...)
+	if err != nil {
+		return err
+	}
+	if autoField != nil {
+		id, err := res.LastInsertId()
+		if err == nil {
+			v.Field(autoField.index).SetInt(id)
+		}
+	}
+	return nil
+}
+
+// Find loads the entity whose primary key fields are already set.
+func Find(q Querier, entity any) error {
+	m, v, err := metaAndValue(entity)
+	if err != nil {
+		return err
+	}
+	var cols []string
+	var dest []any
+	for i := range m.fields {
+		f := &m.fields[i]
+		cols = append(cols, f.name)
+		dest = append(dest, scanTarget(v.Field(f.index)))
+	}
+	where, args := pkWhere(m, v)
+	query := fmt.Sprintf("SELECT %s FROM %s WHERE %s",
+		strings.Join(cols, ", "), m.Table, where)
+	row := q.QueryRow(query, args...)
+	if err := row.Scan(dest...); err != nil {
+		if errors.Is(err, sql.ErrNoRows) {
+			return ErrNotFound
+		}
+		return err
+	}
+	for i := range m.fields {
+		assignScanned(v.Field(m.fields[i].index), dest[i])
+	}
+	return nil
+}
+
+// Update writes all non-key fields of the entity back to its tuple.
+func Update(q Querier, entity any) error {
+	m, v, err := metaAndValue(entity)
+	if err != nil {
+		return err
+	}
+	var sets []string
+	var args []any
+	for i := range m.fields {
+		f := &m.fields[i]
+		if f.pk {
+			continue
+		}
+		sets = append(sets, f.name+" = ?")
+		args = append(args, v.Field(f.index).Interface())
+	}
+	if len(sets) == 0 {
+		return nil
+	}
+	where, whereArgs := pkWhere(m, v)
+	args = append(args, whereArgs...)
+	res, err := q.Exec(fmt.Sprintf("UPDATE %s SET %s WHERE %s", m.Table, strings.Join(sets, ", "), where), args...)
+	if err != nil {
+		return err
+	}
+	if n, err := res.RowsAffected(); err == nil && n == 0 {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// Delete removes the entity's tuple by primary key.
+func Delete(q Querier, entity any) error {
+	m, v, err := metaAndValue(entity)
+	if err != nil {
+		return err
+	}
+	where, args := pkWhere(m, v)
+	res, err := q.Exec(fmt.Sprintf("DELETE FROM %s WHERE %s", m.Table, where), args...)
+	if err != nil {
+		return err
+	}
+	if n, err := res.RowsAffected(); err == nil && n == 0 {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// Select loads all entities matching an arbitrary suffix clause (e.g.
+// "WHERE state = ? ORDER BY id LIMIT 10") into a slice of T.
+func Select[T any](q Querier, suffix string, args ...any) ([]T, error) {
+	var sample T
+	m, err := MetaOf(sample)
+	if err != nil {
+		return nil, err
+	}
+	var cols []string
+	for i := range m.fields {
+		cols = append(cols, m.fields[i].name)
+	}
+	query := fmt.Sprintf("SELECT %s FROM %s %s", strings.Join(cols, ", "), m.Table, suffix)
+	rows, err := q.Query(query, args...)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []T
+	for rows.Next() {
+		var item T
+		v := reflect.ValueOf(&item).Elem()
+		dest := make([]any, len(m.fields))
+		for i := range m.fields {
+			dest[i] = scanTarget(v.Field(m.fields[i].index))
+		}
+		if err := rows.Scan(dest...); err != nil {
+			return nil, err
+		}
+		for i := range m.fields {
+			assignScanned(v.Field(m.fields[i].index), dest[i])
+		}
+		out = append(out, item)
+	}
+	return out, rows.Err()
+}
+
+func metaAndValue(entity any) (*Meta, reflect.Value, error) {
+	v := reflect.ValueOf(entity)
+	if v.Kind() != reflect.Pointer || v.IsNil() || v.Elem().Kind() != reflect.Struct {
+		return nil, reflect.Value{}, fmt.Errorf("beans: entity must be a non-nil struct pointer, got %T", entity)
+	}
+	m, err := MetaOf(entity)
+	if err != nil {
+		return nil, reflect.Value{}, err
+	}
+	return m, v.Elem(), nil
+}
+
+func pkWhere(m *Meta, v reflect.Value) (string, []any) {
+	var parts []string
+	var args []any
+	for _, f := range m.pks {
+		parts = append(parts, f.name+" = ?")
+		args = append(args, v.Field(f.index).Interface())
+	}
+	return strings.Join(parts, " AND "), args
+}
+
+// scanTarget returns a pointer suitable for sql.Rows.Scan given a struct
+// field; nullable kinds go through sql.Null wrappers.
+func scanTarget(fv reflect.Value) any {
+	switch fv.Kind() {
+	case reflect.Int64, reflect.Int, reflect.Int32:
+		return &sql.NullInt64{}
+	case reflect.Float64:
+		return &sql.NullFloat64{}
+	case reflect.String:
+		return &sql.NullString{}
+	case reflect.Bool:
+		return &sql.NullBool{}
+	default:
+		if fv.Type() == reflect.TypeOf(time.Time{}) {
+			return &sql.NullTime{}
+		}
+		return fv.Addr().Interface()
+	}
+}
+
+func assignScanned(fv reflect.Value, src any) {
+	switch s := src.(type) {
+	case *sql.NullInt64:
+		fv.SetInt(s.Int64)
+	case *sql.NullFloat64:
+		fv.SetFloat(s.Float64)
+	case *sql.NullString:
+		fv.SetString(s.String)
+	case *sql.NullBool:
+		fv.SetBool(s.Bool)
+	case *sql.NullTime:
+		fv.Set(reflect.ValueOf(s.Time))
+	}
+}
+
+// Container supplies container-managed transactions over a pooled
+// database/sql handle — the application-server tier's hold on the database.
+type Container struct {
+	// DB is the pooled connection source.
+	DB *sql.DB
+	// MaxRetries bounds deadlock retries per transaction (default 10).
+	MaxRetries int
+}
+
+// InTx runs fn inside a transaction, committing on success and rolling
+// back on error. Deadlock victims are retried — the standard container
+// behaviour the paper's entity beans relied on.
+func (c *Container) InTx(fn func(tx *sql.Tx) error) error {
+	retries := c.MaxRetries
+	if retries == 0 {
+		retries = 10
+	}
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		tx, err := c.DB.Begin()
+		if err != nil {
+			return err
+		}
+		err = fn(tx)
+		if err == nil {
+			err = tx.Commit()
+			if err == nil {
+				return nil
+			}
+		} else {
+			tx.Rollback()
+		}
+		if !isDeadlock(err) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("beans: transaction retries exhausted: %w", lastErr)
+}
+
+func isDeadlock(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "deadlock")
+}

@@ -1,0 +1,240 @@
+package beans
+
+import (
+	"database/sql"
+	"errors"
+	"testing"
+	"time"
+
+	"condorj2/internal/sqldb"
+)
+
+// Widget is a test entity exercising every mapped kind.
+type Widget struct {
+	ID      int64     `bean:"id,pk,auto"`
+	Name    string    `bean:"name"`
+	Weight  float64   `bean:"weight"`
+	Active  bool      `bean:"active"`
+	Made    time.Time `bean:"made"`
+	private int       // unexported: ignored
+}
+
+// PairKey exercises composite primary keys.
+type PairKey struct {
+	Host string `bean:"host,pk"`
+	Slot int64  `bean:"slot,pk"`
+	Val  string `bean:"val"`
+}
+
+func testPool(t *testing.T) *sql.DB {
+	t.Helper()
+	engine := sqldb.New()
+	name := "beans-" + t.Name()
+	sqldb.Serve(name, engine)
+	t.Cleanup(func() { sqldb.Unserve(name) })
+	pool, err := sql.Open(sqldb.DriverName, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pool.Close() })
+	if _, err := pool.Exec(`CREATE TABLE widget (
+		id INTEGER PRIMARY KEY AUTOINCREMENT,
+		name TEXT NOT NULL,
+		weight FLOAT,
+		active BOOLEAN,
+		made TIMESTAMP
+	)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Exec(`CREATE TABLE pair_key (
+		host TEXT, slot INTEGER, val TEXT, PRIMARY KEY (host, slot)
+	)`); err != nil {
+		t.Fatal(err)
+	}
+	return pool
+}
+
+func TestMetaMapping(t *testing.T) {
+	m, err := MetaOf(Widget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Table != "widget" {
+		t.Fatalf("table = %s", m.Table)
+	}
+	if len(m.fields) != 5 {
+		t.Fatalf("fields = %d (private must be excluded)", len(m.fields))
+	}
+	if len(m.pks) != 1 || m.pks[0].name != "id" {
+		t.Fatalf("pks = %+v", m.pks)
+	}
+}
+
+func TestSnakeCase(t *testing.T) {
+	cases := map[string]string{
+		"Widget": "widget", "JobHistory": "job_history",
+		"VMState": "vmstate", "MachineHistory2": "machine_history2",
+	}
+	for in, want := range cases {
+		if got := snakeCase(in); got != want {
+			t.Fatalf("snakeCase(%s) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestInsertFindUpdateDelete(t *testing.T) {
+	pool := testPool(t)
+	made := time.Date(2006, 10, 1, 9, 0, 0, 0, time.UTC)
+	w := &Widget{Name: "gear", Weight: 1.5, Active: true, Made: made}
+	if err := Insert(pool, w); err != nil {
+		t.Fatal(err)
+	}
+	if w.ID != 1 {
+		t.Fatalf("auto id = %d", w.ID)
+	}
+
+	got := &Widget{ID: w.ID}
+	if err := Find(pool, got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "gear" || got.Weight != 1.5 || !got.Active || !got.Made.Equal(made) {
+		t.Fatalf("found = %+v", got)
+	}
+
+	got.Name = "sprocket"
+	got.Active = false
+	if err := Update(pool, got); err != nil {
+		t.Fatal(err)
+	}
+	again := &Widget{ID: w.ID}
+	if err := Find(pool, again); err != nil {
+		t.Fatal(err)
+	}
+	if again.Name != "sprocket" || again.Active {
+		t.Fatalf("updated = %+v", again)
+	}
+
+	if err := Delete(pool, again); err != nil {
+		t.Fatal(err)
+	}
+	if err := Find(pool, &Widget{ID: w.ID}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("find after delete = %v", err)
+	}
+}
+
+func TestFindNotFound(t *testing.T) {
+	pool := testPool(t)
+	err := Find(pool, &Widget{ID: 999})
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUpdateDeleteMissingRowsReportNotFound(t *testing.T) {
+	pool := testPool(t)
+	if err := Update(pool, &Widget{ID: 5, Name: "x"}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("update missing = %v", err)
+	}
+	if err := Delete(pool, &Widget{ID: 5}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete missing = %v", err)
+	}
+}
+
+func TestCompositeKey(t *testing.T) {
+	pool := testPool(t)
+	if err := Insert(pool, &PairKey{Host: "h1", Slot: 2, Val: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	got := &PairKey{Host: "h1", Slot: 2}
+	if err := Find(pool, got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Val != "a" {
+		t.Fatalf("val = %s", got.Val)
+	}
+	got.Val = "b"
+	if err := Update(pool, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := Delete(pool, &PairKey{Host: "h1", Slot: 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectMany(t *testing.T) {
+	pool := testPool(t)
+	for i := 0; i < 5; i++ {
+		active := i%2 == 0
+		if err := Insert(pool, &Widget{Name: "w", Weight: float64(i), Active: active, Made: time.Unix(0, 0).UTC()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws, err := Select[Widget](pool, "WHERE active = ? ORDER BY weight DESC", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 || ws[0].Weight != 4 {
+		t.Fatalf("selected = %+v", ws)
+	}
+}
+
+func TestInTxCommitAndRollback(t *testing.T) {
+	pool := testPool(t)
+	c := &Container{DB: pool}
+	err := c.InTx(func(tx *sql.Tx) error {
+		return Insert(tx, &Widget{Name: "tx", Made: time.Unix(0, 0).UTC()})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, _ := Select[Widget](pool, "")
+	if len(ws) != 1 {
+		t.Fatalf("committed rows = %d", len(ws))
+	}
+
+	sentinel := errors.New("abort")
+	err = c.InTx(func(tx *sql.Tx) error {
+		if err := Insert(tx, &Widget{Name: "doomed", Made: time.Unix(0, 0).UTC()}); err != nil {
+			return err
+		}
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	ws, _ = Select[Widget](pool, "")
+	if len(ws) != 1 {
+		t.Fatalf("rows after rollback = %d", len(ws))
+	}
+}
+
+func TestInTxRetriesDeadlocks(t *testing.T) {
+	pool := testPool(t)
+	c := &Container{DB: pool, MaxRetries: 3}
+	attempts := 0
+	err := c.InTx(func(tx *sql.Tx) error {
+		attempts++
+		if attempts < 3 {
+			return errors.New("sqldb: deadlock detected")
+		}
+		return nil
+	})
+	if err != nil || attempts != 3 {
+		t.Fatalf("err = %v, attempts = %d", err, attempts)
+	}
+}
+
+func TestMetaErrors(t *testing.T) {
+	if _, err := MetaOf(42); err == nil {
+		t.Fatal("MetaOf(int) should fail")
+	}
+	type NoPK struct {
+		X int64 `bean:"x"`
+	}
+	if _, err := MetaOf(NoPK{}); err == nil {
+		t.Fatal("MetaOf without pk should fail")
+	}
+	if err := Insert(testPool(t), Widget{}); err == nil {
+		t.Fatal("Insert of non-pointer should fail")
+	}
+}

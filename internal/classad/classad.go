@@ -1,0 +1,118 @@
+// Package classad implements the ClassAd (classified advertisement)
+// matchmaking language used by Condor [Raman, Livny, Solomon, HPDC 1998],
+// which the paper's baseline system depends on: machines and jobs advertise
+// themselves as attribute→expression maps, and the negotiator matches a job
+// ad against a machine ad by evaluating each ad's Requirements expression
+// in the context of the other (MY./TARGET. scoping), ranking compatible
+// matches with Rank.
+//
+// The dialect covers what matchmaking needs: boolean, integer, real and
+// string literals; attribute references (plain, MY.attr, TARGET.attr);
+// comparison, arithmetic and boolean operators with UNDEFINED propagation;
+// and the =?= / =!= "is (not) identical" operators that treat UNDEFINED as
+// a first-class value.
+package classad
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ad is one classified advertisement: an attribute table. Attribute names
+// are case-insensitive (canonicalized to lower case).
+type Ad struct {
+	attrs map[string]Expr
+}
+
+// New creates an empty ad.
+func New() *Ad { return &Ad{attrs: make(map[string]Expr)} }
+
+// Set assigns an expression to an attribute.
+func (a *Ad) Set(name string, e Expr) {
+	a.attrs[strings.ToLower(name)] = e
+}
+
+// SetInt, SetReal, SetString and SetBool assign literal attributes.
+func (a *Ad) SetInt(name string, v int64)     { a.Set(name, Lit(IntVal(v))) }
+func (a *Ad) SetReal(name string, v float64)  { a.Set(name, Lit(RealVal(v))) }
+func (a *Ad) SetString(name string, v string) { a.Set(name, Lit(StringVal(v))) }
+func (a *Ad) SetBool(name string, v bool)     { a.Set(name, Lit(BoolVal(v))) }
+
+// SetExpr parses src and assigns it; it panics on parse errors (intended
+// for statically known expressions) — use Parse + Set for dynamic input.
+func (a *Ad) SetExpr(name, src string) {
+	e, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("classad: SetExpr(%s, %q): %v", name, src, err))
+	}
+	a.Set(name, e)
+}
+
+// Lookup returns the expression bound to name.
+func (a *Ad) Lookup(name string) (Expr, bool) {
+	e, ok := a.attrs[strings.ToLower(name)]
+	return e, ok
+}
+
+// Names lists attribute names in sorted order.
+func (a *Ad) Names() []string {
+	names := make([]string, 0, len(a.attrs))
+	for n := range a.attrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders the ad in the classic bracketed form.
+func (a *Ad) String() string {
+	var b strings.Builder
+	b.WriteString("[ ")
+	for i, n := range a.Names() {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		e := a.attrs[n]
+		fmt.Fprintf(&b, "%s = %s", n, e)
+	}
+	b.WriteString(" ]")
+	return b.String()
+}
+
+// EvalAttr evaluates the named attribute of my in the context of target.
+func EvalAttr(name string, my, target *Ad) Value {
+	e, ok := my.Lookup(name)
+	if !ok {
+		return Undefined()
+	}
+	env := &Env{My: my, Target: target}
+	return env.Eval(e)
+}
+
+// Requirements evaluates my.Requirements against target, treating a
+// missing or non-boolean result as false (Condor's matchmaking rule).
+func Requirements(my, target *Ad) bool {
+	v := EvalAttr("requirements", my, target)
+	b, ok := v.AsBool()
+	return ok && b
+}
+
+// Match reports whether both ads' Requirements accept each other — the
+// symmetric gangmatching test the negotiator applies.
+func Match(a, b *Ad) bool {
+	return Requirements(a, b) && Requirements(b, a)
+}
+
+// Rank evaluates my.Rank against target as a float; missing, UNDEFINED or
+// non-numeric Rank is 0 (Condor's convention).
+func Rank(my, target *Ad) float64 {
+	v := EvalAttr("rank", my, target)
+	if f, ok := v.AsReal(); ok {
+		return f
+	}
+	if b, ok := v.AsBool(); ok && b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,320 @@
+package classad
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func eval(t *testing.T, src string) Value {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return (&Env{}).Eval(e)
+}
+
+func TestLiterals(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"42", IntVal(42)},
+		{"-7", IntVal(-7)},
+		{"2.5", RealVal(2.5)},
+		{`"hello"`, StringVal("hello")},
+		{"TRUE", BoolVal(true)},
+		{"false", BoolVal(false)},
+		{"UNDEFINED", Undefined()},
+		{"ERROR", ErrorVal()},
+	}
+	for _, c := range cases {
+		if got := eval(t, c.src); !identical(got, c.want) || got.Kind() != c.want.Kind() {
+			t.Fatalf("eval(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := map[string]Value{
+		"1 + 2 * 3":   IntVal(7),
+		"(1 + 2) * 3": IntVal(9),
+		"7 / 2":       IntVal(3),
+		"7.0 / 2":     RealVal(3.5),
+		"7 % 3":       IntVal(1),
+		"2 - 5":       IntVal(-3),
+		"1/0":         ErrorVal(),
+		`"a" + "b"`:   StringVal("ab"),
+	}
+	for src, want := range cases {
+		if got := eval(t, src); !identical(got, want) {
+			t.Fatalf("eval(%q) = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	cases := map[string]bool{
+		"1 < 2":                      true,
+		"2 <= 2":                     true,
+		"3 > 4":                      false,
+		"1 == 1.0":                   true,
+		`"ABC" == "abc"`:             true, // case-insensitive strings
+		`"abc" < "abd"`:              true,
+		"TRUE && TRUE":               true,
+		"TRUE && FALSE":              false,
+		"FALSE || TRUE":              true,
+		"!(1 == 2)":                  true,
+		"1 == 1 && 2 == 2 || 3 == 4": true,
+	}
+	for src, want := range cases {
+		got, ok := eval(t, src).AsBool()
+		if !ok || got != want {
+			t.Fatalf("eval(%q) = %v/%v, want %v", src, got, ok, want)
+		}
+	}
+}
+
+func TestUndefinedPropagation(t *testing.T) {
+	if !eval(t, "UNDEFINED + 1").IsUndefined() {
+		t.Fatal("UNDEFINED + 1 should be UNDEFINED")
+	}
+	if !eval(t, "UNDEFINED < 5").IsUndefined() {
+		t.Fatal("UNDEFINED < 5 should be UNDEFINED")
+	}
+	// But && and || can decide despite UNDEFINED.
+	if b, ok := eval(t, "FALSE && UNDEFINED").AsBool(); !ok || b {
+		t.Fatal("FALSE && UNDEFINED should be FALSE")
+	}
+	if b, ok := eval(t, "TRUE || UNDEFINED").AsBool(); !ok || !b {
+		t.Fatal("TRUE || UNDEFINED should be TRUE")
+	}
+	if !eval(t, "TRUE && UNDEFINED").IsUndefined() {
+		t.Fatal("TRUE && UNDEFINED should be UNDEFINED")
+	}
+}
+
+func TestIsIdenticalOperators(t *testing.T) {
+	cases := map[string]bool{
+		"UNDEFINED =?= UNDEFINED": true,
+		"UNDEFINED =?= 1":         false,
+		"1 =?= 1":                 true,
+		"1 =!= 2":                 true,
+		`"x" =?= "X"`:             true,
+	}
+	for src, want := range cases {
+		got, ok := eval(t, src).AsBool()
+		if !ok || got != want {
+			t.Fatalf("eval(%q) = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestBuiltinFunctions(t *testing.T) {
+	if v := eval(t, `strcat("a", "b", "c")`); v.s != "abc" {
+		t.Fatalf("strcat = %v", v)
+	}
+	if v := eval(t, `toupper("ab")`); v.s != "AB" {
+		t.Fatalf("toupper = %v", v)
+	}
+	if v := eval(t, "floor(2.7)"); v.i != 2 {
+		t.Fatalf("floor = %v", v)
+	}
+	if v := eval(t, "floor(-2.3)"); v.i != -3 {
+		t.Fatalf("floor(-2.3) = %v", v)
+	}
+	if v, _ := eval(t, "isUndefined(UNDEFINED)").AsBool(); !v {
+		t.Fatal("isUndefined")
+	}
+	if v, _ := eval(t, `stringListMember("b", "a, b, c")`).AsBool(); !v {
+		t.Fatal("stringListMember")
+	}
+}
+
+func TestAttributeScoping(t *testing.T) {
+	machine := New()
+	machine.SetInt("memory", 2048)
+	machine.SetString("arch", "INTEL")
+	machine.SetExpr("requirements", "TARGET.imagesize < MY.memory")
+
+	job := New()
+	job.SetInt("imagesize", 1024)
+	job.SetExpr("requirements", `TARGET.arch == "INTEL"`)
+
+	if !Requirements(machine, job) {
+		t.Fatal("machine requirements should accept the job")
+	}
+	if !Requirements(job, machine) {
+		t.Fatal("job requirements should accept the machine")
+	}
+	if !Match(machine, job) {
+		t.Fatal("ads should match")
+	}
+
+	bigJob := New()
+	bigJob.SetInt("imagesize", 4096)
+	bigJob.SetExpr("requirements", "TRUE")
+	if Match(machine, bigJob) {
+		t.Fatal("oversized job should not match")
+	}
+}
+
+func TestUnqualifiedLookupPrefersMyThenTarget(t *testing.T) {
+	a := New()
+	a.SetInt("x", 1)
+	b := New()
+	b.SetInt("x", 2)
+	b.SetInt("y", 3)
+	env := &Env{My: a, Target: b}
+	if v := env.Eval(Attr("x")); v.i != 1 {
+		t.Fatalf("x = %v, want MY.x = 1", v)
+	}
+	if v := env.Eval(Attr("y")); v.i != 3 {
+		t.Fatalf("y = %v, want TARGET.y = 3", v)
+	}
+	if !env.Eval(Attr("z")).IsUndefined() {
+		t.Fatal("missing attr should be UNDEFINED")
+	}
+}
+
+func TestTargetScopeFlipsForNestedRefs(t *testing.T) {
+	// machine.Rank references TARGET.prio; job.prio references its own
+	// base attribute — the nested lookup must resolve inside the job ad.
+	machine := New()
+	machine.SetExpr("rank", "TARGET.prio * 2")
+	job := New()
+	job.SetExpr("prio", "base + 1")
+	job.SetInt("base", 4)
+	if r := Rank(machine, job); r != 10 {
+		t.Fatalf("Rank = %v, want 10", r)
+	}
+}
+
+func TestMissingRequirementsMeansNoMatch(t *testing.T) {
+	a := New()
+	b := New()
+	b.SetExpr("requirements", "TRUE")
+	if Requirements(a, b) {
+		t.Fatal("missing Requirements must evaluate false")
+	}
+	if Match(a, b) {
+		t.Fatal("one-sided requirements must not match")
+	}
+}
+
+func TestCircularReferenceTerminates(t *testing.T) {
+	a := New()
+	a.SetExpr("x", "y")
+	a.SetExpr("y", "x")
+	env := &Env{My: a}
+	v := env.Eval(Attr("x"))
+	if !v.IsError() {
+		t.Fatalf("circular ref = %v, want ERROR", v)
+	}
+}
+
+func TestRankDefaults(t *testing.T) {
+	a := New()
+	b := New()
+	if Rank(a, b) != 0 {
+		t.Fatal("missing Rank should be 0")
+	}
+	a.SetExpr("rank", `"not a number"`)
+	if Rank(a, b) != 0 {
+		t.Fatal("non-numeric Rank should be 0")
+	}
+	a.SetExpr("rank", "TRUE")
+	if Rank(a, b) != 1 {
+		t.Fatal("boolean TRUE Rank should be 1")
+	}
+}
+
+func TestParseErrorsClassad(t *testing.T) {
+	bad := []string{"", "1 +", `"unterminated`, "foo(", "(1", "1 @ 2", "my.", "&&"}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestExprStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"(1 + 2)",
+		"MY.memory",
+		"TARGET.imagesize",
+		`strcat("a", "b")`,
+		"((MY.x > 1) && (TARGET.y < 2))",
+	}
+	for _, src := range srcs {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		e2, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("reparse of %q → %q: %v", src, e.String(), err)
+		}
+		if e2.String() != e.String() {
+			t.Fatalf("unstable render: %q → %q", e.String(), e2.String())
+		}
+	}
+}
+
+func TestAdString(t *testing.T) {
+	a := New()
+	a.SetInt("cpus", 2)
+	a.SetString("name", "vm1@node1")
+	s := a.String()
+	if !strings.Contains(s, "cpus = 2") || !strings.Contains(s, `name = "vm1@node1"`) {
+		t.Fatalf("Ad.String() = %s", s)
+	}
+}
+
+// Property: integer arithmetic in the ClassAd evaluator agrees with Go.
+func TestPropertyIntArithmetic(t *testing.T) {
+	f := func(a, b int16) bool {
+		env := &Env{}
+		sum := env.Eval(binaryExpr{op: "+", l: Lit(IntVal(int64(a))), r: Lit(IntVal(int64(b)))})
+		prod := env.Eval(binaryExpr{op: "*", l: Lit(IntVal(int64(a))), r: Lit(IntVal(int64(b)))})
+		return sum.i == int64(a)+int64(b) && prod.i == int64(a)*int64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Match is symmetric.
+func TestPropertyMatchSymmetric(t *testing.T) {
+	f := func(mem, img uint16) bool {
+		m := New()
+		m.SetInt("memory", int64(mem))
+		m.SetExpr("requirements", "TARGET.imagesize <= MY.memory")
+		j := New()
+		j.SetInt("imagesize", int64(img))
+		j.SetExpr("requirements", "TARGET.memory >= MY.imagesize")
+		return Match(m, j) == Match(j, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustParsePanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on a bad expression")
+		}
+	}()
+	MustParse("1 +")
+}
+
+func TestSetExprPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetExpr should panic on a bad expression")
+		}
+	}()
+	New().SetExpr("requirements", `"unterminated`)
+}

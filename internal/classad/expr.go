@@ -1,0 +1,430 @@
+package classad
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a ClassAd expression tree node.
+type Expr interface {
+	fmt.Stringer
+	eval(env *Env) Value
+}
+
+// Env is the evaluation context: MY is the ad the expression belongs to,
+// TARGET the candidate ad it is being matched against.
+type Env struct {
+	My     *Ad
+	Target *Ad
+	depth  int
+}
+
+const maxEvalDepth = 64
+
+// Eval evaluates an expression in this environment.
+func (env *Env) Eval(e Expr) Value {
+	if e == nil {
+		return Undefined()
+	}
+	if env.depth >= maxEvalDepth {
+		// Self-referential attribute chains (a = b; b = a) terminate as
+		// ERROR rather than recursing forever.
+		return ErrorVal()
+	}
+	env.depth++
+	v := e.eval(env)
+	env.depth--
+	return v
+}
+
+// litExpr is a literal value.
+type litExpr struct{ v Value }
+
+// Lit wraps a value as an expression.
+func Lit(v Value) Expr { return litExpr{v} }
+
+func (l litExpr) eval(*Env) Value { return l.v }
+func (l litExpr) String() string  { return l.v.String() }
+
+// attrExpr is an attribute reference with optional MY./TARGET. scope.
+type attrExpr struct {
+	scope string // "", "my", "target"
+	name  string
+}
+
+// Attr references an attribute in the default scope (MY, then TARGET).
+func Attr(name string) Expr { return attrExpr{name: strings.ToLower(name)} }
+
+// MyAttr and TargetAttr reference explicitly scoped attributes.
+func MyAttr(name string) Expr     { return attrExpr{scope: "my", name: strings.ToLower(name)} }
+func TargetAttr(name string) Expr { return attrExpr{scope: "target", name: strings.ToLower(name)} }
+
+func (a attrExpr) eval(env *Env) Value {
+	lookup := func(ad *Ad) (Value, bool) {
+		if ad == nil {
+			return Undefined(), false
+		}
+		if e, ok := ad.Lookup(a.name); ok {
+			return env.Eval(e), true
+		}
+		return Undefined(), false
+	}
+	switch a.scope {
+	case "my":
+		v, _ := lookup(env.My)
+		return v
+	case "target":
+		// Evaluating a TARGET reference flips the scopes so that nested
+		// references inside the target resolve against the target's own
+		// attributes first.
+		if env.Target == nil {
+			return Undefined()
+		}
+		if e, ok := env.Target.Lookup(a.name); ok {
+			sub := &Env{My: env.Target, Target: env.My, depth: env.depth}
+			return sub.Eval(e)
+		}
+		return Undefined()
+	default:
+		if v, ok := lookup(env.My); ok {
+			return v
+		}
+		if env.Target != nil {
+			if e, ok := env.Target.Lookup(a.name); ok {
+				sub := &Env{My: env.Target, Target: env.My, depth: env.depth}
+				return sub.Eval(e)
+			}
+		}
+		return Undefined()
+	}
+}
+
+func (a attrExpr) String() string {
+	switch a.scope {
+	case "my":
+		return "MY." + a.name
+	case "target":
+		return "TARGET." + a.name
+	default:
+		return a.name
+	}
+}
+
+// unaryExpr is -x or !x.
+type unaryExpr struct {
+	op string
+	x  Expr
+}
+
+func (u unaryExpr) eval(env *Env) Value {
+	v := env.Eval(u.x)
+	if v.IsError() {
+		return v
+	}
+	switch u.op {
+	case "-":
+		if i, ok := v.AsInt(); ok {
+			return IntVal(-i)
+		}
+		if r, ok := v.AsReal(); ok {
+			return RealVal(-r)
+		}
+		if v.IsUndefined() {
+			return v
+		}
+		return ErrorVal()
+	case "!":
+		if b, ok := v.AsBool(); ok {
+			return BoolVal(!b)
+		}
+		if v.IsUndefined() {
+			return v
+		}
+		return ErrorVal()
+	}
+	return ErrorVal()
+}
+
+func (u unaryExpr) String() string { return u.op + u.x.String() }
+
+// binaryExpr covers arithmetic, comparison and boolean operators.
+type binaryExpr struct {
+	op   string
+	l, r Expr
+}
+
+func (b binaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.l, b.op, b.r)
+}
+
+func (b binaryExpr) eval(env *Env) Value {
+	switch b.op {
+	case "&&", "||":
+		return b.evalLogic(env)
+	case "=?=":
+		return BoolVal(identical(env.Eval(b.l), env.Eval(b.r)))
+	case "=!=":
+		return BoolVal(!identical(env.Eval(b.l), env.Eval(b.r)))
+	}
+	l := env.Eval(b.l)
+	r := env.Eval(b.r)
+	if l.IsError() || r.IsError() {
+		return ErrorVal()
+	}
+	if l.IsUndefined() || r.IsUndefined() {
+		return Undefined()
+	}
+	switch b.op {
+	case "+", "-", "*", "/", "%":
+		return arith(b.op, l, r)
+	case "==", "!=", "<", "<=", ">", ">=":
+		return compare(b.op, l, r)
+	}
+	return ErrorVal()
+}
+
+// evalLogic implements three-valued && and || with short-circuiting.
+func (b binaryExpr) evalLogic(env *Env) Value {
+	l := env.Eval(b.l)
+	if l.IsError() {
+		return l
+	}
+	lb, lok := l.AsBool()
+	if !lok && !l.IsUndefined() {
+		return ErrorVal()
+	}
+	if lok {
+		if b.op == "&&" && !lb {
+			return BoolVal(false)
+		}
+		if b.op == "||" && lb {
+			return BoolVal(true)
+		}
+	}
+	r := env.Eval(b.r)
+	if r.IsError() {
+		return r
+	}
+	rb, rok := r.AsBool()
+	if !rok && !r.IsUndefined() {
+		return ErrorVal()
+	}
+	switch {
+	case lok && rok:
+		if b.op == "&&" {
+			return BoolVal(lb && rb)
+		}
+		return BoolVal(lb || rb)
+	case rok:
+		if b.op == "&&" && !rb {
+			return BoolVal(false)
+		}
+		if b.op == "||" && rb {
+			return BoolVal(true)
+		}
+	}
+	return Undefined()
+}
+
+func arith(op string, l, r Value) Value {
+	li, lInt := l.AsInt()
+	ri, rInt := r.AsInt()
+	if lInt && rInt {
+		switch op {
+		case "+":
+			return IntVal(li + ri)
+		case "-":
+			return IntVal(li - ri)
+		case "*":
+			return IntVal(li * ri)
+		case "/":
+			if ri == 0 {
+				return ErrorVal()
+			}
+			return IntVal(li / ri)
+		case "%":
+			if ri == 0 {
+				return ErrorVal()
+			}
+			return IntVal(li % ri)
+		}
+	}
+	lr, lok := l.AsReal()
+	rr, rok := r.AsReal()
+	if !lok || !rok {
+		if op == "+" {
+			// String concatenation.
+			ls, lsok := l.AsString()
+			rs, rsok := r.AsString()
+			if lsok && rsok {
+				return StringVal(ls + rs)
+			}
+		}
+		return ErrorVal()
+	}
+	switch op {
+	case "+":
+		return RealVal(lr + rr)
+	case "-":
+		return RealVal(lr - rr)
+	case "*":
+		return RealVal(lr * rr)
+	case "/":
+		if rr == 0 {
+			return ErrorVal()
+		}
+		return RealVal(lr / rr)
+	case "%":
+		return ErrorVal()
+	}
+	return ErrorVal()
+}
+
+func compare(op string, l, r Value) Value {
+	var c int
+	switch {
+	case l.kind == KindString && r.kind == KindString:
+		// ClassAd string comparison is case-insensitive.
+		c = strings.Compare(strings.ToLower(l.s), strings.ToLower(r.s))
+	case l.kind == KindBool && r.kind == KindBool:
+		switch {
+		case l.b == r.b:
+			c = 0
+		case !l.b:
+			c = -1
+		default:
+			c = 1
+		}
+	default:
+		lr, lok := l.AsReal()
+		rr, rok := r.AsReal()
+		if !lok || !rok {
+			return ErrorVal()
+		}
+		switch {
+		case lr < rr:
+			c = -1
+		case lr > rr:
+			c = 1
+		}
+	}
+	switch op {
+	case "==":
+		return BoolVal(c == 0)
+	case "!=":
+		return BoolVal(c != 0)
+	case "<":
+		return BoolVal(c < 0)
+	case "<=":
+		return BoolVal(c <= 0)
+	case ">":
+		return BoolVal(c > 0)
+	case ">=":
+		return BoolVal(c >= 0)
+	}
+	return ErrorVal()
+}
+
+// callExpr is a builtin function call.
+type callExpr struct {
+	name string
+	args []Expr
+}
+
+func (c callExpr) String() string {
+	parts := make([]string, len(c.args))
+	for i, a := range c.args {
+		parts[i] = a.String()
+	}
+	return c.name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (c callExpr) eval(env *Env) Value {
+	args := make([]Value, len(c.args))
+	for i, a := range c.args {
+		args[i] = env.Eval(a)
+	}
+	switch c.name {
+	case "isundefined":
+		if len(args) != 1 {
+			return ErrorVal()
+		}
+		return BoolVal(args[0].IsUndefined())
+	case "iserror":
+		if len(args) != 1 {
+			return ErrorVal()
+		}
+		return BoolVal(args[0].IsError())
+	case "int":
+		if len(args) != 1 {
+			return ErrorVal()
+		}
+		if r, ok := args[0].AsReal(); ok {
+			return IntVal(int64(r))
+		}
+		return ErrorVal()
+	case "real":
+		if len(args) != 1 {
+			return ErrorVal()
+		}
+		if r, ok := args[0].AsReal(); ok {
+			return RealVal(r)
+		}
+		return ErrorVal()
+	case "floor":
+		if len(args) != 1 {
+			return ErrorVal()
+		}
+		if r, ok := args[0].AsReal(); ok {
+			f := int64(r)
+			if r < 0 && float64(f) != r {
+				f--
+			}
+			return IntVal(f)
+		}
+		return ErrorVal()
+	case "strcat":
+		var b strings.Builder
+		for _, a := range args {
+			s, ok := a.AsString()
+			if !ok {
+				return ErrorVal()
+			}
+			b.WriteString(s)
+		}
+		return StringVal(b.String())
+	case "tolower", "toupper":
+		if len(args) != 1 {
+			return ErrorVal()
+		}
+		s, ok := args[0].AsString()
+		if !ok {
+			return ErrorVal()
+		}
+		if c.name == "tolower" {
+			return StringVal(strings.ToLower(s))
+		}
+		return StringVal(strings.ToUpper(s))
+	case "regexp", "stringlistmember":
+		// Accepted for ad compatibility; simplified semantics.
+		if len(args) != 2 {
+			return ErrorVal()
+		}
+		pat, ok1 := args[0].AsString()
+		s, ok2 := args[1].AsString()
+		if !ok1 || !ok2 {
+			return ErrorVal()
+		}
+		if c.name == "stringlistmember" {
+			for _, item := range strings.Split(s, ",") {
+				if strings.EqualFold(strings.TrimSpace(item), pat) {
+					return BoolVal(true)
+				}
+			}
+			return BoolVal(false)
+		}
+		return BoolVal(strings.Contains(strings.ToLower(s), strings.ToLower(pat)))
+	default:
+		return ErrorVal()
+	}
+}

@@ -1,0 +1,343 @@
+package classad
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a ClassAd expression:
+//
+//	or   → and → comparison (== != < <= > >= =?= =!=) → additive (+ -)
+//	     → multiplicative (* / %) → unary (- !) → primary
+//
+// Primary: literal, attribute ref (possibly MY./TARGET.), function call,
+// parenthesized expression.
+func Parse(src string) (Expr, error) {
+	p := &adParser{src: src}
+	p.next()
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.tok.kind != adEOF {
+		return nil, fmt.Errorf("classad: unexpected %q after expression", p.tok.text)
+	}
+	return e, nil
+}
+
+// MustParse parses or panics; for statically known expressions.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type adTokKind int
+
+const (
+	adEOF adTokKind = iota
+	adIdent
+	adInt
+	adReal
+	adString
+	adOp
+)
+
+type adToken struct {
+	kind adTokKind
+	text string
+}
+
+type adParser struct {
+	src string
+	pos int
+	tok adToken
+	err error
+}
+
+func (p *adParser) next() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos >= len(p.src) {
+		p.tok = adToken{kind: adEOF}
+		return
+	}
+	start := p.pos
+	c := p.src[p.pos]
+	switch {
+	case isAdIdentStart(c):
+		for p.pos < len(p.src) && isAdIdentPart(p.src[p.pos]) {
+			p.pos++
+		}
+		p.tok = adToken{kind: adIdent, text: strings.ToLower(p.src[start:p.pos])}
+	case c >= '0' && c <= '9' || (c == '.' && p.pos+1 < len(p.src) && p.src[p.pos+1] >= '0' && p.src[p.pos+1] <= '9'):
+		isReal := false
+		for p.pos < len(p.src) {
+			ch := p.src[p.pos]
+			if ch >= '0' && ch <= '9' {
+				p.pos++
+				continue
+			}
+			if ch == '.' && !isReal {
+				isReal = true
+				p.pos++
+				continue
+			}
+			if (ch == 'e' || ch == 'E') && p.pos > start {
+				isReal = true
+				p.pos++
+				if p.pos < len(p.src) && (p.src[p.pos] == '+' || p.src[p.pos] == '-') {
+					p.pos++
+				}
+				continue
+			}
+			break
+		}
+		kind := adInt
+		if isReal {
+			kind = adReal
+		}
+		p.tok = adToken{kind: kind, text: p.src[start:p.pos]}
+	case c == '"':
+		var b strings.Builder
+		p.pos++
+		for p.pos < len(p.src) && p.src[p.pos] != '"' {
+			if p.src[p.pos] == '\\' && p.pos+1 < len(p.src) {
+				p.pos++
+			}
+			b.WriteByte(p.src[p.pos])
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			p.err = fmt.Errorf("classad: unterminated string")
+			p.tok = adToken{kind: adEOF}
+			return
+		}
+		p.pos++ // closing quote
+		p.tok = adToken{kind: adString, text: b.String()}
+	default:
+		for _, op := range []string{"=?=", "=!=", "==", "!=", "<=", ">=", "&&", "||", "<", ">", "+", "-", "*", "/", "%", "(", ")", ",", ".", "!"} {
+			if strings.HasPrefix(p.src[p.pos:], op) {
+				p.pos += len(op)
+				p.tok = adToken{kind: adOp, text: op}
+				return
+			}
+		}
+		p.err = fmt.Errorf("classad: unexpected character %q", c)
+		p.tok = adToken{kind: adEOF}
+	}
+}
+
+func isAdIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isAdIdentPart(c byte) bool {
+	return isAdIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (p *adParser) accept(kind adTokKind, text string) bool {
+	if p.tok.kind == kind && (text == "" || p.tok.text == text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *adParser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(adOp, "||") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = binaryExpr{op: "||", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *adParser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(adOp, "&&") {
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = binaryExpr{op: "&&", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *adParser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		for _, cand := range []string{"=?=", "=!=", "==", "!=", "<=", ">=", "<", ">"} {
+			if p.tok.kind == adOp && p.tok.text == cand {
+				op = cand
+				break
+			}
+		}
+		if op == "" {
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		l = binaryExpr{op: op, l: l, r: r}
+	}
+}
+
+func (p *adParser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == adOp && (p.tok.text == "+" || p.tok.text == "-") {
+		op := p.tok.text
+		p.next()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = binaryExpr{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *adParser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == adOp && (p.tok.text == "*" || p.tok.text == "/" || p.tok.text == "%") {
+		op := p.tok.text
+		p.next()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = binaryExpr{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *adParser) parseUnary() (Expr, error) {
+	if p.tok.kind == adOp && (p.tok.text == "-" || p.tok.text == "!") {
+		op := p.tok.text
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unaryExpr{op: op, x: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *adParser) parsePrimary() (Expr, error) {
+	if p.err != nil {
+		return nil, p.err
+	}
+	switch p.tok.kind {
+	case adInt:
+		v, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("classad: bad integer %q", p.tok.text)
+		}
+		p.next()
+		return Lit(IntVal(v)), nil
+	case adReal:
+		v, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("classad: bad real %q", p.tok.text)
+		}
+		p.next()
+		return Lit(RealVal(v)), nil
+	case adString:
+		v := p.tok.text
+		p.next()
+		return Lit(StringVal(v)), nil
+	case adIdent:
+		name := p.tok.text
+		p.next()
+		switch name {
+		case "true":
+			return Lit(BoolVal(true)), nil
+		case "false":
+			return Lit(BoolVal(false)), nil
+		case "undefined":
+			return Lit(Undefined()), nil
+		case "error":
+			return Lit(ErrorVal()), nil
+		}
+		if (name == "my" || name == "target") && p.accept(adOp, ".") {
+			if p.tok.kind != adIdent {
+				return nil, fmt.Errorf("classad: expected attribute after %s.", strings.ToUpper(name))
+			}
+			attr := p.tok.text
+			p.next()
+			if name == "my" {
+				return MyAttr(attr), nil
+			}
+			return TargetAttr(attr), nil
+		}
+		if p.accept(adOp, "(") {
+			var args []Expr
+			if !p.accept(adOp, ")") {
+				for {
+					a, err := p.parseOr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if p.accept(adOp, ",") {
+						continue
+					}
+					if p.accept(adOp, ")") {
+						break
+					}
+					return nil, fmt.Errorf("classad: expected , or ) in call to %s", name)
+				}
+			}
+			return callExpr{name: name, args: args}, nil
+		}
+		return Attr(name), nil
+	case adOp:
+		if p.tok.text == "(" {
+			p.next()
+			e, err := p.parseOr()
+			if err != nil {
+				return nil, err
+			}
+			if !p.accept(adOp, ")") {
+				return nil, fmt.Errorf("classad: missing )")
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("classad: unexpected token %q", p.tok.text)
+}

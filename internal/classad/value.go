@@ -1,0 +1,135 @@
+package classad
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates ClassAd value kinds.
+type Kind int
+
+// Value kinds. UNDEFINED propagates through most operators (like SQL NULL);
+// ERROR results from type mismatches and absorbs everything.
+const (
+	KindUndefined Kind = iota
+	KindError
+	KindBool
+	KindInt
+	KindReal
+	KindString
+)
+
+// Value is a ClassAd runtime value.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64
+	r    float64
+	s    string
+}
+
+// Undefined returns the UNDEFINED value.
+func Undefined() Value { return Value{kind: KindUndefined} }
+
+// ErrorVal returns the ERROR value.
+func ErrorVal() Value { return Value{kind: KindError} }
+
+// BoolVal, IntVal, RealVal and StringVal construct literals.
+func BoolVal(v bool) Value     { return Value{kind: KindBool, b: v} }
+func IntVal(v int64) Value     { return Value{kind: KindInt, i: v} }
+func RealVal(v float64) Value  { return Value{kind: KindReal, r: v} }
+func StringVal(v string) Value { return Value{kind: KindString, s: v} }
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsUndefined and IsError test the special kinds.
+func (v Value) IsUndefined() bool { return v.kind == KindUndefined }
+func (v Value) IsError() bool     { return v.kind == KindError }
+
+// AsBool extracts a boolean (BoolVal only).
+func (v Value) AsBool() (bool, bool) {
+	if v.kind == KindBool {
+		return v.b, true
+	}
+	return false, false
+}
+
+// AsInt extracts an integer (IntVal only).
+func (v Value) AsInt() (int64, bool) {
+	if v.kind == KindInt {
+		return v.i, true
+	}
+	return 0, false
+}
+
+// AsReal extracts a numeric value, widening integers.
+func (v Value) AsReal() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindReal:
+		return v.r, true
+	}
+	return 0, false
+}
+
+// AsString extracts a string (StringVal only).
+func (v Value) AsString() (string, bool) {
+	if v.kind == KindString {
+		return v.s, true
+	}
+	return "", false
+}
+
+// String renders the value as ClassAd literal syntax.
+func (v Value) String() string {
+	switch v.kind {
+	case KindUndefined:
+		return "UNDEFINED"
+	case KindError:
+		return "ERROR"
+	case KindBool:
+		if v.b {
+			return "TRUE"
+		}
+		return "FALSE"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindReal:
+		return strconv.FormatFloat(v.r, 'g', -1, 64)
+	case KindString:
+		return `"` + strings.ReplaceAll(v.s, `"`, `\"`) + `"`
+	default:
+		return fmt.Sprintf("Value(%d)", v.kind)
+	}
+}
+
+// identical implements =?= semantics: same kind and same payload, with
+// UNDEFINED =?= UNDEFINED being TRUE.
+func identical(a, b Value) bool {
+	if a.kind != b.kind {
+		// Int/Real cross-comparison: =?= in Condor compares after
+		// normalizing numerics of the same value.
+		ar, aok := a.AsReal()
+		br, bok := b.AsReal()
+		if aok && bok {
+			return ar == br
+		}
+		return false
+	}
+	switch a.kind {
+	case KindUndefined, KindError:
+		return true
+	case KindBool:
+		return a.b == b.b
+	case KindInt:
+		return a.i == b.i
+	case KindReal:
+		return a.r == b.r
+	case KindString:
+		return strings.EqualFold(a.s, b.s)
+	}
+	return false
+}

@@ -1,0 +1,334 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"condorj2/internal/core"
+	"condorj2/internal/sim"
+	"condorj2/internal/wire"
+)
+
+// Startd is the CondorJ2 execute-node agent in simulation: the modified
+// Condor startd of the paper's prototype, speaking the CAS web services.
+// Execute nodes "always initiate any interaction they have with the CAS"
+// (§5.2.1) — the pull model. The startd:
+//
+//   - sends a boot heartbeat on start,
+//   - heartbeats periodically at HeartbeatInterval (machine-level, all VMs),
+//   - polls faster (IdlePoll) while any VM is idle, pulling matches,
+//   - invokes acceptMatch when a heartbeat returns MATCHINFO,
+//   - runs jobs through the node Kernel (setup → run → teardown),
+//   - reports completions and drops in event-driven heartbeats.
+type Startd struct {
+	eng    *sim.Engine
+	kernel *Kernel
+	cas    wire.Caller
+	cfg    StartdConfig
+
+	vms      []vmState
+	hbTicker *sim.Ticker
+	pollArm  bool
+	stopped  bool
+
+	// Stats observed by experiments.
+	Completed  int
+	Dropped    int
+	DropsByVM  map[int64]int
+	OnComplete func(jobID int64, at time.Time)
+	OnDrop     func(jobID int64, at time.Time)
+}
+
+// StartdConfig tunes the agent's communication cadence.
+type StartdConfig struct {
+	// HeartbeatInterval is the periodic machine heartbeat (paper footnote
+	// 5: nodes check in during the job so it is not dropped).
+	HeartbeatInterval time.Duration
+	// IdlePoll is the faster cadence used while any VM is idle — the
+	// "rate at which the execute nodes request jobs".
+	IdlePoll time.Duration
+	// MaxStartsPerExchange caps how many MATCHINFO commands the startd
+	// acts on per heartbeat; further matched VMs are claimed on the next
+	// poll. Real startds serialize claim activations the same way.
+	MaxStartsPerExchange int
+}
+
+type vmPhase int
+
+const (
+	vmIdle vmPhase = iota
+	vmStarting
+	vmRunning
+	vmFinished // completion not yet reported
+	vmDropPending
+)
+
+type vmState struct {
+	phase    vmPhase
+	jobID    int64
+	length   time.Duration
+	runTimer *sim.Timer
+	exitCode int64
+}
+
+// NewStartd creates and boots the agent: the boot heartbeat fires
+// immediately, then periodic/poll cadences take over.
+func NewStartd(eng *sim.Engine, kernel *Kernel, cas wire.Caller, cfg StartdConfig) *Startd {
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 60 * time.Second
+	}
+	if cfg.IdlePoll <= 0 {
+		cfg.IdlePoll = 2 * time.Second
+	}
+	if cfg.MaxStartsPerExchange <= 0 {
+		cfg.MaxStartsPerExchange = 1
+	}
+	s := &Startd{
+		eng: eng, kernel: kernel, cas: cas, cfg: cfg,
+		vms:       make([]vmState, kernel.Config().VMs),
+		DropsByVM: make(map[int64]int),
+	}
+	return s
+}
+
+// Boot sends the initial heartbeat and starts the periodic cadence.
+func (s *Startd) Boot() error {
+	if err := s.heartbeat(true); err != nil {
+		return err
+	}
+	s.hbTicker = s.eng.Every(s.cfg.HeartbeatInterval, s.kernel.Config().Name+".hb", func() {
+		if !s.stopped {
+			s.heartbeatLogged(false)
+		}
+	})
+	s.armPoll()
+	return nil
+}
+
+// Stop halts all future activity (used to take nodes offline in tests).
+func (s *Startd) Stop() {
+	s.stopped = true
+	if s.hbTicker != nil {
+		s.hbTicker.Stop()
+	}
+	for i := range s.vms {
+		if s.vms[i].runTimer != nil {
+			s.vms[i].runTimer.Stop()
+		}
+	}
+}
+
+func (s *Startd) heartbeatLogged(boot bool) {
+	if err := s.heartbeat(boot); err != nil {
+		// Heartbeat failures are transient in this model (the CAS retries
+		// deadlock victims internally); surface loudly if one escapes.
+		panic(fmt.Sprintf("cluster: startd %s heartbeat: %v", s.kernel.Config().Name, err))
+	}
+}
+
+// armPoll schedules a fast follow-up heartbeat while any VM sits idle.
+func (s *Startd) armPoll() {
+	s.armPollAfter(s.cfg.IdlePoll)
+}
+
+// armPollAfter schedules the idle-VM poll with a custom delay (used to
+// claim remaining matches quickly, paced by the local worker's backlog).
+func (s *Startd) armPollAfter(d time.Duration) {
+	if s.pollArm || s.stopped {
+		return
+	}
+	idle := false
+	for i := range s.vms {
+		if s.vms[i].phase == vmIdle {
+			idle = true
+			break
+		}
+	}
+	if !idle {
+		return
+	}
+	s.pollArm = true
+	s.eng.After(d, s.kernel.Config().Name+".poll", func() {
+		s.pollArm = false
+		if !s.stopped {
+			s.heartbeatLogged(false)
+			s.armPoll()
+		}
+	})
+}
+
+// heartbeat performs one heartbeat web-service exchange and processes the
+// returned commands.
+func (s *Startd) heartbeat(boot bool) error {
+	cfg := s.kernel.Config()
+	req := &core.HeartbeatRequest{
+		Machine: cfg.Name,
+		Boot:    boot,
+		Arch:    cfg.Arch, OpSys: cfg.OpSys,
+		TotalMemoryMB: cfg.MemoryMB,
+	}
+	for i := range s.vms {
+		vm := &s.vms[i]
+		st := core.VMStatus{Seq: int64(i)}
+		switch vm.phase {
+		case vmIdle:
+			st.State = "idle"
+		case vmStarting:
+			st.State = "claimed"
+			st.JobID = vm.jobID
+			st.Phase = "starting"
+		case vmRunning:
+			st.State = "claimed"
+			st.JobID = vm.jobID
+			st.Phase = "running"
+		case vmFinished:
+			st.State = "claimed"
+			st.JobID = vm.jobID
+			st.Phase = "completed"
+			st.ExitCode = vm.exitCode
+		case vmDropPending:
+			st.State = "claimed"
+			st.JobID = vm.jobID
+			st.Phase = "dropped"
+		}
+		req.VMs = append(req.VMs, st)
+	}
+	var resp core.HeartbeatResponse
+	if err := s.cas.Call(core.ActionHeartbeat, req, &resp); err != nil {
+		return err
+	}
+	// Reported completions/drops are now recorded server-side; free VMs.
+	for i := range s.vms {
+		vm := &s.vms[i]
+		if vm.phase == vmFinished || vm.phase == vmDropPending {
+			vm.phase = vmIdle
+			vm.jobID = 0
+		}
+	}
+	starts := 0
+	pendingMatches := false
+	for _, cmd := range resp.Commands {
+		if cmd.Command != core.CmdMatchInfo {
+			continue
+		}
+		if starts >= s.cfg.MaxStartsPerExchange {
+			pendingMatches = true
+			break // remaining matches are claimed on the next poll
+		}
+		starts++
+		if err := s.acceptAndStart(cmd); err != nil {
+			return err
+		}
+	}
+	if pendingMatches {
+		// Claim the rest as fast as the local worker can absorb setups:
+		// re-poll after the backlog drains, floored at a quarter of the
+		// configured poll interval (min one second), so big machines fill
+		// promptly without stampeding their own starter or the CAS.
+		delay := s.kernel.Backlog()
+		if floor := s.cfg.IdlePoll / 4; delay < floor {
+			delay = floor
+		}
+		if delay < time.Second {
+			delay = time.Second
+		}
+		s.armPollAfter(delay)
+	} else {
+		s.armPoll()
+	}
+	return nil
+}
+
+// acceptAndStart commits a match and runs the job through the node kernel.
+func (s *Startd) acceptAndStart(cmd core.VMCommand) error {
+	seq := cmd.Seq
+	if seq < 0 || int(seq) >= len(s.vms) {
+		return fmt.Errorf("cluster: MATCHINFO for unknown vm %d", seq)
+	}
+	vm := &s.vms[seq]
+	if vm.phase != vmIdle {
+		return nil // stale match info; the CAS will re-advertise
+	}
+	var acc core.AcceptMatchResponse
+	err := s.cas.Call(core.ActionAcceptMatch, &core.AcceptMatchRequest{
+		Machine: s.kernel.Config().Name, Seq: seq,
+		MatchID: cmd.MatchID, JobID: cmd.JobID,
+	}, &acc)
+	if err != nil {
+		return err
+	}
+	if !acc.OK {
+		return nil // lost the race; stay idle and keep polling
+	}
+	vm.phase = vmStarting
+	vm.jobID = cmd.JobID
+	vm.length = time.Duration(cmd.LengthSec) * time.Second
+
+	// The starter sets up the execution environment via the node's
+	// serialized worker; slow nodes under churn time out here (Figure 8).
+	done, ok := s.kernel.RequestSetup()
+	if !ok {
+		vm.phase = vmDropPending
+		s.Dropped++
+		s.DropsByVM[seq]++
+		if s.OnDrop != nil {
+			s.OnDrop(cmd.JobID, s.eng.Now())
+		}
+		// Report the drop promptly so the CAS can requeue the job.
+		s.eng.After(0, s.kernel.Config().Name+".drop", func() {
+			if !s.stopped {
+				s.heartbeatLogged(false)
+			}
+		})
+		return nil
+	}
+	startDelay := done.Sub(s.eng.Now())
+	vm.runTimer = s.eng.At(done.Add(vm.length), s.kernel.Config().Name+".job", func() {
+		s.finishJob(seq)
+	})
+	_ = startDelay
+	vm.phase = vmRunning
+	return nil
+}
+
+// finishJob handles job completion: teardown via the kernel, then an
+// event-driven heartbeat reporting the completion.
+func (s *Startd) finishJob(seq int64) {
+	vm := &s.vms[seq]
+	if vm.phase != vmRunning {
+		return
+	}
+	vm.phase = vmFinished
+	s.Completed++
+	if s.OnComplete != nil {
+		s.OnComplete(vm.jobID, s.eng.Now())
+	}
+	end := s.kernel.RequestTeardown()
+	s.eng.At(end, s.kernel.Config().Name+".done", func() {
+		if !s.stopped && vm.phase == vmFinished {
+			s.heartbeatLogged(false)
+		}
+	})
+}
+
+// IdleVMs counts VMs currently without work.
+func (s *Startd) IdleVMs() int {
+	n := 0
+	for i := range s.vms {
+		if s.vms[i].phase == vmIdle {
+			n++
+		}
+	}
+	return n
+}
+
+// RunningVMs counts VMs executing a job right now.
+func (s *Startd) RunningVMs() int {
+	n := 0
+	for i := range s.vms {
+		if s.vms[i].phase == vmRunning || s.vms[i].phase == vmStarting {
+			n++
+		}
+	}
+	return n
+}

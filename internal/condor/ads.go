@@ -1,0 +1,42 @@
+package condor
+
+import (
+	"fmt"
+
+	"condorj2/internal/classad"
+	"condorj2/internal/cluster"
+)
+
+// Ad construction: machines and jobs advertise themselves as ClassAds, and
+// the negotiator matches them with the two-way Requirements test
+// (Raman/Livny/Solomon matchmaking, reference [10] of the paper).
+
+// machineAd builds the startd's advertisement for one virtual machine.
+func machineAd(cfg cluster.NodeConfig, vmSeq int) *classad.Ad {
+	ad := classad.New()
+	ad.SetString("name", fmt.Sprintf("vm%d@%s", vmSeq+1, cfg.Name))
+	ad.SetString("machine", cfg.Name)
+	ad.SetInt("virtualmachineid", int64(vmSeq+1))
+	ad.SetString("arch", cfg.Arch)
+	ad.SetString("opsys", cfg.OpSys)
+	ad.SetInt("memory", cfg.MemoryMB/int64(cfg.VMs))
+	ad.SetReal("mips", 1000*cfg.Speed)
+	ad.SetString("state", "Unclaimed")
+	// The machine accepts any job that fits in its memory.
+	ad.SetExpr("requirements", "TARGET.imagesize <= MY.memory")
+	ad.SetExpr("rank", "0")
+	return ad
+}
+
+// jobAd builds the schedd's advertisement for one queued job.
+func jobAd(j *queuedJob, owner string) *classad.Ad {
+	ad := classad.New()
+	ad.SetInt("clusterid", j.id)
+	ad.SetString("owner", owner)
+	ad.SetInt("imagesize", j.imageSizeMB)
+	ad.SetInt("joblength", j.lengthSec)
+	ad.SetExpr("requirements", `TARGET.arch == MY.wantarch && TARGET.memory >= MY.imagesize`)
+	ad.SetString("wantarch", "INTEL")
+	ad.SetExpr("rank", "TARGET.mips")
+	return ad
+}

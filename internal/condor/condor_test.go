@@ -1,0 +1,296 @@
+package condor
+
+import (
+	"testing"
+	"time"
+
+	"condorj2/internal/cluster"
+	"condorj2/internal/sim"
+	"condorj2/internal/sqldb"
+)
+
+func nodes(n, vms int) []cluster.NodeConfig {
+	out := make([]cluster.NodeConfig, n)
+	for i := range out {
+		out[i] = cluster.NodeConfig{Name: cluster.NodeName(i), VMs: vms, Speed: 1.0}
+	}
+	return out
+}
+
+func newPool(t *testing.T, nodeCount, vmsPer int, schedds ...ScheddConfig) *Pool {
+	t.Helper()
+	eng := sim.New(7)
+	if len(schedds) == 0 {
+		schedds = []ScheddConfig{{Name: "schedd0", Throttle: 1}}
+	}
+	p, err := NewPool(eng, PoolConfig{
+		Nodes:               nodes(nodeCount, vmsPer),
+		Schedds:             schedds,
+		NegotiationInterval: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestPoolRunsJobsToCompletion(t *testing.T) {
+	p := newPool(t, 2, 2)
+	var completed int
+	p.Schedds[0].OnComplete = func(int64, time.Time) { completed++ }
+	if err := p.Schedds[0].Submit(8, time.Minute, 0); err != nil {
+		t.Fatal(err)
+	}
+	p.Eng.RunUntil(p.Eng.Now().Add(20 * time.Minute))
+	if completed != 8 {
+		t.Fatalf("completed = %d, want 8", completed)
+	}
+	if p.Schedds[0].QueueLen() != 0 {
+		t.Fatalf("queue = %d after completion", p.Schedds[0].QueueLen())
+	}
+}
+
+func TestThrottleBoundsStartRate(t *testing.T) {
+	p := newPool(t, 30, 4, ScheddConfig{Name: "schedd0", Throttle: 1})
+	var starts []time.Time
+	p.Schedds[0].OnStart = func(at time.Time, q int) { starts = append(starts, at) }
+	p.Schedds[0].Submit(300, 10*time.Minute, 0)
+	p.Eng.RunUntil(p.Eng.Now().Add(2 * time.Minute))
+	// At 1 job/s the schedd can have started at most ~120 jobs in 2 min.
+	if len(starts) > 125 {
+		t.Fatalf("starts in 2min = %d, throttle violated", len(starts))
+	}
+	if len(starts) < 80 {
+		t.Fatalf("starts in 2min = %d, throttle underused", len(starts))
+	}
+	for i := 1; i < len(starts); i++ {
+		if d := starts[i].Sub(starts[i-1]); d < 900*time.Millisecond {
+			t.Fatalf("starts %d and %d only %v apart", i-1, i, d)
+		}
+	}
+}
+
+func TestStartCostGrowsWithQueueLength(t *testing.T) {
+	eng := sim.New(1)
+	s, err := NewSchedd(eng, ScheddConfig{Name: "s", Throttle: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	small := s.costStartBase + 100*s.costStartPerQ
+	large := s.costStartBase + 5000*s.costStartPerQ
+	if small >= large {
+		t.Fatal("cost model must grow with queue length")
+	}
+	// The paper's two calibration points, including the log write and
+	// completion processing that share the single thread in steady state.
+	atQ := func(q int) time.Duration {
+		return s.costStartBase + s.costStartIO + s.costDoneCPU + s.costDoneIO +
+			time.Duration(q)*s.costStartPerQ
+	}
+	if got := atQ(1800); got < 490*time.Millisecond || got > 510*time.Millisecond {
+		t.Fatalf("steady-state cost at Q=1800 = %v, want ≈500ms (rate 2/s)", got)
+	}
+	if got := atQ(5000); got < 990*time.Millisecond || got > 1010*time.Millisecond {
+		t.Fatalf("steady-state cost at Q=5000 = %v, want ≈1s (rate 1/s)", got)
+	}
+}
+
+func TestObservedRateDegradesWithDeepQueue(t *testing.T) {
+	// Deep queue: the per-start CPU work exceeds the throttle interval,
+	// so the observed rate falls below the throttle (Figure 13).
+	p := newPool(t, 50, 8, ScheddConfig{Name: "schedd0", Throttle: 2})
+	var starts []time.Time
+	var queueAt []int
+	p.Schedds[0].OnStart = func(at time.Time, q int) {
+		starts = append(starts, at)
+		queueAt = append(queueAt, q)
+	}
+	p.Schedds[0].Submit(5000, time.Hour, 0)
+	p.Eng.RunUntil(p.Eng.Now().Add(3 * time.Minute))
+	if len(starts) < 10 {
+		t.Fatalf("too few starts: %d", len(starts))
+	}
+	// Average inter-start gap must be near 1s (rate ≈ 1/s at Q = 5000),
+	// far below the 2/s throttle.
+	gap := starts[len(starts)-1].Sub(starts[0]) / time.Duration(len(starts)-1)
+	if gap < 900*time.Millisecond || gap > 1200*time.Millisecond {
+		t.Fatalf("inter-start gap = %v, want ≈1s at Q≈5000", gap)
+	}
+}
+
+func TestShallowQueueKeepsThrottleRate(t *testing.T) {
+	p := newPool(t, 50, 8, ScheddConfig{Name: "schedd0", Throttle: 2})
+	var starts []time.Time
+	p.Schedds[0].OnStart = func(at time.Time, q int) { starts = append(starts, at) }
+	p.Schedds[0].Submit(400, time.Hour, 0)
+	p.Eng.RunUntil(p.Eng.Now().Add(time.Minute))
+	if len(starts) < 10 {
+		t.Fatalf("too few starts: %d", len(starts))
+	}
+	gap := starts[len(starts)-1].Sub(starts[0]) / time.Duration(len(starts)-1)
+	if gap < 450*time.Millisecond || gap > 600*time.Millisecond {
+		t.Fatalf("inter-start gap = %v, want ≈500ms at shallow queue", gap)
+	}
+}
+
+func TestNegotiatorAllocatesGreedilyToFirstSchedd(t *testing.T) {
+	// Two schedds, no running limit: the first schedd with demand claims
+	// every machine (the Figure 15 pathology).
+	p := newPool(t, 10, 2,
+		ScheddConfig{Name: "schedd0", Throttle: 1},
+		ScheddConfig{Name: "schedd1", Throttle: 1},
+	)
+	p.Schedds[0].Submit(100, 10*time.Minute, 0)
+	p.Schedds[1].Submit(100, 10*time.Minute, 0)
+	p.Eng.RunUntil(p.Eng.Now().Add(time.Minute))
+	if got := len(p.Schedds[0].claims); got != 20 {
+		t.Fatalf("schedd0 claims = %d, want all 20 VMs", got)
+	}
+	if got := len(p.Schedds[1].claims); got != 0 {
+		t.Fatalf("schedd1 claims = %d, want 0 (starved)", got)
+	}
+}
+
+func TestMaxJobsRunningSharesCluster(t *testing.T) {
+	// With per-schedd limits (Figure 16's fix), both schedds get a share.
+	p := newPool(t, 10, 2,
+		ScheddConfig{Name: "schedd0", Throttle: 1, MaxJobsRunning: 10},
+		ScheddConfig{Name: "schedd1", Throttle: 1, MaxJobsRunning: 10},
+	)
+	p.Schedds[0].Submit(100, 10*time.Minute, 0)
+	p.Schedds[1].Submit(100, 10*time.Minute, 0)
+	p.Eng.RunUntil(p.Eng.Now().Add(2 * time.Minute))
+	if got := p.Schedds[0].Running(); got != 10 {
+		t.Fatalf("schedd0 running = %d, want 10", got)
+	}
+	if got := p.Schedds[1].Running(); got != 10 {
+		t.Fatalf("schedd1 running = %d, want 10", got)
+	}
+}
+
+func TestClaimsRetainedWhileJobsRemain(t *testing.T) {
+	// A schedd throttled to 1/s with 1-minute jobs keeps ~60 running but
+	// retains all its claims (idle machines) — §5.3.3's underutilization.
+	p := newPool(t, 90, 2, ScheddConfig{Name: "schedd0", Throttle: 1})
+	p.Schedds[0].Submit(2000, time.Minute, 0)
+	p.Eng.RunUntil(p.Eng.Now().Add(5 * time.Minute))
+	if got := len(p.Schedds[0].claims); got != 180 {
+		t.Fatalf("claims = %d, want 180 retained", got)
+	}
+	running := p.Schedds[0].Running()
+	if running < 50 || running > 70 {
+		t.Fatalf("running = %d, want ≈60 (throttle × job length)", running)
+	}
+}
+
+func TestScheddCrashOnShadowCeilingAndMasterRestart(t *testing.T) {
+	eng := sim.New(3)
+	vfs := sqldb.NewMemVFS()
+	cfg := ScheddConfig{Name: "schedd0", Throttle: 50, MaxShadows: 30, VFS: vfs}
+	p, err := NewPool(eng, PoolConfig{
+		Nodes:               nodes(20, 4),
+		Schedds:             []ScheddConfig{cfg},
+		NegotiationInterval: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	crashed := false
+	p.Schedds[0].OnCrash = func(at time.Time, reason string) { crashed = true }
+	p.Master.Watch(p.Schedds[0], cfg)
+	p.Schedds[0].Submit(500, 30*time.Minute, 0)
+	eng.RunUntil(eng.Now().Add(10 * time.Minute))
+	if !crashed {
+		t.Fatal("schedd should crash past the shadow ceiling")
+	}
+	if p.Master.Restarts == 0 {
+		t.Fatal("master should restart the crashed schedd")
+	}
+}
+
+func TestJobLogRecovery(t *testing.T) {
+	eng := sim.New(1)
+	vfs := sqldb.NewMemVFS()
+	s, err := NewSchedd(eng, ScheddConfig{Name: "s", VFS: vfs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Submit(5, time.Minute, 0)
+	s.Close()
+
+	// A new schedd on the same log recovers all five jobs as idle.
+	s2, err := NewSchedd(eng, ScheddConfig{Name: "s", VFS: vfs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.QueueLen() != 5 || s2.IdleJobs() != 5 {
+		t.Fatalf("recovered queue = %d idle = %d", s2.QueueLen(), s2.IdleJobs())
+	}
+	// New submissions continue past the recovered id space.
+	if err := s2.Submit(1, time.Minute, 0); err != nil {
+		t.Fatal(err)
+	}
+	if s2.QueueLen() != 6 {
+		t.Fatalf("queue = %d", s2.QueueLen())
+	}
+}
+
+func TestJobLogRunningJobsRecoverAsIdle(t *testing.T) {
+	recs := []logRecord{
+		{op: logAdd, id: 1, length: 60},
+		{op: logAdd, id: 2, length: 60},
+		{op: logStatus, id: 1, state: jobRunning},
+		{op: logRemove, id: 2},
+	}
+	q := rebuildQueue(recs)
+	if len(q) != 1 {
+		t.Fatalf("queue = %d", len(q))
+	}
+	if q[1].state != jobIdle {
+		t.Fatalf("running job recovered as %q, want idle (no job lost)", q[1].state)
+	}
+}
+
+func TestJobLogTornTailTolerated(t *testing.T) {
+	vfs := sqldb.NewMemVFS()
+	log, err := openJobLog(vfs, "x.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.append(logRecord{op: logAdd, id: 1, length: 60})
+	log.append(logRecord{op: logAdd, id: 2, length: 60})
+	f, _ := vfs.Open("x.log")
+	f.Write([]byte{9, 9, 9}) // torn write
+	recs, err := replayJobLog(vfs, "x.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("recovered %d records", len(recs))
+	}
+}
+
+func TestMatchmakingRespectsRequirements(t *testing.T) {
+	// A job too large for every VM's memory never matches.
+	eng := sim.New(1)
+	p, err := NewPool(eng, PoolConfig{
+		Nodes:   []cluster.NodeConfig{{Name: "n0", VMs: 2, MemoryMB: 512}},
+		Schedds: []ScheddConfig{{Name: "schedd0", Throttle: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Schedds[0].Submit(1, time.Minute, 4096)
+	eng.RunUntil(eng.Now().Add(5 * time.Minute))
+	if p.Schedds[0].Running() != 0 || len(p.Schedds[0].claims) != 0 {
+		t.Fatal("oversized job matched")
+	}
+	if p.Schedds[0].IdleJobs() != 1 {
+		t.Fatal("job should remain idle")
+	}
+}

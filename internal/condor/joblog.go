@@ -1,0 +1,173 @@
+// Package condor implements the process-centric baseline system of the
+// paper's §2 and §5.3: the schedd (single-threaded job-queue manager with
+// a transactional on-disk job log and a job-start throttle), the shadow
+// (one per running job), the collector and negotiator (centralized
+// ClassAd matchmaking), the startd and starter on execute nodes, and the
+// master that restarts crashed daemons. All daemons are deterministic
+// actors on the discrete-event engine; the schedd's single-threaded CPU
+// and disk costs are modeled explicitly because they produce the paper's
+// Figures 13-16.
+package condor
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"condorj2/internal/sqldb"
+)
+
+// jobLog is the schedd's persistent job queue: an append-only,
+// CRC-protected log of job additions, state changes and removals. The
+// paper (§2.1): "The schedd uses persistent storage (an OS file) and
+// transactional semantics to guarantee that no submitted jobs are lost and
+// to ensure appropriate behavior upon recovery ... the persistent version
+// of the job queue is maintained only for fulfilling the transaction and
+// recovery guarantees"; operational queries run against the in-memory
+// queue.
+type jobLog struct {
+	vfs  sqldb.VFS
+	name string
+	file sqldb.File
+}
+
+type jobLogOp uint8
+
+const (
+	logAdd jobLogOp = iota + 1
+	logStatus
+	logRemove
+)
+
+// logRecord is one job-log entry.
+type logRecord struct {
+	op     jobLogOp
+	id     int64
+	length int64 // seconds; set on add
+	state  string
+}
+
+func openJobLog(vfs sqldb.VFS, name string) (*jobLog, error) {
+	f, err := vfs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &jobLog{vfs: vfs, name: name, file: f}, nil
+}
+
+func (l *jobLog) append(r logRecord) error {
+	var p bytes.Buffer
+	p.WriteByte(byte(r.op))
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(r.id))
+	p.Write(tmp[:n])
+	n = binary.PutUvarint(tmp[:], uint64(r.length))
+	p.Write(tmp[:n])
+	n = binary.PutUvarint(tmp[:], uint64(len(r.state)))
+	p.Write(tmp[:n])
+	p.WriteString(r.state)
+
+	payload := p.Bytes()
+	var out bytes.Buffer
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	out.Write(hdr[:])
+	out.Write(payload)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	out.Write(crc[:])
+	_, err := l.file.Write(out.Bytes())
+	return err
+}
+
+// replay reads the log back, tolerating a torn tail.
+func replayJobLog(vfs sqldb.VFS, name string) ([]logRecord, error) {
+	data, err := vfs.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	var recs []logRecord
+	off := 0
+	for {
+		if off+4 > len(data) {
+			return recs, nil
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if off+4+n+4 > len(data) {
+			return recs, nil
+		}
+		payload := data[off+4 : off+4+n]
+		crc := binary.LittleEndian.Uint32(data[off+4+n:])
+		if crc32.ChecksumIEEE(payload) != crc {
+			return recs, nil
+		}
+		r, ok := decodeLogRecord(payload)
+		if !ok {
+			return recs, nil
+		}
+		recs = append(recs, r)
+		off += 4 + n + 4
+	}
+}
+
+func decodeLogRecord(p []byte) (logRecord, bool) {
+	var r logRecord
+	if len(p) < 1 {
+		return r, false
+	}
+	r.op = jobLogOp(p[0])
+	if r.op < logAdd || r.op > logRemove {
+		return r, false
+	}
+	rest := p[1:]
+	id, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return r, false
+	}
+	rest = rest[n:]
+	r.id = int64(id)
+	length, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return r, false
+	}
+	rest = rest[n:]
+	r.length = int64(length)
+	sl, n := binary.Uvarint(rest)
+	if n <= 0 || int(sl) > len(rest)-n {
+		return r, false
+	}
+	r.state = string(rest[n : n+int(sl)])
+	return r, true
+}
+
+func (l *jobLog) close() error { return l.file.Close() }
+
+// rebuildQueue reconstructs the in-memory queue state from log records.
+func rebuildQueue(recs []logRecord) map[int64]*queuedJob {
+	q := make(map[int64]*queuedJob)
+	for _, r := range recs {
+		switch r.op {
+		case logAdd:
+			q[r.id] = &queuedJob{id: r.id, lengthSec: r.length, state: jobIdle}
+		case logStatus:
+			if j, ok := q[r.id]; ok {
+				j.state = r.state
+			}
+		case logRemove:
+			delete(q, r.id)
+		}
+	}
+	// Jobs that were mid-flight when the schedd died restart as idle —
+	// the recovery contract: no job is lost, some may rerun.
+	for _, j := range q {
+		if j.state == jobRunning {
+			j.state = jobIdle
+		}
+	}
+	return q
+}
+
+func logName(scheddName string) string {
+	return fmt.Sprintf("%s.job_queue.log", scheddName)
+}

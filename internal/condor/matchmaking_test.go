@@ -1,0 +1,123 @@
+package condor
+
+import (
+	"testing"
+	"time"
+
+	"condorj2/internal/classad"
+	"condorj2/internal/cluster"
+	"condorj2/internal/sim"
+)
+
+func TestMachineAdShape(t *testing.T) {
+	cfg := cluster.NodeConfig{Name: "n1", VMs: 2, MemoryMB: 2048, Speed: 0.5}
+	ad := machineAd(cfg.WithDefaults(), 1)
+	env := &classad.Env{My: ad}
+	if v := env.Eval(classad.Attr("name")); v.String() != `"vm2@n1"` {
+		t.Fatalf("name = %s", v)
+	}
+	if v := env.Eval(classad.Attr("memory")); v.String() != "1024" {
+		t.Fatalf("memory = %s", v)
+	}
+	if v := env.Eval(classad.Attr("mips")); v.String() != "500" {
+		t.Fatalf("mips = %s", v)
+	}
+}
+
+func TestJobMachineAdsMatch(t *testing.T) {
+	mAd := machineAd(cluster.NodeConfig{Name: "n1", VMs: 1, MemoryMB: 1024, Speed: 1}.WithDefaults(), 0)
+	j := &queuedJob{id: 1, lengthSec: 60, imageSizeMB: 512}
+	jAd := jobAd(j, "alice")
+	if !classad.Match(jAd, mAd) {
+		t.Fatal("fitting job should match")
+	}
+	big := &queuedJob{id: 2, lengthSec: 60, imageSizeMB: 4096}
+	if classad.Match(jobAd(big, "alice"), mAd) {
+		t.Fatal("oversized job should not match")
+	}
+	// Job rank prefers faster machines.
+	slow := machineAd(cluster.NodeConfig{Name: "s", VMs: 1, MemoryMB: 1024, Speed: 0.5}.WithDefaults(), 0)
+	fast := machineAd(cluster.NodeConfig{Name: "f", VMs: 1, MemoryMB: 1024, Speed: 1.0}.WithDefaults(), 0)
+	if classad.Rank(jAd, fast) <= classad.Rank(jAd, slow) {
+		t.Fatal("job Rank should prefer the faster machine")
+	}
+}
+
+func TestCollectorTracksClaimState(t *testing.T) {
+	eng := sim.New(1)
+	c := NewCollector()
+	k := cluster.NewKernel(eng, cluster.NodeConfig{Name: "n1", VMs: 2})
+	sd := NewStartd(eng, k, c, time.Minute)
+	if c.MachineCount() != 2 {
+		t.Fatalf("machines = %d", c.MachineCount())
+	}
+	if got := len(c.unclaimed()); got != 2 {
+		t.Fatalf("unclaimed = %d", got)
+	}
+	s, err := NewSchedd(eng, ScheddConfig{Name: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !sd.Claim(0, s) {
+		t.Fatal("claim failed")
+	}
+	if sd.Claim(0, s) {
+		t.Fatal("double claim succeeded")
+	}
+	if got := len(c.unclaimed()); got != 1 {
+		t.Fatalf("unclaimed after claim = %d", got)
+	}
+	sd.ReleaseClaim(0)
+	if got := len(c.unclaimed()); got != 2 {
+		t.Fatalf("unclaimed after release = %d", got)
+	}
+}
+
+func TestUnclaimedInterleavesAcrossMachines(t *testing.T) {
+	eng := sim.New(1)
+	c := NewCollector()
+	for i := 0; i < 3; i++ {
+		k := cluster.NewKernel(eng, cluster.NodeConfig{Name: cluster.NodeName(i), VMs: 2})
+		NewStartd(eng, k, c, time.Minute)
+	}
+	avail := c.unclaimed()
+	if len(avail) != 6 {
+		t.Fatalf("unclaimed = %d", len(avail))
+	}
+	// The first three entries must be slot 0 of three different machines.
+	seen := map[string]bool{}
+	for _, e := range avail[:3] {
+		if e.seq != 0 {
+			t.Fatalf("entry seq = %d, want slot-0 first", e.seq)
+		}
+		seen[e.startd.kernel.Config().Name] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("first wave covers %d machines, want 3", len(seen))
+	}
+}
+
+func TestNegotiatorCyclesCount(t *testing.T) {
+	eng := sim.New(1)
+	p, err := NewPool(eng, PoolConfig{
+		Nodes:               []cluster.NodeConfig{{Name: "n", VMs: 1}},
+		Schedds:             []ScheddConfig{{Name: "s"}},
+		NegotiationInterval: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	eng.RunFor(60 * time.Second)
+	// One immediate cycle plus six periodic ones.
+	if p.Negotiator.Cycles < 6 || p.Negotiator.Cycles > 8 {
+		t.Fatalf("cycles = %d", p.Negotiator.Cycles)
+	}
+	p.Negotiator.Stop()
+	n := p.Negotiator.Cycles
+	eng.RunFor(60 * time.Second)
+	if p.Negotiator.Cycles != n {
+		t.Fatal("negotiator kept cycling after Stop")
+	}
+}

@@ -1,0 +1,163 @@
+package condor
+
+import (
+	"time"
+
+	"condorj2/internal/classad"
+	"condorj2/internal/sim"
+)
+
+// Negotiator performs centralized matchmaking (paper §2.2): each cycle it
+// pulls machine ads from the collector and walks the schedds in order,
+// matching each schedd's idle jobs against unclaimed machines with the
+// two-way ClassAd Requirements test, ranked by the job's Rank expression.
+//
+// The §5.3.3 behaviour falls out of this structure: with no per-schedd
+// running-job limit, the first schedd with idle jobs is allocated every
+// matching machine ("the negotiator begins by picking one schedd and
+// allocating all 180 machines to it until it drains its queue"), even
+// though its throttle can only keep 60 one-minute jobs running; the other
+// claimed machines sit idle.
+type Negotiator struct {
+	eng       *sim.Engine
+	collector *Collector
+	schedds   []*Schedd
+	ticker    *sim.Ticker
+	// Cycles counts negotiation rounds.
+	Cycles int
+}
+
+// NewNegotiator starts the negotiation cycle at the given interval.
+func NewNegotiator(eng *sim.Engine, collector *Collector, schedds []*Schedd, interval time.Duration) *Negotiator {
+	if interval <= 0 {
+		interval = 20 * time.Second
+	}
+	n := &Negotiator{eng: eng, collector: collector, schedds: schedds}
+	n.Cycle() // an immediate first cycle, then periodic
+	n.ticker = eng.Every(interval, "negotiator", n.Cycle)
+	return n
+}
+
+// Stop halts future cycles.
+func (n *Negotiator) Stop() {
+	if n.ticker != nil {
+		n.ticker.Stop()
+	}
+}
+
+// Cycle runs one negotiation round.
+func (n *Negotiator) Cycle() {
+	n.Cycles++
+	avail := n.collector.unclaimed()
+	for _, schedd := range n.schedds {
+		if schedd.Crashed() {
+			continue
+		}
+		// Ask the schedd for its demand: idle jobs not yet startable for
+		// lack of claims, bounded by its running-job limit.
+		demand := schedd.IdleJobs()
+		if schedd.MaxJobsRunning > 0 {
+			budget := schedd.MaxJobsRunning - schedd.Running() - schedd.claimedIdleCount()
+			if demand > budget {
+				demand = budget
+			}
+		}
+		if demand <= 0 {
+			continue
+		}
+		// A representative job ad stands in for the per-job negotiation
+		// loop (the paper's workloads are homogeneous within a schedd).
+		repJob := schedd.representativeJobAd()
+		if repJob == nil {
+			continue
+		}
+		granted := 0
+		kept := avail[:0]
+		for _, m := range avail {
+			if granted >= demand {
+				kept = append(kept, m)
+				continue
+			}
+			if classad.Match(repJob, m.ad) {
+				schedd.GrantClaim(m.startd, m.seq)
+				granted++
+				continue
+			}
+			kept = append(kept, m)
+		}
+		avail = kept
+	}
+	// Schedds with drained queues release their unused claims so later
+	// schedds can be served next cycle.
+	for _, schedd := range n.schedds {
+		if !schedd.Crashed() && schedd.IdleJobs() == 0 {
+			schedd.ReleaseIdleClaims()
+		}
+	}
+}
+
+// claimedIdleCount counts claims not currently running a job.
+func (s *Schedd) claimedIdleCount() int {
+	n := 0
+	for _, c := range s.claims {
+		if !c.busy {
+			n++
+		}
+	}
+	return n
+}
+
+// representativeJobAd returns the ad of the schedd's first idle job.
+func (s *Schedd) representativeJobAd() *classad.Ad {
+	if len(s.idleIDs) == 0 {
+		return nil
+	}
+	return jobAd(s.queue[s.idleIDs[0]], s.owner)
+}
+
+// Master monitors daemons and restarts a crashed schedd after a backoff,
+// recovering its queue from the job log (paper §2: "The master daemon is
+// responsible for monitoring the other daemons and restarting a daemon if
+// it fails").
+type Master struct {
+	eng     *sim.Engine
+	restart time.Duration
+	// Restarts counts schedd restarts performed.
+	Restarts int
+	// OnRestart receives the replacement schedd.
+	OnRestart func(old, replacement *Schedd)
+}
+
+// NewMaster creates a master with the given restart backoff.
+func NewMaster(eng *sim.Engine, restart time.Duration) *Master {
+	if restart <= 0 {
+		restart = 10 * time.Second
+	}
+	return &Master{eng: eng, restart: restart}
+}
+
+// Watch monitors a schedd; when it crashes the master starts a replacement
+// from the same job log.
+func (m *Master) Watch(s *Schedd, cfg ScheddConfig) {
+	prev := s.OnCrash
+	s.OnCrash = func(at time.Time, reason string) {
+		if prev != nil {
+			prev(at, reason)
+		}
+		m.eng.After(m.restart, "master.restart", func() {
+			cfg.VFS = s.vfs
+			replacement, err := NewSchedd(m.eng, cfg)
+			if err != nil {
+				return
+			}
+			replacement.OnStart = s.OnStart
+			replacement.OnComplete = s.OnComplete
+			replacement.CPU = s.CPU
+			m.Restarts++
+			m.Watch(replacement, cfg)
+			if m.OnRestart != nil {
+				m.OnRestart(s, replacement)
+			}
+		})
+	}
+}

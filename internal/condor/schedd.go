@@ -1,0 +1,415 @@
+package condor
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"condorj2/internal/metrics"
+	"condorj2/internal/sim"
+	"condorj2/internal/sqldb"
+)
+
+// Schedd is the single-threaded job-queue manager (paper §2.1). Its
+// performance model produces Figures 13 and 14:
+//
+//   - Starting a job costs CPU time a + b·Q where Q is the current queue
+//     length — the schedd walks its in-memory queue and rewrites queue
+//     state on every start. In steady state each start shares the single
+//     thread with one job-log write (costStartIO ≈ 40 ms) and one
+//     completion's processing (costDoneCPU + costDoneIO ≈ 50 ms), so the
+//     effective per-job cost is a + 90 ms + b·Q. The constants are solved
+//     from the paper's two measured points (throttle 2/s: the observed
+//     rate falls below 2 jobs/s at Q ≈ 1,800 and below 1 job/s at
+//     Q ≈ 5,000):
+//
+//     (a + 90 ms) + 1800·b = 0.5s   and   (a + 90 ms) + 5000·b = 1.0s
+//     ⇒ b = 0.15625 ms/job, a = 128.75 ms
+//
+//   - The job throttle spaces start *attempts* at 1/throttle seconds
+//     ("an upper bound on the number of jobs per second that the schedd
+//     will attempt to start up"); the single CPU serializes the actual
+//     work, so the observed rate is min(throttle, 1/(a + 90 ms + b·Q)).
+type Schedd struct {
+	eng  *sim.Engine
+	name string
+
+	queue   map[int64]*queuedJob
+	idleIDs []int64 // FIFO among idle jobs
+	nextID  int64
+	owner   string
+
+	claims []*claimRef
+
+	// Throttle is job starts attempted per second (default 0.5, the
+	// Condor manual's "one job every two seconds").
+	Throttle float64
+	// MaxJobsRunning caps simultaneously executing jobs (0 = unlimited);
+	// the Figure 16 configuration sets 60.
+	MaxJobsRunning int
+	// MaxShadows models the submit machine's memory ceiling on concurrent
+	// shadow processes; exceeding it while jobs turn over crashes the
+	// schedd (§5.3.2). 0 disables.
+	MaxShadows int
+
+	cpuFreeAt   time.Time
+	nextAttempt time.Time
+	attemptArm  bool
+	running     int
+	shadows     int
+	crashed     bool
+
+	log *jobLog
+	vfs sqldb.VFS
+
+	// CPU is the schedd machine's cycle account (Figures 13/14). Optional.
+	CPU *metrics.CPUAccount
+	// OnStart observes each job activation (time, queue length) —
+	// Figure 13's series.
+	OnStart func(at time.Time, queueLen int)
+	// OnComplete observes job completions.
+	OnComplete func(jobID int64, at time.Time)
+	// OnCrash observes schedd crashes (§5.3.2).
+	OnCrash func(at time.Time, reason string)
+
+	costStartBase time.Duration // a
+	costStartPerQ time.Duration // b
+	costStartIO   time.Duration
+	costDoneCPU   time.Duration
+	costDoneIO    time.Duration
+}
+
+type jobState = string
+
+const (
+	jobIdle    jobState = "idle"
+	jobRunning jobState = "running"
+)
+
+// shadowExitLinger is how long a reaped shadow process takes to actually
+// exit and release its memory.
+const shadowExitLinger = 2 * time.Second
+
+type queuedJob struct {
+	id          int64
+	lengthSec   int64
+	imageSizeMB int64
+	state       jobState
+}
+
+// claimRef is the schedd's handle on a claimed VM.
+type claimRef struct {
+	startd *Startd
+	seq    int
+	busy   bool
+}
+
+// ScheddConfig configures a schedd.
+type ScheddConfig struct {
+	Name           string
+	Owner          string
+	Throttle       float64
+	MaxJobsRunning int
+	MaxShadows     int
+	VFS            sqldb.VFS // job log storage; nil = in-memory
+	CPU            *metrics.CPUAccount
+}
+
+// NewSchedd creates a schedd, recovering any existing job log.
+func NewSchedd(eng *sim.Engine, cfg ScheddConfig) (*Schedd, error) {
+	if cfg.Throttle <= 0 {
+		cfg.Throttle = 0.5
+	}
+	if cfg.Owner == "" {
+		cfg.Owner = "user"
+	}
+	vfs := cfg.VFS
+	if vfs == nil {
+		vfs = sqldb.NewMemVFS()
+	}
+	recs, err := replayJobLog(vfs, logName(cfg.Name))
+	if err != nil {
+		return nil, err
+	}
+	log, err := openJobLog(vfs, logName(cfg.Name))
+	if err != nil {
+		return nil, err
+	}
+	s := &Schedd{
+		eng: eng, name: cfg.Name, owner: cfg.Owner,
+		queue:    rebuildQueue(recs),
+		Throttle: cfg.Throttle, MaxJobsRunning: cfg.MaxJobsRunning,
+		MaxShadows: cfg.MaxShadows,
+		log:        log, vfs: vfs, CPU: cfg.CPU,
+		cpuFreeAt: eng.Now(), nextAttempt: eng.Now(),
+
+		costStartBase: 128750 * time.Microsecond,
+		costStartPerQ: 156250 * time.Nanosecond,
+		costStartIO:   40 * time.Millisecond,
+		costDoneCPU:   30 * time.Millisecond,
+		costDoneIO:    20 * time.Millisecond,
+	}
+	for id, j := range s.queue {
+		if id >= s.nextID {
+			s.nextID = id + 1
+		}
+		if j.state == jobIdle {
+			s.idleIDs = append(s.idleIDs, id)
+		}
+	}
+	sort.Slice(s.idleIDs, func(i, k int) bool { return s.idleIDs[i] < s.idleIDs[k] })
+	return s, nil
+}
+
+// Name identifies the schedd.
+func (s *Schedd) Name() string { return s.name }
+
+// Crashed reports whether the schedd has crashed.
+func (s *Schedd) Crashed() bool { return s.crashed }
+
+// QueueLen is the operational queue length (idle + running jobs), the
+// x-axis of Figures 13/14.
+func (s *Schedd) QueueLen() int { return len(s.queue) }
+
+// IdleJobs counts jobs waiting to start.
+func (s *Schedd) IdleJobs() int { return len(s.idleIDs) }
+
+// Running counts executing jobs (= live shadows).
+func (s *Schedd) Running() int { return s.running }
+
+// Submit appends jobs to the queue, logging each for recovery.
+func (s *Schedd) Submit(count int, length time.Duration, imageSizeMB int64) error {
+	if s.crashed {
+		return fmt.Errorf("condor: schedd %s has crashed", s.name)
+	}
+	for i := 0; i < count; i++ {
+		id := s.nextID
+		s.nextID++
+		j := &queuedJob{id: id, lengthSec: int64(length / time.Second), imageSizeMB: imageSizeMB, state: jobIdle}
+		if j.imageSizeMB == 0 {
+			j.imageSizeMB = 64
+		}
+		if err := s.log.append(logRecord{op: logAdd, id: id, length: j.lengthSec}); err != nil {
+			return err
+		}
+		s.queue[id] = j
+		s.idleIDs = append(s.idleIDs, id)
+	}
+	s.kick()
+	return nil
+}
+
+// GrantClaim hands the schedd a matched VM (negotiator → schedd,
+// Table 1 steps 6-8).
+func (s *Schedd) GrantClaim(startd *Startd, seq int) {
+	if s.crashed {
+		return
+	}
+	if !startd.Claim(seq, s) {
+		return
+	}
+	s.claims = append(s.claims, &claimRef{startd: startd, seq: seq})
+	s.kick()
+}
+
+// ReleaseIdleClaims returns unused claims to the pool (queue drained).
+func (s *Schedd) ReleaseIdleClaims() {
+	kept := s.claims[:0]
+	for _, c := range s.claims {
+		if c.busy {
+			kept = append(kept, c)
+			continue
+		}
+		c.startd.ReleaseClaim(c.seq)
+	}
+	s.claims = kept
+}
+
+// freeClaim finds an unused claim.
+func (s *Schedd) freeClaim() *claimRef {
+	for _, c := range s.claims {
+		if !c.busy {
+			return c
+		}
+	}
+	return nil
+}
+
+// kick schedules the next start attempt if work is available. Attempts are
+// spaced by the throttle; actual starts serialize on the schedd's CPU.
+func (s *Schedd) kick() {
+	if s.crashed || s.attemptArm {
+		return
+	}
+	if len(s.idleIDs) == 0 || s.freeClaim() == nil {
+		return
+	}
+	if s.MaxJobsRunning > 0 && s.running >= s.MaxJobsRunning {
+		return
+	}
+	at := s.nextAttempt
+	if at.Before(s.eng.Now()) {
+		at = s.eng.Now()
+	}
+	s.attemptArm = true
+	s.eng.At(at, s.name+".start", func() {
+		s.attemptArm = false
+		s.tryStart()
+	})
+}
+
+// tryStart performs one throttled start attempt.
+func (s *Schedd) tryStart() {
+	if s.crashed || len(s.idleIDs) == 0 {
+		return
+	}
+	claim := s.freeClaim()
+	if claim == nil {
+		return
+	}
+	if s.MaxJobsRunning > 0 && s.running >= s.MaxJobsRunning {
+		return
+	}
+	s.nextAttempt = s.eng.Now().Add(time.Duration(float64(time.Second) / s.Throttle))
+
+	// The start's CPU work: walk the queue, build the job ad, contact the
+	// startd — a + b·Q on the schedd's single thread.
+	q := len(s.queue)
+	work := s.costStartBase + time.Duration(q)*s.costStartPerQ
+	busyFrom := s.cpuFreeAt
+	if busyFrom.Before(s.eng.Now()) {
+		busyFrom = s.eng.Now()
+	}
+	done := busyFrom.Add(work)
+	s.cpuFreeAt = done.Add(s.costStartIO) // log write follows the CPU work
+	if s.CPU != nil {
+		s.CPU.Charge(busyFrom, metrics.User, work)
+		s.CPU.Charge(done, metrics.IO, s.costStartIO)
+	}
+
+	jobID := s.idleIDs[0]
+	s.idleIDs = s.idleIDs[1:]
+	job := s.queue[jobID]
+	job.state = jobRunning
+	claim.busy = true
+
+	s.eng.At(s.cpuFreeAt, s.name+".activate", func() {
+		if s.crashed {
+			return
+		}
+		if err := s.log.append(logRecord{op: logStatus, id: jobID, state: jobRunning}); err != nil {
+			panic(fmt.Sprintf("condor: job log: %v", err))
+		}
+		s.running++
+		s.shadows++
+		s.checkShadowCeiling()
+		if s.OnStart != nil {
+			s.OnStart(s.eng.Now(), len(s.queue))
+		}
+		shadow := &Shadow{schedd: s, jobID: jobID, claim: claim}
+		claim.startd.Activate(claim.seq, jobID, time.Duration(job.lengthSec)*time.Second, shadow)
+		s.kick()
+	})
+}
+
+// checkShadowCeiling crashes the schedd when concurrent shadows exceed the
+// submit machine's capacity — the §5.3.2 behaviour ("Condor would crash
+// once the jobs started to turn over" with 5,000 running jobs).
+func (s *Schedd) checkShadowCeiling() {
+	if s.MaxShadows > 0 && s.shadows > s.MaxShadows {
+		s.crash("shadow memory exhausted")
+	}
+}
+
+func (s *Schedd) crash(reason string) {
+	if s.crashed {
+		return
+	}
+	s.crashed = true
+	for _, c := range s.claims {
+		c.startd.ReleaseClaim(c.seq)
+	}
+	s.claims = nil
+	if s.OnCrash != nil {
+		s.OnCrash(s.eng.Now(), reason)
+	}
+}
+
+// Shadow monitors one running job (one shadow per executing job, §2.1).
+type Shadow struct {
+	schedd *Schedd
+	jobID  int64
+	claim  *claimRef
+}
+
+// JobStarted receives the starter's startup event.
+func (sh *Shadow) JobStarted() {}
+
+// JobCompleted receives the starter's completion event and forwards it to
+// the schedd (Table 1 steps 14-15).
+func (sh *Shadow) JobCompleted() {
+	sh.schedd.jobFinished(sh, true)
+}
+
+// JobFailed reports the starter failing to launch the job.
+func (sh *Shadow) JobFailed() {
+	sh.schedd.jobFinished(sh, false)
+}
+
+// jobFinished is completion processing. The claim frees and the running
+// count drops as soon as the starter exits — the machine is available —
+// but the shadow lingers until the schedd finishes reaping it (history,
+// exit code, log write). During heavy turnover new shadows therefore spawn
+// while old ones are still draining, and the transient shadow population
+// exceeds the running-job count — the memory pressure that crashes a
+// schedd asked to manage 5,000 running jobs (§5.3.2).
+func (s *Schedd) jobFinished(sh *Shadow, completed bool) {
+	if s.crashed {
+		return
+	}
+	s.running--
+	sh.claim.busy = false
+	busyFrom := s.cpuFreeAt
+	if busyFrom.Before(s.eng.Now()) {
+		busyFrom = s.eng.Now()
+	}
+	s.cpuFreeAt = busyFrom.Add(s.costDoneCPU + s.costDoneIO)
+	if s.CPU != nil {
+		s.CPU.Charge(busyFrom, metrics.User, s.costDoneCPU)
+		s.CPU.Charge(busyFrom.Add(s.costDoneCPU), metrics.IO, s.costDoneIO)
+	}
+	s.kick() // the freed claim can host the next start immediately
+	s.eng.At(s.cpuFreeAt, s.name+".reap", func() {
+		if s.crashed {
+			return
+		}
+		// The shadow is a separate OS process; it lingers past the reap
+		// while it tears down, so its memory overlaps newly spawned
+		// shadows during turnover.
+		s.eng.After(shadowExitLinger, s.name+".shadow_exit", func() {
+			if !s.crashed {
+				s.shadows--
+			}
+		})
+		job := s.queue[sh.jobID]
+		if completed {
+			if err := s.log.append(logRecord{op: logRemove, id: sh.jobID}); err != nil {
+				panic(fmt.Sprintf("condor: job log: %v", err))
+			}
+			delete(s.queue, sh.jobID)
+			if s.OnComplete != nil {
+				s.OnComplete(sh.jobID, s.eng.Now())
+			}
+		} else if job != nil {
+			job.state = jobIdle
+			s.idleIDs = append(s.idleIDs, sh.jobID)
+			if err := s.log.append(logRecord{op: logStatus, id: sh.jobID, state: jobIdle}); err != nil {
+				panic(fmt.Sprintf("condor: job log: %v", err))
+			}
+		}
+		s.kick()
+	})
+}
+
+// Close releases the job log.
+func (s *Schedd) Close() error { return s.log.close() }

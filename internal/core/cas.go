@@ -1,0 +1,142 @@
+package core
+
+import (
+	"database/sql"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"condorj2/internal/sqldb"
+	"condorj2/internal/vtime"
+	"condorj2/internal/wire"
+)
+
+// CAS assembles the CondorJ2 Application Server: the embedded database
+// engine, the pooled database/sql handle, the application logic layer,
+// and the two external interfaces (web services mux and web site).
+// Figure 3's architecture in one value.
+type CAS struct {
+	// Engine is the embedded database (the DB2 stand-in).
+	Engine *sqldb.DB
+	// Pool is the connection-pooled handle the beans layer uses.
+	Pool *sql.DB
+	// Service is the application logic layer.
+	Service *Service
+	// Mux is the web services endpoint.
+	Mux *wire.Mux
+
+	dsn     string
+	ownEng  bool
+	stopSch chan struct{}
+	schedOn atomic.Bool
+}
+
+// Options configures CAS assembly.
+type Options struct {
+	// Engine supplies a pre-built database engine (e.g. WAL-backed);
+	// nil creates a fresh in-memory engine.
+	Engine *sqldb.DB
+	// Clock drives timestamps and NOW(); nil means wall-clock time.
+	Clock vtime.Clock
+	// PoolSize caps open connections (the J2EE container's pool size);
+	// 0 means 8, matching a small application-server default.
+	PoolSize int
+}
+
+var casSeq atomic.Int64
+
+// New assembles a CAS.
+func New(opts Options) (*CAS, error) {
+	engine := opts.Engine
+	own := false
+	if engine == nil {
+		engine = sqldb.New()
+		own = true
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = vtime.Real{}
+	}
+	engine.SetNow(clock.Now)
+	dsn := fmt.Sprintf("cas-%d", casSeq.Add(1))
+	sqldb.Serve(dsn, engine)
+	pool, err := sql.Open(sqldb.DriverName, dsn)
+	if err != nil {
+		sqldb.Unserve(dsn)
+		return nil, err
+	}
+	size := opts.PoolSize
+	if size <= 0 {
+		size = 8
+	}
+	pool.SetMaxOpenConns(size)
+	pool.SetMaxIdleConns(size)
+	if err := Bootstrap(pool); err != nil {
+		pool.Close()
+		sqldb.Unserve(dsn)
+		return nil, err
+	}
+	svc := NewService(pool, clock)
+	return &CAS{
+		Engine:  engine,
+		Pool:    pool,
+		Service: svc,
+		Mux:     NewMux(svc),
+		dsn:     dsn,
+		ownEng:  own,
+	}, nil
+}
+
+// StartScheduler launches the periodic matchmaking cycle on a goroutine
+// (live deployments; simulations drive ScheduleCycle from virtual time
+// instead). Stop with StopScheduler.
+func (c *CAS) StartScheduler() {
+	if !c.schedOn.CompareAndSwap(false, true) {
+		return
+	}
+	c.stopSch = make(chan struct{})
+	interval := time.Duration(c.Service.configInt("schedule_interval_sec", 1)) * time.Second
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stopSch:
+				return
+			case <-t.C:
+				c.Service.ScheduleCycle()
+			}
+		}
+	}()
+}
+
+// StopScheduler halts the scheduling goroutine.
+func (c *CAS) StopScheduler() {
+	if c.schedOn.CompareAndSwap(true, false) {
+		close(c.stopSch)
+	}
+}
+
+// HTTPHandler serves both external interfaces: the web services endpoint
+// under /services and the pool web site under /.
+func (c *CAS) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/services", c.Mux)
+	mux.Handle("/", NewWebsite(c.Service))
+	return mux
+}
+
+// Close releases the pool and DSN registration (and the engine when the
+// CAS created it).
+func (c *CAS) Close() error {
+	c.StopScheduler()
+	err := c.Pool.Close()
+	sqldb.Unserve(c.dsn)
+	if c.ownEng {
+		if cerr := c.Engine.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

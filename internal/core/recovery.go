@@ -1,0 +1,179 @@
+package core
+
+import (
+	"database/sql"
+	"errors"
+	"time"
+
+	"condorj2/internal/beans"
+)
+
+// RecoverInFlight reconciles operational state after a CAS restart on a
+// recovered database. The WAL guarantees no committed tuple is lost
+// (paper §4: the RDBMS supplies "transaction and recovery services"), but
+// in-flight coordination state refers to node-side activity the restarted
+// server can no longer observe:
+//
+//   - matched/running jobs are released back to idle (their nodes will
+//     re-pull work; at worst a job reruns — the same guarantee Condor's
+//     schedd recovery provides),
+//   - match and run tuples are cleared,
+//   - virtual machines return to idle,
+//   - machines are marked offline until their next heartbeat.
+//
+// RecoveryStats reports what was reconciled.
+type RecoveryStats struct {
+	JobsReleased    int64
+	MatchesCleared  int64
+	RunsCleared     int64
+	VMsReset        int64
+	MachinesOffline int64
+}
+
+// ReapStats reports one dead-machine sweep.
+type ReapStats struct {
+	MachinesReaped int
+	JobsReleased   int
+	VMsReset       int
+}
+
+// ReapDeadMachines releases the work of machines whose heartbeats stopped:
+// jobs matched to or running on their VMs return to the idle queue, the
+// VMs return to the pool, and the machine is marked offline until it
+// heartbeats again. The paper's footnote 5 is the contract: "the nodes
+// still need to communicate with the scheduler and job queue manager
+// periodically during the course of the job to make sure the job is not
+// dropped".
+func (s *Service) ReapDeadMachines(timeout time.Duration) (ReapStats, error) {
+	var stats ReapStats
+	err := s.c.InTx(func(tx *sql.Tx) error {
+		stats = ReapStats{}
+		cutoff := s.now().Add(-timeout)
+		dead, err := beans.Select[Machine](tx,
+			"WHERE state = ? AND last_heartbeat < ?", MachineUp, cutoff)
+		if err != nil {
+			return err
+		}
+		for i := range dead {
+			m := &dead[i]
+			vms, err := beans.Select[VM](tx, "WHERE machine = ?", m.Name)
+			if err != nil {
+				return err
+			}
+			for j := range vms {
+				vm := &vms[j]
+				if vm.State == VMOffline {
+					continue
+				}
+				released, err := s.releaseVMWork(tx, vm)
+				if err != nil {
+					return err
+				}
+				stats.JobsReleased += released
+				// Offline, not idle: the scheduler must not hand new work
+				// to a machine nobody has heard from.
+				vm.State = VMOffline
+				if err := beans.Update(tx, vm); err != nil {
+					return err
+				}
+				stats.VMsReset++
+			}
+			m.State = MachineOffline
+			if err := beans.Update(tx, m); err != nil {
+				return err
+			}
+			stats.MachinesReaped++
+		}
+		return nil
+	})
+	return stats, err
+}
+
+// releaseVMWork clears any match or run bound to the VM, returning its job
+// to the queue. It reports how many jobs were released.
+func (s *Service) releaseVMWork(tx *sql.Tx, vm *VM) (int, error) {
+	released := 0
+	free := func(jobID int64) error {
+		job := &Job{ID: jobID}
+		err := beans.Find(tx, job)
+		if errors.Is(err, beans.ErrNotFound) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if job.State == JobMatched || job.State == JobRunning {
+			if err := job.Release(tx); err != nil {
+				return err
+			}
+			released++
+		}
+		return nil
+	}
+	matches, err := beans.Select[Match](tx, "WHERE vm_id = ?", vm.ID)
+	if err != nil {
+		return 0, err
+	}
+	for i := range matches {
+		if err := beans.Delete(tx, &matches[i]); err != nil {
+			return 0, err
+		}
+		if err := free(matches[i].JobID); err != nil {
+			return 0, err
+		}
+	}
+	runs, err := beans.Select[Run](tx, "WHERE vm_id = ?", vm.ID)
+	if err != nil {
+		return 0, err
+	}
+	for i := range runs {
+		if err := beans.Delete(tx, &runs[i]); err != nil {
+			return 0, err
+		}
+		if err := free(runs[i].JobID); err != nil {
+			return 0, err
+		}
+	}
+	return released, nil
+}
+
+// RecoverInFlight performs the restart reconciliation in one transaction.
+func (s *Service) RecoverInFlight() (RecoveryStats, error) {
+	var stats RecoveryStats
+	err := s.c.InTx(func(tx *sql.Tx) error {
+		res, err := tx.Exec(`UPDATE jobs SET state = ?, matched_at = NULL, started_at = NULL WHERE state IN (?, ?)`,
+			JobIdle, JobMatched, JobRunning)
+		if err != nil {
+			return err
+		}
+		stats.JobsReleased, _ = res.RowsAffected()
+
+		res, err = tx.Exec(`DELETE FROM matches`)
+		if err != nil {
+			return err
+		}
+		stats.MatchesCleared, _ = res.RowsAffected()
+
+		res, err = tx.Exec(`DELETE FROM runs`)
+		if err != nil {
+			return err
+		}
+		stats.RunsCleared, _ = res.RowsAffected()
+
+		// All VMs go offline until their machines heartbeat again; the
+		// restarted CAS cannot know which nodes are still alive.
+		res, err = tx.Exec(`UPDATE vms SET state = ? WHERE state <> ?`, VMOffline, VMOffline)
+		if err != nil {
+			return err
+		}
+		stats.VMsReset, _ = res.RowsAffected()
+
+		res, err = tx.Exec(`UPDATE machines SET state = ? WHERE state = ?`, MachineOffline, MachineUp)
+		if err != nil {
+			return err
+		}
+		stats.MachinesOffline, _ = res.RowsAffected()
+		return nil
+	})
+	return stats, err
+}

@@ -1,0 +1,760 @@
+package core
+
+import (
+	"database/sql"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"condorj2/internal/beans"
+	"condorj2/internal/vtime"
+)
+
+// Service is the application logic layer (Figure 4): the coarse-grained
+// operations clients actually invoke, each composed of fine-grained entity
+// bean services and executed inside a container-managed transaction. This
+// layer resolves the paper's "granularity mismatch": remote clients get
+// one round trip per business operation, not one per tuple.
+type Service struct {
+	c     *beans.Container
+	clock vtime.Clock
+}
+
+// NewService builds the application logic layer over a pooled database
+// handle. clock supplies timestamps (virtual in simulations).
+func NewService(pool *sql.DB, clock vtime.Clock) *Service {
+	if clock == nil {
+		clock = vtime.Real{}
+	}
+	return &Service{c: &beans.Container{DB: pool}, clock: clock}
+}
+
+// Pool exposes the underlying database handle (for the web site tier and
+// read-only reporting queries).
+func (s *Service) Pool() *sql.DB { return s.c.DB }
+
+func (s *Service) now() time.Time { return s.clock.Now() }
+
+// Submit enqueues req.Count identical jobs and returns their id range
+// (Table 2 steps 1-2: "CAS inserts a job tuple into database").
+func (s *Service) Submit(req *SubmitRequest) (*SubmitResponse, error) {
+	if req.Count <= 0 {
+		return nil, fmt.Errorf("core: submit: Count must be positive, got %d", req.Count)
+	}
+	if req.Owner == "" {
+		return nil, fmt.Errorf("core: submit: Owner required")
+	}
+	if req.LengthSec <= 0 {
+		return nil, fmt.Errorf("core: submit: LengthSec must be positive")
+	}
+	resp := &SubmitResponse{}
+	err := s.c.InTx(func(tx *sql.Tx) error {
+		now := s.now()
+		if err := s.ensureUser(tx, req.Owner, now); err != nil {
+			return err
+		}
+		var wfID int64
+		if req.Workflow != "" {
+			wf := &Workflow{Name: req.Workflow, Owner: req.Owner, CreatedAt: now}
+			if err := beans.Insert(tx, wf); err != nil {
+				return err
+			}
+			wfID = wf.ID
+		}
+		var execID int64
+		if req.Executable != "" {
+			var err error
+			execID, err = s.ensureExecutable(tx, req.Executable, req.ExecutableVersion)
+			if err != nil {
+				return err
+			}
+		}
+		state := JobIdle
+		if req.DependsOn != 0 {
+			state = JobBlocked
+		}
+		prio := req.Priority
+		if prio == 0 {
+			prio = 0.5
+		}
+		for i := 0; i < req.Count; i++ {
+			job := &Job{
+				Owner:       req.Owner,
+				WorkflowID:  wfID,
+				State:       state,
+				LengthSec:   req.LengthSec,
+				MinMemoryMB: req.MinMemoryMB,
+				Priority:    prio,
+				DependsOn:   req.DependsOn,
+				SubmittedAt: now,
+			}
+			if err := beans.Insert(tx, job); err != nil {
+				return err
+			}
+			if resp.FirstJobID == 0 {
+				resp.FirstJobID = job.ID
+			}
+			resp.LastJobID = job.ID
+			if execID != 0 {
+				if err := beans.Insert(tx, &JobExecutable{JobID: job.ID, ExecutableID: execID}); err != nil {
+					return err
+				}
+			}
+			for _, dsID := range req.InputDatasets {
+				if err := beans.Insert(tx, &JobInput{JobID: job.ID, DatasetID: dsID}); err != nil {
+					return err
+				}
+			}
+			if req.Output != "" {
+				if err := s.registerOutput(tx, req.Output, job.ID, now); err != nil {
+					return err
+				}
+			}
+		}
+		resp.WorkflowID = wfID
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (s *Service) ensureUser(tx *sql.Tx, name string, now time.Time) error {
+	err := beans.Find(tx, &User{Name: name})
+	if errors.Is(err, beans.ErrNotFound) {
+		return beans.Insert(tx, &User{Name: name, Priority: 0.5, CreatedAt: now})
+	}
+	return err
+}
+
+func (s *Service) ensureExecutable(tx *sql.Tx, name, version string) (int64, error) {
+	if version == "" {
+		version = "1"
+	}
+	execs, err := beans.Select[Executable](tx, "WHERE name = ? AND version = ?", name, version)
+	if err != nil {
+		return 0, err
+	}
+	if len(execs) > 0 {
+		return execs[0].ID, nil
+	}
+	e := &Executable{Name: name, Version: version}
+	if err := beans.Insert(tx, e); err != nil {
+		return 0, err
+	}
+	return e.ID, nil
+}
+
+func (s *Service) registerOutput(tx *sql.Tx, name string, jobID int64, now time.Time) error {
+	var maxVer int64
+	err := tx.QueryRow(`SELECT coalesce(max(version), 0) FROM datasets WHERE name = ?`, name).Scan(&maxVer)
+	if err != nil {
+		return err
+	}
+	return beans.Insert(tx, &Dataset{Name: name, Version: maxVer + 1, ProducedBy: jobID, CreatedAt: now})
+}
+
+// Heartbeat is the hot path: Table 2 steps 3-4 (plain beat), 7-8 (beat
+// answered with MATCHINFO), 12-13 (beat carrying job progress) and 14-15
+// (beat carrying completion, triggering post-execution processing) are all
+// this one service.
+func (s *Service) Heartbeat(req *HeartbeatRequest) (*HeartbeatResponse, error) {
+	resp := &HeartbeatResponse{}
+	err := s.c.InTx(func(tx *sql.Tx) error {
+		resp.Commands = resp.Commands[:0]
+		now := s.now()
+		m := &Machine{Name: req.Machine}
+		err := beans.Find(tx, m)
+		switch {
+		case errors.Is(err, beans.ErrNotFound):
+			m = &Machine{
+				Name: req.Machine, State: MachineUp,
+				Arch: req.Arch, OpSys: req.OpSys,
+				TotalMemoryMB: req.TotalMemoryMB,
+				VMCount:       int64(len(req.VMs)),
+				BootedAt:      now, LastHeartbeat: now,
+			}
+			if err := beans.Insert(tx, m); err != nil {
+				return err
+			}
+			if err := s.recordBootHistory(tx, m, now); err != nil {
+				return err
+			}
+			if err := s.ensureVMs(tx, m, req); err != nil {
+				return err
+			}
+		case err != nil:
+			return err
+		default:
+			if req.Boot {
+				m.Arch, m.OpSys, m.TotalMemoryMB = req.Arch, req.OpSys, req.TotalMemoryMB
+				m.VMCount = int64(len(req.VMs))
+				m.BootedAt = now
+				if err := s.recordBootHistory(tx, m, now); err != nil {
+					return err
+				}
+				if err := s.ensureVMs(tx, m, req); err != nil {
+					return err
+				}
+			}
+			if err := m.Beat(tx, now); err != nil {
+				return err
+			}
+		}
+
+		// Set-oriented preload: one query for the machine's VMs and one
+		// join for their pending matches, instead of per-VM lookups — the
+		// "efficient transformations" §4.2.3 calls the key to scalability.
+		// A 200-VM heartbeat costs a handful of statements, not hundreds.
+		vms, err := beans.Select[VM](tx, "WHERE machine = ?", m.Name)
+		if err != nil {
+			return err
+		}
+		bySeq := make(map[int64]*VM, len(vms))
+		for i := range vms {
+			bySeq[vms[i].Seq] = &vms[i]
+		}
+		pending, err := s.pendingMatches(tx, m.Name)
+		if err != nil {
+			return err
+		}
+		for _, st := range req.VMs {
+			vm, ok := bySeq[st.Seq]
+			if !ok {
+				return fmt.Errorf("core: heartbeat from unknown VM %s/%d", m.Name, st.Seq)
+			}
+			cmd, err := s.handleVMStatus(tx, m, vm, pending[vm.ID], st, now)
+			if err != nil {
+				return err
+			}
+			resp.Commands = append(resp.Commands, cmd)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// matchInfo is a pending match joined with its job's MATCHINFO fields.
+type matchInfo struct {
+	matchID   int64
+	jobID     int64
+	owner     string
+	lengthSec int64
+}
+
+// pendingMatches loads all pending matches for one machine's VMs, keyed by
+// VM id.
+func (s *Service) pendingMatches(tx *sql.Tx, machine string) (map[int64]matchInfo, error) {
+	rows, err := tx.Query(`
+		SELECT m.id, m.job_id, v.id, j.owner, j.length_sec
+		FROM vms v
+		JOIN matches m ON m.vm_id = v.id
+		JOIN jobs j ON j.id = m.job_id
+		WHERE v.machine = ?`, machine)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	out := make(map[int64]matchInfo)
+	for rows.Next() {
+		var mi matchInfo
+		var vmID int64
+		if err := rows.Scan(&mi.matchID, &mi.jobID, &vmID, &mi.owner, &mi.lengthSec); err != nil {
+			return nil, err
+		}
+		out[vmID] = mi
+	}
+	return out, rows.Err()
+}
+
+func (s *Service) recordBootHistory(tx *sql.Tx, m *Machine, now time.Time) error {
+	attrs := map[string]string{
+		"arch":            m.Arch,
+		"opsys":           m.OpSys,
+		"total_memory_mb": strconv.FormatInt(m.TotalMemoryMB, 10),
+		"vm_count":        strconv.FormatInt(m.VMCount, 10),
+	}
+	for attr, value := range attrs {
+		rec := &MachineHistory{Machine: m.Name, Attr: attr, Value: value, RecordedAt: now}
+		if err := beans.Insert(tx, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Service) ensureVMs(tx *sql.Tx, m *Machine, req *HeartbeatRequest) error {
+	existing, err := beans.Select[VM](tx, "WHERE machine = ?", m.Name)
+	if err != nil {
+		return err
+	}
+	have := make(map[int64]bool, len(existing))
+	for _, v := range existing {
+		have[v.Seq] = true
+	}
+	memEach := int64(0)
+	if len(req.VMs) > 0 {
+		memEach = req.TotalMemoryMB / int64(len(req.VMs))
+	}
+	for _, st := range req.VMs {
+		if have[st.Seq] {
+			continue
+		}
+		if err := beans.Insert(tx, &VM{Machine: m.Name, Seq: st.Seq, State: VMIdle, MemoryMB: memEach}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handleVMStatus processes one VM's report and decides its command. vm is
+// preloaded; pending carries the VM's match (zero matchID when none).
+func (s *Service) handleVMStatus(tx *sql.Tx, m *Machine, vm *VM, pending matchInfo, st VMStatus, now time.Time) (VMCommand, error) {
+	// A heartbeat proves the machine is alive again: offline VMs rejoin
+	// the pool (idle reports free them now; claimed ones resolve through
+	// the completion/drop paths below).
+	if vm.State == VMOffline && st.State == "idle" {
+		if err := vm.Release(tx); err != nil {
+			return VMCommand{}, err
+		}
+	}
+
+	switch st.Phase {
+	case "completed":
+		if err := s.completeJob(tx, vm, st, now); err != nil {
+			return VMCommand{}, err
+		}
+		return VMCommand{Seq: st.Seq, Command: CmdOK}, nil
+	case "dropped":
+		if err := s.dropJob(tx, m, vm, st, now); err != nil {
+			return VMCommand{}, err
+		}
+		return VMCommand{Seq: st.Seq, Command: CmdOK}, nil
+	}
+
+	if st.State == "idle" && vm.State != VMClaimed && pending.matchID != 0 {
+		// Table 2 step 8: "selects related match and job tuples, responds
+		// MATCHINFO".
+		return VMCommand{
+			Seq: st.Seq, Command: CmdMatchInfo,
+			MatchID: pending.matchID, JobID: pending.jobID,
+			Owner: pending.owner, LengthSec: pending.lengthSec,
+		}, nil
+	}
+	return VMCommand{Seq: st.Seq, Command: CmdOK}, nil
+}
+
+// completeJob is post-execution processing (Table 2 step 15 plus §5.1.1's
+// "recording historical information ... accounting information and
+// removing the job from the queue").
+func (s *Service) completeJob(tx *sql.Tx, vm *VM, st VMStatus, now time.Time) error {
+	runs, err := beans.Select[Run](tx, "WHERE vm_id = ?", vm.ID)
+	if err != nil {
+		return err
+	}
+	if len(runs) == 0 || runs[0].JobID != st.JobID {
+		// Stale completion (e.g. job already reaped); acknowledge quietly
+		// so the node frees the VM.
+		return vm.Release(tx)
+	}
+	run := &runs[0]
+	job := &Job{ID: run.JobID}
+	if err := beans.Find(tx, job); err != nil {
+		return err
+	}
+	hist := &JobHistory{
+		JobID: job.ID, Owner: job.Owner,
+		Machine: vm.Machine, VMSeq: vm.Seq,
+		LengthSec:   job.LengthSec,
+		SubmittedAt: job.SubmittedAt, StartedAt: job.StartedAt,
+		CompletedAt: now, ExitCode: st.ExitCode, Outcome: "completed",
+	}
+	if err := beans.Insert(tx, hist); err != nil {
+		return err
+	}
+	if err := s.credit(tx, job.Owner, job.LengthSec, false); err != nil {
+		return err
+	}
+	if err := beans.Delete(tx, run); err != nil {
+		return err
+	}
+	if err := beans.Delete(tx, job); err != nil {
+		return err
+	}
+	if err := vm.Release(tx); err != nil {
+		return err
+	}
+	// Unblock dependents (workflow dependencies, §5.1.3).
+	dependents, err := beans.Select[Job](tx, "WHERE depends_on = ? AND state = ?", job.ID, JobBlocked)
+	if err != nil {
+		return err
+	}
+	for i := range dependents {
+		if err := dependents[i].Unblock(tx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dropJob handles a node reporting it failed to run a job (Figure 8):
+// release the job back to the queue and free the VM.
+func (s *Service) dropJob(tx *sql.Tx, m *Machine, vm *VM, st VMStatus, now time.Time) error {
+	if err := beans.Insert(tx, &Drop{
+		Machine: m.Name, VMSeq: vm.Seq, JobID: st.JobID,
+		Reason: "timeout setting up job environment", At: now,
+	}); err != nil {
+		return err
+	}
+	// Remove whichever pairing tuple exists.
+	matches, err := beans.Select[Match](tx, "WHERE vm_id = ?", vm.ID)
+	if err != nil {
+		return err
+	}
+	for i := range matches {
+		if err := beans.Delete(tx, &matches[i]); err != nil {
+			return err
+		}
+	}
+	runs, err := beans.Select[Run](tx, "WHERE vm_id = ?", vm.ID)
+	if err != nil {
+		return err
+	}
+	for i := range runs {
+		if err := beans.Delete(tx, &runs[i]); err != nil {
+			return err
+		}
+	}
+	job := &Job{ID: st.JobID}
+	switch err := beans.Find(tx, job); {
+	case errors.Is(err, beans.ErrNotFound):
+		// Job already reaped elsewhere; nothing to release.
+	case err != nil:
+		return err
+	default:
+		if job.State == JobMatched || job.State == JobRunning {
+			if err := job.Release(tx); err != nil {
+				return err
+			}
+		}
+		if err := s.credit(tx, job.Owner, 0, true); err != nil {
+			return err
+		}
+	}
+	return vm.Release(tx)
+}
+
+func (s *Service) credit(tx *sql.Tx, owner string, runtimeSec int64, dropped bool) error {
+	acct := &Accounting{Owner: owner}
+	err := beans.Find(tx, acct)
+	if errors.Is(err, beans.ErrNotFound) {
+		acct = &Accounting{Owner: owner}
+		if err := beans.Insert(tx, acct); err != nil {
+			return err
+		}
+	} else if err != nil {
+		return err
+	}
+	if dropped {
+		acct.DroppedJobs++
+	} else {
+		acct.CompletedJobs++
+		acct.TotalRuntimeSec += runtimeSec
+	}
+	return beans.Update(tx, acct)
+}
+
+// AcceptMatch commits a match: Table 2 step 10 — "CAS deletes match tuple,
+// inserts run tuple, updates related job tuple, responds OK".
+func (s *Service) AcceptMatch(req *AcceptMatchRequest) (*AcceptMatchResponse, error) {
+	resp := &AcceptMatchResponse{}
+	err := s.c.InTx(func(tx *sql.Tx) error {
+		match := &Match{ID: req.MatchID}
+		err := beans.Find(tx, match)
+		if errors.Is(err, beans.ErrNotFound) {
+			resp.OK = false
+			resp.Reason = "match no longer exists"
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if match.JobID != req.JobID {
+			resp.OK = false
+			resp.Reason = "match is for a different job"
+			return nil
+		}
+		vm := &VM{ID: match.VMID}
+		if err := beans.Find(tx, vm); err != nil {
+			return err
+		}
+		if vm.Machine != req.Machine || vm.Seq != req.Seq {
+			resp.OK = false
+			resp.Reason = "match is for a different VM"
+			return nil
+		}
+		job := &Job{ID: match.JobID}
+		if err := beans.Find(tx, job); err != nil {
+			return err
+		}
+		now := s.now()
+		if err := beans.Delete(tx, match); err != nil {
+			return err
+		}
+		if err := beans.Insert(tx, &Run{JobID: job.ID, VMID: vm.ID, StartedAt: now}); err != nil {
+			return err
+		}
+		if err := job.MarkRunning(tx, now); err != nil {
+			return err
+		}
+		if err := vm.MarkClaimed(tx); err != nil {
+			return err
+		}
+		resp.OK = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// ReleaseJob removes an idle or blocked job from the queue (user abort).
+func (s *Service) ReleaseJob(req *ReleaseJobRequest) (*ReleaseJobResponse, error) {
+	resp := &ReleaseJobResponse{}
+	err := s.c.InTx(func(tx *sql.Tx) error {
+		job := &Job{ID: req.JobID}
+		err := beans.Find(tx, job)
+		if errors.Is(err, beans.ErrNotFound) {
+			resp.OK = false
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if job.Owner != req.Owner {
+			return fmt.Errorf("core: job %d belongs to %s, not %s", job.ID, job.Owner, req.Owner)
+		}
+		if job.State != JobIdle && job.State != JobBlocked {
+			return &StateError{Entity: "job", ID: job.ID, From: job.State, Op: "ReleaseJob"}
+		}
+		if err := beans.Delete(tx, job); err != nil {
+			return err
+		}
+		hist := &JobHistory{
+			JobID: job.ID, Owner: job.Owner, LengthSec: job.LengthSec,
+			SubmittedAt: job.SubmittedAt, CompletedAt: s.now(), Outcome: "removed",
+		}
+		if err := beans.Insert(tx, hist); err != nil {
+			return err
+		}
+		resp.OK = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// PoolStatus answers pool-level queries with set-oriented SQL.
+func (s *Service) PoolStatus(*PoolStatusRequest) (*PoolStatusResponse, error) {
+	resp := &PoolStatusResponse{}
+	count := func(table string) ([]StateCount, error) {
+		rows, err := s.c.DB.Query(fmt.Sprintf(
+			`SELECT state, count(*) FROM %s GROUP BY state ORDER BY state`, table))
+		if err != nil {
+			return nil, err
+		}
+		defer rows.Close()
+		var out []StateCount
+		for rows.Next() {
+			var sc StateCount
+			if err := rows.Scan(&sc.State, &sc.Count); err != nil {
+				return nil, err
+			}
+			out = append(out, sc)
+		}
+		return out, rows.Err()
+	}
+	var err error
+	if resp.Machines, err = count("machines"); err != nil {
+		return nil, err
+	}
+	if resp.VMs, err = count("vms"); err != nil {
+		return nil, err
+	}
+	if resp.Jobs, err = count("jobs"); err != nil {
+		return nil, err
+	}
+	for _, sc := range resp.Jobs {
+		if sc.State == JobRunning {
+			resp.RunningJobs = sc.Count
+		}
+	}
+	return resp, nil
+}
+
+// QueueStatus lists queued jobs, optionally for one owner.
+func (s *Service) QueueStatus(req *QueueStatusRequest) (*QueueStatusResponse, error) {
+	limit := req.Limit
+	if limit <= 0 || limit > 10000 {
+		limit = 1000
+	}
+	var jobs []Job
+	var err error
+	if req.Owner != "" {
+		jobs, err = beans.Select[Job](s.c.DB, "WHERE owner = ? ORDER BY id LIMIT ?", req.Owner, limit)
+	} else {
+		jobs, err = beans.Select[Job](s.c.DB, "ORDER BY id LIMIT ?", limit)
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp := &QueueStatusResponse{}
+	for _, j := range jobs {
+		resp.Jobs = append(resp.Jobs, QueueJob{ID: j.ID, Owner: j.Owner, State: j.State, LengthSec: j.LengthSec})
+	}
+	return resp, nil
+}
+
+// UserStats returns one owner's accounting record.
+func (s *Service) UserStats(req *UserStatsRequest) (*UserStatsResponse, error) {
+	acct := &Accounting{Owner: req.Owner}
+	err := beans.Find(s.c.DB, acct)
+	if errors.Is(err, beans.ErrNotFound) {
+		return &UserStatsResponse{Owner: req.Owner}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &UserStatsResponse{
+		Owner: acct.Owner, CompletedJobs: acct.CompletedJobs,
+		DroppedJobs: acct.DroppedJobs, TotalRuntimeSec: acct.TotalRuntimeSec,
+	}, nil
+}
+
+// ConfigGet reads an operational configuration value.
+func (s *Service) ConfigGet(req *ConfigGetRequest) (*ConfigGetResponse, error) {
+	var value string
+	err := s.c.DB.QueryRow(`SELECT value FROM config WHERE name = ?`, req.Name).Scan(&value)
+	if errors.Is(err, sql.ErrNoRows) {
+		return nil, fmt.Errorf("core: no config entry %q", req.Name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &ConfigGetResponse{Name: req.Name, Value: value}, nil
+}
+
+// ConfigSet updates a configuration value, keeping history.
+func (s *Service) ConfigSet(req *ConfigSetRequest) (*ConfigSetResponse, error) {
+	err := s.c.InTx(func(tx *sql.Tx) error {
+		now := s.now()
+		res, err := tx.Exec(`UPDATE config SET value = ?, updated_at = ? WHERE name = ?`, req.Value, now, req.Name)
+		if err != nil {
+			return err
+		}
+		if n, _ := res.RowsAffected(); n == 0 {
+			if _, err := tx.Exec(`INSERT INTO config (name, value, updated_at) VALUES (?, ?, ?)`, req.Name, req.Value, now); err != nil {
+				return err
+			}
+		}
+		_, err = tx.Exec(`INSERT INTO config_history (name, value, changed_at) VALUES (?, ?, ?)`, req.Name, req.Value, now)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ConfigSetResponse{OK: true}, nil
+}
+
+// configInt reads an integer config value with a default.
+func (s *Service) configInt(name string, def int64) int64 {
+	resp, err := s.ConfigGet(&ConfigGetRequest{Name: name})
+	if err != nil {
+		return def
+	}
+	v, err := strconv.ParseInt(resp.Value, 10, 64)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+// RegisterDataset declares an external dataset (provenance extension).
+func (s *Service) RegisterDataset(req *RegisterDatasetRequest) (*RegisterDatasetResponse, error) {
+	ver := req.Version
+	if ver == 0 {
+		ver = 1
+	}
+	ds := &Dataset{Name: req.Name, Version: ver, CreatedAt: s.now()}
+	if err := beans.Insert(s.c.DB, ds); err != nil {
+		return nil, err
+	}
+	return &RegisterDatasetResponse{ID: ds.ID}, nil
+}
+
+// Provenance answers "what executable and input data generated this output
+// data set, and which versions were used?" (paper §6).
+func (s *Service) Provenance(req *ProvenanceRequest) (*ProvenanceResponse, error) {
+	var ds []Dataset
+	var err error
+	if req.Version > 0 {
+		ds, err = beans.Select[Dataset](s.c.DB, "WHERE name = ? AND version = ?", req.Dataset, req.Version)
+	} else {
+		ds, err = beans.Select[Dataset](s.c.DB, "WHERE name = ? ORDER BY version DESC LIMIT 1", req.Dataset)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("core: no dataset %q", req.Dataset)
+	}
+	d := ds[0]
+	resp := &ProvenanceResponse{Dataset: d.Name, Version: d.Version, ProducedByJob: d.ProducedBy}
+	if d.ProducedBy == 0 {
+		return resp, nil
+	}
+	// The producing job may be live or already in history.
+	rows, err := s.c.DB.Query(`SELECT owner FROM job_history WHERE job_id = ?`, d.ProducedBy)
+	if err != nil {
+		return nil, err
+	}
+	for rows.Next() {
+		rows.Scan(&resp.Owner)
+	}
+	rows.Close()
+	if resp.Owner == "" {
+		s.c.DB.QueryRow(`SELECT owner FROM jobs WHERE id = ?`, d.ProducedBy).Scan(&resp.Owner)
+	}
+	err = s.c.DB.QueryRow(`
+		SELECT e.name, e.version FROM job_executables je
+		JOIN executables e ON e.id = je.executable_id
+		WHERE je.job_id = ?`, d.ProducedBy).Scan(&resp.Executable, &resp.ExecutableVersion)
+	if err != nil && !errors.Is(err, sql.ErrNoRows) {
+		return nil, err
+	}
+	inRows, err := s.c.DB.Query(`
+		SELECT d.name, d.version FROM job_inputs ji
+		JOIN datasets d ON d.id = ji.dataset_id
+		WHERE ji.job_id = ?`, d.ProducedBy)
+	if err != nil {
+		return nil, err
+	}
+	defer inRows.Close()
+	for inRows.Next() {
+		var name string
+		var ver int64
+		if err := inRows.Scan(&name, &ver); err != nil {
+			return nil, err
+		}
+		resp.Inputs = append(resp.Inputs, fmt.Sprintf("%s@v%d", name, ver))
+	}
+	return resp, inRows.Err()
+}

@@ -1,0 +1,41 @@
+package core
+
+// TableName implementations bind each entity bean to its table — the
+// bean↔tuple mapping the EJB deployment descriptor carried in the paper's
+// prototype.
+
+// TableName implements beans.TableNamer.
+func (*Job) TableName() string { return "jobs" }
+
+// TableName implements beans.TableNamer.
+func (*Machine) TableName() string { return "machines" }
+
+// TableName implements beans.TableNamer.
+func (*VM) TableName() string { return "vms" }
+
+// TableName implements beans.TableNamer.
+func (*Match) TableName() string { return "matches" }
+
+// TableName implements beans.TableNamer.
+func (*Run) TableName() string { return "runs" }
+
+// TableName implements beans.TableNamer.
+func (*Drop) TableName() string { return "drops" }
+
+// TableName implements beans.TableNamer.
+func (*Workflow) TableName() string { return "workflows" }
+
+// TableName implements beans.TableNamer.
+func (*User) TableName() string { return "users" }
+
+// TableName implements beans.TableNamer.
+func (*Dataset) TableName() string { return "datasets" }
+
+// TableName implements beans.TableNamer.
+func (*JobInput) TableName() string { return "job_inputs" }
+
+// TableName implements beans.TableNamer.
+func (*Executable) TableName() string { return "executables" }
+
+// TableName implements beans.TableNamer.
+func (*JobExecutable) TableName() string { return "job_executables" }

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"condorj2/internal/wire"
+)
+
+func TestWebServicesOverHTTP(t *testing.T) {
+	cas, _ := newTestCAS(t)
+	srv := httptest.NewServer(cas.HTTPHandler())
+	defer srv.Close()
+
+	client := &wire.Client{URL: srv.URL + "/services"}
+	var sub SubmitResponse
+	if err := client.Call(ActionSubmitJob, &SubmitRequest{Owner: "web", Count: 2, LengthSec: 30}, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.FirstJobID != 1 || sub.LastJobID != 2 {
+		t.Fatalf("submit = %+v", sub)
+	}
+
+	var hb HeartbeatResponse
+	err := client.Call(ActionHeartbeat, &HeartbeatRequest{
+		Machine: "webnode", Boot: true, Arch: "x86", OpSys: "linux",
+		TotalMemoryMB: 1024, VMs: idleVMs(1),
+	}, &hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.Commands) != 1 || hb.Commands[0].Command != CmdOK {
+		t.Fatalf("heartbeat = %+v", hb)
+	}
+
+	var qs QueueStatusResponse
+	if err := client.Call(ActionQueueStatus, &QueueStatusRequest{Owner: "web"}, &qs); err != nil {
+		t.Fatal(err)
+	}
+	if len(qs.Jobs) != 2 {
+		t.Fatalf("queue = %+v", qs)
+	}
+
+	// Service errors surface as faults.
+	err = client.Call(ActionSubmitJob, &SubmitRequest{Owner: "", Count: 1, LengthSec: 1}, &sub)
+	var fault *wire.Fault
+	if !asFault(err, &fault) {
+		t.Fatalf("err = %v, want fault", err)
+	}
+}
+
+func asFault(err error, target **wire.Fault) bool {
+	for err != nil {
+		if f, ok := err.(*wire.Fault); ok {
+			*target = f
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func TestWebsitePages(t *testing.T) {
+	cas, _ := newTestCAS(t)
+	cas.Service.Submit(&SubmitRequest{Owner: "alice", Count: 2, LengthSec: 60})
+	beat(t, cas.Service, "node1", true, idleVMs(2)...)
+	srv := httptest.NewServer(cas.HTTPHandler())
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s = %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+
+	home := get("/")
+	if !strings.Contains(home, "Pool Status") || !strings.Contains(home, "idle") {
+		t.Fatalf("home page:\n%s", home)
+	}
+	queue := get("/queue?owner=alice")
+	if !strings.Contains(queue, "alice") {
+		t.Fatal("queue page missing jobs")
+	}
+	cfg := get("/config")
+	if !strings.Contains(cfg, "schedule_batch") {
+		t.Fatal("config page missing entries")
+	}
+	get("/users")
+
+	// Submit through the web form, then confirm it in the queue.
+	resp, err := http.PostForm(srv.URL+"/submit", url.Values{
+		"owner": {"bob"}, "count": {"1"}, "length_sec": {"120"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	queue = get("/queue?owner=bob")
+	if !strings.Contains(queue, "bob") {
+		t.Fatal("web-submitted job missing")
+	}
+
+	// Config update through the form round-trips.
+	resp, err = http.PostForm(srv.URL+"/config", url.Values{
+		"name": {"schedule_batch"}, "value": {"42"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	cfg = get("/config")
+	if !strings.Contains(cfg, "42") {
+		t.Fatal("config update not visible")
+	}
+}
+
+func TestProvenanceAnswersPaperQuestion(t *testing.T) {
+	cas, _ := newTestCAS(t)
+	s := cas.Service
+
+	// Register two external input datasets.
+	in1, err := s.RegisterDataset(&RegisterDatasetRequest{Name: "genome-reads"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2, _ := s.RegisterDataset(&RegisterDatasetRequest{Name: "reference", Version: 3})
+
+	// Submit a job consuming them and producing "alignment".
+	sub, err := s.Submit(&SubmitRequest{
+		Owner: "scientist", Count: 1, LengthSec: 60,
+		Executable: "aligner", ExecutableVersion: "2.1",
+		InputDatasets: []int64{in1.ID, in2.ID},
+		Output:        "alignment",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run the job to completion.
+	beat(t, s, "node1", true, idleVMs(1)...)
+	s.ScheduleCycle()
+	resp := beat(t, s, "node1", false, idleVMs(1)...)
+	cmd := resp.Commands[0]
+	s.AcceptMatch(&AcceptMatchRequest{Machine: "node1", Seq: 0, MatchID: cmd.MatchID, JobID: cmd.JobID})
+	beat(t, s, "node1", false, VMStatus{Seq: 0, State: "claimed", JobID: cmd.JobID, Phase: "completed"})
+
+	// The paper's question: "What executable and input data generated this
+	// particular output data set and which versions were used?"
+	prov, err := s.Provenance(&ProvenanceRequest{Dataset: "alignment"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov.ProducedByJob != sub.FirstJobID {
+		t.Fatalf("producer = %d, want %d", prov.ProducedByJob, sub.FirstJobID)
+	}
+	if prov.Executable != "aligner" || prov.ExecutableVersion != "2.1" {
+		t.Fatalf("executable = %s@%s", prov.Executable, prov.ExecutableVersion)
+	}
+	if prov.Owner != "scientist" {
+		t.Fatalf("owner = %s", prov.Owner)
+	}
+	if len(prov.Inputs) != 2 {
+		t.Fatalf("inputs = %v", prov.Inputs)
+	}
+	joined := strings.Join(prov.Inputs, " ")
+	if !strings.Contains(joined, "genome-reads@v1") || !strings.Contains(joined, "reference@v3") {
+		t.Fatalf("inputs = %v", prov.Inputs)
+	}
+
+	// Resubmitting with the same output name bumps the version.
+	s.Submit(&SubmitRequest{Owner: "scientist", Count: 1, LengthSec: 60, Output: "alignment"})
+	prov2, err := s.Provenance(&ProvenanceRequest{Dataset: "alignment"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov2.Version != 2 {
+		t.Fatalf("latest version = %d", prov2.Version)
+	}
+	prov1, _ := s.Provenance(&ProvenanceRequest{Dataset: "alignment", Version: 1})
+	if prov1.Version != 1 {
+		t.Fatalf("pinned version = %d", prov1.Version)
+	}
+	if _, err := s.Provenance(&ProvenanceRequest{Dataset: "nope"}); err == nil {
+		t.Fatal("missing dataset provenance succeeded")
+	}
+}
+
+func TestStartStopScheduler(t *testing.T) {
+	cas, _ := newTestCAS(t)
+	cas.StartScheduler()
+	cas.StartScheduler() // idempotent
+	cas.StopScheduler()
+	cas.StopScheduler() // idempotent
+}

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"condorj2/internal/wire"
+)
+
+// NewMux exposes the application logic layer as web services — the
+// paper's "set of web services specifically tailored to the interactions
+// the daemons need to have with the operational data store", plus the
+// standards-compliant service interface for user tools. Both the web site
+// and the web services sit on the same application-logic layer, so they
+// "are capable of offering identical functionality" (§4.1).
+func NewMux(s *Service) *wire.Mux {
+	mux := wire.NewMux()
+	mux.Handle(ActionSubmitJob, wire.Typed(s.Submit))
+	mux.Handle(ActionHeartbeat, wire.Typed(s.Heartbeat))
+	mux.Handle(ActionAcceptMatch, wire.Typed(s.AcceptMatch))
+	mux.Handle(ActionReleaseJob, wire.Typed(s.ReleaseJob))
+	mux.Handle(ActionPoolStatus, wire.Typed(s.PoolStatus))
+	mux.Handle(ActionQueueStatus, wire.Typed(s.QueueStatus))
+	mux.Handle(ActionUserStats, wire.Typed(s.UserStats))
+	mux.Handle(ActionConfigGet, wire.Typed(s.ConfigGet))
+	mux.Handle(ActionConfigSet, wire.Typed(s.ConfigSet))
+	mux.Handle(ActionRegisterData, wire.Typed(s.RegisterDataset))
+	mux.Handle(ActionProvenance, wire.Typed(s.Provenance))
+	return mux
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// §4.2.3.1's code-base size comparison, applied to this repository: count
+// source lines per component the way the paper did ("source code files
+// only ... include comment lines"), grouped into the paper's categories —
+// common services, configuration management, historical machine
+// information, and the web GUI.
+
+// CodeSizeRow is one component's line count.
+type CodeSizeRow struct {
+	Component string
+	Files     int
+	Lines     int
+}
+
+// CodeSizeReport summarizes the repository.
+type CodeSizeReport struct {
+	Rows  []CodeSizeRow
+	Total int
+}
+
+// componentOf maps a repo-relative path to a §4.2.3.1-style component.
+func componentOf(rel string) string {
+	switch {
+	case strings.HasPrefix(rel, "internal/condor") || strings.HasPrefix(rel, "internal/classad"):
+		return "Condor baseline (schedd/shadow/collector/negotiator + ClassAds)"
+	case strings.HasPrefix(rel, "internal/core") || strings.HasPrefix(rel, "internal/beans"):
+		return "CondorJ2 common services (CAS: persistence + app logic + interfaces)"
+	case strings.HasPrefix(rel, "internal/sqldb"):
+		return "Database engine (DB2 stand-in)"
+	case strings.HasPrefix(rel, "internal/wire"):
+		return "Messaging (gSOAP stand-in)"
+	case strings.HasPrefix(rel, "internal/cluster"):
+		return "Execute-node daemons (startd/starter, shared)"
+	case strings.HasPrefix(rel, "internal/sim"), strings.HasPrefix(rel, "internal/vtime"),
+		strings.HasPrefix(rel, "internal/metrics"), strings.HasPrefix(rel, "internal/workload"),
+		strings.HasPrefix(rel, "internal/experiments"):
+		return "Evaluation substrate (simulation, metrics, workloads, experiments)"
+	case strings.HasPrefix(rel, "cmd/") || strings.HasPrefix(rel, "examples/"):
+		return "Tools, web GUI and examples"
+	default:
+		return "Other"
+	}
+}
+
+// CountCode walks root counting Go source lines by component.
+func CountCode(root string) (*CodeSizeReport, error) {
+	byComp := map[string]*CodeSizeRow{}
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			name := info.Name()
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		lines := strings.Count(string(data), "\n")
+		comp := componentOf(filepath.ToSlash(rel))
+		row, ok := byComp[comp]
+		if !ok {
+			row = &CodeSizeRow{Component: comp}
+			byComp[comp] = row
+		}
+		row.Files++
+		row.Lines += lines
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	report := &CodeSizeReport{}
+	for _, row := range byComp {
+		report.Rows = append(report.Rows, *row)
+		report.Total += row.Lines
+	}
+	sort.Slice(report.Rows, func(i, j int) bool {
+		return report.Rows[i].Lines > report.Rows[j].Lines
+	})
+	return report, nil
+}
+
+// RenderCodeSize prints the inventory table.
+func RenderCodeSize(r *CodeSizeReport) string {
+	var b strings.Builder
+	b.WriteString("§4.2.3.1: Code-base size by component (this reproduction)\n")
+	fmt.Fprintf(&b, "%-70s %6s %8s\n", "component", "files", "lines")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-70s %6d %8d\n", row.Component, row.Files, row.Lines)
+	}
+	fmt.Fprintf(&b, "%-70s %6s %8d\n", "total", "", r.Total)
+	b.WriteString("\npaper's numbers for context: Condor ≈470k total / ≈69k common-service;\n")
+	b.WriteString("CondorJ2 ≈62k total = ≈35.5k common + ≈11k config mgmt + ≈9k machine history + ≈6.5k web GUI\n")
+	return b.String()
+}

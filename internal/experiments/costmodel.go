@@ -1,0 +1,101 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§5) on the simulated substrate. Each Figure*/Table* function
+// runs a full experiment in virtual time and returns the series the paper
+// plots; cmd/repro renders them and bench_test.go wraps each one in a
+// benchmark.
+package experiments
+
+import (
+	"time"
+
+	"condorj2/internal/metrics"
+	"condorj2/internal/sqldb"
+)
+
+// The CAS cost model translates observable work — web-service messages and
+// SQL statements — into CPU time on the paper's server (a 3.0 GHz
+// Quad-Xeon running JBoss AS 4.0.4 and DB2 8.2). Constants are calibrated
+// to reproduce the paper's qualitative CPU findings rather than absolute
+// 2006 numbers:
+//
+//   - Figure 9: CPU grows linearly with scheduling throughput; User cycles
+//     (JBoss's HTTP→SQL transformation plus DB2 evaluation) grow much
+//     faster than System or IO; ample idle headroom remains at the highest
+//     observed rate (~21 jobs/s).
+//   - Figure 10: a 10,000-VM pool at ~1.67 jobs/s produces visible high
+//     plateaus against heartbeat-only lows, plus a large startup spike.
+//
+// Derivation sketch: at 21 jobs/s each job turnover costs roughly one
+// MATCHINFO heartbeat + acceptMatch + completion heartbeat ≈ 3 messages and
+// ~12 SQL statements. With the constants below that is ≈ 3×(9+1.5)ms +
+// 12×~2ms ≈ 60 ms User per job ⇒ 1.26 s/s of User on a 4 s/s machine
+// (≈31%), leaving the majority idle — matching Figure 9's headroom — and
+// IO ≈ 21×4×0.8 ms ≈ 7% — the shallow bottom lines.
+type CostModel struct {
+	// Per web-service exchange (JBoss: HTTP parse, SOAP decode/encode,
+	// dispatch).
+	MsgUser   time.Duration
+	MsgSystem time.Duration
+	// Per 1 KiB of message body in either direction (socket + XML volume).
+	MsgPerKBSystem time.Duration
+
+	// Per SQL statement (DB2: parse/plan amortized by the statement cache,
+	// evaluation, locking).
+	StmtUser time.Duration
+	// Per heap row scanned during statement evaluation.
+	RowScanUser time.Duration
+	// Per row inserted/updated/deleted (index maintenance, logging).
+	RowWriteUser time.Duration
+	// Per mutating statement of WAL activity.
+	StmtWriteIO time.Duration
+}
+
+// DefaultCosts is the calibrated model used by all experiments.
+func DefaultCosts() CostModel {
+	return CostModel{
+		MsgUser:        9 * time.Millisecond,
+		MsgSystem:      1500 * time.Microsecond,
+		MsgPerKBSystem: 300 * time.Microsecond,
+
+		StmtUser:     900 * time.Microsecond,
+		RowScanUser:  4 * time.Microsecond,
+		RowWriteUser: 500 * time.Microsecond,
+		StmtWriteIO:  800 * time.Microsecond,
+	}
+}
+
+// chargeStmt maps one executed SQL statement to CPU time.
+func (cm CostModel) chargeStmt(cpu *metrics.CPUAccount, at time.Time, s sqldb.StmtStats) {
+	user := cm.StmtUser +
+		time.Duration(s.RowsScanned)*cm.RowScanUser +
+		time.Duration(s.RowsAffected)*cm.RowWriteUser
+	cpu.Charge(at, metrics.User, user)
+	if s.RowsAffected > 0 || s.Kind == "INSERT" || s.Kind == "UPDATE" || s.Kind == "DELETE" {
+		cpu.Charge(at, metrics.IO, cm.StmtWriteIO)
+	}
+}
+
+// chargeMsg maps one web-service exchange to CPU time.
+func (cm CostModel) chargeMsg(cpu *metrics.CPUAccount, at time.Time, reqBytes, respBytes int) {
+	cpu.Charge(at, metrics.User, cm.MsgUser)
+	kb := (reqBytes + respBytes + 1023) / 1024
+	cpu.Charge(at, metrics.System, cm.MsgSystem+time.Duration(kb)*cm.MsgPerKBSystem)
+}
+
+// DBMaintenance models the periodic DB2 background process behind
+// Figure 10's two-hour spikes ("checkpointing, statistics collection or
+// some other periodic action"): a burst of mixed IO and User work.
+type DBMaintenance struct {
+	Interval time.Duration
+	IOBurst  time.Duration
+	CPUBurst time.Duration
+}
+
+// DefaultMaintenance matches Figure 10's spike cadence.
+func DefaultMaintenance() DBMaintenance {
+	return DBMaintenance{
+		Interval: 2 * time.Hour,
+		IOBurst:  90 * time.Second,
+		CPUBurst: 150 * time.Second,
+	}
+}

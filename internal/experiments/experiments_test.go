@@ -1,0 +1,398 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// The experiment tests run scaled-down versions of each paper figure and
+// assert the qualitative shape the paper reports — who wins, what grows,
+// where behaviour changes — not absolute 2006 numbers.
+
+func TestFigure7ShapeScaled(t *testing.T) {
+	cfg := ThroughputConfig{
+		PhysicalNodes: 10, VMsPerNode: 4,
+		Horizon: 4 * time.Minute, Ramp: time.Minute,
+	}
+	lengths := []time.Duration{time.Minute, 9 * time.Second, 6 * time.Second}
+	results, err := Sweep(lengths, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-minute jobs: observed tracks ideal closely.
+	r60 := results[0]
+	if ratio := r60.ObservedRate / r60.IdealRate; ratio < 0.85 {
+		t.Fatalf("60s jobs: observed/ideal = %.2f, want ≥0.85 (got %.2f of %.2f)",
+			ratio, r60.ObservedRate, r60.IdealRate)
+	}
+	// Shorter jobs: observed rises in absolute terms but falls further
+	// below ideal (the paper saw >20 jobs/s observed vs 30 ideal at 6s).
+	r9, r6 := results[1], results[2]
+	if r6.ObservedRate <= r60.ObservedRate {
+		t.Fatalf("6s observed %.2f should exceed 60s observed %.2f",
+			r6.ObservedRate, r60.ObservedRate)
+	}
+	if r6.ObservedRate/r6.IdealRate >= r60.ObservedRate/r60.IdealRate {
+		t.Fatalf("6s ratio %.2f should be below 60s ratio %.2f",
+			r6.ObservedRate/r6.IdealRate, r60.ObservedRate/r60.IdealRate)
+	}
+	if r9.ObservedRate/r9.IdealRate < r6.ObservedRate/r6.IdealRate {
+		t.Fatalf("9s ratio %.2f should be ≥ 6s ratio %.2f",
+			r9.ObservedRate/r9.IdealRate, r6.ObservedRate/r6.IdealRate)
+	}
+}
+
+func TestFigure8ShapeScaled(t *testing.T) {
+	cfg := ThroughputConfig{
+		PhysicalNodes: 10, VMsPerNode: 4,
+		Horizon: 4 * time.Minute, Ramp: time.Minute,
+	}
+	results, err := Sweep([]time.Duration{5 * time.Minute, 6 * time.Second}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, short := results[0], results[1]
+	if long.VMsDropping != 0 {
+		t.Fatalf("5-minute jobs dropped on %d VMs, want 0", long.VMsDropping)
+	}
+	if short.VMsDropping == 0 {
+		t.Fatal("6-second jobs should cause drops")
+	}
+	if short.PhysDropping == 0 {
+		t.Fatal("6-second drops should hit physical nodes")
+	}
+	if short.VMsDropping < short.PhysDropping {
+		t.Fatal("VM drop count cannot be below physical drop count")
+	}
+}
+
+func TestFigure9ShapeScaled(t *testing.T) {
+	cfg := ThroughputConfig{
+		PhysicalNodes: 10, VMsPerNode: 4,
+		Horizon: 4 * time.Minute, Ramp: time.Minute,
+	}
+	results, err := Sweep([]time.Duration{time.Minute, 6 * time.Second}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, fast := results[0], results[1]
+	// Busy grows with throughput.
+	if fast.CPU.Busy() <= slow.CPU.Busy() {
+		t.Fatalf("busy at %.1f jobs/s (%.1f%%) should exceed busy at %.1f jobs/s (%.1f%%)",
+			fast.ObservedRate, fast.CPU.Busy(), slow.ObservedRate, slow.CPU.Busy())
+	}
+	// User dominates System and IO (JBoss + DB2 computation).
+	if fast.CPU.User <= fast.CPU.System || fast.CPU.User <= fast.CPU.IO {
+		t.Fatalf("User (%.1f%%) must dominate System (%.1f%%) and IO (%.1f%%)",
+			fast.CPU.User, fast.CPU.System, fast.CPU.IO)
+	}
+	// The CAS keeps spare capacity even at the highest rate.
+	if fast.CPU.Idle < 25 {
+		t.Fatalf("Idle = %.1f%%, the CAS should keep significant headroom", fast.CPU.Idle)
+	}
+}
+
+func TestFigure10ShapeScaled(t *testing.T) {
+	res, err := RunLargeCluster(LargeClusterConfig{
+		PhysicalNodes: 10, VMsPerNode: 20, // 200 VMs
+		Jobs: 1000, Batches: 10,
+		JobLength:  30 * time.Minute,
+		PulseEvery: 2 * time.Minute,
+		Horizon:    100 * time.Minute,
+		Seed:       2006,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakRunning < 195 {
+		t.Fatalf("peak running = %.0f, want ≈200 (full utilization)", res.PeakRunning)
+	}
+	if res.TotalCompleted < 600 {
+		t.Fatalf("completed = %d, want most of 1000 within horizon", res.TotalCompleted)
+	}
+	// Plateau structure: busy during turnover waves must clearly exceed
+	// the heartbeat-only floor.
+	var maxBusy, minBusyAfterRamp float64 = 0, 100
+	for i, s := range res.Samples {
+		if s.Busy() > maxBusy {
+			maxBusy = s.Busy()
+		}
+		if i > 25 && s.Busy() < minBusyAfterRamp { // past ramp
+			minBusyAfterRamp = s.Busy()
+		}
+	}
+	if maxBusy < 2*minBusyAfterRamp {
+		t.Fatalf("no plateau contrast: max busy %.1f%%, min %.1f%%", maxBusy, minBusyAfterRamp)
+	}
+}
+
+func TestFigure11And12ShapeScaled(t *testing.T) {
+	res, err := RunMixed(MixedConfig{
+		PhysicalNodes: 10, VMsPerNode: 6, // 60 VMs
+		ShortJobs: 480, LongJobs: 120, // 1200 min → optimal 20 min
+		Seed: 2006,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCompleted != 600 {
+		t.Fatalf("completed = %d, want 600", res.TotalCompleted)
+	}
+	// Optimal is 20 minutes; the paper's full-scale run took 32 of 30.
+	if res.CompletionMinute > 27 {
+		t.Fatalf("completion = %.0f min, want near the 20-min optimum", res.CompletionMinute)
+	}
+	// Figure 11: the cluster reaches (near-)full utilization quickly and
+	// stays there.
+	full := 0
+	for _, p := range res.Running {
+		if p.Value >= float64(res.VMs)*0.95 {
+			full++
+		}
+	}
+	if full < int(res.CompletionMinute/2) {
+		t.Fatalf("cluster at ≥95%% for only %d minutes of %.0f", full, res.CompletionMinute)
+	}
+	// Figure 12: the early turnover rate (one-minute jobs) must exceed
+	// the late rate (six-minute waves) — the 9 vs 1.5 jobs/s contrast.
+	var early, late float64
+	n := len(res.TurnoverPerSec)
+	if n < 8 {
+		t.Fatalf("too few turnover samples: %d", n)
+	}
+	for _, p := range res.TurnoverPerSec[2 : n/2] {
+		if p.Value > early {
+			early = p.Value
+		}
+	}
+	for _, p := range res.TurnoverPerSec[n/2:] {
+		if p.Value > late {
+			late = p.Value
+		}
+	}
+	if early <= late {
+		t.Fatalf("early turnover %.2f/s should exceed late %.2f/s", early, late)
+	}
+}
+
+func TestFigure13ShapeScaled(t *testing.T) {
+	res, err := RunFig13(Fig13Config{
+		QueueDepth: 3500, Throttle: 2, JobLength: time.Minute,
+		Nodes: 30, VMsPerNode: 8, Horizon: 45 * time.Minute, Seed: 2006,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rate) < 5 {
+		t.Fatalf("too few rate points: %d", len(res.Rate))
+	}
+	// Deep queue (≥3000): rate well below the 2/s throttle.
+	// Shallow queue (≤1000): rate close to the throttle.
+	var deep, shallow []float64
+	for _, p := range res.Rate {
+		switch {
+		case p.QueueLen >= 3000:
+			deep = append(deep, p.Rate)
+		case p.QueueLen <= 1000 && p.QueueLen >= 100:
+			shallow = append(shallow, p.Rate)
+		}
+	}
+	if len(deep) == 0 || len(shallow) == 0 {
+		t.Fatalf("sweep did not cover both regimes: deep=%d shallow=%d", len(deep), len(shallow))
+	}
+	for _, r := range deep {
+		if r > 1.7 {
+			t.Fatalf("rate %.2f/s at deep queue, want below throttle", r)
+		}
+	}
+	avgShallow := 0.0
+	for _, r := range shallow {
+		avgShallow += r
+	}
+	avgShallow /= float64(len(shallow))
+	if avgShallow < 1.6 {
+		t.Fatalf("avg shallow-queue rate %.2f/s, want near the 2/s throttle", avgShallow)
+	}
+}
+
+func TestFigure14ShapeScaled(t *testing.T) {
+	res, err := RunFig13(Fig13Config{
+		QueueDepth: 3500, Throttle: 2, JobLength: time.Minute,
+		Nodes: 30, VMsPerNode: 8, Horizon: 45 * time.Minute, Seed: 2006,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Early samples (deep queue): the schedd saturates its single CPU
+	// (User ≈ 25% of four cores). Later samples (shallow): usage falls.
+	if len(res.CPU) < 20 {
+		t.Fatalf("samples = %d", len(res.CPU))
+	}
+	earlyUser := res.CPU[5].User
+	lateUser := res.CPU[len(res.CPU)-3].User
+	if earlyUser < 15 {
+		t.Fatalf("deep-queue schedd User = %.1f%% of machine, want near the 25%% single-thread ceiling", earlyUser)
+	}
+	if lateUser >= earlyUser {
+		t.Fatalf("User should fall as the queue drains: early %.1f%%, late %.1f%%", earlyUser, lateUser)
+	}
+}
+
+func TestFigure15And16ShapeScaled(t *testing.T) {
+	// 60 VMs; throttle 0.5/s so one schedd can only keep ~30 one-minute
+	// jobs running despite claiming everything (the Figure 15 pathology).
+	base := Fig15Config{
+		Nodes: 15, VMsPerNode: 4,
+		ShortJobs: 240, LongJobs: 60,
+		Schedds: 3, Throttle: 0.5, Seed: 2006,
+	}
+	unlimited, err := RunFig15(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limited := base
+	limited.MaxJobsRunning = 20
+	capped, err := RunFig15(limited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unlimited.TotalCompleted != 900 || capped.TotalCompleted != 900 {
+		t.Fatalf("completions: unlimited %d, capped %d, want 900",
+			unlimited.TotalCompleted, capped.TotalCompleted)
+	}
+	// The paper's headline: without limits the workload takes about twice
+	// as long as with per-schedd limits.
+	if unlimited.CompletionMinute < capped.CompletionMinute*1.4 {
+		t.Fatalf("unlimited %.0f min vs capped %.0f min: expected ≥1.4× gap",
+			unlimited.CompletionMinute, capped.CompletionMinute)
+	}
+	// Figure 15's plateau: during the first half, jobs in progress hover
+	// near throttle × job length (≈30), far below the 60 VMs.
+	seenPlateau := false
+	for _, p := range unlimited.Running[3 : len(unlimited.Running)/2] {
+		if p.Value > 20 && p.Value < 45 {
+			seenPlateau = true
+		}
+	}
+	if !seenPlateau {
+		t.Fatal("figure 15 underutilization plateau not observed")
+	}
+}
+
+func TestCrashShapeScaled(t *testing.T) {
+	res, err := RunCrash(CrashConfig{
+		Nodes: 10, VMsPerNode: 20,
+		Jobs: 500, JobLength: 10 * time.Minute,
+		Throttle: 2, MaxShadows: 200,
+		Horizon: 40 * time.Minute, Seed: 2006,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed {
+		t.Fatal("schedd should crash once jobs turn over at the shadow ceiling")
+	}
+	if res.PeakRunning < 190 {
+		t.Fatalf("peak running = %d, want the ramp to approach 200 first", res.PeakRunning)
+	}
+	// The crash happens at turnover, i.e. after the first jobs complete.
+	if res.CrashMinute < 9 {
+		t.Fatalf("crash at minute %.1f, want after first completions (≥9)", res.CrashMinute)
+	}
+}
+
+func TestTable2TraceMatchesPaperFlow(t *testing.T) {
+	steps, err := Table2Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 15 {
+		t.Fatalf("steps = %d, want 15\n%s", len(steps), RenderTrace("got", steps))
+	}
+	wantPhrases := []string{
+		"submit job service",
+		"inserts a job tuple",
+		"heartbeat web service",
+		"machine tuple",
+		"scheduling algorithm",
+		"inserts match tuple",
+		"MATCHINFO",
+		"acceptMatch",
+		"inserts run tuple",
+		"spawns starter",
+		"job completion information",
+		"deletes related run and job tuples",
+	}
+	all := RenderTrace("Table 2", steps)
+	for _, phrase := range wantPhrases {
+		if !strings.Contains(all, phrase) {
+			t.Fatalf("trace missing %q:\n%s", phrase, all)
+		}
+	}
+}
+
+func TestTable1TraceMatchesPaperFlow(t *testing.T) {
+	steps, err := Table1Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 15 {
+		t.Fatalf("steps = %d, want 15\n%s", len(steps), RenderTrace("got", steps))
+	}
+	all := RenderTrace("Table 1", steps)
+	for _, phrase := range []string{
+		"submits job to schedd",
+		"logs job to disk",
+		"collector",
+		"negotiator",
+		"spawns shadow",
+		"spawns starter",
+		"removes job from queue",
+	} {
+		if !strings.Contains(all, phrase) {
+			t.Fatalf("trace missing %q:\n%s", phrase, all)
+		}
+	}
+}
+
+func TestCodeSizeReport(t *testing.T) {
+	report, err := CountCode("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Total < 10000 {
+		t.Fatalf("total lines = %d, suspiciously small", report.Total)
+	}
+	comps := map[string]bool{}
+	for _, row := range report.Rows {
+		comps[row.Component] = true
+		if row.Lines <= 0 || row.Files <= 0 {
+			t.Fatalf("empty component row: %+v", row)
+		}
+	}
+	for _, want := range []string{
+		"Database engine (DB2 stand-in)",
+		"CondorJ2 common services (CAS: persistence + app logic + interfaces)",
+		"Condor baseline (schedd/shadow/collector/negotiator + ClassAds)",
+	} {
+		if !comps[want] {
+			t.Fatalf("missing component %q in %v", want, comps)
+		}
+	}
+}
+
+func TestRendersProduceOutput(t *testing.T) {
+	cfg := ThroughputConfig{PhysicalNodes: 4, VMsPerNode: 2, Horizon: 2 * time.Minute, Ramp: 30 * time.Second}
+	results, err := Sweep([]time.Duration{time.Minute}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, out := range []string{
+		RenderFigure7(results), RenderFigure8(results), RenderFigure9(results),
+	} {
+		if len(out) < 50 {
+			t.Fatalf("render too short: %q", out)
+		}
+	}
+}

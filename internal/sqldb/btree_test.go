@@ -1,0 +1,235 @@
+package sqldb
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intKey(v int64) Key { return Key{NewInt(v)} }
+
+func TestOrdIndexInsertGetDelete(t *testing.T) {
+	ix := newOrdIndex()
+	if !ix.insert(intKey(5), 50) {
+		t.Fatal("insert failed")
+	}
+	if ix.insert(intKey(5), 51) {
+		t.Fatal("duplicate insert should fail")
+	}
+	rid, ok := ix.get(intKey(5))
+	if !ok || rid != 50 {
+		t.Fatalf("get = %d %v", rid, ok)
+	}
+	if _, ok := ix.get(intKey(6)); ok {
+		t.Fatal("get of absent key succeeded")
+	}
+	if !ix.delete(intKey(5)) {
+		t.Fatal("delete failed")
+	}
+	if ix.delete(intKey(5)) {
+		t.Fatal("double delete succeeded")
+	}
+	if ix.size != 0 {
+		t.Fatalf("size = %d", ix.size)
+	}
+}
+
+func TestOrdIndexScanRange(t *testing.T) {
+	ix := newOrdIndex()
+	for i := int64(0); i < 100; i += 2 {
+		ix.insert(intKey(i), i)
+	}
+	var got []int64
+	ix.scanRange(intKey(10), intKey(20), func(k Key, rid int64) bool {
+		got = append(got, rid)
+		return true
+	})
+	want := []int64{10, 12, 14, 16, 18}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOrdIndexScanRangeOpenEnds(t *testing.T) {
+	ix := newOrdIndex()
+	for i := int64(0); i < 10; i++ {
+		ix.insert(intKey(i), i)
+	}
+	count := 0
+	ix.scanRange(nil, nil, func(Key, int64) bool { count++; return true })
+	if count != 10 {
+		t.Fatalf("full scan visited %d", count)
+	}
+	count = 0
+	ix.scanRange(intKey(7), nil, func(Key, int64) bool { count++; return true })
+	if count != 3 {
+		t.Fatalf("open-high scan visited %d", count)
+	}
+	count = 0
+	ix.scanRange(nil, intKey(3), func(Key, int64) bool { count++; return true })
+	if count != 3 {
+		t.Fatalf("open-low scan visited %d", count)
+	}
+}
+
+func TestOrdIndexScanEarlyStop(t *testing.T) {
+	ix := newOrdIndex()
+	for i := int64(0); i < 10; i++ {
+		ix.insert(intKey(i), i)
+	}
+	count := 0
+	ix.scanRange(nil, nil, func(Key, int64) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestOrdIndexScanPrefix(t *testing.T) {
+	ix := newOrdIndex()
+	// Composite (a, b) keys.
+	for a := int64(0); a < 5; a++ {
+		for b := int64(0); b < 4; b++ {
+			ix.insert(Key{NewInt(a), NewInt(b)}, a*10+b)
+		}
+	}
+	var got []int64
+	ix.scanPrefix(Key{NewInt(2)}, func(k Key, rid int64) bool {
+		got = append(got, rid)
+		return true
+	})
+	want := []int64{20, 21, 22, 23}
+	if len(got) != len(want) {
+		t.Fatalf("prefix scan got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("prefix scan got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOrdIndexTextKeys(t *testing.T) {
+	ix := newOrdIndex()
+	words := []string{"delta", "alpha", "charlie", "bravo"}
+	for i, w := range words {
+		ix.insert(Key{NewText(w)}, int64(i))
+	}
+	var order []string
+	ix.scanRange(nil, nil, func(k Key, _ int64) bool {
+		order = append(order, k[0].Text())
+		return true
+	})
+	if !sort.StringsAreSorted(order) {
+		t.Fatalf("text keys out of order: %v", order)
+	}
+}
+
+// Property: the index agrees with a reference map under a random workload
+// of inserts, deletes and lookups, and iterates in sorted order.
+func TestPropertyOrdIndexMatchesReference(t *testing.T) {
+	type op struct {
+		Key    int16
+		Delete bool
+	}
+	f := func(ops []op) bool {
+		ix := newOrdIndex()
+		ref := make(map[int64]int64)
+		for i, o := range ops {
+			k := int64(o.Key)
+			if o.Delete {
+				_, inRef := ref[k]
+				if ix.delete(intKey(k)) != inRef {
+					return false
+				}
+				delete(ref, k)
+			} else {
+				_, inRef := ref[k]
+				if ix.insert(intKey(k), int64(i)) == inRef {
+					return false // insert must succeed iff absent
+				}
+				if !inRef {
+					ref[k] = int64(i)
+				}
+			}
+		}
+		if ix.size != len(ref) {
+			return false
+		}
+		var keys []int64
+		ok := true
+		ix.scanRange(nil, nil, func(k Key, rid int64) bool {
+			kv := k[0].Int64()
+			keys = append(keys, kv)
+			if ref[kv] != rid {
+				ok = false
+			}
+			return true
+		})
+		if !ok || len(keys) != len(ref) {
+			return false
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i-1] >= keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrdIndexLargeSequential(t *testing.T) {
+	ix := newOrdIndex()
+	const n = 20000
+	for i := int64(0); i < n; i++ {
+		if !ix.insert(intKey(i), i) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	if ix.size != n {
+		t.Fatalf("size = %d", ix.size)
+	}
+	// Delete every third key.
+	for i := int64(0); i < n; i += 3 {
+		if !ix.delete(intKey(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	for i := int64(0); i < n; i++ {
+		_, ok := ix.get(intKey(i))
+		if (i%3 == 0) == ok {
+			t.Fatalf("key %d presence wrong: %v", i, ok)
+		}
+	}
+}
+
+func BenchmarkOrdIndexInsert(b *testing.B) {
+	ix := newOrdIndex()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.insert(intKey(rng.Int63()), int64(i))
+	}
+}
+
+func BenchmarkOrdIndexGet(b *testing.B) {
+	ix := newOrdIndex()
+	for i := int64(0); i < 100000; i++ {
+		ix.insert(intKey(i), i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.get(intKey(int64(i % 100000)))
+	}
+}

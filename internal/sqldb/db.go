@@ -1,0 +1,575 @@
+package sqldb
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// catalogTable is the pseudo-table name DDL statements lock exclusively so
+// schema changes serialize against everything else.
+const catalogTable = "\x00catalog"
+
+// StmtStats summarizes one executed statement. Experiments register a
+// StatsHook to translate these counts into simulated CPU cost (the paper's
+// "speed and efficiency with which ... the database can process the SQL
+// statements" is the scalability-critical path).
+type StmtStats struct {
+	// Kind is the statement verb: SELECT, INSERT, UPDATE, DELETE, DDL,
+	// BEGIN, COMMIT, ROLLBACK.
+	Kind string
+	// Table is the primary target table (first FROM table for SELECT).
+	Table string
+	// RowsScanned counts heap rows visited across all scans.
+	RowsScanned int
+	// RowsReturned counts result rows (SELECT only).
+	RowsReturned int
+	// RowsAffected counts modified rows (INSERT/UPDATE/DELETE).
+	RowsAffected int
+	// UsedIndex reports whether any access path was an index scan.
+	UsedIndex bool
+}
+
+// StatsHook observes statement execution.
+type StatsHook func(StmtStats)
+
+// Options configures Open.
+type Options struct {
+	// VFS supplies the file system for the WAL; nil disables durability
+	// (pure in-memory database).
+	VFS VFS
+	// Path names the WAL file within the VFS.
+	Path string
+	// Sync selects the WAL sync policy.
+	Sync SyncPolicy
+	// Now supplies the clock for NOW(); nil means time.Now (live
+	// deployments). Simulations inject the virtual clock.
+	Now func() time.Time
+}
+
+// DB is an embedded database engine instance. It is safe for concurrent
+// use; concurrency control is strict two-phase locking at table
+// granularity.
+type DB struct {
+	mu     sync.Mutex // guards tables map and schema changes
+	tables map[string]*table
+	locks  *lockManager
+	wal    *wal
+	nextTx atomic.Uint64
+	nowFn  func() time.Time
+	hook   atomic.Pointer[StatsHook]
+	stmtMu sync.RWMutex
+	stmts  map[string]Statement
+	closed atomic.Bool
+	txLive sync.WaitGroup
+}
+
+// New creates a pure in-memory database (no durability).
+func New() *DB {
+	db, err := Open(Options{})
+	if err != nil {
+		panic(err) // cannot happen without a VFS
+	}
+	return db
+}
+
+// Open creates or recovers a database according to opts.
+func Open(opts Options) (*DB, error) {
+	db := &DB{
+		tables: make(map[string]*table),
+		locks:  newLockManager(),
+		nowFn:  opts.Now,
+		stmts:  make(map[string]Statement),
+	}
+	if db.nowFn == nil {
+		db.nowFn = time.Now
+	}
+	if opts.VFS != nil {
+		if opts.Path == "" {
+			return nil, fmt.Errorf("sqldb: Options.Path required with a VFS")
+		}
+		data, err := opts.VFS.ReadFile(opts.Path)
+		if err != nil {
+			return nil, fmt.Errorf("sqldb: reading WAL: %w", err)
+		}
+		if err := db.recover(parseWAL(data)); err != nil {
+			return nil, err
+		}
+		w, err := openWAL(opts.VFS, opts.Path, opts.Sync)
+		if err != nil {
+			return nil, err
+		}
+		db.wal = w
+	}
+	return db, nil
+}
+
+// Close shuts the database down. In-flight transactions are waited for.
+func (db *DB) Close() error {
+	if !db.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	db.txLive.Wait()
+	if db.wal != nil {
+		return db.wal.close()
+	}
+	return nil
+}
+
+// SetStatsHook installs a hook observing every executed statement.
+// Passing nil removes the hook.
+func (db *DB) SetStatsHook(h StatsHook) {
+	if h == nil {
+		db.hook.Store(nil)
+		return
+	}
+	db.hook.Store(&h)
+}
+
+// SetNow replaces the clock used by NOW(); simulations inject virtual time.
+func (db *DB) SetNow(now func() time.Time) { db.nowFn = now }
+
+func (db *DB) emit(s StmtStats) {
+	if h := db.hook.Load(); h != nil {
+		(*h)(s)
+	}
+}
+
+// recover replays committed transactions from the WAL.
+func (db *DB) recover(recs []walRecord) error {
+	committed := make(map[uint64]bool)
+	for _, r := range recs {
+		if r.op == walCommit {
+			committed[r.txn] = true
+		}
+	}
+	for _, r := range recs {
+		if !committed[r.txn] {
+			continue
+		}
+		switch r.op {
+		case walDDL:
+			stmt, err := Parse(r.sql)
+			if err != nil {
+				return fmt.Errorf("sqldb: recovery: bad DDL %q: %w", r.sql, err)
+			}
+			if err := db.applyDDL(stmt, nil); err != nil {
+				return fmt.Errorf("sqldb: recovery: %w", err)
+			}
+		case walInsert:
+			tbl := db.tables[r.table]
+			if tbl == nil {
+				return fmt.Errorf("sqldb: recovery: insert into unknown table %s", r.table)
+			}
+			if err := tbl.placeRow(r.rid, r.row); err != nil {
+				return fmt.Errorf("sqldb: recovery: %w", err)
+			}
+		case walUpdate:
+			tbl := db.tables[r.table]
+			if tbl == nil {
+				return fmt.Errorf("sqldb: recovery: update of unknown table %s", r.table)
+			}
+			if _, err := tbl.updateRow(r.rid, r.row); err != nil {
+				return fmt.Errorf("sqldb: recovery: %w", err)
+			}
+		case walDelete:
+			tbl := db.tables[r.table]
+			if tbl == nil {
+				return fmt.Errorf("sqldb: recovery: delete from unknown table %s", r.table)
+			}
+			if _, err := tbl.deleteRow(r.rid); err != nil {
+				return fmt.Errorf("sqldb: recovery: %w", err)
+			}
+		}
+	}
+	// Rebuild free lists and autoincrement counters.
+	for _, tbl := range db.tables {
+		tbl.free = tbl.free[:0]
+		for rid := int64(0); rid < int64(len(tbl.rows)); rid++ {
+			if tbl.rows[rid] == nil {
+				tbl.free = append(tbl.free, rid)
+			}
+		}
+		for ci := range tbl.schema.Columns {
+			if !tbl.schema.Columns[ci].AutoIncrement {
+				continue
+			}
+			for _, row := range tbl.rows {
+				if row != nil && !row[ci].IsNull() && row[ci].Int64() >= tbl.nextAuto {
+					tbl.nextAuto = row[ci].Int64() + 1
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Begin starts an explicit transaction.
+func (db *DB) Begin() (*Tx, error) {
+	if db.closed.Load() {
+		return nil, fmt.Errorf("sqldb: database is closed")
+	}
+	db.txLive.Add(1)
+	return &Tx{db: db, id: db.nextTx.Add(1)}, nil
+}
+
+func (db *DB) finishTx(tx *Tx) { db.txLive.Done() }
+
+// parse parses with a statement cache, since the CAS executes the same
+// handful of statement shapes millions of times.
+func (db *DB) parse(sql string) (Statement, error) {
+	db.stmtMu.RLock()
+	stmt, ok := db.stmts[sql]
+	db.stmtMu.RUnlock()
+	if ok {
+		return stmt, nil
+	}
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	db.stmtMu.Lock()
+	if len(db.stmts) > 4096 { // bound the cache
+		db.stmts = make(map[string]Statement)
+	}
+	db.stmts[sql] = stmt
+	db.stmtMu.Unlock()
+	return stmt, nil
+}
+
+// Result reports the outcome of a mutating statement.
+type Result struct {
+	// LastInsertID is the last AUTOINCREMENT value assigned by an INSERT.
+	LastInsertID int64
+	// RowsAffected counts inserted/updated/deleted rows.
+	RowsAffected int64
+}
+
+// Rows is a fully materialized query result.
+type Rows struct {
+	// Columns names the result columns in order.
+	Columns []string
+	// Data holds the result rows.
+	Data [][]Value
+	pos  int
+}
+
+// Next advances the cursor, reporting whether a row is available.
+func (r *Rows) Next() bool {
+	if r.pos >= len(r.Data) {
+		return false
+	}
+	r.pos++
+	return true
+}
+
+// Row returns the current row after Next.
+func (r *Rows) Row() []Value { return r.Data[r.pos-1] }
+
+// Len reports the number of rows.
+func (r *Rows) Len() int { return len(r.Data) }
+
+// Exec runs a mutating statement in autocommit mode.
+func (db *DB) Exec(sql string, args ...any) (Result, error) {
+	tx, err := db.Begin()
+	if err != nil {
+		return Result{}, err
+	}
+	tx.implicit = true
+	res, err := tx.Exec(sql, args...)
+	if err != nil {
+		tx.Rollback()
+		return Result{}, err
+	}
+	return res, tx.Commit()
+}
+
+// Query runs a SELECT in autocommit mode.
+func (db *DB) Query(sql string, args ...any) (*Rows, error) {
+	tx, err := db.Begin()
+	if err != nil {
+		return nil, err
+	}
+	tx.implicit = true
+	rows, err := tx.Query(sql, args...)
+	if err != nil {
+		tx.Rollback()
+		return nil, err
+	}
+	return rows, tx.Commit()
+}
+
+// QueryRow runs a SELECT expected to return at most one row; it returns
+// nil when no row matched.
+func (db *DB) QueryRow(sql string, args ...any) ([]Value, error) {
+	rows, err := db.Query(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	if rows.Len() == 0 {
+		return nil, nil
+	}
+	return rows.Data[0], nil
+}
+
+// Exec runs a statement inside the transaction.
+func (tx *Tx) Exec(sql string, args ...any) (Result, error) {
+	if tx.done {
+		return Result{}, ErrTxDone
+	}
+	stmt, err := tx.db.parse(sql)
+	if err != nil {
+		return Result{}, err
+	}
+	params, err := toValues(args)
+	if err != nil {
+		return Result{}, err
+	}
+	res, _, err := tx.execStmt(stmt, params)
+	return res, err
+}
+
+// Query runs a SELECT inside the transaction.
+func (tx *Tx) Query(sql string, args ...any) (*Rows, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	stmt, err := tx.db.parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch stmt.(type) {
+	case *SelectStmt, *ExplainStmt:
+	default:
+		return nil, fmt.Errorf("sqldb: Query requires a SELECT or EXPLAIN statement")
+	}
+	params, err := toValues(args)
+	if err != nil {
+		return nil, err
+	}
+	_, rows, err := tx.execStmt(stmt, params)
+	return rows, err
+}
+
+// QueryRow runs a single-row SELECT inside the transaction; nil when empty.
+func (tx *Tx) QueryRow(sql string, args ...any) ([]Value, error) {
+	rows, err := tx.Query(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	if rows.Len() == 0 {
+		return nil, nil
+	}
+	return rows.Data[0], nil
+}
+
+func toValues(args []any) ([]Value, error) {
+	vals := make([]Value, len(args))
+	for i, a := range args {
+		v, err := FromGo(a)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}
+
+// execStmt dispatches a parsed statement.
+func (tx *Tx) execStmt(stmt Statement, params []Value) (Result, *Rows, error) {
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		rows, err := tx.execSelect(s, params)
+		return Result{}, rows, err
+	case *ExplainStmt:
+		rows, err := tx.execExplain(s, params)
+		return Result{}, rows, err
+	case *InsertStmt:
+		res, err := tx.execInsert(s, params)
+		return res, nil, err
+	case *UpdateStmt:
+		res, err := tx.execUpdate(s, params)
+		return res, nil, err
+	case *DeleteStmt:
+		res, err := tx.execDelete(s, params)
+		return res, nil, err
+	case *CreateTableStmt, *CreateIndexStmt, *DropTableStmt, *DropIndexStmt:
+		if !tx.implicit {
+			return Result{}, nil, fmt.Errorf("sqldb: DDL is not allowed inside an explicit transaction")
+		}
+		if err := tx.lock(catalogTable, lockExclusive); err != nil {
+			return Result{}, nil, err
+		}
+		tx.db.mu.Lock()
+		err := tx.db.applyDDL(stmt, tx)
+		tx.db.mu.Unlock()
+		tx.db.emit(StmtStats{Kind: "DDL"})
+		return Result{}, nil, err
+	case *BeginStmt, *CommitStmt, *RollbackStmt:
+		return Result{}, nil, fmt.Errorf("sqldb: transaction control statements are managed through Begin/Commit/Rollback")
+	default:
+		return Result{}, nil, fmt.Errorf("sqldb: unsupported statement %T", stmt)
+	}
+}
+
+// applyDDL mutates the catalog. Caller holds db.mu (or is in recovery).
+// tx, when non-nil, receives WAL records.
+func (db *DB) applyDDL(stmt Statement, tx *Tx) error {
+	switch s := stmt.(type) {
+	case *CreateTableStmt:
+		name := strings.ToLower(s.Schema.Name)
+		if _, exists := db.tables[name]; exists {
+			if s.IfNotExists {
+				return nil
+			}
+			return fmt.Errorf("sqldb: table %s already exists", name)
+		}
+		schema := s.Schema
+		schema.Name = name
+		db.tables[name] = newTable(schema)
+		if tx != nil {
+			tx.recordDDL(schema.DDL())
+		}
+		return nil
+	case *CreateIndexStmt:
+		tbl := db.tables[strings.ToLower(s.Index.Table)]
+		if tbl == nil {
+			return fmt.Errorf("sqldb: no table %s", s.Index.Table)
+		}
+		if tbl.findIndex(s.Index.Name) != nil && s.IfNotExists {
+			return nil
+		}
+		if err := tbl.addIndexLocked(s.Index); err != nil {
+			return err
+		}
+		if tx != nil {
+			tx.recordDDL(s.Index.DDL())
+		}
+		return nil
+	case *DropTableStmt:
+		name := strings.ToLower(s.Name)
+		if _, exists := db.tables[name]; !exists {
+			if s.IfExists {
+				return nil
+			}
+			return fmt.Errorf("sqldb: no table %s", name)
+		}
+		delete(db.tables, name)
+		if tx != nil {
+			tx.recordDDL("DROP TABLE " + name)
+		}
+		return nil
+	case *DropIndexStmt:
+		for _, tbl := range db.tables {
+			if tbl.dropIndex(s.Name) {
+				if tx != nil {
+					tx.recordDDL("DROP INDEX " + s.Name)
+				}
+				return nil
+			}
+		}
+		if s.IfExists {
+			return nil
+		}
+		return fmt.Errorf("sqldb: no index %s", s.Name)
+	default:
+		return fmt.Errorf("sqldb: not DDL: %T", stmt)
+	}
+}
+
+// lookupTable fetches a table by name under db.mu.
+func (db *DB) lookupTable(name string) (*table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tbl := db.tables[strings.ToLower(name)]
+	if tbl == nil {
+		return nil, fmt.Errorf("sqldb: no table %s", name)
+	}
+	return tbl, nil
+}
+
+// TableNames lists tables in sorted order (for the SQL shell and tools).
+func (db *DB) TableNames() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Schema returns a copy of the named table's schema.
+func (db *DB) Schema(name string) (TableSchema, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	tbl, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return TableSchema{}, false
+	}
+	return tbl.schema, true
+}
+
+// Checkpoint rewrites the WAL as a snapshot of current committed state,
+// bounding recovery time. It briefly locks out writers.
+func (db *DB) Checkpoint() error {
+	if db.wal == nil {
+		return nil
+	}
+	tx, err := db.Begin()
+	if err != nil {
+		return err
+	}
+	defer tx.Rollback()
+	// Quiesce: exclusive catalog lock plus shared locks on every table.
+	if err := tx.lock(catalogTable, lockExclusive); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	db.mu.Unlock()
+	want := make(map[string]lockMode, len(names))
+	for _, n := range names {
+		want[n] = lockShared
+	}
+	if err := tx.lockAll(want); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	db.mu.Lock()
+	for _, n := range names {
+		tbl := db.tables[n]
+		if tbl == nil {
+			continue
+		}
+		appendRecord(&buf, &walRecord{op: walDDL, txn: 0, sql: tbl.schema.DDL()})
+		for _, ix := range tbl.indexes {
+			if strings.HasPrefix(ix.schema.Name, "pk_") || strings.HasPrefix(ix.schema.Name, "uq_") {
+				continue // implied by the table DDL
+			}
+			appendRecord(&buf, &walRecord{op: walDDL, txn: 0, sql: ix.schema.DDL()})
+		}
+	}
+	for _, n := range names {
+		tbl := db.tables[n]
+		if tbl == nil {
+			continue
+		}
+		tbl.scan(func(rid int64, row []Value) bool {
+			appendRecord(&buf, &walRecord{op: walInsert, txn: 0, table: n, rid: rid, row: row})
+			return true
+		})
+	}
+	db.mu.Unlock()
+	appendRecord(&buf, &walRecord{op: walCommit, txn: 0})
+	return db.wal.replaceWith(buf.Bytes())
+}

@@ -1,0 +1,322 @@
+package sqldb
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// This file implements a database/sql driver over the engine — the Go
+// analog of the paper's "any data storage application that provides a JDBC
+// interface and is registered with the Application Server". The application
+// server tier (internal/beans, internal/core) talks to the engine purely
+// through database/sql, which supplies the connection pooling the paper
+// credits with "reduc[ing] the required number of simultaneous open
+// connections to the database".
+
+// DriverName is the name registered with database/sql.
+const DriverName = "condorj2db"
+
+var (
+	registryMu sync.Mutex
+	registry   = make(map[string]*DB)
+)
+
+// Serve registers an engine instance under a DSN name so application code
+// can sql.Open(DriverName, name). Registering the same name twice replaces
+// the previous instance.
+func Serve(name string, db *DB) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[name] = db
+}
+
+// Unserve removes a DSN registration.
+func Unserve(name string) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	delete(registry, name)
+}
+
+// Resolve returns the engine registered under a DSN name.
+func Resolve(name string) (*DB, bool) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	db, ok := registry[name]
+	return db, ok
+}
+
+// Driver implements driver.Driver.
+type Driver struct{}
+
+func init() { sql.Register(DriverName, Driver{}) }
+
+// Open implements driver.Driver. The DSN must name an engine registered
+// with Serve, or use the form "mem:<name>" to lazily create and register a
+// fresh in-memory engine shared by all connections to that DSN.
+func (Driver) Open(dsn string) (driver.Conn, error) {
+	registryMu.Lock()
+	db, ok := registry[dsn]
+	if !ok && len(dsn) > 4 && dsn[:4] == "mem:" {
+		db = New()
+		registry[dsn] = db
+		ok = true
+	}
+	registryMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("sqldb: no engine registered under DSN %q (call sqldb.Serve first)", dsn)
+	}
+	return &conn{db: db}, nil
+}
+
+type conn struct {
+	db *DB
+	tx *Tx
+}
+
+var (
+	_ driver.Conn           = (*conn)(nil)
+	_ driver.ExecerContext  = (*conn)(nil)
+	_ driver.QueryerContext = (*conn)(nil)
+	_ driver.ConnBeginTx    = (*conn)(nil)
+	_ driver.Validator      = (*conn)(nil)
+)
+
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	ast, err := c.db.parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return &stmt{conn: c, ast: ast, numInput: NumParams(ast)}, nil
+}
+
+func (c *conn) Close() error {
+	if c.tx != nil {
+		err := c.tx.Rollback()
+		c.tx = nil
+		return err
+	}
+	return nil
+}
+
+func (c *conn) Begin() (driver.Tx, error) { return c.BeginTx(context.Background(), driver.TxOptions{}) }
+
+// BeginTx implements driver.ConnBeginTx. Isolation options are accepted
+// but the engine always provides serializable isolation (strict 2PL).
+func (c *conn) BeginTx(ctx context.Context, opts driver.TxOptions) (driver.Tx, error) {
+	if c.tx != nil {
+		return nil, fmt.Errorf("sqldb: connection already has an open transaction")
+	}
+	tx, err := c.db.Begin()
+	if err != nil {
+		return nil, err
+	}
+	c.tx = tx
+	return &connTx{conn: c}, nil
+}
+
+// IsValid implements driver.Validator so pooled connections are reused.
+func (c *conn) IsValid() bool { return !c.db.closed.Load() }
+
+// run executes a statement on the connection's transaction, or in
+// autocommit mode when none is open.
+func (c *conn) run(ast Statement, params []Value) (Result, *Rows, error) {
+	if c.tx != nil {
+		return c.tx.execStmt(ast, params)
+	}
+	tx, err := c.db.Begin()
+	if err != nil {
+		return Result{}, nil, err
+	}
+	tx.implicit = true
+	res, rows, err := tx.execStmt(ast, params)
+	if err != nil {
+		tx.Rollback()
+		return Result{}, nil, err
+	}
+	if err := tx.Commit(); err != nil {
+		return Result{}, nil, err
+	}
+	return res, rows, nil
+}
+
+// ExecContext implements driver.ExecerContext.
+func (c *conn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	ast, err := c.db.parse(query)
+	if err != nil {
+		return nil, err
+	}
+	params, err := namedToValues(args)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := c.run(ast, params)
+	if err != nil {
+		return nil, err
+	}
+	return sqlResult{res}, nil
+}
+
+// QueryContext implements driver.QueryerContext.
+func (c *conn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	ast, err := c.db.parse(query)
+	if err != nil {
+		return nil, err
+	}
+	switch ast.(type) {
+	case *SelectStmt, *ExplainStmt:
+	default:
+		return nil, fmt.Errorf("sqldb: Query requires a SELECT or EXPLAIN statement")
+	}
+	params, err := namedToValues(args)
+	if err != nil {
+		return nil, err
+	}
+	_, rows, err := c.run(ast, params)
+	if err != nil {
+		return nil, err
+	}
+	return &driverRows{rows: rows}, nil
+}
+
+type connTx struct{ conn *conn }
+
+func (t *connTx) Commit() error {
+	if t.conn.tx == nil {
+		return ErrTxDone
+	}
+	err := t.conn.tx.Commit()
+	t.conn.tx = nil
+	return err
+}
+
+func (t *connTx) Rollback() error {
+	if t.conn.tx == nil {
+		return ErrTxDone
+	}
+	err := t.conn.tx.Rollback()
+	t.conn.tx = nil
+	return err
+}
+
+type stmt struct {
+	conn     *conn
+	ast      Statement
+	numInput int
+}
+
+func (s *stmt) Close() error  { return nil }
+func (s *stmt) NumInput() int { return s.numInput }
+
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	params, err := driverToValues(args)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := s.conn.run(s.ast, params)
+	if err != nil {
+		return nil, err
+	}
+	return sqlResult{res}, nil
+}
+
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	switch s.ast.(type) {
+	case *SelectStmt, *ExplainStmt:
+	default:
+		return nil, fmt.Errorf("sqldb: Query requires a SELECT or EXPLAIN statement")
+	}
+	params, err := driverToValues(args)
+	if err != nil {
+		return nil, err
+	}
+	_, rows, err := s.conn.run(s.ast, params)
+	if err != nil {
+		return nil, err
+	}
+	return &driverRows{rows: rows}, nil
+}
+
+type sqlResult struct{ res Result }
+
+func (r sqlResult) LastInsertId() (int64, error) { return r.res.LastInsertID, nil }
+func (r sqlResult) RowsAffected() (int64, error) { return r.res.RowsAffected, nil }
+
+type driverRows struct {
+	rows *Rows
+	pos  int
+}
+
+func (r *driverRows) Columns() []string { return r.rows.Columns }
+func (r *driverRows) Close() error      { return nil }
+
+func (r *driverRows) Next(dest []driver.Value) error {
+	if r.pos >= len(r.rows.Data) {
+		return io.EOF
+	}
+	row := r.rows.Data[r.pos]
+	r.pos++
+	for i, v := range row {
+		switch v.Type() {
+		case Null:
+			dest[i] = nil
+		case Int:
+			dest[i] = v.Int64()
+		case Float:
+			dest[i] = v.Float64()
+		case Text:
+			dest[i] = v.Text()
+		case Bool:
+			dest[i] = v.Bool()
+		case Time:
+			dest[i] = v.TimeValue()
+		}
+	}
+	return nil
+}
+
+func driverToValues(args []driver.Value) ([]Value, error) {
+	params := make([]Value, len(args))
+	for i, a := range args {
+		v, err := FromGo(a)
+		if err != nil {
+			return nil, err
+		}
+		params[i] = v
+	}
+	return params, nil
+}
+
+func namedToValues(args []driver.NamedValue) ([]Value, error) {
+	params := make([]Value, len(args))
+	for _, a := range args {
+		v, err := FromGo(a.Value)
+		if err != nil {
+			return nil, err
+		}
+		if a.Ordinal < 1 || a.Ordinal > len(args) {
+			return nil, fmt.Errorf("sqldb: parameter ordinal %d out of range", a.Ordinal)
+		}
+		params[a.Ordinal-1] = v
+	}
+	return params, nil
+}
+
+// CheckNamedValue implements driver.NamedValueChecker, widening the value
+// vocabulary beyond the database/sql defaults (e.g. time.Time passthrough).
+func (c *conn) CheckNamedValue(nv *driver.NamedValue) error {
+	switch nv.Value.(type) {
+	case nil, int64, float64, bool, []byte, string, time.Time:
+		return nil
+	}
+	v, err := FromGo(nv.Value)
+	if err != nil {
+		return err
+	}
+	nv.Value = v.Go()
+	return nil
+}

@@ -1,0 +1,215 @@
+package sqldb
+
+import (
+	"database/sql"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openSQL(t *testing.T) (*sql.DB, *DB) {
+	t.Helper()
+	engine := New()
+	name := "test-" + t.Name()
+	Serve(name, engine)
+	t.Cleanup(func() { Unserve(name) })
+	pool, err := sql.Open(DriverName, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pool.Close() })
+	return pool, engine
+}
+
+func TestDriverBasicCRUD(t *testing.T) {
+	pool, _ := openSQL(t)
+	if _, err := pool.Exec(`CREATE TABLE t (id INTEGER PRIMARY KEY AUTOINCREMENT, name TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := pool.Exec(`INSERT INTO t (name) VALUES (?)`, "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := res.LastInsertId()
+	if id != 1 {
+		t.Fatalf("LastInsertId = %d", id)
+	}
+	var name string
+	if err := pool.QueryRow(`SELECT name FROM t WHERE id = ?`, id).Scan(&name); err != nil {
+		t.Fatal(err)
+	}
+	if name != "alpha" {
+		t.Fatalf("name = %q", name)
+	}
+}
+
+func TestDriverNullScan(t *testing.T) {
+	pool, _ := openSQL(t)
+	pool.Exec(`CREATE TABLE t (v INTEGER)`)
+	pool.Exec(`INSERT INTO t VALUES (NULL)`)
+	var v sql.NullInt64
+	if err := pool.QueryRow(`SELECT v FROM t`).Scan(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Valid {
+		t.Fatal("NULL scanned as valid")
+	}
+}
+
+func TestDriverTimeRoundTrip(t *testing.T) {
+	pool, _ := openSQL(t)
+	pool.Exec(`CREATE TABLE t (at TIMESTAMP)`)
+	ts := time.Date(2006, 10, 1, 8, 30, 0, 0, time.UTC)
+	if _, err := pool.Exec(`INSERT INTO t VALUES (?)`, ts); err != nil {
+		t.Fatal(err)
+	}
+	var got time.Time
+	if err := pool.QueryRow(`SELECT at FROM t`).Scan(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(ts) {
+		t.Fatalf("time = %v, want %v", got, ts)
+	}
+}
+
+func TestDriverTransactions(t *testing.T) {
+	pool, _ := openSQL(t)
+	pool.Exec(`CREATE TABLE t (x INTEGER)`)
+	tx, err := pool.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec(`INSERT INTO t VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	pool.QueryRow(`SELECT count(*) FROM t`).Scan(&n)
+	if n != 0 {
+		t.Fatal("rolled-back insert visible")
+	}
+	tx, _ = pool.Begin()
+	tx.Exec(`INSERT INTO t VALUES (2)`)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	pool.QueryRow(`SELECT count(*) FROM t`).Scan(&n)
+	if n != 1 {
+		t.Fatal("committed insert not visible")
+	}
+}
+
+func TestDriverPreparedStatements(t *testing.T) {
+	pool, _ := openSQL(t)
+	pool.Exec(`CREATE TABLE t (x INTEGER)`)
+	stmt, err := pool.Prepare(`INSERT INTO t VALUES (?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := stmt.Exec(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var n int
+	pool.QueryRow(`SELECT count(*) FROM t`).Scan(&n)
+	if n != 10 {
+		t.Fatalf("count = %d", n)
+	}
+}
+
+func TestDriverConnectionPoolConcurrency(t *testing.T) {
+	pool, _ := openSQL(t)
+	pool.SetMaxOpenConns(8)
+	pool.Exec(`CREATE TABLE t (id INTEGER PRIMARY KEY AUTOINCREMENT, w INTEGER)`)
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := pool.Exec(`INSERT INTO t (w) VALUES (?)`, w); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	var n int
+	pool.QueryRow(`SELECT count(*) FROM t`).Scan(&n)
+	if n != 16*20 {
+		t.Fatalf("count = %d, want %d", n, 16*20)
+	}
+	// Ids must be unique (AUTOINCREMENT under concurrency).
+	var distinct int
+	pool.QueryRow(`SELECT count(DISTINCT id) FROM t`).Scan(&distinct)
+	if distinct != n {
+		t.Fatalf("distinct ids = %d of %d", distinct, n)
+	}
+}
+
+func TestDriverMemDSN(t *testing.T) {
+	pool, err := sql.Open(DriverName, "mem:"+t.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if _, err := pool.Exec(`CREATE TABLE t (x INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	// A second pool on the same DSN shares the engine.
+	pool2, err := sql.Open(DriverName, "mem:"+t.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool2.Close()
+	if _, err := pool2.Exec(`INSERT INTO t VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if err := pool.QueryRow(`SELECT count(*) FROM t`).Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("shared engine count = %d", n)
+	}
+}
+
+func TestDriverUnknownDSN(t *testing.T) {
+	pool, _ := sql.Open(DriverName, "no-such-engine")
+	if err := pool.Ping(); err == nil {
+		t.Fatal("ping of unregistered DSN succeeded")
+	}
+	pool.Close()
+}
+
+func TestDriverRowsIteration(t *testing.T) {
+	pool, _ := openSQL(t)
+	pool.Exec(`CREATE TABLE t (x INTEGER)`)
+	for i := 1; i <= 5; i++ {
+		pool.Exec(`INSERT INTO t VALUES (?)`, i)
+	}
+	rows, err := pool.Query(`SELECT x FROM t ORDER BY x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	sum := 0
+	for rows.Next() {
+		var x int
+		if err := rows.Scan(&x); err != nil {
+			t.Fatal(err)
+		}
+		sum += x
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 15 {
+		t.Fatalf("sum = %d", sum)
+	}
+}

@@ -1,0 +1,1186 @@
+package sqldb
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The executor implements single-table and left-deep nested-loop join
+// plans. Access paths are chosen per table: an index scan when WHERE/ON
+// equality conjuncts cover a prefix of some index, otherwise a full scan.
+// This is deliberately the plan shape the CAS's hot statements need — point
+// lookups on machine name and virtual-machine id during heartbeats, short
+// index scans for the scheduler — per the paper's observation that "a good
+// schema, efficient transformations and short-running transactions for the
+// most common operations are the keys to high performance".
+
+type tableBinding struct {
+	alias string
+	tbl   *table
+}
+
+// accessPlan is the chosen access path for one FROM table: an equality
+// prefix over the index's leading columns, optionally followed by a range
+// bound on the next column (WHERE state = ? AND id > ? uses both).
+type accessPlan struct {
+	index   *index
+	eqExprs []Expr // one per matched index column prefix, evaluated per outer row
+	loExpr  Expr   // lower bound on the column after the prefix (nil = none)
+	loInc   bool   // lower bound is inclusive (>=)
+	hiExpr  Expr   // upper bound on the column after the prefix
+	hiInc   bool
+}
+
+type query struct {
+	tx       *Tx
+	stmt     *SelectStmt
+	params   []Value
+	bindings []tableBinding
+	env      *evalEnv
+	access   []accessPlan
+	onConj   [][]Expr // per ref: ON conjuncts
+	filters  [][]Expr // per ref: WHERE conjuncts first evaluable there
+	stats    *StmtStats
+}
+
+var errStopScan = fmt.Errorf("sqldb: internal: stop scan")
+
+func (tx *Tx) execSelect(s *SelectStmt, params []Value) (*Rows, error) {
+	stats := StmtStats{Kind: "SELECT"}
+	defer func() { tx.db.emit(stats) }()
+
+	q := &query{tx: tx, stmt: s, params: params, stats: &stats}
+	if len(s.From) > 0 {
+		stats.Table = s.From[0].Table
+		want := make(map[string]lockMode, len(s.From))
+		for _, ref := range s.From {
+			want[strings.ToLower(ref.Table)] = lockShared
+		}
+		if err := tx.lockAll(want); err != nil {
+			return nil, err
+		}
+		for _, ref := range s.From {
+			tbl, err := tx.db.lookupTable(ref.Table)
+			if err != nil {
+				return nil, err
+			}
+			q.bindings = append(q.bindings, tableBinding{alias: strings.ToLower(ref.Alias), tbl: tbl})
+		}
+	}
+	q.env = &evalEnv{params: params, now: tx.db.nowFn()}
+	q.env.bindings = make([]binding, len(q.bindings))
+	for i, b := range q.bindings {
+		q.env.bindings[i] = binding{alias: b.alias, schema: &b.tbl.schema}
+	}
+
+	if err := q.plan(); err != nil {
+		return nil, err
+	}
+
+	// Expression-only SELECT (no FROM).
+	if len(q.bindings) == 0 {
+		row := make([]Value, 0, len(s.Exprs))
+		cols := make([]string, 0, len(s.Exprs))
+		for i, se := range s.Exprs {
+			if se.Star {
+				return nil, fmt.Errorf("sqldb: SELECT * requires a FROM clause")
+			}
+			v, err := q.env.eval(se.Expr)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			cols = append(cols, outputName(se, i))
+		}
+		return &Rows{Columns: cols, Data: [][]Value{row}}, nil
+	}
+
+	// Expand stars and name outputs.
+	outs, cols, err := q.expandOutputs()
+	if err != nil {
+		return nil, err
+	}
+
+	aggregated := len(s.GroupBy) > 0 || s.Having != nil
+	for _, o := range outs {
+		if hasAggregate(o) {
+			aggregated = true
+		}
+	}
+
+	var data [][]Value
+	if aggregated {
+		data, err = q.runAggregate(outs)
+	} else {
+		data, err = q.runPlain(outs)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if s.Distinct {
+		data = dedupeRows(data)
+	}
+	// ORDER BY handled inside runPlain/runAggregate (needs row envs); here
+	// only LIMIT/OFFSET remain.
+	data, err = q.applyLimit(data)
+	if err != nil {
+		return nil, err
+	}
+	stats.RowsReturned = len(data)
+	return &Rows{Columns: cols, Data: data}, nil
+}
+
+// plan splits predicates into conjuncts, assigns them to join positions,
+// and selects access paths.
+func (q *query) plan() error {
+	n := len(q.bindings)
+	q.onConj = make([][]Expr, n)
+	q.filters = make([][]Expr, n)
+	q.access = make([]accessPlan, n)
+	if n == 0 {
+		return nil
+	}
+	for i := 1; i < n; i++ {
+		if q.stmt.From[i].On != nil {
+			q.onConj[i] = conjuncts(q.stmt.From[i].On)
+		}
+	}
+	for _, c := range conjuncts(q.stmt.Where) {
+		pos, err := q.lastBindingPos(c)
+		if err != nil {
+			return err
+		}
+		q.filters[pos] = append(q.filters[pos], c)
+	}
+	for i := 0; i < n; i++ {
+		// Index-eligible conjuncts: the table's own filters (inner join or
+		// first table only — pushing WHERE into a LEFT JOIN inner scan
+		// would change padding semantics) plus its ON conjuncts.
+		var usable []Expr
+		usable = append(usable, q.onConj[i]...)
+		if i == 0 || q.stmt.From[i].Join == JoinInner {
+			usable = append(usable, q.filters[i]...)
+		}
+		q.access[i] = q.chooseAccess(i, usable)
+		if q.access[i].index != nil {
+			q.stats.UsedIndex = true
+		}
+	}
+	return nil
+}
+
+// conjuncts flattens nested ANDs into a list.
+func conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*Binary); ok && b.Op == "and" {
+		return append(conjuncts(b.L), conjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// bindingPos resolves a column reference to a join position at plan time.
+func (q *query) bindingPos(cr *ColRef) (int, error) {
+	if cr.Table != "" {
+		t := strings.ToLower(cr.Table)
+		for i, b := range q.bindings {
+			if b.alias == t {
+				return i, nil
+			}
+		}
+		return 0, fmt.Errorf("sqldb: unknown table or alias %q", cr.Table)
+	}
+	found := -1
+	for i, b := range q.bindings {
+		if b.tbl.schema.ColumnIndex(cr.Name) >= 0 {
+			if found >= 0 {
+				return 0, fmt.Errorf("sqldb: ambiguous column %q", cr.Name)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("sqldb: unknown column %q", cr.Name)
+	}
+	return found, nil
+}
+
+// lastBindingPos reports the rightmost join position an expression
+// references; expressions without column refs are position 0.
+func (q *query) lastBindingPos(e Expr) (int, error) {
+	pos := 0
+	var firstErr error
+	walkExpr(e, func(x Expr) {
+		cr, ok := x.(*ColRef)
+		if !ok {
+			return
+		}
+		p, err := q.bindingPos(cr)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		if p > pos {
+			pos = p
+		}
+	})
+	return pos, firstErr
+}
+
+// rangeBound is one inequality usable as an index range endpoint.
+type rangeBound struct {
+	expr Expr
+	inc  bool
+}
+
+// chooseAccess picks the index with the longest equality prefix satisfied
+// by the usable conjuncts for table position i, extending it with a range
+// bound on the following column when one is available.
+func (q *query) chooseAccess(i int, usable []Expr) accessPlan {
+	// boundSide classifies `col OP expr` where expr is computable before
+	// position i; returns the column index or -1.
+	boundSide := func(colSide, otherSide Expr) int {
+		cr, ok := colSide.(*ColRef)
+		if !ok {
+			return -1
+		}
+		pos, err := q.bindingPos(cr)
+		if err != nil || pos != i {
+			return -1
+		}
+		other, err := q.lastBindingPos(otherSide)
+		if err != nil || (other >= i && refsColumns(otherSide)) {
+			return -1
+		}
+		return q.bindings[i].tbl.schema.ColumnIndex(cr.Name)
+	}
+
+	eqByCol := make(map[int]Expr)
+	loByCol := make(map[int]rangeBound)
+	hiByCol := make(map[int]rangeBound)
+	for _, c := range usable {
+		switch x := c.(type) {
+		case *Binary:
+			switch x.Op {
+			case "=":
+				if ci := boundSide(x.L, x.R); ci >= 0 {
+					if _, dup := eqByCol[ci]; !dup {
+						eqByCol[ci] = x.R
+					}
+				} else if ci := boundSide(x.R, x.L); ci >= 0 {
+					if _, dup := eqByCol[ci]; !dup {
+						eqByCol[ci] = x.L
+					}
+				}
+			case "<", "<=", ">", ">=":
+				// col OP expr, or expr OP col (flip the direction).
+				if ci := boundSide(x.L, x.R); ci >= 0 {
+					setBound(loByCol, hiByCol, ci, x.Op, x.R)
+				} else if ci := boundSide(x.R, x.L); ci >= 0 {
+					setBound(loByCol, hiByCol, ci, flipOp(x.Op), x.L)
+				}
+			}
+		case *BetweenExpr:
+			if x.Not {
+				continue
+			}
+			if ci := boundSide(x.X, x.Lo); ci >= 0 {
+				if ci2 := boundSide(x.X, x.Hi); ci2 == ci {
+					setBound(loByCol, hiByCol, ci, ">=", x.Lo)
+					setBound(loByCol, hiByCol, ci, "<=", x.Hi)
+				}
+			}
+		}
+	}
+	if len(eqByCol) == 0 && len(loByCol) == 0 && len(hiByCol) == 0 {
+		return accessPlan{}
+	}
+	var best accessPlan
+	bestScore := 0
+	for _, ix := range q.bindings[i].tbl.indexes {
+		var plan accessPlan
+		plan.index = ix
+		for _, col := range ix.cols {
+			e, ok := eqByCol[col]
+			if !ok {
+				break
+			}
+			plan.eqExprs = append(plan.eqExprs, e)
+		}
+		// A range bound on the column right after the equality prefix.
+		if len(plan.eqExprs) < len(ix.cols) {
+			next := ix.cols[len(plan.eqExprs)]
+			if lo, ok := loByCol[next]; ok {
+				plan.loExpr, plan.loInc = lo.expr, lo.inc
+			}
+			if hi, ok := hiByCol[next]; ok {
+				plan.hiExpr, plan.hiInc = hi.expr, hi.inc
+			}
+		}
+		score := 2 * len(plan.eqExprs)
+		if plan.loExpr != nil {
+			score++
+		}
+		if plan.hiExpr != nil {
+			score++
+		}
+		if score > bestScore {
+			best = plan
+			bestScore = score
+		}
+	}
+	if bestScore == 0 {
+		return accessPlan{}
+	}
+	return best
+}
+
+func setBound(lo, hi map[int]rangeBound, col int, op string, e Expr) {
+	switch op {
+	case ">":
+		if _, dup := lo[col]; !dup {
+			lo[col] = rangeBound{expr: e}
+		}
+	case ">=":
+		if _, dup := lo[col]; !dup {
+			lo[col] = rangeBound{expr: e, inc: true}
+		}
+	case "<":
+		if _, dup := hi[col]; !dup {
+			hi[col] = rangeBound{expr: e}
+		}
+	case "<=":
+		if _, dup := hi[col]; !dup {
+			hi[col] = rangeBound{expr: e, inc: true}
+		}
+	}
+}
+
+// flipOp mirrors a comparison when operands swap sides.
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}
+
+func refsColumns(e Expr) bool {
+	found := false
+	walkExpr(e, func(x Expr) {
+		if _, ok := x.(*ColRef); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+// scanBinding visits candidate rows for position i under the current outer
+// env, using the chosen access path.
+func (q *query) scanBinding(i int, visit func(row []Value) error) error {
+	return q.scanAccess(i, func(rid int64, row []Value) error { return visit(row) })
+}
+
+// scanAccess is the shared access-path executor: full scan, equality
+// prefix, or equality prefix + range bound.
+func (q *query) scanAccess(i int, visit func(rid int64, row []Value) error) error {
+	ap := q.access[i]
+	tbl := q.bindings[i].tbl
+	if ap.index == nil {
+		var err error
+		tbl.scan(func(rid int64, row []Value) bool {
+			q.stats.RowsScanned++
+			if e := visit(rid, row); e != nil {
+				err = e
+				return false
+			}
+			return true
+		})
+		return err
+	}
+	prefix := make(Key, len(ap.eqExprs))
+	for j, e := range ap.eqExprs {
+		v, err := q.env.eval(e)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			return nil // col = NULL never matches
+		}
+		// Coerce to the indexed column's type so Int/Float compare right.
+		cv, err := coerce(v, tbl.schema.Columns[ap.index.cols[j]].Type)
+		if err != nil {
+			return nil // incomparable constant: no matches
+		}
+		prefix[j] = cv
+	}
+	// Resolve the optional range bounds on the next index column.
+	rangeCol := -1
+	var loVal, hiVal Value
+	haveLo, haveHi := false, false
+	if ap.loExpr != nil || ap.hiExpr != nil {
+		rangeCol = ap.index.cols[len(ap.eqExprs)]
+		if ap.loExpr != nil {
+			v, err := q.env.eval(ap.loExpr)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				return nil // comparison with NULL matches nothing
+			}
+			cv, err := coerce(v, tbl.schema.Columns[rangeCol].Type)
+			if err != nil {
+				return nil
+			}
+			loVal, haveLo = cv, true
+		}
+		if ap.hiExpr != nil {
+			v, err := q.env.eval(ap.hiExpr)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				return nil
+			}
+			cv, err := coerce(v, tbl.schema.Columns[rangeCol].Type)
+			if err != nil {
+				return nil
+			}
+			hiVal, haveHi = cv, true
+		}
+	}
+	seek := prefix
+	if haveLo {
+		seek = append(append(Key{}, prefix...), loVal)
+	}
+	kpos := len(prefix)
+	var err error
+	ap.index.tree.scanRange(seek, nil, func(k Key, rid int64) bool {
+		// Stay within the equality prefix.
+		if len(k) < len(prefix) || compareKeys(k[:len(prefix)], prefix) != 0 {
+			return false
+		}
+		if rangeCol >= 0 && kpos < len(k) {
+			if haveLo && !ap.loInc {
+				if c, cerr := Compare(k[kpos], loVal); cerr == nil && c == 0 {
+					return true // skip boundary values for strict >
+				}
+			}
+			if haveHi {
+				c, cerr := Compare(k[kpos], hiVal)
+				if cerr != nil || c > 0 || (c == 0 && !ap.hiInc) {
+					return false
+				}
+			}
+		}
+		q.stats.RowsScanned++
+		row := tbl.rows[rid]
+		if row == nil {
+			return true
+		}
+		if e := visit(rid, row); e != nil {
+			err = e
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+// join runs the nested-loop join from position i, calling emit for each
+// fully joined row bound in q.env.
+func (q *query) join(i int, emit func() error) error {
+	if i == len(q.bindings) {
+		return emit()
+	}
+	isLeft := i > 0 && q.stmt.From[i].Join == JoinLeft
+	matched := false
+	err := q.scanBinding(i, func(row []Value) error {
+		q.env.bindings[i].row = row
+		for _, c := range q.onConj[i] {
+			ok, err := truthy(q.env.eval(c))
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		matched = true
+		for _, c := range q.filters[i] {
+			ok, err := truthy(q.env.eval(c))
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		return q.join(i+1, emit)
+	})
+	if err != nil {
+		return err
+	}
+	if isLeft && !matched {
+		q.env.bindings[i].row = nil
+		for _, c := range q.filters[i] {
+			ok, err := truthy(q.env.eval(c))
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		return q.join(i+1, emit)
+	}
+	return nil
+}
+
+// expandOutputs resolves stars into column refs and names the outputs.
+func (q *query) expandOutputs() ([]Expr, []string, error) {
+	var outs []Expr
+	var cols []string
+	for i, se := range q.stmt.Exprs {
+		if !se.Star {
+			outs = append(outs, se.Expr)
+			cols = append(cols, outputName(se, i))
+			continue
+		}
+		expanded := false
+		for _, b := range q.bindings {
+			if se.Table != "" && strings.ToLower(se.Table) != b.alias {
+				continue
+			}
+			for _, c := range b.tbl.schema.Columns {
+				outs = append(outs, &ColRef{Table: b.alias, Name: c.Name})
+				cols = append(cols, c.Name)
+			}
+			expanded = true
+		}
+		if !expanded {
+			return nil, nil, fmt.Errorf("sqldb: %s.* matches no table", se.Table)
+		}
+	}
+	return outs, cols, nil
+}
+
+func outputName(se SelectExpr, i int) string {
+	if se.Alias != "" {
+		return se.Alias
+	}
+	switch e := se.Expr.(type) {
+	case *ColRef:
+		return strings.ToLower(e.Name)
+	case *FuncCall:
+		if e.Star {
+			return e.Name + "(*)"
+		}
+		return e.Name
+	default:
+		return fmt.Sprintf("col%d", i+1)
+	}
+}
+
+// sortableRow pairs an output row with its ORDER BY keys.
+type sortableRow struct {
+	out  []Value
+	keys []Value
+}
+
+func sortRows(rows []sortableRow, items []OrderItem) {
+	sort.SliceStable(rows, func(a, b int) bool {
+		for k := range items {
+			c, err := Compare(rows[a].keys[k], rows[b].keys[k])
+			if err != nil {
+				c = 0
+			}
+			if items[k].Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+}
+
+// orderKeyExprs resolves ORDER BY items, mapping bare aliases to output
+// columns (returned as negative positions encoded in aliasPos).
+func (q *query) orderKeys(outs []Expr) ([]Expr, []int) {
+	exprs := make([]Expr, len(q.stmt.OrderBy))
+	aliasPos := make([]int, len(q.stmt.OrderBy))
+	for i, item := range q.stmt.OrderBy {
+		exprs[i] = item.Expr
+		aliasPos[i] = -1
+		if cr, ok := item.Expr.(*ColRef); ok && cr.Table == "" {
+			for j, se := range q.stmt.Exprs {
+				if se.Alias != "" && strings.EqualFold(se.Alias, cr.Name) {
+					aliasPos[i] = j
+				}
+			}
+		}
+		// ORDER BY <n>: positional reference to the output list.
+		if lit, ok := item.Expr.(*Literal); ok && lit.Val.Type() == Int {
+			n := int(lit.Val.Int64())
+			if n >= 1 && n <= len(outs) {
+				aliasPos[i] = n - 1
+			}
+		}
+	}
+	return exprs, aliasPos
+}
+
+// runPlain executes a non-aggregated SELECT.
+func (q *query) runPlain(outs []Expr) ([][]Value, error) {
+	var rows []sortableRow
+	orderExprs, aliasPos := q.orderKeys(outs)
+
+	// Early-exit optimization for ORDER-BY-less LIMIT queries.
+	earlyStop := -1
+	if q.stmt.Limit != nil && len(q.stmt.OrderBy) == 0 && !q.stmt.Distinct {
+		n, off, err := q.limitOffset()
+		if err != nil {
+			return nil, err
+		}
+		if n >= 0 {
+			earlyStop = n + off
+		}
+	}
+
+	err := q.join(0, func() error {
+		out := make([]Value, len(outs))
+		for i, e := range outs {
+			v, err := q.env.eval(e)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		sr := sortableRow{out: out}
+		if len(orderExprs) > 0 {
+			sr.keys = make([]Value, len(orderExprs))
+			for i, e := range orderExprs {
+				if aliasPos[i] >= 0 {
+					sr.keys[i] = out[aliasPos[i]]
+					continue
+				}
+				v, err := q.env.eval(e)
+				if err != nil {
+					return err
+				}
+				sr.keys[i] = v
+			}
+		}
+		rows = append(rows, sr)
+		if earlyStop >= 0 && len(rows) >= earlyStop {
+			return errStopScan
+		}
+		return nil
+	})
+	if err != nil && err != errStopScan {
+		return nil, err
+	}
+	if len(q.stmt.OrderBy) > 0 {
+		sortRows(rows, q.stmt.OrderBy)
+	}
+	data := make([][]Value, len(rows))
+	for i := range rows {
+		data[i] = rows[i].out
+	}
+	return data, nil
+}
+
+// aggState accumulates one aggregate call within one group.
+type aggState struct {
+	count    int64
+	sumI     int64
+	sumF     float64
+	isFloat  bool
+	min, max Value
+	distinct map[string]bool
+}
+
+type group struct {
+	snapshot []binding // first row's bindings (copied)
+	aggs     map[*FuncCall]*aggState
+}
+
+// runAggregate executes a grouped / aggregated SELECT.
+func (q *query) runAggregate(outs []Expr) ([][]Value, error) {
+	// Find all aggregate calls across outputs, HAVING and ORDER BY.
+	var aggCalls []*FuncCall
+	collect := func(e Expr) {
+		walkExpr(e, func(x Expr) {
+			if fc, ok := x.(*FuncCall); ok && isAggregate(fc) {
+				aggCalls = append(aggCalls, fc)
+			}
+		})
+	}
+	for _, e := range outs {
+		collect(e)
+	}
+	collect(q.stmt.Having)
+	for _, o := range q.stmt.OrderBy {
+		collect(o.Expr)
+	}
+
+	groups := make(map[string]*group)
+	var order []string // deterministic group order of first appearance
+
+	err := q.join(0, func() error {
+		var keyBuf bytes.Buffer
+		for _, ge := range q.stmt.GroupBy {
+			v, err := q.env.eval(ge)
+			if err != nil {
+				return err
+			}
+			writeValue(&keyBuf, v)
+		}
+		key := keyBuf.String()
+		g, ok := groups[key]
+		if !ok {
+			g = &group{aggs: make(map[*FuncCall]*aggState, len(aggCalls))}
+			g.snapshot = make([]binding, len(q.env.bindings))
+			copy(g.snapshot, q.env.bindings)
+			for i := range g.snapshot {
+				if q.env.bindings[i].row != nil {
+					g.snapshot[i].row = append([]Value(nil), q.env.bindings[i].row...)
+				}
+			}
+			for _, fc := range aggCalls {
+				g.aggs[fc] = &aggState{}
+			}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for _, fc := range aggCalls {
+			if err := q.accumulate(g.aggs[fc], fc); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Global aggregation over zero rows still yields one row.
+	if len(q.stmt.GroupBy) == 0 && len(groups) == 0 {
+		g := &group{aggs: make(map[*FuncCall]*aggState, len(aggCalls))}
+		g.snapshot = make([]binding, len(q.env.bindings))
+		copy(g.snapshot, q.env.bindings)
+		for i := range g.snapshot {
+			g.snapshot[i].row = nil
+		}
+		for _, fc := range aggCalls {
+			g.aggs[fc] = &aggState{}
+		}
+		groups[""] = g
+		order = append(order, "")
+	}
+
+	orderExprs, aliasPos := q.orderKeys(outs)
+	var rows []sortableRow
+	for _, key := range order {
+		g := groups[key]
+		genv := &evalEnv{
+			bindings: g.snapshot,
+			params:   q.params,
+			now:      q.env.now,
+			aggs:     make(map[*FuncCall]Value, len(aggCalls)),
+		}
+		for _, fc := range aggCalls {
+			genv.aggs[fc] = finishAgg(fc, g.aggs[fc])
+		}
+		if q.stmt.Having != nil {
+			ok, err := truthy(genv.eval(q.stmt.Having))
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		out := make([]Value, len(outs))
+		for i, e := range outs {
+			v, err := genv.eval(e)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		sr := sortableRow{out: out}
+		if len(orderExprs) > 0 {
+			sr.keys = make([]Value, len(orderExprs))
+			for i, e := range orderExprs {
+				if aliasPos[i] >= 0 {
+					sr.keys[i] = out[aliasPos[i]]
+					continue
+				}
+				v, err := genv.eval(e)
+				if err != nil {
+					return nil, err
+				}
+				sr.keys[i] = v
+			}
+		}
+		rows = append(rows, sr)
+	}
+	if len(q.stmt.OrderBy) > 0 {
+		sortRows(rows, q.stmt.OrderBy)
+	}
+	data := make([][]Value, len(rows))
+	for i := range rows {
+		data[i] = rows[i].out
+	}
+	return data, nil
+}
+
+func (q *query) accumulate(st *aggState, fc *FuncCall) error {
+	if fc.Star {
+		st.count++
+		return nil
+	}
+	if len(fc.Args) != 1 {
+		return fmt.Errorf("sqldb: %s expects one argument", strings.ToUpper(fc.Name))
+	}
+	v, err := q.env.eval(fc.Args[0])
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil // aggregates ignore NULL inputs
+	}
+	if fc.Distinct {
+		if st.distinct == nil {
+			st.distinct = make(map[string]bool)
+		}
+		var kb bytes.Buffer
+		writeValue(&kb, v)
+		if st.distinct[kb.String()] {
+			return nil
+		}
+		st.distinct[kb.String()] = true
+	}
+	st.count++
+	switch fc.Name {
+	case "sum", "avg":
+		if !v.isNumeric() {
+			return fmt.Errorf("sqldb: %s requires numeric input", strings.ToUpper(fc.Name))
+		}
+		if v.Type() == Float {
+			st.isFloat = true
+		}
+		st.sumI += v.Int64()
+		st.sumF += v.Float64()
+	case "min":
+		if st.min.IsNull() {
+			st.min = v
+		} else if c, err := Compare(v, st.min); err == nil && c < 0 {
+			st.min = v
+		}
+	case "max":
+		if st.max.IsNull() {
+			st.max = v
+		} else if c, err := Compare(v, st.max); err == nil && c > 0 {
+			st.max = v
+		}
+	}
+	return nil
+}
+
+func finishAgg(fc *FuncCall, st *aggState) Value {
+	switch fc.Name {
+	case "count":
+		return NewInt(st.count)
+	case "sum":
+		if st.count == 0 {
+			return NullValue()
+		}
+		if st.isFloat {
+			return NewFloat(st.sumF)
+		}
+		return NewInt(st.sumI)
+	case "avg":
+		if st.count == 0 {
+			return NullValue()
+		}
+		return NewFloat(st.sumF / float64(st.count))
+	case "min":
+		return st.min
+	case "max":
+		return st.max
+	default:
+		return NullValue()
+	}
+}
+
+func dedupeRows(data [][]Value) [][]Value {
+	seen := make(map[string]bool, len(data))
+	out := data[:0]
+	for _, row := range data {
+		var kb bytes.Buffer
+		for _, v := range row {
+			writeValue(&kb, v)
+		}
+		k := kb.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, row)
+	}
+	return out
+}
+
+func (q *query) limitOffset() (limit, offset int, err error) {
+	limit = -1
+	env := &evalEnv{params: q.params, now: q.env.now}
+	if q.stmt.Limit != nil {
+		v, err := env.eval(q.stmt.Limit)
+		if err != nil {
+			return 0, 0, err
+		}
+		if v.Type() != Int || v.Int64() < 0 {
+			return 0, 0, fmt.Errorf("sqldb: LIMIT must be a non-negative integer")
+		}
+		limit = int(v.Int64())
+	}
+	if q.stmt.Offset != nil {
+		v, err := env.eval(q.stmt.Offset)
+		if err != nil {
+			return 0, 0, err
+		}
+		if v.Type() != Int || v.Int64() < 0 {
+			return 0, 0, fmt.Errorf("sqldb: OFFSET must be a non-negative integer")
+		}
+		offset = int(v.Int64())
+	}
+	return limit, offset, nil
+}
+
+func (q *query) applyLimit(data [][]Value) ([][]Value, error) {
+	limit, offset, err := q.limitOffset()
+	if err != nil {
+		return nil, err
+	}
+	if offset > 0 {
+		if offset >= len(data) {
+			return nil, nil
+		}
+		data = data[offset:]
+	}
+	if limit >= 0 && limit < len(data) {
+		data = data[:limit]
+	}
+	return data, nil
+}
+
+// --- INSERT / UPDATE / DELETE ---
+
+func (tx *Tx) execInsert(s *InsertStmt, params []Value) (Result, error) {
+	stats := StmtStats{Kind: "INSERT", Table: s.Table}
+	defer func() { tx.db.emit(stats) }()
+	if err := tx.lock(strings.ToLower(s.Table), lockExclusive); err != nil {
+		return Result{}, err
+	}
+	tbl, err := tx.db.lookupTable(s.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	cols := s.Columns
+	if len(cols) == 0 {
+		cols = make([]string, len(tbl.schema.Columns))
+		for i, c := range tbl.schema.Columns {
+			cols[i] = c.Name
+		}
+	}
+	colIdx := make([]int, len(cols))
+	for i, c := range cols {
+		ci := tbl.schema.ColumnIndex(c)
+		if ci < 0 {
+			return Result{}, fmt.Errorf("sqldb: table %s has no column %s", s.Table, c)
+		}
+		colIdx[i] = ci
+	}
+	autoCol := -1
+	for i := range tbl.schema.Columns {
+		if tbl.schema.Columns[i].AutoIncrement {
+			autoCol = i
+		}
+	}
+	env := &evalEnv{params: params, now: tx.db.nowFn()}
+	var res Result
+	for _, exprRow := range s.Rows {
+		if len(exprRow) != len(cols) {
+			return res, fmt.Errorf("sqldb: INSERT has %d values for %d columns", len(exprRow), len(cols))
+		}
+		provided := make([]Value, len(tbl.schema.Columns))
+		has := make([]bool, len(tbl.schema.Columns))
+		for i, e := range exprRow {
+			v, err := env.eval(e)
+			if err != nil {
+				return res, err
+			}
+			provided[colIdx[i]] = v
+			has[colIdx[i]] = true
+		}
+		row, err := tbl.buildRow(provided, has, nil)
+		if err != nil {
+			return res, err
+		}
+		if _, err := tx.insertRow(tbl, row); err != nil {
+			return res, err
+		}
+		if autoCol >= 0 && !row[autoCol].IsNull() {
+			res.LastInsertID = row[autoCol].Int64()
+		}
+		res.RowsAffected++
+	}
+	stats.RowsAffected = int(res.RowsAffected)
+	return res, nil
+}
+
+// planTarget builds a single-table query context for UPDATE/DELETE WHERE
+// handling, sharing the SELECT access-path machinery.
+func (tx *Tx) planTarget(tableName string, where Expr, params []Value, stats *StmtStats) (*query, *table, error) {
+	tbl, err := tx.db.lookupTable(tableName)
+	if err != nil {
+		return nil, nil, err
+	}
+	q := &query{
+		tx:     tx,
+		stmt:   &SelectStmt{From: []TableRef{{Table: tableName, Alias: tableName}}, Where: where},
+		params: params,
+		stats:  stats,
+	}
+	q.bindings = []tableBinding{{alias: strings.ToLower(tableName), tbl: tbl}}
+	q.env = &evalEnv{params: params, now: tx.db.nowFn()}
+	q.env.bindings = []binding{{alias: q.bindings[0].alias, schema: &tbl.schema}}
+	if err := q.plan(); err != nil {
+		return nil, nil, err
+	}
+	return q, tbl, nil
+}
+
+// matchTarget collects row ids matching WHERE (materialized up front so
+// mutation does not disturb the scan).
+func (q *query) matchTarget(tbl *table) ([]int64, error) {
+	var rids []int64
+	err := q.scanAccess(0, func(rid int64, row []Value) error {
+		q.env.bindings[0].row = row
+		for _, c := range q.filters[0] {
+			ok, err := truthy(q.env.eval(c))
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		rids = append(rids, rid)
+		return nil
+	})
+	return rids, err
+}
+
+func (tx *Tx) execUpdate(s *UpdateStmt, params []Value) (Result, error) {
+	stats := StmtStats{Kind: "UPDATE", Table: s.Table}
+	defer func() { tx.db.emit(stats) }()
+	if err := tx.lock(strings.ToLower(s.Table), lockExclusive); err != nil {
+		return Result{}, err
+	}
+	q, tbl, err := tx.planTarget(s.Table, s.Where, params, &stats)
+	if err != nil {
+		return Result{}, err
+	}
+	if q.access[0].index != nil {
+		stats.UsedIndex = true
+	}
+	setIdx := make([]int, len(s.Sets))
+	for i, set := range s.Sets {
+		ci := tbl.schema.ColumnIndex(set.Column)
+		if ci < 0 {
+			return Result{}, fmt.Errorf("sqldb: table %s has no column %s", s.Table, set.Column)
+		}
+		setIdx[i] = ci
+	}
+	rids, err := q.matchTarget(tbl)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	for _, rid := range rids {
+		old := tbl.rows[rid]
+		if old == nil {
+			continue
+		}
+		q.env.bindings[0].row = old
+		newRow := append([]Value(nil), old...)
+		for i, set := range s.Sets {
+			v, err := q.env.eval(set.Value)
+			if err != nil {
+				return res, err
+			}
+			col := &tbl.schema.Columns[setIdx[i]]
+			if !v.IsNull() {
+				cv, err := coerce(v, col.Type)
+				if err != nil {
+					return res, fmt.Errorf("sqldb: column %s.%s: %v", s.Table, col.Name, err)
+				}
+				v = cv
+			} else if col.NotNull {
+				return res, fmt.Errorf("sqldb: column %s.%s is NOT NULL", s.Table, col.Name)
+			}
+			newRow[setIdx[i]] = v
+		}
+		if err := tx.updateRow(tbl, rid, newRow); err != nil {
+			return res, err
+		}
+		res.RowsAffected++
+	}
+	stats.RowsAffected = int(res.RowsAffected)
+	return res, nil
+}
+
+func (tx *Tx) execDelete(s *DeleteStmt, params []Value) (Result, error) {
+	stats := StmtStats{Kind: "DELETE", Table: s.Table}
+	defer func() { tx.db.emit(stats) }()
+	if err := tx.lock(strings.ToLower(s.Table), lockExclusive); err != nil {
+		return Result{}, err
+	}
+	q, tbl, err := tx.planTarget(s.Table, s.Where, params, &stats)
+	if err != nil {
+		return Result{}, err
+	}
+	if q.access[0].index != nil {
+		stats.UsedIndex = true
+	}
+	rids, err := q.matchTarget(tbl)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	for _, rid := range rids {
+		if err := tx.deleteRow(tbl, rid); err != nil {
+			return res, err
+		}
+		res.RowsAffected++
+	}
+	stats.RowsAffected = int(res.RowsAffected)
+	return res, nil
+}

@@ -1,0 +1,154 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExplainStmt is EXPLAIN <select|update|delete>: it reports the chosen
+// access path per table instead of executing the statement.
+type ExplainStmt struct {
+	Stmt Statement
+}
+
+func (*ExplainStmt) stmtNode() {}
+
+// execExplain plans the wrapped statement and renders one row per table.
+func (tx *Tx) execExplain(s *ExplainStmt, params []Value) (*Rows, error) {
+	var sel *SelectStmt
+	switch inner := s.Stmt.(type) {
+	case *SelectStmt:
+		sel = inner
+	case *UpdateStmt:
+		sel = &SelectStmt{From: []TableRef{{Table: inner.Table, Alias: inner.Table}}, Where: inner.Where}
+	case *DeleteStmt:
+		sel = &SelectStmt{From: []TableRef{{Table: inner.Table, Alias: inner.Table}}, Where: inner.Where}
+	default:
+		return nil, fmt.Errorf("sqldb: EXPLAIN supports SELECT, UPDATE and DELETE")
+	}
+	stats := StmtStats{Kind: "EXPLAIN"}
+	q := &query{tx: tx, stmt: sel, params: params, stats: &stats}
+	for _, ref := range sel.From {
+		if err := tx.lock(strings.ToLower(ref.Table), lockShared); err != nil {
+			return nil, err
+		}
+		tbl, err := tx.db.lookupTable(ref.Table)
+		if err != nil {
+			return nil, err
+		}
+		q.bindings = append(q.bindings, tableBinding{alias: strings.ToLower(ref.Alias), tbl: tbl})
+	}
+	q.env = &evalEnv{params: params, now: tx.db.nowFn()}
+	q.env.bindings = make([]binding, len(q.bindings))
+	for i, b := range q.bindings {
+		q.env.bindings[i] = binding{alias: b.alias, schema: &b.tbl.schema}
+	}
+	if err := q.plan(); err != nil {
+		return nil, err
+	}
+	rows := &Rows{Columns: []string{"table", "access"}}
+	for i, b := range q.bindings {
+		rows.Data = append(rows.Data, []Value{
+			NewText(b.tbl.schema.Name),
+			NewText(describeAccess(q.access[i], b.tbl)),
+		})
+	}
+	return rows, nil
+}
+
+// describeAccess renders one access path.
+func describeAccess(ap accessPlan, tbl *table) string {
+	if ap.index == nil {
+		return "SEQ SCAN"
+	}
+	var parts []string
+	for j, e := range ap.eqExprs {
+		parts = append(parts, fmt.Sprintf("%s = %s",
+			tbl.schema.Columns[ap.index.cols[j]].Name, exprString(e)))
+	}
+	if ap.loExpr != nil || ap.hiExpr != nil {
+		col := tbl.schema.Columns[ap.index.cols[len(ap.eqExprs)]].Name
+		if ap.loExpr != nil {
+			op := ">"
+			if ap.loInc {
+				op = ">="
+			}
+			parts = append(parts, fmt.Sprintf("%s %s %s", col, op, exprString(ap.loExpr)))
+		}
+		if ap.hiExpr != nil {
+			op := "<"
+			if ap.hiInc {
+				op = "<="
+			}
+			parts = append(parts, fmt.Sprintf("%s %s %s", col, op, exprString(ap.hiExpr)))
+		}
+	}
+	return fmt.Sprintf("INDEX SCAN USING %s (%s)", ap.index.schema.Name, strings.Join(parts, ", "))
+}
+
+// exprString renders an expression approximately as SQL (for EXPLAIN and
+// error messages).
+func exprString(e Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return "NULL"
+	case *Literal:
+		return x.Val.String()
+	case *Param:
+		return fmt.Sprintf("?%d", x.Index+1)
+	case *ColRef:
+		if x.Table != "" {
+			return x.Table + "." + x.Name
+		}
+		return x.Name
+	case *Unary:
+		if x.Op == "not" {
+			return "NOT " + exprString(x.X)
+		}
+		return x.Op + exprString(x.X)
+	case *Binary:
+		op := x.Op
+		if op == "and" || op == "or" {
+			op = strings.ToUpper(op)
+		}
+		return fmt.Sprintf("(%s %s %s)", exprString(x.L), op, exprString(x.R))
+	case *FuncCall:
+		if x.Star {
+			return x.Name + "(*)"
+		}
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = exprString(a)
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	case *InExpr:
+		items := make([]string, len(x.List))
+		for i, a := range x.List {
+			items[i] = exprString(a)
+		}
+		not := ""
+		if x.Not {
+			not = "NOT "
+		}
+		return fmt.Sprintf("%s %sIN (%s)", exprString(x.X), not, strings.Join(items, ", "))
+	case *BetweenExpr:
+		not := ""
+		if x.Not {
+			not = "NOT "
+		}
+		return fmt.Sprintf("%s %sBETWEEN %s AND %s", exprString(x.X), not, exprString(x.Lo), exprString(x.Hi))
+	case *IsNullExpr:
+		if x.Not {
+			return exprString(x.X) + " IS NOT NULL"
+		}
+		return exprString(x.X) + " IS NULL"
+	case *LikeExpr:
+		not := ""
+		if x.Not {
+			not = "NOT "
+		}
+		return fmt.Sprintf("%s %sLIKE %s", exprString(x.X), not, exprString(x.Pattern))
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}

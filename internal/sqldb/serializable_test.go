@@ -1,0 +1,86 @@
+package sqldb
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestMoneyConservedUnderConcurrentTransfers is the classic serializability
+// check: concurrent transfer transactions against strict 2PL must neither
+// lose nor create money, whatever interleaving and deadlock-retry pattern
+// occurs.
+func TestMoneyConservedUnderConcurrentTransfers(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE accounts (id INTEGER PRIMARY KEY, balance INTEGER NOT NULL)`)
+	const accounts = 8
+	const initial = 1000
+	for i := 0; i < accounts; i++ {
+		mustExec(t, db, `INSERT INTO accounts VALUES (?, ?)`, i, initial)
+	}
+
+	transfer := func(rng *rand.Rand) error {
+		from := rng.Intn(accounts)
+		to := rng.Intn(accounts)
+		if from == to {
+			to = (to + 1) % accounts
+		}
+		amount := int64(rng.Intn(50))
+		tx, err := db.Begin()
+		if err != nil {
+			return err
+		}
+		row, err := tx.QueryRow(`SELECT balance FROM accounts WHERE id = ?`, from)
+		if err != nil {
+			tx.Rollback()
+			return err
+		}
+		if row[0].Int64() < amount {
+			return tx.Rollback()
+		}
+		if _, err := tx.Exec(`UPDATE accounts SET balance = balance - ? WHERE id = ?`, amount, from); err != nil {
+			tx.Rollback()
+			return err
+		}
+		if _, err := tx.Exec(`UPDATE accounts SET balance = balance + ? WHERE id = ?`, amount, to); err != nil {
+			tx.Rollback()
+			return err
+		}
+		return tx.Commit()
+	}
+
+	const workers, iters = 6, 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			done := 0
+			for done < iters {
+				err := transfer(rng)
+				if err == nil {
+					done++
+					continue
+				}
+				if errors.Is(err, ErrDeadlock) {
+					continue // retry
+				}
+				t.Errorf("transfer: %v", err)
+				return
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+
+	rows := mustQuery(t, db, `SELECT sum(balance), count(*) FROM accounts`)
+	if got := rows.Data[0][0].Int64(); got != accounts*initial {
+		t.Fatalf("total balance = %d, want %d (money not conserved!)", got, accounts*initial)
+	}
+	// No account may go negative (the guard read must have been isolated).
+	rows = mustQuery(t, db, `SELECT count(*) FROM accounts WHERE balance < 0`)
+	if rows.Data[0][0].Int64() != 0 {
+		t.Fatal("negative balance: lost update or dirty read")
+	}
+}

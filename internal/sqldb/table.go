@@ -1,0 +1,312 @@
+package sqldb
+
+import (
+	"fmt"
+)
+
+// table is the in-memory heap storage for one table plus its indexes.
+// Row ids are slot positions in the rows slice; deleted slots are nil and
+// recycled through a free list, which keeps scan order deterministic (slot
+// order) — important for reproducible simulations.
+//
+// Synchronization is provided by the engine's two-phase locking protocol:
+// a transaction only touches a table while holding the appropriate
+// table lock, so the structures here need no internal locking.
+type table struct {
+	schema   TableSchema
+	rows     [][]Value
+	free     []int64
+	liveRows int
+	nextAuto int64
+	indexes  []*index
+}
+
+// index is one secondary (or primary) index over a table.
+type index struct {
+	schema IndexSchema
+	cols   []int // column positions in key order
+	tree   *ordIndex
+}
+
+func newTable(schema TableSchema) *table {
+	t := &table{schema: schema, nextAuto: 1}
+	if len(schema.PKCols) > 0 {
+		t.addIndexLocked(IndexSchema{
+			Name:    "pk_" + schema.Name,
+			Table:   schema.Name,
+			Columns: colNames(schema, schema.PKCols),
+			Unique:  true,
+		})
+	}
+	for i, u := range schema.Uniques {
+		t.addIndexLocked(IndexSchema{
+			Name:    fmt.Sprintf("uq_%s_%d", schema.Name, i),
+			Table:   schema.Name,
+			Columns: colNames(schema, u),
+			Unique:  true,
+		})
+	}
+	return t
+}
+
+func colNames(s TableSchema, idxs []int) []string {
+	names := make([]string, len(idxs))
+	for i, c := range idxs {
+		names[i] = s.Columns[c].Name
+	}
+	return names
+}
+
+func (t *table) addIndexLocked(is IndexSchema) error {
+	for _, ix := range t.indexes {
+		if ix.schema.Name == is.Name {
+			return fmt.Errorf("sqldb: index %s already exists", is.Name)
+		}
+	}
+	cols := make([]int, len(is.Columns))
+	for i, name := range is.Columns {
+		ci := t.schema.ColumnIndex(name)
+		if ci < 0 {
+			return fmt.Errorf("sqldb: index %s: unknown column %s", is.Name, name)
+		}
+		cols[i] = ci
+	}
+	ix := &index{schema: is, cols: cols, tree: newOrdIndex()}
+	// Backfill from existing rows.
+	for rid, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		if err := ix.insert(row, int64(rid)); err != nil {
+			return err
+		}
+	}
+	t.indexes = append(t.indexes, ix)
+	return nil
+}
+
+func (t *table) dropIndex(name string) bool {
+	for i, ix := range t.indexes {
+		if ix.schema.Name == name {
+			t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (t *table) findIndex(name string) *index {
+	for _, ix := range t.indexes {
+		if ix.schema.Name == name {
+			return ix
+		}
+	}
+	return nil
+}
+
+// key builds the index key for a row, appending the rowid tiebreaker for
+// non-unique indexes and for unique keys containing NULL (SQL allows
+// multiple NULLs under a unique constraint).
+func (ix *index) key(row []Value, rid int64) (k Key, enforceUnique bool) {
+	k = make(Key, 0, len(ix.cols)+1)
+	hasNull := false
+	for _, c := range ix.cols {
+		v := row[c]
+		if v.IsNull() {
+			hasNull = true
+		}
+		k = append(k, v)
+	}
+	if ix.schema.Unique && !hasNull {
+		return k, true
+	}
+	return append(k, NewInt(rid)), false
+}
+
+func (ix *index) insert(row []Value, rid int64) error {
+	k, enforce := ix.key(row, rid)
+	if !ix.tree.insert(k, rid) && enforce {
+		return &UniqueViolationError{Index: ix.schema.Name, Key: k}
+	}
+	if !enforce {
+		return nil
+	}
+	return nil
+}
+
+func (ix *index) remove(row []Value, rid int64) {
+	k, _ := ix.key(row, rid)
+	ix.tree.delete(k)
+}
+
+// UniqueViolationError reports a duplicate key under a unique index.
+type UniqueViolationError struct {
+	Index string
+	Key   Key
+}
+
+func (e *UniqueViolationError) Error() string {
+	return fmt.Sprintf("sqldb: unique constraint violated on index %s", e.Index)
+}
+
+// insertRow stores a row, maintaining all indexes, and returns its row id.
+// The row must already be validated and coerced to the schema.
+func (t *table) insertRow(row []Value) (int64, error) {
+	var rid int64
+	if n := len(t.free); n > 0 {
+		rid = t.free[n-1]
+		t.free = t.free[:n-1]
+		t.rows[rid] = row
+	} else {
+		rid = int64(len(t.rows))
+		t.rows = append(t.rows, row)
+	}
+	for i, ix := range t.indexes {
+		if err := ix.insert(row, rid); err != nil {
+			// Roll back index entries added so far plus the heap slot.
+			for _, prev := range t.indexes[:i] {
+				prev.remove(row, rid)
+			}
+			t.rows[rid] = nil
+			t.free = append(t.free, rid)
+			return 0, err
+		}
+	}
+	t.liveRows++
+	return rid, nil
+}
+
+// placeRow stores a row at a specific row id (WAL replay only).
+func (t *table) placeRow(rid int64, row []Value) error {
+	for int64(len(t.rows)) <= rid {
+		t.rows = append(t.rows, nil)
+	}
+	if t.rows[rid] != nil {
+		return fmt.Errorf("sqldb: replay: slot %d of %s occupied", rid, t.schema.Name)
+	}
+	t.rows[rid] = row
+	t.liveRows++
+	for _, ix := range t.indexes {
+		if err := ix.insert(row, rid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deleteRow removes the row at rid and returns the old row.
+func (t *table) deleteRow(rid int64) ([]Value, error) {
+	if rid < 0 || rid >= int64(len(t.rows)) || t.rows[rid] == nil {
+		return nil, fmt.Errorf("sqldb: delete: no row %d in %s", rid, t.schema.Name)
+	}
+	row := t.rows[rid]
+	for _, ix := range t.indexes {
+		ix.remove(row, rid)
+	}
+	t.rows[rid] = nil
+	t.free = append(t.free, rid)
+	t.liveRows--
+	return row, nil
+}
+
+// restoreRow undoes a deleteRow, putting the old row back at the same id.
+func (t *table) restoreRow(rid int64, row []Value) error {
+	if rid < 0 || rid >= int64(len(t.rows)) || t.rows[rid] != nil {
+		return fmt.Errorf("sqldb: restore: slot %d of %s not free", rid, t.schema.Name)
+	}
+	for i := len(t.free) - 1; i >= 0; i-- {
+		if t.free[i] == rid {
+			t.free = append(t.free[:i], t.free[i+1:]...)
+			break
+		}
+	}
+	t.rows[rid] = row
+	t.liveRows++
+	for _, ix := range t.indexes {
+		if err := ix.insert(row, rid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// updateRow replaces the row at rid, maintaining indexes, and returns the
+// old row.
+func (t *table) updateRow(rid int64, newRow []Value) ([]Value, error) {
+	if rid < 0 || rid >= int64(len(t.rows)) || t.rows[rid] == nil {
+		return nil, fmt.Errorf("sqldb: update: no row %d in %s", rid, t.schema.Name)
+	}
+	old := t.rows[rid]
+	for _, ix := range t.indexes {
+		ix.remove(old, rid)
+	}
+	for i, ix := range t.indexes {
+		if err := ix.insert(newRow, rid); err != nil {
+			// Restore the old index entries and report the violation.
+			for _, done := range t.indexes[:i] {
+				done.remove(newRow, rid)
+			}
+			for _, ix2 := range t.indexes {
+				_ = ix2.insert(old, rid) // old entries cannot conflict
+			}
+			return nil, err
+		}
+	}
+	t.rows[rid] = newRow
+	return old, nil
+}
+
+// scan calls fn for every live row in slot order. fn returning false stops.
+func (t *table) scan(fn func(rid int64, row []Value) bool) {
+	for rid, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		if !fn(int64(rid), row) {
+			return
+		}
+	}
+}
+
+// validateRow coerces values to column types and checks NOT NULL
+// constraints, applying defaults and autoincrement. input maps column
+// position → provided value (missing positions get defaults).
+func (t *table) buildRow(provided []Value, has []bool, now func() Value) ([]Value, error) {
+	s := &t.schema
+	row := make([]Value, len(s.Columns))
+	for i := range s.Columns {
+		c := &s.Columns[i]
+		var v Value
+		switch {
+		case has[i]:
+			v = provided[i]
+		case c.HasDefault:
+			v = c.Default
+		default:
+			v = NullValue()
+		}
+		if v.IsNull() && c.AutoIncrement {
+			v = NewInt(t.nextAuto)
+		}
+		if !v.IsNull() {
+			cv, err := coerce(v, c.Type)
+			if err != nil {
+				return nil, fmt.Errorf("sqldb: column %s.%s: %v", s.Name, c.Name, err)
+			}
+			v = cv
+		}
+		if v.IsNull() && c.NotNull {
+			return nil, fmt.Errorf("sqldb: column %s.%s is NOT NULL", s.Name, c.Name)
+		}
+		row[i] = v
+	}
+	// Advance the autoincrement counter past any explicit value.
+	for i := range s.Columns {
+		c := &s.Columns[i]
+		if c.AutoIncrement && !row[i].IsNull() && row[i].Int64() >= t.nextAuto {
+			t.nextAuto = row[i].Int64() + 1
+		}
+	}
+	_ = now
+	return row, nil
+}

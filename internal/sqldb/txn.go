@@ -1,0 +1,347 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The engine uses strict two-phase locking at table granularity: shared
+// locks for reads, exclusive for writes, held to commit/rollback. Deadlocks
+// are detected eagerly with a waits-for graph; the requesting transaction
+// receives ErrDeadlock and should roll back (the paper's "short-running
+// transactions for the most common operations" keep conflicts rare).
+
+// ErrDeadlock is returned when granting a lock would create a cycle.
+var ErrDeadlock = errors.New("sqldb: deadlock detected")
+
+// ErrTxDone is returned when using a committed or rolled-back transaction.
+var ErrTxDone = errors.New("sqldb: transaction has already been committed or rolled back")
+
+// lockMode is the lock strength.
+type lockMode int
+
+const (
+	lockShared lockMode = iota
+	lockExclusive
+)
+
+type lockRequest struct {
+	txn   uint64
+	mode  lockMode
+	grant chan error
+}
+
+type tableLock struct {
+	holders map[uint64]lockMode
+	queue   []*lockRequest
+}
+
+type lockManager struct {
+	mu     sync.Mutex
+	tables map[string]*tableLock
+	// waitsFor[a][b] means txn a waits on txn b.
+	waitsFor map[uint64]map[uint64]bool
+}
+
+func newLockManager() *lockManager {
+	return &lockManager{
+		tables:   make(map[string]*tableLock),
+		waitsFor: make(map[uint64]map[uint64]bool),
+	}
+}
+
+func (lm *lockManager) tableLock(name string) *tableLock {
+	tl, ok := lm.tables[name]
+	if !ok {
+		tl = &tableLock{holders: make(map[uint64]lockMode)}
+		lm.tables[name] = tl
+	}
+	return tl
+}
+
+// compatible reports whether txn may acquire mode given current holders.
+func (tl *tableLock) compatible(txn uint64, mode lockMode) bool {
+	for holder, hm := range tl.holders {
+		if holder == txn {
+			continue
+		}
+		if mode == lockExclusive || hm == lockExclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// acquire blocks until the lock is granted or a deadlock is detected.
+func (lm *lockManager) acquire(txn uint64, table string, mode lockMode) error {
+	lm.mu.Lock()
+	tl := lm.tableLock(table)
+	if cur, ok := tl.holders[txn]; ok && (cur == lockExclusive || cur == mode) {
+		lm.mu.Unlock()
+		return nil // already held at sufficient strength
+	}
+	if tl.compatible(txn, mode) && len(tl.queue) == 0 {
+		tl.holders[txn] = maxMode(tl.holders[txn], mode, txn, tl)
+		lm.mu.Unlock()
+		return nil
+	}
+	// Lock upgrades jump the queue: a txn holding S and wanting X only
+	// waits on the other current holders, never behind queued newcomers.
+	_, upgrading := tl.holders[txn]
+	if upgrading && tl.compatible(txn, mode) {
+		tl.holders[txn] = lockExclusive
+		lm.mu.Unlock()
+		return nil
+	}
+	// Record wait edges to every conflicting holder and, unless upgrading,
+	// to earlier queued requests (they'll be granted first).
+	blockers := make(map[uint64]bool)
+	for holder, hm := range tl.holders {
+		if holder == txn {
+			continue
+		}
+		if mode == lockExclusive || hm == lockExclusive {
+			blockers[holder] = true
+		}
+	}
+	if !upgrading {
+		for _, q := range tl.queue {
+			if q.txn != txn {
+				blockers[q.txn] = true
+			}
+		}
+	}
+	edges := lm.waitsFor[txn]
+	if edges == nil {
+		edges = make(map[uint64]bool)
+		lm.waitsFor[txn] = edges
+	}
+	for b := range blockers {
+		edges[b] = true
+	}
+	if lm.cycleFrom(txn) {
+		for b := range blockers {
+			delete(edges, b)
+		}
+		if len(edges) == 0 {
+			delete(lm.waitsFor, txn)
+		}
+		lm.mu.Unlock()
+		return ErrDeadlock
+	}
+	req := &lockRequest{txn: txn, mode: mode, grant: make(chan error, 1)}
+	if upgrading {
+		// Upgrades go to the front so shared holders can't starve them.
+		tl.queue = append([]*lockRequest{req}, tl.queue...)
+	} else {
+		tl.queue = append(tl.queue, req)
+	}
+	lm.mu.Unlock()
+	return <-req.grant
+}
+
+// maxMode merges an existing held mode with a newly granted one.
+func maxMode(cur, want lockMode, txn uint64, tl *tableLock) lockMode {
+	if _, held := tl.holders[txn]; held && cur == lockExclusive {
+		return lockExclusive
+	}
+	if want == lockExclusive {
+		return lockExclusive
+	}
+	if _, held := tl.holders[txn]; held {
+		return cur
+	}
+	return want
+}
+
+// cycleFrom detects whether start can reach itself through waitsFor edges.
+func (lm *lockManager) cycleFrom(start uint64) bool {
+	seen := make(map[uint64]bool)
+	var dfs func(n uint64) bool
+	dfs = func(n uint64) bool {
+		for m := range lm.waitsFor[n] {
+			if m == start {
+				return true
+			}
+			if !seen[m] {
+				seen[m] = true
+				if dfs(m) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(start)
+}
+
+// releaseAll drops every lock held by txn and grants what it can.
+func (lm *lockManager) releaseAll(txn uint64) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	delete(lm.waitsFor, txn)
+	for _, tl := range lm.tables {
+		if _, held := tl.holders[txn]; held {
+			delete(tl.holders, txn)
+		}
+		// Drop any queued requests from this txn (deadlock abort path).
+		kept := tl.queue[:0]
+		for _, q := range tl.queue {
+			if q.txn == txn {
+				q.grant <- fmt.Errorf("sqldb: transaction aborted while waiting")
+				continue
+			}
+			kept = append(kept, q)
+		}
+		tl.queue = kept
+		lm.grantQueued(tl)
+	}
+}
+
+// grantQueued grants queued requests in order while they are compatible.
+func (lm *lockManager) grantQueued(tl *tableLock) {
+	for len(tl.queue) > 0 {
+		q := tl.queue[0]
+		if !tl.compatible(q.txn, q.mode) {
+			return
+		}
+		tl.queue = tl.queue[1:]
+		if cur, held := tl.holders[q.txn]; held && cur == lockExclusive {
+			// keep exclusive
+		} else if q.mode == lockExclusive {
+			tl.holders[q.txn] = lockExclusive
+		} else if _, held := tl.holders[q.txn]; !held {
+			tl.holders[q.txn] = q.mode
+		}
+		// The granted txn no longer waits on anyone for this request.
+		delete(lm.waitsFor, q.txn)
+		q.grant <- nil
+	}
+}
+
+// undoRecord captures the inverse of one mutation for rollback.
+type undoRecord struct {
+	op    walOp // walInsert / walUpdate / walDelete (the forward op)
+	table string
+	rid   int64
+	old   []Value // pre-image for update/delete
+}
+
+// Tx is an in-flight transaction. A Tx is not safe for concurrent use by
+// multiple goroutines.
+type Tx struct {
+	db       *DB
+	id       uint64
+	done     bool
+	undo     []undoRecord
+	redo     []walRecord
+	implicit bool // autocommit wrapper
+}
+
+// ID reports the engine-assigned transaction id.
+func (tx *Tx) ID() uint64 { return tx.id }
+
+func (tx *Tx) lock(table string, mode lockMode) error {
+	return tx.db.locks.acquire(tx.id, table, mode)
+}
+
+// lockAll acquires locks on several tables in sorted order to keep lock
+// acquisition order consistent across transactions.
+func (tx *Tx) lockAll(tables map[string]lockMode) error {
+	names := make([]string, 0, len(tables))
+	for n := range tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := tx.lock(n, tables[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Commit makes the transaction's effects durable and visible.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	var err error
+	if tx.db.wal != nil && len(tx.redo) > 0 {
+		err = tx.db.wal.commit(tx.id, tx.redo)
+	}
+	tx.db.locks.releaseAll(tx.id)
+	tx.db.finishTx(tx)
+	if err != nil {
+		return fmt.Errorf("sqldb: commit: %w", err)
+	}
+	return nil
+}
+
+// Rollback undoes the transaction's effects.
+func (tx *Tx) Rollback() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	tx.db.mu.Lock()
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		u := tx.undo[i]
+		tbl := tx.db.tables[u.table]
+		if tbl == nil {
+			continue // table dropped in this txn: nothing to restore into
+		}
+		switch u.op {
+		case walInsert:
+			_, _ = tbl.deleteRow(u.rid)
+		case walDelete:
+			_ = tbl.restoreRow(u.rid, u.old)
+		case walUpdate:
+			_, _ = tbl.updateRow(u.rid, u.old)
+		}
+	}
+	tx.db.mu.Unlock()
+	tx.db.locks.releaseAll(tx.id)
+	tx.db.finishTx(tx)
+	return nil
+}
+
+// Mutation helpers used by the executor: they perform the table operation
+// and record undo + redo.
+
+func (tx *Tx) insertRow(tbl *table, row []Value) (int64, error) {
+	rid, err := tbl.insertRow(row)
+	if err != nil {
+		return 0, err
+	}
+	tx.undo = append(tx.undo, undoRecord{op: walInsert, table: tbl.schema.Name, rid: rid})
+	tx.redo = append(tx.redo, walRecord{op: walInsert, table: tbl.schema.Name, rid: rid, row: row})
+	return rid, nil
+}
+
+func (tx *Tx) deleteRow(tbl *table, rid int64) error {
+	old, err := tbl.deleteRow(rid)
+	if err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoRecord{op: walDelete, table: tbl.schema.Name, rid: rid, old: old})
+	tx.redo = append(tx.redo, walRecord{op: walDelete, table: tbl.schema.Name, rid: rid})
+	return nil
+}
+
+func (tx *Tx) updateRow(tbl *table, rid int64, newRow []Value) error {
+	old, err := tbl.updateRow(rid, newRow)
+	if err != nil {
+		return err
+	}
+	tx.undo = append(tx.undo, undoRecord{op: walUpdate, table: tbl.schema.Name, rid: rid, old: old})
+	tx.redo = append(tx.redo, walRecord{op: walUpdate, table: tbl.schema.Name, rid: rid, row: newRow})
+	return nil
+}
+
+func (tx *Tx) recordDDL(sql string) {
+	tx.redo = append(tx.redo, walRecord{op: walDDL, sql: sql})
+}

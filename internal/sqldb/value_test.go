@@ -1,0 +1,185 @@
+package sqldb
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if v := NewInt(42); v.Type() != Int || v.Int64() != 42 {
+		t.Fatalf("NewInt: %v", v)
+	}
+	if v := NewFloat(2.5); v.Type() != Float || v.Float64() != 2.5 {
+		t.Fatalf("NewFloat: %v", v)
+	}
+	if v := NewText("hi"); v.Type() != Text || v.Text() != "hi" {
+		t.Fatalf("NewText: %v", v)
+	}
+	if v := NewBool(true); v.Type() != Bool || !v.Bool() {
+		t.Fatalf("NewBool: %v", v)
+	}
+	ts := time.Date(2006, 10, 1, 12, 0, 0, 123456000, time.UTC)
+	if v := NewTime(ts); v.Type() != Time || !v.TimeValue().Equal(ts) {
+		t.Fatalf("NewTime: %v vs %v", v.TimeValue(), ts)
+	}
+	if !NullValue().IsNull() {
+		t.Fatal("NullValue not null")
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Fatal("zero Value should be NULL")
+	}
+}
+
+func TestValueGoRoundTrip(t *testing.T) {
+	cases := []any{nil, int64(7), 3.25, "text", true, false,
+		time.Date(2007, 1, 2, 3, 4, 5, 0, time.UTC)}
+	for _, c := range cases {
+		v, err := FromGo(c)
+		if err != nil {
+			t.Fatalf("FromGo(%v): %v", c, err)
+		}
+		got := v.Go()
+		switch want := c.(type) {
+		case time.Time:
+			if !got.(time.Time).Equal(want) {
+				t.Fatalf("time round trip: %v != %v", got, want)
+			}
+		default:
+			if got != c {
+				t.Fatalf("round trip: %v != %v", got, c)
+			}
+		}
+	}
+}
+
+func TestFromGoIntWidths(t *testing.T) {
+	for _, c := range []any{int(1), int8(1), int16(1), int32(1), uint(1), uint32(1), uint64(1)} {
+		v, err := FromGo(c)
+		if err != nil {
+			t.Fatalf("FromGo(%T): %v", c, err)
+		}
+		if v.Type() != Int || v.Int64() != 1 {
+			t.Fatalf("FromGo(%T) = %v", c, v)
+		}
+	}
+	if _, err := FromGo(struct{}{}); err == nil {
+		t.Fatal("FromGo(struct{}) should fail")
+	}
+}
+
+func TestCompareNumericCrossType(t *testing.T) {
+	c, err := Compare(NewInt(2), NewFloat(2.0))
+	if err != nil || c != 0 {
+		t.Fatalf("2 vs 2.0: c=%d err=%v", c, err)
+	}
+	c, _ = Compare(NewInt(2), NewFloat(2.5))
+	if c != -1 {
+		t.Fatalf("2 vs 2.5: c=%d", c)
+	}
+	if _, err := Compare(NewInt(1), NewText("x")); err == nil {
+		t.Fatal("int vs text should error")
+	}
+}
+
+func TestCompareNullOrdering(t *testing.T) {
+	c, _ := Compare(NullValue(), NewInt(0))
+	if c != -1 {
+		t.Fatal("NULL should index-order before values")
+	}
+	c, _ = Compare(NullValue(), NullValue())
+	if c != 0 {
+		t.Fatal("NULL vs NULL should be 0 for index ordering")
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	v, err := coerce(NewInt(3), Float)
+	if err != nil || v.Type() != Float || v.Float64() != 3 {
+		t.Fatalf("int→float: %v %v", v, err)
+	}
+	v, err = coerce(NewFloat(3.0), Int)
+	if err != nil || v.Type() != Int || v.Int64() != 3 {
+		t.Fatalf("3.0→int: %v %v", v, err)
+	}
+	if _, err := coerce(NewFloat(3.5), Int); err == nil {
+		t.Fatal("3.5→int should fail")
+	}
+	v, err = coerce(NewInt(1), Bool)
+	if err != nil || !v.Bool() {
+		t.Fatalf("1→bool: %v %v", v, err)
+	}
+	if _, err := coerce(NewInt(2), Bool); err == nil {
+		t.Fatal("2→bool should fail")
+	}
+	v, err = coerce(NewText("2006-10-01 12:30:00"), Time)
+	if err != nil || v.Type() != Time {
+		t.Fatalf("text→time: %v %v", v, err)
+	}
+	if _, err := coerce(NewText("not a time"), Time); err == nil {
+		t.Fatal("bad text→time should fail")
+	}
+	if _, err := coerce(NewInt(1), Text); err == nil {
+		t.Fatal("int→text should fail (no implicit stringification)")
+	}
+	// NULL coerces to anything.
+	v, err = coerce(NullValue(), Text)
+	if err != nil || !v.IsNull() {
+		t.Fatalf("null coerce: %v %v", v, err)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"NULL":    NullValue(),
+		"42":      NewInt(42),
+		"TRUE":    NewBool(true),
+		"'it''s'": NewText("it's"),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Fatalf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+// Property: Compare is antisymmetric and transitive-ish over ints/floats.
+func TestPropertyCompareConsistency(t *testing.T) {
+	f := func(a, b int64) bool {
+		c1, err1 := Compare(NewInt(a), NewInt(b))
+		c2, err2 := Compare(NewInt(b), NewInt(a))
+		return err1 == nil && err2 == nil && c1 == -c2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: composite key comparison is lexicographic and antisymmetric.
+func TestPropertyCompareKeys(t *testing.T) {
+	f := func(a1, a2, b1, b2 int64) bool {
+		ka := Key{NewInt(a1), NewInt(a2)}
+		kb := Key{NewInt(b1), NewInt(b2)}
+		c := compareKeys(ka, kb)
+		want := 0
+		switch {
+		case a1 < b1 || (a1 == b1 && a2 < b2):
+			want = -1
+		case a1 > b1 || (a1 == b1 && a2 > b2):
+			want = 1
+		}
+		return c == want && compareKeys(kb, ka) == -want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareKeysPrefix(t *testing.T) {
+	short := Key{NewInt(1)}
+	long := Key{NewInt(1), NewInt(0)}
+	if compareKeys(short, long) >= 0 {
+		t.Fatal("prefix should order before extension")
+	}
+}

@@ -1,0 +1,481 @@
+package sqldb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// The write-ahead log provides the durability and crash-recovery guarantees
+// the paper attributes to the RDBMS tier (§4: "transaction and recovery
+// services"). Each committed transaction's redo records are appended,
+// followed by a commit marker; recovery replays records of committed
+// transactions only, in log order, and truncates at the first torn record.
+//
+// Records are length-prefixed and CRC-protected:
+//
+//	[4-byte little-endian payload length][payload][4-byte CRC32 of payload]
+
+// walOp tags a WAL record.
+type walOp uint8
+
+const (
+	walInsert walOp = iota + 1
+	walUpdate
+	walDelete
+	walDDL
+	walCommit
+)
+
+type walRecord struct {
+	op    walOp
+	txn   uint64
+	table string
+	rid   int64
+	row   []Value
+	sql   string // DDL text
+}
+
+// VFS abstracts the file system so tests and simulations can run against
+// memory while deployments use the operating system.
+type VFS interface {
+	// Create opens name for appending, creating or truncating it.
+	Create(name string) (File, error)
+	// Open opens name for appending, creating it if absent.
+	Open(name string) (File, error)
+	// ReadFile reads the whole named file; a missing file yields (nil, nil).
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newname with oldname's content.
+	Rename(oldname, newname string) error
+	// Remove deletes the named file if it exists.
+	Remove(name string) error
+}
+
+// File is the subset of file behaviour the WAL needs.
+type File interface {
+	io.Writer
+	io.Closer
+	// Sync forces written data to stable storage.
+	Sync() error
+}
+
+// MemVFS is an in-memory VFS for tests and simulations.
+type MemVFS struct {
+	mu    sync.Mutex
+	files map[string]*bytes.Buffer
+}
+
+// NewMemVFS creates an empty in-memory file system.
+func NewMemVFS() *MemVFS { return &MemVFS{files: make(map[string]*bytes.Buffer)} }
+
+type memFile struct {
+	vfs  *MemVFS
+	name string
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.vfs.mu.Lock()
+	defer f.vfs.mu.Unlock()
+	buf, ok := f.vfs.files[f.name]
+	if !ok {
+		return 0, fmt.Errorf("sqldb: write to removed file %s", f.name)
+	}
+	return buf.Write(p)
+}
+
+func (f *memFile) Sync() error  { return nil }
+func (f *memFile) Close() error { return nil }
+
+// Create implements VFS.
+func (m *MemVFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = &bytes.Buffer{}
+	return &memFile{vfs: m, name: name}, nil
+}
+
+// Open implements VFS.
+func (m *MemVFS) Open(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		m.files[name] = &bytes.Buffer{}
+	}
+	return &memFile{vfs: m, name: name}, nil
+}
+
+// ReadFile implements VFS.
+func (m *MemVFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	buf, ok := m.files[name]
+	if !ok {
+		return nil, nil
+	}
+	return append([]byte(nil), buf.Bytes()...), nil
+}
+
+// Rename implements VFS.
+func (m *MemVFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	buf, ok := m.files[oldname]
+	if !ok {
+		return fmt.Errorf("sqldb: rename: no file %s", oldname)
+	}
+	m.files[newname] = buf
+	delete(m.files, oldname)
+	return nil
+}
+
+// Remove implements VFS.
+func (m *MemVFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, name)
+	return nil
+}
+
+// OSVFS is the operating-system file system.
+type OSVFS struct{}
+
+type osFile struct{ f *os.File }
+
+func (f osFile) Write(p []byte) (int, error) { return f.f.Write(p) }
+func (f osFile) Sync() error                 { return f.f.Sync() }
+func (f osFile) Close() error                { return f.f.Close() }
+
+// Create implements VFS.
+func (OSVFS) Create(name string) (File, error) {
+	if err := os.MkdirAll(filepath.Dir(name), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Open implements VFS.
+func (OSVFS) Open(name string) (File, error) {
+	if err := os.MkdirAll(filepath.Dir(name), 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// ReadFile implements VFS.
+func (OSVFS) ReadFile(name string) ([]byte, error) {
+	b, err := os.ReadFile(name)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	return b, err
+}
+
+// Rename implements VFS.
+func (OSVFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements VFS.
+func (OSVFS) Remove(name string) error {
+	err := os.Remove(name)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// SyncPolicy controls when the WAL reaches stable storage.
+type SyncPolicy int
+
+const (
+	// SyncEveryCommit syncs on each commit (safest, slowest).
+	SyncEveryCommit SyncPolicy = iota
+	// SyncNever leaves syncing to the file system (fastest; a crash may
+	// lose recent commits but never corrupts recovered state).
+	SyncNever
+)
+
+type wal struct {
+	mu     sync.Mutex
+	vfs    VFS
+	name   string
+	file   File
+	policy SyncPolicy
+}
+
+func openWAL(vfs VFS, name string, policy SyncPolicy) (*wal, error) {
+	f, err := vfs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{vfs: vfs, name: name, file: f, policy: policy}, nil
+}
+
+// commit appends the transaction's records plus a commit marker.
+func (w *wal) commit(txn uint64, recs []walRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var buf bytes.Buffer
+	for i := range recs {
+		recs[i].txn = txn
+		appendRecord(&buf, &recs[i])
+	}
+	appendRecord(&buf, &walRecord{op: walCommit, txn: txn})
+	if _, err := w.file.Write(buf.Bytes()); err != nil {
+		return err
+	}
+	if w.policy == SyncEveryCommit {
+		return w.file.Sync()
+	}
+	return nil
+}
+
+// replaceWith atomically swaps the log content (checkpointing).
+func (w *wal) replaceWith(content []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	tmp := w.name + ".tmp"
+	f, err := w.vfs.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(content); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := w.file.Close(); err != nil {
+		return err
+	}
+	if err := w.vfs.Rename(tmp, w.name); err != nil {
+		return err
+	}
+	nf, err := w.vfs.Open(w.name)
+	if err != nil {
+		return err
+	}
+	w.file = nf
+	return nil
+}
+
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.file.Close()
+}
+
+func appendRecord(buf *bytes.Buffer, r *walRecord) {
+	var p bytes.Buffer
+	p.WriteByte(byte(r.op))
+	writeUvarint(&p, r.txn)
+	switch r.op {
+	case walInsert, walUpdate:
+		writeString(&p, r.table)
+		writeUvarint(&p, uint64(r.rid))
+		writeUvarint(&p, uint64(len(r.row)))
+		for _, v := range r.row {
+			writeValue(&p, v)
+		}
+	case walDelete:
+		writeString(&p, r.table)
+		writeUvarint(&p, uint64(r.rid))
+	case walDDL:
+		writeString(&p, r.sql)
+	case walCommit:
+	}
+	payload := p.Bytes()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	buf.Write(crc[:])
+}
+
+// parseWAL decodes records, stopping cleanly at the first torn or corrupt
+// record (everything after a crash's partial write is discarded).
+func parseWAL(data []byte) []walRecord {
+	var recs []walRecord
+	off := 0
+	for {
+		if off+4 > len(data) {
+			return recs
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if off+4+n+4 > len(data) {
+			return recs
+		}
+		payload := data[off+4 : off+4+n]
+		crc := binary.LittleEndian.Uint32(data[off+4+n:])
+		if crc32.ChecksumIEEE(payload) != crc {
+			return recs
+		}
+		r, ok := decodeRecord(payload)
+		if !ok {
+			return recs
+		}
+		recs = append(recs, r)
+		off += 4 + n + 4
+	}
+}
+
+func decodeRecord(p []byte) (walRecord, bool) {
+	var r walRecord
+	rd := &byteReader{b: p}
+	op, ok := rd.u8()
+	if !ok {
+		return r, false
+	}
+	r.op = walOp(op)
+	if r.txn, ok = rd.uvarint(); !ok {
+		return r, false
+	}
+	switch r.op {
+	case walInsert, walUpdate:
+		if r.table, ok = rd.str(); !ok {
+			return r, false
+		}
+		rid, ok2 := rd.uvarint()
+		if !ok2 {
+			return r, false
+		}
+		r.rid = int64(rid)
+		n, ok2 := rd.uvarint()
+		if !ok2 {
+			return r, false
+		}
+		r.row = make([]Value, n)
+		for i := range r.row {
+			if r.row[i], ok = rd.value(); !ok {
+				return r, false
+			}
+		}
+	case walDelete:
+		if r.table, ok = rd.str(); !ok {
+			return r, false
+		}
+		rid, ok2 := rd.uvarint()
+		if !ok2 {
+			return r, false
+		}
+		r.rid = int64(rid)
+	case walDDL:
+		if r.sql, ok = rd.str(); !ok {
+			return r, false
+		}
+	case walCommit:
+	default:
+		return r, false
+	}
+	return r, true
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	buf.Write(tmp[:n])
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	writeUvarint(buf, uint64(len(s)))
+	buf.WriteString(s)
+}
+
+func writeValue(buf *bytes.Buffer, v Value) {
+	buf.WriteByte(byte(v.typ))
+	switch v.typ {
+	case Null:
+	case Int, Bool, Time:
+		writeUvarint(buf, uint64(v.i))
+	case Float:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.f))
+		buf.Write(b[:])
+	case Text:
+		writeString(buf, v.s)
+	}
+}
+
+type byteReader struct {
+	b   []byte
+	off int
+}
+
+func (r *byteReader) u8() (byte, bool) {
+	if r.off >= len(r.b) {
+		return 0, false
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, true
+}
+
+func (r *byteReader) uvarint() (uint64, bool) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, false
+	}
+	r.off += n
+	return v, true
+}
+
+func (r *byteReader) str() (string, bool) {
+	n, ok := r.uvarint()
+	if !ok || r.off+int(n) > len(r.b) {
+		return "", false
+	}
+	s := string(r.b[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s, true
+}
+
+func (r *byteReader) value() (Value, bool) {
+	t, ok := r.u8()
+	if !ok {
+		return Value{}, false
+	}
+	switch Type(t) {
+	case Null:
+		return NullValue(), true
+	case Int, Bool, Time:
+		u, ok := r.uvarint()
+		if !ok {
+			return Value{}, false
+		}
+		return Value{typ: Type(t), i: int64(u)}, true
+	case Float:
+		if r.off+8 > len(r.b) {
+			return Value{}, false
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(r.b[r.off:]))
+		r.off += 8
+		return NewFloat(f), true
+	case Text:
+		s, ok := r.str()
+		if !ok {
+			return Value{}, false
+		}
+		return NewText(s), true
+	default:
+		return Value{}, false
+	}
+}

@@ -1,0 +1,254 @@
+// Package wire implements the SOAP-style messaging layer between execute
+// nodes and the CondorJ2 Application Server — the role gSOAP played in the
+// paper's prototype ("the Condor 6.7.x startd and starter modified to
+// communicate with the CAS using the gSOAP library").
+//
+// Requests and responses are XML envelopes carrying a named action and a
+// typed payload. Two transports share the same envelope encoding:
+//
+//   - Client/Mux over net/http for live deployments, and
+//   - Local, an in-process transport for discrete-event simulations that
+//     still marshals every message through XML so byte counts and code
+//     paths match the real thing.
+package wire
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+)
+
+// Envelope is the on-the-wire frame: an action name plus the payload
+// element's raw XML.
+type Envelope struct {
+	XMLName xml.Name `xml:"Envelope"`
+	Action  string   `xml:"action,attr"`
+	Payload []byte   `xml:",innerxml"`
+}
+
+// Fault is the error payload carried by failed calls.
+type Fault struct {
+	XMLName xml.Name `xml:"Fault"`
+	Code    string   `xml:"Code"`
+	Message string   `xml:"Message"`
+}
+
+// Error implements error.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("wire: fault %s: %s", f.Code, f.Message)
+}
+
+// Encode marshals an action and payload into envelope bytes.
+func Encode(action string, payload any) ([]byte, error) {
+	inner, err := xml.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal payload for %s: %w", action, err)
+	}
+	env := Envelope{Action: action, Payload: inner}
+	out, err := xml.Marshal(env)
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal envelope for %s: %w", action, err)
+	}
+	return out, nil
+}
+
+// Decode unmarshals envelope bytes.
+func Decode(data []byte) (*Envelope, error) {
+	var env Envelope
+	if err := xml.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("wire: bad envelope: %w", err)
+	}
+	if env.Action == "" {
+		return nil, fmt.Errorf("wire: envelope missing action")
+	}
+	return &env, nil
+}
+
+// DecodePayload unmarshals an envelope's payload into out.
+func DecodePayload(env *Envelope, out any) error {
+	if err := xml.Unmarshal(env.Payload, out); err != nil {
+		return fmt.Errorf("wire: bad %s payload: %w", env.Action, err)
+	}
+	return nil
+}
+
+// Handler processes one decoded request envelope and returns the response
+// payload (marshalled by the mux) or an error (returned as a Fault).
+type Handler func(env *Envelope) (any, error)
+
+// Mux routes actions to handlers. It implements http.Handler and is also
+// the dispatch target of the Local transport.
+type Mux struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+// NewMux creates an empty mux.
+func NewMux() *Mux { return &Mux{handlers: make(map[string]Handler)} }
+
+// Handle registers a handler for an action name.
+func (m *Mux) Handle(action string, h Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers[action] = h
+}
+
+// Actions lists registered action names (unsorted).
+func (m *Mux) Actions() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.handlers))
+	for a := range m.handlers {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Dispatch decodes raw envelope bytes, runs the handler, and encodes the
+// response envelope (action suffixed "Response", or "Fault" on error).
+func (m *Mux) Dispatch(data []byte) []byte {
+	env, err := Decode(data)
+	if err != nil {
+		return mustEncodeFault("BadEnvelope", err)
+	}
+	m.mu.RLock()
+	h, ok := m.handlers[env.Action]
+	m.mu.RUnlock()
+	if !ok {
+		return mustEncodeFault("UnknownAction", fmt.Errorf("wire: no handler for action %q", env.Action))
+	}
+	resp, err := h(env)
+	if err != nil {
+		return mustEncodeFault("ServiceError", err)
+	}
+	out, err := Encode(env.Action+"Response", resp)
+	if err != nil {
+		return mustEncodeFault("EncodeError", err)
+	}
+	return out
+}
+
+func mustEncodeFault(code string, err error) []byte {
+	out, encErr := Encode("Fault", &Fault{Code: code, Message: err.Error()})
+	if encErr != nil {
+		// A Fault always marshals; this is unreachable, but never panic in
+		// a network-facing path.
+		return []byte(`<Envelope action="Fault"><Fault><Code>EncodeError</Code></Fault></Envelope>`)
+	}
+	return out
+}
+
+// ServeHTTP implements http.Handler: POST an envelope, receive an envelope.
+func (m *Mux) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "wire endpoint accepts POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := m.Dispatch(data)
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.Write(resp)
+}
+
+// Typed adapts a strongly typed handler function to a Handler. Req is
+// decoded from the payload; the response is marshalled by the mux.
+func Typed[Req any, Resp any](fn func(*Req) (*Resp, error)) Handler {
+	return func(env *Envelope) (any, error) {
+		req := new(Req)
+		if err := DecodePayload(env, req); err != nil {
+			return nil, err
+		}
+		return fn(req)
+	}
+}
+
+// Caller issues a request/response exchange with a service endpoint. Both
+// the HTTP client and the in-process Local transport satisfy it.
+type Caller interface {
+	// Call sends action+req and decodes the response payload into resp
+	// (ignored when resp is nil). Service faults come back as *Fault.
+	Call(action string, req, resp any) error
+}
+
+// decodeResponse handles the shared fault/response branching.
+func decodeResponse(action string, data []byte, resp any) error {
+	env, err := Decode(data)
+	if err != nil {
+		return err
+	}
+	if env.Action == "Fault" {
+		var f Fault
+		if err := DecodePayload(env, &f); err != nil {
+			return err
+		}
+		return &f
+	}
+	if env.Action != action+"Response" {
+		return fmt.Errorf("wire: expected %sResponse, got %s", action, env.Action)
+	}
+	if resp == nil {
+		return nil
+	}
+	return DecodePayload(env, resp)
+}
+
+// Client is an HTTP Caller.
+type Client struct {
+	// URL is the service endpoint (e.g. http://cas:8080/services).
+	URL string
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// Call implements Caller over HTTP POST.
+func (c *Client) Call(action string, req, resp any) error {
+	data, err := Encode(action, req)
+	if err != nil {
+		return err
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	httpResp, err := hc.Post(c.URL, "text/xml; charset=utf-8", bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("wire: POST %s: %w", c.URL, err)
+	}
+	defer httpResp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(httpResp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	return decodeResponse(action, body, resp)
+}
+
+// Local is an in-process Caller that still round-trips every message
+// through the XML envelope encoding, so simulations exercise the same
+// serialization path and can meter realistic message sizes.
+type Local struct {
+	// Mux is the dispatch target.
+	Mux *Mux
+	// OnCall, when set, observes every exchange (for CPU cost accounting
+	// in simulations).
+	OnCall func(action string, reqBytes, respBytes int)
+}
+
+// Call implements Caller.
+func (l *Local) Call(action string, req, resp any) error {
+	data, err := Encode(action, req)
+	if err != nil {
+		return err
+	}
+	out := l.Mux.Dispatch(data)
+	if l.OnCall != nil {
+		l.OnCall(action, len(data), len(out))
+	}
+	return decodeResponse(action, out, resp)
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPaperMixed540Arithmetic(t *testing.T) {
+	bs := PaperMixed540("u")
+	var jobs int
+	var totalSec int64
+	for _, b := range bs {
+		jobs += b.Count
+		totalSec += b.TotalSeconds()
+	}
+	if jobs != 8100 {
+		t.Fatalf("jobs = %d, want 8100", jobs)
+	}
+	if totalSec != 16200*60 {
+		t.Fatalf("total = %d sec, want 16,200 minutes", totalSec)
+	}
+	// Average job length must be two minutes (the paper's arithmetic).
+	if avg := totalSec / int64(jobs); avg != 120 {
+		t.Fatalf("avg = %d sec", avg)
+	}
+}
+
+func TestPaperMixed180Arithmetic(t *testing.T) {
+	bs := PaperMixed180("u")
+	var jobs int
+	var totalSec int64
+	for _, b := range bs {
+		jobs += b.Count
+		totalSec += b.TotalSeconds()
+	}
+	if jobs != 2700 || totalSec != 5400*60 {
+		t.Fatalf("jobs = %d, total = %d", jobs, totalSec)
+	}
+	// 5,400 minutes over 180 VMs = 30 minutes optimal.
+	if opt := totalSec / 60 / 180; opt != 30 {
+		t.Fatalf("optimal = %d min", opt)
+	}
+}
+
+func TestSupplyForCoversHorizon(t *testing.T) {
+	bs := SupplyFor("u", 180, 6*time.Second, 20*time.Minute)
+	if len(bs) != 1 {
+		t.Fatal("want one batch")
+	}
+	// 180 VMs for 20 min of 6-second jobs = 36,000 jobs minimum.
+	if bs[0].Count < 36000 {
+		t.Fatalf("count = %d, want >= 36000", bs[0].Count)
+	}
+}
+
+func TestPulsedSchedule(t *testing.T) {
+	pulses := Pulsed("u", 50000, 20, 150*time.Minute, 5*time.Minute)
+	if len(pulses) != 20 {
+		t.Fatalf("pulses = %d", len(pulses))
+	}
+	total := 0
+	for i, p := range pulses {
+		total += p.Batch.Count
+		if want := time.Duration(i) * 5 * time.Minute; p.At != want {
+			t.Fatalf("pulse %d at %v, want %v", i, p.At, want)
+		}
+	}
+	if total != 50000 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestPulsedUnevenRemainder(t *testing.T) {
+	pulses := Pulsed("u", 10, 3, time.Minute, time.Minute)
+	total := 0
+	for _, p := range pulses {
+		total += p.Batch.Count
+	}
+	if total != 10 {
+		t.Fatalf("total = %d, want all jobs submitted", total)
+	}
+}
+
+func TestDependentPipeline(t *testing.T) {
+	bs := DependentPipeline("u", 960, time.Minute, 240, 6*time.Minute)
+	if len(bs) != 2 || bs[0].DependsOnPrev || !bs[1].DependsOnPrev {
+		t.Fatalf("pipeline = %+v", bs)
+	}
+	// §5.1.3's arithmetic: 2,400 total minutes, average two minutes.
+	total := bs[0].TotalSeconds() + bs[1].TotalSeconds()
+	if total != 2400*60 {
+		t.Fatalf("total = %d", total)
+	}
+}
