@@ -1,0 +1,29 @@
+# CI entry points. `make check` is the default gate: build, vet, full test
+# suite, then a race-detector pass over the concurrency-critical packages
+# (the storage engine's lock manager and the CAS service layer).
+
+GO ?= go
+
+.PHONY: check build test race vet bench-smoke clean
+
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 ./internal/sqldb ./internal/core ./internal/vtime
+
+vet:
+	$(GO) vet ./...
+
+# One iteration per benchmark: exercises every benchmark code path without
+# paying for full measurement runs.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+clean:
+	$(GO) clean ./...

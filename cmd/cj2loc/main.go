@@ -5,6 +5,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"condorj2/internal/experiments"
@@ -13,10 +14,19 @@ import (
 func main() {
 	root := flag.String("root", ".", "repository root to measure")
 	flag.Parse()
-	report, err := experiments.CountCode(*root)
-	if err != nil {
+	if err := run(*root, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "cj2loc:", err)
 		os.Exit(1)
 	}
-	fmt.Print(experiments.RenderCodeSize(report))
+}
+
+// run measures root and renders the inventory to out (split from main so
+// the command is testable).
+func run(root string, out io.Writer) error {
+	report, err := experiments.CountCode(root)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(out, experiments.RenderCodeSize(report))
+	return err
 }

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRendersInventory(t *testing.T) {
+	dir := t.TempDir()
+	src := "package demo\n\n// A comment.\nfunc Demo() int {\n\treturn 1\n}\n"
+	if err := os.WriteFile(filepath.Join(dir, "demo.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run(dir, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "total") {
+		t.Fatalf("inventory missing total line:\n%s", got)
+	}
+	if !strings.Contains(got, "demo.go") && !strings.Contains(got, "6") {
+		t.Fatalf("inventory does not reflect the measured file:\n%s", got)
+	}
+}
+
+func TestRunMissingRootFails(t *testing.T) {
+	var out strings.Builder
+	if err := run(filepath.Join(t.TempDir(), "nope"), &out); err == nil {
+		t.Fatal("expected error for missing root")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -37,10 +38,15 @@ func main() {
 		fmt.Println("scratch in-memory database")
 	}
 	defer db.Close()
+	runShell(db, os.Stdin, os.Stdout)
+}
 
-	sc := bufio.NewScanner(os.Stdin)
+// runShell drives the read-eval-print loop over the given streams (split
+// from main so the shell is testable end to end).
+func runShell(db *sqldb.DB, in io.Reader, out io.Writer) {
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	fmt.Print("> ")
+	fmt.Fprint(out, "> ")
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		switch {
@@ -49,42 +55,42 @@ func main() {
 			return
 		case line == `\tables`:
 			for _, t := range db.TableNames() {
-				fmt.Println(t)
+				fmt.Fprintln(out, t)
 			}
 		case strings.HasPrefix(line, `\d `):
 			name := strings.TrimSpace(strings.TrimPrefix(line, `\d `))
 			if schema, ok := db.Schema(name); ok {
-				fmt.Println(schema.DDL())
+				fmt.Fprintln(out, schema.DDL())
 			} else {
-				fmt.Printf("no table %q\n", name)
+				fmt.Fprintf(out, "no table %q\n", name)
 			}
 		default:
-			runStatement(db, line)
+			runStatement(db, line, out)
 		}
-		fmt.Print("> ")
+		fmt.Fprint(out, "> ")
 	}
 }
 
-func runStatement(db *sqldb.DB, sql string) {
+func runStatement(db *sqldb.DB, sql string, out io.Writer) {
 	upper := strings.ToUpper(strings.TrimSpace(sql))
 	if strings.HasPrefix(upper, "SELECT") || strings.HasPrefix(upper, "EXPLAIN") {
 		rows, err := db.Query(sql)
 		if err != nil {
-			fmt.Println("error:", err)
+			fmt.Fprintln(out, "error:", err)
 			return
 		}
-		printRows(rows)
+		printRows(out, rows)
 		return
 	}
 	res, err := db.Exec(sql)
 	if err != nil {
-		fmt.Println("error:", err)
+		fmt.Fprintln(out, "error:", err)
 		return
 	}
-	fmt.Printf("ok (%d rows affected)\n", res.RowsAffected)
+	fmt.Fprintf(out, "ok (%d rows affected)\n", res.RowsAffected)
 }
 
-func printRows(rows *sqldb.Rows) {
+func printRows(out io.Writer, rows *sqldb.Rows) {
 	widths := make([]int, len(rows.Columns))
 	cells := make([][]string, 0, len(rows.Data)+1)
 	header := make([]string, len(rows.Columns))
@@ -106,15 +112,15 @@ func printRows(rows *sqldb.Rows) {
 	}
 	for ri, line := range cells {
 		for i, cell := range line {
-			fmt.Printf("%-*s  ", widths[i], cell)
+			fmt.Fprintf(out, "%-*s  ", widths[i], cell)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 		if ri == 0 {
 			for _, w := range widths {
-				fmt.Print(strings.Repeat("-", w), "  ")
+				fmt.Fprint(out, strings.Repeat("-", w), "  ")
 			}
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
 	}
-	fmt.Printf("(%d rows)\n", rows.Len())
+	fmt.Fprintf(out, "(%d rows)\n", rows.Len())
 }

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"condorj2/internal/sqldb"
+)
+
+// The smoke test drives the shell end to end: DDL, DML, a rendered SELECT,
+// the meta-commands, and the error path, all through the same loop main
+// wires to stdin/stdout.
+func TestShellParseExecuteRoundTrip(t *testing.T) {
+	db := sqldb.New()
+	defer db.Close()
+	script := strings.Join([]string{
+		`CREATE TABLE jobs (id INTEGER PRIMARY KEY, owner TEXT NOT NULL, state TEXT)`,
+		`INSERT INTO jobs VALUES (1, 'alice', 'idle')`,
+		`INSERT INTO jobs VALUES (2, 'bob', 'running')`,
+		`SELECT owner FROM jobs WHERE id = 2`,
+		`\tables`,
+		`\d jobs`,
+		`SELEKT nonsense`,
+		`\q`,
+	}, "\n") + "\n"
+
+	var out strings.Builder
+	runShell(db, strings.NewReader(script), &out)
+	got := out.String()
+
+	for _, want := range []string{
+		"ok (1 rows affected)", // INSERTs acknowledged
+		"bob",                  // SELECT result rendered
+		"(1 rows)",             // row count footer
+		"jobs",                 // \tables listing
+		"CREATE TABLE jobs",    // \d schema dump
+		"error:",               // bad statement reported, shell kept going
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("shell output missing %q:\n%s", want, got)
+		}
+	}
+
+	// The shell's writes really landed in the engine.
+	rows, err := db.Query(`SELECT count(*) FROM jobs`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Data[0][0].Int64() != 2 {
+		t.Fatalf("jobs table has %v rows, want 2", rows.Data[0][0])
+	}
+}
+
+func TestShellQuitStopsBeforeTrailingInput(t *testing.T) {
+	db := sqldb.New()
+	defer db.Close()
+	var out strings.Builder
+	runShell(db, strings.NewReader("\\q\nCREATE TABLE t (x INTEGER)\n"), &out)
+	if len(db.TableNames()) != 0 {
+		t.Fatal("statement after \\q executed")
+	}
+}

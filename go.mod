@@ -1,0 +1,3 @@
+module condorj2
+
+go 1.24

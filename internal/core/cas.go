@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"condorj2/internal/metrics"
 	"condorj2/internal/sqldb"
 	"condorj2/internal/vtime"
 	"condorj2/internal/wire"
@@ -115,6 +116,24 @@ func (c *CAS) StartScheduler() {
 func (c *CAS) StopScheduler() {
 	if c.schedOn.CompareAndSwap(true, false) {
 		close(c.stopSch)
+	}
+}
+
+// LockStats snapshots the embedded engine's lock-contention counters
+// (waits, deadlocks, held table/row locks) for operators and experiments.
+func (c *CAS) LockStats() sqldb.LockStats { return c.Engine.LockStats() }
+
+// LockSnapshot converts the engine's counters into the metrics layer's
+// form, ready for metrics.LockMonitor.Observe — the bridge the experiment
+// harness uses to chart lock contention next to CPU accounting.
+func (c *CAS) LockSnapshot() metrics.LockSnapshot {
+	s := c.Engine.LockStats()
+	return metrics.LockSnapshot{
+		Acquired:  s.Acquired,
+		Waited:    s.Waited,
+		Deadlocks: s.Deadlocks,
+		WaitTime:  s.WaitTime,
+		Held:      s.HeldTable + s.HeldRow,
 	}
 }
 

@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLockMonitorDifferencesSnapshots(t *testing.T) {
+	start := time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+	m := NewLockMonitor(start, time.Minute)
+
+	// Baseline: no deltas recorded, level established.
+	m.Observe(start, LockSnapshot{Acquired: 100, Waited: 10, Held: 3})
+	if got := m.Waits().Total(); got != 0 {
+		t.Fatalf("baseline observation recorded %d waits, want 0", got)
+	}
+	if got := m.Held().Value(); got != 3 {
+		t.Fatalf("held level = %v, want 3", got)
+	}
+
+	m.Observe(start.Add(time.Minute), LockSnapshot{
+		Acquired: 160, Waited: 25, Deadlocks: 2,
+		WaitTime: 500 * time.Millisecond, Held: 7,
+	})
+	m.Observe(start.Add(2*time.Minute), LockSnapshot{
+		Acquired: 200, Waited: 25, Deadlocks: 2,
+		WaitTime: 500 * time.Millisecond, Held: 0,
+	})
+
+	if got := m.Acquired().Total(); got != 100 {
+		t.Fatalf("acquired total = %d, want 100", got)
+	}
+	if got := m.Waits().Total(); got != 15 {
+		t.Fatalf("waits total = %d, want 15", got)
+	}
+	if got := m.Deadlocks().Total(); got != 2 {
+		t.Fatalf("deadlocks total = %d, want 2", got)
+	}
+	if got := m.TotalWaitTime(); got != 500*time.Millisecond {
+		t.Fatalf("wait time = %v, want 500ms", got)
+	}
+
+	// The deltas landed in their own intervals.
+	pts := m.Waits().PerInterval(start.Add(2 * time.Minute))
+	if len(pts) != 3 || pts[1].Value != 15 || pts[2].Value != 0 {
+		t.Fatalf("per-interval waits = %v", pts)
+	}
+	if got := m.Held().SampleAt(start.Add(90 * time.Second)); got != 7 {
+		t.Fatalf("held @1.5min = %v, want 7", got)
+	}
+	if got := m.Held().Value(); got != 0 {
+		t.Fatalf("final held = %v, want 0", got)
+	}
+}

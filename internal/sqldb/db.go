@@ -52,8 +52,9 @@ type Options struct {
 }
 
 // DB is an embedded database engine instance. It is safe for concurrent
-// use; concurrency control is strict two-phase locking at table
-// granularity.
+// use; concurrency control is strict two-phase locking at two
+// granularities: row locks (under table intention locks) for index-driven
+// statements, whole-table locks for full scans and DDL.
 type DB struct {
 	mu     sync.Mutex // guards tables map and schema changes
 	tables map[string]*table
@@ -132,6 +133,12 @@ func (db *DB) SetStatsHook(h StatsHook) {
 
 // SetNow replaces the clock used by NOW(); simulations inject virtual time.
 func (db *DB) SetNow(now func() time.Time) { db.nowFn = now }
+
+// LockStats snapshots the lock manager's contention counters (requests
+// granted, requests that blocked, deadlocks, cumulative wait time, and
+// currently held table/row locks). The metrics layer polls this to chart
+// lock contention alongside CPU accounting.
+func (db *DB) LockStats() LockStats { return db.locks.stats() }
 
 func (db *DB) emit(s StmtStats) {
 	if h := db.hook.Load(); h != nil {

@@ -158,6 +158,11 @@ func TestDriverMemDSN(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pool.Close()
+	// The mem: registry outlives the test binary's first run under
+	// -count>1; start from a clean slate.
+	if _, err := pool.Exec(`DROP TABLE IF EXISTS t`); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := pool.Exec(`CREATE TABLE t (x INTEGER)`); err != nil {
 		t.Fatal(err)
 	}

@@ -43,6 +43,10 @@ type query struct {
 	onConj   [][]Expr // per ref: ON conjuncts
 	filters  [][]Expr // per ref: WHERE conjuncts first evaluable there
 	stats    *StmtStats
+	// rowLock is the lock mode taken on each row visited through an index
+	// access path: S for SELECT, X for UPDATE/DELETE targets. Full scans
+	// rely on the table-granularity lock instead and take no row locks.
+	rowLock lockMode
 }
 
 var errStopScan = fmt.Errorf("sqldb: internal: stop scan")
@@ -51,16 +55,9 @@ func (tx *Tx) execSelect(s *SelectStmt, params []Value) (*Rows, error) {
 	stats := StmtStats{Kind: "SELECT"}
 	defer func() { tx.db.emit(stats) }()
 
-	q := &query{tx: tx, stmt: s, params: params, stats: &stats}
+	q := &query{tx: tx, stmt: s, params: params, stats: &stats, rowLock: lockShared}
 	if len(s.From) > 0 {
 		stats.Table = s.From[0].Table
-		want := make(map[string]lockMode, len(s.From))
-		for _, ref := range s.From {
-			want[strings.ToLower(ref.Table)] = lockShared
-		}
-		if err := tx.lockAll(want); err != nil {
-			return nil, err
-		}
 		for _, ref := range s.From {
 			tbl, err := tx.db.lookupTable(ref.Table)
 			if err != nil {
@@ -77,6 +74,27 @@ func (tx *Tx) execSelect(s *SelectStmt, params []Value) (*Rows, error) {
 
 	if err := q.plan(); err != nil {
 		return nil, err
+	}
+
+	// Lock after planning: an index access path only needs intention-shared
+	// on the table (row S locks are taken per visited row), while a full
+	// scan keeps the whole-table shared lock for phantom-free reads.
+	if len(q.bindings) > 0 {
+		want := make(map[string]lockMode, len(q.bindings))
+		for i, b := range q.bindings {
+			name := strings.ToLower(b.tbl.schema.Name)
+			mode := lockShared
+			if q.access[i].index != nil {
+				mode = lockIntentShared
+			}
+			if cur, ok := want[name]; ok {
+				mode = mergeMode(cur, mode)
+			}
+			want[name] = mode
+		}
+		if err := tx.lockAll(want); err != nil {
+			return nil, err
+		}
 	}
 
 	// Expression-only SELECT (no FROM).
@@ -303,7 +321,15 @@ func (q *query) chooseAccess(i int, usable []Expr) accessPlan {
 	}
 	var best accessPlan
 	bestScore := 0
-	for _, ix := range q.bindings[i].tbl.indexes {
+	// Snapshot the index list under the latch: CREATE/DROP INDEX mutate it
+	// under the exclusive latch, and queries plan before taking any table
+	// lock.
+	tbl := q.bindings[i].tbl
+	tbl.latch.RLock()
+	indexes := make([]*index, len(tbl.indexes))
+	copy(indexes, tbl.indexes)
+	tbl.latch.RUnlock()
+	for _, ix := range indexes {
 		var plan accessPlan
 		plan.index = ix
 		for _, col := range ix.cols {
@@ -466,37 +492,88 @@ func (q *query) scanAccess(i int, visit func(rid int64, row []Value) error) erro
 		seek = append(append(Key{}, prefix...), loVal)
 	}
 	kpos := len(prefix)
-	var err error
-	ap.index.tree.scanRange(seek, nil, func(k Key, rid int64) bool {
-		// Stay within the equality prefix.
-		if len(k) < len(prefix) || compareKeys(k[:len(prefix)], prefix) != 0 {
-			return false
+	// Unique-key point lookups take the key-value lock as a predicate
+	// guard: a transaction that read key K — present or absent — blocks
+	// writers of K until it commits, closing the check-then-act phantom for
+	// the engine's hottest access pattern. Broader range scans remain
+	// record-locked only (no next-key locking).
+	if ap.index.schema.Unique && len(ap.eqExprs) == len(ap.index.cols) {
+		kt := keyLockTarget(tbl.schema.Name, ap.index.schema.Name, prefix)
+		if err := q.tx.db.locks.acquire(q.tx, kt, q.rowLock); err != nil {
+			return err
 		}
-		if rangeCol >= 0 && kpos < len(k) {
-			if haveLo && !ap.loInc {
-				if c, cerr := Compare(k[kpos], loVal); cerr == nil && c == 0 {
-					return true // skip boundary values for strict >
+	}
+	// Materialize matching rids under the table latch, then lock each row
+	// before reading it. Blocking on a row lock while holding the latch
+	// would deadlock invisibly to the waits-for graph (the lock's holder may
+	// need the latch to finish its own mutation), so the two phases must not
+	// overlap. Collection is batched so a visit that stops early (LIMIT's
+	// errStopScan) terminates the tree walk instead of materializing the
+	// whole range; batches resume from the last seen key, which is unique
+	// thanks to the rid tiebreaker non-unique indexes append.
+	const scanBatch = 256
+	tableName := strings.ToLower(tbl.schema.Name)
+	resume := seek
+	skipResume := false
+	for {
+		var rids []int64
+		var lastKey Key
+		exhausted := true
+		tbl.latch.RLock()
+		ap.index.tree.scanRange(resume, nil, func(k Key, rid int64) bool {
+			if skipResume && compareKeys(k, resume) == 0 {
+				return true // already visited in the previous batch
+			}
+			// Stay within the equality prefix.
+			if len(k) < len(prefix) || compareKeys(k[:len(prefix)], prefix) != 0 {
+				return false
+			}
+			if rangeCol >= 0 && kpos < len(k) {
+				if haveLo && !ap.loInc {
+					if c, cerr := Compare(k[kpos], loVal); cerr == nil && c == 0 {
+						return true // skip boundary values for strict >
+					}
+				}
+				if haveHi {
+					c, cerr := Compare(k[kpos], hiVal)
+					if cerr != nil || c > 0 || (c == 0 && !ap.hiInc) {
+						return false
+					}
 				}
 			}
-			if haveHi {
-				c, cerr := Compare(k[kpos], hiVal)
-				if cerr != nil || c > 0 || (c == 0 && !ap.hiInc) {
-					return false
-				}
+			q.stats.RowsScanned++
+			rids = append(rids, rid)
+			lastKey = append(lastKey[:0], k...)
+			if len(rids) >= scanBatch {
+				exhausted = false
+				return false
 			}
-		}
-		q.stats.RowsScanned++
-		row := tbl.rows[rid]
-		if row == nil {
 			return true
+		})
+		tbl.latch.RUnlock()
+		for _, rid := range rids {
+			if err := q.tx.lockRow(tableName, rid, q.rowLock); err != nil {
+				return err
+			}
+			// Re-fetch under the latch: the row may have been deleted (or
+			// its slot recycled) by a writer that committed before our lock
+			// was granted. Predicate conjuncts are re-evaluated by the
+			// caller, so a recycled slot holding a non-matching row is
+			// filtered out.
+			row := tbl.getRow(rid)
+			if row == nil {
+				continue
+			}
+			if err := visit(rid, row); err != nil {
+				return err
+			}
 		}
-		if e := visit(rid, row); e != nil {
-			err = e
-			return false
+		if exhausted {
+			return nil
 		}
-		return true
-	})
-	return err
+		resume = lastKey
+		skipResume = true
+	}
 }
 
 // join runs the nested-loop join from position i, calling emit for each
@@ -995,7 +1072,10 @@ func (q *query) applyLimit(data [][]Value) ([][]Value, error) {
 func (tx *Tx) execInsert(s *InsertStmt, params []Value) (Result, error) {
 	stats := StmtStats{Kind: "INSERT", Table: s.Table}
 	defer func() { tx.db.emit(stats) }()
-	if err := tx.lock(strings.ToLower(s.Table), lockExclusive); err != nil {
+	// Inserts touch only their own fresh rows: intention-exclusive on the
+	// table plus an X lock per inserted rid (taken inside tx.insertRow,
+	// before the row becomes visible to index scans).
+	if err := tx.lock(strings.ToLower(s.Table), lockIntentExclusive); err != nil {
 		return Result{}, err
 	}
 	tbl, err := tx.db.lookupTable(s.Table)
@@ -1056,22 +1136,33 @@ func (tx *Tx) execInsert(s *InsertStmt, params []Value) (Result, error) {
 }
 
 // planTarget builds a single-table query context for UPDATE/DELETE WHERE
-// handling, sharing the SELECT access-path machinery.
+// handling, sharing the SELECT access-path machinery, then takes the table
+// lock the chosen access path calls for: intention-exclusive (with row X
+// locks during matchTarget) when an index narrows the statement to
+// individual rows, whole-table exclusive for a full scan.
 func (tx *Tx) planTarget(tableName string, where Expr, params []Value, stats *StmtStats) (*query, *table, error) {
 	tbl, err := tx.db.lookupTable(tableName)
 	if err != nil {
 		return nil, nil, err
 	}
 	q := &query{
-		tx:     tx,
-		stmt:   &SelectStmt{From: []TableRef{{Table: tableName, Alias: tableName}}, Where: where},
-		params: params,
-		stats:  stats,
+		tx:      tx,
+		stmt:    &SelectStmt{From: []TableRef{{Table: tableName, Alias: tableName}}, Where: where},
+		params:  params,
+		stats:   stats,
+		rowLock: lockExclusive,
 	}
 	q.bindings = []tableBinding{{alias: strings.ToLower(tableName), tbl: tbl}}
 	q.env = &evalEnv{params: params, now: tx.db.nowFn()}
 	q.env.bindings = []binding{{alias: q.bindings[0].alias, schema: &tbl.schema}}
 	if err := q.plan(); err != nil {
+		return nil, nil, err
+	}
+	mode := lockExclusive
+	if q.access[0].index != nil {
+		mode = lockIntentExclusive
+	}
+	if err := tx.lock(strings.ToLower(tableName), mode); err != nil {
 		return nil, nil, err
 	}
 	return q, tbl, nil
@@ -1101,9 +1192,6 @@ func (q *query) matchTarget(tbl *table) ([]int64, error) {
 func (tx *Tx) execUpdate(s *UpdateStmt, params []Value) (Result, error) {
 	stats := StmtStats{Kind: "UPDATE", Table: s.Table}
 	defer func() { tx.db.emit(stats) }()
-	if err := tx.lock(strings.ToLower(s.Table), lockExclusive); err != nil {
-		return Result{}, err
-	}
 	q, tbl, err := tx.planTarget(s.Table, s.Where, params, &stats)
 	if err != nil {
 		return Result{}, err
@@ -1125,7 +1213,7 @@ func (tx *Tx) execUpdate(s *UpdateStmt, params []Value) (Result, error) {
 	}
 	var res Result
 	for _, rid := range rids {
-		old := tbl.rows[rid]
+		old := tbl.getRow(rid)
 		if old == nil {
 			continue
 		}
@@ -1160,9 +1248,6 @@ func (tx *Tx) execUpdate(s *UpdateStmt, params []Value) (Result, error) {
 func (tx *Tx) execDelete(s *DeleteStmt, params []Value) (Result, error) {
 	stats := StmtStats{Kind: "DELETE", Table: s.Table}
 	defer func() { tx.db.emit(stats) }()
-	if err := tx.lock(strings.ToLower(s.Table), lockExclusive); err != nil {
-		return Result{}, err
-	}
 	q, tbl, err := tx.planTarget(s.Table, s.Where, params, &stats)
 	if err != nil {
 		return Result{}, err

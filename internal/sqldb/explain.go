@@ -29,7 +29,9 @@ func (tx *Tx) execExplain(s *ExplainStmt, params []Value) (*Rows, error) {
 	stats := StmtStats{Kind: "EXPLAIN"}
 	q := &query{tx: tx, stmt: sel, params: params, stats: &stats}
 	for _, ref := range sel.From {
-		if err := tx.lock(strings.ToLower(ref.Table), lockShared); err != nil {
+		// EXPLAIN reads only the catalog and plan, never rows: intention-
+		// shared keeps it from blocking behind row-level writers.
+		if err := tx.lock(strings.ToLower(ref.Table), lockIntentShared); err != nil {
 			return nil, err
 		}
 		tbl, err := tx.db.lookupTable(ref.Table)

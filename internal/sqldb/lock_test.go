@@ -1,0 +1,540 @@
+package sqldb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The row-locking protocol under test: index-driven statements take
+// intention locks on the table plus S/X locks on the individual rows they
+// touch, so transactions working on disjoint rows of the same table
+// proceed concurrently, while same-row writers still conflict and
+// deadlocks spanning row and table granularity are still detected.
+
+func lockFixture(t *testing.T, rows int) *DB {
+	t.Helper()
+	db := New()
+	mustExec(t, db, `CREATE TABLE kv (id INTEGER PRIMARY KEY, n INTEGER NOT NULL)`)
+	for i := 1; i <= rows; i++ {
+		mustExec(t, db, `INSERT INTO kv VALUES (?, 0)`, i)
+	}
+	return db
+}
+
+// waitDone reports whether ch closes within the deadline.
+func waitDone(ch <-chan struct{}, d time.Duration) bool {
+	select {
+	case <-ch:
+		return true
+	case <-time.After(d):
+		return false
+	}
+}
+
+func TestDisjointRowWritersDoNotBlock(t *testing.T) {
+	db := lockFixture(t, 4)
+	tx1, _ := db.Begin()
+	if _, err := tx1.Exec(`UPDATE kv SET n = 1 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	// With table-granularity locking tx2 would block behind tx1's
+	// uncommitted write; row locks on disjoint ids must not conflict.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tx2, _ := db.Begin()
+		if _, err := tx2.Exec(`UPDATE kv SET n = 2 WHERE id = 2`); err != nil {
+			t.Error(err)
+		}
+		if err := tx2.Commit(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if !waitDone(done, 5*time.Second) {
+		t.Fatal("disjoint-row writer blocked behind an uncommitted writer on another row")
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSameRowWritersConflict(t *testing.T) {
+	db := lockFixture(t, 2)
+	tx1, _ := db.Begin()
+	if _, err := tx1.Exec(`UPDATE kv SET n = 1 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		mustExec(t, db, `UPDATE kv SET n = 2 WHERE id = 1`)
+	}()
+	if waitDone(done, 50*time.Millisecond) {
+		t.Fatal("same-row writer proceeded against an uncommitted write")
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if !waitDone(done, 5*time.Second) {
+		t.Fatal("same-row writer never granted after commit")
+	}
+	// Strict 2PL: the blocked writer applied after the first committed.
+	row := mustQuery(t, db, `SELECT n FROM kv WHERE id = 1`)
+	if row.Data[0][0].Int64() != 2 {
+		t.Fatalf("n = %v, want 2", row.Data[0][0])
+	}
+}
+
+func TestReaderBlocksOnUncommittedRowWrite(t *testing.T) {
+	db := lockFixture(t, 2)
+	tx1, _ := db.Begin()
+	if _, err := tx1.Exec(`UPDATE kv SET n = 7 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan int64, 1)
+	go func() {
+		row, err := db.QueryRow(`SELECT n FROM kv WHERE id = 1`)
+		if err != nil {
+			t.Error(err)
+			got <- -1
+			return
+		}
+		got <- row[0].Int64()
+	}()
+	select {
+	case n := <-got:
+		t.Fatalf("point read returned %d against an uncommitted write (dirty read)", n)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := tx1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-got:
+		if n != 7 {
+			t.Fatalf("read %d after commit, want 7", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader never granted after writer commit")
+	}
+}
+
+func TestRowLevelDeadlockDetected(t *testing.T) {
+	db := lockFixture(t, 2)
+	tx1, _ := db.Begin()
+	tx2, _ := db.Begin()
+	if _, err := tx1.Exec(`UPDATE kv SET n = 1 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx2.Exec(`UPDATE kv SET n = 1 WHERE id = 2`); err != nil {
+		t.Fatal(err)
+	}
+	err1 := make(chan error, 1)
+	err2 := make(chan error, 1)
+	go func() {
+		_, err := tx1.Exec(`UPDATE kv SET n = 2 WHERE id = 2`)
+		err1 <- err
+	}()
+	go func() {
+		_, err := tx2.Exec(`UPDATE kv SET n = 2 WHERE id = 1`)
+		err2 <- err
+	}()
+	// Exactly one of the two crossing row requests observes the cycle.
+	select {
+	case err := <-err1:
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("tx1 victim error = %v, want ErrDeadlock", err)
+		}
+		tx1.Rollback()
+		if err := <-err2; err != nil {
+			t.Fatalf("tx2 after victim abort: %v", err)
+		}
+		if err := tx2.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	case err := <-err2:
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("tx2 victim error = %v, want ErrDeadlock", err)
+		}
+		tx2.Rollback()
+		if err := <-err1; err != nil {
+			t.Fatalf("tx1 after victim abort: %v", err)
+		}
+		if err := tx1.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRowTableDeadlockDetected crosses granularities: one transaction holds
+// a row X lock and wants a whole-table lock, the other holds that table
+// lock and wants the row. The waits-for graph spans both granularities, so
+// exactly one is chosen as victim.
+func TestRowTableDeadlockDetected(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE a (id INTEGER PRIMARY KEY, n INTEGER)`)
+	mustExec(t, db, `CREATE TABLE b (n INTEGER)`) // no index: full-scan writes
+	mustExec(t, db, `INSERT INTO a VALUES (1, 0)`)
+	mustExec(t, db, `INSERT INTO b VALUES (0)`)
+
+	tx1, _ := db.Begin()
+	tx2, _ := db.Begin()
+	// tx1: row X on a(1) via the pk index.
+	if _, err := tx1.Exec(`UPDATE a SET n = 1 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	// tx2: table X on b via full scan.
+	if _, err := tx2.Exec(`UPDATE b SET n = 1`); err != nil {
+		t.Fatal(err)
+	}
+	err1 := make(chan error, 1)
+	err2 := make(chan error, 1)
+	go func() {
+		_, err := tx1.Exec(`UPDATE b SET n = 2`) // wants table X on b
+		err1 <- err
+	}()
+	go func() {
+		_, err := tx2.Exec(`UPDATE a SET n = 2 WHERE id = 1`) // wants row X on a(1)
+		err2 <- err
+	}()
+	select {
+	case err := <-err1:
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("tx1 victim error = %v, want ErrDeadlock", err)
+		}
+		tx1.Rollback()
+		if err := <-err2; err != nil {
+			t.Fatalf("tx2 after victim abort: %v", err)
+		}
+		tx2.Commit()
+	case err := <-err2:
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("tx2 victim error = %v, want ErrDeadlock", err)
+		}
+		tx2.Rollback()
+		if err := <-err1; err != nil {
+			t.Fatalf("tx1 after victim abort: %v", err)
+		}
+		tx1.Commit()
+	}
+}
+
+// TestDisjointRowStress runs one writer goroutine per row; because the rows
+// are disjoint no transaction ever conflicts, so every increment must
+// commit without a single deadlock retry.
+func TestDisjointRowStress(t *testing.T) {
+	const workers, iters = 8, 50
+	db := lockFixture(t, workers)
+	var wg sync.WaitGroup
+	for w := 1; w <= workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tx, err := db.Begin()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				row, err := tx.QueryRow(`SELECT n FROM kv WHERE id = ?`, id)
+				if err == nil {
+					_, err = tx.Exec(`UPDATE kv SET n = ? WHERE id = ?`, row[0].Int64()+1, id)
+				}
+				if err == nil {
+					err = tx.Commit()
+				} else {
+					tx.Rollback()
+				}
+				if err != nil {
+					t.Errorf("worker %d: %v (disjoint rows must not conflict)", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	rows := mustQuery(t, db, `SELECT count(*) FROM kv WHERE n = ?`, iters)
+	if got := rows.Data[0][0].Int64(); got != workers {
+		t.Fatalf("%d rows reached %d increments, want all %d", got, iters, workers)
+	}
+	if stats := db.LockStats(); stats.Deadlocks != 0 {
+		t.Fatalf("deadlocks = %d on disjoint rows, want 0", stats.Deadlocks)
+	}
+}
+
+// TestConcurrentInsertersDisjoint: inserts only ever touch fresh rows, so
+// concurrent bulk inserters under table IX locks never conflict.
+func TestConcurrentInsertersDisjoint(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE log (id INTEGER PRIMARY KEY AUTOINCREMENT, who TEXT NOT NULL)`)
+	const workers, iters = 8, 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			who := fmt.Sprintf("w%d", id)
+			for i := 0; i < iters; i++ {
+				if _, err := db.Exec(`INSERT INTO log (who) VALUES (?)`, who); err != nil {
+					t.Errorf("worker %d: %v", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	rows := mustQuery(t, db, `SELECT count(*), count(DISTINCT id) FROM log`)
+	if rows.Data[0][0].Int64() != workers*iters || rows.Data[0][1].Int64() != workers*iters {
+		t.Fatalf("rows/ids = %v, want %d of each", rows.Data[0], workers*iters)
+	}
+}
+
+// TestUncommittedDeleteBlocksUniqueKeyReuse: a delete unpublishes its
+// index entries before commit, so the entry cannot guard the key space —
+// the unique-key lock must. A racing insert of the same primary key has to
+// block, then fail with a unique violation once the delete rolls back.
+func TestUncommittedDeleteBlocksUniqueKeyReuse(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER NOT NULL)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1, 10)`)
+	txA, _ := db.Begin()
+	if _, err := txA.Exec(`DELETE FROM t WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	insErr := make(chan error, 1)
+	go func() {
+		_, err := db.Exec(`INSERT INTO t VALUES (1, 20)`)
+		insErr <- err
+	}()
+	select {
+	case err := <-insErr:
+		t.Fatalf("insert of a deleted-but-uncommitted key proceeded (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := txA.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-insErr:
+		if err == nil {
+			t.Fatal("duplicate primary key accepted after delete rollback")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("insert never resolved after rollback")
+	}
+	// Heap and index must agree on exactly the original row.
+	rows := mustQuery(t, db, `SELECT v FROM t WHERE id = 1`)
+	if rows.Len() != 1 || rows.Data[0][0].Int64() != 10 {
+		t.Fatalf("index lookup after rollback = %v, want the original row", rows.Data)
+	}
+	rows = mustQuery(t, db, `SELECT count(*) FROM t`)
+	if rows.Data[0][0].Int64() != 1 {
+		t.Fatalf("heap has %v rows, want 1", rows.Data[0][0])
+	}
+}
+
+// TestCommittedDeleteAllowsKeyReuse is the partner case: once the delete
+// commits, the blocked insert must succeed.
+func TestCommittedDeleteAllowsKeyReuse(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER NOT NULL)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1, 10)`)
+	txA, _ := db.Begin()
+	if _, err := txA.Exec(`DELETE FROM t WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	insErr := make(chan error, 1)
+	go func() {
+		_, err := db.Exec(`INSERT INTO t VALUES (1, 20)`)
+		insErr <- err
+	}()
+	select {
+	case err := <-insErr:
+		t.Fatalf("insert proceeded against uncommitted delete (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := txA.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-insErr:
+		if err != nil {
+			t.Fatalf("insert after committed delete: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("insert never resolved after commit")
+	}
+	rows := mustQuery(t, db, `SELECT v FROM t WHERE id = 1`)
+	if rows.Len() != 1 || rows.Data[0][0].Int64() != 20 {
+		t.Fatalf("row after reuse = %v, want the new row", rows.Data)
+	}
+}
+
+// TestUniqueKeyAbsenceReadBlocksInsert: reading an absent primary key takes
+// the key-value lock in shared mode, so a check-then-act transaction
+// cannot be overtaken by an insert of that key (the classic phantom).
+func TestUniqueKeyAbsenceReadBlocksInsert(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER NOT NULL)`)
+	txA, _ := db.Begin()
+	row, err := txA.QueryRow(`SELECT v FROM t WHERE id = 5`)
+	if err != nil || row != nil {
+		t.Fatalf("absent-key read = %v, %v", row, err)
+	}
+	insErr := make(chan error, 1)
+	go func() {
+		_, err := db.Exec(`INSERT INTO t VALUES (5, 1)`)
+		insErr <- err
+	}()
+	select {
+	case err := <-insErr:
+		t.Fatalf("insert of key 5 overtook a transaction that read its absence (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// The read is repeatable while the insert waits.
+	row, err = txA.QueryRow(`SELECT v FROM t WHERE id = 5`)
+	if err != nil || row != nil {
+		t.Fatalf("re-read = %v, %v; want still absent", row, err)
+	}
+	if err := txA.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-insErr:
+		if err != nil {
+			t.Fatalf("insert after reader commit: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("insert never resolved")
+	}
+}
+
+// TestUpgradeJumpDeadlockDetected: an upgrade that jumps the queue blocks
+// already-queued waiters without their enqueue-time edges knowing. The
+// grant must record those edges, or the cycle built on top of it (D waits
+// on A, A waits on D's upgraded lock) hangs undetected.
+func TestUpgradeJumpDeadlockDetected(t *testing.T) {
+	db := New()
+	mustExec(t, db, `CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER NOT NULL)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1, 0)`)
+	mustExec(t, db, `INSERT INTO t VALUES (2, 0)`)
+
+	txB, _ := db.Begin()
+	if _, err := txB.Query(`SELECT * FROM t`); err != nil { // B: table S
+		t.Fatal(err)
+	}
+	txA, _ := db.Begin()
+	if _, err := txA.QueryRow(`SELECT v FROM t WHERE id = 1`); err != nil { // A: IS + S(r1)
+		t.Fatal(err)
+	}
+	txD, _ := db.Begin()
+	if _, err := txD.QueryRow(`SELECT v FROM t WHERE id = 2`); err != nil { // D: IS + S(r2)
+		t.Fatal(err)
+	}
+	// A wants table IX (blocked by B's S) — queued, edge A→B.
+	aErr := make(chan error, 1)
+	base := db.LockStats().Waited
+	go func() {
+		_, err := txA.Exec(`UPDATE t SET v = 1 WHERE id = 1`)
+		aErr <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for db.LockStats().Waited <= base {
+		if time.Now().After(deadline) {
+			t.Fatal("txA never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// D upgrades IS→S via a full scan: compatible with B's S and A's IS, so
+	// it jumps past queued A — and must record that A now waits on it.
+	if _, err := txD.Query(`SELECT * FROM t`); err != nil {
+		t.Fatal(err)
+	}
+	if err := txB.Commit(); err != nil { // A still blocked (on D's S)
+		t.Fatal(err)
+	}
+	// D now wants the table exclusively (S + IX merge to X), blocked by A's
+	// IS: edge D→A closes the cycle through the A→D edge from the jump.
+	_, err := txD.Exec(`UPDATE t SET v = 2 WHERE id = 1`)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("txD error = %v, want ErrDeadlock (undetected deadlock would hang)", err)
+	}
+	if err := txD.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-aErr:
+		if err != nil {
+			t.Fatalf("txA after victim abort: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("txA never granted after victim rollback")
+	}
+	if err := txA.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockModeLattice(t *testing.T) {
+	modes := []lockMode{lockIntentShared, lockIntentExclusive, lockShared, lockExclusive}
+	for _, a := range modes {
+		for _, b := range modes {
+			m := mergeMode(a, b)
+			if !covers(m, a) || !covers(m, b) {
+				t.Errorf("mergeMode(%d,%d)=%d does not cover both", a, b, m)
+			}
+			if lockCompat[a][b] != lockCompat[b][a] {
+				t.Errorf("compat matrix asymmetric at (%d,%d)", a, b)
+			}
+		}
+	}
+	if mergeMode(lockShared, lockIntentExclusive) != lockExclusive {
+		t.Error("S+IX must promote to X")
+	}
+	if !covers(lockExclusive, lockIntentShared) || covers(lockIntentShared, lockShared) {
+		t.Error("covers() ordering broken")
+	}
+}
+
+func TestLockStatsCounters(t *testing.T) {
+	db := lockFixture(t, 2)
+	base := db.LockStats()
+	tx, _ := db.Begin()
+	if _, err := tx.Exec(`UPDATE kv SET n = 1 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	mid := db.LockStats()
+	if mid.HeldRow == 0 || mid.HeldTable == 0 {
+		t.Fatalf("held gauges = %+v, want row and table locks held mid-txn", mid)
+	}
+	if mid.Acquired <= base.Acquired {
+		t.Fatal("Acquired did not advance")
+	}
+	// A blocked same-row writer must bump the wait counter.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		mustExec(t, db, `UPDATE kv SET n = 2 WHERE id = 1`)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for db.LockStats().Waited <= base.Waited {
+		if time.Now().After(deadline) {
+			t.Fatal("Waited never advanced while a writer was blocked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	end := db.LockStats()
+	if end.HeldRow != 0 || end.HeldTable != 0 {
+		t.Fatalf("held gauges = %+v after all commits, want zero", end)
+	}
+	if end.WaitTime <= 0 {
+		t.Fatal("WaitTime not accumulated for the blocked writer")
+	}
+}

@@ -1,7 +1,9 @@
 package sqldb
 
 import (
+	"bytes"
 	"fmt"
+	"sync"
 )
 
 // table is the in-memory heap storage for one table plus its indexes.
@@ -9,11 +11,18 @@ import (
 // recycled through a free list, which keeps scan order deterministic (slot
 // order) — important for reproducible simulations.
 //
-// Synchronization is provided by the engine's two-phase locking protocol:
-// a transaction only touches a table while holding the appropriate
-// table lock, so the structures here need no internal locking.
+// Logical isolation is provided by the engine's two-phase locking protocol
+// (row locks under table intention locks). Because transactions holding
+// only intention locks mutate disjoint rows of the same table concurrently,
+// the physical structures — the rows slice, free list, autoincrement
+// counter, and index trees — are additionally protected by a short-held
+// latch. The latch is never held while blocking on a lock-manager lock
+// (that would deadlock invisibly to the waits-for graph); full table scans
+// under an S or X table lock need no latch since any mutator would hold a
+// conflicting IX or X.
 type table struct {
 	schema   TableSchema
+	latch    sync.RWMutex
 	rows     [][]Value
 	free     []int64
 	liveRows int
@@ -58,6 +67,8 @@ func colNames(s TableSchema, idxs []int) []string {
 }
 
 func (t *table) addIndexLocked(is IndexSchema) error {
+	t.latch.Lock()
+	defer t.latch.Unlock()
 	for _, ix := range t.indexes {
 		if ix.schema.Name == is.Name {
 			return fmt.Errorf("sqldb: index %s already exists", is.Name)
@@ -86,6 +97,8 @@ func (t *table) addIndexLocked(is IndexSchema) error {
 }
 
 func (t *table) dropIndex(name string) bool {
+	t.latch.Lock()
+	defer t.latch.Unlock()
 	for i, ix := range t.indexes {
 		if ix.schema.Name == name {
 			t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
@@ -139,6 +152,72 @@ func (ix *index) remove(row []Value, rid int64) {
 	ix.tree.delete(k)
 }
 
+// keyLockTarget names the lock-manager resource guarding one unique key
+// value of one index. Index entries for deletes and key-changing updates
+// are unpublished before commit, so the entry itself cannot serialize
+// writers of the same key; these logical key locks do. The key is hashed —
+// collisions only over-block (a spurious wait or deadlock retry), never
+// under-block.
+func keyLockTarget(tblName, ixName string, k Key) lockTarget {
+	var buf bytes.Buffer
+	for _, v := range k {
+		writeValue(&buf, v)
+	}
+	h := uint64(14695981039346656037)
+	for _, b := range buf.Bytes() {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	// Shift keeps the rid non-negative, so it can never collide with the
+	// tableRID sentinel.
+	return lockTarget{table: "\x00key:" + tblName + ":" + ixName, rid: int64(h >> 1)}
+}
+
+// uniqueKeyTargets returns the key-lock resources for every enforced
+// unique key value the row occupies (NULL-bearing unique keys enforce
+// nothing and need no guard).
+func (t *table) uniqueKeyTargets(row []Value) []lockTarget {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	var targets []lockTarget
+	for _, ix := range t.indexes {
+		if !ix.schema.Unique {
+			continue
+		}
+		k, enforce := ix.key(row, 0)
+		if !enforce {
+			continue
+		}
+		targets = append(targets, keyLockTarget(t.schema.Name, ix.schema.Name, k))
+	}
+	return targets
+}
+
+// changedUniqueKeyTargets returns the key-lock resources entering or
+// leaving occupancy when old is replaced by newRow.
+func (t *table) changedUniqueKeyTargets(old, newRow []Value) []lockTarget {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	var targets []lockTarget
+	for _, ix := range t.indexes {
+		if !ix.schema.Unique {
+			continue
+		}
+		ko, eo := ix.key(old, 0)
+		kn, en := ix.key(newRow, 0)
+		if eo && en && compareKeys(ko, kn) == 0 {
+			continue
+		}
+		if eo {
+			targets = append(targets, keyLockTarget(t.schema.Name, ix.schema.Name, ko))
+		}
+		if en {
+			targets = append(targets, keyLockTarget(t.schema.Name, ix.schema.Name, kn))
+		}
+	}
+	return targets
+}
+
 // UniqueViolationError reports a duplicate key under a unique index.
 type UniqueViolationError struct {
 	Index string
@@ -149,35 +228,63 @@ func (e *UniqueViolationError) Error() string {
 	return fmt.Sprintf("sqldb: unique constraint violated on index %s", e.Index)
 }
 
-// insertRow stores a row, maintaining all indexes, and returns its row id.
-// The row must already be validated and coerced to the schema.
-func (t *table) insertRow(row []Value) (int64, error) {
-	var rid int64
+// allocSlot reserves a heap slot (recycled or fresh) without publishing a
+// row into it, so the caller can X-lock the rid before it becomes visible
+// to concurrent index scans. Balance with insertAt or releaseSlot.
+func (t *table) allocSlot() int64 {
+	t.latch.Lock()
+	defer t.latch.Unlock()
 	if n := len(t.free); n > 0 {
-		rid = t.free[n-1]
+		rid := t.free[n-1]
 		t.free = t.free[:n-1]
-		t.rows[rid] = row
-	} else {
-		rid = int64(len(t.rows))
-		t.rows = append(t.rows, row)
+		return rid
 	}
+	t.rows = append(t.rows, nil)
+	return int64(len(t.rows) - 1)
+}
+
+// releaseSlot returns an allocated-but-unpublished slot to the free list.
+func (t *table) releaseSlot(rid int64) {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	t.free = append(t.free, rid)
+}
+
+// insertAt publishes a row into a slot reserved by allocSlot, maintaining
+// all indexes. The row must already be validated and coerced to the schema.
+func (t *table) insertAt(rid int64, row []Value) error {
+	t.latch.Lock()
+	defer t.latch.Unlock()
 	for i, ix := range t.indexes {
 		if err := ix.insert(row, rid); err != nil {
-			// Roll back index entries added so far plus the heap slot.
+			// Roll back index entries added so far; the caller releases the
+			// still-unpublished slot.
 			for _, prev := range t.indexes[:i] {
 				prev.remove(row, rid)
 			}
-			t.rows[rid] = nil
-			t.free = append(t.free, rid)
-			return 0, err
+			return err
 		}
 	}
+	t.rows[rid] = row
 	t.liveRows++
-	return rid, nil
+	return nil
+}
+
+// getRow fetches the row at rid under the latch (index-scan row fetch: the
+// slice header may be growing concurrently under another txn's insert).
+func (t *table) getRow(rid int64) []Value {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	if rid < 0 || rid >= int64(len(t.rows)) {
+		return nil
+	}
+	return t.rows[rid]
 }
 
 // placeRow stores a row at a specific row id (WAL replay only).
 func (t *table) placeRow(rid int64, row []Value) error {
+	t.latch.Lock()
+	defer t.latch.Unlock()
 	for int64(len(t.rows)) <= rid {
 		t.rows = append(t.rows, nil)
 	}
@@ -194,8 +301,14 @@ func (t *table) placeRow(rid int64, row []Value) error {
 	return nil
 }
 
-// deleteRow removes the row at rid and returns the old row.
+// deleteRow removes the row at rid and returns the old row. The slot is
+// NOT returned to the free list here: the deleting transaction still holds
+// the row's X lock, and recycling the rid before it commits would let a
+// concurrent insert claim a slot that a rollback may need to restore. The
+// caller frees the slot at commit (tx.Commit → freeSlot).
 func (t *table) deleteRow(rid int64) ([]Value, error) {
+	t.latch.Lock()
+	defer t.latch.Unlock()
 	if rid < 0 || rid >= int64(len(t.rows)) || t.rows[rid] == nil {
 		return nil, fmt.Errorf("sqldb: delete: no row %d in %s", rid, t.schema.Name)
 	}
@@ -204,21 +317,28 @@ func (t *table) deleteRow(rid int64) ([]Value, error) {
 		ix.remove(row, rid)
 	}
 	t.rows[rid] = nil
-	t.free = append(t.free, rid)
 	t.liveRows--
 	return row, nil
 }
 
+// freeSlot returns a vacated slot to the free list (commit-time for
+// deletes, rollback-time for undone inserts).
+func (t *table) freeSlot(rid int64) {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	if rid >= 0 && rid < int64(len(t.rows)) && t.rows[rid] == nil {
+		t.free = append(t.free, rid)
+	}
+}
+
 // restoreRow undoes a deleteRow, putting the old row back at the same id.
+// The slot cannot be on the free list: deleteRow defers freeing to commit,
+// and a transaction that rolls back never commits.
 func (t *table) restoreRow(rid int64, row []Value) error {
+	t.latch.Lock()
+	defer t.latch.Unlock()
 	if rid < 0 || rid >= int64(len(t.rows)) || t.rows[rid] != nil {
 		return fmt.Errorf("sqldb: restore: slot %d of %s not free", rid, t.schema.Name)
-	}
-	for i := len(t.free) - 1; i >= 0; i-- {
-		if t.free[i] == rid {
-			t.free = append(t.free[:i], t.free[i+1:]...)
-			break
-		}
 	}
 	t.rows[rid] = row
 	t.liveRows++
@@ -231,22 +351,65 @@ func (t *table) restoreRow(rid int64, row []Value) error {
 }
 
 // updateRow replaces the row at rid, maintaining indexes, and returns the
-// old row.
+// old row. Indexes whose key columns are unchanged are left untouched — on
+// the CAS hot paths (heartbeats and job state transitions flip non-key
+// columns) this skips the primary-key reinsert entirely, shrinking the
+// latched window concurrent row-level writers serialize on.
 func (t *table) updateRow(rid int64, newRow []Value) ([]Value, error) {
+	// Fast path under the shared latch: when no index key changes, the
+	// whole mutation is one heap-slot store. The caller holds the row's X
+	// lock, so no other transaction touches this slot; the shared latch
+	// only needs to exclude structural changes (slice growth, index
+	// builds), which take the latch exclusively.
+	t.latch.RLock()
+	if rid < 0 || rid >= int64(len(t.rows)) || t.rows[rid] == nil {
+		t.latch.RUnlock()
+		return nil, fmt.Errorf("sqldb: update: no row %d in %s", rid, t.schema.Name)
+	}
+	fastOld := t.rows[rid]
+	keysChanged := false
+	for _, ix := range t.indexes {
+		ko, _ := ix.key(fastOld, rid)
+		kn, _ := ix.key(newRow, rid)
+		if compareKeys(ko, kn) != 0 {
+			keysChanged = true
+			break
+		}
+	}
+	if !keysChanged {
+		t.rows[rid] = newRow
+		t.latch.RUnlock()
+		return fastOld, nil
+	}
+	t.latch.RUnlock()
+
+	// Slow path: index keys move, so take the latch exclusively and
+	// recompute (an index could have been added in the window between the
+	// two latch acquisitions).
+	t.latch.Lock()
+	defer t.latch.Unlock()
 	if rid < 0 || rid >= int64(len(t.rows)) || t.rows[rid] == nil {
 		return nil, fmt.Errorf("sqldb: update: no row %d in %s", rid, t.schema.Name)
 	}
 	old := t.rows[rid]
+	var changed []*index
 	for _, ix := range t.indexes {
+		ko, _ := ix.key(old, rid)
+		kn, _ := ix.key(newRow, rid)
+		if compareKeys(ko, kn) != 0 {
+			changed = append(changed, ix)
+		}
+	}
+	for _, ix := range changed {
 		ix.remove(old, rid)
 	}
-	for i, ix := range t.indexes {
+	for i, ix := range changed {
 		if err := ix.insert(newRow, rid); err != nil {
 			// Restore the old index entries and report the violation.
-			for _, done := range t.indexes[:i] {
+			for _, done := range changed[:i] {
 				done.remove(newRow, rid)
 			}
-			for _, ix2 := range t.indexes {
+			for _, ix2 := range changed {
 				_ = ix2.insert(old, rid) // old entries cannot conflict
 			}
 			return nil, err
@@ -274,8 +437,12 @@ func (t *table) scan(fn func(rid int64, row []Value) bool) {
 func (t *table) buildRow(provided []Value, has []bool, now func() Value) ([]Value, error) {
 	s := &t.schema
 	row := make([]Value, len(s.Columns))
+	hasAuto := false
 	for i := range s.Columns {
 		c := &s.Columns[i]
+		if c.AutoIncrement {
+			hasAuto = true
+		}
 		var v Value
 		switch {
 		case has[i]:
@@ -285,9 +452,6 @@ func (t *table) buildRow(provided []Value, has []bool, now func() Value) ([]Valu
 		default:
 			v = NullValue()
 		}
-		if v.IsNull() && c.AutoIncrement {
-			v = NewInt(t.nextAuto)
-		}
 		if !v.IsNull() {
 			cv, err := coerce(v, c.Type)
 			if err != nil {
@@ -295,16 +459,33 @@ func (t *table) buildRow(provided []Value, has []bool, now func() Value) ([]Valu
 			}
 			v = cv
 		}
-		if v.IsNull() && c.NotNull {
+		if v.IsNull() && c.NotNull && !c.AutoIncrement {
 			return nil, fmt.Errorf("sqldb: column %s.%s is NOT NULL", s.Name, c.Name)
 		}
 		row[i] = v
 	}
-	// Advance the autoincrement counter past any explicit value.
+	if hasAuto {
+		// Only the autoincrement counter is shared state; validation and
+		// coercion above run latch-free so concurrent inserts stay parallel.
+		t.latch.Lock()
+		for i := range s.Columns {
+			if s.Columns[i].AutoIncrement && row[i].IsNull() {
+				row[i] = NewInt(t.nextAuto)
+			}
+		}
+		// Advance the counter past any assigned or explicit value.
+		for i := range s.Columns {
+			if s.Columns[i].AutoIncrement && !row[i].IsNull() && row[i].Int64() >= t.nextAuto {
+				t.nextAuto = row[i].Int64() + 1
+			}
+		}
+		t.latch.Unlock()
+	}
+	// NOT NULL on an autoincrement column is satisfied by the assignment.
 	for i := range s.Columns {
 		c := &s.Columns[i]
-		if c.AutoIncrement && !row[i].IsNull() && row[i].Int64() >= t.nextAuto {
-			t.nextAuto = row[i].Int64() + 1
+		if row[i].IsNull() && c.NotNull {
+			return nil, fmt.Errorf("sqldb: column %s.%s is NOT NULL", s.Name, c.Name)
 		}
 	}
 	_ = now

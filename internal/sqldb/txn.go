@@ -5,13 +5,19 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
-// The engine uses strict two-phase locking at table granularity: shared
-// locks for reads, exclusive for writes, held to commit/rollback. Deadlocks
-// are detected eagerly with a waits-for graph; the requesting transaction
-// receives ErrDeadlock and should roll back (the paper's "short-running
-// transactions for the most common operations" keep conflicts rare).
+// The engine uses strict two-phase locking at two granularities: row locks
+// for index-driven access plus intention locks (IS/IX) on the owning table,
+// and plain S/X table locks for full scans and DDL. Locks are held to
+// commit/rollback. Deadlocks are detected eagerly with a waits-for graph;
+// the requesting transaction receives ErrDeadlock and should roll back (the
+// paper's "short-running transactions for the most common operations" keep
+// conflicts rare). Finer granularity means disjoint-row writers — the CAS's
+// concurrent job submits, heartbeats, and match updates — no longer
+// serialize on the jobs/machines tables.
 
 // ErrDeadlock is returned when granting a lock would create a cycle.
 var ErrDeadlock = errors.New("sqldb: deadlock detected")
@@ -19,13 +25,61 @@ var ErrDeadlock = errors.New("sqldb: deadlock detected")
 // ErrTxDone is returned when using a committed or rolled-back transaction.
 var ErrTxDone = errors.New("sqldb: transaction has already been committed or rolled back")
 
-// lockMode is the lock strength.
+// lockMode is the lock strength, ordered so the compatibility matrix below
+// can be indexed directly.
 type lockMode int
 
 const (
-	lockShared lockMode = iota
-	lockExclusive
+	lockIntentShared    lockMode = iota // IS: row S locks will be taken below
+	lockIntentExclusive                 // IX: row X locks will be taken below
+	lockShared                          // S: full shared (whole resource)
+	lockExclusive                       // X: full exclusive (whole resource)
 )
+
+// lockCompat[requested][held] is the standard multi-granularity matrix.
+var lockCompat = [4][4]bool{
+	lockIntentShared:    {true, true, true, false},
+	lockIntentExclusive: {true, true, false, false},
+	lockShared:          {true, false, true, false},
+	lockExclusive:       {false, false, false, false},
+}
+
+// covers reports whether holding mode a already satisfies a request for b.
+func covers(a, b lockMode) bool {
+	switch a {
+	case lockExclusive:
+		return true
+	case lockShared:
+		return b == lockShared || b == lockIntentShared
+	case lockIntentExclusive:
+		return b == lockIntentExclusive || b == lockIntentShared
+	default: // lockIntentShared
+		return b == lockIntentShared
+	}
+}
+
+// mergeMode is the weakest mode covering both held and requested. The one
+// incomparable pair, {S, IX}, promotes to X (a dedicated SIX mode is not
+// worth its own matrix row for this engine's statement mix).
+func mergeMode(a, b lockMode) lockMode {
+	if covers(a, b) {
+		return a
+	}
+	if covers(b, a) {
+		return b
+	}
+	return lockExclusive
+}
+
+// tableRID is the rid pseudo-value keying a table-granularity lock.
+const tableRID int64 = -1
+
+// lockTarget names one lockable resource: a table (rid == tableRID) or a
+// single row of it.
+type lockTarget struct {
+	table string
+	rid   int64
+}
 
 type lockRequest struct {
 	txn   uint64
@@ -33,86 +87,181 @@ type lockRequest struct {
 	grant chan error
 }
 
-type tableLock struct {
+// resLock is the lock state of one resource (table or row).
+type resLock struct {
 	holders map[uint64]lockMode
 	queue   []*lockRequest
 }
 
+// lockShards is the number of independently latched lock-table partitions.
+// Disjoint-row transactions hash to different shards, so the hot
+// grant/release path never funnels through one mutex (the profile showed a
+// single global lock-manager mutex costing more than the row locks saved).
+const lockShards = 64
+
+type lockShard struct {
+	mu  sync.Mutex
+	res map[lockTarget]*resLock
+}
+
+func (sh *lockShard) resource(t lockTarget) *resLock {
+	rl, ok := sh.res[t]
+	if !ok {
+		rl = &resLock{holders: make(map[uint64]lockMode)}
+		sh.res[t] = rl
+	}
+	return rl
+}
+
+// LockStats is a snapshot of lock-manager counters, the raw material for
+// the metrics layer's lock-contention accounting.
+type LockStats struct {
+	// Acquired counts lock requests granted (immediately or after waiting).
+	Acquired uint64
+	// Waited counts requests that had to block before being granted.
+	Waited uint64
+	// Deadlocks counts requests aborted by deadlock detection.
+	Deadlocks uint64
+	// WaitTime is cumulative wall-clock time spent blocked on locks.
+	WaitTime time.Duration
+	// HeldTable is the number of table-granularity locks currently held.
+	HeldTable int64
+	// HeldRow is the number of row-granularity locks currently held.
+	HeldRow int64
+}
+
+// lockManager is the two-granularity lock table. Resource state is sharded
+// by target hash; the waits-for graph is global but only touched on the
+// slow path (a request that must block), under its own mutex. Lock order is
+// always shard.mu → wfMu, and never two shard mutexes at once.
 type lockManager struct {
-	mu     sync.Mutex
-	tables map[string]*tableLock
+	shards [lockShards]lockShard
+	wfMu   sync.Mutex
 	// waitsFor[a][b] means txn a waits on txn b.
 	waitsFor map[uint64]map[uint64]bool
+
+	acquired  atomic.Uint64
+	waited    atomic.Uint64
+	deadlocks atomic.Uint64
+	heldTable atomic.Int64
+	heldRow   atomic.Int64
+	waitNanos atomic.Int64
 }
 
 func newLockManager() *lockManager {
-	return &lockManager{
-		tables:   make(map[string]*tableLock),
-		waitsFor: make(map[uint64]map[uint64]bool),
+	lm := &lockManager{waitsFor: make(map[uint64]map[uint64]bool)}
+	for i := range lm.shards {
+		lm.shards[i].res = make(map[lockTarget]*resLock)
+	}
+	return lm
+}
+
+// shard picks the partition for a target (FNV-1a over table name, mixed
+// with the rid so a hot table's rows still spread across shards).
+func (lm *lockManager) shard(t lockTarget) *lockShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(t.table); i++ {
+		h ^= uint64(t.table[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(t.rid) * 0x9E3779B97F4A7C15
+	return &lm.shards[h%lockShards]
+}
+
+// stats snapshots the counters.
+func (lm *lockManager) stats() LockStats {
+	return LockStats{
+		Acquired:  lm.acquired.Load(),
+		Waited:    lm.waited.Load(),
+		Deadlocks: lm.deadlocks.Load(),
+		WaitTime:  time.Duration(lm.waitNanos.Load()),
+		HeldTable: lm.heldTable.Load(),
+		HeldRow:   lm.heldRow.Load(),
 	}
 }
 
-func (lm *lockManager) tableLock(name string) *tableLock {
-	tl, ok := lm.tables[name]
-	if !ok {
-		tl = &tableLock{holders: make(map[uint64]lockMode)}
-		lm.tables[name] = tl
-	}
-	return tl
-}
-
-// compatible reports whether txn may acquire mode given current holders.
-func (tl *tableLock) compatible(txn uint64, mode lockMode) bool {
-	for holder, hm := range tl.holders {
+// compatible reports whether txn may hold mode given the other holders.
+func (rl *resLock) compatible(txn uint64, mode lockMode) bool {
+	for holder, hm := range rl.holders {
 		if holder == txn {
 			continue
 		}
-		if mode == lockExclusive || hm == lockExclusive {
+		if !lockCompat[mode][hm] {
 			return false
 		}
 	}
 	return true
 }
 
-// acquire blocks until the lock is granted or a deadlock is detected.
-func (lm *lockManager) acquire(txn uint64, table string, mode lockMode) error {
-	lm.mu.Lock()
-	tl := lm.tableLock(table)
-	if cur, ok := tl.holders[txn]; ok && (cur == lockExclusive || cur == mode) {
-		lm.mu.Unlock()
+// setHolder grants txn the given mode on target, maintaining the held
+// gauges. Caller holds the target's shard mutex.
+func (lm *lockManager) setHolder(rl *resLock, target lockTarget, txn uint64, mode lockMode) {
+	if _, already := rl.holders[txn]; !already {
+		if target.rid == tableRID {
+			lm.heldTable.Add(1)
+		} else {
+			lm.heldRow.Add(1)
+		}
+	}
+	rl.holders[txn] = mode
+}
+
+// acquire blocks until the lock is granted or a deadlock is detected. The
+// transaction's footprint is recorded in tx.locked (a Tx is confined to one
+// goroutine, so no lock guards it) the first time it touches a resource.
+func (lm *lockManager) acquire(tx *Tx, target lockTarget, mode lockMode) error {
+	txn := tx.id
+	sh := lm.shard(target)
+	sh.mu.Lock()
+	rl := sh.resource(target)
+	cur, holding := rl.holders[txn]
+	if holding && covers(cur, mode) {
+		sh.mu.Unlock()
 		return nil // already held at sufficient strength
 	}
-	if tl.compatible(txn, mode) && len(tl.queue) == 0 {
-		tl.holders[txn] = maxMode(tl.holders[txn], mode, txn, tl)
-		lm.mu.Unlock()
+	want := mode
+	if holding {
+		want = mergeMode(cur, mode)
+	}
+	// Immediate grant when compatible — upgrades jump the queue (a txn
+	// already holding a lock only waits on the other current holders, never
+	// behind queued newcomers), new requests only with an empty queue.
+	if rl.compatible(txn, want) && (holding || len(rl.queue) == 0) {
+		lm.setHolder(rl, target, txn, want)
+		if !holding {
+			tx.locked = append(tx.locked, target)
+		}
+		lm.acquired.Add(1)
+		if holding && len(rl.queue) > 0 {
+			// The upgrade jumped the queue: waiters that conflict with the
+			// strengthened mode are now blocked by this txn too. Their
+			// enqueue-time edges cannot know that, so record it now (and
+			// abort any waiter whose new edge closes a cycle) — otherwise a
+			// later cycle through this grant would go undetected and hang.
+			lm.addBlockedEdges(rl, txn, want)
+		}
+		sh.mu.Unlock()
 		return nil
 	}
-	// Lock upgrades jump the queue: a txn holding S and wanting X only
-	// waits on the other current holders, never behind queued newcomers.
-	_, upgrading := tl.holders[txn]
-	if upgrading && tl.compatible(txn, mode) {
-		tl.holders[txn] = lockExclusive
-		lm.mu.Unlock()
-		return nil
-	}
-	// Record wait edges to every conflicting holder and, unless upgrading,
-	// to earlier queued requests (they'll be granted first).
+	// Slow path: record wait edges to every conflicting holder and, unless
+	// upgrading, to earlier queued requests (they'll be granted first).
 	blockers := make(map[uint64]bool)
-	for holder, hm := range tl.holders {
+	for holder, hm := range rl.holders {
 		if holder == txn {
 			continue
 		}
-		if mode == lockExclusive || hm == lockExclusive {
+		if !lockCompat[want][hm] {
 			blockers[holder] = true
 		}
 	}
-	if !upgrading {
-		for _, q := range tl.queue {
+	if !holding {
+		for _, q := range rl.queue {
 			if q.txn != txn {
 				blockers[q.txn] = true
 			}
 		}
 	}
+	lm.wfMu.Lock()
 	edges := lm.waitsFor[txn]
 	if edges == nil {
 		edges = make(map[uint64]bool)
@@ -128,35 +277,31 @@ func (lm *lockManager) acquire(txn uint64, table string, mode lockMode) error {
 		if len(edges) == 0 {
 			delete(lm.waitsFor, txn)
 		}
-		lm.mu.Unlock()
+		lm.wfMu.Unlock()
+		sh.mu.Unlock()
+		lm.deadlocks.Add(1)
 		return ErrDeadlock
 	}
-	req := &lockRequest{txn: txn, mode: mode, grant: make(chan error, 1)}
-	if upgrading {
+	lm.wfMu.Unlock()
+	req := &lockRequest{txn: txn, mode: want, grant: make(chan error, 1)}
+	if holding {
 		// Upgrades go to the front so shared holders can't starve them.
-		tl.queue = append([]*lockRequest{req}, tl.queue...)
+		rl.queue = append([]*lockRequest{req}, rl.queue...)
 	} else {
-		tl.queue = append(tl.queue, req)
+		rl.queue = append(rl.queue, req)
+		// Track the queued target so releaseAll finds the request on abort.
+		tx.locked = append(tx.locked, target)
 	}
-	lm.mu.Unlock()
-	return <-req.grant
-}
-
-// maxMode merges an existing held mode with a newly granted one.
-func maxMode(cur, want lockMode, txn uint64, tl *tableLock) lockMode {
-	if _, held := tl.holders[txn]; held && cur == lockExclusive {
-		return lockExclusive
-	}
-	if want == lockExclusive {
-		return lockExclusive
-	}
-	if _, held := tl.holders[txn]; held {
-		return cur
-	}
-	return want
+	lm.waited.Add(1)
+	sh.mu.Unlock()
+	start := time.Now()
+	err := <-req.grant
+	lm.waitNanos.Add(int64(time.Since(start)))
+	return err
 }
 
 // cycleFrom detects whether start can reach itself through waitsFor edges.
+// Caller holds wfMu.
 func (lm *lockManager) cycleFrom(start uint64) bool {
 	seen := make(map[uint64]bool)
 	var dfs func(n uint64) bool
@@ -177,47 +322,104 @@ func (lm *lockManager) cycleFrom(start uint64) bool {
 	return dfs(start)
 }
 
-// releaseAll drops every lock held by txn and grants what it can.
-func (lm *lockManager) releaseAll(txn uint64) {
-	lm.mu.Lock()
-	defer lm.mu.Unlock()
+// releaseAll drops every lock held by tx and grants what it can. Work is
+// proportional to the transaction's own footprint, not the lock table.
+func (lm *lockManager) releaseAll(tx *Tx) {
+	txn := tx.id
+	lm.wfMu.Lock()
 	delete(lm.waitsFor, txn)
-	for _, tl := range lm.tables {
-		if _, held := tl.holders[txn]; held {
-			delete(tl.holders, txn)
+	lm.wfMu.Unlock()
+	for _, target := range tx.locked {
+		sh := lm.shard(target)
+		sh.mu.Lock()
+		rl := sh.res[target]
+		if rl == nil {
+			sh.mu.Unlock()
+			continue
+		}
+		if _, held := rl.holders[txn]; held {
+			delete(rl.holders, txn)
+			if target.rid == tableRID {
+				lm.heldTable.Add(-1)
+			} else {
+				lm.heldRow.Add(-1)
+			}
 		}
 		// Drop any queued requests from this txn (deadlock abort path).
-		kept := tl.queue[:0]
-		for _, q := range tl.queue {
+		kept := rl.queue[:0]
+		for _, q := range rl.queue {
 			if q.txn == txn {
 				q.grant <- fmt.Errorf("sqldb: transaction aborted while waiting")
 				continue
 			}
 			kept = append(kept, q)
 		}
-		tl.queue = kept
-		lm.grantQueued(tl)
+		rl.queue = kept
+		lm.grantQueued(rl, target)
+		if len(rl.holders) == 0 && len(rl.queue) == 0 {
+			delete(sh.res, target) // keep the lock table proportional to contention
+		}
+		sh.mu.Unlock()
 	}
+	tx.locked = nil
 }
 
 // grantQueued grants queued requests in order while they are compatible.
-func (lm *lockManager) grantQueued(tl *tableLock) {
-	for len(tl.queue) > 0 {
-		q := tl.queue[0]
-		if !tl.compatible(q.txn, q.mode) {
+// Caller holds the target's shard mutex.
+func (lm *lockManager) grantQueued(rl *resLock, target lockTarget) {
+	for len(rl.queue) > 0 {
+		q := rl.queue[0]
+		want := q.mode
+		if cur, holding := rl.holders[q.txn]; holding {
+			want = mergeMode(cur, want)
+		}
+		if !rl.compatible(q.txn, want) {
 			return
 		}
-		tl.queue = tl.queue[1:]
-		if cur, held := tl.holders[q.txn]; held && cur == lockExclusive {
-			// keep exclusive
-		} else if q.mode == lockExclusive {
-			tl.holders[q.txn] = lockExclusive
-		} else if _, held := tl.holders[q.txn]; !held {
-			tl.holders[q.txn] = q.mode
-		}
+		rl.queue = rl.queue[1:]
+		lm.setHolder(rl, target, q.txn, want)
+		lm.acquired.Add(1)
 		// The granted txn no longer waits on anyone for this request.
+		lm.wfMu.Lock()
 		delete(lm.waitsFor, q.txn)
+		lm.wfMu.Unlock()
 		q.grant <- nil
+		// Remaining waiters may conflict with the just-granted mode without
+		// an edge (front-queued upgrades postdate their enqueue).
+		lm.addBlockedEdges(rl, q.txn, want)
+	}
+}
+
+// addBlockedEdges records a wait edge to grantee for every queued request
+// that conflicts with grantee's newly granted mode, aborting any waiter
+// whose new edge closes a deadlock cycle (the waiter is asleep; the grantee
+// is running and proceeds). Caller holds the target's shard mutex.
+func (lm *lockManager) addBlockedEdges(rl *resLock, grantee uint64, granted lockMode) {
+	for i := 0; i < len(rl.queue); {
+		q := rl.queue[i]
+		if q.txn == grantee || lockCompat[q.mode][granted] {
+			i++
+			continue
+		}
+		lm.wfMu.Lock()
+		edges := lm.waitsFor[q.txn]
+		if edges == nil {
+			edges = make(map[uint64]bool)
+			lm.waitsFor[q.txn] = edges
+		}
+		edges[grantee] = true
+		cycle := lm.cycleFrom(q.txn)
+		if cycle {
+			delete(lm.waitsFor, q.txn)
+		}
+		lm.wfMu.Unlock()
+		if cycle {
+			rl.queue = append(rl.queue[:i], rl.queue[i+1:]...)
+			lm.deadlocks.Add(1)
+			q.grant <- ErrDeadlock
+			continue
+		}
+		i++
 	}
 }
 
@@ -237,14 +439,21 @@ type Tx struct {
 	done     bool
 	undo     []undoRecord
 	redo     []walRecord
-	implicit bool // autocommit wrapper
+	locked   []lockTarget // resources this txn holds or queues on
+	implicit bool         // autocommit wrapper
 }
 
 // ID reports the engine-assigned transaction id.
 func (tx *Tx) ID() uint64 { return tx.id }
 
 func (tx *Tx) lock(table string, mode lockMode) error {
-	return tx.db.locks.acquire(tx.id, table, mode)
+	return tx.db.locks.acquire(tx, lockTarget{table: table, rid: tableRID}, mode)
+}
+
+// lockRow locks one row. The caller must already hold the matching
+// intention (or stronger) lock on the table.
+func (tx *Tx) lockRow(table string, rid int64, mode lockMode) error {
+	return tx.db.locks.acquire(tx, lockTarget{table: table, rid: rid}, mode)
 }
 
 // lockAll acquires locks on several tables in sorted order to keep lock
@@ -263,6 +472,23 @@ func (tx *Tx) lockAll(tables map[string]lockMode) error {
 	return nil
 }
 
+// lockKeyTargets X-locks unique-key resources in sorted order (consistent
+// order keeps same-statement acquisitions from deadlocking each other).
+func (tx *Tx) lockKeyTargets(targets []lockTarget, mode lockMode) error {
+	sort.Slice(targets, func(i, j int) bool {
+		if targets[i].table != targets[j].table {
+			return targets[i].table < targets[j].table
+		}
+		return targets[i].rid < targets[j].rid
+	})
+	for _, t := range targets {
+		if err := tx.db.locks.acquire(tx, t, mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Commit makes the transaction's effects durable and visible.
 func (tx *Tx) Commit() error {
 	if tx.done {
@@ -273,7 +499,22 @@ func (tx *Tx) Commit() error {
 	if tx.db.wal != nil && len(tx.redo) > 0 {
 		err = tx.db.wal.commit(tx.id, tx.redo)
 	}
-	tx.db.locks.releaseAll(tx.id)
+	// Slots vacated by this txn's deletes become recyclable only now: until
+	// the delete is final, a rollback may need to restore the row, so the
+	// rid must not be handed to a concurrent insert.
+	if len(tx.undo) > 0 {
+		tx.db.mu.Lock()
+		for _, u := range tx.undo {
+			if u.op != walDelete {
+				continue
+			}
+			if tbl := tx.db.tables[u.table]; tbl != nil {
+				tbl.freeSlot(u.rid)
+			}
+		}
+		tx.db.mu.Unlock()
+	}
+	tx.db.locks.releaseAll(tx)
 	tx.db.finishTx(tx)
 	if err != nil {
 		return fmt.Errorf("sqldb: commit: %w", err)
@@ -296,7 +537,11 @@ func (tx *Tx) Rollback() error {
 		}
 		switch u.op {
 		case walInsert:
+			// The undone insert's slot is recyclable immediately: nothing
+			// can need it restored, and this txn still holds its X lock so
+			// any new claimant blocks until releaseAll below.
 			_, _ = tbl.deleteRow(u.rid)
+			tbl.freeSlot(u.rid)
 		case walDelete:
 			_ = tbl.restoreRow(u.rid, u.old)
 		case walUpdate:
@@ -304,7 +549,7 @@ func (tx *Tx) Rollback() error {
 		}
 	}
 	tx.db.mu.Unlock()
-	tx.db.locks.releaseAll(tx.id)
+	tx.db.locks.releaseAll(tx)
 	tx.db.finishTx(tx)
 	return nil
 }
@@ -312,9 +557,23 @@ func (tx *Tx) Rollback() error {
 // Mutation helpers used by the executor: they perform the table operation
 // and record undo + redo.
 
+// insertRow X-locks the row's unique key values, reserves a heap slot,
+// X-locks it, and only then publishes the row. The key locks serialize this
+// insert against uncommitted deletes/updates of the same keys (whose index
+// entries are already unpublished, so the entries themselves cannot
+// conflict); the row lock must precede publication so an index scan that
+// finds the new rid blocks instead of reading the uncommitted insert.
 func (tx *Tx) insertRow(tbl *table, row []Value) (int64, error) {
-	rid, err := tbl.insertRow(row)
-	if err != nil {
+	if err := tx.lockKeyTargets(tbl.uniqueKeyTargets(row), lockExclusive); err != nil {
+		return 0, err
+	}
+	rid := tbl.allocSlot()
+	if err := tx.lockRow(tbl.schema.Name, rid, lockExclusive); err != nil {
+		tbl.releaseSlot(rid)
+		return 0, err
+	}
+	if err := tbl.insertAt(rid, row); err != nil {
+		tbl.releaseSlot(rid)
 		return 0, err
 	}
 	tx.undo = append(tx.undo, undoRecord{op: walInsert, table: tbl.schema.Name, rid: rid})
@@ -323,6 +582,14 @@ func (tx *Tx) insertRow(tbl *table, row []Value) (int64, error) {
 }
 
 func (tx *Tx) deleteRow(tbl *table, rid int64) error {
+	// X-lock the vacated unique key values first: until this txn commits,
+	// an insert reclaiming one of them must block (rollback puts the old
+	// index entries back).
+	if cur := tbl.getRow(rid); cur != nil {
+		if err := tx.lockKeyTargets(tbl.uniqueKeyTargets(cur), lockExclusive); err != nil {
+			return err
+		}
+	}
 	old, err := tbl.deleteRow(rid)
 	if err != nil {
 		return err
@@ -333,6 +600,13 @@ func (tx *Tx) deleteRow(tbl *table, rid int64) error {
 }
 
 func (tx *Tx) updateRow(tbl *table, rid int64, newRow []Value) error {
+	// X-lock unique key values this update vacates or claims, for the same
+	// reason deletes do (the vacated entry disappears before commit).
+	if cur := tbl.getRow(rid); cur != nil {
+		if err := tx.lockKeyTargets(tbl.changedUniqueKeyTargets(cur, newRow), lockExclusive); err != nil {
+			return err
+		}
+	}
 	old, err := tbl.updateRow(rid, newRow)
 	if err != nil {
 		return err
