@@ -23,12 +23,16 @@ import (
 
 func main() {
 	data := flag.String("data", "", "WAL file to open (empty = scratch in-memory database)")
+	sync := flag.String("sync", "every", "WAL sync policy: every, group, never")
 	flag.Parse()
 
 	var db *sqldb.DB
 	if *data != "" {
-		var err error
-		db, err = sqldb.Open(sqldb.Options{VFS: sqldb.OSVFS{}, Path: *data})
+		policy, err := sqldb.ParseSyncPolicy(*sync)
+		if err != nil {
+			log.Fatalf("cj2sql: %v", err)
+		}
+		db, err = sqldb.Open(sqldb.Options{VFS: sqldb.OSVFS{}, Path: *data, Sync: policy})
 		if err != nil {
 			log.Fatalf("cj2sql: %v", err)
 		}

@@ -25,16 +25,28 @@ func main() {
 	listen := flag.String("listen", ":8642", "HTTP listen address")
 	data := flag.String("data", "", "WAL file path for durability (empty = in-memory)")
 	pool := flag.Int("pool", 8, "database connection pool size")
+	sync := flag.String("sync", "group", "WAL sync policy: every (fsync per commit), group (one fsync per commit group), never")
+	groupDelay := flag.Duration("group-delay", 0, "sync=group: how long a solo group leader waits for companion commits before fsyncing (0 = rely on natural batching)")
+	groupMaxBytes := flag.Int("group-max-bytes", 0, "sync=group: cap on log bytes per group flush (0 = unlimited)")
 	flag.Parse()
 
 	var engine *sqldb.DB
 	if *data != "" {
-		var err error
-		engine, err = sqldb.Open(sqldb.Options{VFS: sqldb.OSVFS{}, Path: *data})
+		policy, err := sqldb.ParseSyncPolicy(*sync)
+		if err != nil {
+			log.Fatalf("condorj2d: %v", err)
+		}
+		engine, err = sqldb.Open(sqldb.Options{
+			VFS:           sqldb.OSVFS{},
+			Path:          *data,
+			Sync:          policy,
+			GroupDelay:    *groupDelay,
+			GroupMaxBytes: *groupMaxBytes,
+		})
 		if err != nil {
 			log.Fatalf("condorj2d: opening database: %v", err)
 		}
-		log.Printf("recovered database from %s", *data)
+		log.Printf("recovered database from %s (sync=%s)", *data, *sync)
 	}
 	cas, err := core.New(core.Options{Engine: engine, PoolSize: *pool})
 	if err != nil {
@@ -55,5 +67,10 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	fmt.Fprintln(os.Stderr, "shutting down")
+	if *data != "" {
+		ws := cas.WALStats()
+		log.Printf("wal: %d commits, %d fsyncs (%.3f fsyncs/commit), max group %d",
+			ws.Commits, ws.Syncs, ws.FsyncsPerCommit(), ws.MaxGroup)
+	}
 	srv.Close()
 }

@@ -137,6 +137,27 @@ func (c *CAS) LockSnapshot() metrics.LockSnapshot {
 	}
 }
 
+// WALStats snapshots the embedded engine's commit-pipeline counters
+// (commits, fsyncs, group sizes, commit wait) for operators and
+// experiments; zeros when the engine runs without a WAL.
+func (c *CAS) WALStats() sqldb.WALStats { return c.Engine.WALStats() }
+
+// WALSnapshot converts the engine's WAL counters into the metrics layer's
+// form, ready for metrics.WALMonitor.Observe — the bridge the experiment
+// harness uses to chart fsync amortization next to lock contention.
+func (c *CAS) WALSnapshot() metrics.WALSnapshot {
+	s := c.Engine.WALStats()
+	return metrics.WALSnapshot{
+		Commits:       s.Commits,
+		Syncs:         s.Syncs,
+		Flushes:       s.Flushes,
+		BytesWritten:  s.BytesWritten,
+		GroupSizeHist: s.GroupSizeHist,
+		MaxGroup:      s.MaxGroup,
+		CommitWait:    s.CommitWait,
+	}
+}
+
 // HTTPHandler serves both external interfaces: the web services endpoint
 // under /services and the pool web site under /.
 func (c *CAS) HTTPHandler() http.Handler {

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScheduleCycleAccessPaths locks in the access paths of the
+// scheduler's hot selections: both the job pick (WHERE state = ? ORDER BY
+// priority DESC, id LIMIT ?) and the VM pick (WHERE state = ? ORDER BY id
+// LIMIT ?) must run as ordered index scans, never seq-scan-plus-sort over
+// the whole table. A schema or planner regression that loses the path
+// fails here long before it shows up as a throughput cliff.
+func TestScheduleCycleAccessPaths(t *testing.T) {
+	cas, _ := newTestCAS(t)
+
+	explain := func(sql string, args ...any) string {
+		t.Helper()
+		rows, err := cas.Engine.Query(sql, args...)
+		if err != nil {
+			t.Fatalf("EXPLAIN: %v", err)
+		}
+		if rows.Len() != 1 {
+			t.Fatalf("EXPLAIN returned %d rows", rows.Len())
+		}
+		return rows.Data[0][1].Text()
+	}
+
+	// The scheduler's job selection (Service.ScheduleCycle).
+	access := explain(`EXPLAIN SELECT id, owner, state, priority FROM jobs WHERE state = ? ORDER BY priority DESC, id LIMIT ?`,
+		"idle", 500)
+	if !strings.Contains(access, "INDEX SCAN USING jobs_state_priority") {
+		t.Fatalf("job selection access path = %q, want jobs_state_priority index scan", access)
+	}
+	if !strings.Contains(access, "ORDER REVERSE") {
+		t.Fatalf("job selection access path = %q, want reverse ordered scan", access)
+	}
+
+	// The scheduler's VM selection.
+	access = explain(`EXPLAIN SELECT id, machine, state FROM vms WHERE state = ? ORDER BY id LIMIT ?`, "idle", 500)
+	if !strings.Contains(access, "INDEX SCAN USING vms_state") {
+		t.Fatalf("vm selection access path = %q, want vms_state index scan", access)
+	}
+	if !strings.Contains(access, "ORDER") || strings.Contains(access, "REVERSE") {
+		t.Fatalf("vm selection access path = %q, want forward ordered scan", access)
+	}
+}

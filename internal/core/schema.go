@@ -45,6 +45,10 @@ var Schema = []string{
 		started_at TIMESTAMP
 	)`,
 	`CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state, id)`,
+	// Covers ScheduleCycle's job selection (WHERE state = ? ORDER BY
+	// priority DESC, id LIMIT ?): a reverse index range scan reads just the
+	// top-priority prefix instead of scanning and sorting every idle job.
+	`CREATE INDEX IF NOT EXISTS jobs_state_priority ON jobs (state, priority, id)`,
 	`CREATE INDEX IF NOT EXISTS jobs_depends ON jobs (depends_on)`,
 	`CREATE TABLE IF NOT EXISTS machines (
 		name TEXT PRIMARY KEY,

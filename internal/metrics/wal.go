@@ -1,0 +1,98 @@
+package metrics
+
+import "time"
+
+// Commit-pipeline accounting. The storage engine's WAL exports cumulative
+// counters (commits logged, fsyncs issued, group flushes, bytes written,
+// commit wait time, a group-size histogram); WALMonitor differences
+// successive snapshots into the same interval-bucketed series the CPU and
+// lock accounting use, so the fsync amortization the group-commit pipeline
+// buys can be charted next to lock contention when hunting the durable-
+// commit throughput ceiling.
+
+// WALGroupBuckets is the number of group-size histogram buckets (sizes
+// 1, 2, 3-4, 5-8, 9-16, 17-32, 33-64, 65+), mirroring sqldb's layout.
+const WALGroupBuckets = 8
+
+// WALSnapshot is one reading of a WAL's cumulative commit-pipeline
+// counters. It mirrors sqldb.WALStats without importing it, keeping this
+// package dependency-free.
+type WALSnapshot struct {
+	// Commits counts transactions whose commit record was logged.
+	Commits uint64
+	// Syncs counts fsync calls issued on the log file.
+	Syncs uint64
+	// Flushes counts batched group writes.
+	Flushes uint64
+	// BytesWritten is the total log bytes appended.
+	BytesWritten uint64
+	// GroupSizeHist buckets flushed group sizes (see WALGroupBuckets).
+	GroupSizeHist [WALGroupBuckets]uint64
+	// MaxGroup is the largest group made durable by one flush.
+	MaxGroup uint64
+	// CommitWait is cumulative time commits waited for durability.
+	CommitWait time.Duration
+}
+
+// WALMonitor buckets commit-pipeline deltas by sampling interval. Like
+// CPUAccount and LockMonitor, it is not safe for concurrent use;
+// simulations and pollers drive it from a single goroutine.
+type WALMonitor struct {
+	commits  *Counter
+	syncs    *Counter
+	flushes  *Counter
+	bytes    *Counter
+	last     WALSnapshot
+	haveLast bool
+	waitTime time.Duration
+}
+
+// NewWALMonitor creates a monitor whose series start at start with the
+// given bucket width.
+func NewWALMonitor(start time.Time, interval time.Duration) *WALMonitor {
+	return &WALMonitor{
+		commits: NewCounter(start, interval),
+		syncs:   NewCounter(start, interval),
+		flushes: NewCounter(start, interval),
+		bytes:   NewCounter(start, interval),
+	}
+}
+
+// Observe records a snapshot taken at instant at, attributing the change
+// since the previous snapshot to at's interval. The first observation
+// establishes the baseline.
+func (m *WALMonitor) Observe(at time.Time, snap WALSnapshot) {
+	if m.haveLast {
+		m.commits.Add(at, int(snap.Commits-m.last.Commits))
+		m.syncs.Add(at, int(snap.Syncs-m.last.Syncs))
+		m.flushes.Add(at, int(snap.Flushes-m.last.Flushes))
+		m.bytes.Add(at, int(snap.BytesWritten-m.last.BytesWritten))
+		m.waitTime += snap.CommitWait - m.last.CommitWait
+	}
+	m.last = snap
+	m.haveLast = true
+}
+
+// Commits is the per-interval logged-commit series.
+func (m *WALMonitor) Commits() *Counter { return m.commits }
+
+// Syncs is the per-interval fsync series.
+func (m *WALMonitor) Syncs() *Counter { return m.syncs }
+
+// Flushes is the per-interval group-flush series.
+func (m *WALMonitor) Flushes() *Counter { return m.flushes }
+
+// Bytes is the per-interval log-bytes-written series.
+func (m *WALMonitor) Bytes() *Counter { return m.bytes }
+
+// TotalCommitWait is the durability wait accumulated across observations.
+func (m *WALMonitor) TotalCommitWait() time.Duration { return m.waitTime }
+
+// FsyncsPerCommit reports the amortized fsync cost per commit over
+// everything observed so far (1.0 = a dedicated fsync per commit).
+func (m *WALMonitor) FsyncsPerCommit() float64 {
+	if !m.haveLast || m.last.Commits == 0 {
+		return 0
+	}
+	return float64(m.last.Syncs) / float64(m.last.Commits)
+}

@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWALMonitorDifferencesSnapshots(t *testing.T) {
+	start := time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+	m := NewWALMonitor(start, time.Minute)
+
+	// Baseline: no deltas recorded.
+	m.Observe(start, WALSnapshot{Commits: 100, Syncs: 100, Flushes: 100, BytesWritten: 4096})
+	if got := m.Commits().Total(); got != 0 {
+		t.Fatalf("baseline observation recorded %d commits, want 0", got)
+	}
+
+	// A group-commit interval: 160 new commits over only 20 fsyncs.
+	m.Observe(start.Add(time.Minute), WALSnapshot{
+		Commits: 260, Syncs: 120, Flushes: 120, BytesWritten: 16384,
+		CommitWait: 250 * time.Millisecond, MaxGroup: 16,
+	})
+	m.Observe(start.Add(2*time.Minute), WALSnapshot{
+		Commits: 300, Syncs: 125, Flushes: 125, BytesWritten: 20480,
+		CommitWait: 300 * time.Millisecond, MaxGroup: 16,
+	})
+
+	if got := m.Commits().Total(); got != 200 {
+		t.Fatalf("commits total = %d, want 200", got)
+	}
+	if got := m.Syncs().Total(); got != 25 {
+		t.Fatalf("syncs total = %d, want 25", got)
+	}
+	if got := m.Flushes().Total(); got != 25 {
+		t.Fatalf("flushes total = %d, want 25", got)
+	}
+	if got := m.Bytes().Total(); got != 16384 {
+		t.Fatalf("bytes total = %d, want 16384", got)
+	}
+	if got := m.TotalCommitWait(); got != 300*time.Millisecond {
+		t.Fatalf("commit wait = %v, want 300ms", got)
+	}
+	if got := m.FsyncsPerCommit(); got != float64(125)/300 {
+		t.Fatalf("fsyncs/commit = %v", got)
+	}
+}
+
+func TestWALMonitorEmpty(t *testing.T) {
+	m := NewWALMonitor(time.Now(), time.Second)
+	if got := m.FsyncsPerCommit(); got != 0 {
+		t.Fatalf("fsyncs/commit with no observations = %v", got)
+	}
+}

@@ -24,9 +24,10 @@ type ordIndex struct {
 }
 
 type slNode struct {
-	key Key
-	rid int64
-	fwd []*slNode
+	key  Key
+	rid  int64
+	fwd  []*slNode
+	prev *slNode // level-0 back pointer (head for the first node): reverse scans
 }
 
 func newOrdIndex() *ordIndex {
@@ -80,6 +81,10 @@ func (s *ordIndex) insert(k Key, rid int64) bool {
 		n.fwd[i] = update[i].fwd[i]
 		update[i].fwd[i] = n
 	}
+	n.prev = update[0]
+	if n.fwd[0] != nil {
+		n.fwd[0].prev = n
+	}
 	s.size++
 	return true
 }
@@ -108,6 +113,9 @@ func (s *ordIndex) delete(k Key) bool {
 			update[i].fwd[i] = n.fwd[i]
 		}
 	}
+	if n.fwd[0] != nil {
+		n.fwd[0].prev = n.prev
+	}
 	for s.level > 1 && s.head.fwd[s.level-1] == nil {
 		s.level--
 	}
@@ -133,6 +141,68 @@ func (s *ordIndex) scanRange(lo, hi Key, fn func(Key, int64) bool) {
 			return
 		}
 		n = n.fwd[0]
+	}
+}
+
+// comparePrefix compares k against p after truncating k to p's length, so
+// any key extending p compares equal. A nil p compares equal to everything.
+func comparePrefix(k, p Key) int {
+	if len(k) > len(p) {
+		k = k[:len(p)]
+	}
+	return compareKeys(k, p)
+}
+
+// findLastLE returns the rightmost node whose key, truncated to len(start)
+// columns, compares <= start — the last entry of start's prefix run. A nil
+// start yields the overall last node. Returns nil when no node qualifies.
+func (s *ordIndex) findLastLE(start Key) *slNode {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.fwd[i] != nil && comparePrefix(x.fwd[i].key, start) <= 0 {
+			x = x.fwd[i]
+		}
+	}
+	if x == s.head {
+		return nil
+	}
+	return x
+}
+
+// findLastLT returns the rightmost node whose full key compares strictly
+// below k (reverse-scan resumption point).
+func (s *ordIndex) findLastLT(k Key) *slNode {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.fwd[i] != nil && compareKeys(x.fwd[i].key, k) < 0 {
+			x = x.fwd[i]
+		}
+	}
+	if x == s.head {
+		return nil
+	}
+	return x
+}
+
+// scanReverseLE visits keys in descending order starting from the largest
+// key whose truncation to len(start) columns is <= start (the whole index
+// when start is nil). fn returning false stops the scan.
+func (s *ordIndex) scanReverseLE(start Key, fn func(Key, int64) bool) {
+	s.walkBack(s.findLastLE(start), fn)
+}
+
+// scanReverseLT visits keys in descending order starting from the largest
+// key strictly below k (full-key comparison).
+func (s *ordIndex) scanReverseLT(k Key, fn func(Key, int64) bool) {
+	s.walkBack(s.findLastLT(k), fn)
+}
+
+func (s *ordIndex) walkBack(n *slNode, fn func(Key, int64) bool) {
+	for n != nil && n != s.head {
+		if !fn(n.key, n.rid) {
+			return
+		}
+		n = n.prev
 	}
 }
 

@@ -233,3 +233,106 @@ func BenchmarkOrdIndexGet(b *testing.B) {
 		ix.get(intKey(int64(i % 100000)))
 	}
 }
+
+func collectReverse(scan func(func(Key, int64) bool)) []int64 {
+	var got []int64
+	scan(func(k Key, rid int64) bool {
+		got = append(got, k[0].Int64())
+		return true
+	})
+	return got
+}
+
+func TestOrdIndexScanReverse(t *testing.T) {
+	ix := newOrdIndex()
+	perm := rand.New(rand.NewSource(7)).Perm(100)
+	for _, v := range perm {
+		ix.insert(intKey(int64(v)), int64(v))
+	}
+	// Whole-index reverse walk: 99..0.
+	got := collectReverse(func(fn func(Key, int64) bool) { ix.scanReverseLE(nil, fn) })
+	if len(got) != 100 || got[0] != 99 || got[99] != 0 {
+		t.Fatalf("reverse full scan = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[i-1]-1 {
+			t.Fatalf("reverse scan out of order at %d: %v", i, got[:i+1])
+		}
+	}
+	// LE start mid-range: begins at the start key itself.
+	got = collectReverse(func(fn func(Key, int64) bool) { ix.scanReverseLE(intKey(50), fn) })
+	if got[0] != 50 || got[len(got)-1] != 0 {
+		t.Fatalf("reverse LE 50 = %v...%v", got[0], got[len(got)-1])
+	}
+	// LT start: strictly below.
+	got = collectReverse(func(fn func(Key, int64) bool) { ix.scanReverseLT(intKey(50), fn) })
+	if got[0] != 49 {
+		t.Fatalf("reverse LT 50 starts at %v", got[0])
+	}
+	// Early stop.
+	n := 0
+	ix.scanReverseLE(nil, func(Key, int64) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestOrdIndexReversePrefixRun(t *testing.T) {
+	// Composite keys (group, seq): LE on a one-column prefix must land on
+	// the LAST entry of that group's run.
+	ix := newOrdIndex()
+	for g := int64(0); g < 5; g++ {
+		for s := int64(0); s < 10; s++ {
+			ix.insert(Key{NewInt(g), NewInt(s)}, g*100+s)
+		}
+	}
+	var got []int64
+	ix.scanReverseLE(Key{NewInt(2)}, func(k Key, rid int64) bool {
+		if k[0].Int64() != 2 {
+			return false
+		}
+		got = append(got, k[1].Int64())
+		return true
+	})
+	if len(got) != 10 || got[0] != 9 || got[9] != 0 {
+		t.Fatalf("prefix run reverse = %v", got)
+	}
+}
+
+func TestOrdIndexPrevPointersSurviveDeletes(t *testing.T) {
+	ix := newOrdIndex()
+	for i := int64(0); i < 50; i++ {
+		ix.insert(intKey(i), i)
+	}
+	for i := int64(0); i < 50; i += 2 {
+		ix.delete(intKey(i))
+	}
+	got := collectReverse(func(fn func(Key, int64) bool) { ix.scanReverseLE(nil, fn) })
+	if len(got) != 25 {
+		t.Fatalf("got %d keys", len(got))
+	}
+	for i, v := range got {
+		if want := int64(49 - 2*i); v != want {
+			t.Fatalf("reverse after deletes: got[%d] = %d, want %d", i, v, want)
+		}
+	}
+	// Reinsert into the gaps and re-check full ordering both ways.
+	for i := int64(0); i < 50; i += 2 {
+		ix.insert(intKey(i), i)
+	}
+	got = collectReverse(func(fn func(Key, int64) bool) { ix.scanReverseLE(nil, fn) })
+	if len(got) != 50 || got[0] != 49 || got[49] != 0 {
+		t.Fatalf("reverse after reinsert = %v", got)
+	}
+	var fwd []int64
+	ix.scanRange(nil, nil, func(k Key, rid int64) bool {
+		fwd = append(fwd, k[0].Int64())
+		return true
+	})
+	sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+	for i := range fwd {
+		if fwd[i] != got[i] {
+			t.Fatalf("forward/reverse disagree at %d", i)
+		}
+	}
+}

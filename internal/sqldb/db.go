@@ -46,6 +46,16 @@ type Options struct {
 	Path string
 	// Sync selects the WAL sync policy.
 	Sync SyncPolicy
+	// GroupDelay, under SyncGroup, is how long a group leader with no
+	// companions holds the flush open for near-simultaneous committers to
+	// join before paying the fsync. Zero relies on natural batching alone
+	// (followers accumulate while the leader's fsync is in flight), which
+	// is the right default for concurrent workloads.
+	GroupDelay time.Duration
+	// GroupMaxBytes, under SyncGroup, caps how many queued log bytes one
+	// flush drains (bounding both write size and worst-case commit
+	// latency behind a huge group). Zero means unlimited.
+	GroupMaxBytes int
 	// Now supplies the clock for NOW(); nil means time.Now (live
 	// deployments). Simulations inject the virtual clock.
 	Now func() time.Time
@@ -64,7 +74,7 @@ type DB struct {
 	nowFn  func() time.Time
 	hook   atomic.Pointer[StatsHook]
 	stmtMu sync.RWMutex
-	stmts  map[string]Statement
+	stmts  map[string]*cachedStmt
 	closed atomic.Bool
 	txLive sync.WaitGroup
 }
@@ -84,7 +94,7 @@ func Open(opts Options) (*DB, error) {
 		tables: make(map[string]*table),
 		locks:  newLockManager(),
 		nowFn:  opts.Now,
-		stmts:  make(map[string]Statement),
+		stmts:  make(map[string]*cachedStmt),
 	}
 	if db.nowFn == nil {
 		db.nowFn = time.Now
@@ -100,7 +110,7 @@ func Open(opts Options) (*DB, error) {
 		if err := db.recover(parseWAL(data)); err != nil {
 			return nil, err
 		}
-		w, err := openWAL(opts.VFS, opts.Path, opts.Sync)
+		w, err := openWAL(opts.VFS, opts.Path, opts.Sync, opts.GroupDelay, opts.GroupMaxBytes)
 		if err != nil {
 			return nil, err
 		}
@@ -139,6 +149,16 @@ func (db *DB) SetNow(now func() time.Time) { db.nowFn = now }
 // currently held table/row locks). The metrics layer polls this to chart
 // lock contention alongside CPU accounting.
 func (db *DB) LockStats() LockStats { return db.locks.stats() }
+
+// WALStats snapshots the write-ahead log's commit-pipeline counters (fsync
+// count, group-size histogram, commit wait time). A database without a WAL
+// reports zeros.
+func (db *DB) WALStats() WALStats {
+	if db.wal == nil {
+		return WALStats{}
+	}
+	return db.wal.stats()
+}
 
 func (db *DB) emit(s StmtStats) {
 	if h := db.hook.Load(); h != nil {
@@ -226,24 +246,61 @@ func (db *DB) Begin() (*Tx, error) {
 
 func (db *DB) finishTx(tx *Tx) { db.txLive.Done() }
 
+// stmtCacheMax bounds the statement cache; stmtCacheEvict is how many
+// entries one overflow sweep reclaims.
+const (
+	stmtCacheMax   = 4096
+	stmtCacheEvict = 64
+)
+
+// cachedStmt is one statement-cache entry. used is set on every hit and
+// cleared by eviction sweeps, giving hot entries a second chance (clock
+// eviction without an access-ordered list).
+type cachedStmt struct {
+	stmt Statement
+	used atomic.Bool
+}
+
 // parse parses with a statement cache, since the CAS executes the same
-// handful of statement shapes millions of times.
+// handful of statement shapes millions of times. On overflow the cache
+// evicts a small batch of entries not referenced since the last sweep —
+// never the whole map, which would throw away the hot CAS statements along
+// with the cold ones.
 func (db *DB) parse(sql string) (Statement, error) {
 	db.stmtMu.RLock()
-	stmt, ok := db.stmts[sql]
+	c, ok := db.stmts[sql]
 	db.stmtMu.RUnlock()
 	if ok {
-		return stmt, nil
+		c.used.Store(true)
+		return c.stmt, nil
 	}
 	stmt, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
 	db.stmtMu.Lock()
-	if len(db.stmts) > 4096 { // bound the cache
-		db.stmts = make(map[string]Statement)
+	if len(db.stmts) >= stmtCacheMax {
+		evicted := 0
+		for k, e := range db.stmts {
+			if e.used.Swap(false) {
+				continue // referenced since the last sweep: second chance
+			}
+			delete(db.stmts, k)
+			if evicted++; evicted >= stmtCacheEvict {
+				break
+			}
+		}
+		if evicted == 0 {
+			// Everything was hot; reclaim arbitrarily to stay bounded.
+			for k := range db.stmts {
+				delete(db.stmts, k)
+				if evicted++; evicted >= stmtCacheEvict {
+					break
+				}
+			}
+		}
 	}
-	db.stmts[sql] = stmt
+	db.stmts[sql] = &cachedStmt{stmt: stmt}
 	db.stmtMu.Unlock()
 	return stmt, nil
 }

@@ -31,6 +31,14 @@ type accessPlan struct {
 	loInc   bool   // lower bound is inclusive (>=)
 	hiExpr  Expr   // upper bound on the column after the prefix
 	hiInc   bool
+	// ordered counts the leading ORDER BY items this scan emits rows in
+	// (reverse) order of: the index columns right after the equality prefix
+	// name them, in one direction. runPlain uses it to stop scanning once
+	// LIMIT is satisfied past the last tie, instead of materializing and
+	// sorting every matching row.
+	ordered int
+	// reverse scans the index backward (ORDER BY ... DESC).
+	reverse bool
 }
 
 type query struct {
@@ -47,6 +55,18 @@ type query struct {
 	// access path: S for SELECT, X for UPDATE/DELETE targets. Full scans
 	// rely on the table-granularity lock instead and take no row locks.
 	rowLock lockMode
+	// orderable marks a single-table, non-aggregated, non-DISTINCT SELECT
+	// whose ORDER BY the access path may (partially) provide.
+	orderable bool
+	// orderAliased[i] marks ORDER BY items that orderKeys resolves to an
+	// output alias: they sort by the output expression, not the same-named
+	// table column, so an index can never provide their order.
+	orderAliased []bool
+	// batchHint caps how many index entries one latched collection batch
+	// materializes when the caller expects to stop early (LIMIT). Purely a
+	// performance knob: the scan still continues batch by batch for as long
+	// as the visitor accepts rows.
+	batchHint int
 }
 
 var errStopScan = fmt.Errorf("sqldb: internal: stop scan")
@@ -160,6 +180,28 @@ func (q *query) plan() error {
 	q.access = make([]accessPlan, n)
 	if n == 0 {
 		return nil
+	}
+	q.orderable = n == 1 && len(q.stmt.OrderBy) > 0 && !q.stmt.Distinct &&
+		len(q.stmt.GroupBy) == 0 && q.stmt.Having == nil
+	if q.orderable {
+		for _, se := range q.stmt.Exprs {
+			if !se.Star && hasAggregate(se.Expr) {
+				q.orderable = false
+			}
+		}
+		q.orderAliased = make([]bool, len(q.stmt.OrderBy))
+		for oi, item := range q.stmt.OrderBy {
+			if hasAggregate(item.Expr) {
+				q.orderable = false
+			}
+			if cr, ok := item.Expr.(*ColRef); ok && cr.Table == "" {
+				for _, se := range q.stmt.Exprs {
+					if se.Alias != "" && strings.EqualFold(se.Alias, cr.Name) {
+						q.orderAliased[oi] = true
+					}
+				}
+			}
+		}
 	}
 	for i := 1; i < n; i++ {
 		if q.stmt.From[i].On != nil {
@@ -349,11 +391,50 @@ func (q *query) chooseAccess(i int, usable []Expr) accessPlan {
 				plan.hiExpr, plan.hiInc = hi.expr, hi.inc
 			}
 		}
-		score := 2 * len(plan.eqExprs)
+		// Order-providing scans: when the ORDER BY's leading items name this
+		// table's index columns immediately after the equality prefix, all in
+		// one direction, the index emits rows in (reverse) ORDER BY order.
+		// Only considered when this index also serves a predicate (eq prefix
+		// or range bound): a pure ordered scan would trade one table S lock
+		// for a row lock per visited row, and order is worth only a tie-break
+		// in the score — it must never beat a more selective index.
+		if q.orderable && (len(plan.eqExprs) > 0 || plan.loExpr != nil || plan.hiExpr != nil) {
+			dir := false
+			for oi, item := range q.stmt.OrderBy {
+				pos := len(plan.eqExprs) + oi
+				if pos >= len(ix.cols) {
+					break
+				}
+				if q.orderAliased[oi] {
+					break // sorts by the output alias, not the table column
+				}
+				cr, ok := item.Expr.(*ColRef)
+				if !ok {
+					break
+				}
+				if p, err := q.bindingPos(cr); err != nil || p != i {
+					break
+				}
+				if tbl.schema.ColumnIndex(cr.Name) != ix.cols[pos] {
+					break
+				}
+				if oi == 0 {
+					dir = item.Desc
+				} else if item.Desc != dir {
+					break
+				}
+				plan.ordered++
+			}
+			plan.reverse = plan.ordered > 0 && dir
+		}
+		score := 4 * len(plan.eqExprs)
 		if plan.loExpr != nil {
-			score++
+			score += 2
 		}
 		if plan.hiExpr != nil {
+			score += 2
+		}
+		if plan.ordered > 0 {
 			score++
 		}
 		if score > bestScore {
@@ -487,10 +568,6 @@ func (q *query) scanAccess(i int, visit func(rid int64, row []Value) error) erro
 			hiVal, haveHi = cv, true
 		}
 	}
-	seek := prefix
-	if haveLo {
-		seek = append(append(Key{}, prefix...), loVal)
-	}
 	kpos := len(prefix)
 	// Unique-key point lookups take the key-value lock as a predicate
 	// guard: a transaction that read key K — present or absent — blocks
@@ -511,16 +588,39 @@ func (q *query) scanAccess(i int, visit func(rid int64, row []Value) error) erro
 	// errStopScan) terminates the tree walk instead of materializing the
 	// whole range; batches resume from the last seen key, which is unique
 	// thanks to the rid tiebreaker non-unique indexes append.
-	const scanBatch = 256
+	// Collection batch size: start at the caller's early-stop hint (LIMIT)
+	// when one is set, but grow geometrically on every continued batch —
+	// residual filters may reject most collected rows, and a hint-sized
+	// batch would then pay a latch acquisition and O(log n) seek per
+	// handful of entries.
+	const maxScanBatch = 256
+	scanBatch := maxScanBatch
+	if q.batchHint > 0 && q.batchHint < scanBatch {
+		scanBatch = q.batchHint
+	}
 	tableName := strings.ToLower(tbl.schema.Name)
-	resume := seek
+	// Forward scans seek to prefix (+ low bound); reverse scans seek to the
+	// last key under prefix (+ high bound) and walk backward.
+	var resume Key
 	skipResume := false
+	if !ap.reverse && haveLo {
+		resume = append(append(Key{}, prefix...), loVal)
+	} else if !ap.reverse {
+		resume = prefix
+	}
+	var revStart Key
+	if ap.reverse {
+		if haveHi {
+			revStart = append(append(Key{}, prefix...), hiVal)
+		} else {
+			revStart = prefix
+		}
+	}
 	for {
 		var rids []int64
 		var lastKey Key
 		exhausted := true
-		tbl.latch.RLock()
-		ap.index.tree.scanRange(resume, nil, func(k Key, rid int64) bool {
+		collect := func(k Key, rid int64) bool {
 			if skipResume && compareKeys(k, resume) == 0 {
 				return true // already visited in the previous batch
 			}
@@ -529,15 +629,31 @@ func (q *query) scanAccess(i int, visit func(rid int64, row []Value) error) erro
 				return false
 			}
 			if rangeCol >= 0 && kpos < len(k) {
-				if haveLo && !ap.loInc {
-					if c, cerr := Compare(k[kpos], loVal); cerr == nil && c == 0 {
-						return true // skip boundary values for strict >
+				// The strict bound on the near side of the walk is skipped
+				// per entry; the far-side bound terminates the walk.
+				if !ap.reverse {
+					if haveLo && !ap.loInc {
+						if c, cerr := Compare(k[kpos], loVal); cerr == nil && c == 0 {
+							return true
+						}
 					}
-				}
-				if haveHi {
-					c, cerr := Compare(k[kpos], hiVal)
-					if cerr != nil || c > 0 || (c == 0 && !ap.hiInc) {
-						return false
+					if haveHi {
+						c, cerr := Compare(k[kpos], hiVal)
+						if cerr != nil || c > 0 || (c == 0 && !ap.hiInc) {
+							return false
+						}
+					}
+				} else {
+					if haveHi && !ap.hiInc {
+						if c, cerr := Compare(k[kpos], hiVal); cerr == nil && c == 0 {
+							return true
+						}
+					}
+					if haveLo {
+						c, cerr := Compare(k[kpos], loVal)
+						if cerr != nil || c < 0 || (c == 0 && !ap.loInc) {
+							return false
+						}
 					}
 				}
 			}
@@ -549,7 +665,16 @@ func (q *query) scanAccess(i int, visit func(rid int64, row []Value) error) erro
 				return false
 			}
 			return true
-		})
+		}
+		tbl.latch.RLock()
+		switch {
+		case !ap.reverse:
+			ap.index.tree.scanRange(resume, nil, collect)
+		case skipResume:
+			ap.index.tree.scanReverseLT(resume, collect)
+		default:
+			ap.index.tree.scanReverseLE(revStart, collect)
+		}
 		tbl.latch.RUnlock()
 		for _, rid := range rids {
 			if err := q.tx.lockRow(tableName, rid, q.rowLock); err != nil {
@@ -573,6 +698,12 @@ func (q *query) scanAccess(i int, visit func(rid int64, row []Value) error) erro
 		}
 		resume = lastKey
 		skipResume = true
+		if scanBatch < maxScanBatch {
+			scanBatch *= 2
+			if scanBatch > maxScanBatch {
+				scanBatch = maxScanBatch
+			}
+		}
 	}
 }
 
@@ -738,6 +869,37 @@ func (q *query) runPlain(outs []Expr) ([][]Value, error) {
 		}
 	}
 
+	// Top-N early exit for ordered index scans: rows arrive in order of the
+	// access path's `ordered` leading ORDER BY keys, so once LIMIT+OFFSET
+	// rows are collected the scan only needs to continue through ties on
+	// that ordered prefix — any later row is strictly worse on keys the
+	// collected rows already beat it on. The collected set is still sorted
+	// below (cheap at this size), which also resolves the ORDER BY items
+	// the index does not provide.
+	topK := -1
+	ordered := 0
+	if q.orderable && q.stmt.Limit != nil && len(q.access) > 0 && q.access[0].index != nil {
+		ordered = q.access[0].ordered
+	}
+	if ordered > 0 {
+		n, off, err := q.limitOffset()
+		if err != nil {
+			return nil, err
+		}
+		if n >= 0 {
+			topK = n + off
+		}
+	}
+	if len(q.bindings) == 1 {
+		// Size collection batches for the expected early stop (+1 so the
+		// boundary row that proves the stop lands in the same batch).
+		if topK > 0 {
+			q.batchHint = topK + 1
+		} else if earlyStop > 0 {
+			q.batchHint = earlyStop + 1
+		}
+	}
+
 	err := q.join(0, func() error {
 		out := make([]Value, len(outs))
 		for i, e := range outs {
@@ -765,6 +927,23 @@ func (q *query) runPlain(outs []Expr) ([][]Value, error) {
 		rows = append(rows, sr)
 		if earlyStop >= 0 && len(rows) >= earlyStop {
 			return errStopScan
+		}
+		if topK > 0 {
+			if ordered == len(q.stmt.OrderBy) && len(rows) >= topK {
+				// Fully ordered: the first K collected rows are the answer.
+				return errStopScan
+			}
+			if len(rows) > topK {
+				// Partially ordered: stop once the ordered key prefix moves
+				// past the K-th row's (all ties must be collected so the
+				// remaining ORDER BY items can break them).
+				boundary := rows[topK-1].keys
+				for k := 0; k < ordered; k++ {
+					if c, err := Compare(sr.keys[k], boundary[k]); err != nil || c != 0 {
+						return errStopScan
+					}
+				}
+			}
 		}
 		return nil
 	})

@@ -85,7 +85,14 @@ func describeAccess(ap accessPlan, tbl *table) string {
 			parts = append(parts, fmt.Sprintf("%s %s %s", col, op, exprString(ap.hiExpr)))
 		}
 	}
-	return fmt.Sprintf("INDEX SCAN USING %s (%s)", ap.index.schema.Name, strings.Join(parts, ", "))
+	suffix := ""
+	if ap.ordered > 0 {
+		suffix = " ORDER"
+		if ap.reverse {
+			suffix = " ORDER REVERSE"
+		}
+	}
+	return fmt.Sprintf("INDEX SCAN USING %s (%s)%s", ap.index.schema.Name, strings.Join(parts, ", "), suffix)
 }
 
 // exprString renders an expression approximately as SQL (for EXPLAIN and

@@ -1,0 +1,292 @@
+package sqldb
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// jobRow mirrors the test table for computing expected orderings in Go.
+type jobRow struct {
+	id    int64
+	state string
+	prio  float64
+}
+
+func orderedScanFixture(t *testing.T) (*DB, []jobRow) {
+	t.Helper()
+	db := New()
+	mustExec(t, db, `CREATE TABLE jobs (id INTEGER PRIMARY KEY, state TEXT NOT NULL, priority FLOAT NOT NULL)`)
+	mustExec(t, db, `CREATE INDEX jobs_sp ON jobs (state, priority, id)`)
+	var all []jobRow
+	for i := int64(1); i <= 200; i++ {
+		state := "idle"
+		if i%3 == 0 {
+			state = "running"
+		}
+		// Small priority domain: plenty of ties to exercise tie handling.
+		prio := float64((i*37)%9) / 10
+		mustExec(t, db, `INSERT INTO jobs VALUES (?, ?, ?)`, i, state, prio)
+		all = append(all, jobRow{id: i, state: state, prio: prio})
+	}
+	return db, all
+}
+
+// expectTopIdle computes the ground truth for
+// WHERE state = 'idle' ORDER BY priority DESC, id LIMIT k.
+func expectTopIdle(all []jobRow, k int) []int64 {
+	var idle []jobRow
+	for _, r := range all {
+		if r.state == "idle" {
+			idle = append(idle, r)
+		}
+	}
+	sort.Slice(idle, func(a, b int) bool {
+		if idle[a].prio != idle[b].prio {
+			return idle[a].prio > idle[b].prio
+		}
+		return idle[a].id < idle[b].id
+	})
+	if k > len(idle) {
+		k = len(idle)
+	}
+	ids := make([]int64, k)
+	for i := 0; i < k; i++ {
+		ids[i] = idle[i].id
+	}
+	return ids
+}
+
+// TestOrderedReverseScanTopN is the scheduler's hot selection: the mixed-
+// direction ORDER BY (priority DESC, id ASC) rides a reverse index scan on
+// (state, priority, id), collecting only through the last tie instead of
+// scanning every idle row.
+func TestOrderedReverseScanTopN(t *testing.T) {
+	db, all := orderedScanFixture(t)
+	defer db.Close()
+	for _, k := range []int{1, 5, 10, 1000} {
+		rows := mustQuery(t, db, `SELECT id FROM jobs WHERE state = 'idle' ORDER BY priority DESC, id LIMIT ?`, k)
+		want := expectTopIdle(all, k)
+		if rows.Len() != len(want) {
+			t.Fatalf("k=%d: got %d rows, want %d", k, rows.Len(), len(want))
+		}
+		for i, r := range rows.Data {
+			if r[0].Int64() != want[i] {
+				t.Fatalf("k=%d: row %d = %d, want %d", k, i, r[0].Int64(), want[i])
+			}
+		}
+	}
+}
+
+// TestOrderedScanStopsEarly locks in the perf win: with unique priorities
+// the reverse scan must visit roughly LIMIT rows, not every idle row.
+func TestOrderedScanStopsEarly(t *testing.T) {
+	db := New()
+	defer db.Close()
+	mustExec(t, db, `CREATE TABLE jobs (id INTEGER PRIMARY KEY, state TEXT NOT NULL, priority FLOAT NOT NULL)`)
+	mustExec(t, db, `CREATE INDEX jobs_sp ON jobs (state, priority, id)`)
+	for i := int64(1); i <= 500; i++ {
+		mustExec(t, db, `INSERT INTO jobs VALUES (?, 'idle', ?)`, i, float64(i)/1000)
+	}
+	var scanned int
+	db.SetStatsHook(func(s StmtStats) {
+		if s.Kind == "SELECT" {
+			scanned = s.RowsScanned
+		}
+	})
+	rows := mustQuery(t, db, `SELECT id FROM jobs WHERE state = 'idle' ORDER BY priority DESC, id LIMIT 10`)
+	if rows.Len() != 10 {
+		t.Fatalf("got %d rows", rows.Len())
+	}
+	// Highest priority = highest id.
+	if got := rows.Data[0][0].Int64(); got != 500 {
+		t.Fatalf("top row id = %d, want 500", got)
+	}
+	if scanned > 30 {
+		t.Fatalf("scanned %d rows for LIMIT 10 ordered scan; early termination broken", scanned)
+	}
+}
+
+// TestOrderedForwardScan: same-direction ORDER BY suffixes ride a forward
+// index scan (the VM selection pattern: WHERE state = ? ORDER BY id LIMIT ?).
+func TestOrderedForwardScan(t *testing.T) {
+	db, all := orderedScanFixture(t)
+	defer db.Close()
+	var scanned int
+	db.SetStatsHook(func(s StmtStats) {
+		if s.Kind == "SELECT" {
+			scanned = s.RowsScanned
+		}
+	})
+	rows := mustQuery(t, db, `SELECT id FROM jobs WHERE state = 'idle' ORDER BY priority, id LIMIT 7`)
+	// Ground truth: idle rows by (prio asc, id asc).
+	var idle []jobRow
+	for _, r := range all {
+		if r.state == "idle" {
+			idle = append(idle, r)
+		}
+	}
+	sort.Slice(idle, func(a, b int) bool {
+		if idle[a].prio != idle[b].prio {
+			return idle[a].prio < idle[b].prio
+		}
+		return idle[a].id < idle[b].id
+	})
+	if rows.Len() != 7 {
+		t.Fatalf("got %d rows", rows.Len())
+	}
+	for i, r := range rows.Data {
+		if r[0].Int64() != idle[i].id {
+			t.Fatalf("row %d = %d, want %d", i, r[0].Int64(), idle[i].id)
+		}
+	}
+	// Fully ordered (priority, id both provided): stop right at LIMIT
+	// (one extra index entry may land in the collection batch).
+	if scanned > 8 {
+		t.Fatalf("scanned %d rows for fully ordered LIMIT 7", scanned)
+	}
+}
+
+// TestOrderedScanWithRangeBound combines a range predicate with the
+// reverse ordered scan.
+func TestOrderedScanWithRangeBound(t *testing.T) {
+	db := New()
+	defer db.Close()
+	mustExec(t, db, `CREATE TABLE jobs (id INTEGER PRIMARY KEY, state TEXT NOT NULL, priority FLOAT NOT NULL)`)
+	mustExec(t, db, `CREATE INDEX jobs_sp ON jobs (state, priority, id)`)
+	for i := int64(1); i <= 100; i++ {
+		mustExec(t, db, `INSERT INTO jobs VALUES (?, 'idle', ?)`, i, float64(i))
+	}
+	rows := mustQuery(t, db, `SELECT id FROM jobs WHERE state = 'idle' AND priority >= 40 AND priority < 60 ORDER BY priority DESC LIMIT 5`)
+	want := []int64{59, 58, 57, 56, 55}
+	if rows.Len() != len(want) {
+		t.Fatalf("got %d rows, want %d", rows.Len(), len(want))
+	}
+	for i, r := range rows.Data {
+		if r[0].Int64() != want[i] {
+			t.Fatalf("row %d = %d, want %d", i, r[0].Int64(), want[i])
+		}
+	}
+	// Strict bounds mirrored: ascending through the same window.
+	rows = mustQuery(t, db, `SELECT id FROM jobs WHERE state = 'idle' AND priority > 40 AND priority <= 60 ORDER BY priority LIMIT 5`)
+	want = []int64{41, 42, 43, 44, 45}
+	for i, r := range rows.Data {
+		if r[0].Int64() != want[i] {
+			t.Fatalf("asc row %d = %d, want %d", i, r[0].Int64(), want[i])
+		}
+	}
+}
+
+// TestOrderedScanSurvivesMutation re-checks ordering after deletes and
+// priority updates (index maintenance + ordered scan agree).
+func TestOrderedScanSurvivesMutation(t *testing.T) {
+	db, all := orderedScanFixture(t)
+	defer db.Close()
+	mustExec(t, db, `DELETE FROM jobs WHERE id <= 50 AND state = 'idle'`)
+	mustExec(t, db, `UPDATE jobs SET priority = 0.95 WHERE id = 100`)
+	var live []jobRow
+	for _, r := range all {
+		if r.state == "idle" && r.id <= 50 {
+			continue
+		}
+		if r.id == 100 {
+			r.prio = 0.95
+		}
+		live = append(live, r)
+	}
+	rows := mustQuery(t, db, `SELECT id FROM jobs WHERE state = 'idle' ORDER BY priority DESC, id LIMIT 10`)
+	want := expectTopIdle(live, 10)
+	if rows.Len() != len(want) {
+		t.Fatalf("got %d rows, want %d", rows.Len(), len(want))
+	}
+	for i, r := range rows.Data {
+		if r[0].Int64() != want[i] {
+			t.Fatalf("row %d = %d, want %d", i, r[0].Int64(), want[i])
+		}
+	}
+	if want[0] != 100 {
+		t.Fatalf("test fixture broken: expected id 100 on top, got %d", want[0])
+	}
+}
+
+// TestExplainOrderedScan is the access-path regression test: the planner
+// must choose the order-providing index and report the reverse ordered
+// scan, not a seq scan or the plain (state, id) index.
+func TestExplainOrderedScan(t *testing.T) {
+	db, _ := orderedScanFixture(t)
+	defer db.Close()
+	mustExec(t, db, `CREATE INDEX jobs_state ON jobs (state, id)`)
+	rows := mustQuery(t, db, `EXPLAIN SELECT id FROM jobs WHERE state = 'idle' ORDER BY priority DESC, id LIMIT 10`)
+	if rows.Len() != 1 {
+		t.Fatalf("EXPLAIN rows = %d", rows.Len())
+	}
+	access := rows.Data[0][1].Text()
+	if !strings.Contains(access, "INDEX SCAN USING jobs_sp") {
+		t.Fatalf("access = %q, want jobs_sp index scan", access)
+	}
+	if !strings.Contains(access, "ORDER REVERSE") {
+		t.Fatalf("access = %q, want ORDER REVERSE", access)
+	}
+	// Same-direction ascending suffix: forward ordered scan.
+	rows = mustQuery(t, db, `EXPLAIN SELECT id FROM jobs WHERE state = 'idle' ORDER BY priority, id LIMIT 10`)
+	access = rows.Data[0][1].Text()
+	if !strings.Contains(access, "jobs_sp") || !strings.Contains(access, " ORDER") || strings.Contains(access, "REVERSE") {
+		t.Fatalf("access = %q, want forward ordered jobs_sp scan", access)
+	}
+}
+
+// TestOrderedScanAliasShadowNotUsed: an output alias shadowing a column
+// name makes ORDER BY sort by the output expression; the ordered-scan
+// early exit must not kick in (it would truncate the scan at the wrong
+// end). Regression test for a review finding.
+func TestOrderedScanAliasShadowNotUsed(t *testing.T) {
+	db := New()
+	defer db.Close()
+	mustExec(t, db, `CREATE TABLE t (id INTEGER PRIMARY KEY, state INTEGER NOT NULL, priority INTEGER NOT NULL)`)
+	mustExec(t, db, `CREATE INDEX t_sp ON t (state, priority)`)
+	for i := int64(1); i <= 10; i++ {
+		mustExec(t, db, `INSERT INTO t VALUES (?, 1, ?)`, i, i)
+	}
+	// ORDER BY priority binds to the alias (0 - priority), so ascending
+	// alias order is descending column order.
+	rows := mustQuery(t, db, `SELECT 0 - priority AS priority FROM t WHERE state = 1 ORDER BY priority LIMIT 2`)
+	if rows.Len() != 2 || rows.Data[0][0].Int64() != -10 || rows.Data[1][0].Int64() != -9 {
+		t.Fatalf("alias-shadowed ORDER BY = %v, want [-10, -9]", rows.Data)
+	}
+}
+
+// TestOrderedScanDoesNotBeatSelectiveIndex: order provision is only a
+// tie-break; an equality predicate on a different index must still win,
+// keeping the plan on the selective access path. Regression test for a
+// review finding.
+func TestOrderedScanDoesNotBeatSelectiveIndex(t *testing.T) {
+	db := New()
+	defer db.Close()
+	mustExec(t, db, `CREATE TABLE jobs (id INTEGER PRIMARY KEY, state TEXT NOT NULL, priority FLOAT NOT NULL, depends_on INTEGER)`)
+	mustExec(t, db, `CREATE INDEX jobs_sp ON jobs (state, priority, id)`)
+	mustExec(t, db, `CREATE INDEX jobs_depends ON jobs (depends_on)`)
+	for i := int64(1); i <= 50; i++ {
+		mustExec(t, db, `INSERT INTO jobs VALUES (?, 'idle', ?, ?)`, i, float64(i), i%7)
+	}
+	rows := mustQuery(t, db, `EXPLAIN SELECT id FROM jobs WHERE depends_on = 3 ORDER BY state, priority, id`)
+	access := rows.Data[0][1].Text()
+	if !strings.Contains(access, "jobs_depends") {
+		t.Fatalf("access = %q, want the selective jobs_depends index", access)
+	}
+	// And the results are still correct.
+	res := mustQuery(t, db, `SELECT id FROM jobs WHERE depends_on = 3 ORDER BY state, priority, id`)
+	var want []int64
+	for i := int64(1); i <= 50; i++ {
+		if i%7 == 3 {
+			want = append(want, i)
+		}
+	}
+	if res.Len() != len(want) {
+		t.Fatalf("got %d rows, want %d", res.Len(), len(want))
+	}
+	for i, r := range res.Data {
+		if r[0].Int64() != want[i] {
+			t.Fatalf("row %d = %d, want %d", i, r[0].Int64(), want[i])
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package sqldb
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// SlowVFS wraps another VFS and injects a fixed latency into Sync (and
+// optionally Write) calls, simulating the fsync cost of real storage on top
+// of the in-memory VFS. Benchmarks and tests use it to show the group-commit
+// pipeline's fsync amortization deterministically: with a 1ms SyncDelay, N
+// transactions sharing one flush pay ~1ms total instead of N×1ms.
+// Construct once and pass the pointer; a SlowVFS must not be copied.
+type SlowVFS struct {
+	// Inner is the file system actually storing the data.
+	Inner VFS
+	// SyncDelay is slept on every File.Sync before delegating.
+	SyncDelay time.Duration
+	// WriteDelay is slept on every File.Write before delegating.
+	WriteDelay time.Duration
+
+	syncs atomic.Int64
+}
+
+// Syncs reports how many Sync calls the wrapped files have served.
+func (s *SlowVFS) Syncs() int64 { return s.syncs.Load() }
+
+type slowFile struct {
+	vfs   *SlowVFS
+	inner File
+}
+
+func (f slowFile) Write(p []byte) (int, error) {
+	if f.vfs.WriteDelay > 0 {
+		time.Sleep(f.vfs.WriteDelay)
+	}
+	return f.inner.Write(p)
+}
+
+func (f slowFile) Sync() error {
+	if f.vfs.SyncDelay > 0 {
+		time.Sleep(f.vfs.SyncDelay)
+	}
+	f.vfs.syncs.Add(1)
+	return f.inner.Sync()
+}
+
+func (f slowFile) Close() error { return f.inner.Close() }
+
+// Create implements VFS.
+func (s *SlowVFS) Create(name string) (File, error) {
+	f, err := s.Inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return slowFile{vfs: s, inner: f}, nil
+}
+
+// Open implements VFS.
+func (s *SlowVFS) Open(name string) (File, error) {
+	f, err := s.Inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return slowFile{vfs: s, inner: f}, nil
+}
+
+// ReadFile implements VFS.
+func (s *SlowVFS) ReadFile(name string) ([]byte, error) { return s.Inner.ReadFile(name) }
+
+// Rename implements VFS.
+func (s *SlowVFS) Rename(oldname, newname string) error { return s.Inner.Rename(oldname, newname) }
+
+// Remove implements VFS.
+func (s *SlowVFS) Remove(name string) error { return s.Inner.Remove(name) }

@@ -1,0 +1,57 @@
+package sqldb
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestStmtCacheHotSurvivesOverflow floods the statement cache past its
+// bound with cold one-off statements while periodically executing a hot
+// statement (the CAS pattern: a handful of hot shapes amid ad-hoc queries).
+// The clock-style eviction must reclaim cold entries and keep the hot one —
+// the old dump-the-whole-map eviction threw it away with everything else.
+func TestStmtCacheHotSurvivesOverflow(t *testing.T) {
+	db := New()
+	defer db.Close()
+	mustExec(t, db, `CREATE TABLE hot (id INTEGER)`)
+	const hot = `INSERT INTO hot (id) VALUES (?)`
+	mustExec(t, db, hot, 0)
+
+	for i := 0; i < stmtCacheMax+4*stmtCacheEvict; i++ {
+		if _, err := db.Query(fmt.Sprintf(`SELECT %d`, i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%32 == 0 {
+			mustExec(t, db, hot, i)
+		}
+	}
+
+	db.stmtMu.RLock()
+	_, ok := db.stmts[hot]
+	size := len(db.stmts)
+	db.stmtMu.RUnlock()
+	if !ok {
+		t.Fatal("hot statement evicted by cache overflow")
+	}
+	if size > stmtCacheMax {
+		t.Fatalf("cache size %d exceeds bound %d", size, stmtCacheMax)
+	}
+}
+
+// TestStmtCacheBoundedWhenAllCold: pure churn must stay bounded too (the
+// all-hot fallback path reclaims arbitrarily).
+func TestStmtCacheBoundedWhenAllCold(t *testing.T) {
+	db := New()
+	defer db.Close()
+	for i := 0; i < 2*stmtCacheMax; i++ {
+		if _, err := db.Query(fmt.Sprintf(`SELECT %d + 1`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.stmtMu.RLock()
+	size := len(db.stmts)
+	db.stmtMu.RUnlock()
+	if size > stmtCacheMax {
+		t.Fatalf("cache size %d exceeds bound %d", size, stmtCacheMax)
+	}
+}
