@@ -45,9 +45,21 @@ func main() {
 	runShell(db, os.Stdin, os.Stdout)
 }
 
+// shellSession is the REPL's statement executor: statements run in
+// autocommit mode until BEGIN [READ ONLY] opens a session transaction,
+// which COMMIT/ROLLBACK resolves. BEGIN READ ONLY gives the
+// administrator a lock-free consistent snapshot to explore a live pool
+// from, without stalling — or being stalled by — the job pipeline.
+type shellSession struct {
+	db *sqldb.DB
+	tx *sqldb.Tx
+}
+
 // runShell drives the read-eval-print loop over the given streams (split
 // from main so the shell is testable end to end).
 func runShell(db *sqldb.DB, in io.Reader, out io.Writer) {
+	sess := &shellSession{db: db}
+	defer sess.close()
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Fprint(out, "> ")
@@ -69,16 +81,80 @@ func runShell(db *sqldb.DB, in io.Reader, out io.Writer) {
 				fmt.Fprintf(out, "no table %q\n", name)
 			}
 		default:
-			runStatement(db, line, out)
+			sess.run(line, out)
 		}
 		fmt.Fprint(out, "> ")
 	}
 }
 
-func runStatement(db *sqldb.DB, sql string, out io.Writer) {
-	upper := strings.ToUpper(strings.TrimSpace(sql))
+// close abandons any transaction left open at exit.
+func (s *shellSession) close() {
+	if s.tx != nil {
+		s.tx.Rollback()
+		s.tx = nil
+	}
+}
+
+func (s *shellSession) run(sql string, out io.Writer) {
+	upper := strings.ToUpper(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";")))
+	switch {
+	case strings.HasPrefix(upper, "BEGIN"):
+		if s.tx != nil {
+			fmt.Fprintln(out, "error: transaction already open (COMMIT or ROLLBACK first)")
+			return
+		}
+		stmt, err := sqldb.Parse(sql)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return
+		}
+		b, ok := stmt.(*sqldb.BeginStmt)
+		if !ok {
+			fmt.Fprintln(out, "error: expected a BEGIN statement")
+			return
+		}
+		if b.ReadOnly {
+			s.tx, err = s.db.BeginReadOnly()
+		} else {
+			s.tx, err = s.db.Begin()
+		}
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return
+		}
+		if b.ReadOnly {
+			fmt.Fprintf(out, "begin (read only, snapshot @%d)\n", s.tx.Snapshot())
+		} else {
+			fmt.Fprintln(out, "begin")
+		}
+		return
+	case upper == "COMMIT", upper == "ROLLBACK":
+		if s.tx == nil {
+			fmt.Fprintln(out, "error: no open transaction")
+			return
+		}
+		var err error
+		if upper == "COMMIT" {
+			err = s.tx.Commit()
+		} else {
+			err = s.tx.Rollback()
+		}
+		s.tx = nil
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return
+		}
+		fmt.Fprintln(out, strings.ToLower(upper))
+		return
+	}
 	if strings.HasPrefix(upper, "SELECT") || strings.HasPrefix(upper, "EXPLAIN") {
-		rows, err := db.Query(sql)
+		var rows *sqldb.Rows
+		var err error
+		if s.tx != nil {
+			rows, err = s.tx.Query(sql)
+		} else {
+			rows, err = s.db.Query(sql)
+		}
 		if err != nil {
 			fmt.Fprintln(out, "error:", err)
 			return
@@ -86,7 +162,13 @@ func runStatement(db *sqldb.DB, sql string, out io.Writer) {
 		printRows(out, rows)
 		return
 	}
-	res, err := db.Exec(sql)
+	var res sqldb.Result
+	var err error
+	if s.tx != nil {
+		res, err = s.tx.Exec(sql)
+	} else {
+		res, err = s.db.Exec(sql)
+	}
 	if err != nil {
 		fmt.Fprintln(out, "error:", err)
 		return

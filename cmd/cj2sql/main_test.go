@@ -60,3 +60,62 @@ func TestShellQuitStopsBeforeTrailingInput(t *testing.T) {
 		t.Fatal("statement after \\q executed")
 	}
 }
+
+// The shell's session transactions: BEGIN READ ONLY pins a snapshot
+// (repeatable reads, concurrent commits invisible, writes rejected);
+// BEGIN/COMMIT groups writes; ROLLBACK undoes them.
+func TestShellSessionTransactions(t *testing.T) {
+	db := sqldb.New()
+	defer db.Close()
+	mustSetup := []string{
+		`CREATE TABLE kv (id INTEGER PRIMARY KEY, n INTEGER NOT NULL)`,
+		`INSERT INTO kv VALUES (1, 10)`,
+	}
+	for _, s := range mustSetup {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Read-only session: a concurrent committed update stays invisible
+	// until the snapshot is released.
+	ro := &shellSession{db: db}
+	var out strings.Builder
+	ro.run(`BEGIN READ ONLY`, &out)
+	if !strings.Contains(out.String(), "read only, snapshot @") {
+		t.Fatalf("BEGIN READ ONLY ack missing: %s", out.String())
+	}
+	if _, err := db.Exec(`UPDATE kv SET n = 99 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	ro.run(`SELECT n FROM kv WHERE id = 1`, &out)
+	if !strings.Contains(out.String(), "10") || strings.Contains(out.String(), "99") {
+		t.Fatalf("snapshot session saw concurrent commit:\n%s", out.String())
+	}
+	out.Reset()
+	ro.run(`UPDATE kv SET n = 0`, &out)
+	if !strings.Contains(out.String(), "read-only") {
+		t.Fatalf("write in read-only session not rejected: %s", out.String())
+	}
+	out.Reset()
+	ro.run(`COMMIT`, &out)
+
+	// Read-write session: rollback undoes, commit persists.
+	rw := &shellSession{db: db}
+	out.Reset()
+	rw.run(`BEGIN`, &out)
+	rw.run(`UPDATE kv SET n = 1 WHERE id = 1`, &out)
+	rw.run(`ROLLBACK`, &out)
+	rows, _ := db.Query(`SELECT n FROM kv WHERE id = 1`)
+	if rows.Data[0][0].Int64() != 99 {
+		t.Fatalf("rolled-back shell write persisted: %v", rows.Data[0][0])
+	}
+	rw.run(`BEGIN`, &out)
+	rw.run(`UPDATE kv SET n = 7 WHERE id = 1`, &out)
+	rw.run(`COMMIT`, &out)
+	rows, _ = db.Query(`SELECT n FROM kv WHERE id = 1`)
+	if rows.Data[0][0].Int64() != 7 {
+		t.Fatalf("committed shell write lost: %v", rows.Data[0][0])
+	}
+}

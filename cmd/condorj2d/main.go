@@ -28,6 +28,7 @@ func main() {
 	sync := flag.String("sync", "group", "WAL sync policy: every (fsync per commit), group (one fsync per commit group), never")
 	groupDelay := flag.Duration("group-delay", 0, "sync=group: how long a solo group leader waits for companion commits before fsyncing (0 = rely on natural batching)")
 	groupMaxBytes := flag.Int("group-max-bytes", 0, "sync=group: cap on log bytes per group flush (0 = unlimited)")
+	gcBatch := flag.Int("gc-batch", 0, "MVCC: max version-GC records reclaimed per commit sweep (0 = default 64)")
 	flag.Parse()
 
 	var engine *sqldb.DB
@@ -42,6 +43,7 @@ func main() {
 			Sync:          policy,
 			GroupDelay:    *groupDelay,
 			GroupMaxBytes: *groupMaxBytes,
+			GCBatch:       *gcBatch,
 		})
 		if err != nil {
 			log.Fatalf("condorj2d: opening database: %v", err)
@@ -72,5 +74,8 @@ func main() {
 		log.Printf("wal: %d commits, %d fsyncs (%.3f fsyncs/commit), max group %d",
 			ws.Commits, ws.Syncs, ws.FsyncsPerCommit(), ws.MaxGroup)
 	}
+	vs := cas.VersionStats()
+	log.Printf("mvcc: %d snapshot reads (lock-free), %d versions stamped, %d pruned, %d slots + %d entries reclaimed, %d GC pending",
+		vs.SnapshotReads, vs.VersionsCreated, vs.VersionsPruned, vs.SlotsReclaimed, vs.EntriesRemoved, vs.PendingGC)
 	srv.Close()
 }

@@ -21,6 +21,7 @@
 package beans
 
 import (
+	"context"
 	"database/sql"
 	"errors"
 	"fmt"
@@ -404,4 +405,20 @@ func (c *Container) InTx(fn func(tx *sql.Tx) error) error {
 
 func isDeadlock(err error) bool {
 	return err != nil && strings.Contains(err.Error(), "deadlock")
+}
+
+// InReadTx runs fn inside a read-only snapshot transaction: every query
+// fn issues sees one consistent commit timestamp, takes no locks, and
+// never blocks — or is blocked by — concurrent writers. Deadlock retry is
+// unnecessary by construction. Writes inside fn fail.
+func (c *Container) InReadTx(fn func(tx *sql.Tx) error) error {
+	tx, err := c.DB.BeginTx(context.Background(), &sql.TxOptions{ReadOnly: true})
+	if err != nil {
+		return err
+	}
+	defer tx.Rollback()
+	if err := fn(tx); err != nil {
+		return err
+	}
+	return tx.Commit()
 }

@@ -137,6 +137,30 @@ func (c *CAS) LockSnapshot() metrics.LockSnapshot {
 	}
 }
 
+// VersionStats snapshots the embedded engine's MVCC counters (snapshot
+// reads served lock-free, version churn, GC backlog) for operators and
+// experiments.
+func (c *CAS) VersionStats() sqldb.VersionStats { return c.Engine.VersionStats() }
+
+// VersionSnapshot converts the engine's MVCC counters into the metrics
+// layer's form, ready for metrics.VersionMonitor.Observe — the bridge the
+// experiment harness uses to chart lock-free read traffic next to lock
+// contention.
+func (c *CAS) VersionSnapshot() metrics.VersionSnapshot {
+	s := c.Engine.VersionStats()
+	return metrics.VersionSnapshot{
+		CommitTS:        s.CommitTS,
+		OldestSnapshot:  s.OldestSnapshot,
+		ActiveSnapshots: s.ActiveSnapshots,
+		SnapshotReads:   s.SnapshotReads,
+		VersionsCreated: s.VersionsCreated,
+		VersionsPruned:  s.VersionsPruned,
+		SlotsReclaimed:  s.SlotsReclaimed,
+		EntriesRemoved:  s.EntriesRemoved,
+		PendingGC:       s.PendingGC,
+	}
+}
+
 // WALStats snapshots the embedded engine's commit-pipeline counters
 // (commits, fsyncs, group sizes, commit wait) for operators and
 // experiments; zeros when the engine runs without a WAL.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"database/sql"
+	"sort"
 
 	"condorj2/internal/beans"
 )
@@ -22,6 +23,48 @@ type ScheduleStats struct {
 	IdleVMs, IdleJobs int
 	// Matched counts match tuples inserted this cycle.
 	Matched int
+}
+
+// matchPair is one (job, VM) assignment by candidate-slice index.
+type matchPair struct {
+	ji, vi int
+}
+
+// pairJobsToVMs assigns each job (in the given order: priority DESC, id
+// ASC from the selection query) the smallest idle VM whose memory fits,
+// falling back to none when no VM is large enough. VMs are sorted by
+// (memory, id) once and each job binary-searches its fit, so a 500×500
+// cycle costs ~500 log-probes instead of up to 250k pairwise comparisons.
+// Best-fit also wastes less memory headroom than the old first-fit-by-id,
+// so large-memory jobs arriving later still find large VMs free.
+func pairJobsToVMs(jobs []Job, vms []VM) []matchPair {
+	order := make([]int, len(vms))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		va, vb := &vms[order[a]], &vms[order[b]]
+		if va.MemoryMB != vb.MemoryMB {
+			return va.MemoryMB < vb.MemoryMB
+		}
+		return va.ID < vb.ID
+	})
+	pairs := make([]matchPair, 0, min(len(jobs), len(vms)))
+	for ji := range jobs {
+		if len(order) == 0 {
+			break
+		}
+		need := jobs[ji].MinMemoryMB
+		pos := sort.Search(len(order), func(i int) bool {
+			return vms[order[i]].MemoryMB >= need
+		})
+		if pos == len(order) {
+			continue // no remaining VM is large enough
+		}
+		pairs = append(pairs, matchPair{ji: ji, vi: order[pos]})
+		order = append(order[:pos], order[pos+1:]...)
+	}
+	return pairs
 }
 
 // ScheduleCycle runs one matchmaking pass, pairing up to the configured
@@ -49,32 +92,20 @@ func (s *Service) ScheduleCycle() (ScheduleStats, error) {
 		if len(jobs) == 0 {
 			return nil
 		}
-		// Greedy pairing with the single placement constraint the schema
-		// models: the VM must have enough memory for the job.
-		used := make([]bool, len(vms))
-		for ji := range jobs {
-			job := &jobs[ji]
-			for vi := range vms {
-				if used[vi] {
-					continue
-				}
-				vm := &vms[vi]
-				if job.MinMemoryMB > 0 && vm.MemoryMB < job.MinMemoryMB {
-					continue
-				}
-				used[vi] = true
-				if err := beans.Insert(tx, &Match{JobID: job.ID, VMID: vm.ID, CreatedAt: now}); err != nil {
-					return err
-				}
-				if err := job.MarkMatched(tx, now); err != nil {
-					return err
-				}
-				if err := vm.MarkMatched(tx); err != nil {
-					return err
-				}
-				stats.Matched++
-				break
+		// Pair against the single placement constraint the schema models:
+		// the VM must have enough memory for the job.
+		for _, p := range pairJobsToVMs(jobs, vms) {
+			job, vm := &jobs[p.ji], &vms[p.vi]
+			if err := beans.Insert(tx, &Match{JobID: job.ID, VMID: vm.ID, CreatedAt: now}); err != nil {
+				return err
 			}
+			if err := job.MarkMatched(tx, now); err != nil {
+				return err
+			}
+			if err := vm.MarkMatched(tx); err != nil {
+				return err
+			}
+			stats.Matched++
 		}
 		return nil
 	})

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// pairQuadratic is the pre-optimization pairing (first adequate VM in
+// slice order per job), kept here as the correctness oracle for match
+// counts and the baseline for BenchmarkSchedulerPairing.
+func pairQuadratic(jobs []Job, vms []VM) []matchPair {
+	used := make([]bool, len(vms))
+	var pairs []matchPair
+	for ji := range jobs {
+		for vi := range vms {
+			if used[vi] {
+				continue
+			}
+			if jobs[ji].MinMemoryMB > 0 && vms[vi].MemoryMB < jobs[ji].MinMemoryMB {
+				continue
+			}
+			used[vi] = true
+			pairs = append(pairs, matchPair{ji: ji, vi: vi})
+			break
+		}
+	}
+	return pairs
+}
+
+func pairingFixture(n int) ([]Job, []VM) {
+	jobs := make([]Job, n)
+	vms := make([]VM, n)
+	for i := 0; i < n; i++ {
+		jobs[i] = Job{ID: int64(i + 1), MinMemoryMB: int64((i * 37 % 8) * 1024)}
+		vms[i] = VM{ID: int64(i + 1), MemoryMB: int64((i*53%8 + 1) * 1024)}
+	}
+	return jobs, vms
+}
+
+// scarceFixture is the pairing worst case: nearly every job wants more
+// memory than nearly every VM offers, so the old first-fit scanned ~all
+// VMs per job (the full jobs×VMs comparison blowup).
+func scarceFixture(n int) ([]Job, []VM) {
+	jobs := make([]Job, n)
+	vms := make([]VM, n)
+	for i := 0; i < n; i++ {
+		jobs[i] = Job{ID: int64(i + 1), MinMemoryMB: 8192}
+		mem := int64(1024)
+		if i%16 == 0 {
+			mem = 8192
+		}
+		vms[i] = VM{ID: int64(i + 1), MemoryMB: mem}
+	}
+	return jobs, vms
+}
+
+func TestPairJobsToVMs(t *testing.T) {
+	jobs := []Job{
+		{ID: 1, MinMemoryMB: 4096},
+		{ID: 2, MinMemoryMB: 0},
+		{ID: 3, MinMemoryMB: 8192},
+		{ID: 4, MinMemoryMB: 2048},
+	}
+	vms := []VM{
+		{ID: 10, MemoryMB: 2048},
+		{ID: 11, MemoryMB: 8192},
+		{ID: 12, MemoryMB: 4096},
+	}
+	pairs := pairJobsToVMs(jobs, vms)
+	got := map[int64]int64{}
+	for _, p := range pairs {
+		got[jobs[p.ji].ID] = vms[p.vi].ID
+	}
+	// Best-fit: job 1 (4G) → vm 12 (4G); job 2 (any) → vm 10 (2G, the
+	// smallest left); job 3 (8G) → vm 11; job 4 (2G) → nothing left.
+	want := map[int64]int64{1: 12, 2: 10, 3: 11}
+	if len(got) != len(want) {
+		t.Fatalf("pairs = %v, want %v", got, want)
+	}
+	for j, v := range want {
+		if got[j] != v {
+			t.Fatalf("job %d → vm %d, want vm %d (pairs %v)", j, got[j], v, got)
+		}
+	}
+	// A VM must never be assigned twice.
+	seen := map[int]bool{}
+	for _, p := range pairs {
+		if seen[p.vi] {
+			t.Fatalf("vm index %d assigned twice", p.vi)
+		}
+		seen[p.vi] = true
+	}
+}
+
+// Best-fit never matches fewer jobs than the old first-fit on the
+// workloads the scheduler actually sees (it can match strictly more:
+// first-fit may burn a big VM on a small job).
+func TestPairJobsToVMsMatchesAtLeastFirstFit(t *testing.T) {
+	for _, n := range []int{1, 7, 64, 500} {
+		jobs, vms := pairingFixture(n)
+		fast := pairJobsToVMs(jobs, vms)
+		slow := pairQuadratic(jobs, vms)
+		if len(fast) < len(slow) {
+			t.Fatalf("n=%d: best-fit matched %d < first-fit %d", n, len(fast), len(slow))
+		}
+		for _, p := range fast {
+			if jobs[p.ji].MinMemoryMB > vms[p.vi].MemoryMB {
+				t.Fatalf("n=%d: job %d (%d MB) placed on vm %d (%d MB)",
+					n, jobs[p.ji].ID, jobs[p.ji].MinMemoryMB, vms[p.vi].ID, vms[p.vi].MemoryMB)
+			}
+		}
+	}
+}
+
+// The micro-bench locking in the satellite win: ~n log n pairing versus
+// the old worst-case n² scan at the scheduler's default batch of 500.
+func BenchmarkSchedulerPairing(b *testing.B) {
+	const n = 500
+	scenarios := []struct {
+		name string
+		fix  func(int) ([]Job, []VM)
+	}{
+		{"mixed", pairingFixture},
+		{"scarce", scarceFixture},
+	}
+	for _, sc := range scenarios {
+		jobs, vms := sc.fix(n)
+		b.Run(fmt.Sprintf("bestfit-%s-%dx%d", sc.name, n, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pairJobsToVMs(jobs, vms)
+			}
+		})
+		b.Run(fmt.Sprintf("quadratic-%s-%dx%d", sc.name, n, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pairQuadratic(jobs, vms)
+			}
+		})
+	}
+}

@@ -562,34 +562,44 @@ func (s *Service) ReleaseJob(req *ReleaseJobRequest) (*ReleaseJobResponse, error
 	return resp, nil
 }
 
-// PoolStatus answers pool-level queries with set-oriented SQL.
+// PoolStatus answers pool-level queries with set-oriented SQL. The three
+// per-table counts run in one read-only snapshot transaction: the
+// machine/VM/job numbers are mutually consistent, and the monitoring scan
+// takes no locks — it neither stalls behind nor stalls the heartbeat and
+// submit writers.
 func (s *Service) PoolStatus(*PoolStatusRequest) (*PoolStatusResponse, error) {
 	resp := &PoolStatusResponse{}
-	count := func(table string) ([]StateCount, error) {
-		rows, err := s.c.DB.Query(fmt.Sprintf(
-			`SELECT state, count(*) FROM %s GROUP BY state ORDER BY state`, table))
-		if err != nil {
-			return nil, err
-		}
-		defer rows.Close()
-		var out []StateCount
-		for rows.Next() {
-			var sc StateCount
-			if err := rows.Scan(&sc.State, &sc.Count); err != nil {
+	err := s.c.InReadTx(func(tx *sql.Tx) error {
+		count := func(table string) ([]StateCount, error) {
+			rows, err := tx.Query(fmt.Sprintf(
+				`SELECT state, count(*) FROM %s GROUP BY state ORDER BY state`, table))
+			if err != nil {
 				return nil, err
 			}
-			out = append(out, sc)
+			defer rows.Close()
+			var out []StateCount
+			for rows.Next() {
+				var sc StateCount
+				if err := rows.Scan(&sc.State, &sc.Count); err != nil {
+					return nil, err
+				}
+				out = append(out, sc)
+			}
+			return out, rows.Err()
 		}
-		return out, rows.Err()
-	}
-	var err error
-	if resp.Machines, err = count("machines"); err != nil {
-		return nil, err
-	}
-	if resp.VMs, err = count("vms"); err != nil {
-		return nil, err
-	}
-	if resp.Jobs, err = count("jobs"); err != nil {
+		var err error
+		if resp.Machines, err = count("machines"); err != nil {
+			return err
+		}
+		if resp.VMs, err = count("vms"); err != nil {
+			return err
+		}
+		if resp.Jobs, err = count("jobs"); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	for _, sc := range resp.Jobs {
@@ -600,25 +610,32 @@ func (s *Service) PoolStatus(*PoolStatusRequest) (*PoolStatusResponse, error) {
 	return resp, nil
 }
 
-// QueueStatus lists queued jobs, optionally for one owner.
+// QueueStatus lists queued jobs, optionally for one owner, from a
+// read-only snapshot.
 func (s *Service) QueueStatus(req *QueueStatusRequest) (*QueueStatusResponse, error) {
 	limit := req.Limit
 	if limit <= 0 || limit > 10000 {
 		limit = 1000
 	}
-	var jobs []Job
-	var err error
-	if req.Owner != "" {
-		jobs, err = beans.Select[Job](s.c.DB, "WHERE owner = ? ORDER BY id LIMIT ?", req.Owner, limit)
-	} else {
-		jobs, err = beans.Select[Job](s.c.DB, "ORDER BY id LIMIT ?", limit)
-	}
+	resp := &QueueStatusResponse{}
+	err := s.c.InReadTx(func(tx *sql.Tx) error {
+		var jobs []Job
+		var err error
+		if req.Owner != "" {
+			jobs, err = beans.Select[Job](tx, "WHERE owner = ? ORDER BY id LIMIT ?", req.Owner, limit)
+		} else {
+			jobs, err = beans.Select[Job](tx, "ORDER BY id LIMIT ?", limit)
+		}
+		if err != nil {
+			return err
+		}
+		for _, j := range jobs {
+			resp.Jobs = append(resp.Jobs, QueueJob{ID: j.ID, Owner: j.Owner, State: j.State, LengthSec: j.LengthSec})
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	resp := &QueueStatusResponse{}
-	for _, j := range jobs {
-		resp.Jobs = append(resp.Jobs, QueueJob{ID: j.ID, Owner: j.Owner, State: j.State, LengthSec: j.LengthSec})
 	}
 	return resp, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"database/sql"
 	"fmt"
 	"html/template"
 	"net/http"
@@ -105,8 +106,17 @@ func (w *website) queue(rw http.ResponseWriter, r *http.Request) {
 	w.render(rw, pageData{Title: "Job Queue", Tables: []pageTable{t}})
 }
 
+// users renders the accounting report from a read-only snapshot
+// transaction: a full scan of the accounting table that takes no locks,
+// so it can run at any frequency without perturbing the job pipeline.
 func (w *website) users(rw http.ResponseWriter, r *http.Request) {
-	rows, err := w.svc.Pool().Query(
+	tx, err := w.svc.Pool().BeginTx(r.Context(), &sql.TxOptions{ReadOnly: true})
+	if err != nil {
+		http.Error(rw, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer tx.Rollback()
+	rows, err := tx.Query(
 		`SELECT owner, completed_jobs, dropped_jobs, total_runtime_sec FROM accounting ORDER BY owner`)
 	if err != nil {
 		http.Error(rw, err.Error(), http.StatusInternalServerError)

@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestVersionMonitorDifferencesSnapshots(t *testing.T) {
+	start := time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+	m := NewVersionMonitor(start, time.Minute)
+
+	// Baseline: no deltas recorded, levels established.
+	m.Observe(start, VersionSnapshot{
+		CommitTS: 50, OldestSnapshot: 50,
+		SnapshotReads: 100, VersionsCreated: 200, ActiveSnapshots: 1, PendingGC: 4,
+	})
+	if got := m.SnapshotReads().Total(); got != 0 {
+		t.Fatalf("baseline recorded %d snapshot reads, want 0", got)
+	}
+	if got := m.ActiveSnapshots().Value(); got != 1 {
+		t.Fatalf("active level = %v, want 1", got)
+	}
+
+	m.Observe(start.Add(time.Minute), VersionSnapshot{
+		CommitTS: 80, OldestSnapshot: 60,
+		SnapshotReads: 170, VersionsCreated: 260, VersionsPruned: 30,
+		SlotsReclaimed: 5, EntriesRemoved: 15, ActiveSnapshots: 3, PendingGC: 9,
+	})
+	m.Observe(start.Add(2*time.Minute), VersionSnapshot{
+		CommitTS: 90, OldestSnapshot: 90,
+		SnapshotReads: 200, VersionsCreated: 270, VersionsPruned: 40,
+		SlotsReclaimed: 8, EntriesRemoved: 20, ActiveSnapshots: 0, PendingGC: 0,
+	})
+
+	if got := m.SnapshotReads().Total(); got != 100 {
+		t.Fatalf("snapshot reads total = %d, want 100", got)
+	}
+	if got := m.VersionsCreated().Total(); got != 70 {
+		t.Fatalf("versions created total = %d, want 70", got)
+	}
+	if got := m.VersionsPruned().Total(); got != 40 {
+		t.Fatalf("versions pruned total = %d, want 40", got)
+	}
+	if got := m.Reclaimed().Total(); got != 28 {
+		t.Fatalf("reclaimed total = %d, want 28 (slots+entries)", got)
+	}
+
+	// The deltas landed in their own intervals.
+	pts := m.SnapshotReads().PerInterval(start.Add(2 * time.Minute))
+	if len(pts) != 3 || pts[1].Value != 70 || pts[2].Value != 30 {
+		t.Fatalf("per-interval snapshot reads = %v", pts)
+	}
+	if got := m.ActiveSnapshots().SampleAt(start.Add(90 * time.Second)); got != 3 {
+		t.Fatalf("active @1.5min = %v, want 3", got)
+	}
+	if got := m.GCBacklog().Value(); got != 0 {
+		t.Fatalf("final backlog = %v, want 0", got)
+	}
+	if got := m.SnapshotLag(); got != 0 {
+		t.Fatalf("final snapshot lag = %d, want 0", got)
+	}
+}

@@ -103,8 +103,9 @@ type DeleteStmt struct {
 
 // BeginStmt, CommitStmt and RollbackStmt control explicit transactions.
 type (
-	// BeginStmt is BEGIN [TRANSACTION].
-	BeginStmt struct{}
+	// BeginStmt is BEGIN [TRANSACTION] [READ ONLY]. ReadOnly selects a
+	// lock-free snapshot transaction (DB.BeginReadOnly).
+	BeginStmt struct{ ReadOnly bool }
 	// CommitStmt is COMMIT.
 	CommitStmt struct{}
 	// RollbackStmt is ROLLBACK.

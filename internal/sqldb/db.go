@@ -59,12 +59,20 @@ type Options struct {
 	// Now supplies the clock for NOW(); nil means time.Now (live
 	// deployments). Simulations inject the virtual clock.
 	Now func() time.Time
+	// GCBatch caps how many deferred-reclamation records one commit-time
+	// GC sweep processes (0 = default). Larger batches reclaim version
+	// garbage sooner at the cost of longer latched pauses on the
+	// committing transaction's goroutine; Vacuum drains regardless.
+	GCBatch int
 }
 
 // DB is an embedded database engine instance. It is safe for concurrent
-// use; concurrency control is strict two-phase locking at two
+// use. Writing statements use strict two-phase locking at two
 // granularities: row locks (under table intention locks) for index-driven
-// statements, whole-table locks for full scans and DDL.
+// statements, whole-table locks for full scans and DDL. Read-only
+// transactions (and plain Query calls outside a transaction) read a
+// consistent snapshot from the multi-version store without taking any
+// locks.
 type DB struct {
 	mu     sync.Mutex // guards tables map and schema changes
 	tables map[string]*table
@@ -77,6 +85,26 @@ type DB struct {
 	stmts  map[string]*cachedStmt
 	closed atomic.Bool
 	txLive sync.WaitGroup
+
+	// MVCC state. clock is the global commit timestamp generator; commitMu
+	// serializes version stamping with the clock publication so snapshots
+	// never observe a half-stamped transaction. snaps counts active
+	// read-only snapshots per timestamp; watermark caches the oldest one
+	// (== clock when none) and only ever advances.
+	clock     atomic.Uint64
+	commitMu  sync.Mutex
+	snapMu    sync.Mutex
+	snaps     map[uint64]int
+	watermark atomic.Uint64
+	gcMu      sync.Mutex
+	gcQueue   []gcRecord
+	gcBatch   int
+
+	snapshotReads   atomic.Uint64
+	versionsCreated atomic.Uint64
+	versionsPruned  atomic.Uint64
+	slotsReclaimed  atomic.Uint64
+	entriesRemoved  atomic.Uint64
 }
 
 // New creates a pure in-memory database (no durability).
@@ -91,13 +119,18 @@ func New() *DB {
 // Open creates or recovers a database according to opts.
 func Open(opts Options) (*DB, error) {
 	db := &DB{
-		tables: make(map[string]*table),
-		locks:  newLockManager(),
-		nowFn:  opts.Now,
-		stmts:  make(map[string]*cachedStmt),
+		tables:  make(map[string]*table),
+		locks:   newLockManager(),
+		nowFn:   opts.Now,
+		stmts:   make(map[string]*cachedStmt),
+		snaps:   make(map[uint64]int),
+		gcBatch: opts.GCBatch,
 	}
 	if db.nowFn == nil {
 		db.nowFn = time.Now
+	}
+	if db.gcBatch <= 0 {
+		db.gcBatch = 64
 	}
 	if opts.VFS != nil {
 		if opts.Path == "" {
@@ -166,16 +199,25 @@ func (db *DB) emit(s StmtStats) {
 	}
 }
 
-// recover replays committed transactions from the WAL.
+// recover replays committed transactions from the WAL. Each committed
+// transaction is assigned a commit timestamp in commit-record order (the
+// order its locks allowed it to commit in the pre-crash run), so replayed
+// rows carry the same relative stamps a crash-free history would have and
+// the commit clock resumes past them.
 func (db *DB) recover(recs []walRecord) error {
-	committed := make(map[uint64]bool)
+	commitTS := make(map[uint64]uint64)
+	var clock uint64
 	for _, r := range recs {
 		if r.op == walCommit {
-			committed[r.txn] = true
+			if _, seen := commitTS[r.txn]; !seen {
+				clock++
+				commitTS[r.txn] = clock
+			}
 		}
 	}
 	for _, r := range recs {
-		if !committed[r.txn] {
+		ts, committed := commitTS[r.txn]
+		if !committed {
 			continue
 		}
 		switch r.op {
@@ -192,7 +234,7 @@ func (db *DB) recover(recs []walRecord) error {
 			if tbl == nil {
 				return fmt.Errorf("sqldb: recovery: insert into unknown table %s", r.table)
 			}
-			if err := tbl.placeRow(r.rid, r.row); err != nil {
+			if err := tbl.placeRow(r.rid, r.row, ts); err != nil {
 				return fmt.Errorf("sqldb: recovery: %w", err)
 			}
 		case walUpdate:
@@ -200,7 +242,7 @@ func (db *DB) recover(recs []walRecord) error {
 			if tbl == nil {
 				return fmt.Errorf("sqldb: recovery: update of unknown table %s", r.table)
 			}
-			if _, err := tbl.updateRow(r.rid, r.row); err != nil {
+			if err := tbl.replayUpdate(r.rid, r.row, ts); err != nil {
 				return fmt.Errorf("sqldb: recovery: %w", err)
 			}
 		case walDelete:
@@ -208,43 +250,159 @@ func (db *DB) recover(recs []walRecord) error {
 			if tbl == nil {
 				return fmt.Errorf("sqldb: recovery: delete from unknown table %s", r.table)
 			}
-			if _, err := tbl.deleteRow(r.rid); err != nil {
+			if err := tbl.replayDelete(r.rid); err != nil {
 				return fmt.Errorf("sqldb: recovery: %w", err)
 			}
 		}
 	}
+	db.clock.Store(clock)
+	db.watermark.Store(clock)
 	// Rebuild free lists and autoincrement counters.
 	for _, tbl := range db.tables {
-		tbl.free = tbl.free[:0]
-		for rid := int64(0); rid < int64(len(tbl.rows)); rid++ {
-			if tbl.rows[rid] == nil {
-				tbl.free = append(tbl.free, rid)
-			}
-		}
-		for ci := range tbl.schema.Columns {
-			if !tbl.schema.Columns[ci].AutoIncrement {
-				continue
-			}
-			for _, row := range tbl.rows {
-				if row != nil && !row[ci].IsNull() && row[ci].Int64() >= tbl.nextAuto {
-					tbl.nextAuto = row[ci].Int64() + 1
-				}
-			}
-		}
+		tbl.rebuildAfterReplay()
 	}
 	return nil
 }
 
-// Begin starts an explicit transaction.
-func (db *DB) Begin() (*Tx, error) {
+// Begin starts an explicit read-write transaction (2PL reads and writes).
+func (db *DB) Begin() (*Tx, error) { return db.newTx(false) }
+
+// BeginReadOnly starts a read-only transaction: every statement reads the
+// consistent snapshot captured here, no locks are taken, and writes are
+// rejected with ErrReadOnly. This is the transaction mode behind
+// `BEGIN READ ONLY`, driver-level sql.TxOptions{ReadOnly: true}, and
+// plain DB.Query calls.
+func (db *DB) BeginReadOnly() (*Tx, error) { return db.newTx(true) }
+
+func (db *DB) newTx(readOnly bool) (*Tx, error) {
 	if db.closed.Load() {
 		return nil, fmt.Errorf("sqldb: database is closed")
 	}
 	db.txLive.Add(1)
-	return &Tx{db: db, id: db.nextTx.Add(1)}, nil
+	tx := &Tx{db: db, id: db.nextTx.Add(1), readOnly: readOnly}
+	if readOnly {
+		// Snapshot capture and registration are one critical section with
+		// watermark computation, so GC can never sneak past a snapshot that
+		// has read the clock but not yet registered.
+		db.snapMu.Lock()
+		tx.snap = db.clock.Load()
+		db.snaps[tx.snap]++
+		db.snapMu.Unlock()
+	} else {
+		tx.snap = db.clock.Load()
+	}
+	return tx, nil
 }
 
-func (db *DB) finishTx(tx *Tx) { db.txLive.Done() }
+func (db *DB) finishTx(tx *Tx) {
+	if tx.readOnly {
+		db.snapMu.Lock()
+		if n := db.snaps[tx.snap]; n <= 1 {
+			delete(db.snaps, tx.snap)
+		} else {
+			db.snaps[tx.snap] = n - 1
+		}
+		db.snapMu.Unlock()
+	}
+	db.txLive.Done()
+}
+
+// advanceWatermark recomputes the oldest-active-snapshot watermark: the
+// smallest registered snapshot timestamp, or the commit clock when no
+// read-only transaction is live. The watermark is monotone.
+func (db *DB) advanceWatermark() uint64 {
+	db.snapMu.Lock()
+	wm := db.clock.Load()
+	for s, n := range db.snaps {
+		if n > 0 && s < wm {
+			wm = s
+		}
+	}
+	if wm > db.watermark.Load() {
+		db.watermark.Store(wm)
+	}
+	db.snapMu.Unlock()
+	return db.watermark.Load()
+}
+
+// maybeGC runs one bounded reclamation sweep (commit-time piggyback).
+func (db *DB) maybeGC() { db.runGC(db.gcBatch) }
+
+// runGC drains up to budget deferred-reclamation records whose
+// superseding commit has passed below the watermark (budget <= 0 means
+// all due records). Records are popped in commit order; processing is
+// claim-checked, so concurrent sweeps are safe. Returns the number of
+// records processed.
+func (db *DB) runGC(budget int) int {
+	wm := db.advanceWatermark()
+	db.gcMu.Lock()
+	n := 0
+	for n < len(db.gcQueue) && (budget <= 0 || n < budget) && db.gcQueue[n].ts <= wm {
+		n++
+	}
+	recs := make([]gcRecord, n)
+	copy(recs, db.gcQueue[:n])
+	db.gcQueue = db.gcQueue[:copy(db.gcQueue, db.gcQueue[n:])]
+	db.gcMu.Unlock()
+	for i := range recs {
+		db.mu.Lock()
+		tbl := db.tables[recs[i].table]
+		db.mu.Unlock()
+		if tbl == nil {
+			continue
+		}
+		pruned, removed, freed := tbl.gcProcess(&recs[i], wm)
+		db.versionsPruned.Add(pruned)
+		db.entriesRemoved.Add(removed)
+		db.slotsReclaimed.Add(freed)
+	}
+	return len(recs)
+}
+
+// Vacuum drains the entire due reclamation queue, returning the number of
+// records processed. Old versions pinned by a still-active snapshot stay
+// queued.
+func (db *DB) Vacuum() int {
+	total := 0
+	for {
+		n := db.runGC(0)
+		total += n
+		if n == 0 {
+			return total
+		}
+	}
+}
+
+// VersionStats snapshots the MVCC machinery's counters: the commit clock,
+// the oldest active snapshot (the GC watermark), snapshot-read and
+// version-churn counts, and the reclamation backlog. The metrics layer
+// polls this to chart snapshot traffic alongside lock contention.
+func (db *DB) VersionStats() VersionStats {
+	db.snapMu.Lock()
+	active := int64(0)
+	oldest := db.clock.Load()
+	for s, n := range db.snaps {
+		active += int64(n)
+		if s < oldest {
+			oldest = s
+		}
+	}
+	db.snapMu.Unlock()
+	db.gcMu.Lock()
+	pending := int64(len(db.gcQueue))
+	db.gcMu.Unlock()
+	return VersionStats{
+		CommitTS:        db.clock.Load(),
+		OldestSnapshot:  oldest,
+		ActiveSnapshots: active,
+		SnapshotReads:   db.snapshotReads.Load(),
+		VersionsCreated: db.versionsCreated.Load(),
+		VersionsPruned:  db.versionsPruned.Load(),
+		SlotsReclaimed:  db.slotsReclaimed.Load(),
+		EntriesRemoved:  db.entriesRemoved.Load(),
+		PendingGC:       pending,
+	}
+}
 
 // stmtCacheMax bounds the statement cache; stmtCacheEvict is how many
 // entries one overflow sweep reclaims.
@@ -352,9 +510,11 @@ func (db *DB) Exec(sql string, args ...any) (Result, error) {
 	return res, tx.Commit()
 }
 
-// Query runs a SELECT in autocommit mode.
+// Query runs a SELECT in autocommit mode. The statement reads a snapshot:
+// it takes no locks, never blocks behind writers, and never makes a
+// writer wait.
 func (db *DB) Query(sql string, args ...any) (*Rows, error) {
-	tx, err := db.Begin()
+	tx, err := db.BeginReadOnly()
 	if err != nil {
 		return nil, err
 	}
@@ -462,6 +622,9 @@ func (tx *Tx) execStmt(stmt Statement, params []Value) (Result, *Rows, error) {
 		res, err := tx.execDelete(s, params)
 		return res, nil, err
 	case *CreateTableStmt, *CreateIndexStmt, *DropTableStmt, *DropIndexStmt:
+		if tx.readOnly {
+			return Result{}, nil, ErrReadOnly
+		}
 		if !tx.implicit {
 			return Result{}, nil, fmt.Errorf("sqldb: DDL is not allowed inside an explicit transaction")
 		}
@@ -474,7 +637,7 @@ func (tx *Tx) execStmt(stmt Statement, params []Value) (Result, *Rows, error) {
 		tx.db.emit(StmtStats{Kind: "DDL"})
 		return Result{}, nil, err
 	case *BeginStmt, *CommitStmt, *RollbackStmt:
-		return Result{}, nil, fmt.Errorf("sqldb: transaction control statements are managed through Begin/Commit/Rollback")
+		return Result{}, nil, fmt.Errorf("sqldb: transaction control runs at the session layer (DB.Begin/BeginReadOnly and Tx.Commit/Rollback; the driver and the cj2sql shell accept BEGIN [READ ONLY]/COMMIT/ROLLBACK)")
 	default:
 		return Result{}, nil, fmt.Errorf("sqldb: unsupported statement %T", stmt)
 	}
@@ -507,7 +670,10 @@ func (db *DB) applyDDL(stmt Statement, tx *Tx) error {
 		if tbl.findIndex(s.Index.Name) != nil && s.IfNotExists {
 			return nil
 		}
-		if err := tbl.addIndexLocked(s.Index); err != nil {
+		// Stamp the index with the current commit clock: snapshots older
+		// than the build must not plan through it (it indexes only the
+		// newest committed versions).
+		if err := tbl.addIndexLocked(s.Index, db.clock.Load()); err != nil {
 			return err
 		}
 		if tx != nil {
@@ -628,7 +794,7 @@ func (db *DB) Checkpoint() error {
 		if tbl == nil {
 			continue
 		}
-		tbl.scan(func(rid int64, row []Value) bool {
+		tbl.scanLatest(0, func(rid int64, row []Value) bool {
 			appendRecord(&buf, &walRecord{op: walInsert, txn: 0, table: n, rid: rid, row: row})
 			return true
 		})

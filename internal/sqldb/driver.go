@@ -106,12 +106,21 @@ func (c *conn) Close() error {
 func (c *conn) Begin() (driver.Tx, error) { return c.BeginTx(context.Background(), driver.TxOptions{}) }
 
 // BeginTx implements driver.ConnBeginTx. Isolation options are accepted
-// but the engine always provides serializable isolation (strict 2PL).
+// but the engine provides serializable isolation (strict 2PL) for
+// read-write transactions; sql.TxOptions{ReadOnly: true} starts a
+// lock-free snapshot transaction instead (snapshot isolation: repeatable
+// reads, no dirty or phantom reads, writes rejected).
 func (c *conn) BeginTx(ctx context.Context, opts driver.TxOptions) (driver.Tx, error) {
 	if c.tx != nil {
 		return nil, fmt.Errorf("sqldb: connection already has an open transaction")
 	}
-	tx, err := c.db.Begin()
+	var tx *Tx
+	var err error
+	if opts.ReadOnly {
+		tx, err = c.db.BeginReadOnly()
+	} else {
+		tx, err = c.db.Begin()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -123,12 +132,57 @@ func (c *conn) BeginTx(ctx context.Context, opts driver.TxOptions) (driver.Tx, e
 func (c *conn) IsValid() bool { return !c.db.closed.Load() }
 
 // run executes a statement on the connection's transaction, or in
-// autocommit mode when none is open.
+// autocommit mode when none is open. Autocommit SELECT/EXPLAIN runs as a
+// lock-free snapshot read, matching DB.Query. Transaction-control
+// statements (BEGIN [READ ONLY] / COMMIT / ROLLBACK) manage the
+// connection's transaction, so SQL-level `BEGIN READ ONLY` opens the same
+// snapshot transaction sql.TxOptions{ReadOnly: true} does — note that
+// statement-level transactions bind to one connection (use sql.Conn or
+// sql.Tx, not a pooled sql.DB, to keep subsequent statements on it).
 func (c *conn) run(ast Statement, params []Value) (Result, *Rows, error) {
+	switch s := ast.(type) {
+	case *BeginStmt:
+		if c.tx != nil {
+			return Result{}, nil, fmt.Errorf("sqldb: connection already has an open transaction")
+		}
+		var tx *Tx
+		var err error
+		if s.ReadOnly {
+			tx, err = c.db.BeginReadOnly()
+		} else {
+			tx, err = c.db.Begin()
+		}
+		if err != nil {
+			return Result{}, nil, err
+		}
+		c.tx = tx
+		return Result{}, nil, nil
+	case *CommitStmt:
+		if c.tx == nil {
+			return Result{}, nil, fmt.Errorf("sqldb: COMMIT with no open transaction")
+		}
+		err := c.tx.Commit()
+		c.tx = nil
+		return Result{}, nil, err
+	case *RollbackStmt:
+		if c.tx == nil {
+			return Result{}, nil, fmt.Errorf("sqldb: ROLLBACK with no open transaction")
+		}
+		err := c.tx.Rollback()
+		c.tx = nil
+		return Result{}, nil, err
+	}
 	if c.tx != nil {
 		return c.tx.execStmt(ast, params)
 	}
-	tx, err := c.db.Begin()
+	var tx *Tx
+	var err error
+	switch ast.(type) {
+	case *SelectStmt, *ExplainStmt:
+		tx, err = c.db.BeginReadOnly()
+	default:
+		tx, err = c.db.Begin()
+	}
 	if err != nil {
 		return Result{}, nil, err
 	}

@@ -55,6 +55,11 @@ type query struct {
 	// access path: S for SELECT, X for UPDATE/DELETE targets. Full scans
 	// rely on the table-granularity lock instead and take no row locks.
 	rowLock lockMode
+	// snapRead marks a snapshot read: rows visible at snapTS are read from
+	// the version store and the lock manager is never consulted (no table
+	// IS/S locks, no row S locks, no key predicate locks).
+	snapRead bool
+	snapTS   uint64
 	// orderable marks a single-table, non-aggregated, non-DISTINCT SELECT
 	// whose ORDER BY the access path may (partially) provide.
 	orderable bool
@@ -75,7 +80,11 @@ func (tx *Tx) execSelect(s *SelectStmt, params []Value) (*Rows, error) {
 	stats := StmtStats{Kind: "SELECT"}
 	defer func() { tx.db.emit(stats) }()
 
-	q := &query{tx: tx, stmt: s, params: params, stats: &stats, rowLock: lockShared}
+	q := &query{tx: tx, stmt: s, params: params, stats: &stats, rowLock: lockShared,
+		snapRead: tx.readOnly, snapTS: tx.snap}
+	if q.snapRead {
+		tx.db.snapshotReads.Add(1)
+	}
 	if len(s.From) > 0 {
 		stats.Table = s.From[0].Table
 		for _, ref := range s.From {
@@ -99,7 +108,8 @@ func (tx *Tx) execSelect(s *SelectStmt, params []Value) (*Rows, error) {
 	// Lock after planning: an index access path only needs intention-shared
 	// on the table (row S locks are taken per visited row), while a full
 	// scan keeps the whole-table shared lock for phantom-free reads.
-	if len(q.bindings) > 0 {
+	// Snapshot reads take nothing at all — visibility is by timestamp.
+	if len(q.bindings) > 0 && !q.snapRead {
 		want := make(map[string]lockMode, len(q.bindings))
 		for i, b := range q.bindings {
 			name := strings.ToLower(b.tbl.schema.Name)
@@ -372,6 +382,12 @@ func (q *query) chooseAccess(i int, usable []Expr) accessPlan {
 	copy(indexes, tbl.indexes)
 	tbl.latch.RUnlock()
 	for _, ix := range indexes {
+		// A snapshot older than an index predates its backfill (which saw
+		// only the then-newest committed versions); such a scan could miss
+		// rows whose visible version carries a since-vacated key.
+		if q.snapRead && ix.createdTS > q.snapTS {
+			continue
+		}
 		var plan accessPlan
 		plan.index = ix
 		for _, col := range ix.cols {
@@ -507,14 +523,19 @@ func (q *query) scanAccess(i int, visit func(rid int64, row []Value) error) erro
 	tbl := q.bindings[i].tbl
 	if ap.index == nil {
 		var err error
-		tbl.scan(func(rid int64, row []Value) bool {
+		visitor := func(rid int64, row []Value) bool {
 			q.stats.RowsScanned++
 			if e := visit(rid, row); e != nil {
 				err = e
 				return false
 			}
 			return true
-		})
+		}
+		if q.snapRead {
+			tbl.scanSnapshot(q.snapTS, visitor)
+		} else {
+			tbl.scanLatest(q.tx.id, visitor)
+		}
 		return err
 	}
 	prefix := make(Key, len(ap.eqExprs))
@@ -573,8 +594,9 @@ func (q *query) scanAccess(i int, visit func(rid int64, row []Value) error) erro
 	// guard: a transaction that read key K — present or absent — blocks
 	// writers of K until it commits, closing the check-then-act phantom for
 	// the engine's hottest access pattern. Broader range scans remain
-	// record-locked only (no next-key locking).
-	if ap.index.schema.Unique && len(ap.eqExprs) == len(ap.index.cols) {
+	// record-locked only (no next-key locking). Snapshot reads need no
+	// guard: they re-read the same timestamp no matter who writes.
+	if !q.snapRead && ap.index.schema.Unique && len(ap.eqExprs) == len(ap.index.cols) {
 		kt := keyLockTarget(tbl.schema.Name, ap.index.schema.Name, prefix)
 		if err := q.tx.db.locks.acquire(q.tx, kt, q.rowLock); err != nil {
 			return err
@@ -618,6 +640,7 @@ func (q *query) scanAccess(i int, visit func(rid int64, row []Value) error) erro
 	}
 	for {
 		var rids []int64
+		var keys []Key
 		var lastKey Key
 		exhausted := true
 		collect := func(k Key, rid int64) bool {
@@ -659,6 +682,7 @@ func (q *query) scanAccess(i int, visit func(rid int64, row []Value) error) erro
 			}
 			q.stats.RowsScanned++
 			rids = append(rids, rid)
+			keys = append(keys, k) // node keys are immutable: safe to hold
 			lastKey = append(lastKey[:0], k...)
 			if len(rids) >= scanBatch {
 				exhausted = false
@@ -676,17 +700,29 @@ func (q *query) scanAccess(i int, visit func(rid int64, row []Value) error) erro
 			ap.index.tree.scanReverseLE(revStart, collect)
 		}
 		tbl.latch.RUnlock()
-		for _, rid := range rids {
-			if err := q.tx.lockRow(tableName, rid, q.rowLock); err != nil {
-				return err
+		for bi, rid := range rids {
+			var row []Value
+			if q.snapRead {
+				row = tbl.visibleRow(rid, q.snapTS)
+			} else {
+				if err := q.tx.lockRow(tableName, rid, q.rowLock); err != nil {
+					return err
+				}
+				// Re-fetch after the lock grant: the row may have been
+				// superseded, tombstoned, or its slot reclaimed by a writer
+				// that committed before our lock was granted.
+				row = tbl.currentRow(rid, q.tx.id)
 			}
-			// Re-fetch under the latch: the row may have been deleted (or
-			// its slot recycled) by a writer that committed before our lock
-			// was granted. Predicate conjuncts are re-evaluated by the
-			// caller, so a recycled slot holding a non-matching row is
-			// filtered out.
-			row := tbl.getRow(rid)
 			if row == nil {
+				continue
+			}
+			// Index entries outlive the versions that created them (GC
+			// reclaims them against the snapshot watermark), so a row can be
+			// reachable through entries for keys it no longer — or, at this
+			// snapshot, does not yet — hold. Each row is accepted only
+			// through its own entry, which both deduplicates and keeps
+			// ordered scans emitting it at the right key position.
+			if !ap.index.entryMatches(keys[bi], row, rid) {
 				continue
 			}
 			if err := visit(rid, row); err != nil {
@@ -1249,6 +1285,9 @@ func (q *query) applyLimit(data [][]Value) ([][]Value, error) {
 // --- INSERT / UPDATE / DELETE ---
 
 func (tx *Tx) execInsert(s *InsertStmt, params []Value) (Result, error) {
+	if tx.readOnly {
+		return Result{}, ErrReadOnly
+	}
 	stats := StmtStats{Kind: "INSERT", Table: s.Table}
 	defer func() { tx.db.emit(stats) }()
 	// Inserts touch only their own fresh rows: intention-exclusive on the
@@ -1369,6 +1408,9 @@ func (q *query) matchTarget(tbl *table) ([]int64, error) {
 }
 
 func (tx *Tx) execUpdate(s *UpdateStmt, params []Value) (Result, error) {
+	if tx.readOnly {
+		return Result{}, ErrReadOnly
+	}
 	stats := StmtStats{Kind: "UPDATE", Table: s.Table}
 	defer func() { tx.db.emit(stats) }()
 	q, tbl, err := tx.planTarget(s.Table, s.Where, params, &stats)
@@ -1392,7 +1434,7 @@ func (tx *Tx) execUpdate(s *UpdateStmt, params []Value) (Result, error) {
 	}
 	var res Result
 	for _, rid := range rids {
-		old := tbl.getRow(rid)
+		old := tbl.currentRow(rid, tx.id)
 		if old == nil {
 			continue
 		}
@@ -1425,6 +1467,9 @@ func (tx *Tx) execUpdate(s *UpdateStmt, params []Value) (Result, error) {
 }
 
 func (tx *Tx) execDelete(s *DeleteStmt, params []Value) (Result, error) {
+	if tx.readOnly {
+		return Result{}, ErrReadOnly
+	}
 	stats := StmtStats{Kind: "DELETE", Table: s.Table}
 	defer func() { tx.db.emit(stats) }()
 	q, tbl, err := tx.planTarget(s.Table, s.Where, params, &stats)

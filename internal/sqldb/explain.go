@@ -27,12 +27,21 @@ func (tx *Tx) execExplain(s *ExplainStmt, params []Value) (*Rows, error) {
 		return nil, fmt.Errorf("sqldb: EXPLAIN supports SELECT, UPDATE and DELETE")
 	}
 	stats := StmtStats{Kind: "EXPLAIN"}
-	q := &query{tx: tx, stmt: sel, params: params, stats: &stats}
+	// A SELECT explained from a read-only transaction will execute as a
+	// snapshot read; plan it the same way so the rendered plan (including
+	// the snapshot-age index guard) is the one that would actually run.
+	// UPDATE/DELETE targets always read locked.
+	_, isSelect := s.Stmt.(*SelectStmt)
+	snap := tx.readOnly && isSelect
+	q := &query{tx: tx, stmt: sel, params: params, stats: &stats, snapRead: snap, snapTS: tx.snap}
 	for _, ref := range sel.From {
 		// EXPLAIN reads only the catalog and plan, never rows: intention-
-		// shared keeps it from blocking behind row-level writers.
-		if err := tx.lock(strings.ToLower(ref.Table), lockIntentShared); err != nil {
-			return nil, err
+		// shared keeps it from blocking behind row-level writers, and a
+		// read-only transaction takes nothing at all.
+		if !tx.readOnly {
+			if err := tx.lock(strings.ToLower(ref.Table), lockIntentShared); err != nil {
+				return nil, err
+			}
 		}
 		tbl, err := tx.db.lookupTable(ref.Table)
 		if err != nil {
@@ -48,11 +57,20 @@ func (tx *Tx) execExplain(s *ExplainStmt, params []Value) (*Rows, error) {
 	if err := q.plan(); err != nil {
 		return nil, err
 	}
-	rows := &Rows{Columns: []string{"table", "access"}}
+	// The read column renders the concurrency mode per table: SNAPSHOT
+	// READ never touches the lock manager; LOCKED READ takes the 2PL
+	// shared locks the access path calls for. Plan tests assert monitoring
+	// queries really are lock-free through this column.
+	readMode := "LOCKED READ"
+	if snap {
+		readMode = "SNAPSHOT READ"
+	}
+	rows := &Rows{Columns: []string{"table", "access", "read"}}
 	for i, b := range q.bindings {
 		rows.Data = append(rows.Data, []Value{
 			NewText(b.tbl.schema.Name),
 			NewText(describeAccess(q.access[i], b.tbl)),
+			NewText(readMode),
 		})
 	}
 	return rows, nil

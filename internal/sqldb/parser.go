@@ -120,6 +120,12 @@ func (p *parser) parseStatement() (Statement, error) {
 	case p.atKeyword("begin"):
 		p.advance()
 		p.accept(tkIdent, "transaction")
+		if p.accept(tkIdent, "read") {
+			if !p.accept(tkIdent, "only") {
+				return nil, p.errf("expected ONLY after BEGIN ... READ")
+			}
+			return &BeginStmt{ReadOnly: true}, nil
+		}
 		return &BeginStmt{}, nil
 	case p.atKeyword("commit"):
 		p.advance()

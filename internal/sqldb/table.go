@@ -4,28 +4,34 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // table is the in-memory heap storage for one table plus its indexes.
-// Row ids are slot positions in the rows slice; deleted slots are nil and
-// recycled through a free list, which keeps scan order deterministic (slot
-// order) — important for reproducible simulations.
+// Row ids are slot positions in the rows slice; each slot holds a version
+// chain (see version.go). Emptied slots are recycled through a free list
+// once GC proves no snapshot can still see them, which keeps scan order
+// deterministic (slot order) — important for reproducible simulations.
 //
-// Logical isolation is provided by the engine's two-phase locking protocol
-// (row locks under table intention locks). Because transactions holding
-// only intention locks mutate disjoint rows of the same table concurrently,
-// the physical structures — the rows slice, free list, autoincrement
-// counter, and index trees — are additionally protected by a short-held
-// latch. The latch is never held while blocking on a lock-manager lock
-// (that would deadlock invisibly to the waits-for graph); full table scans
-// under an S or X table lock need no latch since any mutator would hold a
-// conflicting IX or X.
+// Logical isolation is provided by the engine's two-phase locking
+// protocol for writers and by snapshot visibility for read-only
+// transactions. Because transactions holding only intention locks mutate
+// disjoint rows of the same table concurrently — and snapshot readers
+// take no lock-manager locks at all — the physical structures (the rows
+// slice, free list, autoincrement counter, and index trees) are
+// additionally protected by a short-held latch. Slot heads, version
+// stamps, and chain links are atomic, so the hot paths (version push on
+// update/delete, chain walks on read) need only the shared latch; the
+// exclusive latch guards structural changes: slice growth, index-entry
+// mutation, and index builds. The latch is never held while blocking on a
+// lock-manager lock (that would deadlock invisibly to the waits-for
+// graph).
 type table struct {
 	schema   TableSchema
 	latch    sync.RWMutex
-	rows     [][]Value
+	rows     []*rowSlot
 	free     []int64
-	liveRows int
+	liveRows atomic.Int64
 	nextAuto int64
 	indexes  []*index
 }
@@ -35,6 +41,13 @@ type index struct {
 	schema IndexSchema
 	cols   []int // column positions in key order
 	tree   *ordIndex
+	// createdTS is the commit clock when the index was built. A snapshot
+	// older than the index must not use it: the build indexed each row's
+	// reachable head (down through its newest committed version), so keys
+	// held only by older, shadowed versions are absent. (Everything a
+	// snapshot at or after createdTS can see IS present: shadowed versions
+	// are invisible to such snapshots.)
+	createdTS uint64
 }
 
 func newTable(schema TableSchema) *table {
@@ -45,7 +58,7 @@ func newTable(schema TableSchema) *table {
 			Table:   schema.Name,
 			Columns: colNames(schema, schema.PKCols),
 			Unique:  true,
-		})
+		}, 0)
 	}
 	for i, u := range schema.Uniques {
 		t.addIndexLocked(IndexSchema{
@@ -53,7 +66,7 @@ func newTable(schema TableSchema) *table {
 			Table:   schema.Name,
 			Columns: colNames(schema, u),
 			Unique:  true,
-		})
+		}, 0)
 	}
 	return t
 }
@@ -66,7 +79,10 @@ func colNames(s TableSchema, idxs []int) []string {
 	return names
 }
 
-func (t *table) addIndexLocked(is IndexSchema) error {
+// addIndexLocked builds an index over every row's reachable versions.
+// asOf is the commit clock at build time, recorded so snapshots older
+// than the build never plan through the new index.
+func (t *table) addIndexLocked(is IndexSchema, asOf uint64) error {
 	t.latch.Lock()
 	defer t.latch.Unlock()
 	for _, ix := range t.indexes {
@@ -82,14 +98,27 @@ func (t *table) addIndexLocked(is IndexSchema) error {
 		}
 		cols[i] = ci
 	}
-	ix := &index{schema: is, cols: cols, tree: newOrdIndex()}
-	// Backfill from existing rows.
-	for rid, row := range t.rows {
-		if row == nil {
-			continue
-		}
-		if err := ix.insert(row, int64(rid)); err != nil {
-			return err
+	ix := &index{schema: is, cols: cols, tree: newOrdIndex(), createdTS: asOf}
+	// Backfill. A slot's reachable future states are its newest version
+	// (possibly an in-flight writer's, kept if that writer commits) and
+	// its newest committed version (restored if the writer rolls back):
+	// index both. Deeper versions are reachable only by snapshots older
+	// than the index, which the createdTS planner guard keeps away.
+	for rid, slot := range t.rows {
+		checkedLive := false
+		for v := slot.head.Load(); v != nil; v = v.prev.Load() {
+			if v.data != nil {
+				if !checkedLive {
+					if err := t.checkUnique(ix, v.data, int64(rid)); err != nil {
+						return err
+					}
+					checkedLive = true
+				}
+				ix.tree.insert(ix.entryKey(v.data, int64(rid)), int64(rid))
+			}
+			if v.begin.Load() != 0 {
+				break // newest committed version reached
+			}
 		}
 	}
 	t.indexes = append(t.indexes, ix)
@@ -117,11 +146,25 @@ func (t *table) findIndex(name string) *index {
 	return nil
 }
 
-// key builds the index key for a row, appending the rowid tiebreaker for
-// non-unique indexes and for unique keys containing NULL (SQL allows
-// multiple NULLs under a unique constraint).
-func (ix *index) key(row []Value, rid int64) (k Key, enforceUnique bool) {
-	k = make(Key, 0, len(ix.cols)+1)
+// entryKey builds the physical index key for a row: the indexed columns
+// followed by the rowid tiebreaker. Every index — unique ones included —
+// carries the tiebreaker, because under multi-versioning two rids may
+// legitimately hold entries for the same logical key at once (a
+// committed-deleted row awaiting GC and its replacement). Uniqueness is
+// enforced against live versions by checkUnique, not by key collision.
+func (ix *index) entryKey(row []Value, rid int64) Key {
+	k := make(Key, 0, len(ix.cols)+1)
+	for _, c := range ix.cols {
+		k = append(k, row[c])
+	}
+	return append(k, NewInt(rid))
+}
+
+// logicalKey builds the column-only key and reports whether the unique
+// constraint applies to it (SQL allows multiple NULLs under a unique
+// constraint, so NULL-bearing keys enforce nothing).
+func (ix *index) logicalKey(row []Value) (k Key, enforceUnique bool) {
+	k = make(Key, 0, len(ix.cols))
 	hasNull := false
 	for _, c := range ix.cols {
 		v := row[c]
@@ -130,34 +173,14 @@ func (ix *index) key(row []Value, rid int64) (k Key, enforceUnique bool) {
 		}
 		k = append(k, v)
 	}
-	if ix.schema.Unique && !hasNull {
-		return k, true
-	}
-	return append(k, NewInt(rid)), false
-}
-
-func (ix *index) insert(row []Value, rid int64) error {
-	k, enforce := ix.key(row, rid)
-	if !ix.tree.insert(k, rid) && enforce {
-		return &UniqueViolationError{Index: ix.schema.Name, Key: k}
-	}
-	if !enforce {
-		return nil
-	}
-	return nil
-}
-
-func (ix *index) remove(row []Value, rid int64) {
-	k, _ := ix.key(row, rid)
-	ix.tree.delete(k)
+	return k, ix.schema.Unique && !hasNull
 }
 
 // keyLockTarget names the lock-manager resource guarding one unique key
-// value of one index. Index entries for deletes and key-changing updates
-// are unpublished before commit, so the entry itself cannot serialize
-// writers of the same key; these logical key locks do. The key is hashed —
-// collisions only over-block (a spurious wait or deadlock retry), never
-// under-block.
+// value of one index. Index entries outlive their versions under MVCC, so
+// the entry itself cannot serialize writers of the same key; these
+// logical key locks do. The key is hashed — collisions only over-block (a
+// spurious wait or deadlock retry), never under-block.
 func keyLockTarget(tblName, ixName string, k Key) lockTarget {
 	var buf bytes.Buffer
 	for _, v := range k {
@@ -174,17 +197,13 @@ func keyLockTarget(tblName, ixName string, k Key) lockTarget {
 }
 
 // uniqueKeyTargets returns the key-lock resources for every enforced
-// unique key value the row occupies (NULL-bearing unique keys enforce
-// nothing and need no guard).
+// unique key value the row occupies.
 func (t *table) uniqueKeyTargets(row []Value) []lockTarget {
 	t.latch.RLock()
 	defer t.latch.RUnlock()
 	var targets []lockTarget
 	for _, ix := range t.indexes {
-		if !ix.schema.Unique {
-			continue
-		}
-		k, enforce := ix.key(row, 0)
+		k, enforce := ix.logicalKey(row)
 		if !enforce {
 			continue
 		}
@@ -200,11 +219,8 @@ func (t *table) changedUniqueKeyTargets(old, newRow []Value) []lockTarget {
 	defer t.latch.RUnlock()
 	var targets []lockTarget
 	for _, ix := range t.indexes {
-		if !ix.schema.Unique {
-			continue
-		}
-		ko, eo := ix.key(old, 0)
-		kn, en := ix.key(newRow, 0)
+		ko, eo := ix.logicalKey(old)
+		kn, en := ix.logicalKey(newRow)
 		if eo && en && compareKeys(ko, kn) == 0 {
 			continue
 		}
@@ -228,9 +244,40 @@ func (e *UniqueViolationError) Error() string {
 	return fmt.Sprintf("sqldb: unique constraint violated on index %s", e.Index)
 }
 
+// checkUnique reports a violation when another rid's newest version
+// claims row's logical key under ix. The caller holds the latch and —
+// on the write path — the key's X lock, which excludes uncommitted
+// versions of this key by other transactions; an uncommitted claimant is
+// therefore this transaction's own earlier insert, a genuine duplicate.
+func (t *table) checkUnique(ix *index, row []Value, rid int64) error {
+	lk, enforce := ix.logicalKey(row)
+	if !enforce {
+		return nil
+	}
+	var conflict bool
+	ix.tree.scanPrefix(lk, func(k Key, rid2 int64) bool {
+		if rid2 == rid || len(k) != len(lk)+1 {
+			return true
+		}
+		head := t.rows[rid2].head.Load()
+		if head == nil || head.data == nil {
+			return true // reclaimed slot or tombstoned row: key is free
+		}
+		if k2, ok := ix.logicalKey(head.data); ok && compareKeys(k2, lk) == 0 {
+			conflict = true
+			return false
+		}
+		return true // newest version moved to a different key
+	})
+	if conflict {
+		return &UniqueViolationError{Index: ix.schema.Name, Key: lk}
+	}
+	return nil
+}
+
 // allocSlot reserves a heap slot (recycled or fresh) without publishing a
-// row into it, so the caller can X-lock the rid before it becomes visible
-// to concurrent index scans. Balance with insertAt or releaseSlot.
+// version into it, so the caller can X-lock the rid before it becomes
+// visible to concurrent index scans. Balance with insertAt or releaseSlot.
 func (t *table) allocSlot() int64 {
 	t.latch.Lock()
 	defer t.latch.Unlock()
@@ -239,7 +286,7 @@ func (t *table) allocSlot() int64 {
 		t.free = t.free[:n-1]
 		return rid
 	}
-	t.rows = append(t.rows, nil)
+	t.rows = append(t.rows, &rowSlot{})
 	return int64(len(t.rows) - 1)
 }
 
@@ -250,29 +297,30 @@ func (t *table) releaseSlot(rid int64) {
 	t.free = append(t.free, rid)
 }
 
-// insertAt publishes a row into a slot reserved by allocSlot, maintaining
-// all indexes. The row must already be validated and coerced to the schema.
-func (t *table) insertAt(rid int64, row []Value) error {
+// insertAt publishes a fresh row version into a slot reserved by
+// allocSlot, maintaining all indexes. The row must already be validated
+// and coerced to the schema. The returned version is stamped by the
+// transaction at commit.
+func (t *table) insertAt(rid int64, row []Value, txn uint64) (*rowVersion, error) {
 	t.latch.Lock()
 	defer t.latch.Unlock()
-	for i, ix := range t.indexes {
-		if err := ix.insert(row, rid); err != nil {
-			// Roll back index entries added so far; the caller releases the
-			// still-unpublished slot.
-			for _, prev := range t.indexes[:i] {
-				prev.remove(row, rid)
-			}
-			return err
+	for _, ix := range t.indexes {
+		if err := t.checkUnique(ix, row, rid); err != nil {
+			return nil, err
 		}
 	}
-	t.rows[rid] = row
-	t.liveRows++
-	return nil
+	v := &rowVersion{data: row, txn: txn}
+	for _, ix := range t.indexes {
+		ix.tree.insert(ix.entryKey(row, rid), rid)
+	}
+	t.rows[rid].head.Store(v)
+	t.liveRows.Add(1)
+	return v, nil
 }
 
-// getRow fetches the row at rid under the latch (index-scan row fetch: the
-// slice header may be growing concurrently under another txn's insert).
-func (t *table) getRow(rid int64) []Value {
+// slot fetches a heap slot under the shared latch (the slice header may
+// be growing concurrently under another transaction's insert).
+func (t *table) slot(rid int64) *rowSlot {
 	t.latch.RLock()
 	defer t.latch.RUnlock()
 	if rid < 0 || rid >= int64(len(t.rows)) {
@@ -281,105 +329,100 @@ func (t *table) getRow(rid int64) []Value {
 	return t.rows[rid]
 }
 
-// placeRow stores a row at a specific row id (WAL replay only).
-func (t *table) placeRow(rid int64, row []Value) error {
-	t.latch.Lock()
-	defer t.latch.Unlock()
-	for int64(len(t.rows)) <= rid {
-		t.rows = append(t.rows, nil)
+// currentRow is the 2PL read of a row: the transaction's own uncommitted
+// version if any, else the newest committed one; nil when absent.
+func (t *table) currentRow(rid int64, txn uint64) []Value {
+	s := t.slot(rid)
+	if s == nil {
+		return nil
 	}
-	if t.rows[rid] != nil {
-		return fmt.Errorf("sqldb: replay: slot %d of %s occupied", rid, t.schema.Name)
-	}
-	t.rows[rid] = row
-	t.liveRows++
-	for _, ix := range t.indexes {
-		if err := ix.insert(row, rid); err != nil {
-			return err
-		}
-	}
-	return nil
+	return s.currentFor(txn)
 }
 
-// deleteRow removes the row at rid and returns the old row. The slot is
-// NOT returned to the free list here: the deleting transaction still holds
-// the row's X lock, and recycling the rid before it commits would let a
-// concurrent insert claim a slot that a rollback may need to restore. The
-// caller frees the slot at commit (tx.Commit → freeSlot).
-func (t *table) deleteRow(rid int64) ([]Value, error) {
-	t.latch.Lock()
-	defer t.latch.Unlock()
-	if rid < 0 || rid >= int64(len(t.rows)) || t.rows[rid] == nil {
-		return nil, fmt.Errorf("sqldb: delete: no row %d in %s", rid, t.schema.Name)
+// visibleRow is the snapshot read of a row as of commit timestamp ts.
+func (t *table) visibleRow(rid int64, ts uint64) []Value {
+	s := t.slot(rid)
+	if s == nil {
+		return nil
 	}
-	row := t.rows[rid]
-	for _, ix := range t.indexes {
-		ix.remove(row, rid)
-	}
-	t.rows[rid] = nil
-	t.liveRows--
-	return row, nil
+	return s.visibleAt(ts)
 }
 
-// freeSlot returns a vacated slot to the free list (commit-time for
-// deletes, rollback-time for undone inserts).
-func (t *table) freeSlot(rid int64) {
-	t.latch.Lock()
-	defer t.latch.Unlock()
-	if rid >= 0 && rid < int64(len(t.rows)) && t.rows[rid] == nil {
-		t.free = append(t.free, rid)
-	}
+// entryMatches reports whether k is row's own entry under ix — the guard
+// that keeps a row from surfacing through a stale index entry left behind
+// by a superseded version (each row is emitted exactly once, at its own
+// key's position in the scan).
+func (ix *index) entryMatches(k Key, row []Value, rid int64) bool {
+	return compareKeys(ix.entryKey(row, rid), k) == 0
 }
 
-// restoreRow undoes a deleteRow, putting the old row back at the same id.
-// The slot cannot be on the free list: deleteRow defers freeing to commit,
-// and a transaction that rolls back never commits.
-func (t *table) restoreRow(rid int64, row []Value) error {
-	t.latch.Lock()
-	defer t.latch.Unlock()
-	if rid < 0 || rid >= int64(len(t.rows)) || t.rows[rid] != nil {
-		return fmt.Errorf("sqldb: restore: slot %d of %s not free", rid, t.schema.Name)
-	}
-	t.rows[rid] = row
-	t.liveRows++
-	for _, ix := range t.indexes {
-		if err := ix.insert(row, rid); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// updateRow replaces the row at rid, maintaining indexes, and returns the
-// old row. Indexes whose key columns are unchanged are left untouched — on
-// the CAS hot paths (heartbeats and job state transitions flip non-key
-// columns) this skips the primary-key reinsert entirely, shrinking the
-// latched window concurrent row-level writers serialize on.
-func (t *table) updateRow(rid int64, newRow []Value) ([]Value, error) {
-	// Fast path under the shared latch: when no index key changes, the
-	// whole mutation is one heap-slot store. The caller holds the row's X
-	// lock, so no other transaction touches this slot; the shared latch
-	// only needs to exclude structural changes (slice growth, index
-	// builds), which take the latch exclusively.
+// deleteRow pushes a delete tombstone onto rid's chain and returns the
+// old row plus the tombstone (stamped at commit) and the index entries
+// the delete orphans (queued for GC at commit). Index entries and the
+// slot itself are untouched: older snapshots still need them, and a
+// rollback simply pops the tombstone.
+func (t *table) deleteRow(rid int64, txn uint64, watermark uint64) ([]Value, *rowVersion, []gcEntry, error) {
 	t.latch.RLock()
-	if rid < 0 || rid >= int64(len(t.rows)) || t.rows[rid] == nil {
-		t.latch.RUnlock()
-		return nil, fmt.Errorf("sqldb: update: no row %d in %s", rid, t.schema.Name)
+	defer t.latch.RUnlock()
+	if rid < 0 || rid >= int64(len(t.rows)) {
+		return nil, nil, nil, fmt.Errorf("sqldb: delete: no row %d in %s", rid, t.schema.Name)
 	}
-	fastOld := t.rows[rid]
+	s := t.rows[rid]
+	cur := s.currentVersion(txn)
+	if cur == nil || cur.data == nil {
+		return nil, nil, nil, fmt.Errorf("sqldb: delete: no row %d in %s", rid, t.schema.Name)
+	}
+	old := cur.data
+	entries := make([]gcEntry, 0, len(t.indexes))
+	for _, ix := range t.indexes {
+		entries = append(entries, gcEntry{index: ix.schema.Name, key: ix.entryKey(old, rid)})
+	}
+	tomb := &rowVersion{txn: txn}
+	tomb.prev.Store(s.head.Load())
+	s.head.Store(tomb)
+	s.pruneBelow(watermark)
+	t.liveRows.Add(-1)
+	return old, tomb, entries, nil
+}
+
+// updateRow pushes a new version of rid, maintaining indexes, and returns
+// the old row, the new version (stamped at commit), and the index entries
+// the update orphans (nil when no index key moved). On the CAS hot paths
+// (heartbeats and job state transitions flip non-key columns) no entry
+// moves, so the whole mutation is one version push under the shared
+// latch — concurrent disjoint-row writers never serialize on the table.
+func (t *table) updateRow(rid int64, newRow []Value, txn uint64, watermark uint64) ([]Value, *rowVersion, []gcEntry, error) {
+	// Fast path under the shared latch: when no index key changes, the
+	// mutation is one chain push. The caller holds the row's X lock, so no
+	// other transaction touches this slot; the shared latch only needs to
+	// exclude structural changes (slice growth, index builds), which take
+	// the latch exclusively.
+	t.latch.RLock()
+	if rid < 0 || rid >= int64(len(t.rows)) {
+		t.latch.RUnlock()
+		return nil, nil, nil, fmt.Errorf("sqldb: update: no row %d in %s", rid, t.schema.Name)
+	}
+	s := t.rows[rid]
+	cur := s.currentVersion(txn)
+	if cur == nil || cur.data == nil {
+		t.latch.RUnlock()
+		return nil, nil, nil, fmt.Errorf("sqldb: update: no row %d in %s", rid, t.schema.Name)
+	}
+	old := cur.data
 	keysChanged := false
 	for _, ix := range t.indexes {
-		ko, _ := ix.key(fastOld, rid)
-		kn, _ := ix.key(newRow, rid)
-		if compareKeys(ko, kn) != 0 {
+		if compareKeys(ix.entryKey(old, rid), ix.entryKey(newRow, rid)) != 0 {
 			keysChanged = true
 			break
 		}
 	}
 	if !keysChanged {
-		t.rows[rid] = newRow
+		v := &rowVersion{data: newRow, txn: txn}
+		v.prev.Store(s.head.Load())
+		s.head.Store(v)
+		s.pruneBelow(watermark)
 		t.latch.RUnlock()
-		return fastOld, nil
+		return old, v, nil, nil
 	}
 	t.latch.RUnlock()
 
@@ -388,50 +431,319 @@ func (t *table) updateRow(rid int64, newRow []Value) ([]Value, error) {
 	// two latch acquisitions).
 	t.latch.Lock()
 	defer t.latch.Unlock()
-	if rid < 0 || rid >= int64(len(t.rows)) || t.rows[rid] == nil {
-		return nil, fmt.Errorf("sqldb: update: no row %d in %s", rid, t.schema.Name)
+	s = t.rows[rid]
+	cur = s.currentVersion(txn)
+	if cur == nil || cur.data == nil {
+		return nil, nil, nil, fmt.Errorf("sqldb: update: no row %d in %s", rid, t.schema.Name)
 	}
-	old := t.rows[rid]
-	var changed []*index
+	old = cur.data
+	var orphaned []gcEntry
 	for _, ix := range t.indexes {
-		ko, _ := ix.key(old, rid)
-		kn, _ := ix.key(newRow, rid)
-		if compareKeys(ko, kn) != 0 {
-			changed = append(changed, ix)
-		}
-	}
-	for _, ix := range changed {
-		ix.remove(old, rid)
-	}
-	for i, ix := range changed {
-		if err := ix.insert(newRow, rid); err != nil {
-			// Restore the old index entries and report the violation.
-			for _, done := range changed[:i] {
-				done.remove(newRow, rid)
-			}
-			for _, ix2 := range changed {
-				_ = ix2.insert(old, rid) // old entries cannot conflict
-			}
-			return nil, err
-		}
-	}
-	t.rows[rid] = newRow
-	return old, nil
-}
-
-// scan calls fn for every live row in slot order. fn returning false stops.
-func (t *table) scan(fn func(rid int64, row []Value) bool) {
-	for rid, row := range t.rows {
-		if row == nil {
+		ko := ix.entryKey(old, rid)
+		kn := ix.entryKey(newRow, rid)
+		if compareKeys(ko, kn) == 0 {
 			continue
 		}
-		if !fn(int64(rid), row) {
+		if err := t.checkUnique(ix, newRow, rid); err != nil {
+			return nil, nil, nil, err
+		}
+		orphaned = append(orphaned, gcEntry{index: ix.schema.Name, key: ko})
+	}
+	for _, ix := range t.indexes {
+		kn := ix.entryKey(newRow, rid)
+		if compareKeys(ix.entryKey(old, rid), kn) != 0 {
+			ix.tree.insert(kn, rid) // idempotent when re-claiming a pending-GC entry
+		}
+	}
+	v := &rowVersion{data: newRow, txn: txn}
+	v.prev.Store(s.head.Load())
+	s.head.Store(v)
+	s.pruneBelow(watermark)
+	return old, v, orphaned, nil
+}
+
+// popVersion unlinks txn's own uncommitted head version from rid's chain
+// (rollback). It returns the popped version and whether the chain is now
+// empty.
+func (t *table) popVersion(rid int64, txn uint64) (*rowVersion, bool, error) {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	if rid < 0 || rid >= int64(len(t.rows)) {
+		return nil, false, fmt.Errorf("sqldb: rollback: no slot %d in %s", rid, t.schema.Name)
+	}
+	s := t.rows[rid]
+	head := s.head.Load()
+	if head == nil || head.begin.Load() != 0 || head.txn != txn {
+		return nil, false, fmt.Errorf("sqldb: rollback: slot %d of %s has no uncommitted version of txn %d", rid, t.schema.Name, txn)
+	}
+	rest := head.prev.Load()
+	s.head.Store(rest)
+	return head, rest == nil, nil
+}
+
+// removeEntryIfUnclaimed deletes index entry k for rid unless some
+// surviving version in rid's chain (committed or uncommitted) still
+// carries that exact key — which happens when a key changed away and back
+// again before the orphaned entry was reclaimed. Caller holds the
+// exclusive latch.
+func (t *table) removeEntryIfUnclaimed(ix *index, k Key, rid int64) bool {
+	if rid >= 0 && rid < int64(len(t.rows)) {
+		for v := t.rows[rid].head.Load(); v != nil; v = v.prev.Load() {
+			if v.data != nil && ix.entryMatches(k, v.data, rid) {
+				return false
+			}
+		}
+	}
+	return ix.tree.delete(k)
+}
+
+// rollbackInsert undoes an uncommitted insert: pop the version, drop its
+// index entries (claim-checked — a same-transaction key dance may have
+// re-claimed one), and recycle the slot if the chain emptied.
+func (t *table) rollbackInsert(rid int64, txn uint64) error {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	return t.rollbackPopLocked(rid, txn, true)
+}
+
+// rollbackUpdate undoes an uncommitted update the same way (the slot
+// cannot empty: the updated version sat on top of an older one).
+func (t *table) rollbackUpdate(rid int64, txn uint64) error {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	return t.rollbackPopLocked(rid, txn, false)
+}
+
+// rollbackDelete pops an uncommitted tombstone (no index entries to fix:
+// deletes do not touch the trees).
+func (t *table) rollbackDelete(rid int64, txn uint64) error {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	s := t.rows[rid]
+	head := s.head.Load()
+	if head == nil || head.begin.Load() != 0 || head.txn != txn || head.data != nil {
+		return fmt.Errorf("sqldb: rollback: slot %d of %s holds no uncommitted tombstone", rid, t.schema.Name)
+	}
+	s.head.Store(head.prev.Load())
+	t.liveRows.Add(1)
+	return nil
+}
+
+// rollbackPopLocked pops txn's uncommitted head, removes the entries it
+// published, and optionally recycles an emptied slot. Caller holds the
+// exclusive latch.
+func (t *table) rollbackPopLocked(rid int64, txn uint64, mayFree bool) error {
+	s := t.rows[rid]
+	head := s.head.Load()
+	if head == nil || head.begin.Load() != 0 || head.txn != txn || head.data == nil {
+		return fmt.Errorf("sqldb: rollback: slot %d of %s has no uncommitted version of txn %d", rid, t.schema.Name, txn)
+	}
+	s.head.Store(head.prev.Load())
+	for _, ix := range t.indexes {
+		t.removeEntryIfUnclaimed(ix, ix.entryKey(head.data, rid), rid)
+	}
+	t.liveRows.Add(-1)
+	if mayFree && s.head.Load() == nil {
+		t.free = append(t.free, rid)
+	}
+	return nil
+}
+
+// gcProcess applies one reclamation record: prune the chain against the
+// watermark, drop orphaned index entries that no surviving version
+// claims, and — for a delete whose tombstone has passed below the
+// watermark — clear and recycle the slot. Returns counter deltas.
+func (t *table) gcProcess(rec *gcRecord, watermark uint64) (pruned, entriesRemoved, slotsFreed uint64) {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	if rec.rid < 0 || rec.rid >= int64(len(t.rows)) {
+		return 0, 0, 0
+	}
+	s := t.rows[rec.rid]
+	pruned = s.pruneBelow(watermark)
+	for _, e := range rec.entries {
+		ix := t.findIndex(e.index)
+		if ix == nil {
+			continue
+		}
+		if t.removeEntryIfUnclaimed(ix, e.key, rec.rid) {
+			entriesRemoved++
+		}
+	}
+	if rec.tombstone {
+		// The slot dies only when the tombstone is the whole chain and is
+		// itself below the watermark (re-check: a rollback or unprocessed
+		// newer record may have changed the picture since enqueue).
+		head := s.head.Load()
+		if head != nil && head.data == nil && head.prev.Load() == nil {
+			if b := head.begin.Load(); b != 0 && b <= watermark {
+				s.head.Store(nil)
+				t.free = append(t.free, rec.rid)
+				slotsFreed++
+			}
+		}
+	}
+	return pruned, entriesRemoved, slotsFreed
+}
+
+// placeRow publishes a committed version at a specific row id (WAL replay
+// only; ts is the replayed transaction's commit stamp).
+func (t *table) placeRow(rid int64, row []Value, ts uint64) error {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	for int64(len(t.rows)) <= rid {
+		t.rows = append(t.rows, &rowSlot{})
+	}
+	s := t.rows[rid]
+	if s.head.Load() != nil {
+		return fmt.Errorf("sqldb: replay: slot %d of %s occupied", rid, t.schema.Name)
+	}
+	v := &rowVersion{data: row}
+	v.begin.Store(ts)
+	s.head.Store(v)
+	t.liveRows.Add(1)
+	for _, ix := range t.indexes {
+		ix.tree.insert(ix.entryKey(row, rid), rid)
+	}
+	return nil
+}
+
+// replayUpdate applies a committed update during WAL replay. Replay is
+// single-threaded with no snapshots, so the chain stays flat: the old
+// version is replaced outright and moved index entries are adjusted in
+// place.
+func (t *table) replayUpdate(rid int64, newRow []Value, ts uint64) error {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	if rid < 0 || rid >= int64(len(t.rows)) || t.rows[rid].head.Load() == nil {
+		return fmt.Errorf("sqldb: replay: update of missing row %d in %s", rid, t.schema.Name)
+	}
+	s := t.rows[rid]
+	old := s.head.Load().data
+	if old == nil {
+		return fmt.Errorf("sqldb: replay: update of deleted row %d in %s", rid, t.schema.Name)
+	}
+	for _, ix := range t.indexes {
+		ko := ix.entryKey(old, rid)
+		kn := ix.entryKey(newRow, rid)
+		if compareKeys(ko, kn) != 0 {
+			ix.tree.delete(ko)
+			ix.tree.insert(kn, rid)
+		}
+	}
+	v := &rowVersion{data: newRow}
+	v.begin.Store(ts)
+	s.head.Store(v)
+	return nil
+}
+
+// replayDelete applies a committed delete during WAL replay: flat removal
+// of the row, its entries, and its slot contents.
+func (t *table) replayDelete(rid int64) error {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	if rid < 0 || rid >= int64(len(t.rows)) || t.rows[rid].head.Load() == nil {
+		return fmt.Errorf("sqldb: replay: delete of missing row %d in %s", rid, t.schema.Name)
+	}
+	s := t.rows[rid]
+	old := s.head.Load().data
+	if old == nil {
+		return fmt.Errorf("sqldb: replay: delete of deleted row %d in %s", rid, t.schema.Name)
+	}
+	for _, ix := range t.indexes {
+		ix.tree.delete(ix.entryKey(old, rid))
+	}
+	s.head.Store(nil)
+	t.liveRows.Add(-1)
+	return nil
+}
+
+// rebuildAfterReplay reconstructs the free list and autoincrement
+// counters from the replayed heap.
+func (t *table) rebuildAfterReplay() {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	t.free = t.free[:0]
+	for rid := int64(0); rid < int64(len(t.rows)); rid++ {
+		if t.rows[rid].head.Load() == nil {
+			t.free = append(t.free, rid)
+		}
+	}
+	for ci := range t.schema.Columns {
+		if !t.schema.Columns[ci].AutoIncrement {
+			continue
+		}
+		for _, s := range t.rows {
+			v := s.head.Load()
+			if v == nil || v.data == nil {
+				continue
+			}
+			if !v.data[ci].IsNull() && v.data[ci].Int64() >= t.nextAuto {
+				t.nextAuto = v.data[ci].Int64() + 1
+			}
+		}
+	}
+}
+
+// scanBatch bounds how many slots one latched window of a full scan
+// visits, so a long monitoring scan never stalls writers behind the
+// exclusive latch for the whole table.
+const fullScanBatch = 512
+
+// scanLatest calls fn for every live row in slot order as a 2PL
+// transaction sees it (own uncommitted versions first, else newest
+// committed). fn returning false stops. The latch is taken in batches.
+func (t *table) scanLatest(txn uint64, fn func(rid int64, row []Value) bool) {
+	t.scanSlots(func(rid int64, s *rowSlot) []Value {
+		return s.currentFor(txn)
+	}, fn)
+}
+
+// scanSnapshot calls fn for every row visible at commit timestamp ts, in
+// slot order, without touching the lock manager.
+func (t *table) scanSnapshot(ts uint64, fn func(rid int64, row []Value) bool) {
+	t.scanSlots(func(rid int64, s *rowSlot) []Value {
+		return s.visibleAt(ts)
+	}, fn)
+}
+
+// scanSlots drives a batched full scan: rows are materialized under the
+// shared latch, but fn runs outside it — fn may recurse into other scans
+// (nested-loop joins) or block on the lock manager, neither of which may
+// happen latch-in-hand. Version data is immutable, so handing rows out of
+// the latched window is safe.
+func (t *table) scanSlots(read func(int64, *rowSlot) []Value, fn func(rid int64, row []Value) bool) {
+	type hit struct {
+		rid int64
+		row []Value
+	}
+	batch := make([]hit, 0, fullScanBatch)
+	for base := int64(0); ; base += fullScanBatch {
+		batch = batch[:0]
+		t.latch.RLock()
+		n := int64(len(t.rows))
+		end := base + fullScanBatch
+		if end > n {
+			end = n
+		}
+		for rid := base; rid < end; rid++ {
+			if row := read(rid, t.rows[rid]); row != nil {
+				batch = append(batch, hit{rid: rid, row: row})
+			}
+		}
+		t.latch.RUnlock()
+		for _, h := range batch {
+			if !fn(h.rid, h.row) {
+				return
+			}
+		}
+		if end >= n {
 			return
 		}
 	}
 }
 
-// validateRow coerces values to column types and checks NOT NULL
+// buildRow coerces values to column types and checks NOT NULL
 // constraints, applying defaults and autoincrement. input maps column
 // position → provided value (missing positions get defaults).
 func (t *table) buildRow(provided []Value, has []bool, now func() Value) ([]Value, error) {

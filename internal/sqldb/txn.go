@@ -9,21 +9,30 @@ import (
 	"time"
 )
 
-// The engine uses strict two-phase locking at two granularities: row locks
-// for index-driven access plus intention locks (IS/IX) on the owning table,
-// and plain S/X table locks for full scans and DDL. Locks are held to
-// commit/rollback. Deadlocks are detected eagerly with a waits-for graph;
-// the requesting transaction receives ErrDeadlock and should roll back (the
-// paper's "short-running transactions for the most common operations" keep
-// conflicts rare). Finer granularity means disjoint-row writers — the CAS's
-// concurrent job submits, heartbeats, and match updates — no longer
-// serialize on the jobs/machines tables.
+// Writing transactions use strict two-phase locking at two granularities:
+// row locks for index-driven access plus intention locks (IS/IX) on the
+// owning table, and plain S/X table locks for full scans and DDL. Locks
+// are held to commit/rollback. Deadlocks are detected eagerly with a
+// waits-for graph; the requesting transaction receives ErrDeadlock and
+// should roll back (the paper's "short-running transactions for the most
+// common operations" keep conflicts rare). Finer granularity means
+// disjoint-row writers — the CAS's concurrent job submits, heartbeats,
+// and match updates — no longer serialize on the jobs/machines tables.
+//
+// Read-only transactions bypass the lock manager entirely: they capture a
+// snapshot of the commit clock at Begin and read row versions visible at
+// that timestamp (see version.go). Cluster monitoring — the web site, the
+// status services, accounting reports — is therefore invisible to the
+// submit/heartbeat write mix, and vice versa.
 
 // ErrDeadlock is returned when granting a lock would create a cycle.
 var ErrDeadlock = errors.New("sqldb: deadlock detected")
 
 // ErrTxDone is returned when using a committed or rolled-back transaction.
 var ErrTxDone = errors.New("sqldb: transaction has already been committed or rolled back")
+
+// ErrReadOnly is returned when a read-only transaction attempts a write.
+var ErrReadOnly = errors.New("sqldb: cannot write in a read-only transaction")
 
 // lockMode is the lock strength, ordered so the compatibility matrix below
 // can be indexed directly.
@@ -423,12 +432,13 @@ func (lm *lockManager) addBlockedEdges(rl *resLock, grantee uint64, granted lock
 	}
 }
 
-// undoRecord captures the inverse of one mutation for rollback.
+// undoRecord names one mutation to reverse on rollback. Pre-images are
+// not needed: the superseded version is still on the chain, so undo is a
+// version pop.
 type undoRecord struct {
 	op    walOp // walInsert / walUpdate / walDelete (the forward op)
 	table string
 	rid   int64
-	old   []Value // pre-image for update/delete
 }
 
 // Tx is an in-flight transaction. A Tx is not safe for concurrent use by
@@ -436,15 +446,27 @@ type undoRecord struct {
 type Tx struct {
 	db       *DB
 	id       uint64
+	snap     uint64 // commit clock at Begin (snapshot reads)
+	readOnly bool   // snapshot reads, writes rejected, no locks taken
 	done     bool
 	undo     []undoRecord
 	redo     []walRecord
-	locked   []lockTarget // resources this txn holds or queues on
-	implicit bool         // autocommit wrapper
+	locked   []lockTarget  // resources this txn holds or queues on
+	versions []*rowVersion // versions to stamp at commit
+	gcPend   []gcRecord    // reclamation work to queue at commit
+	implicit bool          // autocommit wrapper
 }
 
 // ID reports the engine-assigned transaction id.
 func (tx *Tx) ID() uint64 { return tx.id }
+
+// ReadOnly reports whether the transaction reads from a snapshot and
+// rejects writes.
+func (tx *Tx) ReadOnly() bool { return tx.readOnly }
+
+// Snapshot reports the commit timestamp this transaction's snapshot reads
+// observe.
+func (tx *Tx) Snapshot() uint64 { return tx.snap }
 
 func (tx *Tx) lock(table string, mode lockMode) error {
 	return tx.db.locks.acquire(tx, lockTarget{table: table, rid: tableRID}, mode)
@@ -489,7 +511,11 @@ func (tx *Tx) lockKeyTargets(targets []lockTarget, mode lockMode) error {
 	return nil
 }
 
-// Commit makes the transaction's effects durable and visible.
+// Commit makes the transaction's effects durable and visible: WAL first
+// (durability), then the version stamp (visibility). Stamping runs under
+// the commit mutex — every created version receives the new commit
+// timestamp before the global clock advances to it, so no snapshot can
+// observe a half-stamped transaction.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return ErrTxDone
@@ -499,30 +525,39 @@ func (tx *Tx) Commit() error {
 	if tx.db.wal != nil && len(tx.redo) > 0 {
 		err = tx.db.wal.commit(tx.id, tx.redo)
 	}
-	// Slots vacated by this txn's deletes become recyclable only now: until
-	// the delete is final, a rollback may need to restore the row, so the
-	// rid must not be handed to a concurrent insert.
-	if len(tx.undo) > 0 {
-		tx.db.mu.Lock()
-		for _, u := range tx.undo {
-			if u.op != walDelete {
-				continue
-			}
-			if tbl := tx.db.tables[u.table]; tbl != nil {
-				tbl.freeSlot(u.rid)
-			}
+	if len(tx.versions) > 0 {
+		db := tx.db
+		db.commitMu.Lock()
+		ts := db.clock.Load() + 1
+		for _, v := range tx.versions {
+			v.begin.Store(ts)
 		}
-		tx.db.mu.Unlock()
+		if len(tx.gcPend) > 0 {
+			for i := range tx.gcPend {
+				tx.gcPend[i].ts = ts
+			}
+			db.gcMu.Lock()
+			db.gcQueue = append(db.gcQueue, tx.gcPend...)
+			db.gcMu.Unlock()
+		}
+		db.clock.Store(ts)
+		db.commitMu.Unlock()
+		db.versionsCreated.Add(uint64(len(tx.versions)))
 	}
 	tx.db.locks.releaseAll(tx)
 	tx.db.finishTx(tx)
+	if len(tx.versions) > 0 {
+		tx.db.maybeGC()
+	}
 	if err != nil {
 		return fmt.Errorf("sqldb: commit: %w", err)
 	}
 	return nil
 }
 
-// Rollback undoes the transaction's effects.
+// Rollback undoes the transaction's effects by popping its uncommitted
+// versions off their chains (newest first). Superseded versions are still
+// linked below, so no pre-images are re-applied.
 func (tx *Tx) Rollback() error {
 	if tx.done {
 		return ErrTxDone
@@ -537,15 +572,11 @@ func (tx *Tx) Rollback() error {
 		}
 		switch u.op {
 		case walInsert:
-			// The undone insert's slot is recyclable immediately: nothing
-			// can need it restored, and this txn still holds its X lock so
-			// any new claimant blocks until releaseAll below.
-			_, _ = tbl.deleteRow(u.rid)
-			tbl.freeSlot(u.rid)
+			_ = tbl.rollbackInsert(u.rid, tx.id)
 		case walDelete:
-			_ = tbl.restoreRow(u.rid, u.old)
+			_ = tbl.rollbackDelete(u.rid, tx.id)
 		case walUpdate:
-			_, _ = tbl.updateRow(u.rid, u.old)
+			_ = tbl.rollbackUpdate(u.rid, tx.id)
 		}
 	}
 	tx.db.mu.Unlock()
@@ -558,11 +589,13 @@ func (tx *Tx) Rollback() error {
 // and record undo + redo.
 
 // insertRow X-locks the row's unique key values, reserves a heap slot,
-// X-locks it, and only then publishes the row. The key locks serialize this
-// insert against uncommitted deletes/updates of the same keys (whose index
-// entries are already unpublished, so the entries themselves cannot
-// conflict); the row lock must precede publication so an index scan that
-// finds the new rid blocks instead of reading the uncommitted insert.
+// X-locks it, and only then publishes the row. The key locks serialize
+// this insert against uncommitted deletes/updates of the same keys (index
+// entries persist across versions under MVCC, so the entries themselves
+// cannot conflict); the row lock must precede publication so a locked
+// index scan that finds the new rid blocks instead of reading the
+// uncommitted insert. Snapshot readers need no such care — the
+// uncommitted version is unstamped and invisible to them.
 func (tx *Tx) insertRow(tbl *table, row []Value) (int64, error) {
 	if err := tx.lockKeyTargets(tbl.uniqueKeyTargets(row), lockExclusive); err != nil {
 		return 0, err
@@ -572,10 +605,12 @@ func (tx *Tx) insertRow(tbl *table, row []Value) (int64, error) {
 		tbl.releaseSlot(rid)
 		return 0, err
 	}
-	if err := tbl.insertAt(rid, row); err != nil {
+	ver, err := tbl.insertAt(rid, row, tx.id)
+	if err != nil {
 		tbl.releaseSlot(rid)
 		return 0, err
 	}
+	tx.versions = append(tx.versions, ver)
 	tx.undo = append(tx.undo, undoRecord{op: walInsert, table: tbl.schema.Name, rid: rid})
 	tx.redo = append(tx.redo, walRecord{op: walInsert, table: tbl.schema.Name, rid: rid, row: row})
 	return rid, nil
@@ -583,35 +618,41 @@ func (tx *Tx) insertRow(tbl *table, row []Value) (int64, error) {
 
 func (tx *Tx) deleteRow(tbl *table, rid int64) error {
 	// X-lock the vacated unique key values first: until this txn commits,
-	// an insert reclaiming one of them must block (rollback puts the old
-	// index entries back).
-	if cur := tbl.getRow(rid); cur != nil {
+	// an insert reclaiming one of them must block (a rollback would pop the
+	// tombstone and the key would be occupied again).
+	if cur := tbl.currentRow(rid, tx.id); cur != nil {
 		if err := tx.lockKeyTargets(tbl.uniqueKeyTargets(cur), lockExclusive); err != nil {
 			return err
 		}
 	}
-	old, err := tbl.deleteRow(rid)
+	_, tomb, orphans, err := tbl.deleteRow(rid, tx.id, tx.db.watermark.Load())
 	if err != nil {
 		return err
 	}
-	tx.undo = append(tx.undo, undoRecord{op: walDelete, table: tbl.schema.Name, rid: rid, old: old})
+	tx.versions = append(tx.versions, tomb)
+	tx.gcPend = append(tx.gcPend, gcRecord{table: tbl.schema.Name, rid: rid, tombstone: true, entries: orphans})
+	tx.undo = append(tx.undo, undoRecord{op: walDelete, table: tbl.schema.Name, rid: rid})
 	tx.redo = append(tx.redo, walRecord{op: walDelete, table: tbl.schema.Name, rid: rid})
 	return nil
 }
 
 func (tx *Tx) updateRow(tbl *table, rid int64, newRow []Value) error {
 	// X-lock unique key values this update vacates or claims, for the same
-	// reason deletes do (the vacated entry disappears before commit).
-	if cur := tbl.getRow(rid); cur != nil {
+	// reason deletes do (the vacated key becomes claimable at commit).
+	if cur := tbl.currentRow(rid, tx.id); cur != nil {
 		if err := tx.lockKeyTargets(tbl.changedUniqueKeyTargets(cur, newRow), lockExclusive); err != nil {
 			return err
 		}
 	}
-	old, err := tbl.updateRow(rid, newRow)
+	_, ver, orphans, err := tbl.updateRow(rid, newRow, tx.id, tx.db.watermark.Load())
 	if err != nil {
 		return err
 	}
-	tx.undo = append(tx.undo, undoRecord{op: walUpdate, table: tbl.schema.Name, rid: rid, old: old})
+	tx.versions = append(tx.versions, ver)
+	if len(orphans) > 0 {
+		tx.gcPend = append(tx.gcPend, gcRecord{table: tbl.schema.Name, rid: rid, entries: orphans})
+	}
+	tx.undo = append(tx.undo, undoRecord{op: walUpdate, table: tbl.schema.Name, rid: rid})
 	tx.redo = append(tx.redo, walRecord{op: walUpdate, table: tbl.schema.Name, rid: rid, row: newRow})
 	return nil
 }

@@ -1,0 +1,145 @@
+package sqldb
+
+import (
+	"sync/atomic"
+)
+
+// Multi-version storage. Every heap slot holds a chain of row versions,
+// newest first. A version is stamped with its creator's commit timestamp
+// (from the database's global commit clock) when the creator commits;
+// until then begin is 0 and the version is visible only to its creator.
+// Deletes push a tombstone version (nil data) instead of vacating the
+// slot, and index entries are left in place, so a reader holding an older
+// snapshot still finds the row exactly as it stood at its snapshot
+// timestamp — without asking the lock manager for anything.
+//
+// Writers are unchanged: strict 2PL (row X locks under table IX locks,
+// unique-key value locks) serializes conflicting writers, and the WAL
+// makes them durable before their versions are stamped visible.
+//
+// Version garbage is reclaimed against the oldest-active-snapshot
+// watermark: a version shadowed by a newer committed version at or below
+// the watermark can never be seen again. Chains self-prune on the write
+// fast path; index entries orphaned by deletes and key-changing updates
+// drain through a commit-ordered GC queue (see db.runGC).
+
+// rowVersion is one version of one row. data is immutable after
+// publication; nil data marks a delete tombstone. begin is the creator's
+// commit timestamp (0 while uncommitted) and is the only field written
+// after publication besides prev, which GC may clip to nil.
+type rowVersion struct {
+	data  []Value
+	txn   uint64 // creating transaction (self-visibility before commit)
+	begin atomic.Uint64
+	prev  atomic.Pointer[rowVersion]
+}
+
+// rowSlot is one heap slot: an atomically replaceable version-chain head.
+// Slots are allocated once and recycled through the table free list after
+// GC empties them.
+type rowSlot struct {
+	head atomic.Pointer[rowVersion]
+}
+
+// visibleAt returns the row data visible to a snapshot taken at ts, or
+// nil when no version is visible (never inserted, inserted later, or
+// deleted at or before ts). Versions are stamped before the commit clock
+// advances, so any version with begin == 0 was committed — if at all —
+// after every snapshot that could be probing this chain.
+func (s *rowSlot) visibleAt(ts uint64) []Value {
+	for v := s.head.Load(); v != nil; v = v.prev.Load() {
+		if b := v.begin.Load(); b != 0 && b <= ts {
+			return v.data
+		}
+	}
+	return nil
+}
+
+// currentFor returns the row data a 2PL transaction reads: its own
+// uncommitted version if it has one, else the newest committed version.
+// nil means no live row (absent or tombstoned).
+func (s *rowSlot) currentFor(txn uint64) []Value {
+	for v := s.head.Load(); v != nil; v = v.prev.Load() {
+		if v.begin.Load() != 0 || v.txn == txn {
+			return v.data
+		}
+	}
+	return nil
+}
+
+// currentVersion is currentFor returning the version itself.
+func (s *rowSlot) currentVersion(txn uint64) *rowVersion {
+	for v := s.head.Load(); v != nil; v = v.prev.Load() {
+		if v.begin.Load() != 0 || v.txn == txn {
+			return v
+		}
+	}
+	return nil
+}
+
+// pruneBelow clips the chain right after the newest committed version
+// stamped at or below the watermark: every older version is shadowed by
+// it for all current and future snapshots. Safe under the shared latch —
+// prev is atomic and concurrent readers that already walked past the clip
+// point keep their references alive through ordinary GC.
+func (s *rowSlot) pruneBelow(watermark uint64) (pruned uint64) {
+	for v := s.head.Load(); v != nil; v = v.prev.Load() {
+		if b := v.begin.Load(); b != 0 && b <= watermark {
+			for old := v.prev.Load(); old != nil; old = old.prev.Load() {
+				pruned++
+			}
+			if pruned > 0 {
+				v.prev.Store(nil)
+			}
+			return pruned
+		}
+	}
+	return 0
+}
+
+// gcEntry names one index entry (full entry key, rid tiebreaker
+// included) that became garbage when its version was superseded.
+type gcEntry struct {
+	index string
+	key   Key
+}
+
+// gcRecord is one unit of deferred reclamation: the index entries
+// orphaned by a committed delete or key-changing update of one row, plus
+// — for deletes — the heap slot itself. ts is the superseding commit
+// timestamp; the record is processed once the oldest active snapshot
+// reaches it. Entry removal is claim-checked against the live chain, so
+// records may be processed in any order and entries re-claimed by later
+// writes (a key changed away and back) are never dropped.
+type gcRecord struct {
+	table     string
+	rid       int64
+	ts        uint64
+	tombstone bool
+	entries   []gcEntry
+}
+
+// VersionStats is a snapshot of the MVCC machinery's counters, the raw
+// material for the metrics layer's version accounting.
+type VersionStats struct {
+	// CommitTS is the current value of the global commit clock.
+	CommitTS uint64
+	// OldestSnapshot is the GC watermark: the oldest snapshot any active
+	// read-only transaction holds (== CommitTS when none are active).
+	OldestSnapshot uint64
+	// ActiveSnapshots is the number of live read-only transactions.
+	ActiveSnapshots int64
+	// SnapshotReads counts SELECT statements served from a snapshot —
+	// statements that touched the lock manager zero times.
+	SnapshotReads uint64
+	// VersionsCreated counts row versions stamped by committed writers.
+	VersionsCreated uint64
+	// VersionsPruned counts shadowed versions unlinked from chains.
+	VersionsPruned uint64
+	// SlotsReclaimed counts tombstoned heap slots returned to free lists.
+	SlotsReclaimed uint64
+	// EntriesRemoved counts garbage index entries deleted by GC.
+	EntriesRemoved uint64
+	// PendingGC is the current depth of the deferred-reclamation queue.
+	PendingGC int64
+}
