@@ -25,5 +25,10 @@ vet:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# Differential join-fuzzer acceptance run: 1000 seeded schema/query
+# combinations through the cost-based planner vs the nested-loop reference.
+joinfuzz:
+	JOINFUZZ_CASES=1000 $(GO) test ./internal/sqldb -run TestJoinFuzz -v
+
 clean:
 	$(GO) clean ./...

@@ -161,6 +161,40 @@ func (c *CAS) VersionSnapshot() metrics.VersionSnapshot {
 	}
 }
 
+// PlannerStats snapshots the embedded engine's join-planner counters
+// (strategy picks, statistics-driven reorders, hash build volumes) for
+// operators and experiments.
+func (c *CAS) PlannerStats() sqldb.PlannerStats { return c.Engine.PlannerStats() }
+
+// PlannerSnapshot converts the engine's planner counters into the metrics
+// layer's form, ready for metrics.PlannerMonitor.Observe — the bridge the
+// experiment harness uses to chart join strategy mix next to lock and
+// version accounting.
+func (c *CAS) PlannerSnapshot() metrics.PlannerSnapshot {
+	s := c.Engine.PlannerStats()
+	return metrics.PlannerSnapshot{
+		JoinQueries:   s.JoinQueries,
+		Reordered:     s.Reordered,
+		HashJoins:     s.HashJoins,
+		IndexNLJoins:  s.IndexNLJoins,
+		NestedLoops:   s.NestedLoops,
+		GraceBuilds:   s.GraceBuilds,
+		HashBuildRows: s.HashBuildRows,
+		HashProbeRows: s.HashProbeRows,
+		AnalyzeRuns:   s.AnalyzeRuns,
+	}
+}
+
+// Analyze refreshes the engine's cardinality statistics (the SQL ANALYZE
+// statement) so the join planner costs the CAS's status queries from
+// current data. Operators run it after bulk loads; the scheduler does not
+// depend on it — estimates scale incrementally with row counts between
+// refreshes.
+func (c *CAS) Analyze() error {
+	_, err := c.Engine.Exec(`ANALYZE`)
+	return err
+}
+
 // WALStats snapshots the embedded engine's commit-pipeline counters
 // (commits, fsyncs, group sizes, commit wait) for operators and
 // experiments; zeros when the engine runs without a WAL.

@@ -1,0 +1,121 @@
+package metrics
+
+import "time"
+
+// Join-planner accounting. The storage engine's cost-based planner
+// exports cumulative counters (multi-table plans built, statistics-driven
+// reorders, per-edge strategy picks, hash build/probe volumes, ANALYZE
+// refreshes); PlannerMonitor differences successive snapshots into the
+// same interval-bucketed series the CPU, lock, WAL, and version
+// accounting use. Charted next to statement rates it answers whether the
+// hot status joins are actually running as hash joins / index probes and
+// how often grace-degraded builds (a sign the budget is too small or a
+// join input exploded) occur.
+
+// PlannerSnapshot is one reading of the planner's counters. It mirrors
+// sqldb.PlannerStats without importing it, keeping this package
+// dependency-free.
+type PlannerSnapshot struct {
+	// JoinQueries counts multi-table SELECT plans built.
+	JoinQueries uint64
+	// Reordered counts plans whose join order differs from FROM order.
+	Reordered uint64
+	// HashJoins / IndexNLJoins / NestedLoops count per-edge strategies.
+	HashJoins    uint64
+	IndexNLJoins uint64
+	NestedLoops  uint64
+	// GraceBuilds counts hash builds that exceeded the memory budget.
+	GraceBuilds uint64
+	// HashBuildRows / HashProbeRows count rows hashed and probed.
+	HashBuildRows uint64
+	HashProbeRows uint64
+	// AnalyzeRuns counts tables refreshed by ANALYZE.
+	AnalyzeRuns uint64
+}
+
+// PlannerMonitor buckets planner deltas by sampling interval. Like the
+// other monitors it is not safe for concurrent use; simulations and
+// pollers drive it from a single goroutine.
+type PlannerMonitor struct {
+	joinQueries *Counter
+	reordered   *Counter
+	hashJoins   *Counter
+	indexNL     *Counter
+	nestedLoops *Counter
+	graceBuilds *Counter
+	buildRows   *Counter
+	probeRows   *Counter
+	last        PlannerSnapshot
+	haveLast    bool
+}
+
+// NewPlannerMonitor creates a monitor whose series start at start with
+// the given bucket width.
+func NewPlannerMonitor(start time.Time, interval time.Duration) *PlannerMonitor {
+	return &PlannerMonitor{
+		joinQueries: NewCounter(start, interval),
+		reordered:   NewCounter(start, interval),
+		hashJoins:   NewCounter(start, interval),
+		indexNL:     NewCounter(start, interval),
+		nestedLoops: NewCounter(start, interval),
+		graceBuilds: NewCounter(start, interval),
+		buildRows:   NewCounter(start, interval),
+		probeRows:   NewCounter(start, interval),
+	}
+}
+
+// Observe records a snapshot taken at instant at, attributing the change
+// since the previous snapshot to at's interval. The first observation
+// establishes the baseline.
+func (m *PlannerMonitor) Observe(at time.Time, snap PlannerSnapshot) {
+	if m.haveLast {
+		m.joinQueries.Add(at, int(snap.JoinQueries-m.last.JoinQueries))
+		m.reordered.Add(at, int(snap.Reordered-m.last.Reordered))
+		m.hashJoins.Add(at, int(snap.HashJoins-m.last.HashJoins))
+		m.indexNL.Add(at, int(snap.IndexNLJoins-m.last.IndexNLJoins))
+		m.nestedLoops.Add(at, int(snap.NestedLoops-m.last.NestedLoops))
+		m.graceBuilds.Add(at, int(snap.GraceBuilds-m.last.GraceBuilds))
+		m.buildRows.Add(at, int(snap.HashBuildRows-m.last.HashBuildRows))
+		m.probeRows.Add(at, int(snap.HashProbeRows-m.last.HashProbeRows))
+	}
+	m.last = snap
+	m.haveLast = true
+}
+
+// JoinQueries is the per-interval multi-table-plan series.
+func (m *PlannerMonitor) JoinQueries() *Counter { return m.joinQueries }
+
+// Reordered is the per-interval statistics-driven-reorder series.
+func (m *PlannerMonitor) Reordered() *Counter { return m.reordered }
+
+// HashJoins is the per-interval hash-join-edge series.
+func (m *PlannerMonitor) HashJoins() *Counter { return m.hashJoins }
+
+// IndexNLJoins is the per-interval index-nested-loop-edge series.
+func (m *PlannerMonitor) IndexNLJoins() *Counter { return m.indexNL }
+
+// NestedLoops is the per-interval plain-nested-loop-edge series.
+func (m *PlannerMonitor) NestedLoops() *Counter { return m.nestedLoops }
+
+// GraceBuilds is the per-interval grace-degraded-build series.
+func (m *PlannerMonitor) GraceBuilds() *Counter { return m.graceBuilds }
+
+// HashBuildRows is the per-interval hash-build-volume series.
+func (m *PlannerMonitor) HashBuildRows() *Counter { return m.buildRows }
+
+// HashProbeRows is the per-interval hash-probe-volume series.
+func (m *PlannerMonitor) HashProbeRows() *Counter { return m.probeRows }
+
+// HashShare reports the fraction of join edges planned as hash joins in
+// the latest observation's cumulative totals — a quick health check that
+// the big status joins are not silently nested-looping.
+func (m *PlannerMonitor) HashShare() float64 {
+	if !m.haveLast {
+		return 0
+	}
+	total := m.last.HashJoins + m.last.IndexNLJoins + m.last.NestedLoops
+	if total == 0 {
+		return 0
+	}
+	return float64(m.last.HashJoins) / float64(total)
+}

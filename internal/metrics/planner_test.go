@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPlannerMonitorDifferencesSnapshots(t *testing.T) {
+	start := time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+	m := NewPlannerMonitor(start, time.Minute)
+
+	// Baseline establishes the reference; nothing recorded yet.
+	m.Observe(start, PlannerSnapshot{
+		JoinQueries: 100, HashJoins: 40, IndexNLJoins: 50, NestedLoops: 10,
+		HashBuildRows: 1000, HashProbeRows: 2000,
+	})
+	if got := m.JoinQueries().Total(); got != 0 {
+		t.Fatalf("baseline recorded %d join queries, want 0", got)
+	}
+
+	m.Observe(start.Add(time.Minute), PlannerSnapshot{
+		JoinQueries: 160, Reordered: 20, HashJoins: 70, IndexNLJoins: 65,
+		NestedLoops: 15, GraceBuilds: 2, HashBuildRows: 1500, HashProbeRows: 2600,
+		AnalyzeRuns: 1,
+	})
+	m.Observe(start.Add(2*time.Minute), PlannerSnapshot{
+		JoinQueries: 200, Reordered: 30, HashJoins: 100, IndexNLJoins: 80,
+		NestedLoops: 20, GraceBuilds: 2, HashBuildRows: 2500, HashProbeRows: 4000,
+		AnalyzeRuns: 1,
+	})
+
+	if got := m.JoinQueries().Total(); got != 100 {
+		t.Fatalf("join queries total = %d, want 100", got)
+	}
+	if got := m.Reordered().Total(); got != 30 {
+		t.Fatalf("reordered total = %d, want 30", got)
+	}
+	if got := m.HashJoins().Total(); got != 60 {
+		t.Fatalf("hash joins total = %d, want 60", got)
+	}
+	if got := m.GraceBuilds().Total(); got != 2 {
+		t.Fatalf("grace builds total = %d, want 2", got)
+	}
+	if got := m.HashBuildRows().Total(); got != 1500 {
+		t.Fatalf("build rows total = %d, want 1500", got)
+	}
+	pts := m.HashProbeRows().PerInterval(start.Add(2 * time.Minute))
+	if len(pts) != 3 || pts[1].Value != 600 || pts[2].Value != 1400 {
+		t.Fatalf("per-interval probe rows = %v", pts)
+	}
+	// Cumulative hash share: 100 / (100+80+20).
+	if got := m.HashShare(); got != 0.5 {
+		t.Fatalf("hash share = %v, want 0.5", got)
+	}
+}

@@ -101,6 +101,12 @@ type DeleteStmt struct {
 	Where Expr
 }
 
+// AnalyzeStmt is ANALYZE [table]: refresh the cardinality statistics the
+// cost-based join planner runs on. An empty Table analyzes every table.
+type AnalyzeStmt struct {
+	Table string
+}
+
 // BeginStmt, CommitStmt and RollbackStmt control explicit transactions.
 type (
 	// BeginStmt is BEGIN [TRANSACTION] [READ ONLY]. ReadOnly selects a
@@ -117,6 +123,7 @@ func (*CreateIndexStmt) stmtNode() {}
 func (*DropTableStmt) stmtNode()   {}
 func (*DropIndexStmt) stmtNode()   {}
 func (*InsertStmt) stmtNode()      {}
+func (*AnalyzeStmt) stmtNode()     {}
 func (*SelectStmt) stmtNode()      {}
 func (*UpdateStmt) stmtNode()      {}
 func (*DeleteStmt) stmtNode()      {}

@@ -105,6 +105,19 @@ type DB struct {
 	versionsPruned  atomic.Uint64
 	slotsReclaimed  atomic.Uint64
 	entriesRemoved  atomic.Uint64
+
+	// Cost-based join planner state (see stats.go, join.go).
+	plannerMode        atomic.Int32
+	hashBudget         atomic.Int64
+	plannerJoinQueries atomic.Uint64
+	plannerReordered   atomic.Uint64
+	plannerHashJoins   atomic.Uint64
+	plannerIndexNL     atomic.Uint64
+	plannerNestedLoops atomic.Uint64
+	plannerGraceBuilds atomic.Uint64
+	plannerBuildRows   atomic.Uint64
+	plannerProbeRows   atomic.Uint64
+	plannerAnalyzeRuns atomic.Uint64
 }
 
 // New creates a pure in-memory database (no durability).
@@ -621,6 +634,16 @@ func (tx *Tx) execStmt(stmt Statement, params []Value) (Result, *Rows, error) {
 	case *DeleteStmt:
 		res, err := tx.execDelete(s, params)
 		return res, nil, err
+	case *AnalyzeStmt:
+		if tx.readOnly {
+			return Result{}, nil, ErrReadOnly
+		}
+		if !tx.implicit {
+			return Result{}, nil, fmt.Errorf("sqldb: ANALYZE is not allowed inside an explicit transaction")
+		}
+		err := tx.execAnalyze(s)
+		tx.db.emit(StmtStats{Kind: "ANALYZE", Table: s.Table})
+		return Result{}, nil, err
 	case *CreateTableStmt, *CreateIndexStmt, *DropTableStmt, *DropIndexStmt:
 		if tx.readOnly {
 			return Result{}, nil, ErrReadOnly
@@ -691,6 +714,23 @@ func (db *DB) applyDDL(stmt Statement, tx *Tx) error {
 		delete(db.tables, name)
 		if tx != nil {
 			tx.recordDDL("DROP TABLE " + name)
+		}
+		return nil
+	case *AnalyzeStmt:
+		// Recovery replay: ANALYZE records are logged after the data they
+		// describe, so recomputing here reproduces the pre-crash statistics.
+		if s.Table != "" {
+			tbl := db.tables[strings.ToLower(s.Table)]
+			if tbl == nil {
+				return fmt.Errorf("sqldb: no table %s", s.Table)
+			}
+			tbl.analyze()
+			db.plannerAnalyzeRuns.Add(1)
+		} else {
+			for _, tbl := range db.tables {
+				tbl.analyze()
+				db.plannerAnalyzeRuns.Add(1)
+			}
 		}
 		return nil
 	case *DropIndexStmt:
@@ -798,6 +838,14 @@ func (db *DB) Checkpoint() error {
 			appendRecord(&buf, &walRecord{op: walInsert, txn: 0, table: n, rid: rid, row: row})
 			return true
 		})
+	}
+	// ANALYZE records ride after the data they describe, so replaying the
+	// checkpoint recomputes the same planner statistics.
+	for _, n := range names {
+		tbl := db.tables[n]
+		if tbl != nil && tbl.analyzed.Load() {
+			appendRecord(&buf, &walRecord{op: walDDL, txn: 0, sql: "ANALYZE " + n})
+		}
 	}
 	db.mu.Unlock()
 	appendRecord(&buf, &walRecord{op: walCommit, txn: 0})

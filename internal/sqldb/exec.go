@@ -48,7 +48,6 @@ type query struct {
 	bindings []tableBinding
 	env      *evalEnv
 	access   []accessPlan
-	onConj   [][]Expr // per ref: ON conjuncts
 	filters  [][]Expr // per ref: WHERE conjuncts first evaluable there
 	stats    *StmtStats
 	// rowLock is the lock mode taken on each row visited through an index
@@ -72,16 +71,32 @@ type query struct {
 	// performance knob: the scan still continues batch by batch for as long
 	// as the visitor accepts rows.
 	batchHint int
+	// steps is the cost-based join plan for multi-table SELECTs (join.go):
+	// the chosen execution order with per-step strategy and predicates.
+	steps []stepPlan
+	// Hash-join volume counters, flushed to the DB's planner counters once
+	// per statement (keeps atomics off the per-row hot path).
+	buildRows   uint64
+	probeRows   uint64
+	graceBuilds uint64
 }
 
 var errStopScan = fmt.Errorf("sqldb: internal: stop scan")
 
 func (tx *Tx) execSelect(s *SelectStmt, params []Value) (*Rows, error) {
 	stats := StmtStats{Kind: "SELECT"}
-	defer func() { tx.db.emit(stats) }()
-
 	q := &query{tx: tx, stmt: s, params: params, stats: &stats, rowLock: lockShared,
 		snapRead: tx.readOnly, snapTS: tx.snap}
+	// Deferred so failing statements still report: a grace-degraded build
+	// on a query that later errors is exactly what an operator wants to see.
+	defer func() {
+		if q.buildRows > 0 || q.probeRows > 0 || q.graceBuilds > 0 {
+			tx.db.plannerBuildRows.Add(q.buildRows)
+			tx.db.plannerProbeRows.Add(q.probeRows)
+			tx.db.plannerGraceBuilds.Add(q.graceBuilds)
+		}
+		tx.db.emit(stats)
+	}()
 	if q.snapRead {
 		tx.db.snapshotReads.Add(1)
 	}
@@ -182,14 +197,18 @@ func (tx *Tx) execSelect(s *SelectStmt, params []Value) (*Rows, error) {
 }
 
 // plan splits predicates into conjuncts, assigns them to join positions,
-// and selects access paths.
+// and selects access paths. Multi-table SELECTs go through the cost-based
+// join planner (join.go); single-table statements keep the direct
+// access-path selection below.
 func (q *query) plan() error {
 	n := len(q.bindings)
-	q.onConj = make([][]Expr, n)
 	q.filters = make([][]Expr, n)
 	q.access = make([]accessPlan, n)
 	if n == 0 {
 		return nil
+	}
+	if n >= 2 {
+		return q.planJoin()
 	}
 	q.orderable = n == 1 && len(q.stmt.OrderBy) > 0 && !q.stmt.Distinct &&
 		len(q.stmt.GroupBy) == 0 && q.stmt.Having == nil
@@ -213,11 +232,6 @@ func (q *query) plan() error {
 			}
 		}
 	}
-	for i := 1; i < n; i++ {
-		if q.stmt.From[i].On != nil {
-			q.onConj[i] = conjuncts(q.stmt.From[i].On)
-		}
-	}
 	for _, c := range conjuncts(q.stmt.Where) {
 		pos, err := q.lastBindingPos(c)
 		if err != nil {
@@ -225,19 +239,11 @@ func (q *query) plan() error {
 		}
 		q.filters[pos] = append(q.filters[pos], c)
 	}
-	for i := 0; i < n; i++ {
-		// Index-eligible conjuncts: the table's own filters (inner join or
-		// first table only — pushing WHERE into a LEFT JOIN inner scan
-		// would change padding semantics) plus its ON conjuncts.
-		var usable []Expr
-		usable = append(usable, q.onConj[i]...)
-		if i == 0 || q.stmt.From[i].Join == JoinInner {
-			usable = append(usable, q.filters[i]...)
-		}
-		q.access[i] = q.chooseAccess(i, usable)
-		if q.access[i].index != nil {
-			q.stats.UsedIndex = true
-		}
+	// Index-eligible conjuncts for the single table: its WHERE filters.
+	canEval := func(e Expr) bool { return !refsColumns(e) }
+	q.access[0] = q.chooseAccess(0, q.filters[0], canEval)
+	if q.access[0].index != nil {
+		q.stats.UsedIndex = true
 	}
 	return nil
 }
@@ -311,10 +317,13 @@ type rangeBound struct {
 
 // chooseAccess picks the index with the longest equality prefix satisfied
 // by the usable conjuncts for table position i, extending it with a range
-// bound on the following column when one is available.
-func (q *query) chooseAccess(i int, usable []Expr) accessPlan {
-	// boundSide classifies `col OP expr` where expr is computable before
-	// position i; returns the column index or -1.
+// bound on the following column when one is available. canEval reports
+// whether the non-column side of a conjunct is computable when this table
+// is scanned (constants only for a driver scan; anything over the placed
+// prefix for an index nested-loop probe).
+func (q *query) chooseAccess(i int, usable []Expr, canEval func(Expr) bool) accessPlan {
+	// boundSide classifies `col OP expr` where expr is computable at scan
+	// time; returns the column index or -1.
 	boundSide := func(colSide, otherSide Expr) int {
 		cr, ok := colSide.(*ColRef)
 		if !ok {
@@ -324,8 +333,7 @@ func (q *query) chooseAccess(i int, usable []Expr) accessPlan {
 		if err != nil || pos != i {
 			return -1
 		}
-		other, err := q.lastBindingPos(otherSide)
-		if err != nil || (other >= i && refsColumns(otherSide)) {
+		if !canEval(otherSide) {
 			return -1
 		}
 		return q.bindings[i].tbl.schema.ColumnIndex(cr.Name)
@@ -519,7 +527,13 @@ func (q *query) scanBinding(i int, visit func(row []Value) error) error {
 // scanAccess is the shared access-path executor: full scan, equality
 // prefix, or equality prefix + range bound.
 func (q *query) scanAccess(i int, visit func(rid int64, row []Value) error) error {
-	ap := q.access[i]
+	return q.scanPlan(i, q.access[i], visit)
+}
+
+// scanPlan executes one access path over binding i. Join steps pass their
+// own plans (a hash build's local-predicate scan, an index NL probe);
+// single-table statements use the plan in q.access.
+func (q *query) scanPlan(i int, ap accessPlan, visit func(rid int64, row []Value) error) error {
 	tbl := q.bindings[i].tbl
 	if ap.index == nil {
 		var err error
@@ -743,26 +757,14 @@ func (q *query) scanAccess(i int, visit func(rid int64, row []Value) error) erro
 	}
 }
 
-// join runs the nested-loop join from position i, calling emit for each
-// fully joined row bound in q.env.
+// join runs the single-table scan loop (multi-table statements execute
+// through the planned steps in join.go; see joinLoop).
 func (q *query) join(i int, emit func() error) error {
 	if i == len(q.bindings) {
 		return emit()
 	}
-	isLeft := i > 0 && q.stmt.From[i].Join == JoinLeft
-	matched := false
-	err := q.scanBinding(i, func(row []Value) error {
+	return q.scanBinding(i, func(row []Value) error {
 		q.env.bindings[i].row = row
-		for _, c := range q.onConj[i] {
-			ok, err := truthy(q.env.eval(c))
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
-		}
-		matched = true
 		for _, c := range q.filters[i] {
 			ok, err := truthy(q.env.eval(c))
 			if err != nil {
@@ -774,23 +776,6 @@ func (q *query) join(i int, emit func() error) error {
 		}
 		return q.join(i+1, emit)
 	})
-	if err != nil {
-		return err
-	}
-	if isLeft && !matched {
-		q.env.bindings[i].row = nil
-		for _, c := range q.filters[i] {
-			ok, err := truthy(q.env.eval(c))
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
-		}
-		return q.join(i+1, emit)
-	}
-	return nil
 }
 
 // expandOutputs resolves stars into column refs and names the outputs.
@@ -936,7 +921,7 @@ func (q *query) runPlain(outs []Expr) ([][]Value, error) {
 		}
 	}
 
-	err := q.join(0, func() error {
+	err := q.joinLoop(func() error {
 		out := make([]Value, len(outs))
 		for i, e := range outs {
 			v, err := q.env.eval(e)
@@ -1033,7 +1018,7 @@ func (q *query) runAggregate(outs []Expr) ([][]Value, error) {
 	groups := make(map[string]*group)
 	var order []string // deterministic group order of first appearance
 
-	err := q.join(0, func() error {
+	err := q.joinLoop(func() error {
 		var keyBuf bytes.Buffer
 		for _, ge := range q.stmt.GroupBy {
 			v, err := q.env.eval(ge)

@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -291,6 +292,11 @@ func TestInnerJoinWithIndexLookup(t *testing.T) {
 	mustExec(t, db, `CREATE TABLE machines (name TEXT PRIMARY KEY, speed FLOAT)`)
 	mustExec(t, db, `CREATE TABLE runs (job_id INTEGER PRIMARY KEY, machine TEXT)`)
 	mustExec(t, db, `INSERT INTO machines VALUES ('m1', 1.0), ('m2', 2.0)`)
+	// Enough machines that probing the pk index clearly beats scanning the
+	// machines table (the cost-based planner picks plans by size).
+	for i := 3; i <= 50; i++ {
+		mustExec(t, db, `INSERT INTO machines VALUES (?, 1.0)`, fmt.Sprintf("m%d", i))
+	}
 	mustExec(t, db, `INSERT INTO runs VALUES (1, 'm1'), (2, 'm2'), (3, 'm1')`)
 	var stats StmtStats
 	db.SetStatsHook(func(s StmtStats) {

@@ -2,6 +2,7 @@ package sqldb
 
 import (
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -65,15 +66,55 @@ func (tx *Tx) execExplain(s *ExplainStmt, params []Value) (*Rows, error) {
 	if snap {
 		readMode = "SNAPSHOT READ"
 	}
-	rows := &Rows{Columns: []string{"table", "access", "read"}}
+	rows := &Rows{Columns: []string{"table", "access", "read", "join", "rows"}}
+	if len(q.bindings) >= 2 {
+		// One row per step, in the chosen execution order: the row order IS
+		// the join order; the join column is the per-edge strategy; the rows
+		// column is the estimated cumulative cardinality after the step.
+		for i := range q.steps {
+			st := &q.steps[i]
+			b := q.bindings[st.bind]
+			rows.Data = append(rows.Data, []Value{
+				NewText(b.tbl.schema.Name),
+				NewText(describeAccess(st.access, b.tbl)),
+				NewText(readMode),
+				NewText(describeStep(st)),
+				NewInt(int64(math.Round(st.estOut))),
+			})
+		}
+		return rows, nil
+	}
 	for i, b := range q.bindings {
+		est := b.tbl.estRows()
+		for _, c := range q.filters[i] {
+			est *= q.localSelectivity(i, c)
+		}
 		rows.Data = append(rows.Data, []Value{
 			NewText(b.tbl.schema.Name),
 			NewText(describeAccess(q.access[i], b.tbl)),
 			NewText(readMode),
+			NewText("-"),
+			NewInt(int64(math.Round(est))),
 		})
 	}
 	return rows, nil
+}
+
+// describeStep renders one join step's strategy, including hash-join keys
+// and build side.
+func describeStep(st *stepPlan) string {
+	if st.strat != stratHash {
+		return st.strat.String()
+	}
+	parts := make([]string, len(st.hashOuter))
+	for i := range st.hashOuter {
+		parts[i] = fmt.Sprintf("%s = %s", exprString(st.hashOuter[i]), exprString(st.hashInner[i]))
+	}
+	side := ""
+	if st.buildOuter {
+		side = " BUILD OUTER"
+	}
+	return fmt.Sprintf("HASH JOIN%s (%s)", side, strings.Join(parts, ", "))
 }
 
 // describeAccess renders one access path.

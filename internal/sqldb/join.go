@@ -1,0 +1,930 @@
+package sqldb
+
+// Cost-based join planning and execution. The CAS's hot status queries
+// (vm→matches→jobs, job→executable→dataset provenance) are multi-way
+// joins; this file replaces the fixed left-deep syntactic-order nested
+// loop with a planner that
+//
+//   - reorders inner joins by estimated cost (exhaustive for segments of
+//     ≤5 tables, greedy beyond), using the statistics in stats.go;
+//   - picks a per-edge strategy: hash join for equi-join conjuncts, index
+//     nested-loop when an index covers the join keys, plain nested loop
+//     otherwise;
+//   - builds hash tables on the estimated-smaller input (the new table or
+//     the accumulated outer stream), grace-degrading to chunked builds
+//     when the build side exceeds the memory budget, with match-bit
+//     tracking so LEFT JOIN NULL-padding stays correct in every mode.
+//
+// LEFT JOIN positions are reorder barriers: only runs of consecutive
+// inner-joined tables (segments) are permuted, which keeps outer-join
+// semantics independent of the chosen order. The forced nested-loop
+// reference path (PlannerForceNestedLoop) executes the same conjunct
+// placement in syntactic order with full scans only — the differential
+// join fuzzer holds the cost-based planner to its results.
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+)
+
+// joinStrategy is the per-step execution strategy.
+type joinStrategy int
+
+const (
+	stratScan    joinStrategy = iota // driver table: plain access-path scan
+	stratNL                          // nested loop (re-scan per outer row)
+	stratIndexNL                     // index nested-loop probe per outer row
+	stratHash                        // hash join on equi-conjunct keys
+)
+
+func (s joinStrategy) String() string {
+	switch s {
+	case stratScan:
+		return "DRIVER"
+	case stratNL:
+		return "NESTED LOOP"
+	case stratIndexNL:
+		return "INDEX NL"
+	case stratHash:
+		return "HASH JOIN"
+	}
+	return "?"
+}
+
+// stepPlan is one position of the chosen join order.
+type stepPlan struct {
+	bind      int  // binding index (position in q.bindings / FROM)
+	leftOuter bool // LEFT JOIN semantics at this step
+	strat     joinStrategy
+	// access is the scan path for this table: the per-probe index plan for
+	// stratIndexNL, the local-predicate build scan for stratHash, the full
+	// scan (or local index) for stratScan/stratNL.
+	access accessPlan
+	// match decides whether an (outer, candidate) pair joins: LEFT ON
+	// conjuncts, or every conjunct first evaluable here for inner steps.
+	// For hash steps the purely-local conjuncts move to local instead.
+	match []Expr
+	// post holds WHERE conjuncts applied after the LEFT padding decision.
+	post []Expr
+	// local are match conjuncts referencing only this table; hash builds
+	// apply them while scanning the build input.
+	local []Expr
+	// hashOuter/hashInner are the equi-join key expressions (outer side
+	// evaluated against the accumulated prefix, inner side against this
+	// table's row).
+	hashOuter []Expr
+	hashInner []Expr
+	// buildOuter builds the hash table over the materialized outer stream
+	// (estimated smaller) and probes it with one scan of this table.
+	buildOuter bool
+	estBase    float64 // estimated rows of this table after local conjuncts
+	estOut     float64 // estimated cumulative rows after this step
+	hj         *hashState
+}
+
+// hashState is the runtime state of one hash-join step.
+type hashState struct {
+	rows    [][]Value // build-side (inner) rows after local conjuncts
+	table   map[string][]int32
+	chunked bool // build exceeded the budget: grace-degrade to chunks
+}
+
+// outerTuple is one materialized outer-prefix row (hash joins that build
+// on the outer side, or probe chunked builds). matched is the match bit
+// that keeps LEFT JOIN padding correct across chunks.
+type outerTuple struct {
+	rows    [][]Value
+	key     string
+	hasKey  bool
+	matched bool
+}
+
+// joinConj is one predicate conjunct with the set of bindings it
+// references as a bitmask.
+type joinConj struct {
+	e    Expr
+	refs uint64
+}
+
+// conjRefs computes the binding-reference bitmask of an expression,
+// surfacing unknown/ambiguous column errors at plan time.
+func (q *query) conjRefs(e Expr) (uint64, error) {
+	var mask uint64
+	var firstErr error
+	walkExpr(e, func(x Expr) {
+		cr, ok := x.(*ColRef)
+		if !ok {
+			return
+		}
+		p, err := q.bindingPos(cr)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		mask |= uint64(1) << uint(p)
+	})
+	return mask, firstErr
+}
+
+// planJoin plans a multi-table SELECT: conjunct classification, join
+// ordering, per-edge strategy selection. It fills q.steps and mirrors the
+// chosen scan paths into q.access so the lock-mode selection and EXPLAIN
+// keep working per table.
+func (q *query) planJoin() error {
+	n := len(q.bindings)
+	if n > 64 {
+		return fmt.Errorf("sqldb: too many joined tables (max 64)")
+	}
+	db := q.tx.db
+	mode := PlannerMode(db.plannerMode.Load())
+	db.plannerJoinQueries.Add(1)
+
+	// Classify conjuncts: LEFT ON conjuncts are pinned to their step; inner
+	// ON conjuncts are equivalent to WHERE conjuncts and join the shared
+	// pool, where each is consumed at the earliest step binding all its
+	// references.
+	var pool []joinConj
+	leftOn := make([][]joinConj, n)
+	add := func(dst *[]joinConj, e Expr) error {
+		refs, err := q.conjRefs(e)
+		if err != nil {
+			return err
+		}
+		*dst = append(*dst, joinConj{e: e, refs: refs})
+		return nil
+	}
+	for i := 1; i < n; i++ {
+		for _, c := range conjuncts(q.stmt.From[i].On) {
+			dst := &pool
+			if q.stmt.From[i].Join == JoinLeft {
+				dst = &leftOn[i]
+			}
+			if err := add(dst, c); err != nil {
+				return err
+			}
+		}
+	}
+	for _, c := range conjuncts(q.stmt.Where) {
+		if err := add(&pool, c); err != nil {
+			return err
+		}
+	}
+
+	// build instantiates the steps for one complete order, returning the
+	// total estimated cost.
+	build := func(order []int) ([]stepPlan, float64) {
+		placed := uint64(0)
+		est := 1.0
+		cost := 0.0
+		steps := make([]stepPlan, 0, n)
+		for _, b := range order {
+			leftOuter := b > 0 && q.stmt.From[b].Join == JoinLeft
+			st, c := q.makeStep(placed, est, b, leftOuter, pool, leftOn[b], mode)
+			steps = append(steps, st)
+			cost += c
+			est = st.estOut
+			placed |= uint64(1) << uint(b)
+		}
+		return steps, cost
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if mode == PlannerCostBased {
+		order = q.chooseOrder(pool, leftOn)
+	}
+	reordered := false
+	for i, b := range order {
+		if i != b {
+			reordered = true
+		}
+	}
+	if reordered {
+		db.plannerReordered.Add(1)
+	}
+
+	steps, _ := build(order)
+	q.steps = steps
+	for i := range steps {
+		st := &steps[i]
+		q.access[st.bind] = st.access
+		if st.access.index != nil {
+			q.stats.UsedIndex = true
+		}
+		switch st.strat {
+		case stratHash:
+			db.plannerHashJoins.Add(1)
+		case stratIndexNL:
+			db.plannerIndexNL.Add(1)
+		case stratNL:
+			db.plannerNestedLoops.Add(1)
+		}
+	}
+	return nil
+}
+
+// orderState is the incremental planning state after some prefix of the
+// join order: which tables are placed, the cumulative cardinality
+// estimate, and the accumulated cost.
+type orderState struct {
+	placed uint64
+	est    float64
+	cost   float64
+}
+
+// extendOrder advances st by the tables in seq (cost-mode planning).
+func (q *query) extendOrder(st orderState, seq []int, pool []joinConj, leftOn [][]joinConj) orderState {
+	for _, b := range seq {
+		leftOuter := b > 0 && q.stmt.From[b].Join == JoinLeft
+		sp, c := q.makeStep(st.placed, st.est, b, leftOuter, pool, leftOn[b], PlannerCostBased)
+		st.cost += c
+		st.est = sp.estOut
+		st.placed |= uint64(1) << uint(b)
+	}
+	return st
+}
+
+// chooseOrder picks the join order: LEFT JOIN positions are fixed
+// barriers; runs of inner-joined tables between them are permuted —
+// exhaustively for runs of ≤5 tables, greedily beyond. The search
+// threads the incremental prefix state forward, so candidate
+// permutations only pay for their own segment's steps, never for
+// re-planning the already-chosen prefix.
+func (q *query) chooseOrder(pool []joinConj, leftOn [][]joinConj) []int {
+	n := len(q.bindings)
+	var segs [][]int
+	var lefts []bool
+	cur := []int{0}
+	for i := 1; i < n; i++ {
+		if q.stmt.From[i].Join == JoinLeft {
+			if len(cur) > 0 {
+				segs = append(segs, cur)
+				lefts = append(lefts, false)
+			}
+			segs = append(segs, []int{i})
+			lefts = append(lefts, true)
+			cur = nil
+		} else {
+			cur = append(cur, i)
+		}
+	}
+	if len(cur) > 0 {
+		segs = append(segs, cur)
+		lefts = append(lefts, false)
+	}
+
+	chosen := make([]int, 0, n)
+	state := orderState{est: 1}
+	for si, seg := range segs {
+		switch {
+		case lefts[si] || len(seg) == 1:
+			chosen = append(chosen, seg...)
+		case len(seg) <= 5:
+			var best []int
+			bestCost := math.Inf(1)
+			permute(seg, func(p []int) {
+				if c := q.extendOrder(state, p, pool, leftOn).cost; c < bestCost-1e-9 {
+					bestCost = c
+					best = append(best[:0], p...)
+				}
+			})
+			chosen = append(chosen, best...)
+		default:
+			// Greedy: repeatedly add the table with the cheapest next step.
+			remaining := append([]int(nil), seg...)
+			for len(remaining) > 0 {
+				bestIdx := 0
+				bestCost := math.Inf(1)
+				for ri := range remaining {
+					if c := q.extendOrder(state, remaining[ri:ri+1], pool, leftOn).cost; c < bestCost-1e-9 {
+						bestCost = c
+						bestIdx = ri
+					}
+				}
+				state = q.extendOrder(state, remaining[bestIdx:bestIdx+1], pool, leftOn)
+				chosen = append(chosen, remaining[bestIdx])
+				remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+			}
+			continue
+		}
+		// Advance the prefix state past this segment's final order.
+		state = q.extendOrder(state, chosen[len(chosen)-len(seg):], pool, leftOn)
+	}
+	return chosen
+}
+
+// permute enumerates permutations of s in lexicographic order of element
+// positions (the identity first, so cost ties keep the syntactic order).
+func permute(s []int, fn func([]int)) {
+	p := append([]int(nil), s...)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(p) {
+			fn(p)
+			return
+		}
+		for i := k; i < len(p); i++ {
+			// Rotate element i to position k, keeping relative order of the
+			// rest — yields lexicographic enumeration.
+			v := p[i]
+			copy(p[k+1:i+1], p[k:i])
+			p[k] = v
+			rec(k + 1)
+			copy(p[k:i], p[k+1:i+1])
+			p[i] = v
+		}
+	}
+	rec(0)
+}
+
+// makeStep plans one join step: consumes the conjuncts that become
+// evaluable when b joins the placed set, estimates cardinalities, and
+// picks the cheapest strategy. Returns the step and its estimated cost.
+func (q *query) makeStep(placed uint64, est float64, b int, leftOuter bool, pool, leftOnB []joinConj, mode PlannerMode) (stepPlan, float64) {
+	bbit := uint64(1) << uint(b)
+	tbl := q.bindings[b].tbl
+	rowsB := tbl.estRows()
+	st := stepPlan{bind: b, leftOuter: leftOuter}
+
+	// Conjunct consumption: evaluable now, not evaluable before.
+	var matchCs, postCs []joinConj
+	for _, c := range pool {
+		if c.refs&^(placed|bbit) != 0 {
+			continue // references a table not yet placed
+		}
+		if placed != 0 && c.refs&^placed == 0 {
+			continue // consumed at an earlier step
+		}
+		if leftOuter {
+			postCs = append(postCs, c) // WHERE applies after padding
+		} else {
+			matchCs = append(matchCs, c)
+		}
+	}
+	matchCs = append(matchCs, leftOnB...)
+
+	// Split local conjuncts and find equi-join edges.
+	type edge struct {
+		outer, inner Expr
+		innerCol     int
+	}
+	var local, cross []joinConj
+	var edges []edge
+	for _, c := range matchCs {
+		if c.refs&^bbit == 0 {
+			local = append(local, c)
+			continue
+		}
+		cross = append(cross, c)
+		bin, ok := c.e.(*Binary)
+		if !ok || bin.Op != "=" {
+			continue
+		}
+		lr, el := q.conjRefs(bin.L)
+		rr, er := q.conjRefs(bin.R)
+		if el != nil || er != nil {
+			continue
+		}
+		switch {
+		case lr&^placed == 0 && lr != 0 && rr&^bbit == 0 && rr != 0:
+			edges = append(edges, edge{outer: bin.L, inner: bin.R, innerCol: q.colOn(b, bin.R)})
+		case rr&^placed == 0 && rr != 0 && lr&^bbit == 0 && lr != 0:
+			edges = append(edges, edge{outer: bin.R, inner: bin.L, innerCol: q.colOn(b, bin.L)})
+		}
+	}
+
+	// Cardinality estimates.
+	estBase := rowsB
+	for _, c := range local {
+		estBase *= q.localSelectivity(b, c.e)
+	}
+	if estBase < 0.1 {
+		estBase = 0.1
+	}
+	sel := 1.0
+	for _, ed := range edges {
+		d := 10.0
+		if ed.innerCol >= 0 {
+			d = tbl.distinctOfCol(ed.innerCol)
+		}
+		sel /= math.Max(d, 1)
+	}
+	for i := len(edges); i < len(cross); i++ {
+		sel *= 0.33 // non-equi cross conjuncts
+	}
+	estMatched := est * estBase * sel
+	if estMatched < 0.1 {
+		estMatched = 0.1
+	}
+
+	// Access paths: accessAll may probe on outer-dependent keys (index
+	// NL); accessLocal uses only outer-independent predicates (build scan
+	// and plain scans).
+	canEvalOuter := func(e Expr) bool {
+		r, err := q.conjRefs(e)
+		return err == nil && r&^placed == 0
+	}
+	canEvalConst := func(e Expr) bool {
+		r, err := q.conjRefs(e)
+		return err == nil && r == 0
+	}
+	usable := make([]Expr, 0, len(matchCs))
+	for _, c := range matchCs {
+		usable = append(usable, c.e)
+	}
+	localEx := make([]Expr, 0, len(local))
+	for _, c := range local {
+		localEx = append(localEx, c.e)
+	}
+	accessAll := q.chooseAccess(b, usable, canEvalOuter)
+	accessLocal := q.chooseAccess(b, localEx, canEvalConst)
+
+	// Strategy costs.
+	logB := math.Log2(math.Max(rowsB, 2))
+	scanB := math.Max(rowsB, 0.5)
+	if accessLocal.index != nil {
+		scanB = estBase*1.5 + logB
+	}
+	costNL := est * math.Max(rowsB, 0.5)
+	costIdx := math.Inf(1)
+	if accessAll.index != nil {
+		costIdx = est * (logB + 1)
+	}
+	costHash := math.Inf(1)
+	if len(edges) > 0 {
+		// Fixed setup overhead plus a per-row hashing constant keep hash
+		// joins from beating index probes on tiny inputs.
+		costHash = 4 + scanB + est + 2*math.Min(estBase, est)
+	}
+
+	allEx := usable
+	st.estBase = estBase
+	st.estOut = estMatched
+	if leftOuter && st.estOut < est {
+		st.estOut = est
+	}
+
+	var cost float64
+	switch {
+	case placed == 0:
+		st.strat = stratScan
+		st.access = accessLocal
+		st.match = allEx
+		st.estOut = estBase
+		cost = scanB
+	case mode == PlannerForceNestedLoop:
+		st.strat = stratNL
+		st.access = accessPlan{} // full scan: the obviously-correct reference
+		st.match = allEx
+		cost = costNL
+	case costHash <= costIdx && costHash <= costNL:
+		st.strat = stratHash
+		st.access = accessLocal
+		for _, ed := range edges {
+			st.hashOuter = append(st.hashOuter, ed.outer)
+			st.hashInner = append(st.hashInner, ed.inner)
+		}
+		// Equi conjuncts stay in match: the hash buckets narrow candidates,
+		// the original predicates still decide (guards the rare cases where
+		// canonical key encoding is coarser than SQL `=`).
+		for _, c := range cross {
+			st.match = append(st.match, c.e)
+		}
+		st.local = localEx
+		st.buildOuter = est < estBase
+		cost = costHash
+	case costIdx <= costNL:
+		st.strat = stratIndexNL
+		st.access = accessAll
+		st.match = allEx
+		cost = costIdx
+	default:
+		st.strat = stratNL
+		st.access = accessLocal
+		st.match = allEx
+		cost = costNL
+	}
+	for _, c := range postCs {
+		st.post = append(st.post, c.e)
+	}
+	return st, cost + estMatched
+}
+
+// colOn resolves e to a column index of binding b when e is a plain
+// column reference on b; -1 otherwise.
+func (q *query) colOn(b int, e Expr) int {
+	cr, ok := e.(*ColRef)
+	if !ok {
+		return -1
+	}
+	p, err := q.bindingPos(cr)
+	if err != nil || p != b {
+		return -1
+	}
+	return q.bindings[b].tbl.schema.ColumnIndex(cr.Name)
+}
+
+// localSelectivity estimates the fraction of b's rows passing one
+// single-table conjunct (System-R-style defaults, sharpened by
+// distinct-key statistics for equality).
+func (q *query) localSelectivity(b int, e Expr) float64 {
+	tbl := q.bindings[b].tbl
+	switch x := e.(type) {
+	case *Binary:
+		switch x.Op {
+		case "=":
+			if ci := q.colOn(b, x.L); ci >= 0 && !refsColumns(x.R) {
+				return 1 / math.Max(tbl.distinctOfCol(ci), 1)
+			}
+			if ci := q.colOn(b, x.R); ci >= 0 && !refsColumns(x.L) {
+				return 1 / math.Max(tbl.distinctOfCol(ci), 1)
+			}
+			return 0.1
+		case "<", "<=", ">", ">=":
+			return 0.3
+		case "<>":
+			return 0.9
+		case "or":
+			return 0.5
+		}
+		return 0.33
+	case *InExpr:
+		if ci := q.colOn(b, x.X); ci >= 0 && !x.Not {
+			s := float64(len(x.List)) / math.Max(tbl.distinctOfCol(ci), 1)
+			return math.Min(s, 1)
+		}
+		return 0.25
+	case *BetweenExpr:
+		return 0.25
+	case *IsNullExpr:
+		if x.Not {
+			return 0.9
+		}
+		return 0.1
+	case *LikeExpr:
+		return 0.25
+	default:
+		return 0.33
+	}
+}
+
+// --- execution ---
+
+// joinLoop drives the join pipeline, calling emit once per fully joined
+// row bound in q.env. Single-table statements keep the legacy scan path.
+func (q *query) joinLoop(emit func() error) error {
+	if len(q.bindings) <= 1 {
+		return q.join(0, emit)
+	}
+	return q.driveStep(len(q.steps)-1, emit)
+}
+
+// driveStep produces every joined tuple of steps[0..k], leaving the rows
+// bound in q.env for emit. Streaming strategies wrap the upstream driver;
+// materializing hash modes collect the outer stream first.
+func (q *query) driveStep(k int, emit func() error) error {
+	if k < 0 {
+		return emit()
+	}
+	st := &q.steps[k]
+	if st.strat == stratHash {
+		return q.driveHash(k, st, emit)
+	}
+	return q.driveStep(k-1, func() error { return q.nestedProbe(st, emit) })
+}
+
+// evalConjs evaluates predicates with WHERE semantics (all must be TRUE).
+func (q *query) evalConjs(cs []Expr) (bool, error) {
+	for _, c := range cs {
+		ok, err := truthy(q.env.eval(c))
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// nestedProbe runs one nested-loop / index-NL probe of st for the outer
+// row currently bound in q.env.
+func (q *query) nestedProbe(st *stepPlan, emit func() error) error {
+	matched := false
+	err := q.scanPlan(st.bind, st.access, func(rid int64, row []Value) error {
+		q.env.bindings[st.bind].row = row
+		if ok, err := q.evalConjs(st.match); err != nil || !ok {
+			return err
+		}
+		matched = true
+		if ok, err := q.evalConjs(st.post); err != nil || !ok {
+			return err
+		}
+		return emit()
+	})
+	if err != nil {
+		return err
+	}
+	if st.leftOuter && !matched {
+		return q.padAndEmit(st, emit)
+	}
+	return nil
+}
+
+// padAndEmit emits the NULL-padded row of a LEFT JOIN step.
+func (q *query) padAndEmit(st *stepPlan, emit func() error) error {
+	q.env.bindings[st.bind].row = nil
+	if ok, err := q.evalConjs(st.post); err != nil || !ok {
+		return err
+	}
+	return emit()
+}
+
+// evalHashKey encodes the join key for the current env. ok is false when
+// any key part is NULL (never matches anything).
+func (q *query) evalHashKey(exprs []Expr) (string, bool, error) {
+	var kb bytes.Buffer
+	for _, e := range exprs {
+		v, err := q.env.eval(e)
+		if err != nil {
+			return "", false, err
+		}
+		if v.IsNull() {
+			return "", false, nil
+		}
+		writeHashValue(&kb, v)
+	}
+	return kb.String(), true, nil
+}
+
+// writeHashValue canonicalizes a value so that values equal under SQL `=`
+// encode identically: Int and Float compare numerically, so integral
+// floats in int64 range encode as ints. (Out-of-range numerics keep their
+// own encoding; the equi predicates remain in the match list, so hash
+// buckets only ever narrow candidates, never accept wrong ones.)
+func writeHashValue(b *bytes.Buffer, v Value) {
+	if v.Type() == Float {
+		f := v.Float64()
+		if f == math.Trunc(f) && f >= -9.2e18 && f <= 9.2e18 {
+			v = NewInt(int64(f))
+		}
+	}
+	writeValue(b, v)
+}
+
+// driveHash executes one hash-join step.
+func (q *query) driveHash(k int, st *stepPlan, emit func() error) error {
+	budget := q.tx.db.hashBuildBudget()
+	if !st.buildOuter {
+		if err := q.buildHashInner(st, budget); err != nil {
+			return err
+		}
+		if !st.hj.chunked {
+			// Streaming probe: one lookup per outer tuple.
+			return q.driveStep(k-1, func() error { return q.probeHashInner(st, emit) })
+		}
+	}
+
+	// Materializing modes: collect the outer stream (with its key and a
+	// match bit per tuple), then run build/probe passes.
+	nb := len(q.env.bindings)
+	var outs []outerTuple
+	err := q.driveStep(k-1, func() error {
+		t := outerTuple{rows: make([][]Value, nb)}
+		for i := range q.env.bindings {
+			t.rows[i] = q.env.bindings[i].row
+		}
+		var err error
+		t.key, t.hasKey, err = q.evalHashKey(st.hashOuter)
+		if err != nil {
+			return err
+		}
+		outs = append(outs, t)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	restore := func(t *outerTuple) {
+		for i := range q.env.bindings {
+			q.env.bindings[i].row = t.rows[i]
+		}
+	}
+
+	if st.buildOuter {
+		if err := q.probeBuildOuter(st, outs, restore, budget, emit); err != nil {
+			return err
+		}
+	} else {
+		if err := q.probeChunkedInner(st, outs, restore, budget, emit); err != nil {
+			return err
+		}
+	}
+	if st.leftOuter {
+		for i := range outs {
+			if outs[i].matched {
+				continue
+			}
+			restore(&outs[i])
+			if err := q.padAndEmit(st, emit); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// buildHashInner scans st's table once (local conjuncts applied),
+// materializes the surviving rows, and — when they fit the budget —
+// builds the in-memory hash table. Runs once per query.
+func (q *query) buildHashInner(st *stepPlan, budget int) error {
+	if st.hj != nil {
+		return nil
+	}
+	hj := &hashState{}
+	st.hj = hj
+	err := q.scanPlan(st.bind, st.access, func(rid int64, row []Value) error {
+		q.env.bindings[st.bind].row = row
+		if ok, err := q.evalConjs(st.local); err != nil || !ok {
+			return err
+		}
+		hj.rows = append(hj.rows, row)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	q.buildRows += uint64(len(hj.rows))
+	if len(hj.rows) > budget {
+		hj.chunked = true // grace-degrade: chunk maps built during probing
+		q.graceBuilds++
+		return nil
+	}
+	hj.table = make(map[string][]int32, len(hj.rows))
+	for i, row := range hj.rows {
+		q.env.bindings[st.bind].row = row
+		key, ok, err := q.evalHashKey(st.hashInner)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue // NULL key never matches
+		}
+		hj.table[key] = append(hj.table[key], int32(i))
+	}
+	return nil
+}
+
+// probeHashInner probes the built hash table for the outer row currently
+// bound in q.env (streaming build-inner mode).
+func (q *query) probeHashInner(st *stepPlan, emit func() error) error {
+	q.probeRows++
+	key, ok, err := q.evalHashKey(st.hashOuter)
+	if err != nil {
+		return err
+	}
+	matched := false
+	if ok {
+		for _, ri := range st.hj.table[key] {
+			q.env.bindings[st.bind].row = st.hj.rows[ri]
+			pass, err := q.evalConjs(st.match)
+			if err != nil {
+				return err
+			}
+			if !pass {
+				continue
+			}
+			matched = true
+			pass, err = q.evalConjs(st.post)
+			if err != nil {
+				return err
+			}
+			if !pass {
+				continue
+			}
+			if err := emit(); err != nil {
+				return err
+			}
+		}
+	}
+	if st.leftOuter && !matched {
+		return q.padAndEmit(st, emit)
+	}
+	return nil
+}
+
+// probeBuildOuter hashes the materialized outer tuples (chunked by the
+// budget) and probes each chunk with one scan of st's table.
+func (q *query) probeBuildOuter(st *stepPlan, outs []outerTuple, restore func(*outerTuple), budget int, emit func() error) error {
+	q.buildRows += uint64(len(outs))
+	if len(outs) > budget {
+		q.graceBuilds++
+	}
+	for lo := 0; lo < len(outs); lo += budget {
+		hi := lo + budget
+		if hi > len(outs) {
+			hi = len(outs)
+		}
+		chunk := make(map[string][]int32, hi-lo)
+		for i := lo; i < hi; i++ {
+			if outs[i].hasKey {
+				chunk[outs[i].key] = append(chunk[outs[i].key], int32(i))
+			}
+		}
+		err := q.scanPlan(st.bind, st.access, func(rid int64, row []Value) error {
+			q.probeRows++
+			q.env.bindings[st.bind].row = row
+			if ok, err := q.evalConjs(st.local); err != nil || !ok {
+				return err
+			}
+			key, ok, err := q.evalHashKey(st.hashInner)
+			if err != nil || !ok {
+				return err
+			}
+			for _, oi := range chunk[key] {
+				t := &outs[oi]
+				restore(t)
+				q.env.bindings[st.bind].row = row
+				pass, err := q.evalConjs(st.match)
+				if err != nil {
+					return err
+				}
+				if !pass {
+					continue
+				}
+				t.matched = true
+				pass, err = q.evalConjs(st.post)
+				if err != nil {
+					return err
+				}
+				if !pass {
+					continue
+				}
+				if err := emit(); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// probeChunkedInner processes a grace-degraded inner build: the
+// materialized inner rows are hashed budget rows at a time, and every
+// chunk is probed by every materialized outer tuple.
+func (q *query) probeChunkedInner(st *stepPlan, outs []outerTuple, restore func(*outerTuple), budget int, emit func() error) error {
+	rows := st.hj.rows
+	for lo := 0; lo < len(rows); lo += budget {
+		hi := lo + budget
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		chunk := make(map[string][]int32, hi-lo)
+		for i := lo; i < hi; i++ {
+			q.env.bindings[st.bind].row = rows[i]
+			key, ok, err := q.evalHashKey(st.hashInner)
+			if err != nil {
+				return err
+			}
+			if ok {
+				chunk[key] = append(chunk[key], int32(i))
+			}
+		}
+		for oi := range outs {
+			t := &outs[oi]
+			q.probeRows++
+			if !t.hasKey {
+				continue
+			}
+			for _, ri := range chunk[t.key] {
+				restore(t)
+				q.env.bindings[st.bind].row = rows[ri]
+				pass, err := q.evalConjs(st.match)
+				if err != nil {
+					return err
+				}
+				if !pass {
+					continue
+				}
+				t.matched = true
+				pass, err = q.evalConjs(st.post)
+				if err != nil {
+					return err
+				}
+				if !pass {
+					continue
+				}
+				if err := emit(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package sqldb
+
+// Differential join fuzzer: random small schemas, data, and 2–4-table
+// INNER/LEFT join queries with mixed ON/WHERE conjuncts are executed
+// twice — through the cost-based planner (hash joins, index nested
+// loops, reordering) and through the forced nested-loop reference path —
+// and the sorted result sets must be identical.
+//
+// Every case is derived from a seed and fully reproducible; failures log
+// the seed, the schema/data script, and the query. The default run is a
+// CI-sized smoke with fixed seeds; the acceptance run is
+//
+//	JOINFUZZ_CASES=1000 go test ./internal/sqldb -run TestJoinFuzz
+//
+// with JOINFUZZ_SEED overriding the seed base.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+const joinFuzzDefaultSeed = 20260729
+
+func TestJoinFuzz(t *testing.T) {
+	cases := 200
+	if s := os.Getenv("JOINFUZZ_CASES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("JOINFUZZ_CASES=%q: %v", s, err)
+		}
+		cases = n
+	}
+	base := int64(joinFuzzDefaultSeed)
+	if s := os.Getenv("JOINFUZZ_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("JOINFUZZ_SEED=%q: %v", s, err)
+		}
+		base = n
+	}
+	if testing.Short() {
+		cases = 50
+	}
+	var agg PlannerStats
+	for i := 0; i < cases; i++ {
+		s := runJoinFuzzCase(t, base+int64(i))
+		if t.Failed() {
+			return
+		}
+		agg.HashJoins += s.HashJoins
+		agg.IndexNLJoins += s.IndexNLJoins
+		agg.NestedLoops += s.NestedLoops
+		agg.GraceBuilds += s.GraceBuilds
+		agg.Reordered += s.Reordered
+	}
+	t.Logf("joinfuzz coverage over %d cases: hash=%d indexNL=%d nestedLoop=%d grace=%d reordered=%d",
+		cases, agg.HashJoins, agg.IndexNLJoins, agg.NestedLoops, agg.GraceBuilds, agg.Reordered)
+	// The corpus must actually exercise every strategy — a fuzzer that
+	// only ever plans nested loops proves nothing about hash joins.
+	if cases >= 100 {
+		if agg.HashJoins == 0 || agg.IndexNLJoins == 0 || agg.NestedLoops == 0 ||
+			agg.GraceBuilds == 0 || agg.Reordered == 0 {
+			t.Fatalf("joinfuzz corpus missed a strategy: %+v", agg)
+		}
+	}
+}
+
+// fuzzTable describes one generated table.
+type fuzzTable struct {
+	name  string
+	hasPK bool
+	rows  int
+}
+
+// Column palette shared by every generated table: three INTEGERs (id, a,
+// b), one TEXT and one FLOAT, so join predicates can be drawn from
+// type-compatible pairs.
+var fuzzCols = []struct{ name, typ string }{
+	{"id", "INTEGER"},
+	{"a", "INTEGER"},
+	{"b", "INTEGER"},
+	{"s", "TEXT"},
+	{"f", "FLOAT"},
+}
+
+func runJoinFuzzCase(t *testing.T, seed int64) PlannerStats {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	db := New()
+	var script []string
+	run := func(sql string) {
+		script = append(script, sql)
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatalf("joinfuzz seed %d: setup %q: %v", seed, sql, err)
+		}
+	}
+
+	// Tiny hash budgets exercise grace-degraded chunked builds.
+	if rng.Intn(2) == 0 {
+		db.SetHashBuildBudget(1 + rng.Intn(8))
+	}
+
+	nt := 2 + rng.Intn(3)
+	tables := make([]fuzzTable, nt)
+	for ti := 0; ti < nt; ti++ {
+		ft := fuzzTable{name: fmt.Sprintf("t%d", ti), hasPK: rng.Intn(2) == 0, rows: rng.Intn(31)}
+		tables[ti] = ft
+		var defs []string
+		for ci, c := range fuzzCols {
+			d := c.name + " " + c.typ
+			if ci == 0 && ft.hasPK {
+				d += " PRIMARY KEY"
+			}
+			defs = append(defs, d)
+		}
+		run(fmt.Sprintf("CREATE TABLE %s (%s)", ft.name, strings.Join(defs, ", ")))
+		// Random secondary indexes.
+		for n := rng.Intn(3); n > 0; n-- {
+			cands := [][]string{{"a"}, {"b"}, {"s"}, {"a", "b"}, {"b", "a"}, {"s", "a"}}
+			cols := cands[rng.Intn(len(cands))]
+			run(fmt.Sprintf("CREATE INDEX IF NOT EXISTS ix_%s_%d ON %s (%s)",
+				ft.name, n, ft.name, strings.Join(cols, ", ")))
+		}
+		for r := 0; r < ft.rows; r++ {
+			id := strconv.Itoa(r + 1) // unique when pk; harmless otherwise
+			if !ft.hasPK {
+				id = fuzzIntLit(rng)
+			}
+			run(fmt.Sprintf("INSERT INTO %s VALUES (%s, %s, %s, %s, %s)",
+				ft.name, id, fuzzIntLit(rng), fuzzIntLit(rng), fuzzTextLit(rng), fuzzFloatLit(rng)))
+		}
+	}
+	if rng.Intn(2) == 0 {
+		run("ANALYZE")
+	}
+
+	query := buildFuzzQuery(rng, tables)
+
+	db.SetPlannerMode(PlannerCostBased)
+	planned, errP := db.Query(query)
+	db.SetPlannerMode(PlannerForceNestedLoop)
+	reference, errR := db.Query(query)
+
+	fail := func(format string, args ...any) {
+		t.Fatalf("joinfuzz seed %d\nsetup:\n  %s\nquery: %s\n%s",
+			seed, strings.Join(script, ";\n  "), query, fmt.Sprintf(format, args...))
+	}
+	if (errP != nil) != (errR != nil) {
+		fail("error mismatch: cost-based=%v reference=%v", errP, errR)
+	}
+	if errP != nil {
+		return db.PlannerStats() // both errored identically: fine
+	}
+	got := canonRows(planned)
+	want := canonRows(reference)
+	if len(got) != len(want) {
+		fail("row count mismatch: cost-based=%d reference=%d\ncost-based: %v\nreference: %v",
+			len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			fail("row %d mismatch:\ncost-based: %v\nreference: %v", i, got, want)
+		}
+	}
+	return db.PlannerStats()
+}
+
+// canonRows renders a result set as sorted canonical strings (joins give
+// no ordering guarantee, so results compare as multisets).
+func canonRows(r *Rows) []string {
+	out := make([]string, 0, len(r.Data))
+	for _, row := range r.Data {
+		var sb strings.Builder
+		for _, v := range row {
+			sb.WriteString(v.Type().String())
+			sb.WriteByte(':')
+			sb.WriteString(v.String())
+			sb.WriteByte('|')
+		}
+		out = append(out, sb.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fuzzIntLit(rng *rand.Rand) string {
+	if rng.Intn(100) < 15 {
+		return "NULL"
+	}
+	return strconv.Itoa(rng.Intn(8))
+}
+
+func fuzzTextLit(rng *rand.Rand) string {
+	if rng.Intn(100) < 15 {
+		return "NULL"
+	}
+	return fmt.Sprintf("'x%d'", rng.Intn(6))
+}
+
+func fuzzFloatLit(rng *rand.Rand) string {
+	if rng.Intn(100) < 15 {
+		return "NULL"
+	}
+	return []string{"0", "1", "1.5", "2", "3.5", "2.0"}[rng.Intn(6)]
+}
+
+// intCols / textCols / floatCols partition the palette by join-key
+// compatibility.
+var (
+	fuzzIntCols   = []string{"id", "a", "b"}
+	fuzzFloatCols = []string{"f"}
+	fuzzTextCols  = []string{"s"}
+)
+
+// fuzzPredicate builds one conjunct. Equality predicates between two
+// tables are weighted up so hash joins and index NL paths get exercised;
+// the rest are column-vs-constant comparisons, IS NULL checks, and
+// non-equi cross-table comparisons.
+func fuzzPredicate(rng *rand.Rand, left, right []string) string {
+	col := func(aliases []string, pool []string) string {
+		return aliases[rng.Intn(len(aliases))] + "." + pool[rng.Intn(len(pool))]
+	}
+	// Type-compatible pools: ints join ints and floats; text joins text.
+	numeric := append(append([]string{}, fuzzIntCols...), fuzzFloatCols...)
+	switch rng.Intn(10) {
+	case 0, 1, 2, 3: // cross-table equality (numeric)
+		return col(right, fuzzIntCols) + " = " + col(left, numeric)
+	case 4: // cross-table equality (text)
+		return col(right, fuzzTextCols) + " = " + col(left, fuzzTextCols)
+	case 5: // cross-table non-equi
+		op := []string{"<", "<=", ">", ">=", "<>"}[rng.Intn(5)]
+		return col(right, fuzzIntCols) + " " + op + " " + col(left, fuzzIntCols)
+	case 6: // local equality against a constant
+		return col(right, fuzzIntCols) + " = " + strconv.Itoa(rng.Intn(8))
+	case 7: // local range
+		op := []string{"<", "<=", ">", ">="}[rng.Intn(4)]
+		return col(right, fuzzIntCols) + " " + op + " " + strconv.Itoa(rng.Intn(8))
+	case 8: // IS [NOT] NULL
+		not := ""
+		if rng.Intn(2) == 0 {
+			not = "NOT "
+		}
+		return col(right, []string{"a", "b", "s", "f"}) + " IS " + not + "NULL"
+	default: // local text equality
+		return col(right, fuzzTextCols) + " = " + fmt.Sprintf("'x%d'", rng.Intn(6))
+	}
+}
+
+// buildFuzzQuery assembles a 2–4-table join with mixed ON/WHERE
+// conjuncts over the generated tables.
+func buildFuzzQuery(rng *rand.Rand, tables []fuzzTable) string {
+	n := len(tables)
+	aliases := make([]string, n)
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	// Project a few qualified columns from random tables plus the
+	// occasional star.
+	if rng.Intn(5) == 0 {
+		sb.WriteString("*")
+	} else {
+		var outs []string
+		for i := 0; i < 2+rng.Intn(3); i++ {
+			ti := rng.Intn(n)
+			c := fuzzCols[rng.Intn(len(fuzzCols))]
+			outs = append(outs, fmt.Sprintf("r%d.%s", ti, c.name))
+		}
+		sb.WriteString(strings.Join(outs, ", "))
+	}
+	sb.WriteString(" FROM ")
+	for i := 0; i < n; i++ {
+		aliases[i] = fmt.Sprintf("r%d", i)
+		if i == 0 {
+			fmt.Fprintf(&sb, "%s r0", tables[0].name)
+			continue
+		}
+		kind := " JOIN "
+		if rng.Intn(3) == 0 {
+			kind = " LEFT JOIN "
+		}
+		fmt.Fprintf(&sb, "%s%s r%d ON ", kind, tables[i].name, i)
+		nconj := 1 + rng.Intn(2)
+		var conjs []string
+		for c := 0; c < nconj; c++ {
+			conjs = append(conjs, fuzzPredicate(rng, aliases[:i], []string{aliases[i]}))
+		}
+		sb.WriteString(strings.Join(conjs, " AND "))
+	}
+	if rng.Intn(3) > 0 {
+		var conjs []string
+		for c := 0; c < 1+rng.Intn(2); c++ {
+			ti := 1 + rng.Intn(n-1)
+			conjs = append(conjs, fuzzPredicate(rng, aliases[:ti], []string{aliases[ti]}))
+		}
+		sb.WriteString(" WHERE " + strings.Join(conjs, " AND "))
+	}
+	return sb.String()
+}

@@ -34,6 +34,13 @@ type table struct {
 	liveRows atomic.Int64
 	nextAuto int64
 	indexes  []*index
+
+	// Planner statistics (see stats.go). statRows is the live row count at
+	// the last ANALYZE; distinct-key estimates scale by the ratio of the
+	// current count to it, so estimates drift with the data between
+	// refreshes instead of going stale.
+	analyzed atomic.Bool
+	statRows atomic.Int64
 }
 
 // index is one secondary (or primary) index over a table.
@@ -48,6 +55,9 @@ type index struct {
 	// snapshot at or after createdTS can see IS present: shadowed versions
 	// are invisible to such snapshots.)
 	createdTS uint64
+	// stats is the last ANALYZE result for this index (nil before the
+	// first run); swapped atomically so planners read it lock-free.
+	stats atomic.Pointer[indexStats]
 }
 
 func newTable(schema TableSchema) *table {
