@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench-smoke clean
+.PHONY: check build test race vet bench-smoke bench-cancel race-cancel joinfuzz clean
 
 check: build vet test race
 
@@ -29,6 +29,16 @@ bench-smoke:
 # combinations through the cost-based planner vs the nested-loop reference.
 joinfuzz:
 	JOINFUZZ_CASES=1000 $(GO) test ./internal/sqldb -run TestJoinFuzz -v
+
+# Cancellation checkpoint overhead on the hot scan path (background vs
+# cancellable context); recorded in BENCH_sqldb.json.
+bench-cancel:
+	$(GO) test -run '^$$' -bench 'BenchmarkScanCtxOverhead' -benchtime 200x ./internal/sqldb | tee bench-cancel.txt
+
+# The -race cancellation suite: lock-wait cancel/timeout, mid-scan and
+# mid-spill cancels, group-commit retraction, snapshot watermark release.
+race-cancel:
+	$(GO) test -race -count=1 -run 'Cancel|Timeout|Deadline|Fault' ./internal/sqldb ./internal/core ./internal/wire ./cmd/cj2sql
 
 clean:
 	$(GO) clean ./...

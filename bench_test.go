@@ -6,6 +6,7 @@ package condorj2
 // the paper-scale versions.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -268,7 +269,7 @@ func benchHeartbeatPath(b *testing.B, indexed bool) {
 		}
 	}
 	// Populate a moderate pool: 50 machines × 4 VMs, 2000 idle jobs.
-	if _, err := cas.Service.Submit(&core.SubmitRequest{Owner: "u", Count: 2000, LengthSec: 300}); err != nil {
+	if _, err := cas.Service.Submit(context.Background(), &core.SubmitRequest{Owner: "u", Count: 2000, LengthSec: 300}); err != nil {
 		b.Fatal(err)
 	}
 	vms := make([]core.VMStatus, 4)
@@ -276,19 +277,19 @@ func benchHeartbeatPath(b *testing.B, indexed bool) {
 		vms[i] = core.VMStatus{Seq: int64(i), State: "idle"}
 	}
 	for m := 0; m < 50; m++ {
-		_, err := cas.Service.Heartbeat(&core.HeartbeatRequest{
+		_, err := cas.Service.Heartbeat(context.Background(), &core.HeartbeatRequest{
 			Machine: nodeName(m), Boot: true, TotalMemoryMB: 2048, VMs: vms,
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
 	}
-	if _, err := cas.Service.ScheduleCycle(); err != nil {
+	if _, err := cas.Service.ScheduleCycle(context.Background()); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := cas.Service.Heartbeat(&core.HeartbeatRequest{
+		_, err := cas.Service.Heartbeat(context.Background(), &core.HeartbeatRequest{
 			Machine: nodeName(i % 50), TotalMemoryMB: 2048, VMs: vms,
 		})
 		if err != nil {
@@ -322,7 +323,7 @@ func benchScheduler(b *testing.B, rowAtATime bool) {
 		vms[i] = core.VMStatus{Seq: int64(i), State: "idle"}
 	}
 	for m := 0; m < 20; m++ {
-		if _, err := cas.Service.Heartbeat(&core.HeartbeatRequest{
+		if _, err := cas.Service.Heartbeat(context.Background(), &core.HeartbeatRequest{
 			Machine: nodeName(m), Boot: true, TotalMemoryMB: 2048, VMs: vms,
 		}); err != nil {
 			b.Fatal(err)
@@ -341,15 +342,15 @@ func benchScheduler(b *testing.B, rowAtATime bool) {
 		if _, err := cas.Pool.Exec(`UPDATE vms SET state = 'idle'`); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := cas.Service.Submit(&core.SubmitRequest{Owner: "u", Count: 200, LengthSec: 60}); err != nil {
+		if _, err := cas.Service.Submit(context.Background(), &core.SubmitRequest{Owner: "u", Count: 200, LengthSec: 60}); err != nil {
 			b.Fatal(err)
 		}
 		b.StartTimer()
 		var stats core.ScheduleStats
 		if rowAtATime {
-			stats, err = cas.Service.ScheduleCycleRowAtATime()
+			stats, err = cas.Service.ScheduleCycleRowAtATime(context.Background())
 		} else {
-			stats, err = cas.Service.ScheduleCycle()
+			stats, err = cas.Service.ScheduleCycle(context.Background())
 		}
 		if err != nil {
 			b.Fatal(err)
@@ -375,7 +376,7 @@ func benchPoolSize(b *testing.B, size int) {
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
 		for pb.Next() {
-			_, err := cas.Service.Submit(&core.SubmitRequest{Owner: "load", Count: 1, LengthSec: 60})
+			_, err := cas.Service.Submit(context.Background(), &core.SubmitRequest{Owner: "load", Count: 1, LengthSec: 60})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -392,7 +393,7 @@ func BenchmarkAblationCoarseService(b *testing.B) {
 	defer cas.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		resp, err := cas.Service.QueueStatus(&core.QueueStatusRequest{Owner: "u", Limit: 100})
+		resp, err := cas.Service.QueueStatus(context.Background(), &core.QueueStatusRequest{Owner: "u", Limit: 100})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -430,7 +431,7 @@ func queueStatusFixture(b *testing.B) *core.CAS {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := cas.Service.Submit(&core.SubmitRequest{Owner: "u", Count: 100, LengthSec: 60}); err != nil {
+	if _, err := cas.Service.Submit(context.Background(), &core.SubmitRequest{Owner: "u", Count: 100, LengthSec: 60}); err != nil {
 		b.Fatal(err)
 	}
 	return cas
@@ -548,7 +549,7 @@ func BenchmarkConcurrentSubmitAndMatch(b *testing.B) {
 		vms[i] = core.VMStatus{Seq: int64(i), State: "idle"}
 	}
 	for m := 0; m < 20; m++ {
-		if _, err := cas.Service.Heartbeat(&core.HeartbeatRequest{
+		if _, err := cas.Service.Heartbeat(context.Background(), &core.HeartbeatRequest{
 			Machine: nodeName(m), Boot: true, TotalMemoryMB: 2048, VMs: vms,
 		}); err != nil {
 			b.Fatal(err)
@@ -565,14 +566,14 @@ func BenchmarkConcurrentSubmitAndMatch(b *testing.B) {
 				return
 			default:
 			}
-			cas.Service.ScheduleCycle() // container retries deadlock victims
+			cas.Service.ScheduleCycle(context.Background()) // container retries deadlock victims
 			time.Sleep(time.Millisecond)
 		}
 	}()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) { // the schedds
 		for pb.Next() {
-			if _, err := cas.Service.Submit(&core.SubmitRequest{Owner: "load", Count: 1, LengthSec: 60}); err != nil {
+			if _, err := cas.Service.Submit(context.Background(), &core.SubmitRequest{Owner: "load", Count: 1, LengthSec: 60}); err != nil {
 				b.Error(err)
 				return
 			}

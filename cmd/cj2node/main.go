@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,10 +27,11 @@ func main() {
 	memory := flag.Int64("memory", 2048, "total memory MB")
 	heartbeat := flag.Duration("heartbeat", 60*time.Second, "periodic heartbeat interval")
 	idlePoll := flag.Duration("poll", 2*time.Second, "idle-VM poll interval")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-call deadline, forwarded to the CAS (0 = none)")
 	flag.Parse()
 
 	agent := &agent{
-		client: &wire.Client{URL: *casURL},
+		client: &wire.Client{URL: *casURL, Timeout: *timeout},
 		name:   *name,
 		memory: *memory,
 		vms:    make([]vmState, *vms),
@@ -104,6 +106,12 @@ func (a *agent) heartbeat(boot bool) error {
 		Machine: a.name, Boot: boot,
 		Arch: "INTEL", OpSys: "LINUX", TotalMemoryMB: a.memory,
 	}
+	// Completions serialized into THIS request: only these may be cleared
+	// after the exchange. A job finishing while the call is in flight set
+	// its finished flag after the request was built — the server has not
+	// seen it, so clearing it here would lose the completion and strand
+	// the job "running" server-side forever.
+	var reported []int
 	for i := range a.vms {
 		vm := &a.vms[i]
 		st := core.VMStatus{Seq: int64(i)}
@@ -112,6 +120,7 @@ func (a *agent) heartbeat(boot bool) error {
 			st.State = "claimed"
 			st.JobID = vm.jobID
 			st.Phase = "completed"
+			reported = append(reported, i)
 		case vm.running:
 			st.State = "claimed"
 			st.JobID = vm.jobID
@@ -124,12 +133,12 @@ func (a *agent) heartbeat(boot bool) error {
 	a.mu.Unlock()
 
 	var resp core.HeartbeatResponse
-	if err := a.client.Call(core.ActionHeartbeat, req, &resp); err != nil {
+	if err := a.client.Call(context.Background(), core.ActionHeartbeat, req, &resp); err != nil {
 		return err
 	}
 
 	a.mu.Lock()
-	for i := range a.vms {
+	for _, i := range reported {
 		if a.vms[i].finished {
 			a.vms[i] = vmState{}
 		}
@@ -149,7 +158,7 @@ func (a *agent) heartbeat(boot bool) error {
 
 func (a *agent) accept(cmd core.VMCommand) error {
 	var acc core.AcceptMatchResponse
-	err := a.client.Call(core.ActionAcceptMatch, &core.AcceptMatchRequest{
+	err := a.client.Call(context.Background(), core.ActionAcceptMatch, &core.AcceptMatchRequest{
 		Machine: a.name, Seq: cmd.Seq, MatchID: cmd.MatchID, JobID: cmd.JobID,
 	}, &acc)
 	if err != nil {

@@ -7,15 +7,21 @@
 //	> SELECT state, count(*) FROM jobs GROUP BY state;
 //	> \d jobs
 //	> \tables
+//
+// Ctrl-C while a statement runs cancels that statement (the engine
+// unwinds its lock waits and scans) and returns to the prompt; Ctrl-C at
+// a clean prompt exits the shell.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 
 	"condorj2/internal/sqldb"
@@ -42,7 +48,10 @@ func main() {
 		fmt.Println("scratch in-memory database")
 	}
 	defer db.Close()
-	runShell(db, os.Stdin, os.Stdout)
+	interrupts := make(chan os.Signal, 1)
+	signal.Notify(interrupts, os.Interrupt)
+	defer signal.Stop(interrupts)
+	runShellInterruptible(db, os.Stdin, os.Stdout, interrupts)
 }
 
 // shellSession is the REPL's statement executor: statements run in
@@ -56,15 +65,43 @@ type shellSession struct {
 }
 
 // runShell drives the read-eval-print loop over the given streams (split
-// from main so the shell is testable end to end).
+// from main so the shell is testable end to end). Statements are not
+// interruptible; main wires runShellInterruptible instead.
 func runShell(db *sqldb.DB, in io.Reader, out io.Writer) {
+	runShellInterruptible(db, in, out, nil)
+}
+
+// runShellInterruptible is the REPL with signal handling: an interrupt
+// during a statement cancels that statement's context — the engine backs
+// out of lock waits and scans and the shell prints the cancellation —
+// while an interrupt at a clean prompt exits the shell. Input is read on
+// its own goroutine so the loop can watch lines and interrupts together.
+func runShellInterruptible(db *sqldb.DB, in io.Reader, out io.Writer, interrupts <-chan os.Signal) {
 	sess := &shellSession{db: db}
 	defer sess.close()
-	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	fmt.Fprint(out, "> ")
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(in)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+	for {
+		fmt.Fprint(out, "> ")
+		var line string
+		var ok bool
+		select {
+		case line, ok = <-lines:
+			if !ok {
+				return
+			}
+		case <-interrupts:
+			fmt.Fprintln(out, "interrupt")
+			return
+		}
+		line = strings.TrimSpace(line)
 		switch {
 		case line == "":
 		case line == `\q` || line == "exit" || line == "quit":
@@ -81,9 +118,8 @@ func runShell(db *sqldb.DB, in io.Reader, out io.Writer) {
 				fmt.Fprintf(out, "no table %q\n", name)
 			}
 		default:
-			sess.run(line, out)
+			sess.runInterruptible(line, out, interrupts)
 		}
-		fmt.Fprint(out, "> ")
 	}
 }
 
@@ -95,7 +131,30 @@ func (s *shellSession) close() {
 	}
 }
 
-func (s *shellSession) run(sql string, out io.Writer) {
+// runInterruptible executes one statement on a worker goroutine under a
+// cancellable context; an interrupt while it runs cancels the context
+// and waits for the engine to unwind (promptly — every blocking point is
+// ctx-aware), keeping the shell alive at the next prompt.
+func (s *shellSession) runInterruptible(sql string, out io.Writer, interrupts <-chan os.Signal) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.run(ctx, sql, out)
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		case <-interrupts:
+			fmt.Fprintln(out, "^C cancelling statement")
+			cancel()
+		}
+	}
+}
+
+func (s *shellSession) run(ctx context.Context, sql string, out io.Writer) {
 	upper := strings.ToUpper(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(sql), ";")))
 	switch {
 	case strings.HasPrefix(upper, "BEGIN"):
@@ -113,6 +172,9 @@ func (s *shellSession) run(sql string, out io.Writer) {
 			fmt.Fprintln(out, "error: expected a BEGIN statement")
 			return
 		}
+		// The session transaction outlives this statement's ctx: open it
+		// on the background context; per-statement cancellation still
+		// applies to each statement run inside it.
 		if b.ReadOnly {
 			s.tx, err = s.db.BeginReadOnly()
 		} else {
@@ -135,7 +197,7 @@ func (s *shellSession) run(sql string, out io.Writer) {
 		}
 		var err error
 		if upper == "COMMIT" {
-			err = s.tx.Commit()
+			err = s.tx.CommitContext(ctx)
 		} else {
 			err = s.tx.Rollback()
 		}
@@ -151,9 +213,9 @@ func (s *shellSession) run(sql string, out io.Writer) {
 		var rows *sqldb.Rows
 		var err error
 		if s.tx != nil {
-			rows, err = s.tx.Query(sql)
+			rows, err = s.tx.QueryContext(ctx, sql)
 		} else {
-			rows, err = s.db.Query(sql)
+			rows, err = s.db.QueryContext(ctx, sql)
 		}
 		if err != nil {
 			fmt.Fprintln(out, "error:", err)
@@ -165,9 +227,9 @@ func (s *shellSession) run(sql string, out io.Writer) {
 	var res sqldb.Result
 	var err error
 	if s.tx != nil {
-		res, err = s.tx.Exec(sql)
+		res, err = s.tx.ExecContext(ctx, sql)
 	} else {
-		res, err = s.db.Exec(sql)
+		res, err = s.db.ExecContext(ctx, sql)
 	}
 	if err != nil {
 		fmt.Fprintln(out, "error:", err)

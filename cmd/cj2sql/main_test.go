@@ -1,6 +1,12 @@
 package main
 
 import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+	"context"
 	"strings"
 	"testing"
 
@@ -81,7 +87,7 @@ func TestShellSessionTransactions(t *testing.T) {
 	// until the snapshot is released.
 	ro := &shellSession{db: db}
 	var out strings.Builder
-	ro.run(`BEGIN READ ONLY`, &out)
+	ro.run(context.Background(), `BEGIN READ ONLY`, &out)
 	if !strings.Contains(out.String(), "read only, snapshot @") {
 		t.Fatalf("BEGIN READ ONLY ack missing: %s", out.String())
 	}
@@ -89,33 +95,126 @@ func TestShellSessionTransactions(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Reset()
-	ro.run(`SELECT n FROM kv WHERE id = 1`, &out)
+	ro.run(context.Background(), `SELECT n FROM kv WHERE id = 1`, &out)
 	if !strings.Contains(out.String(), "10") || strings.Contains(out.String(), "99") {
 		t.Fatalf("snapshot session saw concurrent commit:\n%s", out.String())
 	}
 	out.Reset()
-	ro.run(`UPDATE kv SET n = 0`, &out)
+	ro.run(context.Background(), `UPDATE kv SET n = 0`, &out)
 	if !strings.Contains(out.String(), "read-only") {
 		t.Fatalf("write in read-only session not rejected: %s", out.String())
 	}
 	out.Reset()
-	ro.run(`COMMIT`, &out)
+	ro.run(context.Background(), `COMMIT`, &out)
 
 	// Read-write session: rollback undoes, commit persists.
 	rw := &shellSession{db: db}
 	out.Reset()
-	rw.run(`BEGIN`, &out)
-	rw.run(`UPDATE kv SET n = 1 WHERE id = 1`, &out)
-	rw.run(`ROLLBACK`, &out)
+	rw.run(context.Background(), `BEGIN`, &out)
+	rw.run(context.Background(), `UPDATE kv SET n = 1 WHERE id = 1`, &out)
+	rw.run(context.Background(), `ROLLBACK`, &out)
 	rows, _ := db.Query(`SELECT n FROM kv WHERE id = 1`)
 	if rows.Data[0][0].Int64() != 99 {
 		t.Fatalf("rolled-back shell write persisted: %v", rows.Data[0][0])
 	}
-	rw.run(`BEGIN`, &out)
-	rw.run(`UPDATE kv SET n = 7 WHERE id = 1`, &out)
-	rw.run(`COMMIT`, &out)
+	rw.run(context.Background(), `BEGIN`, &out)
+	rw.run(context.Background(), `UPDATE kv SET n = 7 WHERE id = 1`, &out)
+	rw.run(context.Background(), `COMMIT`, &out)
 	rows, _ = db.Query(`SELECT n FROM kv WHERE id = 1`)
 	if rows.Data[0][0].Int64() != 7 {
 		t.Fatalf("committed shell write lost: %v", rows.Data[0][0])
 	}
+}
+
+// TestShellInterruptCancelsStatement drives the interruptible REPL: an
+// interrupt during a long-running statement cancels that statement (the
+// engine reports the cancellation) while the shell survives to run the
+// next line; an interrupt at a clean prompt exits.
+func TestShellInterruptCancelsStatement(t *testing.T) {
+	db := sqldb.New()
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE big (id INTEGER PRIMARY KEY, k INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for i := 0; i < 3000; i++ {
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "(%d, %d)", i, i%7)
+	}
+	if _, err := db.Exec(`INSERT INTO big VALUES ` + sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	db.SetPlannerMode(sqldb.PlannerForceNestedLoop)
+
+	in, inW := io.Pipe()
+	var out syncBuffer
+	sig := make(chan os.Signal, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		runShellInterruptible(db, in, &out, sig)
+	}()
+	// A cross join that would run for many seconds uncancelled.
+	if _, err := io.WriteString(inW, "SELECT count(*) FROM big a, big b WHERE a.k < b.k\n"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let the statement start
+	sig <- os.Interrupt
+	// The shell must come back for more input: a quick statement works.
+	if _, err := io.WriteString(inW, "SELECT 1 + 1\n"); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the quick statement's result AND the next prompt before
+	// interrupting again — an interrupt racing the running statement's
+	// select would cancel it instead of exiting at the prompt.
+	waitDeadline := time.Now().Add(10 * time.Second)
+	for {
+		s := out.String()
+		if strings.Contains(s, "2") && strings.HasSuffix(s, "> ") {
+			break
+		}
+		if time.Now().After(waitDeadline) {
+			t.Fatalf("shell never returned to a clean prompt after the quick statement:\n%s", s)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Interrupt at the clean prompt exits.
+	sig <- os.Interrupt
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("shell did not exit on prompt interrupt")
+	}
+	inW.Close()
+	got := out.String()
+	if !strings.Contains(got, "canceled") {
+		t.Fatalf("output missing statement cancellation:\n%s", got)
+	}
+	if !strings.Contains(got, "2") {
+		t.Fatalf("statement after cancellation did not run:\n%s", got)
+	}
+	if !strings.Contains(got, "interrupt") {
+		t.Fatalf("output missing prompt-interrupt exit:\n%s", got)
+	}
+}
+
+// syncBuffer is a goroutine-safe strings.Builder for shell output written
+// from the REPL loop and its statement workers.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }

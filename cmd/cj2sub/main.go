@@ -12,10 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"condorj2/internal/core"
 	"condorj2/internal/wire"
@@ -23,8 +25,9 @@ import (
 
 func main() {
 	casURL := flag.String("cas", "http://localhost:8642/services", "CAS web services URL")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline, forwarded to the CAS so server-side work is cancelled with the call (0 = none)")
 	flag.Parse()
-	client := &wire.Client{URL: *casURL}
+	client := &wire.Client{URL: *casURL, Timeout: *timeout}
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -67,7 +70,7 @@ func submit(c *wire.Client, args []string) error {
 	dependsOn := fs.Int64("depends-on", 0, "job id this batch depends on")
 	fs.Parse(args)
 	var resp core.SubmitResponse
-	err := c.Call(core.ActionSubmitJob, &core.SubmitRequest{
+	err := c.Call(context.Background(), core.ActionSubmitJob, &core.SubmitRequest{
 		Owner: *owner, Count: *count, LengthSec: *length,
 		MinMemoryMB: *memory, Priority: *prio, DependsOn: *dependsOn,
 	}, &resp)
@@ -83,7 +86,7 @@ func queue(c *wire.Client, args []string) error {
 	owner := fs.String("owner", "", "filter by owner")
 	fs.Parse(args)
 	var resp core.QueueStatusResponse
-	if err := c.Call(core.ActionQueueStatus, &core.QueueStatusRequest{Owner: *owner}, &resp); err != nil {
+	if err := c.Call(context.Background(), core.ActionQueueStatus, &core.QueueStatusRequest{Owner: *owner}, &resp); err != nil {
 		return err
 	}
 	fmt.Printf("%8s %-12s %-10s %8s\n", "ID", "OWNER", "STATE", "LEN(s)")
@@ -95,7 +98,7 @@ func queue(c *wire.Client, args []string) error {
 
 func pool(c *wire.Client) error {
 	var resp core.PoolStatusResponse
-	if err := c.Call(core.ActionPoolStatus, &core.PoolStatusRequest{}, &resp); err != nil {
+	if err := c.Call(context.Background(), core.ActionPoolStatus, &core.PoolStatusRequest{}, &resp); err != nil {
 		return err
 	}
 	section := func(name string, scs []core.StateCount) {
@@ -116,7 +119,7 @@ func stats(c *wire.Client, args []string) error {
 	owner := fs.String("owner", "", "owner (required)")
 	fs.Parse(args)
 	var resp core.UserStatsResponse
-	if err := c.Call(core.ActionUserStats, &core.UserStatsRequest{Owner: *owner}, &resp); err != nil {
+	if err := c.Call(context.Background(), core.ActionUserStats, &core.UserStatsRequest{Owner: *owner}, &resp); err != nil {
 		return err
 	}
 	fmt.Printf("owner %s: completed %d, dropped %d, runtime %ds\n",
@@ -131,7 +134,7 @@ func config(c *wire.Client, args []string) error {
 	switch args[0] {
 	case "get":
 		var resp core.ConfigGetResponse
-		if err := c.Call(core.ActionConfigGet, &core.ConfigGetRequest{Name: args[1]}, &resp); err != nil {
+		if err := c.Call(context.Background(), core.ActionConfigGet, &core.ConfigGetRequest{Name: args[1]}, &resp); err != nil {
 			return err
 		}
 		fmt.Printf("%s = %s\n", resp.Name, resp.Value)
@@ -141,7 +144,7 @@ func config(c *wire.Client, args []string) error {
 			return fmt.Errorf("config set NAME VALUE")
 		}
 		var resp core.ConfigSetResponse
-		return c.Call(core.ActionConfigSet, &core.ConfigSetRequest{
+		return c.Call(context.Background(), core.ActionConfigSet, &core.ConfigSetRequest{
 			Name: args[1], Value: strings.Join(args[2:], " "),
 		}, &resp)
 	default:
@@ -155,7 +158,7 @@ func provenance(c *wire.Client, args []string) error {
 	version := fs.Int64("version", 0, "dataset version (0 = latest)")
 	fs.Parse(args)
 	var resp core.ProvenanceResponse
-	err := c.Call(core.ActionProvenance, &core.ProvenanceRequest{
+	err := c.Call(context.Background(), core.ActionProvenance, &core.ProvenanceRequest{
 		Dataset: *dataset, Version: *version,
 	}, &resp)
 	if err != nil {

@@ -7,15 +7,24 @@
 //
 // Execute nodes point cj2node at the /services URL; users use cj2sub or a
 // browser.
+//
+// Shutdown is graceful and deadline-bounded: the first interrupt stops
+// accepting connections and drains in-flight requests for -shutdown-grace;
+// when the grace expires (or on a second interrupt) the server cancels
+// every in-flight statement through the engine's context plumbing and
+// closes. A wedged query can therefore never hold the daemon hostage.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"time"
 
 	"condorj2/internal/core"
 	"condorj2/internal/sqldb"
@@ -29,6 +38,9 @@ func main() {
 	groupDelay := flag.Duration("group-delay", 0, "sync=group: how long a solo group leader waits for companion commits before fsyncing (0 = rely on natural batching)")
 	groupMaxBytes := flag.Int("group-max-bytes", 0, "sync=group: cap on log bytes per group flush (0 = unlimited)")
 	gcBatch := flag.Int("gc-batch", 0, "MVCC: max version-GC records reclaimed per commit sweep (0 = default 64)")
+	stmtTimeout := flag.Duration("stmt-timeout", 0, "default per-statement deadline when a request carries none (0 = none; config key stmt_timeout_ms overrides)")
+	lockTimeout := flag.Duration("lock-timeout", 0, "max time one statement may block in a lock wait (0 = forever; config key lock_timeout_ms overrides)")
+	grace := flag.Duration("shutdown-grace", 10*time.Second, "how long shutdown drains in-flight requests before cancelling their statements")
 	flag.Parse()
 
 	var engine *sqldb.DB
@@ -44,6 +56,8 @@ func main() {
 			GroupDelay:    *groupDelay,
 			GroupMaxBytes: *groupMaxBytes,
 			GCBatch:       *gcBatch,
+			StmtTimeout:   *stmtTimeout,
+			LockTimeout:   *lockTimeout,
 		})
 		if err != nil {
 			log.Fatalf("condorj2d: opening database: %v", err)
@@ -55,9 +69,36 @@ func main() {
 		log.Fatalf("condorj2d: %v", err)
 	}
 	defer cas.Close()
+	if *data != "" {
+		// The WAL preserved every committed tuple, but in-flight
+		// coordination state (matches, runs, claimed VMs) refers to
+		// node-side activity this restarted server can no longer observe;
+		// release it so the pool resumes cleanly.
+		rs, err := cas.Service.RecoverInFlight(context.Background())
+		if err != nil {
+			log.Fatalf("condorj2d: recovering in-flight state: %v", err)
+		}
+		if rs.JobsReleased+rs.MatchesCleared+rs.RunsCleared+rs.VMsReset+rs.MachinesOffline > 0 {
+			log.Printf("recovery: released %d jobs, cleared %d matches + %d runs, reset %d VMs, %d machines offline until next heartbeat",
+				rs.JobsReleased, rs.MatchesCleared, rs.RunsCleared, rs.VMsReset, rs.MachinesOffline)
+		}
+	}
+	if *data == "" {
+		// In-memory engine: the CAS built it, so the flags apply here.
+		cas.Engine.SetStmtTimeout(*stmtTimeout)
+		cas.Engine.SetLockTimeout(*lockTimeout)
+	}
 	cas.StartScheduler()
 
-	srv := &http.Server{Addr: *listen, Handler: cas.HTTPHandler()}
+	// Every request context descends from baseCtx; cancelling it reaches
+	// each in-flight statement's lock waits, scans, and commit syncs.
+	baseCtx, cancelInFlight := context.WithCancel(context.Background())
+	defer cancelInFlight()
+	srv := &http.Server{
+		Addr:        *listen,
+		Handler:     cas.HTTPHandler(),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
 	go func() {
 		log.Printf("CondorJ2 Application Server listening on %s", *listen)
 		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
@@ -65,10 +106,29 @@ func main() {
 		}
 	}()
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	fmt.Fprintln(os.Stderr, "shutting down")
+	cas.StopScheduler()
+
+	// Drain: stop accepting, give in-flight requests the grace window. A
+	// second interrupt — or the grace expiring — cancels their statements
+	// and closes whatever remains.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *grace)
+	defer cancelDrain()
+	go func() {
+		<-sig
+		log.Print("second interrupt: cancelling in-flight statements")
+		cancelDrain()
+	}()
+	log.Printf("draining in-flight requests (grace %s)", *grace)
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Print("drain grace expired: cancelling in-flight statements")
+		cancelInFlight()
+		srv.Close()
+	}
+
 	if *data != "" {
 		ws := cas.WALStats()
 		log.Printf("wal: %d commits, %d fsyncs (%.3f fsyncs/commit), max group %d",
@@ -77,5 +137,7 @@ func main() {
 	vs := cas.VersionStats()
 	log.Printf("mvcc: %d snapshot reads (lock-free), %d versions stamped, %d pruned, %d slots + %d entries reclaimed, %d GC pending",
 		vs.SnapshotReads, vs.VersionsCreated, vs.VersionsPruned, vs.SlotsReclaimed, vs.EntriesRemoved, vs.PendingGC)
-	srv.Close()
+	cs := cas.CancelStats()
+	log.Printf("cancel: %d statements canceled, %d deadlines exceeded, %d lock-wait timeouts, %d lock-wait cancels, %d commit retractions",
+		cs.StatementsCanceled, cs.DeadlinesExceeded, cs.LockWaitTimeouts, cs.LockWaitCancels, cs.CommitRetractions)
 }

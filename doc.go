@@ -2,11 +2,13 @@
 // Management into Data Management: A System Overview" (Robinson & DeWitt,
 // CIDR 2007): the CondorJ2 data-centric cluster management system, every
 // substrate it depends on (an embedded relational database with
-// transactions and recovery, an entity-bean persistence container,
-// SOAP-style messaging, execute-node daemons), the Condor process-centric
-// baseline it is compared against (schedd, shadow, collector, negotiator,
-// ClassAd matchmaking), and a discrete-event harness that regenerates
-// every table and figure in the paper's evaluation.
+// transactions, recovery, and context-first cancellable execution, an
+// entity-bean persistence container, SOAP-style messaging with
+// wire-to-engine deadline propagation, execute-node daemons), the Condor
+// process-centric baseline it is compared against (schedd, shadow,
+// collector, negotiator, ClassAd matchmaking), and a discrete-event
+// harness that regenerates every table and figure in the paper's
+// evaluation.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -27,7 +28,7 @@ func main() {
 	defer cas.Close()
 	transport := &wire.Local{Mux: cas.Mux}
 	eng.Every(time.Second, "schedule", func() {
-		if _, err := cas.Service.ScheduleCycle(); err != nil {
+		if _, err := cas.Service.ScheduleCycle(context.Background()); err != nil {
 			log.Fatal(err)
 		}
 	})
@@ -39,12 +40,12 @@ func main() {
 
 	// Register external source data.
 	var reads, reference core.RegisterDatasetResponse
-	must(transport.Call(core.ActionRegisterData, &core.RegisterDatasetRequest{Name: "genome-reads"}, &reads))
-	must(transport.Call(core.ActionRegisterData, &core.RegisterDatasetRequest{Name: "reference", Version: 3}, &reference))
+	must(transport.Call(context.Background(), core.ActionRegisterData, &core.RegisterDatasetRequest{Name: "genome-reads"}, &reads))
+	must(transport.Call(context.Background(), core.ActionRegisterData, &core.RegisterDatasetRequest{Name: "reference", Version: 3}, &reference))
 
 	// Stage 1: align reads against the reference.
 	var align core.SubmitResponse
-	must(transport.Call(core.ActionSubmitJob, &core.SubmitRequest{
+	must(transport.Call(context.Background(), core.ActionSubmitJob, &core.SubmitRequest{
 		Owner: "scientist", Count: 1, LengthSec: 120,
 		Executable: "aligner", ExecutableVersion: "2.1",
 		InputDatasets: []int64{reads.ID, reference.ID},
@@ -54,7 +55,7 @@ func main() {
 	// Stage 2: call variants from the alignment — blocked until stage 1
 	// completes (the §5.1.3 dependency pattern).
 	var variants core.SubmitResponse
-	must(transport.Call(core.ActionSubmitJob, &core.SubmitRequest{
+	must(transport.Call(context.Background(), core.ActionSubmitJob, &core.SubmitRequest{
 		Owner: "scientist", Count: 1, LengthSec: 300,
 		Executable: "variant-caller", ExecutableVersion: "0.9",
 		Output:    "variants",
@@ -66,7 +67,7 @@ func main() {
 	// The provenance question, asked of each output.
 	for _, name := range []string{"alignment", "variants"} {
 		var prov core.ProvenanceResponse
-		must(transport.Call(core.ActionProvenance, &core.ProvenanceRequest{Dataset: name}, &prov))
+		must(transport.Call(context.Background(), core.ActionProvenance, &core.ProvenanceRequest{Dataset: name}, &prov))
 		fmt.Printf("%s@v%d\n", prov.Dataset, prov.Version)
 		fmt.Printf("  produced by job %d (owner %s) using %s@%s\n",
 			prov.ProducedByJob, prov.Owner, prov.Executable, prov.ExecutableVersion)

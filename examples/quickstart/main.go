@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -36,7 +37,7 @@ func main() {
 
 	// Matchmaking is a periodic set-oriented query over the database.
 	eng.Every(time.Second, "schedule", func() {
-		if _, err := cas.Service.ScheduleCycle(); err != nil {
+		if _, err := cas.Service.ScheduleCycle(context.Background()); err != nil {
 			log.Fatal(err)
 		}
 	})
@@ -54,7 +55,7 @@ func main() {
 
 	// Submit 100 one-minute jobs through the submitJob web service.
 	var resp core.SubmitResponse
-	err = transport.Call(core.ActionSubmitJob, &core.SubmitRequest{
+	err = transport.Call(context.Background(), core.ActionSubmitJob, &core.SubmitRequest{
 		Owner: "quickstart", Count: 100, LengthSec: 60,
 	}, &resp)
 	if err != nil {

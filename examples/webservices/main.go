@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -43,7 +44,7 @@ func main() {
 
 	// Submit ten 1-second jobs.
 	var sub core.SubmitResponse
-	err = client.Call(core.ActionSubmitJob, &core.SubmitRequest{
+	err = client.Call(context.Background(), core.ActionSubmitJob, &core.SubmitRequest{
 		Owner: "webuser", Count: 10, LengthSec: 1,
 	}, &sub)
 	if err != nil {
@@ -55,7 +56,7 @@ func main() {
 	deadline := time.Now().Add(60 * time.Second)
 	for time.Now().Before(deadline) {
 		var stats core.UserStatsResponse
-		if err := client.Call(core.ActionUserStats, &core.UserStatsRequest{Owner: "webuser"}, &stats); err != nil {
+		if err := client.Call(context.Background(), core.ActionUserStats, &core.UserStatsRequest{Owner: "webuser"}, &stats); err != nil {
 			log.Fatal(err)
 		}
 		if stats.CompletedJobs == 10 {
@@ -67,7 +68,7 @@ func main() {
 
 	// Pool status over the service interface.
 	var pool core.PoolStatusResponse
-	if err := client.Call(core.ActionPoolStatus, &core.PoolStatusRequest{}, &pool); err != nil {
+	if err := client.Call(context.Background(), core.ActionPoolStatus, &core.PoolStatusRequest{}, &pool); err != nil {
 		log.Fatal(err)
 	}
 	for _, sc := range pool.VMs {
@@ -112,7 +113,7 @@ func runAgent(client *wire.Client, name string, vms int) {
 			req.VMs = append(req.VMs, st)
 		}
 		var resp core.HeartbeatResponse
-		if err := client.Call(core.ActionHeartbeat, req, &resp); err != nil {
+		if err := client.Call(context.Background(), core.ActionHeartbeat, req, &resp); err != nil {
 			log.Printf("%s: heartbeat: %v", name, err)
 			return
 		}
@@ -126,7 +127,7 @@ func runAgent(client *wire.Client, name string, vms int) {
 				continue
 			}
 			var acc core.AcceptMatchResponse
-			err := client.Call(core.ActionAcceptMatch, &core.AcceptMatchRequest{
+			err := client.Call(context.Background(), core.ActionAcceptMatch, &core.AcceptMatchRequest{
 				Machine: name, Seq: cmd.Seq, MatchID: cmd.MatchID, JobID: cmd.JobID,
 			}, &acc)
 			if err != nil || !acc.OK {

@@ -372,17 +372,25 @@ type Container struct {
 	MaxRetries int
 }
 
-// InTx runs fn inside a transaction, committing on success and rolling
-// back on error. Deadlock victims are retried — the standard container
-// behaviour the paper's entity beans relied on.
-func (c *Container) InTx(fn func(tx *sql.Tx) error) error {
+// InTx runs fn inside a transaction under ctx, committing on success and
+// rolling back on error. The context bounds the whole transaction: the
+// driver threads it into the engine, so lock waits, scans, and the
+// commit's durability wait are all cancelled when it fires, and
+// database/sql rolls the transaction back. Deadlock victims are retried
+// — the standard container behaviour the paper's entity beans relied on
+// — but a cancelled or timed-out transaction is not: the caller stopped
+// waiting, so rerunning the work would only burn the server.
+func (c *Container) InTx(ctx context.Context, fn func(tx *sql.Tx) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	retries := c.MaxRetries
 	if retries == 0 {
 		retries = 10
 	}
 	var lastErr error
 	for attempt := 0; attempt <= retries; attempt++ {
-		tx, err := c.DB.Begin()
+		tx, err := c.DB.BeginTx(ctx, nil)
 		if err != nil {
 			return err
 		}
@@ -395,7 +403,7 @@ func (c *Container) InTx(fn func(tx *sql.Tx) error) error {
 		} else {
 			tx.Rollback()
 		}
-		if !isDeadlock(err) {
+		if ctx.Err() != nil || !isDeadlock(err) {
 			return err
 		}
 		lastErr = err
@@ -407,12 +415,15 @@ func isDeadlock(err error) bool {
 	return err != nil && strings.Contains(err.Error(), "deadlock")
 }
 
-// InReadTx runs fn inside a read-only snapshot transaction: every query
-// fn issues sees one consistent commit timestamp, takes no locks, and
-// never blocks — or is blocked by — concurrent writers. Deadlock retry is
-// unnecessary by construction. Writes inside fn fail.
-func (c *Container) InReadTx(fn func(tx *sql.Tx) error) error {
-	tx, err := c.DB.BeginTx(context.Background(), &sql.TxOptions{ReadOnly: true})
+// InReadTx runs fn inside a read-only snapshot transaction under ctx:
+// every query fn issues sees one consistent commit timestamp, takes no
+// locks, and never blocks — or is blocked by — concurrent writers.
+// Deadlock retry is unnecessary by construction. Writes inside fn fail.
+func (c *Container) InReadTx(ctx context.Context, fn func(tx *sql.Tx) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	tx, err := c.DB.BeginTx(ctx, &sql.TxOptions{ReadOnly: true})
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package beans
 
 import (
+	"context"
 	"database/sql"
 	"errors"
 	"testing"
@@ -181,7 +182,7 @@ func TestSelectMany(t *testing.T) {
 func TestInTxCommitAndRollback(t *testing.T) {
 	pool := testPool(t)
 	c := &Container{DB: pool}
-	err := c.InTx(func(tx *sql.Tx) error {
+	err := c.InTx(context.Background(), func(tx *sql.Tx) error {
 		return Insert(tx, &Widget{Name: "tx", Made: time.Unix(0, 0).UTC()})
 	})
 	if err != nil {
@@ -193,7 +194,7 @@ func TestInTxCommitAndRollback(t *testing.T) {
 	}
 
 	sentinel := errors.New("abort")
-	err = c.InTx(func(tx *sql.Tx) error {
+	err = c.InTx(context.Background(), func(tx *sql.Tx) error {
 		if err := Insert(tx, &Widget{Name: "doomed", Made: time.Unix(0, 0).UTC()}); err != nil {
 			return err
 		}
@@ -212,7 +213,7 @@ func TestInTxRetriesDeadlocks(t *testing.T) {
 	pool := testPool(t)
 	c := &Container{DB: pool, MaxRetries: 3}
 	attempts := 0
-	err := c.InTx(func(tx *sql.Tx) error {
+	err := c.InTx(context.Background(), func(tx *sql.Tx) error {
 		attempts++
 		if attempts < 3 {
 			return errors.New("sqldb: deadlock detected")

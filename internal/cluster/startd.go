@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -194,7 +195,7 @@ func (s *Startd) heartbeat(boot bool) error {
 		req.VMs = append(req.VMs, st)
 	}
 	var resp core.HeartbeatResponse
-	if err := s.cas.Call(core.ActionHeartbeat, req, &resp); err != nil {
+	if err := s.cas.Call(context.Background(), core.ActionHeartbeat, req, &resp); err != nil {
 		return err
 	}
 	// Reported completions/drops are now recorded server-side; free VMs.
@@ -250,7 +251,7 @@ func (s *Startd) acceptAndStart(cmd core.VMCommand) error {
 		return nil // stale match info; the CAS will re-advertise
 	}
 	var acc core.AcceptMatchResponse
-	err := s.cas.Call(core.ActionAcceptMatch, &core.AcceptMatchRequest{
+	err := s.cas.Call(context.Background(), core.ActionAcceptMatch, &core.AcceptMatchRequest{
 		Machine: s.kernel.Config().Name, Seq: seq,
 		MatchID: cmd.MatchID, JobID: cmd.JobID,
 	}, &acc)

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -27,7 +28,7 @@ func newRig(t *testing.T) *rig {
 	t.Cleanup(func() { cas.Close() })
 	r := &rig{eng: eng, cas: cas, loc: &wire.Local{Mux: cas.Mux}}
 	eng.Every(time.Second, "schedule", func() {
-		if _, err := cas.Service.ScheduleCycle(); err != nil {
+		if _, err := cas.Service.ScheduleCycle(context.Background()); err != nil {
 			t.Errorf("schedule cycle: %v", err)
 		}
 	})
@@ -36,7 +37,7 @@ func newRig(t *testing.T) *rig {
 
 func (r *rig) submit(t *testing.T, count int, length time.Duration) {
 	t.Helper()
-	_, err := r.cas.Service.Submit(&core.SubmitRequest{
+	_, err := r.cas.Service.Submit(context.Background(), &core.SubmitRequest{
 		Owner: "tester", Count: count, LengthSec: int64(length / time.Second),
 	})
 	if err != nil {

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"database/sql"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -31,6 +33,10 @@ type CAS struct {
 	ownEng  bool
 	stopSch chan struct{}
 	schedOn atomic.Bool
+
+	// schedCtx cancels the scheduler's in-flight cycle on StopScheduler,
+	// so shutdown never waits out a long matchmaking transaction.
+	schedCancel context.CancelFunc
 }
 
 // Options configures CAS assembly.
@@ -79,14 +85,48 @@ func New(opts Options) (*CAS, error) {
 		return nil, err
 	}
 	svc := NewService(pool, clock)
-	return &CAS{
+	c := &CAS{
 		Engine:  engine,
 		Pool:    pool,
 		Service: svc,
 		Mux:     NewMux(svc),
 		dsn:     dsn,
 		ownEng:  own,
-	}, nil
+	}
+	// Engine timeout knobs follow the config table: applied at assembly
+	// from any persisted values, and re-applied live on every ConfigSet.
+	svc.SetConfigHook(c.applyEngineConfig)
+	for _, name := range []string{ConfigStmtTimeoutMs, ConfigLockTimeoutMs} {
+		if resp, err := svc.ConfigGet(context.Background(), &ConfigGetRequest{Name: name}); err == nil {
+			c.applyEngineConfig(name, resp.Value)
+		}
+	}
+	return c, nil
+}
+
+// Config keys the CAS applies to the embedded engine at assembly and on
+// live ConfigSet calls.
+const (
+	// ConfigStmtTimeoutMs is the default per-statement deadline in
+	// milliseconds (0 disables).
+	ConfigStmtTimeoutMs = "stmt_timeout_ms"
+	// ConfigLockTimeoutMs is the lock-wait timeout in milliseconds
+	// (0 = wait forever).
+	ConfigLockTimeoutMs = "lock_timeout_ms"
+)
+
+// applyEngineConfig maps config-table entries onto live engine knobs.
+func (c *CAS) applyEngineConfig(name, value string) {
+	ms, err := strconv.ParseInt(value, 10, 64)
+	if err != nil || ms < 0 {
+		return
+	}
+	switch name {
+	case ConfigStmtTimeoutMs:
+		c.Engine.SetStmtTimeout(time.Duration(ms) * time.Millisecond)
+	case ConfigLockTimeoutMs:
+		c.Engine.SetLockTimeout(time.Duration(ms) * time.Millisecond)
+	}
 }
 
 // StartScheduler launches the periodic matchmaking cycle on a goroutine
@@ -97,7 +137,9 @@ func (c *CAS) StartScheduler() {
 		return
 	}
 	c.stopSch = make(chan struct{})
-	interval := time.Duration(c.Service.configInt("schedule_interval_sec", 1)) * time.Second
+	ctx, cancel := context.WithCancel(context.Background())
+	c.schedCancel = cancel
+	interval := time.Duration(c.Service.configInt(ctx, "schedule_interval_sec", 1)) * time.Second
 	go func() {
 		t := time.NewTicker(interval)
 		defer t.Stop()
@@ -106,16 +148,20 @@ func (c *CAS) StartScheduler() {
 			case <-c.stopSch:
 				return
 			case <-t.C:
-				c.Service.ScheduleCycle()
+				c.Service.ScheduleCycle(ctx)
 			}
 		}
 	}()
 }
 
-// StopScheduler halts the scheduling goroutine.
+// StopScheduler halts the scheduling goroutine, cancelling any cycle in
+// flight.
 func (c *CAS) StopScheduler() {
 	if c.schedOn.CompareAndSwap(true, false) {
 		close(c.stopSch)
+		if c.schedCancel != nil {
+			c.schedCancel()
+		}
 	}
 }
 
@@ -193,6 +239,25 @@ func (c *CAS) PlannerSnapshot() metrics.PlannerSnapshot {
 func (c *CAS) Analyze() error {
 	_, err := c.Engine.Exec(`ANALYZE`)
 	return err
+}
+
+// CancelStats snapshots the embedded engine's cancellation counters
+// (statements cancelled, deadlines exceeded, lock-wait timeouts, commit
+// retractions) for operators and experiments; condorj2d logs them at
+// shutdown alongside WAL stats.
+func (c *CAS) CancelStats() sqldb.CancelStats { return c.Engine.CancelStats() }
+
+// CancelSnapshot converts the engine's cancellation counters into the
+// metrics layer's form, ready for metrics.CancelMonitor.Observe.
+func (c *CAS) CancelSnapshot() metrics.CancelSnapshot {
+	s := c.Engine.CancelStats()
+	return metrics.CancelSnapshot{
+		StatementsCanceled: s.StatementsCanceled,
+		DeadlinesExceeded:  s.DeadlinesExceeded,
+		LockWaitTimeouts:   s.LockWaitTimeouts,
+		LockWaitCancels:    s.LockWaitCancels,
+		CommitRetractions:  s.CommitRetractions,
+	}
 }
 
 // WALStats snapshots the embedded engine's commit-pipeline counters

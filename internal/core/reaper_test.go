@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -9,15 +10,15 @@ func TestReapDeadMachineReleasesWork(t *testing.T) {
 	cas, clk := newTestCAS(t)
 	s := cas.Service
 
-	s.Submit(&SubmitRequest{Owner: "u", Count: 2, LengthSec: 600})
+	s.Submit(context.Background(), &SubmitRequest{Owner: "u", Count: 2, LengthSec: 600})
 	beat(t, s, "doomed", true, idleVMs(2)...)
-	s.ScheduleCycle()
+	s.ScheduleCycle(context.Background())
 
 	// Accept one match so one job runs and one stays matched.
 	resp := beat(t, s, "doomed", false, idleVMs(2)...)
 	for _, cmd := range resp.Commands {
 		if cmd.Command == CmdMatchInfo {
-			if _, err := s.AcceptMatch(&AcceptMatchRequest{
+			if _, err := s.AcceptMatch(context.Background(), &AcceptMatchRequest{
 				Machine: "doomed", Seq: cmd.Seq, MatchID: cmd.MatchID, JobID: cmd.JobID,
 			}); err != nil {
 				t.Fatal(err)
@@ -28,7 +29,7 @@ func TestReapDeadMachineReleasesWork(t *testing.T) {
 
 	// The machine goes silent; before the timeout nothing is reaped.
 	clk.advance(2 * time.Minute)
-	stats, err := s.ReapDeadMachines(5 * time.Minute)
+	stats, err := s.ReapDeadMachines(context.Background(), 5 * time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestReapDeadMachineReleasesWork(t *testing.T) {
 
 	// Past the timeout the machine is declared dead and its work freed.
 	clk.advance(10 * time.Minute)
-	stats, err = s.ReapDeadMachines(5 * time.Minute)
+	stats, err = s.ReapDeadMachines(context.Background(), 5 * time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestReapSparesHealthyMachines(t *testing.T) {
 	beat(t, s, "alive", true, idleVMs(1)...)
 	clk.advance(time.Minute)
 	beat(t, s, "alive", false, idleVMs(1)...) // fresh heartbeat
-	stats, err := s.ReapDeadMachines(5 * time.Minute)
+	stats, err := s.ReapDeadMachines(context.Background(), 5 * time.Minute)
 	if err != nil {
 		t.Fatal(err)
 	}

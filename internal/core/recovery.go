@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"database/sql"
 	"errors"
 	"time"
@@ -44,9 +45,9 @@ type ReapStats struct {
 // still need to communicate with the scheduler and job queue manager
 // periodically during the course of the job to make sure the job is not
 // dropped".
-func (s *Service) ReapDeadMachines(timeout time.Duration) (ReapStats, error) {
+func (s *Service) ReapDeadMachines(ctx context.Context, timeout time.Duration) (ReapStats, error) {
 	var stats ReapStats
-	err := s.c.InTx(func(tx *sql.Tx) error {
+	err := s.c.InTx(ctx, func(tx *sql.Tx) error {
 		stats = ReapStats{}
 		cutoff := s.now().Add(-timeout)
 		dead, err := beans.Select[Machine](tx,
@@ -138,9 +139,9 @@ func (s *Service) releaseVMWork(tx *sql.Tx, vm *VM) (int, error) {
 }
 
 // RecoverInFlight performs the restart reconciliation in one transaction.
-func (s *Service) RecoverInFlight() (RecoveryStats, error) {
+func (s *Service) RecoverInFlight(ctx context.Context) (RecoveryStats, error) {
 	var stats RecoveryStats
-	err := s.c.InTx(func(tx *sql.Tx) error {
+	err := s.c.InTx(ctx, func(tx *sql.Tx) error {
 		res, err := tx.Exec(`UPDATE jobs SET state = ?, matched_at = NULL, started_at = NULL WHERE state IN (?, ?)`,
 			JobIdle, JobMatched, JobRunning)
 		if err != nil {

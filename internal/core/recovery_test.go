@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"condorj2/internal/sqldb"
@@ -26,18 +27,18 @@ func TestCASRestartRecoversNoJobLost(t *testing.T) {
 	// Drive a workload to a mid-flight state: some idle, some matched,
 	// some running.
 	s := cas.Service
-	if _, err := s.Submit(&SubmitRequest{Owner: "alice", Count: 6, LengthSec: 300}); err != nil {
+	if _, err := s.Submit(context.Background(), &SubmitRequest{Owner: "alice", Count: 6, LengthSec: 300}); err != nil {
 		t.Fatal(err)
 	}
 	beat(t, s, "node1", true, idleVMs(2)...)
-	if _, err := s.ScheduleCycle(); err != nil {
+	if _, err := s.ScheduleCycle(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Accept one of the two matches so one job is running, one matched.
 	resp := beat(t, s, "node1", false, idleVMs(2)...)
 	for _, cmd := range resp.Commands {
 		if cmd.Command == CmdMatchInfo {
-			if _, err := s.AcceptMatch(&AcceptMatchRequest{
+			if _, err := s.AcceptMatch(context.Background(), &AcceptMatchRequest{
 				Machine: "node1", Seq: cmd.Seq, MatchID: cmd.MatchID, JobID: cmd.JobID,
 			}); err != nil {
 				t.Fatal(err)
@@ -61,7 +62,7 @@ func TestCASRestartRecoversNoJobLost(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cas2.Close()
-	stats, err := cas2.Service.RecoverInFlight()
+	stats, err := cas2.Service.RecoverInFlight(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestCASRestartRecoversNoJobLost(t *testing.T) {
 
 	// And the pool resumes work: a node re-registers and jobs flow again.
 	beat(t, cas2.Service, "node1", true, idleVMs(2)...)
-	st, err := cas2.Service.ScheduleCycle()
+	st, err := cas2.Service.ScheduleCycle(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,10 +98,10 @@ func TestCASRestartRecoversNoJobLost(t *testing.T) {
 // TestRecoverInFlightIdempotent ensures a double reconciliation is safe.
 func TestRecoverInFlightIdempotent(t *testing.T) {
 	cas, _ := newTestCAS(t)
-	if _, err := cas.Service.RecoverInFlight(); err != nil {
+	if _, err := cas.Service.RecoverInFlight(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	stats, err := cas.Service.RecoverInFlight()
+	stats, err := cas.Service.RecoverInFlight(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"database/sql"
 	"sort"
 
@@ -69,10 +70,10 @@ func pairJobsToVMs(jobs []Job, vms []VM) []matchPair {
 
 // ScheduleCycle runs one matchmaking pass, pairing up to the configured
 // batch of idle jobs with idle VMs.
-func (s *Service) ScheduleCycle() (ScheduleStats, error) {
-	batch := s.configInt("schedule_batch", 500)
+func (s *Service) ScheduleCycle(ctx context.Context) (ScheduleStats, error) {
+	batch := s.configInt(ctx, "schedule_batch", 500)
 	var stats ScheduleStats
-	err := s.c.InTx(func(tx *sql.Tx) error {
+	err := s.c.InTx(ctx, func(tx *sql.Tx) error {
 		stats = ScheduleStats{}
 		now := s.now()
 		vms, err := beans.Select[VM](tx, "WHERE state = ? ORDER BY id LIMIT ?", VMIdle, batch)
@@ -116,10 +117,10 @@ func (s *Service) ScheduleCycle() (ScheduleStats, error) {
 // DESIGN.md: instead of one set-oriented selection, it issues a separate
 // query pair per match, the way a naive port of Condor's per-job
 // negotiation loop would. Results are identical; cost is not.
-func (s *Service) ScheduleCycleRowAtATime() (ScheduleStats, error) {
-	batch := s.configInt("schedule_batch", 500)
+func (s *Service) ScheduleCycleRowAtATime(ctx context.Context) (ScheduleStats, error) {
+	batch := s.configInt(ctx, "schedule_batch", 500)
 	var stats ScheduleStats
-	err := s.c.InTx(func(tx *sql.Tx) error {
+	err := s.c.InTx(ctx, func(tx *sql.Tx) error {
 		stats = ScheduleStats{}
 		now := s.now()
 		for i := int64(0); i < batch; i++ {

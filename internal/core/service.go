@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"database/sql"
 	"errors"
 	"fmt"
@@ -19,7 +20,15 @@ import (
 type Service struct {
 	c     *beans.Container
 	clock vtime.Clock
+	// onConfigSet, when set (by the CAS), observes committed ConfigSet
+	// calls so engine-level knobs (statement/lock timeouts) apply to the
+	// live server without a restart.
+	onConfigSet func(name, value string)
 }
+
+// SetConfigHook installs an observer invoked after every committed
+// ConfigSet with the new name/value pair.
+func (s *Service) SetConfigHook(fn func(name, value string)) { s.onConfigSet = fn }
 
 // NewService builds the application logic layer over a pooled database
 // handle. clock supplies timestamps (virtual in simulations).
@@ -38,7 +47,7 @@ func (s *Service) now() time.Time { return s.clock.Now() }
 
 // Submit enqueues req.Count identical jobs and returns their id range
 // (Table 2 steps 1-2: "CAS inserts a job tuple into database").
-func (s *Service) Submit(req *SubmitRequest) (*SubmitResponse, error) {
+func (s *Service) Submit(ctx context.Context, req *SubmitRequest) (*SubmitResponse, error) {
 	if req.Count <= 0 {
 		return nil, fmt.Errorf("core: submit: Count must be positive, got %d", req.Count)
 	}
@@ -49,7 +58,7 @@ func (s *Service) Submit(req *SubmitRequest) (*SubmitResponse, error) {
 		return nil, fmt.Errorf("core: submit: LengthSec must be positive")
 	}
 	resp := &SubmitResponse{}
-	err := s.c.InTx(func(tx *sql.Tx) error {
+	err := s.c.InTx(ctx, func(tx *sql.Tx) error {
 		now := s.now()
 		if err := s.ensureUser(tx, req.Owner, now); err != nil {
 			return err
@@ -160,9 +169,9 @@ func (s *Service) registerOutput(tx *sql.Tx, name string, jobID int64, now time.
 // answered with MATCHINFO), 12-13 (beat carrying job progress) and 14-15
 // (beat carrying completion, triggering post-execution processing) are all
 // this one service.
-func (s *Service) Heartbeat(req *HeartbeatRequest) (*HeartbeatResponse, error) {
+func (s *Service) Heartbeat(ctx context.Context, req *HeartbeatRequest) (*HeartbeatResponse, error) {
 	resp := &HeartbeatResponse{}
-	err := s.c.InTx(func(tx *sql.Tx) error {
+	err := s.c.InTx(ctx, func(tx *sql.Tx) error {
 		resp.Commands = resp.Commands[:0]
 		now := s.now()
 		m := &Machine{Name: req.Machine}
@@ -471,9 +480,9 @@ func (s *Service) credit(tx *sql.Tx, owner string, runtimeSec int64, dropped boo
 
 // AcceptMatch commits a match: Table 2 step 10 — "CAS deletes match tuple,
 // inserts run tuple, updates related job tuple, responds OK".
-func (s *Service) AcceptMatch(req *AcceptMatchRequest) (*AcceptMatchResponse, error) {
+func (s *Service) AcceptMatch(ctx context.Context, req *AcceptMatchRequest) (*AcceptMatchResponse, error) {
 	resp := &AcceptMatchResponse{}
-	err := s.c.InTx(func(tx *sql.Tx) error {
+	err := s.c.InTx(ctx, func(tx *sql.Tx) error {
 		match := &Match{ID: req.MatchID}
 		err := beans.Find(tx, match)
 		if errors.Is(err, beans.ErrNotFound) {
@@ -525,9 +534,9 @@ func (s *Service) AcceptMatch(req *AcceptMatchRequest) (*AcceptMatchResponse, er
 }
 
 // ReleaseJob removes an idle or blocked job from the queue (user abort).
-func (s *Service) ReleaseJob(req *ReleaseJobRequest) (*ReleaseJobResponse, error) {
+func (s *Service) ReleaseJob(ctx context.Context, req *ReleaseJobRequest) (*ReleaseJobResponse, error) {
 	resp := &ReleaseJobResponse{}
-	err := s.c.InTx(func(tx *sql.Tx) error {
+	err := s.c.InTx(ctx, func(tx *sql.Tx) error {
 		job := &Job{ID: req.JobID}
 		err := beans.Find(tx, job)
 		if errors.Is(err, beans.ErrNotFound) {
@@ -567,9 +576,9 @@ func (s *Service) ReleaseJob(req *ReleaseJobRequest) (*ReleaseJobResponse, error
 // machine/VM/job numbers are mutually consistent, and the monitoring scan
 // takes no locks — it neither stalls behind nor stalls the heartbeat and
 // submit writers.
-func (s *Service) PoolStatus(*PoolStatusRequest) (*PoolStatusResponse, error) {
+func (s *Service) PoolStatus(ctx context.Context, _ *PoolStatusRequest) (*PoolStatusResponse, error) {
 	resp := &PoolStatusResponse{}
-	err := s.c.InReadTx(func(tx *sql.Tx) error {
+	err := s.c.InReadTx(ctx, func(tx *sql.Tx) error {
 		count := func(table string) ([]StateCount, error) {
 			rows, err := tx.Query(fmt.Sprintf(
 				`SELECT state, count(*) FROM %s GROUP BY state ORDER BY state`, table))
@@ -612,13 +621,13 @@ func (s *Service) PoolStatus(*PoolStatusRequest) (*PoolStatusResponse, error) {
 
 // QueueStatus lists queued jobs, optionally for one owner, from a
 // read-only snapshot.
-func (s *Service) QueueStatus(req *QueueStatusRequest) (*QueueStatusResponse, error) {
+func (s *Service) QueueStatus(ctx context.Context, req *QueueStatusRequest) (*QueueStatusResponse, error) {
 	limit := req.Limit
 	if limit <= 0 || limit > 10000 {
 		limit = 1000
 	}
 	resp := &QueueStatusResponse{}
-	err := s.c.InReadTx(func(tx *sql.Tx) error {
+	err := s.c.InReadTx(ctx, func(tx *sql.Tx) error {
 		var jobs []Job
 		var err error
 		if req.Owner != "" {
@@ -641,25 +650,32 @@ func (s *Service) QueueStatus(req *QueueStatusRequest) (*QueueStatusResponse, er
 }
 
 // UserStats returns one owner's accounting record.
-func (s *Service) UserStats(req *UserStatsRequest) (*UserStatsResponse, error) {
-	acct := &Accounting{Owner: req.Owner}
-	err := beans.Find(s.c.DB, acct)
-	if errors.Is(err, beans.ErrNotFound) {
-		return &UserStatsResponse{Owner: req.Owner}, nil
-	}
+func (s *Service) UserStats(ctx context.Context, req *UserStatsRequest) (*UserStatsResponse, error) {
+	resp := &UserStatsResponse{Owner: req.Owner}
+	err := s.c.InReadTx(ctx, func(tx *sql.Tx) error {
+		acct := &Accounting{Owner: req.Owner}
+		err := beans.Find(tx, acct)
+		if errors.Is(err, beans.ErrNotFound) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		resp.CompletedJobs = acct.CompletedJobs
+		resp.DroppedJobs = acct.DroppedJobs
+		resp.TotalRuntimeSec = acct.TotalRuntimeSec
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &UserStatsResponse{
-		Owner: acct.Owner, CompletedJobs: acct.CompletedJobs,
-		DroppedJobs: acct.DroppedJobs, TotalRuntimeSec: acct.TotalRuntimeSec,
-	}, nil
+	return resp, nil
 }
 
 // ConfigGet reads an operational configuration value.
-func (s *Service) ConfigGet(req *ConfigGetRequest) (*ConfigGetResponse, error) {
+func (s *Service) ConfigGet(ctx context.Context, req *ConfigGetRequest) (*ConfigGetResponse, error) {
 	var value string
-	err := s.c.DB.QueryRow(`SELECT value FROM config WHERE name = ?`, req.Name).Scan(&value)
+	err := s.c.DB.QueryRowContext(ctx, `SELECT value FROM config WHERE name = ?`, req.Name).Scan(&value)
 	if errors.Is(err, sql.ErrNoRows) {
 		return nil, fmt.Errorf("core: no config entry %q", req.Name)
 	}
@@ -670,8 +686,8 @@ func (s *Service) ConfigGet(req *ConfigGetRequest) (*ConfigGetResponse, error) {
 }
 
 // ConfigSet updates a configuration value, keeping history.
-func (s *Service) ConfigSet(req *ConfigSetRequest) (*ConfigSetResponse, error) {
-	err := s.c.InTx(func(tx *sql.Tx) error {
+func (s *Service) ConfigSet(ctx context.Context, req *ConfigSetRequest) (*ConfigSetResponse, error) {
+	err := s.c.InTx(ctx, func(tx *sql.Tx) error {
 		now := s.now()
 		res, err := tx.Exec(`UPDATE config SET value = ?, updated_at = ? WHERE name = ?`, req.Value, now, req.Name)
 		if err != nil {
@@ -688,12 +704,15 @@ func (s *Service) ConfigSet(req *ConfigSetRequest) (*ConfigSetResponse, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.onConfigSet != nil {
+		s.onConfigSet(req.Name, req.Value)
+	}
 	return &ConfigSetResponse{OK: true}, nil
 }
 
 // configInt reads an integer config value with a default.
-func (s *Service) configInt(name string, def int64) int64 {
-	resp, err := s.ConfigGet(&ConfigGetRequest{Name: name})
+func (s *Service) configInt(ctx context.Context, name string, def int64) int64 {
+	resp, err := s.ConfigGet(ctx, &ConfigGetRequest{Name: name})
 	if err != nil {
 		return def
 	}
@@ -705,13 +724,17 @@ func (s *Service) configInt(name string, def int64) int64 {
 }
 
 // RegisterDataset declares an external dataset (provenance extension).
-func (s *Service) RegisterDataset(req *RegisterDatasetRequest) (*RegisterDatasetResponse, error) {
+func (s *Service) RegisterDataset(ctx context.Context, req *RegisterDatasetRequest) (*RegisterDatasetResponse, error) {
 	ver := req.Version
 	if ver == 0 {
 		ver = 1
 	}
 	ds := &Dataset{Name: req.Name, Version: ver, CreatedAt: s.now()}
-	if err := beans.Insert(s.c.DB, ds); err != nil {
+	err := s.c.InTx(ctx, func(tx *sql.Tx) error {
+		ds.ID = 0
+		return beans.Insert(tx, ds)
+	})
+	if err != nil {
 		return nil, err
 	}
 	return &RegisterDatasetResponse{ID: ds.ID}, nil
@@ -719,59 +742,69 @@ func (s *Service) RegisterDataset(req *RegisterDatasetRequest) (*RegisterDataset
 
 // Provenance answers "what executable and input data generated this output
 // data set, and which versions were used?" (paper §6).
-func (s *Service) Provenance(req *ProvenanceRequest) (*ProvenanceResponse, error) {
-	var ds []Dataset
-	var err error
-	if req.Version > 0 {
-		ds, err = beans.Select[Dataset](s.c.DB, "WHERE name = ? AND version = ?", req.Dataset, req.Version)
-	} else {
-		ds, err = beans.Select[Dataset](s.c.DB, "WHERE name = ? ORDER BY version DESC LIMIT 1", req.Dataset)
-	}
-	if err != nil {
-		return nil, err
-	}
-	if len(ds) == 0 {
-		return nil, fmt.Errorf("core: no dataset %q", req.Dataset)
-	}
-	d := ds[0]
-	resp := &ProvenanceResponse{Dataset: d.Name, Version: d.Version, ProducedByJob: d.ProducedBy}
-	if d.ProducedBy == 0 {
-		return resp, nil
-	}
-	// The producing job may be live or already in history.
-	rows, err := s.c.DB.Query(`SELECT owner FROM job_history WHERE job_id = ?`, d.ProducedBy)
-	if err != nil {
-		return nil, err
-	}
-	for rows.Next() {
-		rows.Scan(&resp.Owner)
-	}
-	rows.Close()
-	if resp.Owner == "" {
-		s.c.DB.QueryRow(`SELECT owner FROM jobs WHERE id = ?`, d.ProducedBy).Scan(&resp.Owner)
-	}
-	err = s.c.DB.QueryRow(`
-		SELECT e.name, e.version FROM job_executables je
-		JOIN executables e ON e.id = je.executable_id
-		WHERE je.job_id = ?`, d.ProducedBy).Scan(&resp.Executable, &resp.ExecutableVersion)
-	if err != nil && !errors.Is(err, sql.ErrNoRows) {
-		return nil, err
-	}
-	inRows, err := s.c.DB.Query(`
-		SELECT d.name, d.version FROM job_inputs ji
-		JOIN datasets d ON d.id = ji.dataset_id
-		WHERE ji.job_id = ?`, d.ProducedBy)
-	if err != nil {
-		return nil, err
-	}
-	defer inRows.Close()
-	for inRows.Next() {
-		var name string
-		var ver int64
-		if err := inRows.Scan(&name, &ver); err != nil {
-			return nil, err
+func (s *Service) Provenance(ctx context.Context, req *ProvenanceRequest) (*ProvenanceResponse, error) {
+	// One read-only snapshot covers the whole lineage walk: the dataset,
+	// its producing job, the executable and the inputs are mutually
+	// consistent, and the walk takes no locks.
+	var resp *ProvenanceResponse
+	err := s.c.InReadTx(ctx, func(tx *sql.Tx) error {
+		var ds []Dataset
+		var err error
+		if req.Version > 0 {
+			ds, err = beans.Select[Dataset](tx, "WHERE name = ? AND version = ?", req.Dataset, req.Version)
+		} else {
+			ds, err = beans.Select[Dataset](tx, "WHERE name = ? ORDER BY version DESC LIMIT 1", req.Dataset)
 		}
-		resp.Inputs = append(resp.Inputs, fmt.Sprintf("%s@v%d", name, ver))
+		if err != nil {
+			return err
+		}
+		if len(ds) == 0 {
+			return fmt.Errorf("core: no dataset %q", req.Dataset)
+		}
+		d := ds[0]
+		resp = &ProvenanceResponse{Dataset: d.Name, Version: d.Version, ProducedByJob: d.ProducedBy}
+		if d.ProducedBy == 0 {
+			return nil
+		}
+		// The producing job may be live or already in history.
+		rows, err := tx.Query(`SELECT owner FROM job_history WHERE job_id = ?`, d.ProducedBy)
+		if err != nil {
+			return err
+		}
+		for rows.Next() {
+			rows.Scan(&resp.Owner)
+		}
+		rows.Close()
+		if resp.Owner == "" {
+			tx.QueryRow(`SELECT owner FROM jobs WHERE id = ?`, d.ProducedBy).Scan(&resp.Owner)
+		}
+		err = tx.QueryRow(`
+			SELECT e.name, e.version FROM job_executables je
+			JOIN executables e ON e.id = je.executable_id
+			WHERE je.job_id = ?`, d.ProducedBy).Scan(&resp.Executable, &resp.ExecutableVersion)
+		if err != nil && !errors.Is(err, sql.ErrNoRows) {
+			return err
+		}
+		inRows, err := tx.Query(`
+			SELECT d.name, d.version FROM job_inputs ji
+			JOIN datasets d ON d.id = ji.dataset_id
+			WHERE ji.job_id = ?`, d.ProducedBy)
+		if err != nil {
+			return err
+		}
+		defer inRows.Close()
+		for inRows.Next() {
+			var name string
+			var ver int64
+			if err := inRows.Scan(&name, &ver); err != nil {
+				return err
+			}
+			resp.Inputs = append(resp.Inputs, fmt.Sprintf("%s@v%d", name, ver))
+		}
+		return inRows.Err()
+	})
+	if err != nil {
+		return nil, err
 	}
-	return resp, inRows.Err()
+	return resp, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -30,7 +31,7 @@ func newTestCAS(t *testing.T) (*CAS, *fakeClock) {
 // beat sends a heartbeat for a 2-VM machine with the given VM statuses.
 func beat(t *testing.T, s *Service, machine string, boot bool, vms ...VMStatus) *HeartbeatResponse {
 	t.Helper()
-	resp, err := s.Heartbeat(&HeartbeatRequest{
+	resp, err := s.Heartbeat(context.Background(), &HeartbeatRequest{
 		Machine: machine, Boot: boot,
 		Arch: "x86", OpSys: "linux", TotalMemoryMB: 2048,
 		VMs: vms,
@@ -51,7 +52,7 @@ func idleVMs(n int) []VMStatus {
 
 func TestSubmitInsertsJobTuples(t *testing.T) {
 	cas, _ := newTestCAS(t)
-	resp, err := cas.Service.Submit(&SubmitRequest{Owner: "alice", Count: 3, LengthSec: 60})
+	resp, err := cas.Service.Submit(context.Background(), &SubmitRequest{Owner: "alice", Count: 3, LengthSec: 60})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,13 +74,13 @@ func TestSubmitInsertsJobTuples(t *testing.T) {
 
 func TestSubmitValidation(t *testing.T) {
 	cas, _ := newTestCAS(t)
-	if _, err := cas.Service.Submit(&SubmitRequest{Owner: "", Count: 1, LengthSec: 60}); err == nil {
+	if _, err := cas.Service.Submit(context.Background(), &SubmitRequest{Owner: "", Count: 1, LengthSec: 60}); err == nil {
 		t.Fatal("empty owner accepted")
 	}
-	if _, err := cas.Service.Submit(&SubmitRequest{Owner: "a", Count: 0, LengthSec: 60}); err == nil {
+	if _, err := cas.Service.Submit(context.Background(), &SubmitRequest{Owner: "a", Count: 0, LengthSec: 60}); err == nil {
 		t.Fatal("zero count accepted")
 	}
-	if _, err := cas.Service.Submit(&SubmitRequest{Owner: "a", Count: 1, LengthSec: 0}); err == nil {
+	if _, err := cas.Service.Submit(context.Background(), &SubmitRequest{Owner: "a", Count: 1, LengthSec: 0}); err == nil {
 		t.Fatal("zero length accepted")
 	}
 }
@@ -112,7 +113,7 @@ func TestFullJobLifecycle(t *testing.T) {
 	s := cas.Service
 
 	// Table 2 steps 1-2: submit inserts a job tuple.
-	sub, err := s.Submit(&SubmitRequest{Owner: "alice", Count: 1, LengthSec: 300})
+	sub, err := s.Submit(context.Background(), &SubmitRequest{Owner: "alice", Count: 1, LengthSec: 300})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestFullJobLifecycle(t *testing.T) {
 	}
 
 	// Steps 5-6: scheduling cycle inserts a match tuple.
-	stats, err := s.ScheduleCycle()
+	stats, err := s.ScheduleCycle(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestFullJobLifecycle(t *testing.T) {
 	}
 
 	// Steps 9-10: acceptMatch deletes the match, inserts a run, job→running.
-	acc, err := s.AcceptMatch(&AcceptMatchRequest{
+	acc, err := s.AcceptMatch(context.Background(), &AcceptMatchRequest{
 		Machine: "node1", Seq: 0, MatchID: cmd.MatchID, JobID: cmd.JobID,
 	})
 	if err != nil || !acc.OK {
@@ -188,7 +189,7 @@ func TestFullJobLifecycle(t *testing.T) {
 	if hist != 1 {
 		t.Fatal("job history not recorded")
 	}
-	st, err := s.UserStats(&UserStatsRequest{Owner: "alice"})
+	st, err := s.UserStats(context.Background(), &UserStatsRequest{Owner: "alice"})
 	if err != nil || st.CompletedJobs != 1 || st.TotalRuntimeSec != 300 {
 		t.Fatalf("accounting = %+v, %v", st, err)
 	}
@@ -203,11 +204,11 @@ func TestFullJobLifecycle(t *testing.T) {
 func TestScheduleCycleBatch(t *testing.T) {
 	cas, _ := newTestCAS(t)
 	s := cas.Service
-	s.Submit(&SubmitRequest{Owner: "u", Count: 10, LengthSec: 60})
+	s.Submit(context.Background(), &SubmitRequest{Owner: "u", Count: 10, LengthSec: 60})
 	for i := 0; i < 3; i++ {
 		beat(t, s, "node"+strings.Repeat("x", i+1), true, idleVMs(2)...)
 	}
-	stats, err := s.ScheduleCycle()
+	stats, err := s.ScheduleCycle(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestScheduleCycleBatch(t *testing.T) {
 		t.Fatalf("matched = %d, want 6 (limited by VMs)", stats.Matched)
 	}
 	// Second cycle matches nothing (no idle VMs left).
-	stats, _ = s.ScheduleCycle()
+	stats, _ = s.ScheduleCycle(context.Background())
 	if stats.Matched != 0 {
 		t.Fatalf("second cycle matched = %d", stats.Matched)
 	}
@@ -226,16 +227,16 @@ func TestSchedulerRespectsMemoryConstraint(t *testing.T) {
 	s := cas.Service
 	// One machine with 2 VMs × 1024 MB each.
 	beat(t, s, "small", true, idleVMs(2)...)
-	s.Submit(&SubmitRequest{Owner: "u", Count: 1, LengthSec: 60, MinMemoryMB: 4096})
-	stats, err := s.ScheduleCycle()
+	s.Submit(context.Background(), &SubmitRequest{Owner: "u", Count: 1, LengthSec: 60, MinMemoryMB: 4096})
+	stats, err := s.ScheduleCycle(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.Matched != 0 {
 		t.Fatal("oversized job matched to small VM")
 	}
-	s.Submit(&SubmitRequest{Owner: "u", Count: 1, LengthSec: 60, MinMemoryMB: 512})
-	stats, _ = s.ScheduleCycle()
+	s.Submit(context.Background(), &SubmitRequest{Owner: "u", Count: 1, LengthSec: 60, MinMemoryMB: 512})
+	stats, _ = s.ScheduleCycle(context.Background())
 	if stats.Matched != 1 {
 		t.Fatalf("fitting job not matched: %+v", stats)
 	}
@@ -244,10 +245,10 @@ func TestSchedulerRespectsMemoryConstraint(t *testing.T) {
 func TestSchedulerPriorityOrder(t *testing.T) {
 	cas, _ := newTestCAS(t)
 	s := cas.Service
-	s.Submit(&SubmitRequest{Owner: "low", Count: 1, LengthSec: 60, Priority: 0.1})
-	s.Submit(&SubmitRequest{Owner: "high", Count: 1, LengthSec: 60, Priority: 0.9})
+	s.Submit(context.Background(), &SubmitRequest{Owner: "low", Count: 1, LengthSec: 60, Priority: 0.1})
+	s.Submit(context.Background(), &SubmitRequest{Owner: "high", Count: 1, LengthSec: 60, Priority: 0.9})
 	beat(t, s, "node1", true, idleVMs(1)...)
-	s.ScheduleCycle()
+	s.ScheduleCycle(context.Background())
 	var owner string
 	cas.Pool.QueryRow(`SELECT owner FROM jobs WHERE state = 'matched'`).Scan(&owner)
 	if owner != "high" {
@@ -258,9 +259,9 @@ func TestSchedulerPriorityOrder(t *testing.T) {
 func TestRowAtATimeSchedulerEquivalent(t *testing.T) {
 	cas, _ := newTestCAS(t)
 	s := cas.Service
-	s.Submit(&SubmitRequest{Owner: "u", Count: 5, LengthSec: 60})
+	s.Submit(context.Background(), &SubmitRequest{Owner: "u", Count: 5, LengthSec: 60})
 	beat(t, s, "node1", true, idleVMs(8)...)
-	stats, err := s.ScheduleCycleRowAtATime()
+	stats, err := s.ScheduleCycleRowAtATime(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,12 +273,12 @@ func TestRowAtATimeSchedulerEquivalent(t *testing.T) {
 func TestDroppedJobReturnsToQueue(t *testing.T) {
 	cas, _ := newTestCAS(t)
 	s := cas.Service
-	sub, _ := s.Submit(&SubmitRequest{Owner: "u", Count: 1, LengthSec: 6})
+	sub, _ := s.Submit(context.Background(), &SubmitRequest{Owner: "u", Count: 1, LengthSec: 6})
 	beat(t, s, "node1", true, idleVMs(1)...)
-	s.ScheduleCycle()
+	s.ScheduleCycle(context.Background())
 	resp := beat(t, s, "node1", false, idleVMs(1)...)
 	cmd := resp.Commands[0]
-	s.AcceptMatch(&AcceptMatchRequest{Machine: "node1", Seq: 0, MatchID: cmd.MatchID, JobID: cmd.JobID})
+	s.AcceptMatch(context.Background(), &AcceptMatchRequest{Machine: "node1", Seq: 0, MatchID: cmd.MatchID, JobID: cmd.JobID})
 
 	// The node times out setting up the job and drops it.
 	beat(t, s, "node1", false, VMStatus{Seq: 0, State: "claimed", JobID: sub.FirstJobID, Phase: "dropped"})
@@ -298,7 +299,7 @@ func TestDroppedJobReturnsToQueue(t *testing.T) {
 		t.Fatal("run tuple survived drop")
 	}
 	// The VM must be schedulable again.
-	stats, _ := s.ScheduleCycle()
+	stats, _ := s.ScheduleCycle(context.Background())
 	if stats.Matched != 1 {
 		t.Fatalf("requeued job not rematched: %+v", stats)
 	}
@@ -307,8 +308,8 @@ func TestDroppedJobReturnsToQueue(t *testing.T) {
 func TestDependencyUnblocksOnCompletion(t *testing.T) {
 	cas, _ := newTestCAS(t)
 	s := cas.Service
-	first, _ := s.Submit(&SubmitRequest{Owner: "u", Count: 1, LengthSec: 60})
-	dep, _ := s.Submit(&SubmitRequest{Owner: "u", Count: 2, LengthSec: 360, DependsOn: first.FirstJobID})
+	first, _ := s.Submit(context.Background(), &SubmitRequest{Owner: "u", Count: 1, LengthSec: 60})
+	dep, _ := s.Submit(context.Background(), &SubmitRequest{Owner: "u", Count: 2, LengthSec: 360, DependsOn: first.FirstJobID})
 
 	var state string
 	cas.Pool.QueryRow(`SELECT state FROM jobs WHERE id = ?`, dep.FirstJobID).Scan(&state)
@@ -318,7 +319,7 @@ func TestDependencyUnblocksOnCompletion(t *testing.T) {
 
 	// Blocked jobs are not schedulable.
 	beat(t, s, "node1", true, idleVMs(3)...)
-	stats, _ := s.ScheduleCycle()
+	stats, _ := s.ScheduleCycle(context.Background())
 	if stats.Matched != 1 {
 		t.Fatalf("matched = %d, want only the independent job", stats.Matched)
 	}
@@ -327,7 +328,7 @@ func TestDependencyUnblocksOnCompletion(t *testing.T) {
 	resp := beat(t, s, "node1", false, idleVMs(3)...)
 	for _, cmd := range resp.Commands {
 		if cmd.Command == CmdMatchInfo {
-			s.AcceptMatch(&AcceptMatchRequest{Machine: "node1", Seq: cmd.Seq, MatchID: cmd.MatchID, JobID: cmd.JobID})
+			s.AcceptMatch(context.Background(), &AcceptMatchRequest{Machine: "node1", Seq: cmd.Seq, MatchID: cmd.MatchID, JobID: cmd.JobID})
 			beat(t, s, "node1", false, VMStatus{Seq: cmd.Seq, State: "claimed", JobID: cmd.JobID, Phase: "completed"})
 		}
 	}
@@ -337,7 +338,7 @@ func TestDependencyUnblocksOnCompletion(t *testing.T) {
 	if blocked != 0 {
 		t.Fatalf("blocked jobs after completion = %d", blocked)
 	}
-	stats, _ = s.ScheduleCycle()
+	stats, _ = s.ScheduleCycle(context.Background())
 	if stats.Matched != 2 {
 		t.Fatalf("unblocked jobs matched = %d", stats.Matched)
 	}
@@ -346,7 +347,7 @@ func TestDependencyUnblocksOnCompletion(t *testing.T) {
 func TestAcceptMatchStaleRejected(t *testing.T) {
 	cas, _ := newTestCAS(t)
 	s := cas.Service
-	resp, err := s.AcceptMatch(&AcceptMatchRequest{Machine: "nodeX", Seq: 0, MatchID: 999, JobID: 1})
+	resp, err := s.AcceptMatch(context.Background(), &AcceptMatchRequest{Machine: "nodeX", Seq: 0, MatchID: 999, JobID: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,11 +359,11 @@ func TestAcceptMatchStaleRejected(t *testing.T) {
 func TestReleaseJob(t *testing.T) {
 	cas, _ := newTestCAS(t)
 	s := cas.Service
-	sub, _ := s.Submit(&SubmitRequest{Owner: "alice", Count: 1, LengthSec: 60})
-	if _, err := s.ReleaseJob(&ReleaseJobRequest{JobID: sub.FirstJobID, Owner: "mallory"}); err == nil {
+	sub, _ := s.Submit(context.Background(), &SubmitRequest{Owner: "alice", Count: 1, LengthSec: 60})
+	if _, err := s.ReleaseJob(context.Background(), &ReleaseJobRequest{JobID: sub.FirstJobID, Owner: "mallory"}); err == nil {
 		t.Fatal("foreign release accepted")
 	}
-	resp, err := s.ReleaseJob(&ReleaseJobRequest{JobID: sub.FirstJobID, Owner: "alice"})
+	resp, err := s.ReleaseJob(context.Background(), &ReleaseJobRequest{JobID: sub.FirstJobID, Owner: "alice"})
 	if err != nil || !resp.OK {
 		t.Fatalf("release = %+v, %v", resp, err)
 	}
@@ -381,10 +382,10 @@ func TestReleaseJob(t *testing.T) {
 func TestPoolStatusCounts(t *testing.T) {
 	cas, _ := newTestCAS(t)
 	s := cas.Service
-	s.Submit(&SubmitRequest{Owner: "u", Count: 4, LengthSec: 60})
+	s.Submit(context.Background(), &SubmitRequest{Owner: "u", Count: 4, LengthSec: 60})
 	beat(t, s, "node1", true, idleVMs(2)...)
-	s.ScheduleCycle()
-	st, err := s.PoolStatus(&PoolStatusRequest{})
+	s.ScheduleCycle(context.Background())
+	st, err := s.PoolStatus(context.Background(), &PoolStatusRequest{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -400,14 +401,14 @@ func TestPoolStatusCounts(t *testing.T) {
 func TestConfigRoundTripAndHistory(t *testing.T) {
 	cas, _ := newTestCAS(t)
 	s := cas.Service
-	got, err := s.ConfigGet(&ConfigGetRequest{Name: "schedule_batch"})
+	got, err := s.ConfigGet(context.Background(), &ConfigGetRequest{Name: "schedule_batch"})
 	if err != nil || got.Value != "500" {
 		t.Fatalf("default = %+v, %v", got, err)
 	}
-	if _, err := s.ConfigSet(&ConfigSetRequest{Name: "schedule_batch", Value: "64"}); err != nil {
+	if _, err := s.ConfigSet(context.Background(), &ConfigSetRequest{Name: "schedule_batch", Value: "64"}); err != nil {
 		t.Fatal(err)
 	}
-	got, _ = s.ConfigGet(&ConfigGetRequest{Name: "schedule_batch"})
+	got, _ = s.ConfigGet(context.Background(), &ConfigGetRequest{Name: "schedule_batch"})
 	if got.Value != "64" {
 		t.Fatalf("updated = %+v", got)
 	}
@@ -416,12 +417,12 @@ func TestConfigRoundTripAndHistory(t *testing.T) {
 	if hist != 1 {
 		t.Fatalf("config history rows = %d", hist)
 	}
-	if _, err := s.ConfigGet(&ConfigGetRequest{Name: "no_such_key"}); err == nil {
+	if _, err := s.ConfigGet(context.Background(), &ConfigGetRequest{Name: "no_such_key"}); err == nil {
 		t.Fatal("missing config read succeeded")
 	}
 	// configInt falls back on defaults for bad values.
-	s.ConfigSet(&ConfigSetRequest{Name: "schedule_batch", Value: "not-a-number"})
-	if v := s.configInt("schedule_batch", 123); v != 123 {
+	s.ConfigSet(context.Background(), &ConfigSetRequest{Name: "schedule_batch", Value: "not-a-number"})
+	if v := s.configInt(context.Background(), "schedule_batch", 123); v != 123 {
 		t.Fatalf("configInt fallback = %d", v)
 	}
 }
@@ -429,7 +430,7 @@ func TestConfigRoundTripAndHistory(t *testing.T) {
 func TestStateMachineRejectsInvalidTransitions(t *testing.T) {
 	cas, _ := newTestCAS(t)
 	s := cas.Service
-	sub, _ := s.Submit(&SubmitRequest{Owner: "u", Count: 1, LengthSec: 60})
+	sub, _ := s.Submit(context.Background(), &SubmitRequest{Owner: "u", Count: 1, LengthSec: 60})
 	// Directly exercising the fine-grained bean service: MarkRunning on an
 	// idle job must fail validation (the paper's "verify that the object is
 	// in a state in which the particular service call is valid").
@@ -463,8 +464,8 @@ func TestStateMachineRejectsInvalidTransitions(t *testing.T) {
 
 func TestQueueStatusHonorsLimit(t *testing.T) {
 	cas, _ := newTestCAS(t)
-	cas.Service.Submit(&SubmitRequest{Owner: "u", Count: 25, LengthSec: 60})
-	resp, err := cas.Service.QueueStatus(&QueueStatusRequest{Owner: "u", Limit: 10})
+	cas.Service.Submit(context.Background(), &SubmitRequest{Owner: "u", Count: 25, LengthSec: 60})
+	resp, err := cas.Service.QueueStatus(context.Background(), &QueueStatusRequest{Owner: "u", Limit: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -483,7 +484,7 @@ func TestHeartbeatUnknownVMRejected(t *testing.T) {
 	cas, _ := newTestCAS(t)
 	beat(t, cas.Service, "node1", true, idleVMs(2)...)
 	// Report a VM the machine never registered.
-	_, err := cas.Service.Heartbeat(&HeartbeatRequest{
+	_, err := cas.Service.Heartbeat(context.Background(), &HeartbeatRequest{
 		Machine: "node1",
 		VMs:     []VMStatus{{Seq: 7, State: "idle"}},
 	})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -18,7 +19,7 @@ func TestWebServicesOverHTTP(t *testing.T) {
 
 	client := &wire.Client{URL: srv.URL + "/services"}
 	var sub SubmitResponse
-	if err := client.Call(ActionSubmitJob, &SubmitRequest{Owner: "web", Count: 2, LengthSec: 30}, &sub); err != nil {
+	if err := client.Call(context.Background(), ActionSubmitJob, &SubmitRequest{Owner: "web", Count: 2, LengthSec: 30}, &sub); err != nil {
 		t.Fatal(err)
 	}
 	if sub.FirstJobID != 1 || sub.LastJobID != 2 {
@@ -26,7 +27,7 @@ func TestWebServicesOverHTTP(t *testing.T) {
 	}
 
 	var hb HeartbeatResponse
-	err := client.Call(ActionHeartbeat, &HeartbeatRequest{
+	err := client.Call(context.Background(), ActionHeartbeat, &HeartbeatRequest{
 		Machine: "webnode", Boot: true, Arch: "x86", OpSys: "linux",
 		TotalMemoryMB: 1024, VMs: idleVMs(1),
 	}, &hb)
@@ -38,7 +39,7 @@ func TestWebServicesOverHTTP(t *testing.T) {
 	}
 
 	var qs QueueStatusResponse
-	if err := client.Call(ActionQueueStatus, &QueueStatusRequest{Owner: "web"}, &qs); err != nil {
+	if err := client.Call(context.Background(), ActionQueueStatus, &QueueStatusRequest{Owner: "web"}, &qs); err != nil {
 		t.Fatal(err)
 	}
 	if len(qs.Jobs) != 2 {
@@ -46,7 +47,7 @@ func TestWebServicesOverHTTP(t *testing.T) {
 	}
 
 	// Service errors surface as faults.
-	err = client.Call(ActionSubmitJob, &SubmitRequest{Owner: "", Count: 1, LengthSec: 1}, &sub)
+	err = client.Call(context.Background(), ActionSubmitJob, &SubmitRequest{Owner: "", Count: 1, LengthSec: 1}, &sub)
 	var fault *wire.Fault
 	if !asFault(err, &fault) {
 		t.Fatalf("err = %v, want fault", err)
@@ -70,7 +71,7 @@ func asFault(err error, target **wire.Fault) bool {
 
 func TestWebsitePages(t *testing.T) {
 	cas, _ := newTestCAS(t)
-	cas.Service.Submit(&SubmitRequest{Owner: "alice", Count: 2, LengthSec: 60})
+	cas.Service.Submit(context.Background(), &SubmitRequest{Owner: "alice", Count: 2, LengthSec: 60})
 	beat(t, cas.Service, "node1", true, idleVMs(2)...)
 	srv := httptest.NewServer(cas.HTTPHandler())
 	defer srv.Close()
@@ -138,14 +139,14 @@ func TestProvenanceAnswersPaperQuestion(t *testing.T) {
 	s := cas.Service
 
 	// Register two external input datasets.
-	in1, err := s.RegisterDataset(&RegisterDatasetRequest{Name: "genome-reads"})
+	in1, err := s.RegisterDataset(context.Background(), &RegisterDatasetRequest{Name: "genome-reads"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	in2, _ := s.RegisterDataset(&RegisterDatasetRequest{Name: "reference", Version: 3})
+	in2, _ := s.RegisterDataset(context.Background(), &RegisterDatasetRequest{Name: "reference", Version: 3})
 
 	// Submit a job consuming them and producing "alignment".
-	sub, err := s.Submit(&SubmitRequest{
+	sub, err := s.Submit(context.Background(), &SubmitRequest{
 		Owner: "scientist", Count: 1, LengthSec: 60,
 		Executable: "aligner", ExecutableVersion: "2.1",
 		InputDatasets: []int64{in1.ID, in2.ID},
@@ -157,15 +158,15 @@ func TestProvenanceAnswersPaperQuestion(t *testing.T) {
 
 	// Run the job to completion.
 	beat(t, s, "node1", true, idleVMs(1)...)
-	s.ScheduleCycle()
+	s.ScheduleCycle(context.Background())
 	resp := beat(t, s, "node1", false, idleVMs(1)...)
 	cmd := resp.Commands[0]
-	s.AcceptMatch(&AcceptMatchRequest{Machine: "node1", Seq: 0, MatchID: cmd.MatchID, JobID: cmd.JobID})
+	s.AcceptMatch(context.Background(), &AcceptMatchRequest{Machine: "node1", Seq: 0, MatchID: cmd.MatchID, JobID: cmd.JobID})
 	beat(t, s, "node1", false, VMStatus{Seq: 0, State: "claimed", JobID: cmd.JobID, Phase: "completed"})
 
 	// The paper's question: "What executable and input data generated this
 	// particular output data set and which versions were used?"
-	prov, err := s.Provenance(&ProvenanceRequest{Dataset: "alignment"})
+	prov, err := s.Provenance(context.Background(), &ProvenanceRequest{Dataset: "alignment"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,19 +188,19 @@ func TestProvenanceAnswersPaperQuestion(t *testing.T) {
 	}
 
 	// Resubmitting with the same output name bumps the version.
-	s.Submit(&SubmitRequest{Owner: "scientist", Count: 1, LengthSec: 60, Output: "alignment"})
-	prov2, err := s.Provenance(&ProvenanceRequest{Dataset: "alignment"})
+	s.Submit(context.Background(), &SubmitRequest{Owner: "scientist", Count: 1, LengthSec: 60, Output: "alignment"})
+	prov2, err := s.Provenance(context.Background(), &ProvenanceRequest{Dataset: "alignment"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if prov2.Version != 2 {
 		t.Fatalf("latest version = %d", prov2.Version)
 	}
-	prov1, _ := s.Provenance(&ProvenanceRequest{Dataset: "alignment", Version: 1})
+	prov1, _ := s.Provenance(context.Background(), &ProvenanceRequest{Dataset: "alignment", Version: 1})
 	if prov1.Version != 1 {
 		t.Fatalf("pinned version = %d", prov1.Version)
 	}
-	if _, err := s.Provenance(&ProvenanceRequest{Dataset: "nope"}); err == nil {
+	if _, err := s.Provenance(context.Background(), &ProvenanceRequest{Dataset: "nope"}); err == nil {
 		t.Fatal("missing dataset provenance succeeded")
 	}
 }

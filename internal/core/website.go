@@ -68,7 +68,7 @@ func (w *website) home(rw http.ResponseWriter, r *http.Request) {
 		http.NotFound(rw, r)
 		return
 	}
-	st, err := w.svc.PoolStatus(&PoolStatusRequest{})
+	st, err := w.svc.PoolStatus(r.Context(), &PoolStatusRequest{})
 	if err != nil {
 		http.Error(rw, err.Error(), http.StatusInternalServerError)
 		return
@@ -92,7 +92,7 @@ func (w *website) home(rw http.ResponseWriter, r *http.Request) {
 }
 
 func (w *website) queue(rw http.ResponseWriter, r *http.Request) {
-	resp, err := w.svc.QueueStatus(&QueueStatusRequest{Owner: r.URL.Query().Get("owner")})
+	resp, err := w.svc.QueueStatus(r.Context(), &QueueStatusRequest{Owner: r.URL.Query().Get("owner")})
 	if err != nil {
 		http.Error(rw, err.Error(), http.StatusInternalServerError)
 		return
@@ -141,7 +141,7 @@ func (w *website) config(rw http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodPost {
 		name, value := r.FormValue("name"), r.FormValue("value")
 		if name != "" {
-			if _, err := w.svc.ConfigSet(&ConfigSetRequest{Name: name, Value: value}); err != nil {
+			if _, err := w.svc.ConfigSet(r.Context(), &ConfigSetRequest{Name: name, Value: value}); err != nil {
 				http.Error(rw, err.Error(), http.StatusInternalServerError)
 				return
 			}
@@ -149,7 +149,7 @@ func (w *website) config(rw http.ResponseWriter, r *http.Request) {
 		http.Redirect(rw, r, "/config", http.StatusSeeOther)
 		return
 	}
-	rows, err := w.svc.Pool().Query(`SELECT name, value FROM config ORDER BY name`)
+	rows, err := w.svc.Pool().QueryContext(r.Context(), `SELECT name, value FROM config ORDER BY name`)
 	if err != nil {
 		http.Error(rw, err.Error(), http.StatusInternalServerError)
 		return
@@ -176,7 +176,7 @@ func (w *website) submit(rw http.ResponseWriter, r *http.Request) {
 	}
 	count, _ := strconv.Atoi(r.FormValue("count"))
 	length, _ := strconv.ParseInt(r.FormValue("length_sec"), 10, 64)
-	resp, err := w.svc.Submit(&SubmitRequest{
+	resp, err := w.svc.Submit(r.Context(), &SubmitRequest{
 		Owner: r.FormValue("owner"), Count: count, LengthSec: length,
 	})
 	if err != nil {

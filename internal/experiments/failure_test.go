@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -21,7 +22,7 @@ func TestNodeFailureMidWorkload(t *testing.T) {
 	// A reaper cycle accompanies the scheduler, as a live CAS would run.
 	const reapAfter = 3 * time.Minute
 	h.Eng.Every(30*time.Second, "reaper", func() {
-		if _, err := h.CAS.Service.ReapDeadMachines(reapAfter); err != nil {
+		if _, err := h.CAS.Service.ReapDeadMachines(context.Background(), reapAfter); err != nil {
 			t.Errorf("reap: %v", err)
 		}
 	})

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -132,7 +133,7 @@ func NewJ2(cfg J2Config) (*J2Harness, error) {
 		h.Startds = append(h.Startds, sd)
 	}
 	eng.Every(cfg.ScheduleEvery, "cas.schedule", func() {
-		stats, err := cas.Service.ScheduleCycle()
+		stats, err := cas.Service.ScheduleCycle(context.Background())
 		if err != nil {
 			panic(fmt.Sprintf("experiments: schedule cycle: %v", err))
 		}
@@ -181,7 +182,7 @@ func (h *J2Harness) Submit(batches []workload.Batch) error {
 			req.DependsOn = prevFirst
 		}
 		var resp core.SubmitResponse
-		if err := h.Local.Call(core.ActionSubmitJob, req, &resp); err != nil {
+		if err := h.Local.Call(context.Background(), core.ActionSubmitJob, req, &resp); err != nil {
 			return err
 		}
 		prevFirst = resp.FirstJobID

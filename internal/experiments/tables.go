@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -49,7 +50,7 @@ func Table2Trace() ([]TraceStep, error) {
 	local := &wire.Local{Mux: cas.Mux}
 
 	eng.Every(time.Second, "schedule", func() {
-		if _, err := cas.Service.ScheduleCycle(); err != nil {
+		if _, err := cas.Service.ScheduleCycle(context.Background()); err != nil {
 			panic(err)
 		}
 	})
@@ -72,7 +73,7 @@ func Table2Trace() ([]TraceStep, error) {
 		raw = append(raw, "ws:"+action)
 	}
 	var sub core.SubmitResponse
-	if err := local.Call(core.ActionSubmitJob, &core.SubmitRequest{
+	if err := local.Call(context.Background(), core.ActionSubmitJob, &core.SubmitRequest{
 		Owner: "user1", Count: 1, LengthSec: 120,
 	}, &sub); err != nil {
 		return nil, err

@@ -1,0 +1,89 @@
+package metrics
+
+import "time"
+
+// Cancellation accounting. The storage engine's context-first execution
+// layer exports cumulative counters (statements cancelled, deadlines
+// exceeded, lock waits abandoned by timeout or cancellation, commit
+// batches retracted before any log write); CancelMonitor differences
+// successive snapshots into the same interval-bucketed series the CPU,
+// lock, WAL, and version accounting use. Charted next to lock waits it
+// answers the operational question deadline-bounded management operations
+// raise: how much work is the server abandoning, and is it being
+// abandoned for the right reason (caller gave up) or the wrong one
+// (statement budget too tight for the workload).
+
+// CancelSnapshot is one reading of the engine's cancellation counters.
+// It mirrors sqldb.CancelStats without importing it, keeping this
+// package dependency-free.
+type CancelSnapshot struct {
+	// StatementsCanceled counts statements aborted by context
+	// cancellation.
+	StatementsCanceled uint64
+	// DeadlinesExceeded counts statements aborted by a deadline (the
+	// caller's or the engine's default statement timeout).
+	DeadlinesExceeded uint64
+	// LockWaitTimeouts counts lock waits abandoned by the lock-wait
+	// timeout.
+	LockWaitTimeouts uint64
+	// LockWaitCancels counts lock waits abandoned by cancellation.
+	LockWaitCancels uint64
+	// CommitRetractions counts group-commit batches retracted before any
+	// write reached the log.
+	CommitRetractions uint64
+}
+
+// CancelMonitor buckets cancellation deltas by sampling interval. Like
+// the sibling monitors it is not safe for concurrent use; simulations
+// and pollers drive it from a single goroutine.
+type CancelMonitor struct {
+	canceled     *Counter
+	deadlines    *Counter
+	lockTimeouts *Counter
+	lockCancels  *Counter
+	retractions  *Counter
+	last         CancelSnapshot
+	haveLast     bool
+}
+
+// NewCancelMonitor creates a monitor whose series start at start with
+// the given bucket width.
+func NewCancelMonitor(start time.Time, interval time.Duration) *CancelMonitor {
+	return &CancelMonitor{
+		canceled:     NewCounter(start, interval),
+		deadlines:    NewCounter(start, interval),
+		lockTimeouts: NewCounter(start, interval),
+		lockCancels:  NewCounter(start, interval),
+		retractions:  NewCounter(start, interval),
+	}
+}
+
+// Observe records a snapshot taken at instant at, attributing the change
+// since the previous snapshot to at's interval. The first observation
+// establishes the baseline.
+func (m *CancelMonitor) Observe(at time.Time, snap CancelSnapshot) {
+	if m.haveLast {
+		m.canceled.Add(at, int(snap.StatementsCanceled-m.last.StatementsCanceled))
+		m.deadlines.Add(at, int(snap.DeadlinesExceeded-m.last.DeadlinesExceeded))
+		m.lockTimeouts.Add(at, int(snap.LockWaitTimeouts-m.last.LockWaitTimeouts))
+		m.lockCancels.Add(at, int(snap.LockWaitCancels-m.last.LockWaitCancels))
+		m.retractions.Add(at, int(snap.CommitRetractions-m.last.CommitRetractions))
+	}
+	m.last = snap
+	m.haveLast = true
+}
+
+// Canceled is the per-interval cancelled-statement series.
+func (m *CancelMonitor) Canceled() *Counter { return m.canceled }
+
+// Deadlines is the per-interval deadline-exceeded series.
+func (m *CancelMonitor) Deadlines() *Counter { return m.deadlines }
+
+// LockTimeouts is the per-interval lock-wait-timeout series.
+func (m *CancelMonitor) LockTimeouts() *Counter { return m.lockTimeouts }
+
+// LockCancels is the per-interval cancelled-lock-wait series.
+func (m *CancelMonitor) LockCancels() *Counter { return m.lockCancels }
+
+// Retractions is the per-interval commit-retraction series.
+func (m *CancelMonitor) Retractions() *Counter { return m.retractions }

@@ -1,0 +1,42 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCancelMonitorDifferencesSnapshots(t *testing.T) {
+	start := time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+	m := NewCancelMonitor(start, time.Minute)
+
+	// Baseline: no deltas recorded.
+	m.Observe(start, CancelSnapshot{StatementsCanceled: 5, DeadlinesExceeded: 2, LockWaitTimeouts: 1})
+	if got := m.Canceled().Total(); got != 0 {
+		t.Fatalf("baseline observation recorded %d cancels, want 0", got)
+	}
+
+	m.Observe(start.Add(time.Minute), CancelSnapshot{
+		StatementsCanceled: 25, DeadlinesExceeded: 12, LockWaitTimeouts: 4,
+		LockWaitCancels: 3, CommitRetractions: 2,
+	})
+	m.Observe(start.Add(2*time.Minute), CancelSnapshot{
+		StatementsCanceled: 30, DeadlinesExceeded: 12, LockWaitTimeouts: 6,
+		LockWaitCancels: 4, CommitRetractions: 2,
+	})
+
+	if got := m.Canceled().Total(); got != 25 {
+		t.Fatalf("canceled total = %d, want 25", got)
+	}
+	if got := m.Deadlines().Total(); got != 10 {
+		t.Fatalf("deadlines total = %d, want 10", got)
+	}
+	if got := m.LockTimeouts().Total(); got != 5 {
+		t.Fatalf("lock timeouts total = %d, want 5", got)
+	}
+	if got := m.LockCancels().Total(); got != 4 {
+		t.Fatalf("lock cancels total = %d, want 4", got)
+	}
+	if got := m.Retractions().Total(); got != 2 {
+		t.Fatalf("retractions total = %d, want 2", got)
+	}
+}

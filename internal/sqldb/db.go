@@ -2,6 +2,7 @@ package sqldb
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -64,6 +65,14 @@ type Options struct {
 	// garbage sooner at the cost of longer latched pauses on the
 	// committing transaction's goroutine; Vacuum drains regardless.
 	GCBatch int
+	// StmtTimeout is the default per-statement deadline applied when a
+	// caller's context carries none (0 = none). Runtime-settable with
+	// SetStmtTimeout.
+	StmtTimeout time.Duration
+	// LockTimeout bounds one lock wait; a statement blocked longer fails
+	// with ErrLockTimeout (0 = wait forever). Runtime-settable with
+	// SetLockTimeout.
+	LockTimeout time.Duration
 }
 
 // DB is an embedded database engine instance. It is safe for concurrent
@@ -106,6 +115,13 @@ type DB struct {
 	slotsReclaimed  atomic.Uint64
 	entriesRemoved  atomic.Uint64
 
+	// Cancellation state (see ctx.go): the default statement deadline and
+	// the statement-outcome counters.
+	stmtTimeout       atomic.Int64
+	stmtsCanceled     atomic.Uint64
+	deadlinesExceeded atomic.Uint64
+	commitRetractions atomic.Uint64
+
 	// Cost-based join planner state (see stats.go, join.go).
 	plannerMode        atomic.Int32
 	hashBudget         atomic.Int64
@@ -145,6 +161,8 @@ func Open(opts Options) (*DB, error) {
 	if db.gcBatch <= 0 {
 		db.gcBatch = 64
 	}
+	db.stmtTimeout.Store(int64(opts.StmtTimeout))
+	db.locks.timeout.Store(int64(opts.LockTimeout))
 	if opts.VFS != nil {
 		if opts.Path == "" {
 			return nil, fmt.Errorf("sqldb: Options.Path required with a VFS")
@@ -277,22 +295,43 @@ func (db *DB) recover(recs []walRecord) error {
 	return nil
 }
 
+// TxOptions configures BeginTx.
+type TxOptions struct {
+	// ReadOnly starts a lock-free snapshot transaction (see
+	// BeginReadOnly).
+	ReadOnly bool
+}
+
 // Begin starts an explicit read-write transaction (2PL reads and writes).
-func (db *DB) Begin() (*Tx, error) { return db.newTx(false) }
+func (db *DB) Begin() (*Tx, error) { return db.BeginTx(context.Background(), TxOptions{}) }
 
 // BeginReadOnly starts a read-only transaction: every statement reads the
 // consistent snapshot captured here, no locks are taken, and writes are
 // rejected with ErrReadOnly. This is the transaction mode behind
 // `BEGIN READ ONLY`, driver-level sql.TxOptions{ReadOnly: true}, and
 // plain DB.Query calls.
-func (db *DB) BeginReadOnly() (*Tx, error) { return db.newTx(true) }
+func (db *DB) BeginReadOnly() (*Tx, error) {
+	return db.BeginTx(context.Background(), TxOptions{ReadOnly: true})
+}
 
-func (db *DB) newTx(readOnly bool) (*Tx, error) {
+// BeginTx starts a transaction whose statements — including lock waits,
+// scans, and the commit's durability wait — observe ctx. Statements run
+// with their own context when one is supplied to ExecContext /
+// QueryContext; ctx is the fallback (and the bound database/sql applies
+// to statements issued without one).
+func (db *DB) BeginTx(ctx context.Context, opts TxOptions) (*Tx, error) {
 	if db.closed.Load() {
 		return nil, fmt.Errorf("sqldb: database is closed")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, mapCtxErr(err)
+	}
+	readOnly := opts.ReadOnly
 	db.txLive.Add(1)
-	tx := &Tx{db: db, id: db.nextTx.Add(1), readOnly: readOnly}
+	tx := &Tx{db: db, id: db.nextTx.Add(1), readOnly: readOnly, base: ctx, ctx: ctx}
 	if readOnly {
 		// Snapshot capture and registration are one critical section with
 		// watermark computation, so GC can never sneak past a snapshot that
@@ -510,7 +549,16 @@ func (r *Rows) Len() int { return len(r.Data) }
 
 // Exec runs a mutating statement in autocommit mode.
 func (db *DB) Exec(sql string, args ...any) (Result, error) {
-	tx, err := db.Begin()
+	return db.ExecContext(context.Background(), sql, args...)
+}
+
+// ExecContext runs a mutating statement in autocommit mode under ctx:
+// lock waits, scans, and the commit's durability wait all observe it,
+// and the default statement timeout applies when ctx has no deadline.
+func (db *DB) ExecContext(ctx context.Context, sql string, args ...any) (Result, error) {
+	ctx, cancel := db.stmtCtx(ctx)
+	defer cancel()
+	tx, err := db.BeginTx(ctx, TxOptions{})
 	if err != nil {
 		return Result{}, err
 	}
@@ -527,7 +575,15 @@ func (db *DB) Exec(sql string, args ...any) (Result, error) {
 // it takes no locks, never blocks behind writers, and never makes a
 // writer wait.
 func (db *DB) Query(sql string, args ...any) (*Rows, error) {
-	tx, err := db.BeginReadOnly()
+	return db.QueryContext(context.Background(), sql, args...)
+}
+
+// QueryContext runs a SELECT in autocommit mode under ctx (see
+// ExecContext for the deadline semantics).
+func (db *DB) QueryContext(ctx context.Context, sql string, args ...any) (*Rows, error) {
+	ctx, cancel := db.stmtCtx(ctx)
+	defer cancel()
+	tx, err := db.BeginTx(ctx, TxOptions{ReadOnly: true})
 	if err != nil {
 		return nil, err
 	}
@@ -543,7 +599,12 @@ func (db *DB) Query(sql string, args ...any) (*Rows, error) {
 // QueryRow runs a SELECT expected to return at most one row; it returns
 // nil when no row matched.
 func (db *DB) QueryRow(sql string, args ...any) ([]Value, error) {
-	rows, err := db.Query(sql, args...)
+	return db.QueryRowContext(context.Background(), sql, args...)
+}
+
+// QueryRowContext is QueryRow under ctx.
+func (db *DB) QueryRowContext(ctx context.Context, sql string, args ...any) ([]Value, error) {
+	rows, err := db.QueryContext(ctx, sql, args...)
 	if err != nil {
 		return nil, err
 	}
@@ -553,8 +614,16 @@ func (db *DB) QueryRow(sql string, args ...any) ([]Value, error) {
 	return rows.Data[0], nil
 }
 
-// Exec runs a statement inside the transaction.
+// Exec runs a statement inside the transaction under the transaction's
+// base context.
 func (tx *Tx) Exec(sql string, args ...any) (Result, error) {
+	return tx.ExecContext(context.Background(), sql, args...)
+}
+
+// ExecContext runs a statement inside the transaction. ctx governs this
+// statement's blocking points; when it is not cancellable and carries no
+// deadline, the transaction's BeginTx context applies instead.
+func (tx *Tx) ExecContext(ctx context.Context, sql string, args ...any) (Result, error) {
 	if tx.done {
 		return Result{}, ErrTxDone
 	}
@@ -566,12 +635,19 @@ func (tx *Tx) Exec(sql string, args ...any) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	res, _, err := tx.execStmt(stmt, params)
+	res, _, err := tx.execStmtCtx(ctx, stmt, params)
 	return res, err
 }
 
-// Query runs a SELECT inside the transaction.
+// Query runs a SELECT inside the transaction under the transaction's
+// base context.
 func (tx *Tx) Query(sql string, args ...any) (*Rows, error) {
+	return tx.QueryContext(context.Background(), sql, args...)
+}
+
+// QueryContext runs a SELECT inside the transaction (see ExecContext for
+// the context semantics).
+func (tx *Tx) QueryContext(ctx context.Context, sql string, args ...any) (*Rows, error) {
 	if tx.done {
 		return nil, ErrTxDone
 	}
@@ -588,7 +664,7 @@ func (tx *Tx) Query(sql string, args ...any) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	_, rows, err := tx.execStmt(stmt, params)
+	_, rows, err := tx.execStmtCtx(ctx, stmt, params)
 	return rows, err
 }
 
@@ -602,6 +678,31 @@ func (tx *Tx) QueryRow(sql string, args ...any) ([]Value, error) {
 		return nil, nil
 	}
 	return rows.Data[0], nil
+}
+
+// execStmtCtx binds the statement's effective context to the transaction
+// for the duration of one statement, restores the base afterwards, and
+// classifies cancellation outcomes into the engine counters. The default
+// statement timeout is applied here when neither the statement nor the
+// transaction context carries a deadline, so it bounds transactional
+// statements (the service layer's whole workload), not just autocommit
+// ones. All statement entry points (Tx methods and the database/sql
+// driver) funnel through here.
+func (tx *Tx) execStmtCtx(ctx context.Context, stmt Statement, params []Value) (Result, *Rows, error) {
+	eff, cancel := tx.db.stmtCtx(tx.effCtx(ctx))
+	defer cancel()
+	tx.ctx = eff
+	if err := tx.ctxErr(); err != nil {
+		tx.db.noteStmtErr(err)
+		tx.ctx = tx.base
+		return Result{}, nil, err
+	}
+	res, rows, err := tx.execStmt(stmt, params)
+	if err != nil {
+		tx.db.noteStmtErr(err)
+	}
+	tx.ctx = tx.base
+	return res, rows, err
 }
 
 func toValues(args []any) ([]Value, error) {

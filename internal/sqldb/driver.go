@@ -109,18 +109,16 @@ func (c *conn) Begin() (driver.Tx, error) { return c.BeginTx(context.Background(
 // but the engine provides serializable isolation (strict 2PL) for
 // read-write transactions; sql.TxOptions{ReadOnly: true} starts a
 // lock-free snapshot transaction instead (snapshot isolation: repeatable
-// reads, no dirty or phantom reads, writes rejected).
+// reads, no dirty or phantom reads, writes rejected). ctx becomes the
+// transaction's base context: statements issued without their own
+// context (tx.Exec under database/sql) inherit its cancellation and
+// deadline, so cancelling the BeginTx context aborts in-flight work
+// engine-side while database/sql rolls the sql.Tx back.
 func (c *conn) BeginTx(ctx context.Context, opts driver.TxOptions) (driver.Tx, error) {
 	if c.tx != nil {
 		return nil, fmt.Errorf("sqldb: connection already has an open transaction")
 	}
-	var tx *Tx
-	var err error
-	if opts.ReadOnly {
-		tx, err = c.db.BeginReadOnly()
-	} else {
-		tx, err = c.db.Begin()
-	}
+	tx, err := c.db.BeginTx(ctx, TxOptions{ReadOnly: opts.ReadOnly})
 	if err != nil {
 		return nil, err
 	}
@@ -132,26 +130,25 @@ func (c *conn) BeginTx(ctx context.Context, opts driver.TxOptions) (driver.Tx, e
 func (c *conn) IsValid() bool { return !c.db.closed.Load() }
 
 // run executes a statement on the connection's transaction, or in
-// autocommit mode when none is open. Autocommit SELECT/EXPLAIN runs as a
-// lock-free snapshot read, matching DB.Query. Transaction-control
-// statements (BEGIN [READ ONLY] / COMMIT / ROLLBACK) manage the
-// connection's transaction, so SQL-level `BEGIN READ ONLY` opens the same
-// snapshot transaction sql.TxOptions{ReadOnly: true} does — note that
-// statement-level transactions bind to one connection (use sql.Conn or
-// sql.Tx, not a pooled sql.DB, to keep subsequent statements on it).
-func (c *conn) run(ast Statement, params []Value) (Result, *Rows, error) {
+// autocommit mode when none is open, under ctx (the caller's real
+// context: ExecContext/QueryContext thread it through unmodified, so
+// cancellation reaches every engine blocking point). Autocommit
+// SELECT/EXPLAIN runs as a lock-free snapshot read, matching DB.Query.
+// Transaction-control statements (BEGIN [READ ONLY] / COMMIT / ROLLBACK)
+// manage the connection's transaction, so SQL-level `BEGIN READ ONLY`
+// opens the same snapshot transaction sql.TxOptions{ReadOnly: true} does
+// — note that statement-level transactions bind to one connection (use
+// sql.Conn or sql.Tx, not a pooled sql.DB, to keep subsequent statements
+// on it).
+func (c *conn) run(ctx context.Context, ast Statement, params []Value) (Result, *Rows, error) {
 	switch s := ast.(type) {
 	case *BeginStmt:
 		if c.tx != nil {
 			return Result{}, nil, fmt.Errorf("sqldb: connection already has an open transaction")
 		}
-		var tx *Tx
-		var err error
-		if s.ReadOnly {
-			tx, err = c.db.BeginReadOnly()
-		} else {
-			tx, err = c.db.Begin()
-		}
+		// The statement's ctx ends with the BEGIN exchange; the session
+		// transaction it opens must not die with it.
+		tx, err := c.db.BeginTx(context.Background(), TxOptions{ReadOnly: s.ReadOnly})
 		if err != nil {
 			return Result{}, nil, err
 		}
@@ -161,7 +158,7 @@ func (c *conn) run(ast Statement, params []Value) (Result, *Rows, error) {
 		if c.tx == nil {
 			return Result{}, nil, fmt.Errorf("sqldb: COMMIT with no open transaction")
 		}
-		err := c.tx.Commit()
+		err := c.tx.CommitContext(ctx)
 		c.tx = nil
 		return Result{}, nil, err
 	case *RollbackStmt:
@@ -173,15 +170,17 @@ func (c *conn) run(ast Statement, params []Value) (Result, *Rows, error) {
 		return Result{}, nil, err
 	}
 	if c.tx != nil {
-		return c.tx.execStmt(ast, params)
+		return c.tx.execStmtCtx(ctx, ast, params)
 	}
 	var tx *Tx
 	var err error
+	ctx, cancel := c.db.stmtCtx(ctx)
+	defer cancel()
 	switch ast.(type) {
 	case *SelectStmt, *ExplainStmt:
-		tx, err = c.db.BeginReadOnly()
+		tx, err = c.db.BeginTx(ctx, TxOptions{ReadOnly: true})
 	default:
-		tx, err = c.db.Begin()
+		tx, err = c.db.BeginTx(ctx, TxOptions{})
 	}
 	if err != nil {
 		return Result{}, nil, err
@@ -189,6 +188,7 @@ func (c *conn) run(ast Statement, params []Value) (Result, *Rows, error) {
 	tx.implicit = true
 	res, rows, err := tx.execStmt(ast, params)
 	if err != nil {
+		tx.db.noteStmtErr(err)
 		tx.Rollback()
 		return Result{}, nil, err
 	}
@@ -208,7 +208,7 @@ func (c *conn) ExecContext(ctx context.Context, query string, args []driver.Name
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := c.run(ast, params)
+	res, _, err := c.run(ctx, ast, params)
 	if err != nil {
 		return nil, err
 	}
@@ -230,7 +230,7 @@ func (c *conn) QueryContext(ctx context.Context, query string, args []driver.Nam
 	if err != nil {
 		return nil, err
 	}
-	_, rows, err := c.run(ast, params)
+	_, rows, err := c.run(ctx, ast, params)
 	if err != nil {
 		return nil, err
 	}
@@ -271,7 +271,7 @@ func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := s.conn.run(s.ast, params)
+	res, _, err := s.conn.run(context.Background(), s.ast, params)
 	if err != nil {
 		return nil, err
 	}
@@ -288,7 +288,7 @@ func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	_, rows, err := s.conn.run(s.ast, params)
+	_, rows, err := s.conn.run(context.Background(), s.ast, params)
 	if err != nil {
 		return nil, err
 	}

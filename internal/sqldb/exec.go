@@ -74,6 +74,9 @@ type query struct {
 	// steps is the cost-based join plan for multi-table SELECTs (join.go):
 	// the chosen execution order with per-step strategy and predicates.
 	steps []stepPlan
+	// cancel is the cooperative cancellation checkpoint (ctx.go): every
+	// scan, probe and spill loop calls cancel.check() per visited row.
+	cancel cancelCheck
 	// Hash-join volume counters, flushed to the DB's planner counters once
 	// per statement (keeps atomics off the per-row hot path).
 	buildRows   uint64
@@ -86,7 +89,7 @@ var errStopScan = fmt.Errorf("sqldb: internal: stop scan")
 func (tx *Tx) execSelect(s *SelectStmt, params []Value) (*Rows, error) {
 	stats := StmtStats{Kind: "SELECT"}
 	q := &query{tx: tx, stmt: s, params: params, stats: &stats, rowLock: lockShared,
-		snapRead: tx.readOnly, snapTS: tx.snap}
+		snapRead: tx.readOnly, snapTS: tx.snap, cancel: cancelCheck{ctx: tx.ctx}}
 	// Deferred so failing statements still report: a grace-degraded build
 	// on a query that later errors is exactly what an operator wants to see.
 	defer func() {
@@ -539,6 +542,10 @@ func (q *query) scanPlan(i int, ap accessPlan, visit func(rid int64, row []Value
 		var err error
 		visitor := func(rid int64, row []Value) bool {
 			q.stats.RowsScanned++
+			if e := q.cancel.check(); e != nil {
+				err = e
+				return false
+			}
 			if e := visit(rid, row); e != nil {
 				err = e
 				return false
@@ -612,7 +619,7 @@ func (q *query) scanPlan(i int, ap accessPlan, visit func(rid int64, row []Value
 	// guard: they re-read the same timestamp no matter who writes.
 	if !q.snapRead && ap.index.schema.Unique && len(ap.eqExprs) == len(ap.index.cols) {
 		kt := keyLockTarget(tbl.schema.Name, ap.index.schema.Name, prefix)
-		if err := q.tx.db.locks.acquire(q.tx, kt, q.rowLock); err != nil {
+		if err := q.tx.db.locks.acquire(q.tx.ctx, q.tx, kt, q.rowLock); err != nil {
 			return err
 		}
 	}
@@ -715,6 +722,9 @@ func (q *query) scanPlan(i int, ap accessPlan, visit func(rid int64, row []Value
 		}
 		tbl.latch.RUnlock()
 		for bi, rid := range rids {
+			if err := q.cancel.check(); err != nil {
+				return err
+			}
 			var row []Value
 			if q.snapRead {
 				row = tbl.visibleRow(rid, q.snapTS)
@@ -1307,8 +1317,12 @@ func (tx *Tx) execInsert(s *InsertStmt, params []Value) (Result, error) {
 		}
 	}
 	env := &evalEnv{params: params, now: tx.db.nowFn()}
+	check := cancelCheck{ctx: tx.ctx}
 	var res Result
 	for _, exprRow := range s.Rows {
+		if err := check.check(); err != nil {
+			return res, err
+		}
 		if len(exprRow) != len(cols) {
 			return res, fmt.Errorf("sqldb: INSERT has %d values for %d columns", len(exprRow), len(cols))
 		}
@@ -1354,6 +1368,7 @@ func (tx *Tx) planTarget(tableName string, where Expr, params []Value, stats *St
 		params:  params,
 		stats:   stats,
 		rowLock: lockExclusive,
+		cancel:  cancelCheck{ctx: tx.ctx},
 	}
 	q.bindings = []tableBinding{{alias: strings.ToLower(tableName), tbl: tbl}}
 	q.env = &evalEnv{params: params, now: tx.db.nowFn()}
@@ -1419,6 +1434,9 @@ func (tx *Tx) execUpdate(s *UpdateStmt, params []Value) (Result, error) {
 	}
 	var res Result
 	for _, rid := range rids {
+		if err := q.cancel.check(); err != nil {
+			return res, err
+		}
 		old := tbl.currentRow(rid, tx.id)
 		if old == nil {
 			continue
@@ -1470,6 +1488,9 @@ func (tx *Tx) execDelete(s *DeleteStmt, params []Value) (Result, error) {
 	}
 	var res Result
 	for _, rid := range rids {
+		if err := q.cancel.check(); err != nil {
+			return res, err
+		}
 		if err := tx.deleteRow(tbl, rid); err != nil {
 			return res, err
 		}

@@ -724,6 +724,9 @@ func (q *query) driveHash(k int, st *stepPlan, emit func() error) error {
 	}
 	if st.leftOuter {
 		for i := range outs {
+			if err := q.cancel.check(); err != nil {
+				return err
+			}
 			if outs[i].matched {
 				continue
 			}
@@ -764,6 +767,9 @@ func (q *query) buildHashInner(st *stepPlan, budget int) error {
 	}
 	hj.table = make(map[string][]int32, len(hj.rows))
 	for i, row := range hj.rows {
+		if err := q.cancel.check(); err != nil {
+			return err
+		}
 		q.env.bindings[st.bind].row = row
 		key, ok, err := q.evalHashKey(st.hashInner)
 		if err != nil {
@@ -829,6 +835,9 @@ func (q *query) probeBuildOuter(st *stepPlan, outs []outerTuple, restore func(*o
 		}
 		chunk := make(map[string][]int32, hi-lo)
 		for i := lo; i < hi; i++ {
+			if err := q.cancel.check(); err != nil {
+				return err
+			}
 			if outs[i].hasKey {
 				chunk[outs[i].key] = append(chunk[outs[i].key], int32(i))
 			}
@@ -887,6 +896,9 @@ func (q *query) probeChunkedInner(st *stepPlan, outs []outerTuple, restore func(
 		}
 		chunk := make(map[string][]int32, hi-lo)
 		for i := lo; i < hi; i++ {
+			if err := q.cancel.check(); err != nil {
+				return err
+			}
 			q.env.bindings[st.bind].row = rows[i]
 			key, ok, err := q.evalHashKey(st.hashInner)
 			if err != nil {
@@ -899,6 +911,9 @@ func (q *query) probeChunkedInner(st *stepPlan, outs []outerTuple, restore func(
 		for oi := range outs {
 			t := &outs[oi]
 			q.probeRows++
+			if err := q.cancel.check(); err != nil {
+				return err
+			}
 			if !t.hasKey {
 				continue
 			}

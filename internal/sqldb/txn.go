@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -149,12 +150,17 @@ type lockManager struct {
 	// waitsFor[a][b] means txn a waits on txn b.
 	waitsFor map[uint64]map[uint64]bool
 
-	acquired  atomic.Uint64
-	waited    atomic.Uint64
-	deadlocks atomic.Uint64
-	heldTable atomic.Int64
-	heldRow   atomic.Int64
-	waitNanos atomic.Int64
+	// timeout bounds one lock wait (nanoseconds; 0 = wait forever).
+	timeout atomic.Int64
+
+	acquired     atomic.Uint64
+	waited       atomic.Uint64
+	deadlocks    atomic.Uint64
+	heldTable    atomic.Int64
+	heldRow      atomic.Int64
+	waitNanos    atomic.Int64
+	lockTimeouts atomic.Uint64
+	lockCancels  atomic.Uint64
 }
 
 func newLockManager() *lockManager {
@@ -215,10 +221,11 @@ func (lm *lockManager) setHolder(rl *resLock, target lockTarget, txn uint64, mod
 	rl.holders[txn] = mode
 }
 
-// acquire blocks until the lock is granted or a deadlock is detected. The
-// transaction's footprint is recorded in tx.locked (a Tx is confined to one
-// goroutine, so no lock guards it) the first time it touches a resource.
-func (lm *lockManager) acquire(tx *Tx, target lockTarget, mode lockMode) error {
+// acquire blocks until the lock is granted, a deadlock is detected, the
+// wait exceeds the lock-wait timeout, or ctx fires. The transaction's
+// footprint is recorded in tx.locked (a Tx is confined to one goroutine,
+// so no lock guards it) the first time it touches a resource.
+func (lm *lockManager) acquire(ctx context.Context, tx *Tx, target lockTarget, mode lockMode) error {
 	txn := tx.id
 	sh := lm.shard(target)
 	sh.mu.Lock()
@@ -304,9 +311,90 @@ func (lm *lockManager) acquire(tx *Tx, target lockTarget, mode lockMode) error {
 	lm.waited.Add(1)
 	sh.mu.Unlock()
 	start := time.Now()
-	err := <-req.grant
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	var timeoutCh <-chan time.Time
+	if d := time.Duration(lm.timeout.Load()); d > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeoutCh = t.C
+	}
+	var err error
+	select {
+	case err = <-req.grant:
+	case <-done:
+		err = lm.abandonWait(tx, sh, target, req, mapCtxErr(ctx.Err()), &lm.lockCancels)
+	case <-timeoutCh:
+		err = lm.abandonWait(tx, sh, target, req, ErrLockTimeout, &lm.lockTimeouts)
+	}
 	lm.waitNanos.Add(int64(time.Since(start)))
 	return err
+}
+
+// abandonWait retracts a parked lock request after its context fired or
+// its timer expired. If the request is still queued it is removed, the
+// waiter's waits-for edges are deleted in BOTH directions — its own
+// outgoing edges, and the stale inbound edges from requests queued
+// behind it (the retracted transaction lives on and may wait again; a
+// surviving inbound edge would close phantom deadlock cycles through
+// it) — and any waiters unblocked by the departure are granted; counter
+// records the retraction and reason is returned. If a grant raced ahead
+// of the retraction the request is no longer in the queue — the grant
+// outcome is authoritative, so it is consumed and returned instead: on
+// success the lock is held (recorded in tx.locked already) and the
+// statement surfaces the cancellation at its next checkpoint; a
+// deadlock verdict stays a deadlock, uncounted here.
+func (lm *lockManager) abandonWait(tx *Tx, sh *lockShard, target lockTarget, req *lockRequest, reason error, counter *atomic.Uint64) error {
+	sh.mu.Lock()
+	rl := sh.res[target]
+	removed := false
+	if rl != nil {
+		for i, q := range rl.queue {
+			if q == req {
+				rl.queue = append(rl.queue[:i], rl.queue[i+1:]...)
+				removed = true
+				break
+			}
+		}
+	}
+	if !removed {
+		sh.mu.Unlock()
+		// The grant (or a deadlock/abort verdict) is already in flight;
+		// it decides.
+		if err := <-req.grant; err != nil {
+			return err
+		}
+		return nil
+	}
+	// Remove the waiter's outgoing edges: a Tx blocks on one resource at
+	// a time, so its whole waits-for entry belongs to this retracted
+	// request. Inbound edges from waiters still queued here are stale
+	// too — unless this transaction also holds the resource (a retracted
+	// upgrade), in which case they legitimately wait on it as a holder.
+	_, stillHolds := rl.holders[tx.id]
+	lm.wfMu.Lock()
+	delete(lm.waitsFor, tx.id)
+	if !stillHolds {
+		for _, q := range rl.queue {
+			if edges := lm.waitsFor[q.txn]; edges != nil {
+				delete(edges, tx.id)
+				if len(edges) == 0 {
+					delete(lm.waitsFor, q.txn)
+				}
+			}
+		}
+	}
+	lm.wfMu.Unlock()
+	// The departure may unblock requests that were queued behind ours.
+	lm.grantQueued(rl, target)
+	if len(rl.holders) == 0 && len(rl.queue) == 0 {
+		delete(sh.res, target)
+	}
+	sh.mu.Unlock()
+	counter.Add(1)
+	return reason
 }
 
 // cycleFrom detects whether start can reach itself through waitsFor edges.
@@ -446,8 +534,10 @@ type undoRecord struct {
 type Tx struct {
 	db       *DB
 	id       uint64
-	snap     uint64 // commit clock at Begin (snapshot reads)
-	readOnly bool   // snapshot reads, writes rejected, no locks taken
+	snap     uint64          // commit clock at Begin (snapshot reads)
+	readOnly bool            // snapshot reads, writes rejected, no locks taken
+	base     context.Context // BeginTx context: bounds the whole transaction
+	ctx      context.Context // effective context of the running statement
 	done     bool
 	undo     []undoRecord
 	redo     []walRecord
@@ -469,13 +559,13 @@ func (tx *Tx) ReadOnly() bool { return tx.readOnly }
 func (tx *Tx) Snapshot() uint64 { return tx.snap }
 
 func (tx *Tx) lock(table string, mode lockMode) error {
-	return tx.db.locks.acquire(tx, lockTarget{table: table, rid: tableRID}, mode)
+	return tx.db.locks.acquire(tx.ctx, tx, lockTarget{table: table, rid: tableRID}, mode)
 }
 
 // lockRow locks one row. The caller must already hold the matching
 // intention (or stronger) lock on the table.
 func (tx *Tx) lockRow(table string, rid int64, mode lockMode) error {
-	return tx.db.locks.acquire(tx, lockTarget{table: table, rid: rid}, mode)
+	return tx.db.locks.acquire(tx.ctx, tx, lockTarget{table: table, rid: rid}, mode)
 }
 
 // lockAll acquires locks on several tables in sorted order to keep lock
@@ -504,7 +594,7 @@ func (tx *Tx) lockKeyTargets(targets []lockTarget, mode lockMode) error {
 		return targets[i].rid < targets[j].rid
 	})
 	for _, t := range targets {
-		if err := tx.db.locks.acquire(tx, t, mode); err != nil {
+		if err := tx.db.locks.acquire(tx.ctx, tx, t, mode); err != nil {
 			return err
 		}
 	}
@@ -515,15 +605,33 @@ func (tx *Tx) lockKeyTargets(targets []lockTarget, mode lockMode) error {
 // (durability), then the version stamp (visibility). Stamping runs under
 // the commit mutex — every created version receives the new commit
 // timestamp before the global clock advances to it, so no snapshot can
-// observe a half-stamped transaction.
-func (tx *Tx) Commit() error {
+// observe a half-stamped transaction. The transaction's base context
+// (from BeginTx) bounds the group-commit wait.
+func (tx *Tx) Commit() error { return tx.CommitContext(tx.base) }
+
+// CommitContext is Commit with an explicit context bounding the
+// durability wait. A commit retracted before any log write (the batch
+// was still queued when ctx fired) aborts the transaction — its versions
+// are popped exactly as Rollback would — and returns the cancellation
+// error; once the batch is drained into a flush the wait runs to the
+// flush's outcome regardless of ctx, because the commit record may
+// already be durable.
+func (tx *Tx) CommitContext(ctx context.Context) error {
 	if tx.done {
 		return ErrTxDone
 	}
 	tx.done = true
 	var err error
 	if tx.db.wal != nil && len(tx.redo) > 0 {
-		err = tx.db.wal.commit(tx.id, tx.redo)
+		err = tx.db.wal.commit(ctx, tx.id, tx.redo)
+		if err != nil && IsCancellation(err) {
+			// Retracted before any write reached the log: abort cleanly.
+			tx.db.commitRetractions.Add(1)
+			tx.popVersions()
+			tx.db.locks.releaseAll(tx)
+			tx.db.finishTx(tx)
+			return fmt.Errorf("sqldb: commit: %w", err)
+		}
 	}
 	if len(tx.versions) > 0 {
 		db := tx.db
@@ -563,6 +671,15 @@ func (tx *Tx) Rollback() error {
 		return ErrTxDone
 	}
 	tx.done = true
+	tx.popVersions()
+	tx.db.locks.releaseAll(tx)
+	tx.db.finishTx(tx)
+	return nil
+}
+
+// popVersions reverses the transaction's mutations (the shared abort
+// path of Rollback and a retracted commit).
+func (tx *Tx) popVersions() {
 	tx.db.mu.Lock()
 	for i := len(tx.undo) - 1; i >= 0; i-- {
 		u := tx.undo[i]
@@ -580,9 +697,6 @@ func (tx *Tx) Rollback() error {
 		}
 	}
 	tx.db.mu.Unlock()
-	tx.db.locks.releaseAll(tx)
-	tx.db.finishTx(tx)
-	return nil
 }
 
 // Mutation helpers used by the executor: they perform the table operation

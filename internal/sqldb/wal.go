@@ -2,6 +2,7 @@ package sqldb
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -273,11 +274,15 @@ func (s WALStats) FsyncsPerCommit() float64 {
 }
 
 // walBatch is one transaction's encoded records (redo + commit marker)
-// waiting in the group-commit queue.
+// waiting in the group-commit queue. done delivers the flush outcome;
+// lead (buffered, at most one send ever) appoints the batch's committer
+// as the next group leader. Both are selectable alongside ctx.Done(), so
+// a committer whose context fires while its batch is still queued can
+// retract it instead of sleeping on a condition variable.
 type walBatch struct {
 	data []byte
-	done bool
-	err  error
+	done chan error
+	lead chan struct{}
 }
 
 type wal struct {
@@ -294,9 +299,9 @@ type wal struct {
 	maxBytes int           // flush-size cap; a leader drains at most this many queued bytes
 
 	// Group-commit state: queue of encoded, unflushed batches. gmu is held
-	// only for queue manipulation, never across I/O.
+	// only for queue manipulation and leader appointment, never across
+	// I/O.
 	gmu      sync.Mutex
-	gcond    *sync.Cond
 	queue    []*walBatch
 	flushing bool
 
@@ -315,9 +320,7 @@ func openWAL(vfs VFS, name string, policy SyncPolicy, maxDelay time.Duration, ma
 	if err != nil {
 		return nil, err
 	}
-	w := &wal{vfs: vfs, name: name, file: f, policy: policy, maxDelay: maxDelay, maxBytes: maxBytes}
-	w.gcond = sync.NewCond(&w.gmu)
-	return w, nil
+	return &wal{vfs: vfs, name: name, file: f, policy: policy, maxDelay: maxDelay, maxBytes: maxBytes}, nil
 }
 
 // stats snapshots the pipeline counters.
@@ -353,8 +356,16 @@ func (w *wal) observeGroup(n int) {
 }
 
 // commit appends the transaction's records plus a commit marker and, per
-// the sync policy, makes them durable before returning.
-func (w *wal) commit(txn uint64, recs []walRecord) error {
+// the sync policy, makes them durable before returning. ctx bounds the
+// group-commit wait: a batch still queued when ctx fires is retracted
+// (nothing written) and the mapped context error returned; a batch
+// already drained into a flush rides it to the real outcome.
+func (w *wal) commit(ctx context.Context, txn uint64, recs []walRecord) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return mapCtxErr(err) // nothing written yet: cancel is free
+		}
+	}
 	// Encode outside any lock: serialization is pure CPU work and must not
 	// extend the critical section other committers queue behind.
 	var buf bytes.Buffer
@@ -364,7 +375,7 @@ func (w *wal) commit(txn uint64, recs []walRecord) error {
 	}
 	appendRecord(&buf, &walRecord{op: walCommit, txn: txn})
 	if w.policy == SyncGroup {
-		return w.commitGroup(buf.Bytes())
+		return w.commitGroup(ctx, buf.Bytes())
 	}
 	w.mu.Lock()
 	if _, err := w.file.Write(buf.Bytes()); err != nil {
@@ -387,34 +398,113 @@ func (w *wal) commit(txn uint64, recs []walRecord) error {
 }
 
 // commitGroup enqueues one transaction's batch and blocks until a group
-// flush containing it is durable. The first committer to find no flush in
-// progress leads exactly one flush (normally the one carrying its own
+// flush containing it is durable, the batch is retracted by ctx, or
+// leadership is handed to this committer. The first committer to find no
+// flush in progress leads a flush (normally the one carrying its own
 // batch); followers arriving while that flush's fsync is in flight
 // accumulate in the queue and ride the next flush together — that overlap
-// is what amortizes the fsync across concurrent transactions.
-func (w *wal) commitGroup(data []byte) error {
+// is what amortizes the fsync across concurrent transactions. Leadership
+// passes batch to batch: a finishing leader appoints the head of the
+// remaining queue, whose committer wakes and flushes the next group.
+func (w *wal) commitGroup(ctx context.Context, data []byte) error {
 	start := time.Now()
-	b := &walBatch{data: data}
+	b := &walBatch{data: data, done: make(chan error, 1), lead: make(chan struct{}, 1)}
 	w.gmu.Lock()
 	w.queue = append(w.queue, b)
-	for !b.done {
-		if w.flushing {
-			w.gcond.Wait()
-			continue
-		}
-		w.flushGroupLocked()
+	leader := !w.flushing
+	if leader {
+		w.flushing = true
 	}
-	err := b.err
 	w.gmu.Unlock()
+	if leader {
+		w.lead()
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	var err error
+	for {
+		select {
+		case err = <-b.done:
+		case <-b.lead:
+			w.lead()
+			continue // our own batch was in the group just flushed
+		case <-done:
+			err = w.retractBatch(b, ctx)
+		}
+		break
+	}
 	w.commitWait.Add(time.Since(start).Nanoseconds())
 	return err
 }
 
-// flushGroupLocked drains one group from the queue, writes it with a single
-// buffered write, issues one fsync, and wakes the group. Called with gmu
-// held; gmu is released during I/O and re-held on return.
-func (w *wal) flushGroupLocked() {
-	w.flushing = true
+// lead flushes one group off the queue, then appoints the next queued
+// batch's committer as leader (or clears the flushing flag when the
+// queue drained). The appointment and the queue read happen under gmu so
+// a concurrent retraction cannot orphan leadership.
+func (w *wal) lead() {
+	w.flushGroup()
+	w.gmu.Lock()
+	if len(w.queue) == 0 {
+		w.flushing = false
+	} else {
+		w.queue[0].lead <- struct{}{}
+	}
+	w.gmu.Unlock()
+}
+
+// retractBatch withdraws a cancelled committer's batch. If it is still
+// queued nothing of it was written: remove it, hand off any leadership
+// appointment that raced in, and report the mapped context error. If a
+// leader already drained it into a flush, the write may be durable — the
+// only honest outcome is the flush's own, so wait for it (the wait is
+// bounded by one group write + fsync).
+func (w *wal) retractBatch(b *walBatch, ctx context.Context) error {
+	w.gmu.Lock()
+	removed := false
+	for i, qb := range w.queue {
+		if qb == b {
+			w.queue = append(w.queue[:i], w.queue[i+1:]...)
+			removed = true
+			break
+		}
+	}
+	appointed := false
+	if removed {
+		select {
+		case <-b.lead:
+			appointed = true
+		default:
+		}
+	}
+	w.gmu.Unlock()
+	if !removed {
+		for {
+			select {
+			case err := <-b.done:
+				return err
+			case <-b.lead:
+				// Appointed while in a flushed group is impossible (the
+				// leader only appoints still-queued batches), but drain
+				// defensively and keep the pipeline moving.
+				w.lead()
+			}
+		}
+	}
+	if appointed {
+		// We were appointed leader in the instant we retracted: pass the
+		// torch by flushing the remaining queue ourselves.
+		w.lead()
+	}
+	return mapCtxErr(ctx.Err())
+}
+
+// flushGroup drains one group from the queue, writes it with a single
+// buffered write, issues one fsync, and delivers the outcome to every
+// batch in the group.
+func (w *wal) flushGroup() {
+	w.gmu.Lock()
 	if w.maxDelay > 0 && len(w.queue) == 1 {
 		// Solo arrival: hold the flush open briefly so near-simultaneous
 		// committers can join the group instead of paying their own fsync.
@@ -438,6 +528,9 @@ func (w *wal) flushGroupLocked() {
 	group := w.queue[:n:n]
 	w.queue = w.queue[n:]
 	w.gmu.Unlock()
+	if len(group) == 0 {
+		return // every queued batch was retracted while we acquired gmu
+	}
 
 	var buf bytes.Buffer
 	for _, qb := range group {
@@ -458,13 +551,9 @@ func (w *wal) flushGroupLocked() {
 	if err == nil {
 		w.commits.Add(uint64(len(group)))
 	}
-
-	w.gmu.Lock()
 	for _, qb := range group {
-		qb.done, qb.err = true, err
+		qb.done <- err
 	}
-	w.flushing = false
-	w.gcond.Broadcast()
 }
 
 // replaceWith atomically swaps the log content (checkpointing).

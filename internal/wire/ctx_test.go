@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+type sleepReq struct {
+	Ms int `xml:"Ms"`
+}
+
+type sleepResp struct {
+	OK bool `xml:"OK"`
+}
+
+// sleepMux answers "sleep" by waiting the requested time or returning the
+// handler context's error — a stand-in for a statement blocked in the
+// engine.
+func sleepMux() *Mux {
+	mux := NewMux()
+	mux.Handle("sleep", Typed(func(ctx context.Context, req *sleepReq) (*sleepResp, error) {
+		select {
+		case <-time.After(time.Duration(req.Ms) * time.Millisecond):
+			return &sleepResp{OK: true}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}))
+	return mux
+}
+
+// TestClientDeadlinePropagates proves the wire contract end to end over
+// HTTP: the client's context deadline rides the deadline header, the
+// server re-arms it on the handler context, and the handler's
+// cancellation comes back as a typed fault.
+func TestClientDeadlinePropagates(t *testing.T) {
+	srv := httptest.NewServer(sleepMux())
+	defer srv.Close()
+	client := &Client{URL: srv.URL}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := client.Call(ctx, "sleep", &sleepReq{Ms: 5000}, &sleepResp{})
+	if err == nil {
+		t.Fatal("call with a 50ms budget against a 5s handler succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("deadline-bounded call took %v", elapsed)
+	}
+	// Within budget the call works.
+	var resp sleepResp
+	if err := client.Call(context.Background(), "sleep", &sleepReq{Ms: 1}, &resp); err != nil || !resp.OK {
+		t.Fatalf("in-budget call: resp=%+v err=%v", resp, err)
+	}
+}
+
+// TestServerHonorsDeadlineHeader drives the header path directly: the
+// server must fail the handler within the declared budget even though
+// the HTTP client itself would wait forever.
+func TestServerHonorsDeadlineHeader(t *testing.T) {
+	mux := sleepMux()
+	rec := httptest.NewRecorder()
+	data, err := Encode("sleep", &sleepReq{Ms: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/services", bytes.NewReader(data))
+	req.Header.Set(DeadlineHeader, "30")
+	start := time.Now()
+	mux.ServeHTTP(rec, req)
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("server ignored the deadline header (took %v)", elapsed)
+	}
+	env, err := Decode(rec.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Action != "Fault" {
+		t.Fatalf("expected a Fault envelope, got %s", env.Action)
+	}
+	var f Fault
+	if err := DecodePayload(env, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Code != "DeadlineExceeded" {
+		t.Fatalf("fault code = %q, want DeadlineExceeded", f.Code)
+	}
+}
+
+// TestLocalPropagatesContext requires the sim transport to deliver the
+// caller's context to the handler exactly like the HTTP path.
+func TestLocalPropagatesContext(t *testing.T) {
+	local := &Local{Mux: sleepMux()}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := local.Call(ctx, "sleep", &sleepReq{Ms: 5000}, &sleepResp{})
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("expected *Fault, got %T: %v", err, err)
+	}
+	if f.Code != "Canceled" {
+		t.Fatalf("fault code = %q, want Canceled", f.Code)
+	}
+}
+
+// TestClientMapsHTTPStatusToFault turns a non-200 response into a typed
+// fault carrying the status code.
+func TestClientMapsHTTPStatusToFault(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	client := &Client{URL: srv.URL}
+	err := client.Call(context.Background(), "sleep", &sleepReq{}, nil)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("expected *Fault, got %T: %v", err, err)
+	}
+	if f.Code != "HTTP503" {
+		t.Fatalf("fault code = %q, want HTTP503", f.Code)
+	}
+}
+
+// TestClientDefaultTimeout applies Client.Timeout when the caller's
+// context has no deadline of its own.
+func TestClientDefaultTimeout(t *testing.T) {
+	srv := httptest.NewServer(sleepMux())
+	defer srv.Close()
+	client := &Client{URL: srv.URL, Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	err := client.Call(context.Background(), "sleep", &sleepReq{Ms: 5000}, &sleepResp{})
+	if err == nil {
+		t.Fatal("call exceeding the client default timeout succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("default-timeout call took %v", elapsed)
+	}
+}

@@ -14,11 +14,15 @@ package wire
 
 import (
 	"bytes"
+	"context"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
+	"time"
 )
 
 // Envelope is the on-the-wire frame: an action name plus the payload
@@ -75,9 +79,18 @@ func DecodePayload(env *Envelope, out any) error {
 	return nil
 }
 
-// Handler processes one decoded request envelope and returns the response
-// payload (marshalled by the mux) or an error (returned as a Fault).
-type Handler func(env *Envelope) (any, error)
+// DeadlineHeader carries the caller's remaining time budget, in
+// milliseconds, on HTTP exchanges. The server re-arms the same deadline
+// on the handler's context, so a client-side timeout bounds the
+// server-side statement work too — cancellation propagates from wire to
+// engine instead of leaving the server grinding on an answer nobody is
+// waiting for.
+const DeadlineHeader = "X-Wire-Deadline-Ms"
+
+// Handler processes one decoded request envelope under the exchange's
+// context and returns the response payload (marshalled by the mux) or an
+// error (returned as a Fault).
+type Handler func(ctx context.Context, env *Envelope) (any, error)
 
 // Mux routes actions to handlers. It implements http.Handler and is also
 // the dispatch target of the Local transport.
@@ -107,9 +120,14 @@ func (m *Mux) Actions() []string {
 	return out
 }
 
-// Dispatch decodes raw envelope bytes, runs the handler, and encodes the
-// response envelope (action suffixed "Response", or "Fault" on error).
-func (m *Mux) Dispatch(data []byte) []byte {
+// Dispatch decodes raw envelope bytes, runs the handler under ctx, and
+// encodes the response envelope (action suffixed "Response", or "Fault"
+// on error). Cancellation and deadline faults carry their own codes so
+// clients can tell a timed-out call from a failed one.
+func (m *Mux) Dispatch(ctx context.Context, data []byte) []byte {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	env, err := Decode(data)
 	if err != nil {
 		return mustEncodeFault("BadEnvelope", err)
@@ -120,15 +138,26 @@ func (m *Mux) Dispatch(data []byte) []byte {
 	if !ok {
 		return mustEncodeFault("UnknownAction", fmt.Errorf("wire: no handler for action %q", env.Action))
 	}
-	resp, err := h(env)
+	resp, err := h(ctx, env)
 	if err != nil {
-		return mustEncodeFault("ServiceError", err)
+		return mustEncodeFault(faultCode(err), err)
 	}
 	out, err := Encode(env.Action+"Response", resp)
 	if err != nil {
 		return mustEncodeFault("EncodeError", err)
 	}
 	return out
+}
+
+// faultCode classifies a handler error for the fault envelope.
+func faultCode(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "DeadlineExceeded"
+	case errors.Is(err, context.Canceled):
+		return "Canceled"
+	}
+	return "ServiceError"
 }
 
 func mustEncodeFault(code string, err error) []byte {
@@ -141,40 +170,56 @@ func mustEncodeFault(code string, err error) []byte {
 	return out
 }
 
-// ServeHTTP implements http.Handler: POST an envelope, receive an envelope.
+// ServeHTTP implements http.Handler: POST an envelope, receive an
+// envelope. The handler context is the request's, narrowed by the
+// caller's deadline header when present — the server honors whichever
+// budget the client declared, so in-flight statements are cancelled the
+// moment the caller stops waiting.
 func (m *Mux) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "wire endpoint accepts POST only", http.StatusMethodNotAllowed)
 		return
+	}
+	ctx := r.Context()
+	if hdr := r.Header.Get(DeadlineHeader); hdr != "" {
+		if ms, err := strconv.ParseInt(hdr, 10, 64); err == nil && ms > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+			defer cancel()
+		}
 	}
 	data, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	resp := m.Dispatch(data)
+	resp := m.Dispatch(ctx, data)
 	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
 	w.Write(resp)
 }
 
 // Typed adapts a strongly typed handler function to a Handler. Req is
-// decoded from the payload; the response is marshalled by the mux.
-func Typed[Req any, Resp any](fn func(*Req) (*Resp, error)) Handler {
-	return func(env *Envelope) (any, error) {
+// decoded from the payload; the response is marshalled by the mux. The
+// exchange context flows through to the service method, which threads it
+// into its container transaction.
+func Typed[Req any, Resp any](fn func(context.Context, *Req) (*Resp, error)) Handler {
+	return func(ctx context.Context, env *Envelope) (any, error) {
 		req := new(Req)
 		if err := DecodePayload(env, req); err != nil {
 			return nil, err
 		}
-		return fn(req)
+		return fn(ctx, req)
 	}
 }
 
 // Caller issues a request/response exchange with a service endpoint. Both
 // the HTTP client and the in-process Local transport satisfy it.
 type Caller interface {
-	// Call sends action+req and decodes the response payload into resp
-	// (ignored when resp is nil). Service faults come back as *Fault.
-	Call(action string, req, resp any) error
+	// Call sends action+req under ctx and decodes the response payload
+	// into resp (ignored when resp is nil). Service faults come back as
+	// *Fault. Cancelling ctx abandons the exchange; its deadline is
+	// forwarded to the server so both sides stop at the same instant.
+	Call(ctx context.Context, action string, req, resp any) error
 }
 
 // decodeResponse handles the shared fault/response branching.
@@ -199,25 +244,65 @@ func decodeResponse(action string, data []byte, resp any) error {
 	return DecodePayload(env, resp)
 }
 
+// pooledClient is the shared HTTP client behind every wire.Client that
+// does not bring its own: keep-alive connection pooling sized for a
+// daemon fleet hammering one CAS endpoint, instead of
+// http.DefaultClient's general-purpose defaults. Request lifetimes are
+// governed per call by ctx (plus Client.Timeout), never by a global
+// client timeout that would cap long administrative calls.
+var pooledClient = &http.Client{
+	Transport: &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 64,
+		IdleConnTimeout:     90 * time.Second,
+	},
+}
+
 // Client is an HTTP Caller.
 type Client struct {
 	// URL is the service endpoint (e.g. http://cas:8080/services).
 	URL string
-	// HTTP is the underlying client; nil means http.DefaultClient.
+	// HTTP is the underlying client; nil means the package's pooled
+	// keep-alive client.
 	HTTP *http.Client
+	// Timeout is the default per-request budget applied when the call
+	// context carries no deadline of its own (0 = none). The effective
+	// deadline — from ctx or from here — is forwarded to the server in
+	// the deadline header.
+	Timeout time.Duration
 }
 
-// Call implements Caller over HTTP POST.
-func (c *Client) Call(action string, req, resp any) error {
+// Call implements Caller over HTTP POST. Non-2xx statuses surface as
+// typed *Fault values (code "HTTP<status>") rather than opaque errors,
+// so callers branch on them exactly like service faults.
+func (c *Client) Call(ctx context.Context, action string, req, resp any) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	data, err := Encode(action, req)
 	if err != nil {
 		return err
 	}
+	if _, has := ctx.Deadline(); !has && c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.URL, bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("wire: POST %s: %w", c.URL, err)
+	}
+	httpReq.Header.Set("Content-Type", "text/xml; charset=utf-8")
+	if dl, has := ctx.Deadline(); has {
+		if ms := time.Until(dl).Milliseconds(); ms > 0 {
+			httpReq.Header.Set(DeadlineHeader, strconv.FormatInt(ms, 10))
+		}
+	}
 	hc := c.HTTP
 	if hc == nil {
-		hc = http.DefaultClient
+		hc = pooledClient
 	}
-	httpResp, err := hc.Post(c.URL, "text/xml; charset=utf-8", bytes.NewReader(data))
+	httpResp, err := hc.Do(httpReq)
 	if err != nil {
 		return fmt.Errorf("wire: POST %s: %w", c.URL, err)
 	}
@@ -226,12 +311,24 @@ func (c *Client) Call(action string, req, resp any) error {
 	if err != nil {
 		return err
 	}
+	if httpResp.StatusCode < 200 || httpResp.StatusCode > 299 {
+		msg := string(body)
+		if len(msg) > 512 {
+			msg = msg[:512]
+		}
+		return &Fault{
+			Code:    fmt.Sprintf("HTTP%d", httpResp.StatusCode),
+			Message: fmt.Sprintf("POST %s: %s: %s", c.URL, httpResp.Status, msg),
+		}
+	}
 	return decodeResponse(action, body, resp)
 }
 
 // Local is an in-process Caller that still round-trips every message
 // through the XML envelope encoding, so simulations exercise the same
-// serialization path and can meter realistic message sizes.
+// serialization path and can meter realistic message sizes. The call
+// context reaches the handler directly — cancellation semantics are
+// identical to the HTTP transport, minus the millisecond re-encoding.
 type Local struct {
 	// Mux is the dispatch target.
 	Mux *Mux
@@ -241,12 +338,12 @@ type Local struct {
 }
 
 // Call implements Caller.
-func (l *Local) Call(action string, req, resp any) error {
+func (l *Local) Call(ctx context.Context, action string, req, resp any) error {
 	data, err := Encode(action, req)
 	if err != nil {
 		return err
 	}
-	out := l.Mux.Dispatch(data)
+	out := l.Mux.Dispatch(ctx, data)
 	if l.OnCall != nil {
 		l.OnCall(action, len(data), len(out))
 	}

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"net/http/httptest"
 	"strings"
@@ -20,7 +21,7 @@ type pingResp struct {
 
 func pingMux() *Mux {
 	mux := NewMux()
-	mux.Handle("ping", Typed(func(req *pingReq) (*pingResp, error) {
+	mux.Handle("ping", Typed(func(_ context.Context, req *pingReq) (*pingResp, error) {
 		if req.Name == "boom" {
 			return nil, errors.New("simulated service failure")
 		}
@@ -59,7 +60,7 @@ func TestLocalTransport(t *testing.T) {
 		}
 	}}
 	var resp pingResp
-	if err := local.Call("ping", &pingReq{Name: "node1", N: 5}, &resp); err != nil {
+	if err := local.Call(context.Background(), "ping", &pingReq{Name: "node1", N: 5}, &resp); err != nil {
 		t.Fatal(err)
 	}
 	if resp.Greeting != "hello node1" || resp.Doubled != 10 {
@@ -75,7 +76,7 @@ func TestHTTPTransport(t *testing.T) {
 	defer srv.Close()
 	client := &Client{URL: srv.URL}
 	var resp pingResp
-	if err := client.Call("ping", &pingReq{Name: "web", N: 3}, &resp); err != nil {
+	if err := client.Call(context.Background(), "ping", &pingReq{Name: "web", N: 3}, &resp); err != nil {
 		t.Fatal(err)
 	}
 	if resp.Greeting != "hello web" || resp.Doubled != 6 {
@@ -85,7 +86,7 @@ func TestHTTPTransport(t *testing.T) {
 
 func TestServiceFault(t *testing.T) {
 	local := &Local{Mux: pingMux()}
-	err := local.Call("ping", &pingReq{Name: "boom"}, &pingResp{})
+	err := local.Call(context.Background(), "ping", &pingReq{Name: "boom"}, &pingResp{})
 	var fault *Fault
 	if !errors.As(err, &fault) {
 		t.Fatalf("err = %v, want *Fault", err)
@@ -97,7 +98,7 @@ func TestServiceFault(t *testing.T) {
 
 func TestUnknownAction(t *testing.T) {
 	local := &Local{Mux: pingMux()}
-	err := local.Call("nosuch", &pingReq{}, nil)
+	err := local.Call(context.Background(), "nosuch", &pingReq{}, nil)
 	var fault *Fault
 	if !errors.As(err, &fault) || fault.Code != "UnknownAction" {
 		t.Fatalf("err = %v", err)
@@ -106,7 +107,7 @@ func TestUnknownAction(t *testing.T) {
 
 func TestNilResponseIgnoresPayload(t *testing.T) {
 	local := &Local{Mux: pingMux()}
-	if err := local.Call("ping", &pingReq{Name: "x"}, nil); err != nil {
+	if err := local.Call(context.Background(), "ping", &pingReq{Name: "x"}, nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -126,7 +127,7 @@ func TestHTTPRejectsGet(t *testing.T) {
 
 func TestBadEnvelope(t *testing.T) {
 	mux := pingMux()
-	out := mux.Dispatch([]byte("this is not xml"))
+	out := mux.Dispatch(context.Background(), []byte("this is not xml"))
 	env, err := Decode(out)
 	if err != nil {
 		t.Fatal(err)
@@ -138,7 +139,7 @@ func TestBadEnvelope(t *testing.T) {
 
 func TestMuxActions(t *testing.T) {
 	mux := pingMux()
-	mux.Handle("other", Typed(func(req *pingReq) (*pingResp, error) { return &pingResp{}, nil }))
+	mux.Handle("other", Typed(func(_ context.Context, req *pingReq) (*pingResp, error) { return &pingResp{}, nil }))
 	if got := len(mux.Actions()); got != 2 {
 		t.Fatalf("actions = %d", got)
 	}
