@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench-smoke bench-cancel race-cancel joinfuzz clean
+.PHONY: check build test race vet bench-smoke bench-cancel bench-agg race-cancel joinfuzz clean
 
 check: build vet test race
 
@@ -34,6 +34,12 @@ joinfuzz:
 # cancellable context); recorded in BENCH_sqldb.json.
 bench-cancel:
 	$(GO) test -run '^$$' -bench 'BenchmarkScanCtxOverhead' -benchtime 200x ./internal/sqldb | tee bench-cancel.txt
+
+# Monitoring-tier aggregation shapes (pool status GROUP BY state, per-owner
+# accounting) through the batched hash operator vs the row-at-a-time
+# reference; recorded in BENCH_sqldb.json.
+bench-agg:
+	$(GO) test -run '^$$' -bench 'BenchmarkPoolStatusAggregation' -benchtime 30x ./internal/sqldb | tee bench-agg.txt
 
 # The -race cancellation suite: lock-wait cancel/timeout, mid-scan and
 # mid-spill cancels, group-commit retraction, snapshot watermark release.

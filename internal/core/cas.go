@@ -231,6 +231,26 @@ func (c *CAS) PlannerSnapshot() metrics.PlannerSnapshot {
 	}
 }
 
+// ExecStats snapshots the embedded engine's batched-executor counters
+// (aggregated statements, keyed fast-path hits, input rows, groups,
+// output batches) for operators and experiments.
+func (c *CAS) ExecStats() sqldb.ExecStats { return c.Engine.ExecStats() }
+
+// ExecSnapshot converts the engine's executor counters into the metrics
+// layer's form, ready for metrics.ExecMonitor.Observe — the bridge that
+// charts the monitoring tier's aggregation traffic next to the join
+// strategy mix.
+func (c *CAS) ExecSnapshot() metrics.ExecSnapshot {
+	s := c.Engine.ExecStats()
+	return metrics.ExecSnapshot{
+		AggQueries:       s.AggQueries,
+		AggFastPaths:     s.AggFastPaths,
+		AggInputRows:     s.AggInputRows,
+		AggGroups:        s.AggGroups,
+		AggOutputBatches: s.AggOutputBatches,
+	}
+}
+
 // Analyze refreshes the engine's cardinality statistics (the SQL ANALYZE
 // statement) so the join planner costs the CAS's status queries from
 // current data. Operators run it after bulk loads; the scheduler does not

@@ -132,6 +132,41 @@ func TestProvenanceJoinPlan(t *testing.T) {
 	}
 }
 
+func TestPoolStatusAggregatePlan(t *testing.T) {
+	cas := statusPlanFixture(t)
+	// Service.PoolStatus: the monitoring tier's hot rollup. The plan must
+	// stay a lock-free snapshot scan feeding the batched hash-aggregation
+	// operator.
+	plan := planRows(t, cas, `SELECT state, count(*) FROM machines GROUP BY state ORDER BY state`)
+	if len(plan) != 2 {
+		t.Fatalf("plan rows = %d: %v", len(plan), plan)
+	}
+	if plan[0][0] != "machines" || plan[0][2] != "SNAPSHOT READ" {
+		t.Fatalf("scan step = %v, want machines snapshot read", plan[0])
+	}
+	if plan[1][1] != "HASH AGGREGATE (state)" {
+		t.Fatalf("aggregation step = %v, want HASH AGGREGATE (state)", plan[1])
+	}
+
+	// The executed statement takes the keyed fast path (single TEXT
+	// grouping column), visible through the CAS stats bridge.
+	base := cas.ExecStats()
+	if _, err := cas.Engine.Query(`SELECT state, count(*) FROM machines GROUP BY state ORDER BY state`); err != nil {
+		t.Fatal(err)
+	}
+	s := cas.ExecStats()
+	if s.AggQueries != base.AggQueries+1 || s.AggFastPaths != base.AggFastPaths+1 {
+		t.Fatalf("exec stats after pool-status query = %+v (base %+v), want +1 query on the fast path", s, base)
+	}
+
+	// The per-owner accounting rollup likewise ends in hash aggregation.
+	plan = planRows(t, cas, `SELECT owner, count(*), sum(length_sec) FROM jobs GROUP BY owner`)
+	last := plan[len(plan)-1]
+	if last[1] != "HASH AGGREGATE (owner)" {
+		t.Fatalf("accounting aggregation step = %v, want HASH AGGREGATE (owner)", last)
+	}
+}
+
 func TestStatusJoinResultsMatchReference(t *testing.T) {
 	cas := statusPlanFixture(t)
 	eng := cas.Engine

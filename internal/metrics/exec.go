@@ -1,0 +1,95 @@
+package metrics
+
+import "time"
+
+// Batched-executor accounting. The storage engine's hash-aggregation
+// operator exports cumulative counters (aggregated statements, keyed
+// fast-path hits, input rows consumed, groups materialized, output
+// batches emitted); ExecMonitor differences successive snapshots into
+// the same interval-bucketed series the planner, lock, WAL, and version
+// accounting use. Charted next to statement rates it answers whether
+// the monitoring tier's GROUP BY statements are actually taking the
+// spill-free fast paths and how wide their group fan-out runs.
+
+// ExecSnapshot is one reading of the executor's aggregation counters. It
+// mirrors sqldb.ExecStats without importing it, keeping this package
+// dependency-free.
+type ExecSnapshot struct {
+	// AggQueries counts aggregated SELECTs run by the batched operator.
+	AggQueries uint64
+	// AggFastPaths counts those that ran a keyed fast path (single
+	// TEXT/INTEGER grouping column, or a global aggregate).
+	AggFastPaths uint64
+	// AggInputRows counts rows consumed by aggregation build phases.
+	AggInputRows uint64
+	// AggGroups counts groups materialized in aggregation hash tables.
+	AggGroups uint64
+	// AggOutputBatches counts finished-group output batches emitted.
+	AggOutputBatches uint64
+}
+
+// ExecMonitor buckets executor deltas by sampling interval. Like the
+// other monitors it is not safe for concurrent use; simulations and
+// pollers drive it from a single goroutine.
+type ExecMonitor struct {
+	aggQueries   *Counter
+	aggFastPaths *Counter
+	inputRows    *Counter
+	groups       *Counter
+	batches      *Counter
+	last         ExecSnapshot
+	haveLast     bool
+}
+
+// NewExecMonitor creates a monitor whose series start at start with the
+// given bucket width.
+func NewExecMonitor(start time.Time, interval time.Duration) *ExecMonitor {
+	return &ExecMonitor{
+		aggQueries:   NewCounter(start, interval),
+		aggFastPaths: NewCounter(start, interval),
+		inputRows:    NewCounter(start, interval),
+		groups:       NewCounter(start, interval),
+		batches:      NewCounter(start, interval),
+	}
+}
+
+// Observe records a snapshot taken at instant at, attributing the change
+// since the previous snapshot to at's interval. The first observation
+// establishes the baseline.
+func (m *ExecMonitor) Observe(at time.Time, snap ExecSnapshot) {
+	if m.haveLast {
+		m.aggQueries.Add(at, int(snap.AggQueries-m.last.AggQueries))
+		m.aggFastPaths.Add(at, int(snap.AggFastPaths-m.last.AggFastPaths))
+		m.inputRows.Add(at, int(snap.AggInputRows-m.last.AggInputRows))
+		m.groups.Add(at, int(snap.AggGroups-m.last.AggGroups))
+		m.batches.Add(at, int(snap.AggOutputBatches-m.last.AggOutputBatches))
+	}
+	m.last = snap
+	m.haveLast = true
+}
+
+// AggQueries is the per-interval aggregated-statement series.
+func (m *ExecMonitor) AggQueries() *Counter { return m.aggQueries }
+
+// AggFastPaths is the per-interval keyed-fast-path series.
+func (m *ExecMonitor) AggFastPaths() *Counter { return m.aggFastPaths }
+
+// AggInputRows is the per-interval aggregation-input-volume series.
+func (m *ExecMonitor) AggInputRows() *Counter { return m.inputRows }
+
+// AggGroups is the per-interval materialized-group series.
+func (m *ExecMonitor) AggGroups() *Counter { return m.groups }
+
+// AggOutputBatches is the per-interval output-batch series.
+func (m *ExecMonitor) AggOutputBatches() *Counter { return m.batches }
+
+// FastPathShare reports the fraction of aggregated statements that ran a
+// keyed fast path in the latest observation's cumulative totals — a
+// quick health check that the monitoring tier's GROUP BY shapes are not
+// silently falling back to generic key encoding.
+func (m *ExecMonitor) FastPathShare() float64 {
+	if !m.haveLast || m.last.AggQueries == 0 {
+		return 0
+	}
+	return float64(m.last.AggFastPaths) / float64(m.last.AggQueries)
+}

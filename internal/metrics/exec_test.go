@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestExecMonitorDifferencesSnapshots(t *testing.T) {
+	start := time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+	m := NewExecMonitor(start, time.Minute)
+
+	// Baseline establishes the reference; nothing recorded yet.
+	m.Observe(start, ExecSnapshot{
+		AggQueries: 50, AggFastPaths: 40, AggInputRows: 100000,
+		AggGroups: 500, AggOutputBatches: 60,
+	})
+	if got := m.AggQueries().Total(); got != 0 {
+		t.Fatalf("baseline recorded %d agg queries, want 0", got)
+	}
+
+	m.Observe(start.Add(time.Minute), ExecSnapshot{
+		AggQueries: 80, AggFastPaths: 64, AggInputRows: 160000,
+		AggGroups: 800, AggOutputBatches: 100,
+	})
+	m.Observe(start.Add(2*time.Minute), ExecSnapshot{
+		AggQueries: 100, AggFastPaths: 80, AggInputRows: 250000,
+		AggGroups: 1200, AggOutputBatches: 130,
+	})
+
+	if got := m.AggQueries().Total(); got != 50 {
+		t.Fatalf("agg queries total = %d, want 50", got)
+	}
+	if got := m.AggFastPaths().Total(); got != 40 {
+		t.Fatalf("fast paths total = %d, want 40", got)
+	}
+	if got := m.AggInputRows().Total(); got != 150000 {
+		t.Fatalf("input rows total = %d, want 150000", got)
+	}
+	if got := m.AggGroups().Total(); got != 700 {
+		t.Fatalf("groups total = %d, want 700", got)
+	}
+	pts := m.AggOutputBatches().PerInterval(start.Add(2 * time.Minute))
+	if len(pts) != 3 || pts[1].Value != 40 || pts[2].Value != 30 {
+		t.Fatalf("per-interval batches = %v", pts)
+	}
+	// Cumulative fast-path share: 80 / 100.
+	if got := m.FastPathShare(); got != 0.8 {
+		t.Fatalf("fast-path share = %v, want 0.8", got)
+	}
+}

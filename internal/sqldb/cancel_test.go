@@ -239,6 +239,37 @@ func TestCancelMidHashJoin(t *testing.T) {
 	cancelMidQuery(t, db, `SELECT count(*) FROM a JOIN b ON a.k = b.k`)
 }
 
+// TestCancelMidAggregation cancels a GROUP BY query after the input scan
+// has finished but before group assembly (HAVING + projection + sort-key
+// evaluation) begins, via the deterministic test hook between the two
+// phases. The per-group cooperative checkpoints must surface ErrCanceled;
+// before they existed, assembly ran to completion ignoring the dead
+// context. Both the batched operator and the row-at-a-time reference
+// path are covered.
+func TestCancelMidAggregation(t *testing.T) {
+	for _, mode := range []struct {
+		name string
+		m    AggMode
+	}{{"hash-batched", AggHashBatched}, {"reference", AggReference}} {
+		t.Run(mode.name, func(t *testing.T) {
+			db := New()
+			defer db.Close()
+			fillWide(t, db, "t", 5000) // k = i % 97 → 97 groups
+			db.SetAggMode(mode.m)
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			testHookAggAssembly = cancel
+			defer func() { testHookAggAssembly = nil }()
+
+			_, err := db.QueryContext(ctx, `SELECT k, count(*), sum(id) FROM t GROUP BY k`)
+			if !errors.Is(err, ErrCanceled) {
+				t.Fatalf("mid-aggregation cancel returned %v, want ErrCanceled", err)
+			}
+		})
+	}
+}
+
 // TestCancelDuringGroupCommit parks a follower in the group-commit queue
 // behind a leader whose fsync is artificially slow, cancels the
 // follower, and requires: the follower's transaction aborts (its row

@@ -134,6 +134,14 @@ type DB struct {
 	plannerBuildRows   atomic.Uint64
 	plannerProbeRows   atomic.Uint64
 	plannerAnalyzeRuns atomic.Uint64
+
+	// Batched-executor state (see executor.go).
+	aggMode          atomic.Int32
+	execAggQueries   atomic.Uint64
+	execAggFastPath  atomic.Uint64
+	execAggInputRows atomic.Uint64
+	execAggGroups    atomic.Uint64
+	execAggBatches   atomic.Uint64
 }
 
 // New creates a pure in-memory database (no durability).

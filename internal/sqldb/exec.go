@@ -82,6 +82,13 @@ type query struct {
 	buildRows   uint64
 	probeRows   uint64
 	graceBuilds uint64
+	// Batched-executor counters (executor.go), flushed once per statement
+	// like the hash-join volumes above.
+	aggQueries   uint64
+	aggFastPath  uint64
+	aggInputRows uint64
+	aggGroups    uint64
+	aggBatches   uint64
 }
 
 var errStopScan = fmt.Errorf("sqldb: internal: stop scan")
@@ -97,6 +104,13 @@ func (tx *Tx) execSelect(s *SelectStmt, params []Value) (*Rows, error) {
 			tx.db.plannerBuildRows.Add(q.buildRows)
 			tx.db.plannerProbeRows.Add(q.probeRows)
 			tx.db.plannerGraceBuilds.Add(q.graceBuilds)
+		}
+		if q.aggQueries > 0 {
+			tx.db.execAggQueries.Add(q.aggQueries)
+			tx.db.execAggFastPath.Add(q.aggFastPath)
+			tx.db.execAggInputRows.Add(q.aggInputRows)
+			tx.db.execAggGroups.Add(q.aggGroups)
+			tx.db.execAggBatches.Add(q.aggBatches)
 		}
 		tx.db.emit(stats)
 	}()
@@ -1006,24 +1020,57 @@ type group struct {
 	aggs     map[*FuncCall]*aggState
 }
 
-// runAggregate executes a grouped / aggregated SELECT.
+// runAggregate executes a grouped / aggregated SELECT through the batched
+// hash-aggregation operator (executor.go), or through the row-at-a-time
+// reference path when the database is in AggReference mode.
 func (q *query) runAggregate(outs []Expr) ([][]Value, error) {
-	// Find all aggregate calls across outputs, HAVING and ORDER BY.
-	var aggCalls []*FuncCall
-	collect := func(e Expr) {
-		walkExpr(e, func(x Expr) {
-			if fc, ok := x.(*FuncCall); ok && isAggregate(fc) {
-				aggCalls = append(aggCalls, fc)
+	if AggMode(q.tx.db.aggMode.Load()) == AggReference {
+		return q.runAggregateReference(outs)
+	}
+	op, err := newHashAggOp(q, outs)
+	if err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	if err := op.Init(); err != nil {
+		return nil, err
+	}
+	var rows []sortableRow
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		for i := range b.rows {
+			sr := sortableRow{out: b.rows[i]}
+			if b.keys != nil {
+				sr.keys = b.keys[i]
 			}
-		})
+			rows = append(rows, sr)
+		}
 	}
-	for _, e := range outs {
-		collect(e)
+	if len(q.stmt.OrderBy) > 0 {
+		sortRows(rows, q.stmt.OrderBy)
 	}
-	collect(q.stmt.Having)
-	for _, o := range q.stmt.OrderBy {
-		collect(o.Expr)
+	data := make([][]Value, len(rows))
+	for i := range rows {
+		data[i] = rows[i].out
 	}
+	return data, nil
+}
+
+// runAggregateReference is the original row-at-a-time aggregation path,
+// kept verbatim in shape (per-row key buffer, deep-copied binding
+// snapshot per group, per-group aggregate map) as the differential oracle
+// and benchmark baseline for the batched operator. It shares the
+// corrected semantics: canonical group keys, MIN/MAX type-error
+// propagation, cancellation checkpoints during assembly, and HAVING over
+// output aliases.
+func (q *query) runAggregateReference(outs []Expr) ([][]Value, error) {
+	aggCalls := q.collectAggCalls(outs)
 
 	groups := make(map[string]*group)
 	var order []string // deterministic group order of first appearance
@@ -1035,7 +1082,7 @@ func (q *query) runAggregate(outs []Expr) ([][]Value, error) {
 			if err != nil {
 				return err
 			}
-			writeValue(&keyBuf, v)
+			writeHashValue(&keyBuf, v)
 		}
 		key := keyBuf.String()
 		g, ok := groups[key]
@@ -1073,16 +1120,20 @@ func (q *query) runAggregate(outs []Expr) ([][]Value, error) {
 		for i := range g.snapshot {
 			g.snapshot[i].row = nil
 		}
-		for _, fc := range aggCalls {
-			g.aggs[fc] = &aggState{}
-		}
 		groups[""] = g
 		order = append(order, "")
 	}
 
+	if h := testHookAggAssembly; h != nil {
+		h()
+	}
 	orderExprs, aliasPos := q.orderKeys(outs)
+	aliasIdx := q.outputAliasIdx()
 	var rows []sortableRow
 	for _, key := range order {
+		if err := q.cancel.check(); err != nil {
+			return nil, err
+		}
 		g := groups[key]
 		genv := &evalEnv{
 			bindings: g.snapshot,
@@ -1091,16 +1142,11 @@ func (q *query) runAggregate(outs []Expr) ([][]Value, error) {
 			aggs:     make(map[*FuncCall]Value, len(aggCalls)),
 		}
 		for _, fc := range aggCalls {
-			genv.aggs[fc] = finishAgg(fc, g.aggs[fc])
-		}
-		if q.stmt.Having != nil {
-			ok, err := truthy(genv.eval(q.stmt.Having))
-			if err != nil {
-				return nil, err
+			st := g.aggs[fc]
+			if st == nil {
+				st = &aggState{}
 			}
-			if !ok {
-				continue
-			}
+			genv.aggs[fc] = finishAgg(fc, st)
 		}
 		out := make([]Value, len(outs))
 		for i, e := range outs {
@@ -1109,6 +1155,17 @@ func (q *query) runAggregate(outs []Expr) ([][]Value, error) {
 				return nil, err
 			}
 			out[i] = v
+		}
+		if q.stmt.Having != nil {
+			genv.aliasIdx, genv.aliasRow = aliasIdx, out
+			ok, err := truthy(genv.eval(q.stmt.Having))
+			genv.aliasIdx, genv.aliasRow = nil, nil
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
 		}
 		sr := sortableRow{out: out}
 		if len(orderExprs) > 0 {
@@ -1149,6 +1206,17 @@ func (q *query) accumulate(st *aggState, fc *FuncCall) error {
 	if err != nil {
 		return err
 	}
+	var kb bytes.Buffer
+	return st.add(fc, v, &kb)
+}
+
+// add folds one input value into the accumulator. DISTINCT sets key
+// values with the canonical hash encoding (writeHashValue), so
+// COUNT(DISTINCT x) agrees with `=` about Int 1 vs Float 1.0; MIN/MAX
+// propagate Compare errors on mixed-type inputs instead of silently
+// keeping whichever value arrived first. scratch is a caller-owned reused
+// buffer for the DISTINCT key encoding.
+func (st *aggState) add(fc *FuncCall, v Value, scratch *bytes.Buffer) error {
 	if v.IsNull() {
 		return nil // aggregates ignore NULL inputs
 	}
@@ -1156,12 +1224,12 @@ func (q *query) accumulate(st *aggState, fc *FuncCall) error {
 		if st.distinct == nil {
 			st.distinct = make(map[string]bool)
 		}
-		var kb bytes.Buffer
-		writeValue(&kb, v)
-		if st.distinct[kb.String()] {
+		scratch.Reset()
+		writeHashValue(scratch, v)
+		if st.distinct[string(scratch.Bytes())] {
 			return nil
 		}
-		st.distinct[kb.String()] = true
+		st.distinct[scratch.String()] = true
 	}
 	st.count++
 	switch fc.Name {
@@ -1177,14 +1245,26 @@ func (q *query) accumulate(st *aggState, fc *FuncCall) error {
 	case "min":
 		if st.min.IsNull() {
 			st.min = v
-		} else if c, err := Compare(v, st.min); err == nil && c < 0 {
-			st.min = v
+		} else {
+			c, err := Compare(v, st.min)
+			if err != nil {
+				return err
+			}
+			if c < 0 {
+				st.min = v
+			}
 		}
 	case "max":
 		if st.max.IsNull() {
 			st.max = v
-		} else if c, err := Compare(v, st.max); err == nil && c > 0 {
-			st.max = v
+		} else {
+			c, err := Compare(v, st.max)
+			if err != nil {
+				return err
+			}
+			if c > 0 {
+				st.max = v
+			}
 		}
 	}
 	return nil
@@ -1219,10 +1299,13 @@ func finishAgg(fc *FuncCall, st *aggState) Value {
 func dedupeRows(data [][]Value) [][]Value {
 	seen := make(map[string]bool, len(data))
 	out := data[:0]
+	var kb bytes.Buffer
 	for _, row := range data {
-		var kb bytes.Buffer
+		kb.Reset()
 		for _, v := range row {
-			writeValue(&kb, v)
+			// Canonical encoding so DISTINCT agrees with `=` about
+			// Int 1 vs Float 1.0.
+			writeHashValue(&kb, v)
 		}
 		k := kb.String()
 		if seen[k] {

@@ -67,6 +67,7 @@ func (tx *Tx) execExplain(s *ExplainStmt, params []Value) (*Rows, error) {
 		readMode = "SNAPSHOT READ"
 	}
 	rows := &Rows{Columns: []string{"table", "access", "read", "join", "rows"}}
+	var inputEst float64
 	if len(q.bindings) >= 2 {
 		// One row per step, in the chosen execution order: the row order IS
 		// the join order; the join column is the per-edge strategy; the rows
@@ -81,23 +82,89 @@ func (tx *Tx) execExplain(s *ExplainStmt, params []Value) (*Rows, error) {
 				NewText(describeStep(st)),
 				NewInt(int64(math.Round(st.estOut))),
 			})
+			inputEst = st.estOut
 		}
-		return rows, nil
+	} else {
+		for i, b := range q.bindings {
+			est := b.tbl.estRows()
+			for _, c := range q.filters[i] {
+				est *= q.localSelectivity(i, c)
+			}
+			rows.Data = append(rows.Data, []Value{
+				NewText(b.tbl.schema.Name),
+				NewText(describeAccess(q.access[i], b.tbl)),
+				NewText(readMode),
+				NewText("-"),
+				NewInt(int64(math.Round(est))),
+			})
+			inputEst = est
+		}
 	}
-	for i, b := range q.bindings {
-		est := b.tbl.estRows()
-		for _, c := range q.filters[i] {
-			est *= q.localSelectivity(i, c)
-		}
+	// Aggregated SELECTs run through the hash GROUP BY operator
+	// (executor.go); render it as a final pipeline-breaking step with the
+	// estimated group count.
+	if isSelect && isAggregated(sel) {
 		rows.Data = append(rows.Data, []Value{
-			NewText(b.tbl.schema.Name),
-			NewText(describeAccess(q.access[i], b.tbl)),
-			NewText(readMode),
 			NewText("-"),
-			NewInt(int64(math.Round(est))),
+			NewText(describeAggregate(sel)),
+			NewText("-"),
+			NewText("-"),
+			NewInt(estGroups(q, sel, inputEst)),
 		})
 	}
 	return rows, nil
+}
+
+// isAggregated mirrors execSelect's dispatch into runAggregate.
+func isAggregated(sel *SelectStmt) bool {
+	if len(sel.GroupBy) > 0 || sel.Having != nil {
+		return true
+	}
+	for _, se := range sel.Exprs {
+		if !se.Star && hasAggregate(se.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// describeAggregate renders the hash-aggregation step with its grouping
+// keys (empty for a global aggregate).
+func describeAggregate(sel *SelectStmt) string {
+	if len(sel.GroupBy) == 0 {
+		return "HASH AGGREGATE"
+	}
+	keys := make([]string, len(sel.GroupBy))
+	for i, e := range sel.GroupBy {
+		keys[i] = exprString(e)
+	}
+	return fmt.Sprintf("HASH AGGREGATE (%s)", strings.Join(keys, ", "))
+}
+
+// estGroups estimates the number of output groups: 1 for a global
+// aggregate, the column's distinct count (capped at the input estimate)
+// for a single bare column key, and a 1-in-10 reduction otherwise.
+func estGroups(q *query, sel *SelectStmt, inputEst float64) int64 {
+	if len(sel.GroupBy) == 0 {
+		return 1
+	}
+	est := inputEst / 10
+	if len(sel.GroupBy) == 1 {
+		if cr, ok := sel.GroupBy[0].(*ColRef); ok {
+			if bi, err := q.bindingPos(cr); err == nil {
+				if ci := q.bindings[bi].tbl.schema.ColumnIndex(strings.ToLower(cr.Name)); ci >= 0 {
+					est = q.bindings[bi].tbl.distinctOfCol(ci)
+				}
+			}
+		}
+	}
+	if est > inputEst {
+		est = inputEst
+	}
+	if est < 1 {
+		est = 1
+	}
+	return int64(math.Round(est))
 }
 
 // describeStep renders one join step's strategy, including hash-join keys

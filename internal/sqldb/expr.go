@@ -15,6 +15,17 @@ type evalEnv struct {
 	params   []Value
 	now      time.Time
 	aggs     map[*FuncCall]Value
+
+	// Batched-aggregation dispatch (executor.go): finished aggregate
+	// values live in a slice indexed by aggIdx instead of a per-group
+	// map, so one env serves every group in a batch.
+	aggIdx  map[*FuncCall]int
+	aggVals []Value
+
+	// HAVING may refer to output-column aliases; aliasRow holds the
+	// already-projected output row while HAVING is evaluated.
+	aliasIdx map[string]int
+	aliasRow []Value
 }
 
 // binding associates a table alias with the schema and current row.
@@ -68,6 +79,13 @@ func (env *evalEnv) resolve(table, name string) (Value, error) {
 		}
 	}
 	if found < 0 {
+		// HAVING over an output alias: fall back to the projected row
+		// only when no table column claims the unqualified name.
+		if env.aliasIdx != nil && env.aliasRow != nil {
+			if i, ok := env.aliasIdx[name]; ok {
+				return env.aliasRow[i], nil
+			}
+		}
 		return Value{}, &errColumn{fmt.Sprintf("sqldb: unknown column %q", name)}
 	}
 	return val, nil
@@ -91,6 +109,11 @@ func (env *evalEnv) eval(e Expr) (Value, error) {
 	case *Binary:
 		return env.evalBinary(x)
 	case *FuncCall:
+		if env.aggIdx != nil {
+			if i, ok := env.aggIdx[x]; ok {
+				return env.aggVals[i], nil
+			}
+		}
 		if v, ok := env.aggs[x]; ok {
 			return v, nil
 		}

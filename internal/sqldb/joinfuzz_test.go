@@ -141,9 +141,15 @@ func runJoinFuzzCase(t *testing.T, seed int64) PlannerStats {
 
 	query := buildFuzzQuery(rng, tables)
 
+	// The cost-based run also uses the batched hash-aggregation operator;
+	// the reference run pairs forced nested loops with the row-at-a-time
+	// aggregation path, so GROUP BY shapes differentially test both the
+	// join planner and the executor.
 	db.SetPlannerMode(PlannerCostBased)
+	db.SetAggMode(AggHashBatched)
 	planned, errP := db.Query(query)
 	db.SetPlannerMode(PlannerForceNestedLoop)
+	db.SetAggMode(AggReference)
 	reference, errR := db.Query(query)
 
 	fail := func(format string, args ...any) {
@@ -258,9 +264,40 @@ func buildFuzzQuery(rng *rand.Rand, tables []fuzzTable) string {
 	aliases := make([]string, n)
 	var sb strings.Builder
 	sb.WriteString("SELECT ")
-	// Project a few qualified columns from random tables plus the
-	// occasional star.
-	if rng.Intn(5) == 0 {
+	// About a third of the corpus are GROUP BY queries. Aggregate shapes
+	// project ONLY grouping keys and aggregates (a non-grouped column's
+	// representative row legitimately differs between join orders), and
+	// SUM/AVG draw from integer columns only: int sums are exact in
+	// float64, while float addition order differs between plans.
+	var groupKeys []string
+	aggregate := rng.Intn(3) == 0
+	if aggregate {
+		nk := 1 + rng.Intn(2)
+		for k := 0; k < nk; k++ {
+			ti := rng.Intn(n)
+			c := fuzzCols[rng.Intn(len(fuzzCols))] // any type, incl. FLOAT f
+			groupKeys = append(groupKeys, fmt.Sprintf("r%d.%s", ti, c.name))
+		}
+		outs := append([]string{}, groupKeys...)
+		outs = append(outs, "count(*) AS cnt")
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			ti := rng.Intn(n)
+			switch rng.Intn(4) {
+			case 0:
+				outs = append(outs, fmt.Sprintf("sum(r%d.%s)", ti, fuzzIntCols[rng.Intn(len(fuzzIntCols))]))
+			case 1:
+				outs = append(outs, fmt.Sprintf("avg(r%d.%s)", ti, fuzzIntCols[rng.Intn(len(fuzzIntCols))]))
+			case 2:
+				fn := []string{"min", "max"}[rng.Intn(2)]
+				c := fuzzCols[rng.Intn(len(fuzzCols))]
+				outs = append(outs, fmt.Sprintf("%s(r%d.%s)", fn, ti, c.name))
+			default:
+				c := fuzzCols[rng.Intn(len(fuzzCols))]
+				outs = append(outs, fmt.Sprintf("count(DISTINCT r%d.%s)", ti, c.name))
+			}
+		}
+		sb.WriteString(strings.Join(outs, ", "))
+	} else if rng.Intn(5) == 0 {
 		sb.WriteString("*")
 	} else {
 		var outs []string
@@ -297,6 +334,15 @@ func buildFuzzQuery(rng *rand.Rand, tables []fuzzTable) string {
 			conjs = append(conjs, fuzzPredicate(rng, aliases[:ti], []string{aliases[ti]}))
 		}
 		sb.WriteString(" WHERE " + strings.Join(conjs, " AND "))
+	}
+	if aggregate {
+		sb.WriteString(" GROUP BY " + strings.Join(groupKeys, ", "))
+		switch rng.Intn(4) {
+		case 0:
+			sb.WriteString(" HAVING count(*) >= 2")
+		case 1:
+			sb.WriteString(" HAVING cnt >= 2") // output alias in HAVING
+		}
 	}
 	return sb.String()
 }
