@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench-smoke bench-cancel bench-agg race-cancel joinfuzz clean
+.PHONY: check build test race vet bench-smoke bench-cancel bench-agg bench-overload race-cancel joinfuzz chaos clean
 
 check: build vet test race
 
@@ -40,6 +40,25 @@ bench-cancel:
 # reference; recorded in BENCH_sqldb.json.
 bench-agg:
 	$(GO) test -run '^$$' -bench 'BenchmarkPoolStatusAggregation' -benchtime 30x ./internal/sqldb | tee bench-agg.txt
+
+# Chaos-injection torture (seed-reproducible): simulated execute nodes
+# drive jobs through a FaultTransport dropping/duplicating/5xx-faulting
+# 20%+ of wire traffic while the CAS is killed and restarted from its
+# WAL; every job must complete exactly once. Override CHAOS_SEED /
+# CHAOS_CASES to vary the schedule.
+CHAOS_SEED ?= 1
+CHAOS_CASES ?= 40
+chaos:
+	CHAOS_SEED=$(CHAOS_SEED) CHAOS_CASES=$(CHAOS_CASES) $(GO) test -race -count=1 -v \
+		-run 'TestChaosTortureExactlyOnce|TestStartdSurvivesFlakyWire' \
+		./internal/core ./internal/cluster | tee chaos.txt
+
+# Admission-gate overload benchmark (2x capacity offered load, shed rate,
+# typed Overloaded faults) and the retry wrapper's happy-path overhead;
+# recorded in BENCH_sqldb.json.
+bench-overload:
+	$(GO) test -run '^$$' -bench 'BenchmarkHeartbeatOverload|BenchmarkRetryHappyPath' \
+		-benchtime 2000x ./internal/core | tee bench-overload.txt
 
 # The -race cancellation suite: lock-wait cancel/timeout, mid-scan and
 # mid-spill cancels, group-commit retraction, snapshot watermark release.

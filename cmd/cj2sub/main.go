@@ -25,9 +25,27 @@ import (
 
 func main() {
 	casURL := flag.String("cas", "http://localhost:8642/services", "CAS web services URL")
-	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline, forwarded to the CAS so server-side work is cancelled with the call (0 = none)")
+	timeout := flag.Duration("call-timeout", 30*time.Second, "per-request deadline, forwarded to the CAS so server-side work is cancelled with the call (0 = none)")
 	flag.Parse()
-	client := &wire.Client{URL: *casURL, Timeout: *timeout}
+	// Calls ride a retrying wire: transient transport failures, 5xx, and
+	// Overloaded faults back off and retry inside the deadline. Mutating
+	// actions carry an idempotency key, so a retried submit can never
+	// enqueue a batch twice.
+	client := &wire.Retryer{
+		Caller: &wire.Client{URL: *casURL, Timeout: *timeout},
+		Policy: wire.RetryPolicy{
+			MaxAttempts: 5,
+			BaseDelay:   200 * time.Millisecond,
+			MaxDelay:    5 * time.Second,
+		},
+		Keyed: func(action string) bool {
+			switch action {
+			case core.ActionSubmitJob, core.ActionRegisterData, core.ActionConfigSet:
+				return true
+			}
+			return false
+		},
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
@@ -60,7 +78,7 @@ func usage() {
 	os.Exit(2)
 }
 
-func submit(c *wire.Client, args []string) error {
+func submit(c wire.Caller, args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ExitOnError)
 	owner := fs.String("owner", "", "job owner (required)")
 	count := fs.Int("count", 1, "number of identical jobs")
@@ -81,7 +99,7 @@ func submit(c *wire.Client, args []string) error {
 	return nil
 }
 
-func queue(c *wire.Client, args []string) error {
+func queue(c wire.Caller, args []string) error {
 	fs := flag.NewFlagSet("queue", flag.ExitOnError)
 	owner := fs.String("owner", "", "filter by owner")
 	fs.Parse(args)
@@ -96,7 +114,7 @@ func queue(c *wire.Client, args []string) error {
 	return nil
 }
 
-func pool(c *wire.Client) error {
+func pool(c wire.Caller) error {
 	var resp core.PoolStatusResponse
 	if err := c.Call(context.Background(), core.ActionPoolStatus, &core.PoolStatusRequest{}, &resp); err != nil {
 		return err
@@ -114,7 +132,7 @@ func pool(c *wire.Client) error {
 	return nil
 }
 
-func stats(c *wire.Client, args []string) error {
+func stats(c wire.Caller, args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	owner := fs.String("owner", "", "owner (required)")
 	fs.Parse(args)
@@ -127,7 +145,7 @@ func stats(c *wire.Client, args []string) error {
 	return nil
 }
 
-func config(c *wire.Client, args []string) error {
+func config(c wire.Caller, args []string) error {
 	if len(args) < 2 {
 		return fmt.Errorf("config get NAME | config set NAME VALUE")
 	}
@@ -152,7 +170,7 @@ func config(c *wire.Client, args []string) error {
 	}
 }
 
-func provenance(c *wire.Client, args []string) error {
+func provenance(c wire.Caller, args []string) error {
 	fs := flag.NewFlagSet("provenance", flag.ExitOnError)
 	dataset := fs.String("dataset", "", "dataset name (required)")
 	version := fs.Int64("version", 0, "dataset version (0 = latest)")

@@ -28,6 +28,7 @@ import (
 
 	"condorj2/internal/core"
 	"condorj2/internal/sqldb"
+	"condorj2/internal/wire"
 )
 
 func main() {
@@ -41,6 +42,11 @@ func main() {
 	stmtTimeout := flag.Duration("stmt-timeout", 0, "default per-statement deadline when a request carries none (0 = none; config key stmt_timeout_ms overrides)")
 	lockTimeout := flag.Duration("lock-timeout", 0, "max time one statement may block in a lock wait (0 = forever; config key lock_timeout_ms overrides)")
 	grace := flag.Duration("shutdown-grace", 10*time.Second, "how long shutdown drains in-flight requests before cancelling their statements")
+	maxInFlight := flag.Int("max-inflight", 256, "admission control: max concurrently dispatched requests")
+	maxQueued := flag.Int("max-queued", 0, "admission control: max waiters per action (0 = 2x max-inflight)")
+	queueWait := flag.Duration("queue-wait", 500*time.Millisecond, "admission control: max time a request waits for an in-flight slot before a typed Overloaded fault")
+	retryAfter := flag.Duration("retry-after", 0, "admission control: RetryAfterMs hint on Overloaded faults (0 = queue-wait)")
+	freshFor := flag.Duration("hb-fresh-for", 10*time.Second, "admission control: delta-free heartbeats older than this are shed under load")
 	flag.Parse()
 
 	var engine *sqldb.DB
@@ -70,17 +76,17 @@ func main() {
 	}
 	defer cas.Close()
 	if *data != "" {
-		// The WAL preserved every committed tuple, but in-flight
-		// coordination state (matches, runs, claimed VMs) refers to
-		// node-side activity this restarted server can no longer observe;
-		// release it so the pool resumes cleanly.
+		// The WAL preserved every committed tuple. In-flight coordination
+		// state (matches, runs, claimed VMs) is kept — the nodes were
+		// executing through the outage and their heartbeats will reconcile
+		// it; only idle VMs park offline until their machine re-registers.
 		rs, err := cas.Service.RecoverInFlight(context.Background())
 		if err != nil {
 			log.Fatalf("condorj2d: recovering in-flight state: %v", err)
 		}
-		if rs.JobsReleased+rs.MatchesCleared+rs.RunsCleared+rs.VMsReset+rs.MachinesOffline > 0 {
-			log.Printf("recovery: released %d jobs, cleared %d matches + %d runs, reset %d VMs, %d machines offline until next heartbeat",
-				rs.JobsReleased, rs.MatchesCleared, rs.RunsCleared, rs.VMsReset, rs.MachinesOffline)
+		if rs.RunsPreserved+rs.MatchesPreserved+rs.VMsParked+rs.MachinesOffline > 0 {
+			log.Printf("recovery: preserved %d runs + %d matches, parked %d idle VMs, %d machines offline until next heartbeat",
+				rs.RunsPreserved, rs.MatchesPreserved, rs.VMsParked, rs.MachinesOffline)
 		}
 	}
 	if *data == "" {
@@ -88,6 +94,17 @@ func main() {
 		cas.Engine.SetStmtTimeout(*stmtTimeout)
 		cas.Engine.SetLockTimeout(*lockTimeout)
 	}
+	// Admission control: bound in-flight work and per-action queues so an
+	// overloaded CAS answers typed Overloaded faults (with a RetryAfterMs
+	// the clients honor) instead of queueing without limit; stale
+	// delta-free heartbeats are shed outright under load.
+	cas.SetAdmission(wire.AdmissionConfig{
+		MaxInFlight: *maxInFlight,
+		MaxQueued:   *maxQueued,
+		QueueWait:   *queueWait,
+		RetryAfter:  *retryAfter,
+		FreshFor:    *freshFor,
+	})
 	cas.StartScheduler()
 
 	// Every request context descends from baseCtx; cancelling it reaches
@@ -140,4 +157,10 @@ func main() {
 	cs := cas.CancelStats()
 	log.Printf("cancel: %d statements canceled, %d deadlines exceeded, %d lock-wait timeouts, %d lock-wait cancels, %d commit retractions",
 		cs.StatementsCanceled, cs.DeadlinesExceeded, cs.LockWaitTimeouts, cs.LockWaitCancels, cs.CommitRetractions)
+	as := cas.AdmissionStats()
+	log.Printf("admission: %d admitted (%d queued first), %d rejected, %d queue timeouts, %d stale heartbeats shed, peak in-flight %d",
+		as.Admitted, as.Queued, as.Rejected, as.QueueTimeouts, as.ShedStale, as.PeakInFlight)
+	ds := cas.Service.DedupStats()
+	log.Printf("dedup: %d replies replayed to retried keys, %d aged reply rows GC'd",
+		ds.Replays, ds.RepliesDeleted)
 }

@@ -31,13 +31,19 @@ type Startd struct {
 	hbTicker *sim.Ticker
 	pollArm  bool
 	stopped  bool
+	booted   bool // first heartbeat acknowledged
+	retryArm bool // a backoff retry is already scheduled
+	hbFails  int  // consecutive heartbeat failures (resets on success)
 
 	// Stats observed by experiments.
-	Completed  int
-	Dropped    int
-	DropsByVM  map[int64]int
-	OnComplete func(jobID int64, at time.Time)
-	OnDrop     func(jobID int64, at time.Time)
+	Completed         int
+	Dropped           int
+	HeartbeatFailures int // heartbeat exchanges that errored (then retried)
+	AcceptFailures    int // acceptMatch exchanges that errored
+	Released          int // VMs cleared on a server RELEASE command
+	DropsByVM         map[int64]int
+	OnComplete        func(jobID int64, at time.Time)
+	OnDrop            func(jobID int64, at time.Time)
 }
 
 // StartdConfig tunes the agent's communication cadence.
@@ -52,6 +58,9 @@ type StartdConfig struct {
 	// acts on per heartbeat; further matched VMs are claimed on the next
 	// poll. Real startds serialize claim activations the same way.
 	MaxStartsPerExchange int
+	// CallTimeout bounds each web-service exchange so a wedged CAS can
+	// never hang the agent's loop (<=0: 10s).
+	CallTimeout time.Duration
 }
 
 type vmPhase int
@@ -84,6 +93,9 @@ func NewStartd(eng *sim.Engine, kernel *Kernel, cas wire.Caller, cfg StartdConfi
 	if cfg.MaxStartsPerExchange <= 0 {
 		cfg.MaxStartsPerExchange = 1
 	}
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = 10 * time.Second
+	}
 	s := &Startd{
 		eng: eng, kernel: kernel, cas: cas, cfg: cfg,
 		vms:       make([]vmState, kernel.Config().VMs),
@@ -92,14 +104,22 @@ func NewStartd(eng *sim.Engine, kernel *Kernel, cas wire.Caller, cfg StartdConfi
 	return s
 }
 
-// Boot sends the initial heartbeat and starts the periodic cadence.
+// Boot sends the initial heartbeat and starts the periodic cadence. A
+// transient failure of the boot beat does not kill the agent: the retry
+// chain (and every periodic beat until one lands) re-sends Boot=true.
+// Only a terminal fault — the server actively refusing the registration
+// — is returned to the caller.
 func (s *Startd) Boot() error {
 	if err := s.heartbeat(true); err != nil {
-		return err
+		if !wire.Retryable(err) {
+			return err
+		}
+		s.HeartbeatFailures++
+		s.scheduleHBRetry()
 	}
 	s.hbTicker = s.eng.Every(s.cfg.HeartbeatInterval, s.kernel.Config().Name+".hb", func() {
 		if !s.stopped {
-			s.heartbeatLogged(false)
+			s.heartbeatLogged(!s.booted)
 		}
 	})
 	s.armPoll()
@@ -121,10 +141,40 @@ func (s *Startd) Stop() {
 
 func (s *Startd) heartbeatLogged(boot bool) {
 	if err := s.heartbeat(boot); err != nil {
-		// Heartbeat failures are transient in this model (the CAS retries
-		// deadlock victims internally); surface loudly if one escapes.
-		panic(fmt.Sprintf("cluster: startd %s heartbeat: %v", s.kernel.Config().Name, err))
+		// Wire trouble is survivable: completion and drop flags are only
+		// cleared by a successful exchange, so the retried beat re-reports
+		// them and no result is lost. Back off and try again; terminal
+		// faults wait for the next periodic beat.
+		s.HeartbeatFailures++
+		if wire.Retryable(err) {
+			s.scheduleHBRetry()
+		}
 	}
+}
+
+// scheduleHBRetry arms one backoff retry of the heartbeat: exponential
+// from the idle-poll cadence, capped at the periodic interval (the
+// steady heartbeat is itself the last-resort retry, so the chain is
+// bounded rather than compounding).
+func (s *Startd) scheduleHBRetry() {
+	if s.retryArm || s.stopped {
+		return
+	}
+	s.hbFails++
+	delay := s.cfg.IdlePoll
+	for i := 1; i < s.hbFails && delay < s.cfg.HeartbeatInterval; i++ {
+		delay *= 2
+	}
+	if delay > s.cfg.HeartbeatInterval {
+		delay = s.cfg.HeartbeatInterval
+	}
+	s.retryArm = true
+	s.eng.After(delay, s.kernel.Config().Name+".hb-retry", func() {
+		s.retryArm = false
+		if !s.stopped {
+			s.heartbeatLogged(!s.booted)
+		}
+	})
 }
 
 // armPoll schedules a fast follow-up heartbeat while any VM sits idle.
@@ -194,10 +244,14 @@ func (s *Startd) heartbeat(boot bool) error {
 		}
 		req.VMs = append(req.VMs, st)
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
+	defer cancel()
 	var resp core.HeartbeatResponse
-	if err := s.cas.Call(context.Background(), core.ActionHeartbeat, req, &resp); err != nil {
+	if err := s.cas.Call(ctx, core.ActionHeartbeat, req, &resp); err != nil {
 		return err
 	}
+	s.booted = true
+	s.hbFails = 0
 	// Reported completions/drops are now recorded server-side; free VMs.
 	for i := range s.vms {
 		vm := &s.vms[i]
@@ -209,7 +263,14 @@ func (s *Startd) heartbeat(boot bool) error {
 	starts := 0
 	pendingMatches := false
 	for _, cmd := range resp.Commands {
-		if cmd.Command != core.CmdMatchInfo {
+		switch cmd.Command {
+		case core.CmdRelease:
+			// The server disowned this slot's job (its pairing was lost or
+			// went to another VM); stop local work and return to the pool.
+			s.releaseVM(cmd)
+			continue
+		case core.CmdMatchInfo:
+		default:
 			continue
 		}
 		if starts >= s.cfg.MaxStartsPerExchange {
@@ -250,13 +311,20 @@ func (s *Startd) acceptAndStart(cmd core.VMCommand) error {
 	if vm.phase != vmIdle {
 		return nil // stale match info; the CAS will re-advertise
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.CallTimeout)
+	defer cancel()
 	var acc core.AcceptMatchResponse
-	err := s.cas.Call(context.Background(), core.ActionAcceptMatch, &core.AcceptMatchRequest{
+	err := s.cas.Call(ctx, core.ActionAcceptMatch, &core.AcceptMatchRequest{
 		Machine: s.kernel.Config().Name, Seq: seq,
 		MatchID: cmd.MatchID, JobID: cmd.JobID,
 	}, &acc)
 	if err != nil {
-		return err
+		// A lost accept is not fatal: if it never reached the CAS the
+		// match is re-offered on the next poll; if the reply was lost the
+		// CAS holds a run this node never started, notices the idle report
+		// and releases the job back to the queue.
+		s.AcceptFailures++
+		return nil
 	}
 	if !acc.OK {
 		return nil // lost the race; stay idle and keep polling
@@ -290,6 +358,28 @@ func (s *Startd) acceptAndStart(cmd core.VMCommand) error {
 	_ = startDelay
 	vm.phase = vmRunning
 	return nil
+}
+
+// releaseVM clears one slot on a server RELEASE command: any local
+// execution is abandoned (the CAS has repaired its pairing around us).
+func (s *Startd) releaseVM(cmd core.VMCommand) {
+	if cmd.Seq < 0 || int(cmd.Seq) >= len(s.vms) {
+		return
+	}
+	vm := &s.vms[cmd.Seq]
+	if vm.phase == vmIdle {
+		return
+	}
+	if cmd.JobID != 0 && vm.jobID != cmd.JobID {
+		return // stale release for a job this slot no longer runs
+	}
+	if vm.runTimer != nil {
+		vm.runTimer.Stop()
+		vm.runTimer = nil
+	}
+	vm.phase = vmIdle
+	vm.jobID = 0
+	s.Released++
 }
 
 // finishJob handles job completion: teardown via the kernel, then an

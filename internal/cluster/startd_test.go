@@ -223,6 +223,45 @@ func TestMixedSpeedsProfile(t *testing.T) {
 	}
 }
 
+// TestStartdSurvivesFlakyWire runs a node through a lossy transport: the
+// old agent panicked on the first failed heartbeat; the hardened one
+// retries with backoff, keeps completion flags until a beat lands, and
+// leans on the CAS's idle-report reconciliation for lost accept replies.
+// Every job must still complete exactly once.
+func TestStartdSurvivesFlakyWire(t *testing.T) {
+	r := newRig(t)
+	const jobs = 20
+	r.submit(t, jobs, time.Minute)
+	ft := wire.NewFaultTransport(r.loc, 7)
+	ft.DropRequest = 0.15
+	ft.DropReply = 0.10
+	ft.Duplicate = 0.05
+	ft.Inject5xx = 0.05
+	k := NewKernel(r.eng, NodeConfig{Name: "flaky", VMs: 2})
+	s := NewStartd(r.eng, k, ft, StartdConfig{IdlePoll: time.Second, CallTimeout: 5 * time.Second})
+	if err := s.Boot(); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunUntil(r.eng.Now().Add(90 * time.Minute))
+
+	if s.HeartbeatFailures == 0 {
+		t.Fatal("the fault injector never hit a heartbeat; the test proved nothing")
+	}
+	var left int
+	r.cas.Pool.QueryRow(`SELECT count(*) FROM jobs`).Scan(&left)
+	if left != 0 {
+		t.Fatalf("%d jobs stuck in the queue after the run", left)
+	}
+	var completed, doubled int
+	r.cas.Pool.QueryRow(`SELECT count(DISTINCT job_id) FROM job_history WHERE outcome = 'completed'`).Scan(&completed)
+	r.cas.Pool.QueryRow(`SELECT count(*) FROM (
+		SELECT job_id FROM job_history WHERE outcome = 'completed' GROUP BY job_id HAVING count(*) > 1
+	)`).Scan(&doubled)
+	if completed != jobs || doubled != 0 {
+		t.Fatalf("completed %d/%d jobs, %d doubled (faults %+v)", completed, jobs, doubled, ft.Stats())
+	}
+}
+
 func TestOnCompleteCallback(t *testing.T) {
 	r := newRig(t)
 	r.submit(t, 3, time.Minute)

@@ -104,6 +104,34 @@ func New(opts Options) (*CAS, error) {
 	return c, nil
 }
 
+// SetAdmission installs overload protection on the web services endpoint:
+// a bounded in-flight gate with typed Overloaded faults, plus a shed
+// classifier that drops stale delta-free heartbeats first — the one
+// request class whose loss costs nothing (the next heartbeat re-reports
+// the same state).
+func (c *CAS) SetAdmission(cfg wire.AdmissionConfig) {
+	c.Mux.SetAdmission(cfg)
+	c.Mux.SetSheddable(ActionHeartbeat, HeartbeatSheddable)
+}
+
+// AdmissionStats snapshots the web services gate's counters (zeros when
+// no gate is installed).
+func (c *CAS) AdmissionStats() wire.AdmissionStats { return c.Mux.AdmissionStats() }
+
+// AdmissionSnapshot converts the gate's counters into the metrics layer's
+// form, ready for metrics.AdmissionMonitor.Observe — the server half of
+// the fault-tolerance picture (clients' RetryStats are the other half).
+func (c *CAS) AdmissionSnapshot() metrics.AdmissionSnapshot {
+	s := c.Mux.AdmissionStats()
+	return metrics.AdmissionSnapshot{
+		Admitted:      s.Admitted,
+		Queued:        s.Queued,
+		Rejected:      s.Rejected,
+		QueueTimeouts: s.QueueTimeouts,
+		ShedStale:     s.ShedStale,
+	}
+}
+
 // Config keys the CAS applies to the embedded engine at assembly and on
 // live ConfigSet calls.
 const (
@@ -143,12 +171,20 @@ func (c *CAS) StartScheduler() {
 	go func() {
 		t := time.NewTicker(interval)
 		defer t.Stop()
+		ticks := 0
 		for {
 			select {
 			case <-c.stopSch:
 				return
 			case <-t.C:
 				c.Service.ScheduleCycle(ctx)
+				// Piggyback housekeeping on the scheduler's cadence: about
+				// once a minute, age out idempotency replies no client will
+				// retry anymore.
+				if ticks++; ticks%60 == 0 {
+					retention := time.Duration(c.Service.configInt(ctx, "reply_retention_sec", 3600)) * time.Second
+					c.Service.GCReplies(ctx, retention)
+				}
 			}
 		}
 	}()

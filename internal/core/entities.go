@@ -161,6 +161,14 @@ func (v *VM) Release(q beans.Querier) error {
 	return beans.Update(q, v)
 }
 
+// Reclaim forces the VM to claimed from any state. Only the heartbeat's
+// run re-adoption path uses it, when the node proves a job is executing
+// on a slot the database had written off (CAS restart, machine reap).
+func (v *VM) Reclaim(q beans.Querier) error {
+	v.State = VMClaimed
+	return beans.Update(q, v)
+}
+
 // Match is the scheduler's pairing of a job with a VM, pending acceptance
 // by the startd (Table 2 steps 6-10).
 type Match struct {

@@ -74,6 +74,10 @@ type HeartbeatRequest struct {
 const (
 	CmdOK        = "OK"
 	CmdMatchInfo = "MATCHINFO"
+	// CmdRelease tells the node to abandon the job it reported: the CAS
+	// has no record of that execution and could not re-adopt it (job
+	// gone, or paired with another VM).
+	CmdRelease = "RELEASE"
 )
 
 // VMCommand is the CAS's instruction for one VM.

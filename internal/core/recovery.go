@@ -11,24 +11,30 @@ import (
 
 // RecoverInFlight reconciles operational state after a CAS restart on a
 // recovered database. The WAL guarantees no committed tuple is lost
-// (paper §4: the RDBMS supplies "transaction and recovery services"), but
-// in-flight coordination state refers to node-side activity the restarted
-// server can no longer observe:
+// (paper §4: the RDBMS supplies "transaction and recovery services"), and
+// a CAS restart does not stop the nodes: jobs keep executing while the
+// server is down. Recovery therefore PRESERVES in-flight coordination
+// state rather than releasing it — a released-and-rematched job would run
+// twice while its first execution is still going:
 //
-//   - matched/running jobs are released back to idle (their nodes will
-//     re-pull work; at worst a job reruns — the same guarantee Condor's
-//     schedd recovery provides),
-//   - match and run tuples are cleared,
-//   - virtual machines return to idle,
-//   - machines are marked offline until their next heartbeat.
+//   - match and run tuples survive; the nodes' next heartbeats reconcile
+//     them (pending matches are re-offered, active runs re-acknowledged,
+//     orphans re-adopted or RELEASEd by handleVMStatus),
+//   - matched/claimed VMs keep their states (AcceptMatch's claimed
+//     transition requires a live matched state),
+//   - idle VMs are parked offline so matchmaking skips them until their
+//     machine proves it is alive again,
+//   - machines are marked offline with a grace-stamped heartbeat: the
+//     reaper's timeout starts at the restart, not at a heartbeat the
+//     downtime swallowed, so surviving nodes get a full window to
+//     re-register before their work is released.
 //
-// RecoveryStats reports what was reconciled.
+// RecoveryStats reports what was preserved and parked.
 type RecoveryStats struct {
-	JobsReleased    int64
-	MatchesCleared  int64
-	RunsCleared     int64
-	VMsReset        int64
-	MachinesOffline int64
+	RunsPreserved    int64
+	MatchesPreserved int64
+	VMsParked        int64
+	MachinesOffline  int64
 }
 
 // ReapStats reports one dead-machine sweep.
@@ -45,18 +51,24 @@ type ReapStats struct {
 // still need to communicate with the scheduler and job queue manager
 // periodically during the course of the job to make sure the job is not
 // dropped".
+//
+// The sweep covers machines in ANY state past the cutoff, not just up
+// ones: restart recovery preserves matched/claimed work under offline
+// machines, and if such a node never re-registers its jobs must still be
+// released here. A machine only counts as reaped when the sweep actually
+// changed something, so repeated sweeps stay idempotent.
 func (s *Service) ReapDeadMachines(ctx context.Context, timeout time.Duration) (ReapStats, error) {
 	var stats ReapStats
 	err := s.c.InTx(ctx, func(tx *sql.Tx) error {
 		stats = ReapStats{}
 		cutoff := s.now().Add(-timeout)
-		dead, err := beans.Select[Machine](tx,
-			"WHERE state = ? AND last_heartbeat < ?", MachineUp, cutoff)
+		dead, err := beans.Select[Machine](tx, "WHERE last_heartbeat < ?", cutoff)
 		if err != nil {
 			return err
 		}
 		for i := range dead {
 			m := &dead[i]
+			touched := false
 			vms, err := beans.Select[VM](tx, "WHERE machine = ?", m.Name)
 			if err != nil {
 				return err
@@ -78,12 +90,18 @@ func (s *Service) ReapDeadMachines(ctx context.Context, timeout time.Duration) (
 					return err
 				}
 				stats.VMsReset++
+				touched = true
 			}
-			m.State = MachineOffline
-			if err := beans.Update(tx, m); err != nil {
-				return err
+			if m.State != MachineOffline {
+				m.State = MachineOffline
+				if err := beans.Update(tx, m); err != nil {
+					return err
+				}
+				touched = true
 			}
-			stats.MachinesReaped++
+			if touched {
+				stats.MachinesReaped++
+			}
 		}
 		return nil
 	})
@@ -142,34 +160,24 @@ func (s *Service) releaseVMWork(tx *sql.Tx, vm *VM) (int, error) {
 func (s *Service) RecoverInFlight(ctx context.Context) (RecoveryStats, error) {
 	var stats RecoveryStats
 	err := s.c.InTx(ctx, func(tx *sql.Tx) error {
-		res, err := tx.Exec(`UPDATE jobs SET state = ?, matched_at = NULL, started_at = NULL WHERE state IN (?, ?)`,
-			JobIdle, JobMatched, JobRunning)
+		stats = RecoveryStats{}
+		if err := tx.QueryRow(`SELECT count(*) FROM runs`).Scan(&stats.RunsPreserved); err != nil {
+			return err
+		}
+		if err := tx.QueryRow(`SELECT count(*) FROM matches`).Scan(&stats.MatchesPreserved); err != nil {
+			return err
+		}
+
+		// Only idle VMs park offline: a matched or claimed VM's state is
+		// the coordination record of work the node may still be doing.
+		res, err := tx.Exec(`UPDATE vms SET state = ? WHERE state = ?`, VMOffline, VMIdle)
 		if err != nil {
 			return err
 		}
-		stats.JobsReleased, _ = res.RowsAffected()
+		stats.VMsParked, _ = res.RowsAffected()
 
-		res, err = tx.Exec(`DELETE FROM matches`)
-		if err != nil {
-			return err
-		}
-		stats.MatchesCleared, _ = res.RowsAffected()
-
-		res, err = tx.Exec(`DELETE FROM runs`)
-		if err != nil {
-			return err
-		}
-		stats.RunsCleared, _ = res.RowsAffected()
-
-		// All VMs go offline until their machines heartbeat again; the
-		// restarted CAS cannot know which nodes are still alive.
-		res, err = tx.Exec(`UPDATE vms SET state = ? WHERE state <> ?`, VMOffline, VMOffline)
-		if err != nil {
-			return err
-		}
-		stats.VMsReset, _ = res.RowsAffected()
-
-		res, err = tx.Exec(`UPDATE machines SET state = ? WHERE state = ?`, MachineOffline, MachineUp)
+		res, err = tx.Exec(`UPDATE machines SET state = ?, last_heartbeat = ? WHERE state = ?`,
+			MachineOffline, s.now(), MachineUp)
 		if err != nil {
 			return err
 		}

@@ -10,7 +10,9 @@ import (
 
 // TestCASRestartRecoversNoJobLost exercises the paper's central durability
 // claim end to end: kill the CAS mid-flight, recover the database from its
-// WAL, reconcile, and verify no submitted job was lost.
+// WAL, reconcile, and verify no submitted job is lost AND no in-progress
+// execution is thrown away. Recovery preserves the run and the pending
+// match; the node's next heartbeats reconcile both.
 func TestCASRestartRecoversNoJobLost(t *testing.T) {
 	vfs := sqldb.NewMemVFS()
 	clk := &fakeClock{t: vtime.Epoch}
@@ -24,27 +26,41 @@ func TestCASRestartRecoversNoJobLost(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Drive a workload to a mid-flight state: some idle, some matched,
-	// some running.
+	// Drive a workload to a mid-flight state on a 3-VM machine: one job
+	// running, one matched but not yet accepted, one VM idle.
 	s := cas.Service
-	if _, err := s.Submit(context.Background(), &SubmitRequest{Owner: "alice", Count: 6, LengthSec: 300}); err != nil {
+	if _, err := s.Submit(context.Background(), &SubmitRequest{Owner: "alice", Count: 2, LengthSec: 300}); err != nil {
 		t.Fatal(err)
 	}
-	beat(t, s, "node1", true, idleVMs(2)...)
+	beat(t, s, "node1", true, idleVMs(3)...)
 	if _, err := s.ScheduleCycle(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	// Accept one of the two matches so one job is running, one matched.
-	resp := beat(t, s, "node1", false, idleVMs(2)...)
+	resp := beat(t, s, "node1", false, idleVMs(3)...)
+	var runningJob, matchedJob int64
+	var runningSeq int64 = -1
+	var pendingMatch VMCommand
 	for _, cmd := range resp.Commands {
-		if cmd.Command == CmdMatchInfo {
-			if _, err := s.AcceptMatch(context.Background(), &AcceptMatchRequest{
+		if cmd.Command != CmdMatchInfo {
+			continue
+		}
+		if runningSeq < 0 {
+			ar, err := s.AcceptMatch(context.Background(), &AcceptMatchRequest{
 				Machine: "node1", Seq: cmd.Seq, MatchID: cmd.MatchID, JobID: cmd.JobID,
-			}); err != nil {
+			})
+			if err != nil {
 				t.Fatal(err)
 			}
-			break
+			if !ar.OK {
+				t.Fatalf("AcceptMatch refused: %s", ar.Reason)
+			}
+			runningJob, runningSeq = cmd.JobID, cmd.Seq
+			continue
 		}
+		matchedJob, pendingMatch = cmd.JobID, cmd
+	}
+	if runningSeq < 0 || pendingMatch.MatchID == 0 {
+		t.Fatalf("setup did not produce one running + one matched job: %+v", resp.Commands)
 	}
 
 	// "Crash": close the CAS (the WAL holds all committed state).
@@ -66,32 +82,69 @@ func TestCASRestartRecoversNoJobLost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.JobsReleased != 2 { // one matched + one running
-		t.Fatalf("JobsReleased = %d, want 2", stats.JobsReleased)
+	if stats.RunsPreserved != 1 || stats.MatchesPreserved != 1 {
+		t.Fatalf("preserved runs=%d matches=%d, want 1 and 1", stats.RunsPreserved, stats.MatchesPreserved)
 	}
-	if stats.MatchesCleared != 1 || stats.RunsCleared != 1 {
-		t.Fatalf("cleared matches=%d runs=%d, want 1 and 1", stats.MatchesCleared, stats.RunsCleared)
-	}
-	if stats.VMsReset != 2 || stats.MachinesOffline != 1 {
-		t.Fatalf("vms=%d machines=%d", stats.VMsReset, stats.MachinesOffline)
+	if stats.VMsParked != 1 || stats.MachinesOffline != 1 {
+		t.Fatalf("parked=%d machines=%d, want 1 and 1", stats.VMsParked, stats.MachinesOffline)
 	}
 
-	// The durability contract: all six jobs survive, all idle again.
-	var total, idle int
-	cas2.Pool.QueryRow(`SELECT count(*) FROM jobs`).Scan(&total)
-	cas2.Pool.QueryRow(`SELECT count(*) FROM jobs WHERE state = 'idle'`).Scan(&idle)
-	if total != 6 || idle != 6 {
-		t.Fatalf("after recovery: total=%d idle=%d, want 6/6", total, idle)
+	// The durability contract: both jobs survive with their progress.
+	var running, matched int
+	cas2.Pool.QueryRow(`SELECT count(*) FROM jobs WHERE state = 'running'`).Scan(&running)
+	cas2.Pool.QueryRow(`SELECT count(*) FROM jobs WHERE state = 'matched'`).Scan(&matched)
+	if running != 1 || matched != 1 {
+		t.Fatalf("after recovery: running=%d matched=%d, want 1/1", running, matched)
 	}
 
-	// And the pool resumes work: a node re-registers and jobs flow again.
-	beat(t, cas2.Service, "node1", true, idleVMs(2)...)
-	st, err := cas2.Service.ScheduleCycle(context.Background())
+	// The node re-registers, still executing its job. The heartbeat must
+	// re-acknowledge the preserved run and re-offer the preserved match.
+	report := idleVMs(3)
+	report[runningSeq] = VMStatus{Seq: runningSeq, State: "claimed", JobID: runningJob, Phase: "running"}
+	hb := beat(t, cas2.Service, "node1", true, report...)
+	var reoffered bool
+	for _, cmd := range hb.Commands {
+		switch {
+		case cmd.Seq == runningSeq && cmd.Command != CmdOK:
+			t.Fatalf("preserved run answered %q, want OK", cmd.Command)
+		case cmd.Command == CmdMatchInfo:
+			if cmd.MatchID != pendingMatch.MatchID || cmd.JobID != matchedJob {
+				t.Fatalf("re-offered match %d/job %d, want %d/%d",
+					cmd.MatchID, cmd.JobID, pendingMatch.MatchID, matchedJob)
+			}
+			reoffered = true
+		}
+	}
+	if !reoffered {
+		t.Fatalf("pending match was not re-offered: %+v", hb.Commands)
+	}
+
+	// The preserved match is still acceptable, and both jobs complete
+	// exactly once.
+	ar, err := cas2.Service.AcceptMatch(context.Background(), &AcceptMatchRequest{
+		Machine: "node1", Seq: pendingMatch.Seq, MatchID: pendingMatch.MatchID, JobID: matchedJob,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Matched != 2 {
-		t.Fatalf("post-recovery matches = %d, want 2", st.Matched)
+	if !ar.OK {
+		t.Fatalf("preserved match refused after restart: %s", ar.Reason)
+	}
+	report[runningSeq] = VMStatus{Seq: runningSeq, State: "claimed", JobID: runningJob, Phase: "completed"}
+	report[pendingMatch.Seq] = VMStatus{Seq: pendingMatch.Seq, State: "claimed", JobID: matchedJob, Phase: "completed"}
+	beat(t, cas2.Service, "node1", false, report...)
+
+	var left int
+	cas2.Pool.QueryRow(`SELECT count(*) FROM jobs`).Scan(&left)
+	if left != 0 {
+		t.Fatalf("jobs left after completions: %d", left)
+	}
+	us, err := cas2.Service.UserStats(context.Background(), &UserStatsRequest{Owner: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if us.CompletedJobs != 2 {
+		t.Fatalf("CompletedJobs = %d, want 2 (exactly once each)", us.CompletedJobs)
 	}
 }
 
@@ -105,7 +158,7 @@ func TestRecoverInFlightIdempotent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if stats.JobsReleased != 0 || stats.VMsReset != 0 {
+	if stats.VMsParked != 0 || stats.MachinesOffline != 0 {
 		t.Fatalf("second recovery touched rows: %+v", stats)
 	}
 }

@@ -121,6 +121,17 @@ var Schema = []string{
 		dropped_jobs INTEGER NOT NULL DEFAULT 0,
 		total_runtime_sec INTEGER NOT NULL DEFAULT 0
 	)`,
+	// Durable idempotency-key dedup store (wire-path fault tolerance): a
+	// mutating action's reply is inserted here in the same transaction as
+	// its effects, so "did this key already run?" and "what did it answer?"
+	// are one WAL-recovered fact. A retried key replays the stored payload
+	// instead of re-executing; rows age out via reply_retention_sec.
+	`CREATE TABLE IF NOT EXISTS wire_replies (
+		key TEXT PRIMARY KEY,
+		action TEXT NOT NULL,
+		payload TEXT,
+		created_at TIMESTAMP
+	)`,
 	`CREATE TABLE IF NOT EXISTS config (
 		name TEXT PRIMARY KEY,
 		value TEXT NOT NULL,
@@ -169,6 +180,7 @@ var DefaultConfig = map[string]string{
 	"schedule_batch":         "500",
 	"heartbeat_interval_sec": "60",
 	"history_retention":      "all",
+	"reply_retention_sec":    "3600",
 }
 
 // Bootstrap creates the schema and seeds configuration defaults.

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"condorj2/internal/beans"
@@ -24,6 +25,9 @@ type Service struct {
 	// calls so engine-level knobs (statement/lock timeouts) apply to the
 	// live server without a restart.
 	onConfigSet func(name, value string)
+	// replays / replyGCed count idempotency-key dedup activity (dedup.go).
+	replays   atomic.Uint64
+	replyGCed atomic.Uint64
 }
 
 // SetConfigHook installs an observer invoked after every committed
@@ -122,7 +126,7 @@ func (s *Service) Submit(ctx context.Context, req *SubmitRequest) (*SubmitRespon
 			}
 		}
 		resp.WorkflowID = wfID
-		return nil
+		return s.saveReply(ctx, tx, resp)
 	})
 	if err != nil {
 		return nil, err
@@ -229,18 +233,22 @@ func (s *Service) Heartbeat(ctx context.Context, req *HeartbeatRequest) (*Heartb
 		if err != nil {
 			return err
 		}
+		running, err := s.activeRuns(tx, m.Name)
+		if err != nil {
+			return err
+		}
 		for _, st := range req.VMs {
 			vm, ok := bySeq[st.Seq]
 			if !ok {
 				return fmt.Errorf("core: heartbeat from unknown VM %s/%d", m.Name, st.Seq)
 			}
-			cmd, err := s.handleVMStatus(tx, m, vm, pending[vm.ID], st, now)
+			cmd, err := s.handleVMStatus(tx, m, vm, pending[vm.ID], running[vm.ID], st, now)
 			if err != nil {
 				return err
 			}
 			resp.Commands = append(resp.Commands, cmd)
 		}
-		return nil
+		return s.saveReply(ctx, tx, resp)
 	})
 	if err != nil {
 		return nil, err
@@ -277,6 +285,38 @@ func (s *Service) pendingMatches(tx *sql.Tx, machine string) (map[int64]matchInf
 			return nil, err
 		}
 		out[vmID] = mi
+	}
+	return out, rows.Err()
+}
+
+// runInfo is an active run joined for one VM (zero runID when none).
+type runInfo struct {
+	runID int64
+	jobID int64
+}
+
+// activeRuns loads all runs on one machine's VMs, keyed by VM id. The
+// heartbeat uses it to reconcile what the node reports executing against
+// what the database says is executing — the two can diverge across CAS
+// restarts and machine reaps.
+func (s *Service) activeRuns(tx *sql.Tx, machine string) (map[int64]runInfo, error) {
+	rows, err := tx.Query(`
+		SELECT r.id, r.job_id, v.id
+		FROM vms v
+		JOIN runs r ON r.vm_id = v.id
+		WHERE v.machine = ?`, machine)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	out := make(map[int64]runInfo)
+	for rows.Next() {
+		var ri runInfo
+		var vmID int64
+		if err := rows.Scan(&ri.runID, &ri.jobID, &vmID); err != nil {
+			return nil, err
+		}
+		out[vmID] = ri
 	}
 	return out, rows.Err()
 }
@@ -322,8 +362,9 @@ func (s *Service) ensureVMs(tx *sql.Tx, m *Machine, req *HeartbeatRequest) error
 }
 
 // handleVMStatus processes one VM's report and decides its command. vm is
-// preloaded; pending carries the VM's match (zero matchID when none).
-func (s *Service) handleVMStatus(tx *sql.Tx, m *Machine, vm *VM, pending matchInfo, st VMStatus, now time.Time) (VMCommand, error) {
+// preloaded; pending carries the VM's match and run its active run (zero
+// ids when none).
+func (s *Service) handleVMStatus(tx *sql.Tx, m *Machine, vm *VM, pending matchInfo, run runInfo, st VMStatus, now time.Time) (VMCommand, error) {
 	// A heartbeat proves the machine is alive again: offline VMs rejoin
 	// the pool (idle reports free them now; claimed ones resolve through
 	// the completion/drop paths below).
@@ -346,6 +387,39 @@ func (s *Service) handleVMStatus(tx *sql.Tx, m *Machine, vm *VM, pending matchIn
 		return VMCommand{Seq: st.Seq, Command: CmdOK}, nil
 	}
 
+	if st.State == "claimed" && st.JobID != 0 {
+		if run.runID != 0 && run.jobID == st.JobID {
+			// Node and database agree on the run. The VM row may still be
+			// out of step after a CAS restart or reap; bring it back to
+			// claimed so matchmaking leaves the slot alone.
+			if vm.State != VMClaimed {
+				if err := vm.Reclaim(tx); err != nil {
+					return VMCommand{}, err
+				}
+			}
+			return VMCommand{Seq: st.Seq, Command: CmdOK}, nil
+		}
+		// The node is executing a job the database has no (matching) run
+		// for — the run tuple was lost to a reap or the job was released
+		// while the node kept going. Re-adopt it or tell the node to stop.
+		return s.readoptOrRelease(tx, vm, st, now)
+	}
+
+	if st.State == "idle" && run.runID != 0 {
+		// The node reports an empty slot the database still pairs with a
+		// run: the node abandoned (or never learned about) that execution —
+		// a node restart, or a claim whose reply was lost and given up on.
+		// Tear the pairing down so the job goes back to the idle queue and
+		// the slot rejoins the pool; nothing will ever complete it here.
+		if err := s.clearVMPairings(tx, vm, 0); err != nil {
+			return VMCommand{}, err
+		}
+		if err := vm.Release(tx); err != nil {
+			return VMCommand{}, err
+		}
+		return VMCommand{Seq: st.Seq, Command: CmdOK}, nil
+	}
+
 	if st.State == "idle" && vm.State != VMClaimed && pending.matchID != 0 {
 		// Table 2 step 8: "selects related match and job tuples, responds
 		// MATCHINFO".
@@ -358,6 +432,103 @@ func (s *Service) handleVMStatus(tx *sql.Tx, m *Machine, vm *VM, pending matchIn
 	return VMCommand{Seq: st.Seq, Command: CmdOK}, nil
 }
 
+// readoptOrRelease resolves a claimed VM whose reported job has no
+// matching run tuple. If the job still exists and is back in the idle
+// queue, the in-progress execution is worth more than a rematch: rebuild
+// the pairing tuples around it (re-adoption). Otherwise the node's work
+// is orphaned — the job completed/was removed, or is paired elsewhere —
+// and the only consistent answer is RELEASE.
+func (s *Service) readoptOrRelease(tx *sql.Tx, vm *VM, st VMStatus, now time.Time) (VMCommand, error) {
+	// Answering RELEASE means the node will clear the slot; free the
+	// server side of it too — any stale run/match tuples here reference
+	// jobs nothing will ever finish, so put them back in the queue.
+	release := func() (VMCommand, error) {
+		if err := s.clearVMPairings(tx, vm, 0); err != nil {
+			return VMCommand{}, err
+		}
+		if err := vm.Release(tx); err != nil {
+			return VMCommand{}, err
+		}
+		return VMCommand{Seq: st.Seq, Command: CmdRelease, JobID: st.JobID}, nil
+	}
+	job := &Job{ID: st.JobID}
+	err := beans.Find(tx, job)
+	if errors.Is(err, beans.ErrNotFound) {
+		return release()
+	}
+	if err != nil {
+		return VMCommand{}, err
+	}
+	if job.State != JobIdle {
+		// Blocked, or matched/running on some other VM: that pairing wins.
+		return release()
+	}
+	// Clear stale pairings on this VM, releasing any job they reference so
+	// no tuple is left pointing at a run we are about to overwrite.
+	if err := s.clearVMPairings(tx, vm, job.ID); err != nil {
+		return VMCommand{}, err
+	}
+	if err := job.MarkMatched(tx, now); err != nil {
+		return VMCommand{}, err
+	}
+	if err := job.MarkRunning(tx, now); err != nil {
+		return VMCommand{}, err
+	}
+	if err := beans.Insert(tx, &Run{JobID: job.ID, VMID: vm.ID, StartedAt: now}); err != nil {
+		return VMCommand{}, err
+	}
+	if err := vm.Reclaim(tx); err != nil {
+		return VMCommand{}, err
+	}
+	return VMCommand{Seq: st.Seq, Command: CmdOK}, nil
+}
+
+// clearVMPairings deletes match and run tuples on one VM, releasing any
+// job they reference (other than keep, the job being re-adopted).
+func (s *Service) clearVMPairings(tx *sql.Tx, vm *VM, keep int64) error {
+	releaseJob := func(jobID int64) error {
+		if jobID == keep {
+			return nil
+		}
+		other := &Job{ID: jobID}
+		switch err := beans.Find(tx, other); {
+		case errors.Is(err, beans.ErrNotFound):
+			return nil
+		case err != nil:
+			return err
+		}
+		if other.State == JobMatched || other.State == JobRunning {
+			return other.Release(tx)
+		}
+		return nil
+	}
+	matches, err := beans.Select[Match](tx, "WHERE vm_id = ?", vm.ID)
+	if err != nil {
+		return err
+	}
+	for i := range matches {
+		if err := releaseJob(matches[i].JobID); err != nil {
+			return err
+		}
+		if err := beans.Delete(tx, &matches[i]); err != nil {
+			return err
+		}
+	}
+	runs, err := beans.Select[Run](tx, "WHERE vm_id = ?", vm.ID)
+	if err != nil {
+		return err
+	}
+	for i := range runs {
+		if err := releaseJob(runs[i].JobID); err != nil {
+			return err
+		}
+		if err := beans.Delete(tx, &runs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // completeJob is post-execution processing (Table 2 step 15 plus §5.1.1's
 // "recording historical information ... accounting information and
 // removing the job from the queue").
@@ -367,8 +538,13 @@ func (s *Service) completeJob(tx *sql.Tx, vm *VM, st VMStatus, now time.Time) er
 		return err
 	}
 	if len(runs) == 0 || runs[0].JobID != st.JobID {
-		// Stale completion (e.g. job already reaped); acknowledge quietly
-		// so the node frees the VM.
+		// Stale completion (e.g. job already reaped, or the slot was
+		// re-paired while the report was in flight); acknowledge quietly so
+		// the node frees the VM, and release whatever the stale pairings
+		// reference back to the queue rather than stranding it.
+		if err := s.clearVMPairings(tx, vm, 0); err != nil {
+			return err
+		}
 		return vm.Release(tx)
 	}
 	run := &runs[0]
@@ -488,7 +664,7 @@ func (s *Service) AcceptMatch(ctx context.Context, req *AcceptMatchRequest) (*Ac
 		if errors.Is(err, beans.ErrNotFound) {
 			resp.OK = false
 			resp.Reason = "match no longer exists"
-			return nil
+			return s.saveReply(ctx, tx, resp)
 		}
 		if err != nil {
 			return err
@@ -496,7 +672,7 @@ func (s *Service) AcceptMatch(ctx context.Context, req *AcceptMatchRequest) (*Ac
 		if match.JobID != req.JobID {
 			resp.OK = false
 			resp.Reason = "match is for a different job"
-			return nil
+			return s.saveReply(ctx, tx, resp)
 		}
 		vm := &VM{ID: match.VMID}
 		if err := beans.Find(tx, vm); err != nil {
@@ -505,7 +681,7 @@ func (s *Service) AcceptMatch(ctx context.Context, req *AcceptMatchRequest) (*Ac
 		if vm.Machine != req.Machine || vm.Seq != req.Seq {
 			resp.OK = false
 			resp.Reason = "match is for a different VM"
-			return nil
+			return s.saveReply(ctx, tx, resp)
 		}
 		job := &Job{ID: match.JobID}
 		if err := beans.Find(tx, job); err != nil {
@@ -525,7 +701,7 @@ func (s *Service) AcceptMatch(ctx context.Context, req *AcceptMatchRequest) (*Ac
 			return err
 		}
 		resp.OK = true
-		return nil
+		return s.saveReply(ctx, tx, resp)
 	})
 	if err != nil {
 		return nil, err

@@ -12,9 +12,12 @@ import (
 // "are capable of offering identical functionality" (§4.1).
 func NewMux(s *Service) *wire.Mux {
 	mux := wire.NewMux()
-	mux.Handle(ActionSubmitJob, wire.Typed(s.Submit))
-	mux.Handle(ActionHeartbeat, wire.Typed(s.Heartbeat))
-	mux.Handle(ActionAcceptMatch, wire.Typed(s.AcceptMatch))
+	// The mutating actions clients retry are wrapped with idempotency-key
+	// dedup (dedup.go): a retried key replays the stored reply instead of
+	// double-submitting, double-claiming or re-processing a completion.
+	mux.Handle(ActionSubmitJob, keyedHandler(s, s.Submit))
+	mux.Handle(ActionHeartbeat, keyedHandler(s, s.Heartbeat))
+	mux.Handle(ActionAcceptMatch, keyedHandler(s, s.AcceptMatch))
 	mux.Handle(ActionReleaseJob, wire.Typed(s.ReleaseJob))
 	mux.Handle(ActionPoolStatus, wire.Typed(s.PoolStatus))
 	mux.Handle(ActionQueueStatus, wire.Typed(s.QueueStatus))

@@ -1,0 +1,160 @@
+package metrics
+
+import "time"
+
+// Fault-tolerance accounting. The wire layer exports cumulative counters
+// from both ends of the resilient path: Retryer counts what clients
+// re-issued (and why they gave up), the Mux's admission gate counts what
+// the server queued, shed, or rejected. RetryMonitor and AdmissionMonitor
+// difference successive snapshots into the same interval-bucketed series
+// the CPU, lock, WAL, and cancellation accounting use, so an overload
+// incident reads as one aligned picture: rejected calls on the server
+// series, matching retries and exhaustions on the client series.
+
+// RetrySnapshot is one reading of a client Retryer's counters. It mirrors
+// wire.RetryStats without importing it, keeping this package
+// dependency-free.
+type RetrySnapshot struct {
+	// Calls counts logical Call invocations.
+	Calls uint64
+	// Attempts counts wire exchanges issued (>= Calls).
+	Attempts uint64
+	// Retries counts re-issued exchanges.
+	Retries uint64
+	// Exhausted counts calls that failed after the attempt or deadline
+	// budget ran out.
+	Exhausted uint64
+	// Terminal counts calls that failed on a non-retryable fault.
+	Terminal uint64
+	// RetryAfterWaits counts backoffs floored by a server RetryAfterMs
+	// hint.
+	RetryAfterWaits uint64
+}
+
+// RetryMonitor buckets retry deltas by sampling interval. Like the
+// sibling monitors it is not safe for concurrent use; simulations and
+// pollers drive it from a single goroutine.
+type RetryMonitor struct {
+	calls     *Counter
+	attempts  *Counter
+	retries   *Counter
+	exhausted *Counter
+	terminal  *Counter
+	hinted    *Counter
+	last      RetrySnapshot
+	haveLast  bool
+}
+
+// NewRetryMonitor creates a monitor whose series start at start with the
+// given bucket width.
+func NewRetryMonitor(start time.Time, interval time.Duration) *RetryMonitor {
+	return &RetryMonitor{
+		calls:     NewCounter(start, interval),
+		attempts:  NewCounter(start, interval),
+		retries:   NewCounter(start, interval),
+		exhausted: NewCounter(start, interval),
+		terminal:  NewCounter(start, interval),
+		hinted:    NewCounter(start, interval),
+	}
+}
+
+// Observe records a snapshot taken at instant at, attributing the change
+// since the previous snapshot to at's interval. The first observation
+// establishes the baseline.
+func (m *RetryMonitor) Observe(at time.Time, snap RetrySnapshot) {
+	if m.haveLast {
+		m.calls.Add(at, int(snap.Calls-m.last.Calls))
+		m.attempts.Add(at, int(snap.Attempts-m.last.Attempts))
+		m.retries.Add(at, int(snap.Retries-m.last.Retries))
+		m.exhausted.Add(at, int(snap.Exhausted-m.last.Exhausted))
+		m.terminal.Add(at, int(snap.Terminal-m.last.Terminal))
+		m.hinted.Add(at, int(snap.RetryAfterWaits-m.last.RetryAfterWaits))
+	}
+	m.last = snap
+	m.haveLast = true
+}
+
+// Calls is the per-interval logical-call series.
+func (m *RetryMonitor) Calls() *Counter { return m.calls }
+
+// Attempts is the per-interval wire-exchange series.
+func (m *RetryMonitor) Attempts() *Counter { return m.attempts }
+
+// Retries is the per-interval re-issued-exchange series.
+func (m *RetryMonitor) Retries() *Counter { return m.retries }
+
+// Exhausted is the per-interval budget-exhausted-failure series.
+func (m *RetryMonitor) Exhausted() *Counter { return m.exhausted }
+
+// Terminal is the per-interval terminal-failure series.
+func (m *RetryMonitor) Terminal() *Counter { return m.terminal }
+
+// Hinted is the per-interval server-paced-backoff series.
+func (m *RetryMonitor) Hinted() *Counter { return m.hinted }
+
+// AdmissionSnapshot is one reading of the server gate's counters. It
+// mirrors wire.AdmissionStats without importing it.
+type AdmissionSnapshot struct {
+	// Admitted counts requests that got an in-flight slot.
+	Admitted uint64
+	// Queued counts requests that waited for a slot.
+	Queued uint64
+	// Rejected counts requests turned away at a full queue.
+	Rejected uint64
+	// QueueTimeouts counts requests whose queue wait expired.
+	QueueTimeouts uint64
+	// ShedStale counts sheddable requests dropped for staleness.
+	ShedStale uint64
+}
+
+// AdmissionMonitor buckets admission-gate deltas by sampling interval.
+type AdmissionMonitor struct {
+	admitted *Counter
+	queued   *Counter
+	rejected *Counter
+	timeouts *Counter
+	shed     *Counter
+	last     AdmissionSnapshot
+	haveLast bool
+}
+
+// NewAdmissionMonitor creates a monitor whose series start at start with
+// the given bucket width.
+func NewAdmissionMonitor(start time.Time, interval time.Duration) *AdmissionMonitor {
+	return &AdmissionMonitor{
+		admitted: NewCounter(start, interval),
+		queued:   NewCounter(start, interval),
+		rejected: NewCounter(start, interval),
+		timeouts: NewCounter(start, interval),
+		shed:     NewCounter(start, interval),
+	}
+}
+
+// Observe records a snapshot taken at instant at, attributing the change
+// since the previous snapshot to at's interval.
+func (m *AdmissionMonitor) Observe(at time.Time, snap AdmissionSnapshot) {
+	if m.haveLast {
+		m.admitted.Add(at, int(snap.Admitted-m.last.Admitted))
+		m.queued.Add(at, int(snap.Queued-m.last.Queued))
+		m.rejected.Add(at, int(snap.Rejected-m.last.Rejected))
+		m.timeouts.Add(at, int(snap.QueueTimeouts-m.last.QueueTimeouts))
+		m.shed.Add(at, int(snap.ShedStale-m.last.ShedStale))
+	}
+	m.last = snap
+	m.haveLast = true
+}
+
+// Admitted is the per-interval admitted-request series.
+func (m *AdmissionMonitor) Admitted() *Counter { return m.admitted }
+
+// Queued is the per-interval queued-request series.
+func (m *AdmissionMonitor) Queued() *Counter { return m.queued }
+
+// Rejected is the per-interval rejected-request series.
+func (m *AdmissionMonitor) Rejected() *Counter { return m.rejected }
+
+// Timeouts is the per-interval queue-timeout series.
+func (m *AdmissionMonitor) Timeouts() *Counter { return m.timeouts }
+
+// Shed is the per-interval shed-stale-request series.
+func (m *AdmissionMonitor) Shed() *Counter { return m.shed }

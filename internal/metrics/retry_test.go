@@ -1,0 +1,76 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRetryMonitorDifferencesSnapshots(t *testing.T) {
+	start := time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+	m := NewRetryMonitor(start, time.Minute)
+
+	// Baseline: no deltas recorded.
+	m.Observe(start, RetrySnapshot{Calls: 10, Attempts: 12, Retries: 2})
+	if got := m.Retries().Total(); got != 0 {
+		t.Fatalf("baseline observation recorded %d retries, want 0", got)
+	}
+
+	m.Observe(start.Add(time.Minute), RetrySnapshot{
+		Calls: 110, Attempts: 140, Retries: 30, Exhausted: 3, Terminal: 2, RetryAfterWaits: 8,
+	})
+	m.Observe(start.Add(2*time.Minute), RetrySnapshot{
+		Calls: 160, Attempts: 195, Retries: 35, Exhausted: 4, Terminal: 2, RetryAfterWaits: 10,
+	})
+
+	if got := m.Calls().Total(); got != 150 {
+		t.Fatalf("calls total = %d, want 150", got)
+	}
+	if got := m.Attempts().Total(); got != 183 {
+		t.Fatalf("attempts total = %d, want 183", got)
+	}
+	if got := m.Retries().Total(); got != 33 {
+		t.Fatalf("retries total = %d, want 33", got)
+	}
+	if got := m.Exhausted().Total(); got != 4 {
+		t.Fatalf("exhausted total = %d, want 4", got)
+	}
+	if got := m.Terminal().Total(); got != 2 {
+		t.Fatalf("terminal total = %d, want 2", got)
+	}
+	if got := m.Hinted().Total(); got != 10 {
+		t.Fatalf("hinted total = %d, want 10", got)
+	}
+}
+
+func TestAdmissionMonitorDifferencesSnapshots(t *testing.T) {
+	start := time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+	m := NewAdmissionMonitor(start, time.Minute)
+
+	m.Observe(start, AdmissionSnapshot{Admitted: 100})
+	if got := m.Admitted().Total(); got != 0 {
+		t.Fatalf("baseline observation recorded %d admits, want 0", got)
+	}
+
+	m.Observe(start.Add(time.Minute), AdmissionSnapshot{
+		Admitted: 1100, Queued: 200, Rejected: 40, QueueTimeouts: 10, ShedStale: 25,
+	})
+	m.Observe(start.Add(2*time.Minute), AdmissionSnapshot{
+		Admitted: 1600, Queued: 260, Rejected: 45, QueueTimeouts: 12, ShedStale: 30,
+	})
+
+	if got := m.Admitted().Total(); got != 1500 {
+		t.Fatalf("admitted total = %d, want 1500", got)
+	}
+	if got := m.Queued().Total(); got != 260 {
+		t.Fatalf("queued total = %d, want 260", got)
+	}
+	if got := m.Rejected().Total(); got != 45 {
+		t.Fatalf("rejected total = %d, want 45", got)
+	}
+	if got := m.Timeouts().Total(); got != 12 {
+		t.Fatalf("timeouts total = %d, want 12", got)
+	}
+	if got := m.Shed().Total(); got != 30 {
+		t.Fatalf("shed total = %d, want 30", got)
+	}
+}

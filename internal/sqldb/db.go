@@ -179,6 +179,15 @@ func Open(opts Options) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sqldb: reading WAL: %w", err)
 		}
+		// Cut a crash's torn tail before the log is appended to again:
+		// recovery ignores bytes past the last whole record, but leaving
+		// them in place would strand every future commit behind garbage.
+		if good := consistentPrefixLen(data); good < len(data) {
+			data = data[:good]
+			if err := repairWALFile(opts.VFS, opts.Path, data); err != nil {
+				return nil, fmt.Errorf("sqldb: repairing torn WAL tail: %w", err)
+			}
+		}
 		if err := db.recover(parseWAL(data)); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,154 @@
+package sqldb
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrNoSpace is the error FaultVFS returns once its write budget runs
+// out, modelling ENOSPC mid-group-commit.
+var ErrNoSpace = errors.New("faultvfs: no space left on device")
+
+// ErrSyncFailed is the error FaultVFS returns from armed Sync failures,
+// modelling a transient fsync error (dying disk, NFS hiccup).
+var ErrSyncFailed = errors.New("faultvfs: fsync failed")
+
+// FaultVFS wraps another VFS with deterministic storage-fault injection
+// for crash-recovery tests: armed fsync failures (the next N Syncs fail),
+// a byte write budget after which writes tear — a partial prefix lands,
+// the rest is lost to ENOSPC — and short writes. Faults are armed
+// explicitly rather than drawn randomly, so every torture case states
+// exactly which I/O dies. Construct once and share the pointer.
+type FaultVFS struct {
+	// Inner is the file system actually storing the data.
+	Inner VFS
+
+	mu sync.Mutex
+	// failSyncs: the next N Sync calls return ErrSyncFailed.
+	failSyncs int
+	// writeBudget: bytes that may still be written before ENOSPC; -1
+	// means unlimited. A write crossing the boundary is torn: the prefix
+	// that fits is written through, the remainder vanishes.
+	writeBudget int64
+
+	syncs, syncFails, writes, writeFails, tornWrites atomic.Int64
+}
+
+// NewFaultVFS wraps inner with no faults armed.
+func NewFaultVFS(inner VFS) *FaultVFS {
+	return &FaultVFS{Inner: inner, writeBudget: -1}
+}
+
+// FailNextSyncs arms the next n Sync calls (across all files) to fail.
+func (v *FaultVFS) FailNextSyncs(n int) {
+	v.mu.Lock()
+	v.failSyncs = n
+	v.mu.Unlock()
+}
+
+// SetWriteBudget arms ENOSPC after n more bytes are written; the write
+// that crosses the boundary is torn. Negative n disarms.
+func (v *FaultVFS) SetWriteBudget(n int64) {
+	v.mu.Lock()
+	v.writeBudget = n
+	v.mu.Unlock()
+}
+
+// FaultVFSStats snapshots injection counters.
+type FaultVFSStats struct {
+	Syncs      int64
+	SyncFails  int64
+	Writes     int64
+	WriteFails int64
+	TornWrites int64
+}
+
+// Stats snapshots what was injected so far.
+func (v *FaultVFS) Stats() FaultVFSStats {
+	return FaultVFSStats{
+		Syncs:      v.syncs.Load(),
+		SyncFails:  v.syncFails.Load(),
+		Writes:     v.writes.Load(),
+		WriteFails: v.writeFails.Load(),
+		TornWrites: v.tornWrites.Load(),
+	}
+}
+
+type faultFile struct {
+	vfs   *FaultVFS
+	inner File
+}
+
+func (f faultFile) Write(p []byte) (int, error) {
+	v := f.vfs
+	v.writes.Add(1)
+	v.mu.Lock()
+	budget := v.writeBudget
+	if budget >= 0 {
+		if int64(len(p)) <= budget {
+			v.writeBudget = budget - int64(len(p))
+			budget = -1 // fits, write through
+		} else {
+			v.writeBudget = 0
+		}
+	}
+	v.mu.Unlock()
+	if budget < 0 {
+		return f.inner.Write(p)
+	}
+	// Torn write: the prefix that fits reaches the disk, then ENOSPC.
+	if budget > 0 {
+		v.tornWrites.Add(1)
+		if n, err := f.inner.Write(p[:budget]); err != nil {
+			return n, err
+		}
+	}
+	v.writeFails.Add(1)
+	return int(budget), ErrNoSpace
+}
+
+func (f faultFile) Sync() error {
+	v := f.vfs
+	v.syncs.Add(1)
+	v.mu.Lock()
+	fail := v.failSyncs > 0
+	if fail {
+		v.failSyncs--
+	}
+	v.mu.Unlock()
+	if fail {
+		v.syncFails.Add(1)
+		return ErrSyncFailed
+	}
+	return f.inner.Sync()
+}
+
+func (f faultFile) Close() error { return f.inner.Close() }
+
+// Create implements VFS.
+func (v *FaultVFS) Create(name string) (File, error) {
+	f, err := v.Inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return faultFile{vfs: v, inner: f}, nil
+}
+
+// Open implements VFS.
+func (v *FaultVFS) Open(name string) (File, error) {
+	f, err := v.Inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return faultFile{vfs: v, inner: f}, nil
+}
+
+// ReadFile implements VFS.
+func (v *FaultVFS) ReadFile(name string) ([]byte, error) { return v.Inner.ReadFile(name) }
+
+// Rename implements VFS.
+func (v *FaultVFS) Rename(oldname, newname string) error { return v.Inner.Rename(oldname, newname) }
+
+// Remove implements VFS.
+func (v *FaultVFS) Remove(name string) error { return v.Inner.Remove(name) }

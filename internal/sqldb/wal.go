@@ -298,6 +298,14 @@ type wal struct {
 	maxDelay time.Duration // how long a solo leader holds the flush open for companions
 	maxBytes int           // flush-size cap; a leader drains at most this many queued bytes
 
+	// dirty (guarded by mu) marks that a failed or partial write may have
+	// left torn bytes at the log's tail. Appending after garbage would
+	// strand every later commit behind the tear — parseWAL stops at the
+	// first corrupt record — so the next writer first repairs the file
+	// back to its consistent prefix (atomic tmp+rename, like a
+	// checkpoint swap).
+	dirty bool
+
 	// Group-commit state: queue of encoded, unflushed batches. gmu is held
 	// only for queue manipulation and leader appointment, never across
 	// I/O.
@@ -378,7 +386,14 @@ func (w *wal) commit(ctx context.Context, txn uint64, recs []walRecord) error {
 		return w.commitGroup(ctx, buf.Bytes())
 	}
 	w.mu.Lock()
+	if w.dirty {
+		if err := w.repairLocked(); err != nil {
+			w.mu.Unlock()
+			return err
+		}
+	}
 	if _, err := w.file.Write(buf.Bytes()); err != nil {
+		w.dirty = true
 		w.mu.Unlock()
 		return err
 	}
@@ -537,7 +552,15 @@ func (w *wal) flushGroup() {
 		buf.Write(qb.data)
 	}
 	w.mu.Lock()
-	_, werr := w.file.Write(buf.Bytes())
+	var werr error
+	if w.dirty {
+		werr = w.repairLocked()
+	}
+	if werr == nil {
+		if _, werr = w.file.Write(buf.Bytes()); werr != nil {
+			w.dirty = true
+		}
+	}
 	err := werr
 	if werr == nil {
 		w.bytes.Add(uint64(buf.Len()))
@@ -560,8 +583,33 @@ func (w *wal) flushGroup() {
 func (w *wal) replaceWith(content []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	tmp := w.name + ".tmp"
-	f, err := w.vfs.Create(tmp)
+	return w.replaceLocked(content)
+}
+
+// replaceLocked swaps the log content under w.mu via the crash-safe
+// tmp+sync+rename dance, then reopens the handle for appending.
+func (w *wal) replaceLocked(content []byte) error {
+	if err := writeWALFile(w.vfs, w.name, content); err != nil {
+		return err
+	}
+	if err := w.file.Close(); err != nil {
+		return err
+	}
+	if err := w.vfs.Rename(w.name+".tmp", w.name); err != nil {
+		return err
+	}
+	nf, err := w.vfs.Open(w.name)
+	if err != nil {
+		return err
+	}
+	w.file = nf
+	return nil
+}
+
+// writeWALFile stages content into name's temp file, synced. The caller
+// renames it into place so the swap is atomic.
+func writeWALFile(vfs VFS, name string, content []byte) error {
+	f, err := vfs.Create(name + ".tmp")
 	if err != nil {
 		return err
 	}
@@ -573,20 +621,34 @@ func (w *wal) replaceWith(content []byte) error {
 		f.Close()
 		return err
 	}
-	if err := f.Close(); err != nil {
+	return f.Close()
+}
+
+// repairWALFile rewrites name to exactly content (its consistent prefix),
+// used at open time to cut a crash's torn tail before new commits append
+// behind it.
+func repairWALFile(vfs VFS, name string, content []byte) error {
+	if err := writeWALFile(vfs, name, content); err != nil {
 		return err
 	}
-	if err := w.file.Close(); err != nil {
-		return err
-	}
-	if err := w.vfs.Rename(tmp, w.name); err != nil {
-		return err
-	}
-	nf, err := w.vfs.Open(w.name)
+	return vfs.Rename(name+".tmp", name)
+}
+
+// repairLocked heals a tail torn by a failed or partial append: reread
+// the file, keep the longest consistent record prefix, and atomically
+// swap it into place. Called under w.mu before the next write.
+func (w *wal) repairLocked() error {
+	data, err := w.vfs.ReadFile(w.name)
 	if err != nil {
-		return err
+		return fmt.Errorf("sqldb: wal repair: %w", err)
 	}
-	w.file = nf
+	good := consistentPrefixLen(data)
+	if good < len(data) {
+		if err := w.replaceLocked(data[:good]); err != nil {
+			return fmt.Errorf("sqldb: wal repair: %w", err)
+		}
+	}
+	w.dirty = false
 	return nil
 }
 
@@ -623,6 +685,29 @@ func appendRecord(buf *bytes.Buffer, r *walRecord) {
 	var crc [4]byte
 	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
 	buf.Write(crc[:])
+}
+
+// consistentPrefixLen reports how many leading bytes of a log form whole,
+// CRC-valid, decodable records — the boundary a torn-tail repair cuts at.
+func consistentPrefixLen(data []byte) int {
+	off := 0
+	for {
+		if off+4 > len(data) {
+			return off
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if off+4+n+4 > len(data) {
+			return off
+		}
+		payload := data[off+4 : off+4+n]
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[off+4+n:]) {
+			return off
+		}
+		if _, ok := decodeRecord(payload); !ok {
+			return off
+		}
+		off += 4 + n + 4
+	}
 }
 
 // parseWAL decodes records, stopping cleanly at the first torn or corrupt

@@ -420,6 +420,178 @@ func TestGroupTornTailSweepLiveLog(t *testing.T) {
 	}
 }
 
+// TestGroupCommitFaultVFSFsyncFailsOnce injects one transient fsync
+// failure via FaultVFS: the group holding that fsync must report the
+// error to every member (no false durability ack), the pipeline must
+// keep committing afterwards, and every acked commit must survive
+// recovery. A failed-sync commit has indeterminate durability — the
+// client saw an error and must retry (the wire layer's idempotency keys
+// make that retry safe) — so the only recovered rows beyond the acked
+// set may be ones whose commit reported failure.
+func TestGroupCommitFaultVFSFsyncFailsOnce(t *testing.T) {
+	mem := NewMemVFS()
+	vfs := NewFaultVFS(mem)
+	db, err := Open(Options{VFS: vfs, Path: "ff.wal", Sync: SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `CREATE TABLE ff (x INTEGER)`)
+
+	vfs.FailNextSyncs(1)
+	acked := map[int64]bool{}
+	failed := map[int64]bool{}
+	for i := int64(1); i <= 10; i++ {
+		if _, err := db.Exec(`INSERT INTO ff VALUES (?)`, i); err != nil {
+			failed[i] = true
+		} else {
+			acked[i] = true
+		}
+	}
+	if len(failed) == 0 {
+		t.Fatal("armed fsync failure was never reported to a committer")
+	}
+	if st := vfs.Stats(); st.SyncFails != 1 {
+		t.Fatalf("fault stats = %+v", st)
+	}
+	db.Close()
+
+	db2, err := Open(Options{VFS: mem, Path: "ff.wal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rows := mustQuery(t, db2, `SELECT x FROM ff ORDER BY x`)
+	got := map[int64]bool{}
+	for _, r := range rows.Data {
+		got[r[0].Int64()] = true
+	}
+	for i := range acked {
+		if !got[i] {
+			t.Fatalf("acked commit %d lost after recovery (acked-then-lost)", i)
+		}
+	}
+	for i := range got {
+		if !acked[i] && !failed[i] {
+			t.Fatalf("recovered row %d was never inserted", i)
+		}
+	}
+}
+
+// TestGroupCommitENOSPCMidGroup tears a group flush mid-write with an
+// exhausted FaultVFS write budget: every member of the torn group must
+// see the error, and once space returns the WAL must repair its torn
+// tail before appending — commits acked after the incident are never
+// stranded behind the garbage, and no torn transaction resurrects.
+func TestGroupCommitENOSPCMidGroup(t *testing.T) {
+	mem := NewMemVFS()
+	vfs := NewFaultVFS(mem)
+	db, err := Open(Options{VFS: vfs, Path: "ns.wal", Sync: SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `CREATE TABLE ns (x INTEGER)`)
+
+	// Budget for roughly half a record: the next flush tears mid-write.
+	vfs.SetWriteBudget(10)
+	var mu sync.Mutex
+	acked := map[int64]bool{}
+	var enospc int
+	var wg sync.WaitGroup
+	for i := int64(1); i <= 8; i++ {
+		wg.Add(1)
+		go func(i int64) {
+			defer wg.Done()
+			_, err := db.Exec(`INSERT INTO ns VALUES (?)`, i)
+			mu.Lock()
+			defer mu.Unlock()
+			if err == nil {
+				acked[i] = true
+			} else if errors.Is(err, ErrNoSpace) {
+				enospc++
+			}
+		}(i)
+	}
+	wg.Wait()
+	if enospc == 0 {
+		t.Fatal("no committer saw ENOSPC despite an exhausted write budget")
+	}
+	if st := vfs.Stats(); st.TornWrites == 0 {
+		t.Fatalf("expected a torn write, stats = %+v", st)
+	}
+
+	// Space returns: the WAL must self-heal the torn tail and keep going.
+	vfs.SetWriteBudget(-1)
+	for i := int64(101); i <= 108; i++ {
+		mustExec(t, db, `INSERT INTO ns VALUES (?)`, i)
+		acked[i] = true
+	}
+	db.Close()
+
+	db2, err := Open(Options{VFS: mem, Path: "ns.wal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rows := mustQuery(t, db2, `SELECT x FROM ns ORDER BY x`)
+	got := map[int64]bool{}
+	for _, r := range rows.Data {
+		got[r[0].Int64()] = true
+	}
+	for i := range acked {
+		if !got[i] {
+			t.Fatalf("acked commit %d lost after ENOSPC incident", i)
+		}
+	}
+	for i := range got {
+		if !acked[i] {
+			t.Fatalf("torn/failed commit %d resurrected by recovery", i)
+		}
+	}
+}
+
+// TestWALTornTailRepairedAtOpen covers the boot-path repair: a crash
+// leaves garbage at the log tail; Open must cut it so post-restart
+// commits aren't appended behind the tear and lost on the next restart.
+func TestWALTornTailRepairedAtOpen(t *testing.T) {
+	mem := NewMemVFS()
+	db, err := Open(Options{VFS: mem, Path: "tt.wal", Sync: SyncEveryCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `CREATE TABLE tt (x INTEGER)`)
+	mustExec(t, db, `INSERT INTO tt VALUES (1)`)
+	db.Close()
+
+	// Crash writes half a record of garbage at the tail.
+	f, err := mem.Open("tt.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xFF, 0xEE, 0xDD, 0xCC, 0xBB}); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Options{VFS: mem, Path: "tt.wal", Sync: SyncEveryCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db2, `INSERT INTO tt VALUES (2)`)
+	db2.Close()
+
+	// Both the pre-crash and post-repair commits must survive a further
+	// restart; without the open-time repair, row 2 sits behind garbage
+	// and vanishes here.
+	db3, err := Open(Options{VFS: mem, Path: "tt.wal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	rows := mustQuery(t, db3, `SELECT x FROM tt ORDER BY x`)
+	if rows.Len() != 2 || rows.Data[0][0].Int64() != 1 || rows.Data[1][0].Int64() != 2 {
+		t.Fatalf("recovered = %v, want [1 2]", rows.Data)
+	}
+}
+
 // TestGroupCommitHammer is a small correctness stress: many goroutines,
 // mixed inserts and updates, then full recovery audit. Run with -race.
 func TestGroupCommitHammer(t *testing.T) {

@@ -1,0 +1,229 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// blockMux returns a mux whose "work" handler parks until release is
+// closed, so tests can hold in-flight slots at will.
+func blockMux() (mux *Mux, entered chan struct{}, release chan struct{}) {
+	mux = NewMux()
+	entered = make(chan struct{}, 1024)
+	release = make(chan struct{})
+	mux.Handle("work", func(ctx context.Context, env *Envelope) (any, error) {
+		entered <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return &pingResp{Greeting: "done"}, nil
+	})
+	return mux, entered, release
+}
+
+func TestAdmissionOverloadedFaultWhenQueueFull(t *testing.T) {
+	mux, entered, release := blockMux()
+	mux.SetAdmission(AdmissionConfig{
+		MaxInFlight: 1,
+		MaxQueued:   1,
+		QueueWait:   50 * time.Millisecond,
+		RetryAfter:  123 * time.Millisecond,
+	})
+	local := &Local{Mux: mux}
+
+	// Occupy the single in-flight slot.
+	go local.Call(context.Background(), "work", &pingReq{}, nil)
+	<-entered
+
+	// Fill the single queue slot.
+	queuedErr := make(chan error, 1)
+	go func() {
+		queuedErr <- local.Call(context.Background(), "work", &pingReq{}, nil)
+	}()
+	waitFor(t, func() bool { return mux.AdmissionStats().Queued == 1 })
+
+	// Third concurrent request must be rejected with a typed Overloaded
+	// fault carrying the configured RetryAfterMs.
+	err := local.Call(context.Background(), "work", &pingReq{}, nil)
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("err = %v, want *Fault", err)
+	}
+	if f.Code != FaultOverloaded || f.RetryAfterMs != 123 {
+		t.Fatalf("fault = %+v", f)
+	}
+	if !Retryable(err) {
+		t.Fatal("Overloaded fault must classify retryable")
+	}
+
+	close(release)
+	if err := <-queuedErr; err != nil {
+		t.Fatalf("queued call: %v", err)
+	}
+	st := mux.AdmissionStats()
+	if st.Rejected != 1 || st.Admitted < 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAdmissionQueueWaitTimesOut(t *testing.T) {
+	mux, entered, release := blockMux()
+	defer close(release)
+	mux.SetAdmission(AdmissionConfig{
+		MaxInFlight: 1,
+		MaxQueued:   4,
+		QueueWait:   30 * time.Millisecond,
+	})
+	local := &Local{Mux: mux}
+	go local.Call(context.Background(), "work", &pingReq{}, nil)
+	<-entered
+
+	start := time.Now()
+	err := local.Call(context.Background(), "work", &pingReq{}, nil)
+	var f *Fault
+	if !errors.As(err, &f) || f.Code != FaultOverloaded {
+		t.Fatalf("err = %v, want Overloaded after queue wait", err)
+	}
+	if el := time.Since(start); el < 25*time.Millisecond {
+		t.Fatalf("rejected after %v, before QueueWait elapsed", el)
+	}
+	if st := mux.AdmissionStats(); st.QueueTimeouts != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAdmissionShedsStaleSheddable(t *testing.T) {
+	mux, entered, release := blockMux()
+	defer close(release)
+	mux.SetAdmission(AdmissionConfig{
+		MaxInFlight: 1,
+		MaxQueued:   8,
+		QueueWait:   time.Second,
+		FreshFor:    50 * time.Millisecond,
+		RetryAfter:  200 * time.Millisecond,
+	})
+	// Heartbeats whose payload contains no delta are sheddable.
+	mux.SetSheddable("work", func(env *Envelope) bool { return true })
+	local := &Local{Mux: mux}
+	go local.Call(context.Background(), "work", &pingReq{}, nil)
+	<-entered
+
+	// Age envelopes artificially: the gate's clock runs a minute ahead,
+	// so every freshly sent request looks stale.
+	mux.mu.RLock()
+	g := mux.gate
+	mux.mu.RUnlock()
+	g.now = func() time.Time { return time.Now().Add(time.Minute) }
+
+	err := local.Call(context.Background(), "work", &pingReq{}, nil)
+	var f *Fault
+	if !errors.As(err, &f) || f.Code != FaultOverloaded {
+		t.Fatalf("err = %v, want shed Overloaded", err)
+	}
+	if f.RetryAfterMs != 200 {
+		t.Fatalf("RetryAfterMs = %d", f.RetryAfterMs)
+	}
+	if st := mux.AdmissionStats(); st.ShedStale != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// A fresh envelope (young clock) queues instead of being shed.
+	g.now = time.Now
+	done := make(chan error, 1)
+	go func() { done <- local.Call(context.Background(), "work", &pingReq{}, nil) }()
+	waitFor(t, func() bool { return mux.AdmissionStats().Queued == 1 })
+}
+
+func TestAdmissionBoundsConcurrency(t *testing.T) {
+	const maxInFlight = 4
+	mux := NewMux()
+	var cur, peak atomic.Int64
+	mux.Handle("work", func(ctx context.Context, env *Envelope) (any, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		cur.Add(-1)
+		return &pingResp{}, nil
+	})
+	mux.SetAdmission(AdmissionConfig{
+		MaxInFlight: maxInFlight,
+		MaxQueued:   64,
+		QueueWait:   5 * time.Second,
+	})
+	local := &Local{Mux: mux}
+
+	var wg sync.WaitGroup
+	var failed atomic.Uint64
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := local.Call(context.Background(), "work", &pingReq{}, nil); err != nil {
+				failed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if failed.Load() != 0 {
+		t.Fatalf("%d calls failed under a generous queue", failed.Load())
+	}
+	if p := peak.Load(); p > maxInFlight {
+		t.Fatalf("observed concurrency %d > MaxInFlight %d", p, maxInFlight)
+	}
+	st := mux.AdmissionStats()
+	if st.Admitted != 32 || st.InFlight != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.PeakInFlight > maxInFlight {
+		t.Fatalf("PeakInFlight = %d", st.PeakInFlight)
+	}
+}
+
+func TestAdmissionCallerCancelWhileQueued(t *testing.T) {
+	mux, entered, release := blockMux()
+	defer close(release)
+	mux.SetAdmission(AdmissionConfig{
+		MaxInFlight: 1,
+		MaxQueued:   8,
+		QueueWait:   10 * time.Second,
+	})
+	local := &Local{Mux: mux}
+	go local.Call(context.Background(), "work", &pingReq{}, nil)
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- local.Call(ctx, "work", &pingReq{}, nil) }()
+	waitFor(t, func() bool { return mux.AdmissionStats().Queued == 1 })
+	cancel()
+	err := <-done
+	var f *Fault
+	if !errors.As(err, &f) || f.Code != "Canceled" {
+		t.Fatalf("err = %v, want Canceled fault", err)
+	}
+	if Retryable(err) {
+		t.Fatal("caller's own cancellation must not classify retryable")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 2s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

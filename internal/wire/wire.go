@@ -26,18 +26,29 @@ import (
 )
 
 // Envelope is the on-the-wire frame: an action name plus the payload
-// element's raw XML.
+// element's raw XML. Key, when present, is the caller's idempotency key:
+// retries of one logical mutating exchange reuse the key, and a server
+// with a reply store answers a repeated key by replaying the original
+// response instead of re-executing the action. Sent is the client's send
+// timestamp (Unix milliseconds); admission control uses it to shed
+// requests that aged out in flight rather than queue them.
 type Envelope struct {
 	XMLName xml.Name `xml:"Envelope"`
 	Action  string   `xml:"action,attr"`
+	Key     string   `xml:"idem,attr,omitempty"`
+	Sent    int64    `xml:"sent,attr,omitempty"`
 	Payload []byte   `xml:",innerxml"`
 }
 
-// Fault is the error payload carried by failed calls.
+// Fault is the error payload carried by failed calls. RetryAfterMs,
+// when positive, is the server's backoff hint: the client should not
+// retry sooner (admission control sets it on Overloaded faults so
+// backoff is server-coordinated rather than guessed client-side).
 type Fault struct {
-	XMLName xml.Name `xml:"Fault"`
-	Code    string   `xml:"Code"`
-	Message string   `xml:"Message"`
+	XMLName      xml.Name `xml:"Fault"`
+	Code         string   `xml:"Code"`
+	Message      string   `xml:"Message"`
+	RetryAfterMs int64    `xml:"RetryAfterMs,omitempty"`
 }
 
 // Error implements error.
@@ -45,18 +56,39 @@ func (f *Fault) Error() string {
 	return fmt.Sprintf("wire: fault %s: %s", f.Code, f.Message)
 }
 
+// RawPayload is a pre-encoded response payload. A handler returning one
+// (the dedup layer replaying a stored reply) has its bytes framed into
+// the response envelope verbatim instead of being re-marshalled.
+type RawPayload []byte
+
 // Encode marshals an action and payload into envelope bytes.
 func Encode(action string, payload any) ([]byte, error) {
-	inner, err := xml.Marshal(payload)
+	return encodeEnvelope(action, "", 0, payload)
+}
+
+// encodeEnvelope marshals the full frame, including the optional
+// idempotency key and send timestamp.
+func encodeEnvelope(action, key string, sent int64, payload any) ([]byte, error) {
+	inner, err := MarshalPayload(payload)
 	if err != nil {
 		return nil, fmt.Errorf("wire: marshal payload for %s: %w", action, err)
 	}
-	env := Envelope{Action: action, Payload: inner}
+	env := Envelope{Action: action, Key: key, Sent: sent, Payload: inner}
 	out, err := xml.Marshal(env)
 	if err != nil {
 		return nil, fmt.Errorf("wire: marshal envelope for %s: %w", action, err)
 	}
 	return out, nil
+}
+
+// MarshalPayload encodes a payload value exactly as it would appear
+// inside an envelope (RawPayload passes through untouched). The reply
+// store uses it to persist responses in wire form.
+func MarshalPayload(payload any) ([]byte, error) {
+	if raw, ok := payload.(RawPayload); ok {
+		return raw, nil
+	}
+	return xml.Marshal(payload)
 }
 
 // Decode unmarshals envelope bytes.
@@ -93,10 +125,13 @@ const DeadlineHeader = "X-Wire-Deadline-Ms"
 type Handler func(ctx context.Context, env *Envelope) (any, error)
 
 // Mux routes actions to handlers. It implements http.Handler and is also
-// the dispatch target of the Local transport.
+// the dispatch target of the Local transport. An optional admission gate
+// (SetAdmission) bounds concurrent dispatches and sheds stale, sheddable
+// requests instead of queueing them.
 type Mux struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
+	gate     *gate
 }
 
 // NewMux creates an empty mux.
@@ -134,12 +169,24 @@ func (m *Mux) Dispatch(ctx context.Context, data []byte) []byte {
 	}
 	m.mu.RLock()
 	h, ok := m.handlers[env.Action]
+	g := m.gate
 	m.mu.RUnlock()
 	if !ok {
 		return mustEncodeFault("UnknownAction", fmt.Errorf("wire: no handler for action %q", env.Action))
 	}
+	if g != nil {
+		release, fault := g.enter(ctx, env)
+		if fault != nil {
+			return encodeFault(fault)
+		}
+		defer release()
+	}
 	resp, err := h(ctx, env)
 	if err != nil {
+		var f *Fault
+		if errors.As(err, &f) {
+			return encodeFault(f)
+		}
 		return mustEncodeFault(faultCode(err), err)
 	}
 	out, err := Encode(env.Action+"Response", resp)
@@ -161,7 +208,11 @@ func faultCode(err error) string {
 }
 
 func mustEncodeFault(code string, err error) []byte {
-	out, encErr := Encode("Fault", &Fault{Code: code, Message: err.Error()})
+	return encodeFault(&Fault{Code: code, Message: err.Error()})
+}
+
+func encodeFault(f *Fault) []byte {
+	out, encErr := Encode("Fault", f)
 	if encErr != nil {
 		// A Fault always marshals; this is unreachable, but never panic in
 		// a network-facing path.
@@ -279,7 +330,7 @@ func (c *Client) Call(ctx context.Context, action string, req, resp any) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	data, err := Encode(action, req)
+	data, err := encodeEnvelope(action, IdempotencyKeyFromContext(ctx), time.Now().UnixMilli(), req)
 	if err != nil {
 		return err
 	}
@@ -339,7 +390,7 @@ type Local struct {
 
 // Call implements Caller.
 func (l *Local) Call(ctx context.Context, action string, req, resp any) error {
-	data, err := Encode(action, req)
+	data, err := encodeEnvelope(action, IdempotencyKeyFromContext(ctx), time.Now().UnixMilli(), req)
 	if err != nil {
 		return err
 	}
