@@ -47,7 +47,15 @@ func main() {
 	queueWait := flag.Duration("queue-wait", 500*time.Millisecond, "admission control: max time a request waits for an in-flight slot before a typed Overloaded fault")
 	retryAfter := flag.Duration("retry-after", 0, "admission control: RetryAfterMs hint on Overloaded faults (0 = queue-wait)")
 	freshFor := flag.Duration("hb-fresh-for", 10*time.Second, "admission control: delta-free heartbeats older than this are shed under load")
+	follow := flag.String("follow", "", "replication: run as a read-only follower of this leader /services URL (writes answer NotLeader; promotes on lease expiry)")
+	advertise := flag.String("advertise", "", "replication: this node's own /services URL as dialable by peers (required with -follow; on a leader, enables follower shipping)")
+	leaseTTL := flag.Duration("lease-ttl", 3*time.Second, "replication: leader lease TTL; a follower promotes when the replicated lease goes this stale")
+	replInterval := flag.Duration("repl-interval", 0, "replication: lease renewal / join heartbeat cadence (0 = lease-ttl/3)")
 	flag.Parse()
+
+	if *follow != "" && *advertise == "" {
+		log.Fatalf("condorj2d: -follow requires -advertise (the leader ships to this node's own URL)")
+	}
 
 	var engine *sqldb.DB
 	if *data != "" {
@@ -70,12 +78,12 @@ func main() {
 		}
 		log.Printf("recovered database from %s (sync=%s)", *data, *sync)
 	}
-	cas, err := core.New(core.Options{Engine: engine, PoolSize: *pool})
+	cas, err := core.New(core.Options{Engine: engine, PoolSize: *pool, Follower: *follow != ""})
 	if err != nil {
 		log.Fatalf("condorj2d: %v", err)
 	}
 	defer cas.Close()
-	if *data != "" {
+	if *data != "" && *follow == "" {
 		// The WAL preserved every committed tuple. In-flight coordination
 		// state (matches, runs, claimed VMs) is kept — the nodes were
 		// executing through the outage and their heartbeats will reconcile
@@ -105,7 +113,33 @@ func main() {
 		RetryAfter:  *retryAfter,
 		FreshFor:    *freshFor,
 	})
-	cas.StartScheduler()
+
+	// Replication: with -follow this node is a read-only replica (no
+	// scheduler, writes answer NotLeader, promotes itself when the
+	// replicated lease expires); with just -advertise it leads, renewing
+	// the lease and shipping committed WAL groups to whoever joins.
+	var repl *core.Replicator
+	if *advertise != "" {
+		repl = core.NewReplicator(cas, core.ReplConfig{
+			Self:     *advertise,
+			LeaseTTL: *leaseTTL,
+			Interval: *replInterval,
+			Dial:     func(addr string) wire.Caller { return &wire.Client{URL: addr} },
+		})
+		if *follow != "" {
+			repl.StartFollower(context.Background(), *follow)
+			log.Printf("following %s (read-only; lease TTL %s)", *follow, *leaseTTL)
+		} else {
+			if err := repl.StartLeader(context.Background()); err != nil {
+				log.Fatalf("condorj2d: claiming replication lease: %v", err)
+			}
+			log.Printf("leading replication as %s (lease TTL %s)", *advertise, *leaseTTL)
+		}
+		defer repl.Close()
+	}
+	if *follow == "" {
+		cas.StartScheduler()
+	}
 
 	// Every request context descends from baseCtx; cancelling it reaches
 	// each in-flight statement's lock waits, scans, and commit syncs.
@@ -163,4 +197,10 @@ func main() {
 	ds := cas.Service.DedupStats()
 	log.Printf("dedup: %d replies replayed to retried keys, %d aged reply rows GC'd",
 		ds.Replays, ds.RepliesDeleted)
+	if repl != nil {
+		rs := repl.Stats()
+		log.Printf("repl: role %s term %d, %d followers, %d ships (%d batches, %d errors), %d fenced, %d promotions, %d demotions, lag %d LSNs / %d ms; engine applied %d (%d batches, %d skipped, %d apply errors)",
+			rs.Role, rs.Term, rs.Followers, rs.ShipCalls, rs.ShipBatches, rs.ShipErrors, rs.Fenced, rs.Promotions, rs.Demotions, rs.LagLSN, rs.LagMs,
+			rs.Engine.AppliedLSN, rs.Engine.BatchesApplied, rs.Engine.BatchesSkipped, rs.Engine.ApplyErrors)
+	}
 }

@@ -29,6 +29,7 @@ type CAS struct {
 	// Mux is the web services endpoint.
 	Mux *wire.Mux
 
+	clock   vtime.Clock
 	dsn     string
 	ownEng  bool
 	stopSch chan struct{}
@@ -49,6 +50,11 @@ type Options struct {
 	// PoolSize caps open connections (the J2EE container's pool size);
 	// 0 means 8, matching a small application-server default.
 	PoolSize int
+	// Follower skips schema bootstrap: a replication follower's schema
+	// and configuration arrive through shipped WAL groups (the leader's
+	// bootstrap DDL replays as ordinary DDL records), so creating tables
+	// locally would fork the follower's log from the leader's.
+	Follower bool
 }
 
 var casSeq atomic.Int64
@@ -79,10 +85,12 @@ func New(opts Options) (*CAS, error) {
 	}
 	pool.SetMaxOpenConns(size)
 	pool.SetMaxIdleConns(size)
-	if err := Bootstrap(pool); err != nil {
-		pool.Close()
-		sqldb.Unserve(dsn)
-		return nil, err
+	if !opts.Follower {
+		if err := Bootstrap(pool); err != nil {
+			pool.Close()
+			sqldb.Unserve(dsn)
+			return nil, err
+		}
 	}
 	svc := NewService(pool, clock)
 	c := &CAS{
@@ -90,6 +98,7 @@ func New(opts Options) (*CAS, error) {
 		Pool:    pool,
 		Service: svc,
 		Mux:     NewMux(svc),
+		clock:   clock,
 		dsn:     dsn,
 		ownEng:  own,
 	}

@@ -21,6 +21,58 @@ const (
 	ActionRegisterData = "registerDataset"
 )
 
+// Replication action names (the repl.Ship / repl.Join pair). Ship pushes
+// committed WAL groups leader→follower; Join announces a follower to a
+// leader and reports the follower's durable applied LSN, which is where
+// shipping resumes after either side restarts.
+const (
+	ActionReplShip = "replShip"
+	ActionReplJoin = "replJoin"
+)
+
+// ReplBatch is one committed WAL group on the wire. Data is the group's
+// verbatim log bytes (redo records plus the commit marker carrying LSN),
+// base64-encoded — WAL bytes are binary and XML character data is not.
+type ReplBatch struct {
+	LSN  uint64 `xml:"LSN"`
+	Data string `xml:"Data"`
+}
+
+// ReplShipRequest pushes committed groups to a follower. Term fences
+// deposed leaders: a receiver whose term is newer answers StaleTerm and
+// the sender demotes itself, so a partitioned ex-leader can never
+// overwrite a promoted follower. LeaderLSN is the leader's durable
+// horizon, letting the follower measure its own lag.
+type ReplShipRequest struct {
+	Term      uint64      `xml:"Term"`
+	Leader    string      `xml:"Leader"`
+	LeaderLSN uint64      `xml:"LeaderLSN"`
+	Batches   []ReplBatch `xml:"Batches>Batch"`
+}
+
+// ReplShipResponse acknowledges a ship with the follower's new durable
+// applied LSN — the leader's resume point for the next ship.
+type ReplShipResponse struct {
+	AppliedLSN uint64 `xml:"AppliedLSN"`
+	Term       uint64 `xml:"Term"`
+}
+
+// ReplJoinRequest announces a follower to the leader. Addr is the
+// follower's dialable endpoint (shipping is push-based); AppliedLSN is
+// its durable applied horizon, recovered from its own log at restart.
+type ReplJoinRequest struct {
+	Addr       string `xml:"Addr"`
+	AppliedLSN uint64 `xml:"AppliedLSN"`
+}
+
+// ReplJoinResponse tells the follower the current term, the leader's
+// advertised address, and the durable LSN it will be shipped toward.
+type ReplJoinResponse struct {
+	Term       uint64 `xml:"Term"`
+	Leader     string `xml:"Leader"`
+	DurableLSN uint64 `xml:"DurableLSN"`
+}
+
 // SubmitRequest enqueues Count identical jobs for Owner.
 type SubmitRequest struct {
 	Owner       string  `xml:"Owner"`

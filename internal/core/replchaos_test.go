@@ -1,0 +1,241 @@
+package core
+
+// Replication chaos: a leader/follower pair under a lossy shipping
+// link, with the leader killed mid-run. The follower must promote
+// itself on lease expiry and finish the workload with exactly-once
+// history on its own timeline.
+//
+// What "exactly once" means across an asynchronous failover: a write
+// the old leader acknowledged but had not yet shipped is gone — the
+// promoted follower never saw it. For completions that is safe by
+// construction: the execute node freed its slot on the ack, the new
+// leader still shows the job running, and heartbeat reconciliation
+// re-runs it — the job completes once in the history the cluster now
+// lives on. The test therefore requires the submit batch to be fully
+// replicated before the kill (lag observed at zero), then asserts the
+// promoted node's job_history: every job completed, none twice.
+//
+// CHAOS_SEED picks the fault schedule (default 1); CHAOS_CASES the job
+// count (default 30). `make replchaos` sweeps the acceptance seeds.
+
+import (
+	"context"
+	"fmt"
+	mrand "math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"condorj2/internal/wire"
+)
+
+func TestReplChaosLeaderKillPromote(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replication chaos torture is a long test")
+	}
+	seed := chaosEnvInt("CHAOS_SEED", 1)
+	jobs := int(chaosEnvInt("CHAOS_CASES", 30))
+
+	// The shipping link (replShip + replJoin between the nodes) drops a
+	// fifth of everything; the replicator's keyed retries must hide it.
+	net := newReplNet()
+	shipFaults := make(map[string]*wire.FaultTransport)
+	var shipMu sync.Mutex
+	net.wrap = func(addr string, c wire.Caller) wire.Caller {
+		shipMu.Lock()
+		defer shipMu.Unlock()
+		ft := shipFaults[addr]
+		if ft == nil {
+			ft = wire.NewFaultTransport(c, seed+int64(len(shipFaults)))
+			ft.DropRequest = 0.20
+			ft.DropReply = 0.20
+			ft.Duplicate = 0.05
+			shipFaults[addr] = ft
+		}
+		return ft
+	}
+
+	cfg := ReplConfig{
+		LeaseTTL: 1500 * time.Millisecond,
+		Interval: 100 * time.Millisecond,
+		Retry: &wire.RetryPolicy{
+			MaxAttempts: 8,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    50 * time.Millisecond,
+			Rand:        mrand.New(mrand.NewSource(seed + 100)),
+		},
+	}
+	leader := newReplNode(t, net, "cas-a", false, cfg)
+	follower := newReplNode(t, net, "cas-b", true, cfg)
+	defer follower.close()
+	for _, n := range []*replNode{leader, follower} {
+		n.cas.SetAdmission(wire.AdmissionConfig{
+			MaxInFlight: 8, MaxQueued: 32,
+			QueueWait: 200 * time.Millisecond, FreshFor: 5 * time.Second,
+		})
+	}
+	if err := leader.repl.StartLeader(context.Background()); err != nil {
+		t.Fatalf("seed=%d: %v", seed, err)
+	}
+	follower.repl.StartFollower(context.Background(), "cas-a")
+
+	// Clients reach "the cluster" through a virtual address the test
+	// repoints at the promoted node after the kill, the way a failover DNS
+	// flip or load balancer would. Their link is lossy too.
+	vip := &swapCaller{}
+	vip.set(&wire.Local{Mux: leader.cas.Mux})
+	ft := wire.NewFaultTransport(vip, seed)
+	ft.DropRequest = 0.10
+	ft.DropReply = 0.10
+	ft.Duplicate = 0.05
+	ft.Inject5xx = 0.05
+	retryer := &wire.Retryer{
+		Caller: ft,
+		Policy: wire.RetryPolicy{
+			MaxAttempts: 8,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    50 * time.Millisecond,
+			Rand:        mrand.New(mrand.NewSource(seed)),
+		},
+		Keyed: func(action string) bool { return action == ActionSubmitJob },
+	}
+
+	submitCtx := wire.WithIdempotencyKey(context.Background(), "replchaos-submit")
+	for {
+		ctx, cancel := context.WithTimeout(submitCtx, 2*time.Second)
+		var sr SubmitResponse
+		err := retryer.Call(ctx, ActionSubmitJob,
+			&SubmitRequest{Owner: "chaos", Count: jobs, LengthSec: 60}, &sr)
+		cancel()
+		if err == nil {
+			break
+		}
+	}
+	// The workload must exist on the follower before the leader may die,
+	// or "complete every job" is unsatisfiable. Real deployments express
+	// the same requirement as a synchronous-ack or max-lag policy.
+	waitFor(t, 15*time.Second, "submit batch to replicate", func() bool {
+		return follower.eng.AppliedLSN() >= leader.eng.DurableLSN()
+	})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for n := 0; n < 3; n++ {
+		agent := &chaosAgent{
+			name:   fmt.Sprintf("node%d", n),
+			caller: retryer,
+			vms:    []*chaosVM{{seq: 0, state: "idle"}, {seq: 1, state: "idle"}},
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				agent.step()
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+
+	primary := leader
+	completedCount := func() int {
+		var n int
+		primary.cas.Pool.QueryRow(`SELECT count(*) FROM job_history WHERE outcome = 'completed'`).Scan(&n)
+		return n
+	}
+
+	killed := false
+	caughtUp := false
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("seed=%d: failover torture did not converge: %d/%d completed, killed=%v (leader repl %+v, follower repl %+v, faults %+v)",
+				seed, completedCount(), jobs, killed, leader.repl.Stats(), follower.repl.Stats(), ft.Stats())
+		}
+		primary.cas.Service.ScheduleCycle(context.Background())
+		if !killed && follower.eng.AppliedLSN() >= leader.eng.DurableLSN() {
+			caughtUp = true // lag drained to zero under the lossy link
+		}
+		done := completedCount()
+		if !killed && caughtUp && done >= jobs/3 {
+			// The leader vanishes without ceremony: no demotion, no final
+			// ship, clients and follower alike get dead air. Only the
+			// replicated lease going stale tells the follower to take over.
+			vip.set(nil)
+			leader.kill()
+			killed = true
+			waitFor(t, 30*time.Second, "lease-expiry promotion", func() bool {
+				return follower.repl.Stats().Role == "leader"
+			})
+			primary = follower
+			vip.set(&wire.Local{Mux: follower.cas.Mux})
+			t.Logf("seed=%d: killed leader at %d/%d completed; follower promoted at term %d",
+				seed, done, jobs, follower.repl.Stats().Term)
+		}
+		if done >= jobs {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if !killed {
+		t.Fatalf("seed=%d: converged before the kill point — raise CHAOS_CASES", seed)
+	}
+
+	// Exactly once on the surviving timeline: every job completed, none
+	// twice, the queue drained, and accounting agrees.
+	var doubled int
+	primary.cas.Pool.QueryRow(`SELECT count(*) FROM (
+		SELECT job_id FROM job_history WHERE outcome = 'completed' GROUP BY job_id HAVING count(*) > 1
+	)`).Scan(&doubled)
+	if doubled != 0 {
+		t.Fatalf("seed=%d: %d jobs completed more than once after failover", seed, doubled)
+	}
+	if got := completedCount(); got != jobs {
+		t.Fatalf("seed=%d: %d completed history rows, want %d", seed, got, jobs)
+	}
+	var left, runs int
+	primary.cas.Pool.QueryRow(`SELECT count(*) FROM jobs`).Scan(&left)
+	primary.cas.Pool.QueryRow(`SELECT count(*) FROM runs`).Scan(&runs)
+	if left != 0 || runs != 0 {
+		t.Fatalf("seed=%d: residue after convergence: %d jobs, %d runs", seed, left, runs)
+	}
+	us, err := primary.cas.Service.UserStats(context.Background(), &UserStatsRequest{Owner: "chaos"})
+	if err != nil {
+		t.Fatalf("seed=%d: %v", seed, err)
+	}
+	if us.CompletedJobs != int64(jobs) {
+		t.Fatalf("seed=%d: accounting CompletedJobs = %d, want %d", seed, us.CompletedJobs, jobs)
+	}
+
+	// The machinery really was exercised: the shipping link dropped
+	// traffic, batches still applied, and exactly one promotion happened.
+	rs := follower.repl.Stats()
+	if rs.Promotions != 1 {
+		t.Fatalf("seed=%d: promotions = %d, want 1", seed, rs.Promotions)
+	}
+	if rs.Engine.BatchesApplied == 0 {
+		t.Fatalf("seed=%d: follower applied no batches", seed)
+	}
+	shipMu.Lock()
+	var dropped uint64
+	for _, sft := range shipFaults {
+		s := sft.Stats()
+		dropped += s.DroppedRequests + s.DroppedReplies
+	}
+	shipMu.Unlock()
+	if dropped == 0 {
+		t.Fatalf("seed=%d: shipping-link fault injector idle", seed)
+	}
+	if fs := ft.Stats(); fs.DroppedRequests == 0 || fs.DroppedReplies == 0 {
+		t.Fatalf("seed=%d: client fault injector idle: %+v", seed, fs)
+	}
+}

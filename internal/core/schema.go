@@ -132,6 +132,20 @@ var Schema = []string{
 		payload TEXT,
 		created_at TIMESTAMP
 	)`,
+	// Replication lease (one row, id = 1): the current leader's term,
+	// identity, and last renewal. The row is ordinary replicated data —
+	// lease renewals ship to followers through the WAL like any other
+	// write, so a follower detects leader death purely by watching this
+	// row go stale in its own database. Terms are fencing tokens: a
+	// promotion bumps the term, and repl.Ship calls carrying an older term
+	// are rejected (split-brain prevention).
+	`CREATE TABLE IF NOT EXISTS repl_lease (
+		id INTEGER PRIMARY KEY,
+		term INTEGER NOT NULL,
+		holder TEXT NOT NULL,
+		renewed_at_ms INTEGER NOT NULL,
+		ttl_ms INTEGER NOT NULL
+	)`,
 	`CREATE TABLE IF NOT EXISTS config (
 		name TEXT PRIMARY KEY,
 		value TEXT NOT NULL,

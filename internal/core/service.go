@@ -28,6 +28,28 @@ type Service struct {
 	// replays / replyGCed count idempotency-key dedup activity (dedup.go).
 	replays   atomic.Uint64
 	replyGCed atomic.Uint64
+	// notLeader, when non-nil, gates the mutating web services: this node
+	// is a replication follower and answers writes with a typed NotLeader
+	// fault carrying the leader's address (empty when unknown). Reads and
+	// internal Pool writes (replication, promotion) are never gated.
+	notLeader atomic.Pointer[string]
+	// notLeaderRejects counts writes bounced by the gate.
+	notLeaderRejects atomic.Uint64
+}
+
+// SetNotLeader gates mutating web services with a NotLeader fault
+// redirecting to leader ("" = leader unknown).
+func (s *Service) SetNotLeader(leader string) { s.notLeader.Store(&leader) }
+
+// ClearNotLeader reopens the mutating web services (this node leads).
+func (s *Service) ClearNotLeader() { s.notLeader.Store(nil) }
+
+// NotLeader reports whether writes are gated and the redirect address.
+func (s *Service) NotLeader() (string, bool) {
+	if p := s.notLeader.Load(); p != nil {
+		return *p, true
+	}
+	return "", false
 }
 
 // SetConfigHook installs an observer invoked after every committed

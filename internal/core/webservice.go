@@ -1,8 +1,30 @@
 package core
 
 import (
+	"context"
+	"fmt"
+
 	"condorj2/internal/wire"
 )
+
+// writeGated rejects the wrapped mutating action while the service is a
+// replication follower, answering a typed NotLeader fault that carries
+// the leader's address so clients re-dial instead of retrying blindly.
+// Read-only actions are never wrapped — a follower serves status, queue,
+// accounting and website traffic from its replicated snapshot.
+func writeGated(s *Service, h wire.Handler) wire.Handler {
+	return func(ctx context.Context, env *wire.Envelope) (any, error) {
+		if leader, gated := s.NotLeader(); gated {
+			s.notLeaderRejects.Add(1)
+			return nil, &wire.Fault{
+				Code:    wire.FaultNotLeader,
+				Message: fmt.Sprintf("core: %s is a mutating action and this node is a replication follower", env.Action),
+				Leader:  leader,
+			}
+		}
+		return h(ctx, env)
+	}
+}
 
 // NewMux exposes the application logic layer as web services — the
 // paper's "set of web services specifically tailored to the interactions
@@ -15,16 +37,19 @@ func NewMux(s *Service) *wire.Mux {
 	// The mutating actions clients retry are wrapped with idempotency-key
 	// dedup (dedup.go): a retried key replays the stored reply instead of
 	// double-submitting, double-claiming or re-processing a completion.
-	mux.Handle(ActionSubmitJob, keyedHandler(s, s.Submit))
-	mux.Handle(ActionHeartbeat, keyedHandler(s, s.Heartbeat))
-	mux.Handle(ActionAcceptMatch, keyedHandler(s, s.AcceptMatch))
-	mux.Handle(ActionReleaseJob, wire.Typed(s.ReleaseJob))
+	// Mutating actions are additionally write-gated: a replication
+	// follower answers them with a NotLeader redirect instead of
+	// diverging from the leader's log.
+	mux.Handle(ActionSubmitJob, writeGated(s, keyedHandler(s, s.Submit)))
+	mux.Handle(ActionHeartbeat, writeGated(s, keyedHandler(s, s.Heartbeat)))
+	mux.Handle(ActionAcceptMatch, writeGated(s, keyedHandler(s, s.AcceptMatch)))
+	mux.Handle(ActionReleaseJob, writeGated(s, wire.Typed(s.ReleaseJob)))
 	mux.Handle(ActionPoolStatus, wire.Typed(s.PoolStatus))
 	mux.Handle(ActionQueueStatus, wire.Typed(s.QueueStatus))
 	mux.Handle(ActionUserStats, wire.Typed(s.UserStats))
 	mux.Handle(ActionConfigGet, wire.Typed(s.ConfigGet))
-	mux.Handle(ActionConfigSet, wire.Typed(s.ConfigSet))
-	mux.Handle(ActionRegisterData, wire.Typed(s.RegisterDataset))
+	mux.Handle(ActionConfigSet, writeGated(s, wire.Typed(s.ConfigSet)))
+	mux.Handle(ActionRegisterData, writeGated(s, wire.Typed(s.RegisterDataset)))
 	mux.Handle(ActionProvenance, wire.Typed(s.Provenance))
 	return mux
 }

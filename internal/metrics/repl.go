@@ -1,0 +1,92 @@
+package metrics
+
+import "time"
+
+// Replication accounting. A Replicator exports cumulative counters
+// (ship RPCs, batches shipped, ship errors, fencing rejections, role
+// transitions) plus instantaneous lag gauges; ReplMonitor differences
+// successive snapshots into the same interval-bucketed series the other
+// monitors use, so replication lag can be charted next to the WAL
+// commit pipeline feeding it.
+
+// ReplSnapshot is one reading of a node's replication counters. It
+// mirrors core's ReplStats without importing it, keeping this package
+// dependency-free.
+type ReplSnapshot struct {
+	// ShipCalls counts repl.Ship RPCs issued by the leader.
+	ShipCalls uint64
+	// ShipBatches counts committed groups shipped.
+	ShipBatches uint64
+	// ShipErrors counts ship RPCs that failed after retries.
+	ShipErrors uint64
+	// Fenced counts StaleTerm fencing rejections (issued or received).
+	Fenced uint64
+	// Promotions / Demotions count role transitions.
+	Promotions uint64
+	Demotions  uint64
+	// LagLSN / LagMs are instantaneous lag gauges (not differenced).
+	LagLSN uint64
+	LagMs  int64
+}
+
+// ReplMonitor buckets replication deltas by sampling interval and tracks
+// peak lag. Like the other monitors it is single-goroutine.
+type ReplMonitor struct {
+	ships    *Counter
+	batches  *Counter
+	errors   *Counter
+	last     ReplSnapshot
+	haveLast bool
+
+	maxLagLSN uint64
+	maxLagMs  int64
+}
+
+// NewReplMonitor creates a monitor whose series start at start with the
+// given bucket width.
+func NewReplMonitor(start time.Time, interval time.Duration) *ReplMonitor {
+	return &ReplMonitor{
+		ships:   NewCounter(start, interval),
+		batches: NewCounter(start, interval),
+		errors:  NewCounter(start, interval),
+	}
+}
+
+// Observe records a snapshot taken at instant at, attributing the change
+// since the previous snapshot to at's interval and folding the lag
+// gauges into the peaks. The first observation establishes the baseline.
+func (m *ReplMonitor) Observe(at time.Time, snap ReplSnapshot) {
+	if m.haveLast {
+		m.ships.Add(at, int(snap.ShipCalls-m.last.ShipCalls))
+		m.batches.Add(at, int(snap.ShipBatches-m.last.ShipBatches))
+		m.errors.Add(at, int(snap.ShipErrors-m.last.ShipErrors))
+	}
+	if snap.LagLSN > m.maxLagLSN {
+		m.maxLagLSN = snap.LagLSN
+	}
+	if snap.LagMs > m.maxLagMs {
+		m.maxLagMs = snap.LagMs
+	}
+	m.last = snap
+	m.haveLast = true
+}
+
+// Ships is the per-interval ship-RPC series.
+func (m *ReplMonitor) Ships() *Counter { return m.ships }
+
+// Batches is the per-interval shipped-group series.
+func (m *ReplMonitor) Batches() *Counter { return m.batches }
+
+// Errors is the per-interval failed-ship series.
+func (m *ReplMonitor) Errors() *Counter { return m.errors }
+
+// MaxLagLSN is the worst replication lag observed, in LSNs.
+func (m *ReplMonitor) MaxLagLSN() uint64 { return m.maxLagLSN }
+
+// MaxLagMs is the worst replication lag observed, in milliseconds.
+func (m *ReplMonitor) MaxLagMs() int64 { return m.maxLagMs }
+
+// Transitions reports role changes seen across all observations.
+func (m *ReplMonitor) Transitions() (promotions, demotions uint64) {
+	return m.last.Promotions, m.last.Demotions
+}

@@ -115,6 +115,15 @@ type DB struct {
 	slotsReclaimed  atomic.Uint64
 	entriesRemoved  atomic.Uint64
 
+	// Replication state (see repl.go): the newest LSN applied through
+	// FollowerApply (or recovered from this node's own log) plus the
+	// follower-apply counters.
+	replApplied        atomic.Uint64
+	replBatchesApplied atomic.Uint64
+	replRecordsApplied atomic.Uint64
+	replBatchesSkipped atomic.Uint64
+	replApplyErrors    atomic.Uint64
+
 	// Cancellation state (see ctx.go): the default statement deadline and
 	// the statement-outcome counters.
 	stmtTimeout       atomic.Int64
@@ -179,10 +188,14 @@ func Open(opts Options) (*DB, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sqldb: reading WAL: %w", err)
 		}
-		// Cut a crash's torn tail before the log is appended to again:
-		// recovery ignores bytes past the last whole record, but leaving
-		// them in place would strand every future commit behind garbage.
-		if good := consistentPrefixLen(data); good < len(data) {
+		// Cut the log back to its last committed group boundary before it
+		// is appended to again. This removes both a crash's torn tail
+		// (partial record, record failing its CRC) and any whole records
+		// of a group whose commit marker never made it — recovery would
+		// ignore those anyway, but leaving them in place would strand
+		// every future commit behind garbage and let a later process
+		// reusing the same transaction id adopt them.
+		if good := committedPrefixLen(data); good < len(data) {
 			data = data[:good]
 			if err := repairWALFile(opts.VFS, opts.Path, data); err != nil {
 				return nil, fmt.Errorf("sqldb: repairing torn WAL tail: %w", err)
@@ -195,6 +208,10 @@ func Open(opts Options) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Resume the LSN horizon past everything the log already holds,
+		// whether this node wrote those groups itself or applied them as
+		// a replication follower.
+		w.setRecoveredLSN(db.replApplied.Load())
 		db.wal = w
 	}
 	return db, nil
@@ -247,67 +264,83 @@ func (db *DB) emit(s StmtStats) {
 	}
 }
 
-// recover replays committed transactions from the WAL. Each committed
-// transaction is assigned a commit timestamp in commit-record order (the
-// order its locks allowed it to commit in the pre-crash run), so replayed
-// rows carry the same relative stamps a crash-free history would have and
-// the commit clock resumes past them.
+// recover replays committed transactions from the WAL. Records are
+// buffered per transaction and applied when that transaction's commit
+// marker is reached, so commit timestamps are assigned in commit-record
+// order (the order its locks allowed it to commit in the pre-crash run)
+// and replayed rows carry the same relative stamps a crash-free history
+// would have. Keying the pending buffer by transaction id and clearing it
+// at each commit also makes transaction-id reuse harmless — every process
+// (and, on a replication follower, every leader epoch) restarts ids at 1,
+// so a long log sees the same id commit many times. The commit clock and
+// the replication LSN horizon both resume past everything replayed.
 func (db *DB) recover(recs []walRecord) error {
-	commitTS := make(map[uint64]uint64)
-	var clock uint64
-	for _, r := range recs {
-		if r.op == walCommit {
-			if _, seen := commitTS[r.txn]; !seen {
-				clock++
-				commitTS[r.txn] = clock
-			}
-		}
-	}
-	for _, r := range recs {
-		ts, committed := commitTS[r.txn]
-		if !committed {
+	pending := make(map[uint64][]walRecord)
+	var clock, maxLSN uint64
+	for i := range recs {
+		r := &recs[i]
+		if r.op != walCommit {
+			pending[r.txn] = append(pending[r.txn], *r)
 			continue
 		}
-		switch r.op {
-		case walDDL:
-			stmt, err := Parse(r.sql)
-			if err != nil {
-				return fmt.Errorf("sqldb: recovery: bad DDL %q: %w", r.sql, err)
-			}
-			if err := db.applyDDL(stmt, nil); err != nil {
-				return fmt.Errorf("sqldb: recovery: %w", err)
-			}
-		case walInsert:
-			tbl := db.tables[r.table]
-			if tbl == nil {
-				return fmt.Errorf("sqldb: recovery: insert into unknown table %s", r.table)
-			}
-			if err := tbl.placeRow(r.rid, r.row, ts); err != nil {
-				return fmt.Errorf("sqldb: recovery: %w", err)
-			}
-		case walUpdate:
-			tbl := db.tables[r.table]
-			if tbl == nil {
-				return fmt.Errorf("sqldb: recovery: update of unknown table %s", r.table)
-			}
-			if err := tbl.replayUpdate(r.rid, r.row, ts); err != nil {
-				return fmt.Errorf("sqldb: recovery: %w", err)
-			}
-		case walDelete:
-			tbl := db.tables[r.table]
-			if tbl == nil {
-				return fmt.Errorf("sqldb: recovery: delete from unknown table %s", r.table)
-			}
-			if err := tbl.replayDelete(r.rid); err != nil {
-				return fmt.Errorf("sqldb: recovery: %w", err)
+		clock++
+		for _, pr := range pending[r.txn] {
+			if err := db.recoverApply(&pr, clock); err != nil {
+				return err
 			}
 		}
+		delete(pending, r.txn)
+		if r.lsn > maxLSN {
+			maxLSN = r.lsn
+		}
 	}
+	// Records of transactions whose commit marker never made the log are
+	// dropped, exactly as a pre-crash rollback would have.
 	db.clock.Store(clock)
 	db.watermark.Store(clock)
+	db.replApplied.Store(maxLSN)
 	// Rebuild free lists and autoincrement counters.
 	for _, tbl := range db.tables {
 		tbl.rebuildAfterReplay()
+	}
+	return nil
+}
+
+// recoverApply replays one committed record at commit timestamp ts.
+func (db *DB) recoverApply(r *walRecord, ts uint64) error {
+	switch r.op {
+	case walDDL:
+		stmt, err := Parse(r.sql)
+		if err != nil {
+			return fmt.Errorf("sqldb: recovery: bad DDL %q: %w", r.sql, err)
+		}
+		if err := db.applyDDL(stmt, nil); err != nil {
+			return fmt.Errorf("sqldb: recovery: %w", err)
+		}
+	case walInsert:
+		tbl := db.tables[r.table]
+		if tbl == nil {
+			return fmt.Errorf("sqldb: recovery: insert into unknown table %s", r.table)
+		}
+		if err := tbl.placeRow(r.rid, r.row, ts); err != nil {
+			return fmt.Errorf("sqldb: recovery: %w", err)
+		}
+	case walUpdate:
+		tbl := db.tables[r.table]
+		if tbl == nil {
+			return fmt.Errorf("sqldb: recovery: update of unknown table %s", r.table)
+		}
+		if err := tbl.replayUpdate(r.rid, r.row, ts); err != nil {
+			return fmt.Errorf("sqldb: recovery: %w", err)
+		}
+	case walDelete:
+		tbl := db.tables[r.table]
+		if tbl == nil {
+			return fmt.Errorf("sqldb: recovery: delete from unknown table %s", r.table)
+		}
+		if err := tbl.replayDelete(r.rid); err != nil {
+			return fmt.Errorf("sqldb: recovery: %w", err)
+		}
 	}
 	return nil
 }
@@ -966,6 +999,11 @@ func (db *DB) Checkpoint() error {
 		}
 	}
 	db.mu.Unlock()
-	appendRecord(&buf, &walRecord{op: walCommit, txn: 0})
+	// The snapshot group carries the current durable LSN (no new number:
+	// it re-describes state already covered by that LSN), so the horizon
+	// survives the swap and post-checkpoint commits continue past it.
+	// Followers still behind this LSN can no longer be served from the
+	// rewritten log and must be re-seeded (see repl.go).
+	appendRecord(&buf, &walRecord{op: walCommit, txn: 0, lsn: db.wal.durableLSN.Load()})
 	return db.wal.replaceWith(buf.Bytes())
 }

@@ -1,0 +1,461 @@
+package sqldb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Replication treats the WAL as the replication stream (the paper's
+// thesis — cluster state is just data — extended to availability: the
+// schedd's failover story is a database failover story). A leader's
+// committed groups are addressable by the LSN on their commit markers;
+// CommittedSince reads them back (from an in-memory ring of recent
+// batches, or the log file for a follower further behind), and
+// FollowerApply replays them on a follower, re-stamping every version
+// through the follower's own MVCC commit clock so its snapshot readers
+// are always transactionally consistent — a group is invisible until the
+// instant its stamp publishes, exactly like a local commit.
+//
+// Apply is idempotent by LSN (a batch at or below the applied horizon is
+// skipped), which is what makes shipping safe to retry over a lossy link
+// with duplicating middleware. Applied batches are appended verbatim to
+// the follower's own log before they become visible, so the applied LSN
+// is durable: after a restart the follower resumes shipping from exactly
+// where its log ends.
+
+// ErrNoWAL reports a replication call on a database without a log.
+var ErrNoWAL = fmt.Errorf("sqldb: replication requires a WAL-backed database")
+
+// ReplicationTap notifies a shipping loop that new committed batches are
+// available. The channel carries no data — consume it, then drain new
+// batches with CommittedSince.
+type ReplicationTap struct {
+	w  *wal
+	ch chan struct{}
+}
+
+// Notify returns the tap's signal channel. It has a one-slot buffer:
+// notifications coalesce rather than queue.
+func (t *ReplicationTap) Notify() <-chan struct{} { return t.ch }
+
+// Close unregisters the tap.
+func (t *ReplicationTap) Close() {
+	t.w.tapMu.Lock()
+	delete(t.w.taps, t)
+	t.w.tapMu.Unlock()
+}
+
+// ReplicationTap registers a tap signaled after every durable commit.
+func (db *DB) ReplicationTap() (*ReplicationTap, error) {
+	if db.wal == nil {
+		return nil, ErrNoWAL
+	}
+	w := db.wal
+	t := &ReplicationTap{w: w, ch: make(chan struct{}, 1)}
+	w.tapMu.Lock()
+	if w.taps == nil {
+		w.taps = make(map[*ReplicationTap]struct{})
+	}
+	w.taps[t] = struct{}{}
+	w.tapMu.Unlock()
+	return t, nil
+}
+
+// DurableLSN is the newest log sequence number whose commit group has
+// reached stable storage (0 for a database without a WAL).
+func (db *DB) DurableLSN() uint64 {
+	if db.wal == nil {
+		return 0
+	}
+	return db.wal.durableLSN.Load()
+}
+
+// AppliedLSN is the newest LSN this node has applied — through
+// FollowerApply, or recovered from its own log at open.
+func (db *DB) AppliedLSN() uint64 { return db.replApplied.Load() }
+
+// CommittedSince returns committed groups with LSN > afterLSN in log
+// order, plus the current durable LSN. maxBytes caps the returned batch
+// bytes (0 = unlimited; at least one batch is always returned when any
+// qualifies). Recent batches are served from memory; a reader further
+// behind is served from the log file itself.
+func (db *DB) CommittedSince(afterLSN uint64, maxBytes int) ([]CommittedBatch, uint64, error) {
+	if db.wal == nil {
+		return nil, 0, ErrNoWAL
+	}
+	return db.wal.committedSince(afterLSN, maxBytes)
+}
+
+// setRecoveredLSN seats the LSN horizon after recovery: numbering resumes
+// past everything the log holds, and the ring starts empty with the file
+// covering all older batches.
+func (w *wal) setRecoveredLSN(lsn uint64) {
+	w.mu.Lock()
+	w.nextLSN = lsn
+	w.durableLSN.Store(lsn)
+	w.mu.Unlock()
+	w.tapMu.Lock()
+	w.ringBase = lsn
+	w.tapMu.Unlock()
+}
+
+// publishCommitted appends freshly durable batches to the tap ring,
+// trims it to walRingBytes, and signals every registered tap.
+func (w *wal) publishCommitted(batches []CommittedBatch) {
+	if len(batches) == 0 {
+		return
+	}
+	w.tapMu.Lock()
+	for _, b := range batches {
+		w.ring = append(w.ring, b)
+		w.ringSize += len(b.Data)
+	}
+	for w.ringSize > walRingBytes && len(w.ring) > 1 {
+		w.ringBase = w.ring[0].LSN
+		w.ringSize -= len(w.ring[0].Data)
+		w.ring[0] = CommittedBatch{}
+		w.ring = w.ring[1:]
+	}
+	if cap(w.ring) > 4*len(w.ring)+16 {
+		w.ring = append(make([]CommittedBatch, 0, len(w.ring)), w.ring...)
+	}
+	for t := range w.taps {
+		select {
+		case t.ch <- struct{}{}:
+		default:
+		}
+	}
+	w.tapMu.Unlock()
+}
+
+func (w *wal) committedSince(afterLSN uint64, maxBytes int) ([]CommittedBatch, uint64, error) {
+	durable := w.durableLSN.Load()
+	if afterLSN >= durable {
+		return nil, durable, nil
+	}
+	w.tapMu.Lock()
+	if afterLSN >= w.ringBase {
+		var out []CommittedBatch
+		total := 0
+		for _, b := range w.ring {
+			if b.LSN <= afterLSN {
+				continue
+			}
+			if maxBytes > 0 && total > 0 && total+len(b.Data) > maxBytes {
+				break
+			}
+			out = append(out, b)
+			total += len(b.Data)
+		}
+		w.tapMu.Unlock()
+		if n := len(out); n > 0 {
+			w.noteServed(out[n-1].LSN)
+		}
+		return out, durable, nil
+	}
+	w.tapMu.Unlock()
+	// Far behind the ring: split batches straight out of the log file.
+	// No lock is needed — appends are sequential, so every byte at or
+	// below the durable LSN is already whole in the file, and anything
+	// past it is filtered out below.
+	data, err := w.vfs.ReadFile(w.name)
+	if err != nil {
+		return nil, durable, fmt.Errorf("sqldb: replication read: %w", err)
+	}
+	out := splitBatches(data, afterLSN, maxBytes, durable)
+	if n := len(out); n > 0 {
+		w.noteServed(out[n-1].LSN)
+	}
+	return out, durable, nil
+}
+
+func (w *wal) noteServed(lsn uint64) {
+	for {
+		cur := w.servedLSN.Load()
+		if lsn <= cur || w.servedLSN.CompareAndSwap(cur, lsn) {
+			return
+		}
+	}
+}
+
+// splitBatches walks raw log bytes and cuts out whole committed groups
+// with afterLSN < LSN <= durable, stopping at the first invalid record
+// and honoring maxBytes (always at least one qualifying batch).
+func splitBatches(data []byte, afterLSN uint64, maxBytes int, durable uint64) []CommittedBatch {
+	var out []CommittedBatch
+	total, off, start := 0, 0, 0
+	for {
+		if off+4 > len(data) {
+			return out
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if off+4+n+4 > len(data) {
+			return out
+		}
+		payload := data[off+4 : off+4+n]
+		if crc32.Checksum(payload, walCRC) != binary.LittleEndian.Uint32(data[off+4+n:]) {
+			return out
+		}
+		r, ok := decodeRecord(payload)
+		if !ok {
+			return out
+		}
+		off += 4 + n + 4
+		if r.op != walCommit {
+			continue
+		}
+		if r.lsn > afterLSN && r.lsn <= durable {
+			chunk := data[start:off]
+			if maxBytes > 0 && total > 0 && total+len(chunk) > maxBytes {
+				return out
+			}
+			out = append(out, CommittedBatch{LSN: r.lsn, Data: append([]byte(nil), chunk...)})
+			total += len(chunk)
+		}
+		start = off
+	}
+}
+
+// appendRaw appends verbatim leader-sealed batch bytes to the follower's
+// log (honoring the sync policy) and advances the LSN horizon to
+// lastLSN. Called with batches validated by decodeBatch.
+func (w *wal) appendRaw(data []byte, lastLSN uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dirty {
+		if err := w.repairLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := w.file.Write(data); err != nil {
+		w.dirty = true
+		return err
+	}
+	w.bytes.Add(uint64(len(data)))
+	if w.policy != SyncNever {
+		w.syncs.Add(1)
+		if err := w.file.Sync(); err != nil {
+			return err
+		}
+	}
+	if lastLSN > w.nextLSN {
+		w.nextLSN = lastLSN
+	}
+	if lastLSN > w.durableLSN.Load() {
+		w.durableLSN.Store(lastLSN)
+	}
+	return nil
+}
+
+// FollowerApply applies one committed group shipped from a leader. It is
+// idempotent: a batch at or below the applied horizon is skipped, which
+// is what makes shipping safe to retry. Batches must arrive in LSN order
+// (the shipping loop reads them in log order; LSNs may have gaps).
+func (db *DB) FollowerApply(lsn uint64, batch []byte) error {
+	return db.ApplyCommitted([]CommittedBatch{{LSN: lsn, Data: batch}})
+}
+
+// ApplyCommitted applies a run of shipped committed groups: validate
+// every batch, append them all to this node's own log with one sync
+// (durability first — the applied LSN must survive a restart), then
+// stamp each group through the MVCC commit clock in order.
+func (db *DB) ApplyCommitted(batches []CommittedBatch) error {
+	applied := db.replApplied.Load()
+	todo := batches[:0:0]
+	for _, b := range batches {
+		if b.LSN <= applied {
+			db.replBatchesSkipped.Add(1)
+			continue
+		}
+		applied = b.LSN
+		todo = append(todo, b)
+	}
+	if len(todo) == 0 {
+		return nil
+	}
+	groups := make([][]walRecord, len(todo))
+	for i, b := range todo {
+		recs, err := decodeBatch(b)
+		if err != nil {
+			db.replApplyErrors.Add(1)
+			return err
+		}
+		groups[i] = recs
+	}
+	if db.wal != nil {
+		var buf bytes.Buffer
+		for _, b := range todo {
+			buf.Write(b.Data)
+		}
+		if err := db.wal.appendRaw(buf.Bytes(), todo[len(todo)-1].LSN); err != nil {
+			db.replApplyErrors.Add(1)
+			return fmt.Errorf("sqldb: follower apply: %w", err)
+		}
+		db.wal.publishCommitted(todo)
+	}
+	for i, b := range todo {
+		if err := db.applyGroup(b.LSN, groups[i]); err != nil {
+			db.replApplyErrors.Add(1)
+			return err
+		}
+	}
+	db.maybeGC()
+	return nil
+}
+
+// decodeBatch validates one shipped batch: every byte must decode into
+// CRC-valid records, and the batch must be exactly one group ending in a
+// commit marker carrying the batch's LSN. The commit marker is stripped
+// from the returned records.
+func decodeBatch(b CommittedBatch) ([]walRecord, error) {
+	if consistentPrefixLen(b.Data) != len(b.Data) {
+		return nil, fmt.Errorf("sqldb: follower apply: corrupt batch at lsn %d", b.LSN)
+	}
+	recs := parseWAL(b.Data)
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("sqldb: follower apply: empty batch at lsn %d", b.LSN)
+	}
+	last := recs[len(recs)-1]
+	if last.op != walCommit || last.lsn != b.LSN {
+		return nil, fmt.Errorf("sqldb: follower apply: batch at lsn %d does not end in its commit marker", b.LSN)
+	}
+	for i := range recs[:len(recs)-1] {
+		if recs[i].op == walCommit {
+			return nil, fmt.Errorf("sqldb: follower apply: batch at lsn %d spans multiple groups", b.LSN)
+		}
+	}
+	return recs[:len(recs)-1], nil
+}
+
+// applyGroup replays one group's records as unstamped versions, then —
+// under the commit mutex, exactly like a local commit — stamps them all
+// with the next commit timestamp and advances the clock. A concurrent
+// snapshot reader on this follower therefore sees either none or all of
+// the group, never a half-applied prefix.
+func (db *DB) applyGroup(lsn uint64, recs []walRecord) error {
+	var versions []*rowVersion
+	var gcs []gcRecord
+	wm := db.watermark.Load()
+	for i := range recs {
+		r := &recs[i]
+		switch r.op {
+		case walDDL:
+			stmt, err := Parse(r.sql)
+			if err != nil {
+				return fmt.Errorf("sqldb: follower apply: bad DDL %q: %w", r.sql, err)
+			}
+			db.mu.Lock()
+			err = db.applyDDL(stmt, nil)
+			db.mu.Unlock()
+			if err != nil {
+				return fmt.Errorf("sqldb: follower apply: %w", err)
+			}
+		case walInsert:
+			tbl, err := db.lookupTable(r.table)
+			if err != nil {
+				return fmt.Errorf("sqldb: follower apply: %w", err)
+			}
+			v, err := tbl.applyInsert(r.rid, r.row)
+			if err != nil {
+				return fmt.Errorf("sqldb: follower apply: %w", err)
+			}
+			versions = append(versions, v)
+		case walUpdate:
+			tbl, err := db.lookupTable(r.table)
+			if err != nil {
+				return fmt.Errorf("sqldb: follower apply: %w", err)
+			}
+			v, orphaned, err := tbl.applyUpdate(r.rid, r.row, wm)
+			if err != nil {
+				return fmt.Errorf("sqldb: follower apply: %w", err)
+			}
+			versions = append(versions, v)
+			if len(orphaned) > 0 {
+				gcs = append(gcs, gcRecord{table: r.table, rid: r.rid, entries: orphaned})
+			}
+		case walDelete:
+			tbl, err := db.lookupTable(r.table)
+			if err != nil {
+				return fmt.Errorf("sqldb: follower apply: %w", err)
+			}
+			v, orphaned, err := tbl.applyDelete(r.rid, wm)
+			if err != nil {
+				return fmt.Errorf("sqldb: follower apply: %w", err)
+			}
+			versions = append(versions, v)
+			gcs = append(gcs, gcRecord{table: r.table, rid: r.rid, tombstone: true, entries: orphaned})
+		default:
+			return fmt.Errorf("sqldb: follower apply: unexpected record op %d at lsn %d", r.op, lsn)
+		}
+	}
+	db.commitMu.Lock()
+	ts := db.clock.Load() + 1
+	for _, v := range versions {
+		v.begin.Store(ts)
+	}
+	if len(gcs) > 0 {
+		for i := range gcs {
+			gcs[i].ts = ts
+		}
+		db.gcMu.Lock()
+		db.gcQueue = append(db.gcQueue, gcs...)
+		db.gcMu.Unlock()
+	}
+	db.clock.Store(ts)
+	db.replApplied.Store(lsn)
+	db.commitMu.Unlock()
+	db.versionsCreated.Add(uint64(len(versions)))
+	db.replBatchesApplied.Add(1)
+	db.replRecordsApplied.Add(uint64(len(recs)))
+	return nil
+}
+
+// RebuildAfterReplication reconstructs per-table free lists and
+// autoincrement counters from the replicated heap. The apply path leaves
+// both alone (a follower allocates nothing), so a promotion runs this
+// once before accepting writes.
+func (db *DB) RebuildAfterReplication() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, tbl := range db.tables {
+		tbl.rebuildAfterReplay()
+	}
+}
+
+// ReplStats snapshots the engine-level replication counters. Shipped-side
+// numbers describe this node as a leader (batches served to followers);
+// applied-side numbers describe it as a follower.
+type ReplStats struct {
+	// DurableLSN is the newest LSN stable in this node's own log.
+	DurableLSN uint64
+	// ServedLSN is the newest LSN handed to a CommittedSince caller.
+	ServedLSN uint64
+	// AppliedLSN is the newest LSN applied through FollowerApply (or
+	// recovered from the node's own log).
+	AppliedLSN uint64
+	// BatchesApplied / RecordsApplied count follower-apply work.
+	BatchesApplied uint64
+	RecordsApplied uint64
+	// BatchesSkipped counts idempotent re-deliveries dropped by LSN.
+	BatchesSkipped uint64
+	// ApplyErrors counts batches rejected by validation or apply.
+	ApplyErrors uint64
+}
+
+// ReplStats snapshots the replication counters.
+func (db *DB) ReplStats() ReplStats {
+	s := ReplStats{
+		AppliedLSN:     db.replApplied.Load(),
+		BatchesApplied: db.replBatchesApplied.Load(),
+		RecordsApplied: db.replRecordsApplied.Load(),
+		BatchesSkipped: db.replBatchesSkipped.Load(),
+		ApplyErrors:    db.replApplyErrors.Load(),
+	}
+	if db.wal != nil {
+		s.DurableLSN = db.wal.durableLSN.Load()
+		s.ServedLSN = db.wal.servedLSN.Load()
+	}
+	return s
+}

@@ -668,6 +668,90 @@ func (t *table) replayDelete(rid int64) error {
 	return nil
 }
 
+// applyInsert publishes a replicated insert as an unstamped committed
+// version (follower apply; the caller stamps it under the commit mutex).
+// Unlike placeRow it is MVCC-safe against concurrent snapshot readers: a
+// recycled slot still holding a tombstone chain gets the new version
+// pushed on top, so an old snapshot keeps seeing its tombstoned past.
+// Unique checks are skipped — the leader already enforced them.
+func (t *table) applyInsert(rid int64, row []Value) (*rowVersion, error) {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	for int64(len(t.rows)) <= rid {
+		t.rows = append(t.rows, &rowSlot{})
+	}
+	s := t.rows[rid]
+	if head := s.head.Load(); head != nil && head.data != nil {
+		return nil, fmt.Errorf("sqldb: apply: insert into live slot %d of %s", rid, t.schema.Name)
+	}
+	v := &rowVersion{data: row}
+	v.prev.Store(s.head.Load())
+	for _, ix := range t.indexes {
+		ix.tree.insert(ix.entryKey(row, rid), rid)
+	}
+	s.head.Store(v)
+	t.liveRows.Add(1)
+	return v, nil
+}
+
+// applyUpdate publishes a replicated update: a new unstamped version on
+// top of the newest committed one, index entries moved as needed, the
+// orphaned old entries returned for commit-ordered GC.
+func (t *table) applyUpdate(rid int64, newRow []Value, watermark uint64) (*rowVersion, []gcEntry, error) {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	if rid < 0 || rid >= int64(len(t.rows)) {
+		return nil, nil, fmt.Errorf("sqldb: apply: update of missing row %d in %s", rid, t.schema.Name)
+	}
+	s := t.rows[rid]
+	cur := s.currentVersion(0)
+	if cur == nil || cur.data == nil {
+		return nil, nil, fmt.Errorf("sqldb: apply: update of deleted row %d in %s", rid, t.schema.Name)
+	}
+	old := cur.data
+	var orphaned []gcEntry
+	for _, ix := range t.indexes {
+		ko := ix.entryKey(old, rid)
+		kn := ix.entryKey(newRow, rid)
+		if compareKeys(ko, kn) == 0 {
+			continue
+		}
+		orphaned = append(orphaned, gcEntry{index: ix.schema.Name, key: ko})
+		ix.tree.insert(kn, rid)
+	}
+	v := &rowVersion{data: newRow}
+	v.prev.Store(s.head.Load())
+	s.head.Store(v)
+	s.pruneBelow(watermark)
+	return v, orphaned, nil
+}
+
+// applyDelete publishes a replicated delete as an unstamped tombstone,
+// returning it plus the orphaned index entries for GC.
+func (t *table) applyDelete(rid int64, watermark uint64) (*rowVersion, []gcEntry, error) {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	if rid < 0 || rid >= int64(len(t.rows)) {
+		return nil, nil, fmt.Errorf("sqldb: apply: delete of missing row %d in %s", rid, t.schema.Name)
+	}
+	s := t.rows[rid]
+	cur := s.currentVersion(0)
+	if cur == nil || cur.data == nil {
+		return nil, nil, fmt.Errorf("sqldb: apply: delete of deleted row %d in %s", rid, t.schema.Name)
+	}
+	old := cur.data
+	entries := make([]gcEntry, 0, len(t.indexes))
+	for _, ix := range t.indexes {
+		entries = append(entries, gcEntry{index: ix.schema.Name, key: ix.entryKey(old, rid)})
+	}
+	tomb := &rowVersion{}
+	tomb.prev.Store(s.head.Load())
+	s.head.Store(tomb)
+	s.pruneBelow(watermark)
+	t.liveRows.Add(-1)
+	return tomb, entries, nil
+}
+
 // rebuildAfterReplay reconstructs the free list and autoincrement
 // counters from the replayed heap.
 func (t *table) rebuildAfterReplay() {

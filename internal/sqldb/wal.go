@@ -19,11 +19,24 @@ import (
 // the paper attributes to the RDBMS tier (§4: "transaction and recovery
 // services"). Each committed transaction's redo records are appended,
 // followed by a commit marker; recovery replays records of committed
-// transactions only, in log order, and truncates at the first torn record.
+// transactions only, in log order, and truncates at the last committed
+// group boundary (a record failing its CRC, and any complete records of a
+// never-committed trailing group, are cut — never replayed).
 //
-// Records are length-prefixed and CRC-protected:
+// Records are length-prefixed and CRC-protected (CRC32-C/Castagnoli):
 //
-//	[4-byte little-endian payload length][payload][4-byte CRC32 of payload]
+//	[4-byte little-endian payload length][payload][4-byte CRC32C of payload]
+//
+// Commit markers additionally carry a log sequence number (LSN), assigned
+// in file-write order, so the log doubles as a replication stream: every
+// committed group is addressable by the LSN of its commit marker, and a
+// follower resumes shipping from its durable applied LSN (see repl.go).
+// LSNs are monotone but may have gaps — a batch retracted after its LSN
+// was reserved, or a torn tail cut by repair, consumes numbers without
+// leaving records.
+
+// walCRC is the CRC32-C (Castagnoli) table guarding every WAL record.
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // walOp tags a WAL record.
 type walOp uint8
@@ -39,6 +52,7 @@ const (
 type walRecord struct {
 	op    walOp
 	txn   uint64
+	lsn   uint64 // commit markers only: the group's log sequence number
 	table string
 	rid   int64
 	row   []Value
@@ -273,17 +287,39 @@ func (s WALStats) FsyncsPerCommit() float64 {
 	return float64(s.Syncs) / float64(s.Commits)
 }
 
-// walBatch is one transaction's encoded records (redo + commit marker)
-// waiting in the group-commit queue. done delivers the flush outcome;
-// lead (buffered, at most one send ever) appoints the batch's committer
-// as the next group leader. Both are selectable alongside ctx.Done(), so
-// a committer whose context fires while its batch is still queued can
-// retract it instead of sleeping on a condition variable.
+// walBatch is one transaction's encoded redo records (commit marker not
+// yet sealed — the flusher appends it with the next LSN at write time, so
+// LSN order always equals file order) waiting in the group-commit queue.
+// done delivers the flush outcome; lead (buffered, at most one send ever)
+// appoints the batch's committer as the next group leader. Both are
+// selectable alongside ctx.Done(), so a committer whose context fires
+// while its batch is still queued can retract it instead of sleeping on a
+// condition variable.
 type walBatch struct {
 	data []byte
+	txn  uint64
 	done chan error
 	lead chan struct{}
 }
+
+// CommittedBatch is one committed group as it sits in the log: the
+// transaction's redo records followed by its commit marker, verbatim log
+// bytes. LSN is the commit marker's sequence number. Batches stream to
+// followers through CommittedSince and apply through FollowerApply.
+type CommittedBatch struct {
+	LSN  uint64
+	Data []byte
+}
+
+// walRingBytes bounds the in-memory ring of recently committed batches
+// kept for replication taps; followers further behind are served from the
+// log file itself.
+const walRingBytes = 4 << 20
+
+// walMarkerSize is the flush-size accounting estimate for one sealed
+// commit marker: 4-byte length + op byte + short txn and LSN uvarints +
+// 4-byte CRC.
+const walMarkerSize = 13
 
 type wal struct {
 	// mu guards the file handle: group flushes, non-group commits,
@@ -312,6 +348,23 @@ type wal struct {
 	gmu      sync.Mutex
 	queue    []*walBatch
 	flushing bool
+
+	// nextLSN (guarded by mu, since every append path writes under mu) is
+	// the last LSN handed out; durableLSN publishes the newest LSN whose
+	// group has been flushed per the sync policy.
+	nextLSN    uint64
+	durableLSN atomic.Uint64
+
+	// Replication tap state: a bounded ring of recently committed batches
+	// plus notification channels. ringBase is the newest LSN NOT covered
+	// by the ring (evicted, or written before this process opened the
+	// log); readers behind it fall back to the file.
+	tapMu     sync.Mutex
+	ring      []CommittedBatch
+	ringSize  int
+	ringBase  uint64
+	taps      map[*ReplicationTap]struct{}
+	servedLSN atomic.Uint64 // newest LSN handed to CommittedSince callers
 
 	// Pipeline counters (see WALStats).
 	commits    atomic.Uint64
@@ -375,15 +428,16 @@ func (w *wal) commit(ctx context.Context, txn uint64, recs []walRecord) error {
 		}
 	}
 	// Encode outside any lock: serialization is pure CPU work and must not
-	// extend the critical section other committers queue behind.
+	// extend the critical section other committers queue behind. The
+	// commit marker is sealed at write time (under w.mu) so its LSN
+	// matches file order.
 	var buf bytes.Buffer
 	for i := range recs {
 		recs[i].txn = txn
 		appendRecord(&buf, &recs[i])
 	}
-	appendRecord(&buf, &walRecord{op: walCommit, txn: txn})
 	if w.policy == SyncGroup {
-		return w.commitGroup(ctx, buf.Bytes())
+		return w.commitGroup(ctx, buf.Bytes(), txn)
 	}
 	w.mu.Lock()
 	if w.dirty {
@@ -392,22 +446,29 @@ func (w *wal) commit(ctx context.Context, txn uint64, recs []walRecord) error {
 			return err
 		}
 	}
+	lsn := w.nextLSN + 1
+	appendRecord(&buf, &walRecord{op: walCommit, txn: txn, lsn: lsn})
 	if _, err := w.file.Write(buf.Bytes()); err != nil {
 		w.dirty = true
 		w.mu.Unlock()
 		return err
 	}
+	w.nextLSN = lsn
 	w.bytes.Add(uint64(buf.Len()))
 	var err error
 	if w.policy == SyncEveryCommit {
 		w.syncs.Add(1)
 		err = w.file.Sync()
 	}
+	if err == nil {
+		w.durableLSN.Store(lsn)
+	}
 	w.mu.Unlock()
 	w.observeGroup(1)
 	if err != nil {
 		return err
 	}
+	w.publishCommitted([]CommittedBatch{{LSN: lsn, Data: buf.Bytes()}})
 	w.commits.Add(1)
 	return nil
 }
@@ -421,9 +482,9 @@ func (w *wal) commit(ctx context.Context, txn uint64, recs []walRecord) error {
 // is what amortizes the fsync across concurrent transactions. Leadership
 // passes batch to batch: a finishing leader appoints the head of the
 // remaining queue, whose committer wakes and flushes the next group.
-func (w *wal) commitGroup(ctx context.Context, data []byte) error {
+func (w *wal) commitGroup(ctx context.Context, data []byte, txn uint64) error {
 	start := time.Now()
-	b := &walBatch{data: data, done: make(chan error, 1), lead: make(chan struct{}, 1)}
+	b := &walBatch{data: data, txn: txn, done: make(chan error, 1), lead: make(chan struct{}, 1)}
 	w.gmu.Lock()
 	w.queue = append(w.queue, b)
 	leader := !w.flushing
@@ -528,16 +589,18 @@ func (w *wal) flushGroup() {
 		w.gmu.Lock()
 	}
 	// Drain a prefix of the queue, capped by maxBytes (always ≥ 1 batch so
-	// an oversized single transaction still progresses).
+	// an oversized single transaction still progresses). Each batch's
+	// commit marker is sealed at write time, so account for its framed
+	// size here.
 	n := len(w.queue)
 	if w.maxBytes > 0 {
 		total := 0
 		for i, qb := range w.queue {
-			if i > 0 && total+len(qb.data) > w.maxBytes {
+			if i > 0 && total+len(qb.data)+walMarkerSize > w.maxBytes {
 				n = i
 				break
 			}
-			total += len(qb.data)
+			total += len(qb.data) + walMarkerSize
 		}
 	}
 	group := w.queue[:n:n]
@@ -547,25 +610,42 @@ func (w *wal) flushGroup() {
 		return // every queued batch was retracted while we acquired gmu
 	}
 
-	var buf bytes.Buffer
-	for _, qb := range group {
-		buf.Write(qb.data)
-	}
+	// Seal and write under w.mu: each batch's commit marker receives the
+	// next LSN as it is laid into the flush buffer, so LSNs increase in
+	// exactly file order and every committed group is addressable for
+	// replication. The markers are a few bytes each; encoding them here
+	// does not meaningfully extend the critical section.
 	w.mu.Lock()
 	var werr error
 	if w.dirty {
 		werr = w.repairLocked()
 	}
+	var err error
+	var published []CommittedBatch
 	if werr == nil {
+		var buf bytes.Buffer
+		published = make([]CommittedBatch, 0, len(group))
+		for _, qb := range group {
+			start := buf.Len()
+			buf.Write(qb.data)
+			w.nextLSN++
+			appendRecord(&buf, &walRecord{op: walCommit, txn: qb.txn, lsn: w.nextLSN})
+			published = append(published, CommittedBatch{LSN: w.nextLSN, Data: buf.Bytes()[start:]})
+		}
 		if _, werr = w.file.Write(buf.Bytes()); werr != nil {
 			w.dirty = true
 		}
-	}
-	err := werr
-	if werr == nil {
-		w.bytes.Add(uint64(buf.Len()))
-		w.syncs.Add(1)
-		err = w.file.Sync()
+		err = werr
+		if werr == nil {
+			w.bytes.Add(uint64(buf.Len()))
+			w.syncs.Add(1)
+			err = w.file.Sync()
+		}
+		if err == nil {
+			w.durableLSN.Store(w.nextLSN)
+		}
+	} else {
+		err = werr
 	}
 	w.mu.Unlock()
 	if werr == nil {
@@ -573,6 +653,7 @@ func (w *wal) flushGroup() {
 	}
 	if err == nil {
 		w.commits.Add(uint64(len(group)))
+		w.publishCommitted(published)
 	}
 	for _, qb := range group {
 		qb.done <- err
@@ -676,6 +757,7 @@ func appendRecord(buf *bytes.Buffer, r *walRecord) {
 	case walDDL:
 		writeString(&p, r.sql)
 	case walCommit:
+		writeUvarint(&p, r.lsn)
 	}
 	payload := p.Bytes()
 	var hdr [4]byte
@@ -683,7 +765,7 @@ func appendRecord(buf *bytes.Buffer, r *walRecord) {
 	buf.Write(hdr[:])
 	buf.Write(payload)
 	var crc [4]byte
-	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, walCRC))
 	buf.Write(crc[:])
 }
 
@@ -700,13 +782,45 @@ func consistentPrefixLen(data []byte) int {
 			return off
 		}
 		payload := data[off+4 : off+4+n]
-		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[off+4+n:]) {
+		if crc32.Checksum(payload, walCRC) != binary.LittleEndian.Uint32(data[off+4+n:]) {
 			return off
 		}
 		if _, ok := decodeRecord(payload); !ok {
 			return off
 		}
 		off += 4 + n + 4
+	}
+}
+
+// committedPrefixLen reports how many leading bytes of a log form whole
+// committed groups: the offset just past the last valid commit marker
+// within the consistent record prefix. This is the boundary recovery
+// repairs to — a corrupt record truncates the log at the last group
+// boundary, and trailing redo records whose commit marker never made it
+// are cut rather than left to stall future appends.
+func committedPrefixLen(data []byte) int {
+	committed := 0
+	off := 0
+	for {
+		if off+4 > len(data) {
+			return committed
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if off+4+n+4 > len(data) {
+			return committed
+		}
+		payload := data[off+4 : off+4+n]
+		if crc32.Checksum(payload, walCRC) != binary.LittleEndian.Uint32(data[off+4+n:]) {
+			return committed
+		}
+		r, ok := decodeRecord(payload)
+		if !ok {
+			return committed
+		}
+		off += 4 + n + 4
+		if r.op == walCommit {
+			committed = off
+		}
 	}
 }
 
@@ -725,7 +839,7 @@ func parseWAL(data []byte) []walRecord {
 		}
 		payload := data[off+4 : off+4+n]
 		crc := binary.LittleEndian.Uint32(data[off+4+n:])
-		if crc32.ChecksumIEEE(payload) != crc {
+		if crc32.Checksum(payload, walCRC) != crc {
 			return recs
 		}
 		r, ok := decodeRecord(payload)
@@ -782,6 +896,9 @@ func decodeRecord(p []byte) (walRecord, bool) {
 			return r, false
 		}
 	case walCommit:
+		if r.lsn, ok = rd.uvarint(); !ok {
+			return r, false
+		}
 	default:
 		return r, false
 	}

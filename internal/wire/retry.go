@@ -59,6 +59,17 @@ func NewIdempotencyKey() string {
 // sheds or rejects a request; it always carries RetryAfterMs.
 const FaultOverloaded = "Overloaded"
 
+// FaultNotLeader is the fault code a replication follower returns for a
+// mutating action; the fault's Leader field carries the redirect address
+// when known. Terminal for Retryable — blind retries against the same
+// follower cannot succeed; the caller must re-dial the leader.
+const FaultNotLeader = "NotLeader"
+
+// FaultStaleTerm is the fencing rejection for a repl.Ship (or lease
+// renewal) carrying a term older than the receiver's: the sender was
+// deposed and must demote itself. Terminal for Retryable.
+const FaultStaleTerm = "StaleTerm"
+
 // Retryable classifies an error from Caller.Call: true means a retry of
 // the same exchange may succeed. Transport errors (the request may never
 // have reached the server, or the response was lost), HTTP 5xx statuses,

@@ -44,16 +44,31 @@ type Envelope struct {
 // when positive, is the server's backoff hint: the client should not
 // retry sooner (admission control sets it on Overloaded faults so
 // backoff is server-coordinated rather than guessed client-side).
+// Leader, on NotLeader faults, is the address of the node the caller
+// should redirect writes to (empty when the rejecting follower does not
+// currently know a leader).
 type Fault struct {
 	XMLName      xml.Name `xml:"Fault"`
 	Code         string   `xml:"Code"`
 	Message      string   `xml:"Message"`
 	RetryAfterMs int64    `xml:"RetryAfterMs,omitempty"`
+	Leader       string   `xml:"Leader,omitempty"`
 }
 
 // Error implements error.
 func (f *Fault) Error() string {
 	return fmt.Sprintf("wire: fault %s: %s", f.Code, f.Message)
+}
+
+// AsFault unwraps a typed *Fault from an error chain — the branch point
+// for callers reacting to specific fault codes (NotLeader redirects,
+// StaleTerm fencing, Overloaded backoff).
+func AsFault(err error) (*Fault, bool) {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f, true
+	}
+	return nil, false
 }
 
 // RawPayload is a pre-encoded response payload. A handler returning one
