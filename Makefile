@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench-smoke bench-cancel bench-agg bench-overload bench-repl race-cancel joinfuzz chaos replchaos replchaos-one clean
+.PHONY: check build test race vet bench-smoke bench-cancel bench-agg bench-overload bench-repl bench-plancache race-cancel race-plancache joinfuzz chaos replchaos replchaos-one clean
 
 check: build vet test race
 
@@ -91,6 +91,17 @@ bench-overload:
 # mid-spill cancels, group-commit retraction, snapshot watermark release.
 race-cancel:
 	$(GO) test -race -count=1 -run 'Cancel|Timeout|Deadline|Fault' ./internal/sqldb ./internal/core ./internal/wire ./cmd/cj2sql
+
+# Plan-cache hot path: cached (atomic slot load + epoch validation) vs
+# uncached (full compile) planning cost on the heartbeat-update and
+# pool-status-join shapes; recorded in BENCH_sqldb.json.
+bench-plancache:
+	$(GO) test -run '^$$' -bench 'BenchmarkPlanCacheHotPath' -benchtime 2s ./internal/sqldb | tee bench-plancache.txt
+
+# The -race plan-cache suite: concurrent hammer on one cached statement,
+# epoch invalidation under DDL/ANALYZE churn, stmt-cache clock sweeps.
+race-plancache:
+	$(GO) test -race -count=1 -run 'PlanCache|StmtCache|ExplainCached' ./internal/sqldb
 
 clean:
 	$(GO) clean ./...

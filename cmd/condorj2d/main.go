@@ -47,6 +47,7 @@ func main() {
 	queueWait := flag.Duration("queue-wait", 500*time.Millisecond, "admission control: max time a request waits for an in-flight slot before a typed Overloaded fault")
 	retryAfter := flag.Duration("retry-after", 0, "admission control: RetryAfterMs hint on Overloaded faults (0 = queue-wait)")
 	freshFor := flag.Duration("hb-fresh-for", 10*time.Second, "admission control: delta-free heartbeats older than this are shed under load")
+	planCache := flag.Bool("plan-cache", true, "cache compiled plans on parameterized statements, invalidated by schema/stats epochs (false = replan every execution)")
 	follow := flag.String("follow", "", "replication: run as a read-only follower of this leader /services URL (writes answer NotLeader; promotes on lease expiry)")
 	advertise := flag.String("advertise", "", "replication: this node's own /services URL as dialable by peers (required with -follow; on a leader, enables follower shipping)")
 	leaseTTL := flag.Duration("lease-ttl", 3*time.Second, "replication: leader lease TTL; a follower promotes when the replicated lease goes this stale")
@@ -101,6 +102,9 @@ func main() {
 		// In-memory engine: the CAS built it, so the flags apply here.
 		cas.Engine.SetStmtTimeout(*stmtTimeout)
 		cas.Engine.SetLockTimeout(*lockTimeout)
+	}
+	if !*planCache {
+		cas.Engine.SetPlanCacheMode(sqldb.PlanCacheOff)
 	}
 	// Admission control: bound in-flight work and per-action queues so an
 	// overloaded CAS answers typed Overloaded faults (with a RetryAfterMs
@@ -191,6 +195,18 @@ func main() {
 	cs := cas.CancelStats()
 	log.Printf("cancel: %d statements canceled, %d deadlines exceeded, %d lock-wait timeouts, %d lock-wait cancels, %d commit retractions",
 		cs.StatementsCanceled, cs.DeadlinesExceeded, cs.LockWaitTimeouts, cs.LockWaitCancels, cs.CommitRetractions)
+	if *planCache {
+		pc := cas.PlanCacheStats()
+		planTotal := pc.Hits + pc.Misses
+		hitRate := 0.0
+		if planTotal > 0 {
+			hitRate = float64(pc.Hits) / float64(planTotal)
+		}
+		log.Printf("plancache: %d hits, %d misses (%.1f%% hit rate), %d stores, %d invalidations, %d snapshot bypasses",
+			pc.Hits, pc.Misses, 100*hitRate, pc.Stores, pc.Invalidations, pc.Bypasses)
+	} else {
+		log.Printf("plancache: disabled (-plan-cache=false)")
+	}
 	as := cas.AdmissionStats()
 	log.Printf("admission: %d admitted (%d queued first), %d rejected, %d queue timeouts, %d stale heartbeats shed, peak in-flight %d",
 		as.Admitted, as.Queued, as.Rejected, as.QueueTimeouts, as.ShedStale, as.PeakInFlight)

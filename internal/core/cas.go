@@ -296,6 +296,26 @@ func (c *CAS) ExecSnapshot() metrics.ExecSnapshot {
 	}
 }
 
+// PlanCacheStats snapshots the embedded engine's plan-cache counters
+// (hits, misses, epoch invalidations, snapshot bypasses, stores) for
+// operators and experiments.
+func (c *CAS) PlanCacheStats() sqldb.PlanCacheStats { return c.Engine.PlanCacheStats() }
+
+// PlanCacheSnapshot converts the engine's plan-cache counters into the
+// metrics layer's form, ready for metrics.PlanCacheMonitor.Observe — the
+// bridge that charts plan reuse on the scheduler's parameterized
+// statements next to the planner and executor series.
+func (c *CAS) PlanCacheSnapshot() metrics.PlanCacheSnapshot {
+	s := c.Engine.PlanCacheStats()
+	return metrics.PlanCacheSnapshot{
+		Hits:          s.Hits,
+		Misses:        s.Misses,
+		Invalidations: s.Invalidations,
+		Bypasses:      s.Bypasses,
+		Stores:        s.Stores,
+	}
+}
+
 // Analyze refreshes the engine's cardinality statistics (the SQL ANALYZE
 // statement) so the join planner costs the CAS's status queries from
 // current data. Operators run it after bulk loads; the scheduler does not

@@ -1,0 +1,101 @@
+package metrics
+
+import "time"
+
+// Plan-cache accounting. The storage engine caches compiled plans on
+// parameterized statements and exports cumulative counters (hits,
+// misses, epoch invalidations, snapshot bypasses, stores);
+// PlanCacheMonitor differences successive snapshots into the same
+// interval-bucketed series the planner, lock, WAL, and executor
+// accounting use. Charted next to statement rates it answers whether the
+// daemon's hot shapes (heartbeat upserts, pool-status joins) are
+// actually skipping the planner, and whether DDL or statistics churn is
+// thrashing the cache.
+
+// PlanCacheSnapshot is one reading of the engine's plan-cache counters.
+// It mirrors sqldb.PlanCacheStats without importing it, keeping this
+// package dependency-free.
+type PlanCacheSnapshot struct {
+	// Hits counts executions served by a validated cached plan.
+	Hits uint64
+	// Misses counts executions that had to compile a plan with the
+	// cache enabled.
+	Misses uint64
+	// Invalidations counts cached plans discarded by validation (schema
+	// or stats epoch moved, planner mode changed, cardinality drifted).
+	Invalidations uint64
+	// Bypasses counts snapshot reads that planned fresh because their
+	// snapshot predates an index the cached plan uses.
+	Bypasses uint64
+	// Stores counts plans published into statement slots.
+	Stores uint64
+}
+
+// PlanCacheMonitor buckets plan-cache deltas by sampling interval. Like
+// the other monitors it is not safe for concurrent use; simulations and
+// pollers drive it from a single goroutine.
+type PlanCacheMonitor struct {
+	hits          *Counter
+	misses        *Counter
+	invalidations *Counter
+	bypasses      *Counter
+	stores        *Counter
+	last          PlanCacheSnapshot
+	haveLast      bool
+}
+
+// NewPlanCacheMonitor creates a monitor whose series start at start with
+// the given bucket width.
+func NewPlanCacheMonitor(start time.Time, interval time.Duration) *PlanCacheMonitor {
+	return &PlanCacheMonitor{
+		hits:          NewCounter(start, interval),
+		misses:        NewCounter(start, interval),
+		invalidations: NewCounter(start, interval),
+		bypasses:      NewCounter(start, interval),
+		stores:        NewCounter(start, interval),
+	}
+}
+
+// Observe records a snapshot taken at instant at, attributing the change
+// since the previous snapshot to at's interval. The first observation
+// establishes the baseline.
+func (m *PlanCacheMonitor) Observe(at time.Time, snap PlanCacheSnapshot) {
+	if m.haveLast {
+		m.hits.Add(at, int(snap.Hits-m.last.Hits))
+		m.misses.Add(at, int(snap.Misses-m.last.Misses))
+		m.invalidations.Add(at, int(snap.Invalidations-m.last.Invalidations))
+		m.bypasses.Add(at, int(snap.Bypasses-m.last.Bypasses))
+		m.stores.Add(at, int(snap.Stores-m.last.Stores))
+	}
+	m.last = snap
+	m.haveLast = true
+}
+
+// Hits is the per-interval cached-plan-execution series.
+func (m *PlanCacheMonitor) Hits() *Counter { return m.hits }
+
+// Misses is the per-interval plan-compilation series.
+func (m *PlanCacheMonitor) Misses() *Counter { return m.misses }
+
+// Invalidations is the per-interval discarded-plan series.
+func (m *PlanCacheMonitor) Invalidations() *Counter { return m.invalidations }
+
+// Bypasses is the per-interval snapshot-bypass series.
+func (m *PlanCacheMonitor) Bypasses() *Counter { return m.bypasses }
+
+// Stores is the per-interval plan-publication series.
+func (m *PlanCacheMonitor) Stores() *Counter { return m.stores }
+
+// HitRate reports hits / (hits + misses) over the latest observation's
+// cumulative totals — the single number that says whether parameterized
+// statements are reusing plans at all.
+func (m *PlanCacheMonitor) HitRate() float64 {
+	if !m.haveLast {
+		return 0
+	}
+	total := m.last.Hits + m.last.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.last.Hits) / float64(total)
+}

@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPlanCacheMonitorDifferencesSnapshots(t *testing.T) {
+	start := time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+	m := NewPlanCacheMonitor(start, time.Minute)
+
+	// Baseline establishes the reference; nothing recorded yet.
+	m.Observe(start, PlanCacheSnapshot{
+		Hits: 900, Misses: 100, Invalidations: 5, Bypasses: 2, Stores: 95,
+	})
+	if got := m.Hits().Total(); got != 0 {
+		t.Fatalf("baseline recorded %d hits, want 0", got)
+	}
+
+	m.Observe(start.Add(time.Minute), PlanCacheSnapshot{
+		Hits: 1500, Misses: 120, Invalidations: 9, Bypasses: 4, Stores: 110,
+	})
+	m.Observe(start.Add(2*time.Minute), PlanCacheSnapshot{
+		Hits: 2400, Misses: 160, Invalidations: 15, Bypasses: 4, Stores: 150,
+	})
+
+	if got := m.Hits().Total(); got != 1500 {
+		t.Fatalf("hits total = %d, want 1500", got)
+	}
+	if got := m.Misses().Total(); got != 60 {
+		t.Fatalf("misses total = %d, want 60", got)
+	}
+	if got := m.Invalidations().Total(); got != 10 {
+		t.Fatalf("invalidations total = %d, want 10", got)
+	}
+	if got := m.Bypasses().Total(); got != 2 {
+		t.Fatalf("bypasses total = %d, want 2", got)
+	}
+	pts := m.Stores().PerInterval(start.Add(2 * time.Minute))
+	if len(pts) != 3 || pts[1].Value != 15 || pts[2].Value != 40 {
+		t.Fatalf("per-interval stores = %v", pts)
+	}
+	// Cumulative hit rate: 2400 / (2400 + 160).
+	want := 2400.0 / 2560.0
+	if got := m.HitRate(); got != want {
+		t.Fatalf("hit rate = %v, want %v", got, want)
+	}
+}
+
+func TestPlanCacheMonitorHitRateEmpty(t *testing.T) {
+	m := NewPlanCacheMonitor(time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC), time.Minute)
+	if got := m.HitRate(); got != 0 {
+		t.Fatalf("hit rate with no observations = %v, want 0", got)
+	}
+	m.Observe(time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC), PlanCacheSnapshot{})
+	if got := m.HitRate(); got != 0 {
+		t.Fatalf("hit rate with zero totals = %v, want 0", got)
+	}
+}

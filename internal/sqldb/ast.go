@@ -80,6 +80,11 @@ type SelectStmt struct {
 	OrderBy  []OrderItem
 	Limit    Expr // nil when absent
 	Offset   Expr // nil when absent
+
+	// plan is the compiled-plan cache slot (plancache.go). The statement
+	// cache interns one AST per SQL text, so anchoring the plan here keys
+	// it by SQL text with no extra map; ASTs must be shared by pointer.
+	plan planSlot
 }
 
 // SetClause is one column assignment of an UPDATE.
@@ -93,12 +98,20 @@ type UpdateStmt struct {
 	Table string
 	Sets  []SetClause
 	Where Expr
+
+	// plan caches the compiled target plan (plancache.go): the
+	// synthesized single-table SELECT over Where that finds the rows to
+	// update.
+	plan planSlot
 }
 
 // DeleteStmt is DELETE FROM ... [WHERE].
 type DeleteStmt struct {
 	Table string
 	Where Expr
+
+	// plan caches the compiled target plan, as on UpdateStmt.
+	plan planSlot
 }
 
 // AnalyzeStmt is ANALYZE [table]: refresh the cardinality statistics the

@@ -165,6 +165,19 @@ func (c *cancelCheck) check() error {
 	return c.slow()
 }
 
+// checkN advances the row counter by n at once — for batched operators
+// that visit a whole rowBatch per call — and polls the context whenever
+// the jump crossed a ctxCheckRows boundary. Equivalent cancellation
+// latency to n calls of check, at one call per batch.
+func (c *cancelCheck) checkN(n int) error {
+	old := c.ticks
+	c.ticks += uint(n)
+	if old/ctxCheckRows == c.ticks/ctxCheckRows {
+		return nil
+	}
+	return c.slow()
+}
+
 func (c *cancelCheck) slow() error {
 	if c.ctx == nil {
 		return nil

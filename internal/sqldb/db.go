@@ -92,7 +92,12 @@ type DB struct {
 	hook   atomic.Pointer[StatsHook]
 	stmtMu sync.RWMutex
 	stmts  map[string]*cachedStmt
-	closed atomic.Bool
+	// stmtClock is the eviction order for stmts: every cached statement
+	// in an arbitrary but stable slot, walked by the persistent hand in
+	// stmtHand. Both are guarded by stmtMu's write half.
+	stmtClock []*cachedStmt
+	stmtHand  int
+	closed    atomic.Bool
 	txLive sync.WaitGroup
 
 	// MVCC state. clock is the global commit timestamp generator; commitMu
@@ -151,6 +156,15 @@ type DB struct {
 	execAggInputRows atomic.Uint64
 	execAggGroups    atomic.Uint64
 	execAggBatches   atomic.Uint64
+
+	// Plan-cache state (see plancache.go): mode switch plus the
+	// hit/miss/invalidation accounting PlanCacheStats snapshots.
+	planCacheMode     atomic.Int32
+	planHits          atomic.Uint64
+	planMisses        atomic.Uint64
+	planInvalidations atomic.Uint64
+	planBypasses      atomic.Uint64
+	planStores        atomic.Uint64
 }
 
 // New creates a pure in-memory database (no durability).
@@ -514,18 +528,24 @@ const (
 )
 
 // cachedStmt is one statement-cache entry. used is set on every hit and
-// cleared by eviction sweeps, giving hot entries a second chance (clock
-// eviction without an access-ordered list).
+// cleared as the clock hand passes, giving hot entries a second chance
+// (clock eviction without an access-ordered list). slot is the entry's
+// position in DB.stmtClock, maintained under stmtMu.
 type cachedStmt struct {
 	stmt Statement
+	sql  string
+	slot int
 	used atomic.Bool
 }
 
 // parse parses with a statement cache, since the CAS executes the same
-// handful of statement shapes millions of times. On overflow the cache
-// evicts a small batch of entries not referenced since the last sweep —
-// never the whole map, which would throw away the hot CAS statements along
-// with the cold ones.
+// handful of statement shapes millions of times. The cached AST is the
+// interned instance for its SQL text — the compiled-plan slot riding on
+// SELECT/UPDATE/DELETE nodes (plancache.go) is keyed by it — so parse
+// must never hand out two ASTs for one live text. On overflow the cache
+// evicts a small batch of entries not referenced since the hand last
+// passed — never the whole map, which would throw away the hot CAS
+// statements along with the cold ones.
 func (db *DB) parse(sql string) (Statement, error) {
 	db.stmtMu.RLock()
 	c, ok := db.stmts[sql]
@@ -539,30 +559,68 @@ func (db *DB) parse(sql string) (Statement, error) {
 		return nil, err
 	}
 	db.stmtMu.Lock()
-	if len(db.stmts) >= stmtCacheMax {
-		evicted := 0
-		for k, e := range db.stmts {
-			if e.used.Swap(false) {
-				continue // referenced since the last sweep: second chance
-			}
-			delete(db.stmts, k)
-			if evicted++; evicted >= stmtCacheEvict {
-				break
-			}
-		}
-		if evicted == 0 {
-			// Everything was hot; reclaim arbitrarily to stay bounded.
-			for k := range db.stmts {
-				delete(db.stmts, k)
-				if evicted++; evicted >= stmtCacheEvict {
-					break
-				}
-			}
-		}
+	if c, ok := db.stmts[sql]; ok {
+		// Lost the parse race: another goroutine cached this text while we
+		// were parsing. Keep its entry — it is the interned AST — and throw
+		// our duplicate away.
+		c.used.Store(true)
+		db.stmtMu.Unlock()
+		return c.stmt, nil
 	}
-	db.stmts[sql] = &cachedStmt{stmt: stmt}
+	if len(db.stmts) >= stmtCacheMax {
+		db.sweepStmtsLocked()
+	}
+	e := &cachedStmt{stmt: stmt, sql: sql, slot: len(db.stmtClock)}
+	db.stmts[sql] = e
+	db.stmtClock = append(db.stmtClock, e)
 	db.stmtMu.Unlock()
 	return stmt, nil
+}
+
+// sweepStmtsLocked reclaims up to stmtCacheEvict entries whose used bit
+// is clear, advancing the persistent hand at most one full revolution
+// and clearing set bits as it passes. A sweep that finds nothing
+// evictable — every entry referenced since the hand last came around —
+// evicts nothing: the cache is allowed to overshoot stmtCacheMax by up
+// to stmtCacheEvict of slack, during which hits keep re-arming the
+// genuinely hot entries while one-shot entries stay clear for the next
+// sweep. Only when the slack is exhausted does the sweep reclaim at the
+// hand regardless of bits, which rotates the forced victims instead of
+// repeatedly sacrificing one arbitrary map-order region.
+func (db *DB) sweepStmtsLocked() {
+	evicted := 0
+	for scanned := len(db.stmtClock); scanned > 0 && evicted < stmtCacheEvict; scanned-- {
+		if db.stmtHand >= len(db.stmtClock) {
+			db.stmtHand = 0
+		}
+		e := db.stmtClock[db.stmtHand]
+		if e.used.Swap(false) {
+			db.stmtHand++ // second chance
+			continue
+		}
+		db.removeStmtLocked(e) // swap-remove: the hand re-examines this slot
+		evicted++
+	}
+	if evicted == 0 && len(db.stmts) >= stmtCacheMax+stmtCacheEvict {
+		for evicted < stmtCacheEvict && len(db.stmtClock) > 0 {
+			if db.stmtHand >= len(db.stmtClock) {
+				db.stmtHand = 0
+			}
+			db.removeStmtLocked(db.stmtClock[db.stmtHand])
+			evicted++
+		}
+	}
+}
+
+// removeStmtLocked deletes e from the cache map and swap-removes it from
+// the clock, fixing the moved tail entry's slot index.
+func (db *DB) removeStmtLocked(e *cachedStmt) {
+	delete(db.stmts, e.sql)
+	last := len(db.stmtClock) - 1
+	moved := db.stmtClock[last]
+	db.stmtClock[e.slot] = moved
+	moved.slot = e.slot
+	db.stmtClock = db.stmtClock[:last]
 }
 
 // Result reports the outcome of a mutating statement.
@@ -856,13 +914,18 @@ func (db *DB) applyDDL(stmt Statement, tx *Tx) error {
 		return nil
 	case *DropTableStmt:
 		name := strings.ToLower(s.Name)
-		if _, exists := db.tables[name]; !exists {
+		tbl, exists := db.tables[name]
+		if !exists {
 			if s.IfExists {
 				return nil
 			}
 			return fmt.Errorf("sqldb: no table %s", name)
 		}
 		delete(db.tables, name)
+		// Cached plans hold the *table pointer directly; a recreate under
+		// the same name builds a fresh table, so the only way stale plans
+		// notice the drop is through the dropped table's own epoch.
+		tbl.schemaEpoch.Add(1)
 		if tx != nil {
 			tx.recordDDL("DROP TABLE " + name)
 		}

@@ -86,6 +86,10 @@ var (
 	_ driver.Validator      = (*conn)(nil)
 )
 
+// Prepare interns the AST through db.parse, so every prepared handle
+// for the same SQL text shares one AST — and with it the AST's cached
+// compiled plan (plancache.go). database/sql connection pooling
+// therefore gets plan reuse across connections for free.
 func (c *conn) Prepare(query string) (driver.Stmt, error) {
 	ast, err := c.db.parse(query)
 	if err != nil {

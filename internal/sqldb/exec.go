@@ -41,15 +41,19 @@ type accessPlan struct {
 	reverse bool
 }
 
+// query is the per-execution state of one statement: the compiled plan
+// it runs (embedded, possibly shared with concurrent executions through
+// the plan cache — see plancache.go) plus everything private to this
+// execution: parameter values, the evaluation environment, snapshot
+// timestamp, lock mode, hash-join tables, and counters. Execution must
+// never write through the embedded selectPlan; only buildSelectPlan's
+// throwaway planning query does, before the plan is published.
 type query struct {
-	tx       *Tx
-	stmt     *SelectStmt
-	params   []Value
-	bindings []tableBinding
-	env      *evalEnv
-	access   []accessPlan
-	filters  [][]Expr // per ref: WHERE conjuncts first evaluable there
-	stats    *StmtStats
+	tx *Tx
+	*selectPlan
+	params []Value
+	env    *evalEnv
+	stats  *StmtStats
 	// rowLock is the lock mode taken on each row visited through an index
 	// access path: S for SELECT, X for UPDATE/DELETE targets. Full scans
 	// rely on the table-granularity lock instead and take no row locks.
@@ -59,21 +63,16 @@ type query struct {
 	// IS/S locks, no row S locks, no key predicate locks).
 	snapRead bool
 	snapTS   uint64
-	// orderable marks a single-table, non-aggregated, non-DISTINCT SELECT
-	// whose ORDER BY the access path may (partially) provide.
-	orderable bool
-	// orderAliased[i] marks ORDER BY items that orderKeys resolves to an
-	// output alias: they sort by the output expression, not the same-named
-	// table column, so an index can never provide their order.
-	orderAliased []bool
 	// batchHint caps how many index entries one latched collection batch
 	// materializes when the caller expects to stop early (LIMIT). Purely a
 	// performance knob: the scan still continues batch by batch for as long
 	// as the visitor accepts rows.
 	batchHint int
-	// steps is the cost-based join plan for multi-table SELECTs (join.go):
-	// the chosen execution order with per-step strategy and predicates.
-	steps []stepPlan
+	// hjs holds the per-step hash-join build tables, indexed like
+	// selectPlan.steps. They are execution state (built from rows this
+	// execution can see), so they live here rather than on the shared
+	// stepPlan.
+	hjs []*hashState
 	// cancel is the cooperative cancellation checkpoint (ctx.go): every
 	// scan, probe and spill loop calls cancel.check() per visited row.
 	cancel cancelCheck
@@ -95,7 +94,7 @@ var errStopScan = fmt.Errorf("sqldb: internal: stop scan")
 
 func (tx *Tx) execSelect(s *SelectStmt, params []Value) (*Rows, error) {
 	stats := StmtStats{Kind: "SELECT"}
-	q := &query{tx: tx, stmt: s, params: params, stats: &stats, rowLock: lockShared,
+	q := &query{tx: tx, params: params, stats: &stats, rowLock: lockShared,
 		snapRead: tx.readOnly, snapTS: tx.snap, cancel: cancelCheck{ctx: tx.ctx}}
 	// Deferred so failing statements still report: a grace-degraded build
 	// on a query that later errors is exactly what an operator wants to see.
@@ -119,22 +118,17 @@ func (tx *Tx) execSelect(s *SelectStmt, params []Value) (*Rows, error) {
 	}
 	if len(s.From) > 0 {
 		stats.Table = s.From[0].Table
-		for _, ref := range s.From {
-			tbl, err := tx.db.lookupTable(ref.Table)
-			if err != nil {
-				return nil, err
-			}
-			q.bindings = append(q.bindings, tableBinding{alias: strings.ToLower(ref.Alias), tbl: tbl})
-		}
 	}
-	q.env = &evalEnv{params: params, now: tx.db.nowFn()}
-	q.env.bindings = make([]binding, len(q.bindings))
-	for i, b := range q.bindings {
-		q.env.bindings[i] = binding{alias: b.alias, schema: &b.tbl.schema}
-	}
-
-	if err := q.plan(); err != nil {
+	plan, _, err := tx.planSelect(s, q.snapRead, q.snapTS)
+	if err != nil {
 		return nil, err
+	}
+	q.selectPlan = plan
+	stats.UsedIndex = plan.usedIndex
+	q.env = &evalEnv{params: params, now: tx.db.nowFn()}
+	q.env.bindings = make([]binding, len(plan.bindings))
+	for i, b := range plan.bindings {
+		q.env.bindings[i] = binding{alias: b.alias, schema: &b.tbl.schema}
 	}
 
 	// Lock after planning: an index access path only needs intention-shared
@@ -177,21 +171,11 @@ func (tx *Tx) execSelect(s *SelectStmt, params []Value) (*Rows, error) {
 		return &Rows{Columns: cols, Data: [][]Value{row}}, nil
 	}
 
-	// Expand stars and name outputs.
-	outs, cols, err := q.expandOutputs()
-	if err != nil {
-		return nil, err
-	}
-
-	aggregated := len(s.GroupBy) > 0 || s.Having != nil
-	for _, o := range outs {
-		if hasAggregate(o) {
-			aggregated = true
-		}
-	}
+	// Outputs were star-expanded and named at plan time.
+	outs, cols := plan.outs, plan.cols
 
 	var data [][]Value
-	if aggregated {
+	if plan.aggregated {
 		data, err = q.runAggregate(outs)
 	} else {
 		data, err = q.runPlain(outs)
@@ -260,7 +244,7 @@ func (q *query) plan() error {
 	canEval := func(e Expr) bool { return !refsColumns(e) }
 	q.access[0] = q.chooseAccess(0, q.filters[0], canEval)
 	if q.access[0].index != nil {
-		q.stats.UsedIndex = true
+		q.usedIndex = true
 	}
 	return nil
 }
@@ -411,6 +395,9 @@ func (q *query) chooseAccess(i int, usable []Expr, canEval func(Expr) bool) acce
 		// only the then-newest committed versions); such a scan could miss
 		// rows whose visible version carries a since-vacated key.
 		if q.snapRead && ix.createdTS > q.snapTS {
+			// This decision is private to the planning snapshot — a later
+			// snapshot could use the index — so the plan must not be cached.
+			q.sawInvisible = true
 			continue
 		}
 		var plan accessPlan
@@ -547,239 +534,41 @@ func (q *query) scanAccess(i int, visit func(rid int64, row []Value) error) erro
 	return q.scanPlan(i, q.access[i], visit)
 }
 
-// scanPlan executes one access path over binding i. Join steps pass their
-// own plans (a hash build's local-predicate scan, an index NL probe);
-// single-table statements use the plan in q.access.
+// scanPlan executes one access path over binding i, pushing each
+// surviving row into visit. It is a thin driver over the batched scanOp
+// (scan.go): batches are pulled Init/Next-style and visited row by row,
+// so push-model consumers (the join pipeline, UPDATE/DELETE target
+// matching) and pull-model ones (hash builds) share one scan operator.
 func (q *query) scanPlan(i int, ap accessPlan, visit func(rid int64, row []Value) error) error {
-	tbl := q.bindings[i].tbl
-	if ap.index == nil {
-		var err error
-		visitor := func(rid int64, row []Value) bool {
-			q.stats.RowsScanned++
-			if e := q.cancel.check(); e != nil {
-				err = e
-				return false
-			}
-			if e := visit(rid, row); e != nil {
-				err = e
-				return false
-			}
-			return true
-		}
-		if q.snapRead {
-			tbl.scanSnapshot(q.snapTS, visitor)
-		} else {
-			tbl.scanLatest(q.tx.id, visitor)
-		}
+	op := scanOp{q: q, bind: i, ap: ap}
+	if err := op.Init(); err != nil {
 		return err
 	}
-	prefix := make(Key, len(ap.eqExprs))
-	for j, e := range ap.eqExprs {
-		v, err := q.env.eval(e)
-		if err != nil {
-			return err
-		}
-		if v.IsNull() {
-			return nil // col = NULL never matches
-		}
-		// Coerce to the indexed column's type so Int/Float compare right.
-		cv, err := coerce(v, tbl.schema.Columns[ap.index.cols[j]].Type)
-		if err != nil {
-			return nil // incomparable constant: no matches
-		}
-		prefix[j] = cv
-	}
-	// Resolve the optional range bounds on the next index column.
-	rangeCol := -1
-	var loVal, hiVal Value
-	haveLo, haveHi := false, false
-	if ap.loExpr != nil || ap.hiExpr != nil {
-		rangeCol = ap.index.cols[len(ap.eqExprs)]
-		if ap.loExpr != nil {
-			v, err := q.env.eval(ap.loExpr)
-			if err != nil {
-				return err
-			}
-			if v.IsNull() {
-				return nil // comparison with NULL matches nothing
-			}
-			cv, err := coerce(v, tbl.schema.Columns[rangeCol].Type)
-			if err != nil {
-				return nil
-			}
-			loVal, haveLo = cv, true
-		}
-		if ap.hiExpr != nil {
-			v, err := q.env.eval(ap.hiExpr)
-			if err != nil {
-				return err
-			}
-			if v.IsNull() {
-				return nil
-			}
-			cv, err := coerce(v, tbl.schema.Columns[rangeCol].Type)
-			if err != nil {
-				return nil
-			}
-			hiVal, haveHi = cv, true
-		}
-	}
-	kpos := len(prefix)
-	// Unique-key point lookups take the key-value lock as a predicate
-	// guard: a transaction that read key K — present or absent — blocks
-	// writers of K until it commits, closing the check-then-act phantom for
-	// the engine's hottest access pattern. Broader range scans remain
-	// record-locked only (no next-key locking). Snapshot reads need no
-	// guard: they re-read the same timestamp no matter who writes.
-	if !q.snapRead && ap.index.schema.Unique && len(ap.eqExprs) == len(ap.index.cols) {
-		kt := keyLockTarget(tbl.schema.Name, ap.index.schema.Name, prefix)
-		if err := q.tx.db.locks.acquire(q.tx.ctx, q.tx, kt, q.rowLock); err != nil {
-			return err
-		}
-	}
-	// Materialize matching rids under the table latch, then lock each row
-	// before reading it. Blocking on a row lock while holding the latch
-	// would deadlock invisibly to the waits-for graph (the lock's holder may
-	// need the latch to finish its own mutation), so the two phases must not
-	// overlap. Collection is batched so a visit that stops early (LIMIT's
-	// errStopScan) terminates the tree walk instead of materializing the
-	// whole range; batches resume from the last seen key, which is unique
-	// thanks to the rid tiebreaker non-unique indexes append.
-	// Collection batch size: start at the caller's early-stop hint (LIMIT)
-	// when one is set, but grow geometrically on every continued batch —
-	// residual filters may reject most collected rows, and a hint-sized
-	// batch would then pay a latch acquisition and O(log n) seek per
-	// handful of entries.
-	const maxScanBatch = 256
-	scanBatch := maxScanBatch
-	if q.batchHint > 0 && q.batchHint < scanBatch {
-		scanBatch = q.batchHint
-	}
-	tableName := strings.ToLower(tbl.schema.Name)
-	// Forward scans seek to prefix (+ low bound); reverse scans seek to the
-	// last key under prefix (+ high bound) and walk backward.
-	var resume Key
-	skipResume := false
-	if !ap.reverse && haveLo {
-		resume = append(append(Key{}, prefix...), loVal)
-	} else if !ap.reverse {
-		resume = prefix
-	}
-	var revStart Key
-	if ap.reverse {
-		if haveHi {
-			revStart = append(append(Key{}, prefix...), hiVal)
-		} else {
-			revStart = prefix
-		}
-	}
+	defer op.Close()
+	// Index scans count RowsScanned per collected entry inside the
+	// operator; full-scan rows count here, as the consumer sees them, so
+	// an early stop (errStopScan) leaves delivered-but-unvisited rows
+	// uncounted.
+	countHere := ap.index == nil
 	for {
-		var rids []int64
-		var keys []Key
-		var lastKey Key
-		exhausted := true
-		collect := func(k Key, rid int64) bool {
-			if skipResume && compareKeys(k, resume) == 0 {
-				return true // already visited in the previous batch
-			}
-			// Stay within the equality prefix.
-			if len(k) < len(prefix) || compareKeys(k[:len(prefix)], prefix) != 0 {
-				return false
-			}
-			if rangeCol >= 0 && kpos < len(k) {
-				// The strict bound on the near side of the walk is skipped
-				// per entry; the far-side bound terminates the walk.
-				if !ap.reverse {
-					if haveLo && !ap.loInc {
-						if c, cerr := Compare(k[kpos], loVal); cerr == nil && c == 0 {
-							return true
-						}
-					}
-					if haveHi {
-						c, cerr := Compare(k[kpos], hiVal)
-						if cerr != nil || c > 0 || (c == 0 && !ap.hiInc) {
-							return false
-						}
-					}
-				} else {
-					if haveHi && !ap.hiInc {
-						if c, cerr := Compare(k[kpos], hiVal); cerr == nil && c == 0 {
-							return true
-						}
-					}
-					if haveLo {
-						c, cerr := Compare(k[kpos], loVal)
-						if cerr != nil || c < 0 || (c == 0 && !ap.loInc) {
-							return false
-						}
-					}
-				}
-			}
-			q.stats.RowsScanned++
-			rids = append(rids, rid)
-			keys = append(keys, k) // node keys are immutable: safe to hold
-			lastKey = append(lastKey[:0], k...)
-			if len(rids) >= scanBatch {
-				exhausted = false
-				return false
-			}
-			return true
+		b, err := op.Next()
+		if err != nil {
+			return err
 		}
-		tbl.latch.RLock()
-		switch {
-		case !ap.reverse:
-			ap.index.tree.scanRange(resume, nil, collect)
-		case skipResume:
-			ap.index.tree.scanReverseLT(resume, collect)
-		default:
-			ap.index.tree.scanReverseLE(revStart, collect)
-		}
-		tbl.latch.RUnlock()
-		for bi, rid := range rids {
-			if err := q.cancel.check(); err != nil {
-				return err
-			}
-			var row []Value
-			if q.snapRead {
-				row = tbl.visibleRow(rid, q.snapTS)
-			} else {
-				if err := q.tx.lockRow(tableName, rid, q.rowLock); err != nil {
-					return err
-				}
-				// Re-fetch after the lock grant: the row may have been
-				// superseded, tombstoned, or its slot reclaimed by a writer
-				// that committed before our lock was granted.
-				row = tbl.currentRow(rid, q.tx.id)
-			}
-			if row == nil {
-				continue
-			}
-			// Index entries outlive the versions that created them (GC
-			// reclaims them against the snapshot watermark), so a row can be
-			// reachable through entries for keys it no longer — or, at this
-			// snapshot, does not yet — hold. Each row is accepted only
-			// through its own entry, which both deduplicates and keeps
-			// ordered scans emitting it at the right key position.
-			if !ap.index.entryMatches(keys[bi], row, rid) {
-				continue
-			}
-			if err := visit(rid, row); err != nil {
-				return err
-			}
-		}
-		if exhausted {
+		if b == nil {
 			return nil
 		}
-		resume = lastKey
-		skipResume = true
-		if scanBatch < maxScanBatch {
-			scanBatch *= 2
-			if scanBatch > maxScanBatch {
-				scanBatch = maxScanBatch
+		for bi := range b.rows {
+			if countHere {
+				q.stats.RowsScanned++
+			}
+			if err := visit(b.rids[bi], b.rows[bi]); err != nil {
+				return err
 			}
 		}
 	}
 }
+
 
 // join runs the single-table scan loop (multi-table statements execute
 // through the planned steps in join.go; see joinLoop).
@@ -1440,27 +1229,24 @@ func (tx *Tx) execInsert(s *InsertStmt, params []Value) (Result, error) {
 // lock the chosen access path calls for: intention-exclusive (with row X
 // locks during matchTarget) when an index narrows the statement to
 // individual rows, whole-table exclusive for a full scan.
-func (tx *Tx) planTarget(tableName string, where Expr, params []Value, stats *StmtStats) (*query, *table, error) {
-	tbl, err := tx.db.lookupTable(tableName)
+func (tx *Tx) planTarget(tableName string, where Expr, slot *planSlot, params []Value, stats *StmtStats) (*query, *table, error) {
+	plan, _, err := tx.planTargetPlan(tableName, where, slot)
 	if err != nil {
 		return nil, nil, err
 	}
+	tbl := plan.bindings[0].tbl
 	q := &query{
-		tx:      tx,
-		stmt:    &SelectStmt{From: []TableRef{{Table: tableName, Alias: tableName}}, Where: where},
-		params:  params,
-		stats:   stats,
-		rowLock: lockExclusive,
-		cancel:  cancelCheck{ctx: tx.ctx},
+		tx:         tx,
+		selectPlan: plan,
+		params:     params,
+		stats:      stats,
+		rowLock:    lockExclusive,
+		cancel:     cancelCheck{ctx: tx.ctx},
 	}
-	q.bindings = []tableBinding{{alias: strings.ToLower(tableName), tbl: tbl}}
 	q.env = &evalEnv{params: params, now: tx.db.nowFn()}
-	q.env.bindings = []binding{{alias: q.bindings[0].alias, schema: &tbl.schema}}
-	if err := q.plan(); err != nil {
-		return nil, nil, err
-	}
+	q.env.bindings = []binding{{alias: plan.bindings[0].alias, schema: &tbl.schema}}
 	mode := lockExclusive
-	if q.access[0].index != nil {
+	if plan.access[0].index != nil {
 		mode = lockIntentExclusive
 	}
 	if err := tx.lock(strings.ToLower(tableName), mode); err != nil {
@@ -1496,13 +1282,11 @@ func (tx *Tx) execUpdate(s *UpdateStmt, params []Value) (Result, error) {
 	}
 	stats := StmtStats{Kind: "UPDATE", Table: s.Table}
 	defer func() { tx.db.emit(stats) }()
-	q, tbl, err := tx.planTarget(s.Table, s.Where, params, &stats)
+	q, tbl, err := tx.planTarget(s.Table, s.Where, &s.plan, params, &stats)
 	if err != nil {
 		return Result{}, err
 	}
-	if q.access[0].index != nil {
-		stats.UsedIndex = true
-	}
+	stats.UsedIndex = q.usedIndex
 	setIdx := make([]int, len(s.Sets))
 	for i, set := range s.Sets {
 		ci := tbl.schema.ColumnIndex(set.Column)
@@ -1558,13 +1342,11 @@ func (tx *Tx) execDelete(s *DeleteStmt, params []Value) (Result, error) {
 	}
 	stats := StmtStats{Kind: "DELETE", Table: s.Table}
 	defer func() { tx.db.emit(stats) }()
-	q, tbl, err := tx.planTarget(s.Table, s.Where, params, &stats)
+	q, tbl, err := tx.planTarget(s.Table, s.Where, &s.plan, params, &stats)
 	if err != nil {
 		return Result{}, err
 	}
-	if q.access[0].index != nil {
-		stats.UsedIndex = true
-	}
+	stats.UsedIndex = q.usedIndex
 	rids, err := q.matchTarget(tbl)
 	if err != nil {
 		return Result{}, err

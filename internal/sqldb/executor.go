@@ -51,9 +51,12 @@ const smallGroupMax = 16
 
 // rowBatch is one unit of flow between batch operators: projected output
 // rows plus their ORDER BY keys (nil when the statement has no ORDER BY).
+// Leaf operators (scanOp) fill rids with the storage row ids instead of
+// keys; interior operators leave it nil.
 type rowBatch struct {
 	rows [][]Value
 	keys [][]Value
+	rids []int64
 }
 
 // batchOp is the executor's iterator contract. Init must be called once
@@ -209,11 +212,14 @@ func (q *query) outputAliasIdx() map[string]int {
 	return m
 }
 
-// hashAggOp is the batched hash GROUP BY operator.
-type hashAggOp struct {
-	q    *query
-	outs []Expr
-
+// aggPlan is the compiled, cacheable half of the batched hash GROUP BY
+// operator: the deduplicated aggregate calls, the opcode program, the
+// group-keying shape, and the finish-phase ORDER BY/alias resolution.
+// Everything here is immutable after compileAgg returns — cached plans
+// share one aggPlan across concurrent executions (the maps are read-only
+// after compile); per-execution hash tables and buffers live on
+// hashAggOp.
+type aggPlan struct {
 	aggCalls []*FuncCall
 	// instrs is the compiled accumulation program: one instruction per
 	// aggregate call, with the call's name resolved to an opcode and a
@@ -230,38 +236,23 @@ type hashAggOp struct {
 	fastBind int // -1 = generic path
 	fastCol  int
 	fastText bool
-	// The TEXT fast path starts with a linear small table (the pool-status
-	// shape has a handful of states, and a few string compares beat a map
-	// hash) and migrates to the map when it outgrows smallGroupMax.
-	smallKeys  []string
-	smallVals  []*aggGroup
-	textGroups map[string]*aggGroup
-	intGroups  map[int64]*aggGroup
-	nullGroup  *aggGroup // fast-path group for a NULL grouping value
-	groups     map[string]*aggGroup
-	single     *aggGroup   // the global aggregate's one group
-	order      []*aggGroup // first-appearance order
-	onlyStar   bool        // the only aggregate is COUNT(*)
-	keyBuf     bytes.Buffer
+	onlyStar bool // the only aggregate is COUNT(*)
 
 	// Finish phase.
-	having     Expr
 	orderExprs []Expr
 	aliasPos   []int
-	genv       *evalEnv
-	scratch    []binding
-	pos        int
+	aliasIdx   map[string]int    // read-only after compile
+	aggIdx     map[*FuncCall]int // read-only after compile
 }
 
-// newHashAggOp prepares the operator: deduplicates aggregate calls,
-// resolves the fast paths, and builds the shared group-scope evaluation
-// environment.
-func newHashAggOp(q *query, outs []Expr) (*hashAggOp, error) {
-	op := &hashAggOp{q: q, outs: outs, fastBind: -1, having: q.stmt.Having}
-	op.aggCalls = q.collectAggCalls(outs)
-	op.instrs = make([]aggInstr, len(op.aggCalls))
-	for i, fc := range op.aggCalls {
-		in := &op.instrs[i]
+// compileAgg builds the aggregation program for outs. Runs at plan time
+// (buildSelectPlan); q is the throwaway planning query.
+func (q *query) compileAgg(outs []Expr) (*aggPlan, error) {
+	ap := &aggPlan{fastBind: -1}
+	ap.aggCalls = q.collectAggCalls(outs)
+	ap.instrs = make([]aggInstr, len(ap.aggCalls))
+	for i, fc := range ap.aggCalls {
+		in := &ap.instrs[i]
 		in.op, in.star, in.distinct, in.bind, in.fc = aggOpOf(fc.Name), fc.Star, fc.Distinct, -1, fc
 		if fc.Star {
 			continue
@@ -280,7 +271,7 @@ func newHashAggOp(q *query, outs []Expr) (*hashAggOp, error) {
 
 	switch {
 	case len(q.stmt.GroupBy) == 0:
-		op.global = true
+		ap.global = true
 	case len(q.stmt.GroupBy) == 1:
 		if cr, ok := q.stmt.GroupBy[0].(*ColRef); ok {
 			if pos, err := q.bindingPos(cr); err == nil {
@@ -288,33 +279,82 @@ func newHashAggOp(q *query, outs []Expr) (*hashAggOp, error) {
 				if ci := schema.ColumnIndex(strings.ToLower(cr.Name)); ci >= 0 {
 					switch schema.Columns[ci].Type {
 					case Text:
-						op.fastBind, op.fastCol, op.fastText = pos, ci, true
+						ap.fastBind, ap.fastCol, ap.fastText = pos, ci, true
 					case Int:
-						op.fastBind, op.fastCol = pos, ci
-						op.intGroups = make(map[int64]*aggGroup)
+						ap.fastBind, ap.fastCol = pos, ci
 					}
 				}
 			}
 		}
 	}
-	if !op.global && op.fastBind < 0 {
+	ap.onlyStar = len(ap.instrs) == 1 && ap.instrs[0].star
+
+	ap.orderExprs, ap.aliasPos = q.orderKeys(outs)
+	ap.aliasIdx = q.outputAliasIdx()
+	ap.aggIdx = make(map[*FuncCall]int, len(ap.aggCalls))
+	for i, fc := range ap.aggCalls {
+		ap.aggIdx[fc] = i
+	}
+	return ap, nil
+}
+
+// hashAggOp is the batched hash GROUP BY operator: the per-execution
+// state driving one aggPlan. The embedded plan may be shared with
+// concurrent executions of the same cached statement and is never
+// written here.
+type hashAggOp struct {
+	q    *query
+	outs []Expr
+	*aggPlan
+
+	// The TEXT fast path starts with a linear small table (the pool-status
+	// shape has a handful of states, and a few string compares beat a map
+	// hash) and migrates to the map when it outgrows smallGroupMax.
+	smallKeys  []string
+	smallVals  []*aggGroup
+	textGroups map[string]*aggGroup
+	intGroups  map[int64]*aggGroup
+	nullGroup  *aggGroup // fast-path group for a NULL grouping value
+	groups     map[string]*aggGroup
+	single     *aggGroup   // the global aggregate's one group
+	order      []*aggGroup // first-appearance order
+	keyBuf     bytes.Buffer
+
+	// Finish phase.
+	having  Expr
+	genv    *evalEnv
+	scratch []binding
+	pos     int
+}
+
+// newHashAggOp prepares the operator for one execution: it reuses the
+// statement's compiled aggregation program (falling back to a fresh
+// compile when the caller has none) and builds the execution-private
+// group tables and group-scope evaluation environment.
+func newHashAggOp(q *query, outs []Expr) (*hashAggOp, error) {
+	ap := q.agg
+	if ap == nil {
+		var err error
+		if ap, err = q.compileAgg(outs); err != nil {
+			return nil, err
+		}
+	}
+	op := &hashAggOp{q: q, outs: outs, aggPlan: ap, having: q.stmt.Having}
+	if ap.fastBind >= 0 && !ap.fastText {
+		op.intGroups = make(map[int64]*aggGroup)
+	}
+	if !ap.global && ap.fastBind < 0 {
 		op.groups = make(map[string]*aggGroup)
 	}
-	op.onlyStar = len(op.instrs) == 1 && op.instrs[0].star
-
-	op.orderExprs, op.aliasPos = q.orderKeys(outs)
 	op.scratch = make([]binding, len(q.env.bindings))
 	copy(op.scratch, q.env.bindings)
 	op.genv = &evalEnv{
 		bindings: op.scratch,
 		params:   q.params,
 		now:      q.env.now,
-		aliasIdx: q.outputAliasIdx(),
-		aggIdx:   make(map[*FuncCall]int, len(op.aggCalls)),
-		aggVals:  make([]Value, len(op.aggCalls)),
-	}
-	for i, fc := range op.aggCalls {
-		op.genv.aggIdx[fc] = i
+		aliasIdx: ap.aliasIdx,
+		aggIdx:   ap.aggIdx,
+		aggVals:  make([]Value, len(ap.aggCalls)),
 	}
 	return op, nil
 }

@@ -34,7 +34,6 @@ func (tx *Tx) execExplain(s *ExplainStmt, params []Value) (*Rows, error) {
 	// UPDATE/DELETE targets always read locked.
 	_, isSelect := s.Stmt.(*SelectStmt)
 	snap := tx.readOnly && isSelect
-	q := &query{tx: tx, stmt: sel, params: params, stats: &stats, snapRead: snap, snapTS: tx.snap}
 	for _, ref := range sel.From {
 		// EXPLAIN reads only the catalog and plan, never rows: intention-
 		// shared keeps it from blocking behind row-level writers, and a
@@ -44,19 +43,32 @@ func (tx *Tx) execExplain(s *ExplainStmt, params []Value) (*Rows, error) {
 				return nil, err
 			}
 		}
-		tbl, err := tx.db.lookupTable(ref.Table)
-		if err != nil {
-			return nil, err
-		}
-		q.bindings = append(q.bindings, tableBinding{alias: strings.ToLower(ref.Alias), tbl: tbl})
 	}
-	q.env = &evalEnv{params: params, now: tx.db.nowFn()}
-	q.env.bindings = make([]binding, len(q.bindings))
-	for i, b := range q.bindings {
-		q.env.bindings[i] = binding{alias: b.alias, schema: &b.tbl.schema}
+	// EXPLAIN goes through the plan cache like execution does (its inner
+	// AST is interned by the statement cache, so repeated EXPLAINs of the
+	// same text share a slot); a hit is rendered with a [CACHED] marker
+	// on the access column.
+	var (
+		plan *selectPlan
+		hit  bool
+		err  error
+	)
+	switch inner := s.Stmt.(type) {
+	case *SelectStmt:
+		plan, hit, err = tx.planSelect(inner, snap, tx.snap)
+	case *UpdateStmt:
+		plan, hit, err = tx.planTargetPlan(inner.Table, inner.Where, &inner.plan)
+	case *DeleteStmt:
+		plan, hit, err = tx.planTargetPlan(inner.Table, inner.Where, &inner.plan)
 	}
-	if err := q.plan(); err != nil {
+	if err != nil {
 		return nil, err
+	}
+	q := &query{tx: tx, selectPlan: plan, params: params, stats: &stats, snapRead: snap, snapTS: tx.snap}
+	q.env = &evalEnv{params: params, now: tx.db.nowFn()}
+	q.env.bindings = make([]binding, len(plan.bindings))
+	for i, b := range plan.bindings {
+		q.env.bindings[i] = binding{alias: b.alias, schema: &b.tbl.schema}
 	}
 	// The read column renders the concurrency mode per table: SNAPSHOT
 	// READ never touches the lock manager; LOCKED READ takes the 2PL
@@ -65,6 +77,10 @@ func (tx *Tx) execExplain(s *ExplainStmt, params []Value) (*Rows, error) {
 	readMode := "LOCKED READ"
 	if snap {
 		readMode = "SNAPSHOT READ"
+	}
+	cached := ""
+	if hit {
+		cached = " [CACHED]"
 	}
 	rows := &Rows{Columns: []string{"table", "access", "read", "join", "rows"}}
 	var inputEst float64
@@ -77,7 +93,7 @@ func (tx *Tx) execExplain(s *ExplainStmt, params []Value) (*Rows, error) {
 			b := q.bindings[st.bind]
 			rows.Data = append(rows.Data, []Value{
 				NewText(b.tbl.schema.Name),
-				NewText(describeAccess(st.access, b.tbl)),
+				NewText(describeAccess(st.access, b.tbl) + cached),
 				NewText(readMode),
 				NewText(describeStep(st)),
 				NewInt(int64(math.Round(st.estOut))),
@@ -92,7 +108,7 @@ func (tx *Tx) execExplain(s *ExplainStmt, params []Value) (*Rows, error) {
 			}
 			rows.Data = append(rows.Data, []Value{
 				NewText(b.tbl.schema.Name),
-				NewText(describeAccess(q.access[i], b.tbl)),
+				NewText(describeAccess(q.access[i], b.tbl) + cached),
 				NewText(readMode),
 				NewText("-"),
 				NewInt(int64(math.Round(est))),

@@ -80,7 +80,9 @@ type stepPlan struct {
 	buildOuter bool
 	estBase    float64 // estimated rows of this table after local conjuncts
 	estOut     float64 // estimated cumulative rows after this step
-	hj         *hashState
+	// NB: no runtime state lives here. stepPlans are part of the cached,
+	// goroutine-shared selectPlan; the per-execution hash tables they
+	// drive are on query.hjs, indexed by step position.
 }
 
 // hashState is the runtime state of one hash-join step.
@@ -214,7 +216,7 @@ func (q *query) planJoin() error {
 		st := &steps[i]
 		q.access[st.bind] = st.access
 		if st.access.index != nil {
-			q.stats.UsedIndex = true
+			q.usedIndex = true
 		}
 		switch st.strat {
 		case stratHash:
@@ -678,12 +680,13 @@ func writeHashValue(b *bytes.Buffer, v Value) {
 func (q *query) driveHash(k int, st *stepPlan, emit func() error) error {
 	budget := q.tx.db.hashBuildBudget()
 	if !st.buildOuter {
-		if err := q.buildHashInner(st, budget); err != nil {
+		hj, err := q.buildHashInner(k, st, budget)
+		if err != nil {
 			return err
 		}
-		if !st.hj.chunked {
+		if !hj.chunked {
 			// Streaming probe: one lookup per outer tuple.
-			return q.driveStep(k-1, func() error { return q.probeHashInner(st, emit) })
+			return q.driveStep(k-1, func() error { return q.probeHashInner(st, hj, emit) })
 		}
 	}
 
@@ -718,7 +721,7 @@ func (q *query) driveHash(k int, st *stepPlan, emit func() error) error {
 			return err
 		}
 	} else {
-		if err := q.probeChunkedInner(st, outs, restore, budget, emit); err != nil {
+		if err := q.probeChunkedInner(st, q.hjs[k], outs, restore, budget, emit); err != nil {
 			return err
 		}
 	}
@@ -741,51 +744,72 @@ func (q *query) driveHash(k int, st *stepPlan, emit func() error) error {
 
 // buildHashInner scans st's table once (local conjuncts applied),
 // materializes the surviving rows, and — when they fit the budget —
-// builds the in-memory hash table. Runs once per query.
-func (q *query) buildHashInner(st *stepPlan, budget int) error {
-	if st.hj != nil {
-		return nil
+// builds the in-memory hash table. Runs once per query; the result is
+// memoized on q.hjs (never on the shared plan).
+func (q *query) buildHashInner(k int, st *stepPlan, budget int) (*hashState, error) {
+	if q.hjs == nil {
+		q.hjs = make([]*hashState, len(q.steps))
+	}
+	if q.hjs[k] != nil {
+		return q.hjs[k], nil
 	}
 	hj := &hashState{}
-	st.hj = hj
-	err := q.scanPlan(st.bind, st.access, func(rid int64, row []Value) error {
-		q.env.bindings[st.bind].row = row
-		if ok, err := q.evalConjs(st.local); err != nil || !ok {
-			return err
+	q.hjs[k] = hj
+	// Pull scan batches directly rather than through the scanPlan push
+	// adapter: the build side is the one consumer with no early-out, so it
+	// takes whole batches as the scan produces them.
+	op := scanOp{q: q, bind: st.bind, ap: st.access}
+	if err := op.Init(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
 		}
-		hj.rows = append(hj.rows, row)
-		return nil
-	})
-	if err != nil {
-		return err
+		if b == nil {
+			break
+		}
+		if st.access.index == nil {
+			q.stats.RowsScanned += len(b.rows) // the build consumes every delivered row
+		}
+		for _, row := range b.rows {
+			q.env.bindings[st.bind].row = row
+			if ok, err := q.evalConjs(st.local); err != nil {
+				return nil, err
+			} else if ok {
+				hj.rows = append(hj.rows, row)
+			}
+		}
 	}
 	q.buildRows += uint64(len(hj.rows))
 	if len(hj.rows) > budget {
 		hj.chunked = true // grace-degrade: chunk maps built during probing
 		q.graceBuilds++
-		return nil
+		return hj, nil
 	}
 	hj.table = make(map[string][]int32, len(hj.rows))
 	for i, row := range hj.rows {
 		if err := q.cancel.check(); err != nil {
-			return err
+			return nil, err
 		}
 		q.env.bindings[st.bind].row = row
 		key, ok, err := q.evalHashKey(st.hashInner)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if !ok {
 			continue // NULL key never matches
 		}
 		hj.table[key] = append(hj.table[key], int32(i))
 	}
-	return nil
+	return hj, nil
 }
 
 // probeHashInner probes the built hash table for the outer row currently
 // bound in q.env (streaming build-inner mode).
-func (q *query) probeHashInner(st *stepPlan, emit func() error) error {
+func (q *query) probeHashInner(st *stepPlan, hj *hashState, emit func() error) error {
 	q.probeRows++
 	key, ok, err := q.evalHashKey(st.hashOuter)
 	if err != nil {
@@ -793,8 +817,8 @@ func (q *query) probeHashInner(st *stepPlan, emit func() error) error {
 	}
 	matched := false
 	if ok {
-		for _, ri := range st.hj.table[key] {
-			q.env.bindings[st.bind].row = st.hj.rows[ri]
+		for _, ri := range hj.table[key] {
+			q.env.bindings[st.bind].row = hj.rows[ri]
 			pass, err := q.evalConjs(st.match)
 			if err != nil {
 				return err
@@ -887,8 +911,8 @@ func (q *query) probeBuildOuter(st *stepPlan, outs []outerTuple, restore func(*o
 // probeChunkedInner processes a grace-degraded inner build: the
 // materialized inner rows are hashed budget rows at a time, and every
 // chunk is probed by every materialized outer tuple.
-func (q *query) probeChunkedInner(st *stepPlan, outs []outerTuple, restore func(*outerTuple), budget int, emit func() error) error {
-	rows := st.hj.rows
+func (q *query) probeChunkedInner(st *stepPlan, hj *hashState, outs []outerTuple, restore func(*outerTuple), budget int, emit func() error) error {
+	rows := hj.rows
 	for lo := 0; lo < len(rows); lo += budget {
 		hi := lo + budget
 		if hi > len(rows) {

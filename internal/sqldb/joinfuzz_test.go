@@ -173,6 +173,47 @@ func runJoinFuzzCase(t *testing.T, seed int64) PlannerStats {
 			fail("row %d mismatch:\ncost-based: %v\nreference: %v", i, got, want)
 		}
 	}
+
+	// Plan-cache differential: re-run the query through cached plans vs a
+	// forced fresh compile, with schema and statistics churn interleaved
+	// between rounds — CREATE INDEX, DROP INDEX, ANALYZE — so stale plans
+	// that survive an epoch bump (or epoch bumps that fail to happen)
+	// surface as result divergence.
+	db.SetPlannerMode(PlannerCostBased)
+	db.SetAggMode(AggHashBatched)
+	for round := 0; round < 3; round++ {
+		switch rng.Intn(3) {
+		case 0:
+			tn := tables[rng.Intn(nt)].name
+			run(fmt.Sprintf("CREATE INDEX IF NOT EXISTS ixpc_%s_%d ON %s (b, a)", tn, round, tn))
+		case 1:
+			run(fmt.Sprintf("DROP INDEX IF EXISTS ix_%s_1", tables[rng.Intn(nt)].name))
+		case 2:
+			run("ANALYZE")
+		}
+		db.SetPlanCacheMode(PlanCacheOn)
+		cached, errC := db.Query(query)
+		db.SetPlanCacheMode(PlanCacheOff)
+		fresh, errF := db.Query(query)
+		db.SetPlanCacheMode(PlanCacheOn)
+		if (errC != nil) != (errF != nil) {
+			fail("plan-cache round %d error mismatch: cached=%v fresh=%v", round, errC, errF)
+		}
+		if errC != nil {
+			continue
+		}
+		gotC, wantF := canonRows(cached), canonRows(fresh)
+		if len(gotC) != len(wantF) {
+			fail("plan-cache round %d row count mismatch: cached=%d fresh=%d",
+				round, len(gotC), len(wantF))
+		}
+		for i := range gotC {
+			if gotC[i] != wantF[i] {
+				fail("plan-cache round %d row %d mismatch:\ncached: %v\nfresh: %v",
+					round, i, gotC, wantF)
+			}
+		}
+	}
 	return db.PlannerStats()
 }
 

@@ -1,0 +1,341 @@
+package sqldb
+
+import (
+	"strings"
+	"sync/atomic"
+)
+
+// Plan cache for parameterized statements.
+//
+// The CAS executes a handful of statement shapes — heartbeat upserts,
+// pool-status joins, accounting aggregates — millions of times with only
+// the parameters changing. Parsing has been cached since the statement
+// cache landed (db.go); this file caches the other half: the compiled
+// plan. A selectPlan carries everything planning produces (conjunct
+// assignment, join order, per-table access paths, the opcode-compiled
+// aggregation program) and nothing execution mutates; per-execution state
+// (parameter values, snapshot timestamp, cursors, hash tables, counters)
+// lives on query, so one plan serves any number of concurrent executions.
+//
+// Keying is by SQL text, transitively: the statement cache interns one
+// AST per SQL string, and the plan hangs off that AST in an atomic slot
+// (planSlot). The hot path is therefore one pointer load plus a few
+// epoch comparisons — no map, no mutex, no allocation — and an evicted
+// statement takes its plan with it.
+//
+// Invalidation is epoch-based. Every table carries a schemaEpoch (bumped
+// by CREATE/DROP INDEX and DROP TABLE, on the leader, on followers
+// applying shipped WAL, and during recovery replay — all paths funnel
+// through applyDDL and the table methods) and a statsEpoch (bumped by
+// ANALYZE and by checkPlan itself when live cardinality drifts past the
+// replan threshold). A plan records both epochs per referenced table at
+// build time; any movement fails validation and the statement replans.
+// Index visibility is revalidated per snapshot: a plan records the
+// newest createdTS among its chosen indexes, and a snapshot older than
+// that bypasses the cache (plans fresh, keeps the cached plan for
+// current readers) so it never scans an index built after its
+// timestamp.
+
+// planSlot is the atomic plan anchor embedded in cacheable statement
+// ASTs (SelectStmt, UpdateStmt, DeleteStmt). The zero value is ready to
+// use. It is deliberately opaque: readers go through planSelect /
+// planTargetPlan, which validate before sharing.
+type planSlot struct {
+	p atomic.Pointer[selectPlan]
+}
+
+// PlanCacheMode switches compiled-plan reuse on or off. Off replans
+// every execution — the differential oracle the join fuzzer compares
+// against, and an escape hatch for operators.
+type PlanCacheMode int32
+
+const (
+	// PlanCacheOn reuses validated compiled plans (the default).
+	PlanCacheOn PlanCacheMode = iota
+	// PlanCacheOff compiles every execution from scratch.
+	PlanCacheOff
+)
+
+// SetPlanCacheMode selects whether statements reuse cached plans.
+// In-flight statements finish under the mode they started with.
+func (db *DB) SetPlanCacheMode(m PlanCacheMode) { db.planCacheMode.Store(int32(m)) }
+
+func (db *DB) planCacheEnabled() bool {
+	return db.planCacheMode.Load() == int32(PlanCacheOn)
+}
+
+// PlanCacheStats is a point-in-time snapshot of the plan-cache counters.
+type PlanCacheStats struct {
+	// Hits counts executions served by a validated cached plan.
+	Hits uint64
+	// Misses counts executions that compiled a plan (first touch of a
+	// statement, post-invalidation replans, and cache-off runs are not
+	// counted — the cache was never consulted for those).
+	Misses uint64
+	// Invalidations counts cached plans discarded by validation: a
+	// schema or stats epoch moved, the planner mode changed, or live
+	// cardinality drifted past the replan threshold.
+	Invalidations uint64
+	// Bypasses counts snapshot reads that planned fresh because their
+	// snapshot predates an index the cached plan uses; the cached plan
+	// stays for current-timestamp callers.
+	Bypasses uint64
+	// Stores counts plans published into statement slots.
+	Stores uint64
+}
+
+// PlanCacheStats snapshots the plan-cache counters.
+func (db *DB) PlanCacheStats() PlanCacheStats {
+	return PlanCacheStats{
+		Hits:          db.planHits.Load(),
+		Misses:        db.planMisses.Load(),
+		Invalidations: db.planInvalidations.Load(),
+		Bypasses:      db.planBypasses.Load(),
+		Stores:        db.planStores.Load(),
+	}
+}
+
+// planStamp is one table's validity record inside a cached plan: the
+// epochs and live cardinality observed when the plan was compiled.
+type planStamp struct {
+	tbl         *table
+	schemaEpoch uint64
+	statsEpoch  uint64
+	// planRows is the live row count the plan was costed at. Validation
+	// declares the plan stale when the current count leaves
+	// [planRows/2, 2*planRows] — the statScale drift window beyond which
+	// distinct-prefix extrapolation (stats.go) stops being trustworthy.
+	planRows int64
+}
+
+// selectPlan is the immutable compiled form of one SELECT (or the
+// synthesized single-table SELECT underneath an UPDATE/DELETE target).
+// Everything here is written during buildSelectPlan and never after:
+// cached instances are shared across goroutines with no further
+// synchronization beyond the slot's atomic load.
+type selectPlan struct {
+	stmt     *SelectStmt
+	bindings []tableBinding
+	access   []accessPlan
+	filters  [][]Expr // per ref: WHERE conjuncts first evaluable there
+	// steps is the cost-based join plan for multi-table SELECTs
+	// (join.go): the chosen execution order with per-step strategy and
+	// predicates. Per-step hash tables live on query.hjs, not here.
+	steps []stepPlan
+	// orderable marks a single-table, non-aggregated, non-DISTINCT
+	// SELECT whose ORDER BY the access path may (partially) provide.
+	orderable bool
+	// orderAliased[i] marks ORDER BY items that orderKeys resolves to an
+	// output alias: they sort by the output expression, not the
+	// same-named table column, so an index can never provide their order.
+	orderAliased []bool
+	// outs/cols are the star-expanded output expressions and their
+	// column names; aggregated marks GROUP BY/HAVING/aggregate SELECTs
+	// and agg carries their compiled aggregation program (executor.go).
+	outs       []Expr
+	cols       []string
+	aggregated bool
+	agg        *aggPlan
+	// usedIndex mirrors into StmtStats.UsedIndex per execution.
+	usedIndex bool
+
+	// Cache-validation state.
+	db     *DB
+	mode   PlannerMode // join planner mode the plan was built under
+	stamps []planStamp
+	// maxIndexTS is the newest createdTS among the plan's chosen
+	// indexes; snapshots older than it must not execute this plan.
+	maxIndexTS uint64
+	// cacheable is false when the plan embeds a decision private to one
+	// execution — today, skipping an index invisible to the planning
+	// snapshot (sawInvisible). Such plans are used once and discarded.
+	cacheable    bool
+	sawInvisible bool
+}
+
+// planCheckResult classifies a cached plan against the current schema,
+// statistics, and snapshot.
+type planCheckResult int
+
+const (
+	planHit    planCheckResult = iota
+	planStale                  // discard and replan
+	planBypass                 // plan fresh for this execution, keep cached
+)
+
+// checkPlan validates a cached plan without locks: a handful of atomic
+// loads against the epochs and cardinalities recorded at build time.
+func (db *DB) checkPlan(p *selectPlan, snapRead bool, snapTS uint64) planCheckResult {
+	if p.db != db {
+		return planStale // AST shared across engines (tests); never the hot path
+	}
+	if len(p.bindings) >= 2 && p.mode != PlannerMode(db.plannerMode.Load()) {
+		// Join order and strategy depend on the planner mode;
+		// single-table plans do not.
+		return planStale
+	}
+	for i := range p.stamps {
+		st := &p.stamps[i]
+		if st.tbl.schemaEpoch.Load() != st.schemaEpoch {
+			return planStale
+		}
+		se := st.tbl.statsEpoch.Load()
+		if se != st.statsEpoch {
+			return planStale
+		}
+		if live := st.tbl.liveRows.Load(); live > 2*st.planRows || live < st.planRows/2 {
+			// Cardinality drifted past the replan threshold. Advance the
+			// table's stats epoch (CAS so racing validators bump once) so
+			// every plan costed at the old cardinality re-costs, then
+			// replan this one now.
+			st.tbl.statsEpoch.CompareAndSwap(se, se+1)
+			return planStale
+		}
+	}
+	if snapRead && snapTS < p.maxIndexTS {
+		return planBypass
+	}
+	return planHit
+}
+
+// planSelect returns the compiled plan for s, serving it from the
+// statement's plan slot when the cache is on and the cached plan
+// validates. The bool result reports a cache hit (EXPLAIN renders it as
+// [CACHED]).
+func (tx *Tx) planSelect(s *SelectStmt, snapRead bool, snapTS uint64) (*selectPlan, bool, error) {
+	db := tx.db
+	store := db.planCacheEnabled()
+	if store {
+		if p := s.plan.p.Load(); p != nil {
+			switch db.checkPlan(p, snapRead, snapTS) {
+			case planHit:
+				db.planHits.Add(1)
+				return p, true, nil
+			case planBypass:
+				db.planBypasses.Add(1)
+				store = false
+			case planStale:
+				db.planInvalidations.Add(1)
+				s.plan.p.CompareAndSwap(p, nil)
+			}
+		}
+		if store {
+			db.planMisses.Add(1)
+		}
+	}
+	p, err := tx.buildSelectPlan(s, snapRead, snapTS)
+	if err != nil {
+		return nil, false, err
+	}
+	if store && p.cacheable {
+		s.plan.p.Store(p)
+		db.planStores.Add(1)
+	}
+	return p, false, nil
+}
+
+// planTargetPlan is planSelect for UPDATE/DELETE targets: the slot lives
+// on the DML statement and the plan compiles a synthesized single-table
+// SELECT over its WHERE clause. Targets always read current versions
+// under locks, so there is no snapshot bypass case.
+func (tx *Tx) planTargetPlan(tableName string, where Expr, slot *planSlot) (*selectPlan, bool, error) {
+	db := tx.db
+	store := db.planCacheEnabled()
+	if store {
+		if p := slot.p.Load(); p != nil {
+			if db.checkPlan(p, false, 0) == planHit {
+				db.planHits.Add(1)
+				return p, true, nil
+			}
+			db.planInvalidations.Add(1)
+			slot.p.CompareAndSwap(p, nil)
+		}
+		db.planMisses.Add(1)
+	}
+	sel := &SelectStmt{
+		From:  []TableRef{{Table: tableName, Alias: tableName}},
+		Where: where,
+	}
+	p, err := tx.buildSelectPlan(sel, false, 0)
+	if err != nil {
+		return nil, false, err
+	}
+	if store && p.cacheable {
+		slot.p.Store(p)
+		db.planStores.Add(1)
+	}
+	return p, false, nil
+}
+
+// buildSelectPlan compiles s from scratch: conjunct classification,
+// cost-based join ordering, access-path selection, output expansion,
+// and — for aggregated statements — the opcode-compiled aggregation
+// program. The returned plan is immutable; a throwaway planning query
+// carries the transient state the planner threads through.
+func (tx *Tx) buildSelectPlan(s *SelectStmt, snapRead bool, snapTS uint64) (*selectPlan, error) {
+	p := &selectPlan{
+		stmt:      s,
+		db:        tx.db,
+		mode:      PlannerMode(tx.db.plannerMode.Load()),
+		cacheable: true,
+	}
+	for _, ref := range s.From {
+		tbl, err := tx.db.lookupTable(ref.Table)
+		if err != nil {
+			return nil, err
+		}
+		p.bindings = append(p.bindings, tableBinding{alias: strings.ToLower(ref.Alias), tbl: tbl})
+	}
+	// Stamp before planning: a DDL racing with plan construction then
+	// moves an epoch past the stamp and the first validation replans,
+	// instead of the stamp masking a plan built against older metadata.
+	p.stamps = make([]planStamp, len(p.bindings))
+	for i, b := range p.bindings {
+		p.stamps[i] = planStamp{
+			tbl:         b.tbl,
+			schemaEpoch: b.tbl.schemaEpoch.Load(),
+			statsEpoch:  b.tbl.statsEpoch.Load(),
+			planRows:    b.tbl.liveRows.Load(),
+		}
+	}
+	var scratch StmtStats
+	pq := &query{tx: tx, selectPlan: p, stats: &scratch,
+		snapRead: snapRead, snapTS: snapTS, cancel: cancelCheck{ctx: tx.ctx}}
+	pq.env = &evalEnv{now: tx.db.nowFn()}
+	pq.env.bindings = make([]binding, len(p.bindings))
+	for i, b := range p.bindings {
+		pq.env.bindings[i] = binding{alias: b.alias, schema: &b.tbl.schema}
+	}
+	if err := pq.plan(); err != nil {
+		return nil, err
+	}
+	if len(p.bindings) > 0 {
+		outs, cols, err := pq.expandOutputs()
+		if err != nil {
+			return nil, err
+		}
+		p.outs, p.cols = outs, cols
+		p.aggregated = len(s.GroupBy) > 0 || s.Having != nil
+		for _, o := range outs {
+			if hasAggregate(o) {
+				p.aggregated = true
+			}
+		}
+		if p.aggregated {
+			ap, err := pq.compileAgg(outs)
+			if err != nil {
+				return nil, err
+			}
+			p.agg = ap
+		}
+	}
+	for _, ap := range p.access {
+		if ap.index != nil && ap.index.createdTS > p.maxIndexTS {
+			p.maxIndexTS = ap.index.createdTS
+		}
+	}
+	if p.sawInvisible {
+		p.cacheable = false
+	}
+	return p, nil
+}

@@ -333,7 +333,10 @@ func decodeBatch(b CommittedBatch) ([]walRecord, error) {
 // under the commit mutex, exactly like a local commit — stamps them all
 // with the next commit timestamp and advances the clock. A concurrent
 // snapshot reader on this follower therefore sees either none or all of
-// the group, never a half-applied prefix.
+// the group, never a half-applied prefix. DDL records go through
+// applyDDL, which bumps the affected tables' schema epochs — so cached
+// plans on this follower are invalidated by shipped CREATE/DROP
+// INDEX/TABLE exactly as they are by local DDL (plancache.go).
 func (db *DB) applyGroup(lsn uint64, recs []walRecord) error {
 	var versions []*rowVersion
 	var gcs []gcRecord

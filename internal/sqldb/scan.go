@@ -1,0 +1,369 @@
+package sqldb
+
+import "strings"
+
+// scanOp is the batched leaf operator of the executor pipeline: one
+// access path over one table binding, pulled Init/Next/Close-style in
+// rowBatch units like the aggregation operator (executor.go). Next
+// materializes candidate row ids in short latched windows (an index
+// range walk or a slot-order full-scan window), then resolves
+// visibility — MVCC snapshot reads or 2PL row locks — and residual
+// index-entry matching outside the latch, exactly as the push-model
+// scan did. Callers either consume batches directly (hash-join builds)
+// or through the scanPlan push adapter (exec.go).
+
+// maxScanBatch bounds how many index entries one latched collection
+// round materializes.
+const maxScanBatch = 256
+
+type scanOp struct {
+	q    *query
+	bind int
+	ap   accessPlan
+
+	tbl       *table
+	tableName string
+	// done marks the scan finished: bounds proved no row can match, or
+	// the cursor ran off the end.
+	done bool
+
+	// Index-scan cursor. prefix is the evaluated equality prefix; the
+	// optional range bound applies to index column kpos. Forward scans
+	// resume from the last collected key (unique thanks to the rid
+	// tiebreaker); reverse scans start at revStart and walk down.
+	prefix         Key
+	rangeCol       int
+	kpos           int
+	loVal, hiVal   Value
+	haveLo, haveHi bool
+	scanBatch      int
+	resume         Key
+	skipResume     bool
+	revStart       Key
+
+	// Full-scan cursor: next slot window base.
+	base int64
+
+	// Per-batch buffers, reused across Next calls: the returned rowBatch
+	// is valid only until the next Next call.
+	rids    []int64
+	keys    []Key
+	outRows [][]Value
+	outRids []int64
+	batch   rowBatch
+}
+
+// Init evaluates the access path's key expressions against the current
+// evaluation environment (for index nested-loop probes that means the
+// outer row bound right now), takes the unique-point predicate lock the
+// path calls for, and positions the cursor. A bound that can never
+// match (NULL, incomparable constant) finishes the scan immediately.
+func (op *scanOp) Init() error {
+	q := op.q
+	op.tbl = q.bindings[op.bind].tbl
+	ap := op.ap
+	if ap.index == nil {
+		// Full scan: cursor starts at slot 0. Batches deliver at most
+		// scanBatch rows — sized down to the caller's early-stop hint
+		// (LIMIT) so a stopped consumer never pays for a whole window —
+		// and grow geometrically back toward the window size.
+		op.scanBatch = fullScanBatch
+		if q.batchHint > 0 && q.batchHint < op.scanBatch {
+			op.scanBatch = q.batchHint
+		}
+		return nil
+	}
+	op.tableName = strings.ToLower(op.tbl.schema.Name)
+	op.prefix = make(Key, len(ap.eqExprs))
+	for j, e := range ap.eqExprs {
+		v, err := q.env.eval(e)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			op.done = true // col = NULL never matches
+			return nil
+		}
+		// Coerce to the indexed column's type so Int/Float compare right.
+		cv, err := coerce(v, op.tbl.schema.Columns[ap.index.cols[j]].Type)
+		if err != nil {
+			op.done = true // incomparable constant: no matches
+			return nil
+		}
+		op.prefix[j] = cv
+	}
+	// Resolve the optional range bounds on the next index column.
+	op.rangeCol = -1
+	if ap.loExpr != nil || ap.hiExpr != nil {
+		op.rangeCol = ap.index.cols[len(ap.eqExprs)]
+		if ap.loExpr != nil {
+			v, err := q.env.eval(ap.loExpr)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				op.done = true // comparison with NULL matches nothing
+				return nil
+			}
+			cv, err := coerce(v, op.tbl.schema.Columns[op.rangeCol].Type)
+			if err != nil {
+				op.done = true
+				return nil
+			}
+			op.loVal, op.haveLo = cv, true
+		}
+		if ap.hiExpr != nil {
+			v, err := q.env.eval(ap.hiExpr)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				op.done = true
+				return nil
+			}
+			cv, err := coerce(v, op.tbl.schema.Columns[op.rangeCol].Type)
+			if err != nil {
+				op.done = true
+				return nil
+			}
+			op.hiVal, op.haveHi = cv, true
+		}
+	}
+	op.kpos = len(op.prefix)
+	// Unique-key point lookups take the key-value lock as a predicate
+	// guard: a transaction that read key K — present or absent — blocks
+	// writers of K until it commits, closing the check-then-act phantom for
+	// the engine's hottest access pattern. Broader range scans remain
+	// record-locked only (no next-key locking). Snapshot reads need no
+	// guard: they re-read the same timestamp no matter who writes.
+	if !q.snapRead && ap.index.schema.Unique && len(ap.eqExprs) == len(ap.index.cols) {
+		kt := keyLockTarget(op.tbl.schema.Name, ap.index.schema.Name, op.prefix)
+		if err := q.tx.db.locks.acquire(q.tx.ctx, q.tx, kt, q.rowLock); err != nil {
+			return err
+		}
+	}
+	// Collection batch size: start at the caller's early-stop hint (LIMIT)
+	// when one is set, but grow geometrically on every continued batch —
+	// residual filters may reject most collected rows, and a hint-sized
+	// batch would then pay a latch acquisition and O(log n) seek per
+	// handful of entries.
+	op.scanBatch = maxScanBatch
+	if q.batchHint > 0 && q.batchHint < op.scanBatch {
+		op.scanBatch = q.batchHint
+	}
+	// Forward scans seek to prefix (+ low bound); reverse scans seek to the
+	// last key under prefix (+ high bound) and walk backward.
+	if !ap.reverse && op.haveLo {
+		op.resume = append(append(Key{}, op.prefix...), op.loVal)
+	} else if !ap.reverse {
+		op.resume = op.prefix
+	}
+	if ap.reverse {
+		if op.haveHi {
+			op.revStart = append(append(Key{}, op.prefix...), op.hiVal)
+		} else {
+			op.revStart = op.prefix
+		}
+	}
+	return nil
+}
+
+// Next returns the next non-empty batch of visible, matching rows (rows
+// and rids filled; keys nil), or nil when the scan is exhausted. The
+// batch's buffers are reused by the following Next call.
+func (op *scanOp) Next() (*rowBatch, error) {
+	if op.ap.index == nil {
+		return op.nextFull()
+	}
+	return op.nextIndex()
+}
+
+// Close releases operator state. Scans hold nothing beyond their
+// buffers (locks belong to the transaction), so this is a no-op kept
+// for the batchOp contract.
+func (op *scanOp) Close() {}
+
+// nextFull produces one batch from the slot-order full scan: rows are
+// materialized under the shared latch in windows of at most
+// fullScanBatch slots, but handed out unlatched — version data is
+// immutable, and consumers may recurse into other scans or block on the
+// lock manager, neither of which may happen latch-in-hand. RowsScanned
+// is NOT bumped here: full-scan rows count when a consumer visits them,
+// so an early-stopping consumer (LIMIT) reports only what it examined.
+func (op *scanOp) nextFull() (*rowBatch, error) {
+	q := op.q
+	tbl := op.tbl
+	for {
+		if op.done {
+			return nil, nil
+		}
+		op.outRows = op.outRows[:0]
+		op.outRids = op.outRids[:0]
+		tbl.latch.RLock()
+		n := int64(len(tbl.rows))
+		end := op.base + fullScanBatch
+		if end > n {
+			end = n
+		}
+		rid := op.base
+		for ; rid < end; rid++ {
+			var row []Value
+			if q.snapRead {
+				row = tbl.rows[rid].visibleAt(q.snapTS)
+			} else {
+				row = tbl.rows[rid].currentFor(q.tx.id)
+			}
+			if row != nil {
+				op.outRids = append(op.outRids, rid)
+				op.outRows = append(op.outRows, row)
+				if len(op.outRows) >= op.scanBatch {
+					rid++
+					break
+				}
+			}
+		}
+		tbl.latch.RUnlock()
+		op.base = rid
+		if rid >= n {
+			op.done = true
+		}
+		// One cooperative tick per delivered row, batched: same
+		// cancellation latency as the per-row push scan had.
+		if err := q.cancel.checkN(len(op.outRows)); err != nil {
+			return nil, err
+		}
+		if op.scanBatch < fullScanBatch {
+			op.scanBatch *= 2
+			if op.scanBatch > fullScanBatch {
+				op.scanBatch = fullScanBatch
+			}
+		}
+		if len(op.outRows) > 0 {
+			op.batch = rowBatch{rows: op.outRows, rids: op.outRids}
+			return &op.batch, nil
+		}
+	}
+}
+
+// nextIndex produces one batch from the index range walk: candidate
+// (key, rid) pairs are collected under the table latch, then each row
+// is locked (2PL reads) or resolved at the snapshot timestamp, and
+// accepted only through its own index entry — entries outlive the
+// versions that created them, so this both deduplicates and keeps
+// ordered scans emitting rows at the right key position.
+func (op *scanOp) nextIndex() (*rowBatch, error) {
+	q := op.q
+	ap := op.ap
+	tbl := op.tbl
+	for {
+		if op.done {
+			return nil, nil
+		}
+		op.rids = op.rids[:0]
+		op.keys = op.keys[:0]
+		var lastKey Key
+		exhausted := true
+		collect := func(k Key, rid int64) bool {
+			if op.skipResume && compareKeys(k, op.resume) == 0 {
+				return true // already visited in the previous batch
+			}
+			// Stay within the equality prefix.
+			if len(k) < len(op.prefix) || compareKeys(k[:len(op.prefix)], op.prefix) != 0 {
+				return false
+			}
+			if op.rangeCol >= 0 && op.kpos < len(k) {
+				// The strict bound on the near side of the walk is skipped
+				// per entry; the far-side bound terminates the walk.
+				if !ap.reverse {
+					if op.haveLo && !ap.loInc {
+						if c, cerr := Compare(k[op.kpos], op.loVal); cerr == nil && c == 0 {
+							return true
+						}
+					}
+					if op.haveHi {
+						c, cerr := Compare(k[op.kpos], op.hiVal)
+						if cerr != nil || c > 0 || (c == 0 && !ap.hiInc) {
+							return false
+						}
+					}
+				} else {
+					if op.haveHi && !ap.hiInc {
+						if c, cerr := Compare(k[op.kpos], op.hiVal); cerr == nil && c == 0 {
+							return true
+						}
+					}
+					if op.haveLo {
+						c, cerr := Compare(k[op.kpos], op.loVal)
+						if cerr != nil || c < 0 || (c == 0 && !ap.loInc) {
+							return false
+						}
+					}
+				}
+			}
+			q.stats.RowsScanned++
+			op.rids = append(op.rids, rid)
+			op.keys = append(op.keys, k) // node keys are immutable: safe to hold
+			lastKey = append(lastKey[:0], k...)
+			if len(op.rids) >= op.scanBatch {
+				exhausted = false
+				return false
+			}
+			return true
+		}
+		tbl.latch.RLock()
+		switch {
+		case !ap.reverse:
+			ap.index.tree.scanRange(op.resume, nil, collect)
+		case op.skipResume:
+			ap.index.tree.scanReverseLT(op.resume, collect)
+		default:
+			ap.index.tree.scanReverseLE(op.revStart, collect)
+		}
+		tbl.latch.RUnlock()
+		// Advance the cursor before resolving rows, so an error mid-batch
+		// leaves the operator consistent.
+		if exhausted {
+			op.done = true
+		} else {
+			op.resume = lastKey // freshly built per round: never aliased
+			op.skipResume = true
+			if op.scanBatch < maxScanBatch {
+				op.scanBatch *= 2
+				if op.scanBatch > maxScanBatch {
+					op.scanBatch = maxScanBatch
+				}
+			}
+		}
+		op.outRows = op.outRows[:0]
+		op.outRids = op.outRids[:0]
+		for bi, rid := range op.rids {
+			if err := q.cancel.check(); err != nil {
+				return nil, err
+			}
+			var row []Value
+			if q.snapRead {
+				row = tbl.visibleRow(rid, q.snapTS)
+			} else {
+				if err := q.tx.lockRow(op.tableName, rid, q.rowLock); err != nil {
+					return nil, err
+				}
+				// Re-fetch after the lock grant: the row may have been
+				// superseded, tombstoned, or its slot reclaimed by a writer
+				// that committed before our lock was granted.
+				row = tbl.currentRow(rid, q.tx.id)
+			}
+			if row == nil {
+				continue
+			}
+			if !ap.index.entryMatches(op.keys[bi], row, rid) {
+				continue
+			}
+			op.outRids = append(op.outRids, rid)
+			op.outRows = append(op.outRows, row)
+		}
+		if len(op.outRows) > 0 {
+			op.batch = rowBatch{rows: op.outRows, rids: op.outRids}
+			return &op.batch, nil
+		}
+	}
+}

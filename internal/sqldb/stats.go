@@ -95,6 +95,9 @@ func (t *table) analyze() {
 	}
 	t.statRows.Store(t.liveRows.Load())
 	t.analyzed.Store(true)
+	// Fresh statistics obsolete every cached plan costed from the old
+	// ones; advancing the epoch makes their next validity check replan.
+	t.statsEpoch.Add(1)
 }
 
 // estRows is the planner's cardinality estimate for the table: the live

@@ -38,6 +38,66 @@ func TestStmtCacheHotSurvivesOverflow(t *testing.T) {
 	}
 }
 
+// TestStmtCacheAllHotSweepKeepsHotStatements regresses the overflow
+// sweep's everything-was-hot path. The old fallback cleared every used
+// bit in one pass and then deleted an arbitrary map-order batch — with
+// every entry hot, the victims were as likely to be the CAS's hammered
+// statements as anything else. The clock sweep instead evicts nothing on
+// an all-hot revolution (running on bounded slack past stmtCacheMax),
+// so entries that keep getting hit keep getting re-armed and only the
+// entries that go quiet are reclaimed by later sweeps.
+func TestStmtCacheAllHotSweepKeepsHotStatements(t *testing.T) {
+	db := New()
+	defer db.Close()
+
+	// Fill to the bound, then touch every entry so the first overflow
+	// sweep sees an all-hot cache.
+	for i := 0; i < stmtCacheMax; i++ {
+		if _, err := db.Query(fmt.Sprintf(`SELECT %d`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < stmtCacheMax; i++ {
+		if _, err := db.Query(fmt.Sprintf(`SELECT %d`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Flood with one-shot statements while re-arming a hot set before
+	// every insertion (so the hand never catches a hot entry disarmed).
+	const hotCount = 128
+	for i := 0; i < 8*stmtCacheEvict; i++ {
+		for h := 0; h < hotCount; h++ {
+			if _, err := db.Query(fmt.Sprintf(`SELECT %d`, h)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := db.Query(fmt.Sprintf(`SELECT 1000000 + %d`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	db.stmtMu.RLock()
+	size := len(db.stmts)
+	missing := 0
+	for h := 0; h < hotCount; h++ {
+		if _, ok := db.stmts[fmt.Sprintf(`SELECT %d`, h)]; !ok {
+			missing++
+		}
+	}
+	clockLen := len(db.stmtClock)
+	db.stmtMu.RUnlock()
+	if missing > 0 {
+		t.Fatalf("%d of %d hot statements evicted by all-hot overflow sweeps", missing, hotCount)
+	}
+	if size > stmtCacheMax+stmtCacheEvict {
+		t.Fatalf("cache size %d exceeds bound %d (+%d slack)", size, stmtCacheMax, stmtCacheEvict)
+	}
+	if clockLen != size {
+		t.Fatalf("clock length %d diverged from map size %d", clockLen, size)
+	}
+}
+
 // TestStmtCacheBoundedWhenAllCold: pure churn must stay bounded too (the
 // all-hot fallback path reclaims arbitrarily).
 func TestStmtCacheBoundedWhenAllCold(t *testing.T) {

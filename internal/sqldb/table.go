@@ -41,6 +41,17 @@ type table struct {
 	// refreshes instead of going stale.
 	analyzed atomic.Bool
 	statRows atomic.Int64
+
+	// Plan-cache invalidation epochs (see plancache.go). schemaEpoch
+	// advances whenever the set of physical access paths changes (CREATE
+	// INDEX, DROP INDEX, and DROP TABLE of this table — every path funnels
+	// through addIndexLocked/dropIndex/applyDDL, so replication apply and
+	// WAL recovery bump it too). statsEpoch advances on ANALYZE and when a
+	// plan-validity check detects cardinality drift past the replan
+	// threshold. A cached plan records both at build time and is discarded
+	// when either moves.
+	schemaEpoch atomic.Uint64
+	statsEpoch  atomic.Uint64
 }
 
 // index is one secondary (or primary) index over a table.
@@ -132,6 +143,7 @@ func (t *table) addIndexLocked(is IndexSchema, asOf uint64) error {
 		}
 	}
 	t.indexes = append(t.indexes, ix)
+	t.schemaEpoch.Add(1)
 	return nil
 }
 
@@ -141,6 +153,7 @@ func (t *table) dropIndex(name string) bool {
 	for i, ix := range t.indexes {
 		if ix.schema.Name == name {
 			t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
+			t.schemaEpoch.Add(1)
 			return true
 		}
 	}
