@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build test race vet bench-smoke bench-cancel bench-agg bench-overload bench-repl bench-plancache race-cancel race-plancache joinfuzz chaos replchaos replchaos-one clean
+.PHONY: check build test race vet bench-smoke bench-cancel bench-agg bench-overload bench-repl bench-plancache bench-pager race-cancel race-plancache race-pager joinfuzz chaos replchaos replchaos-one clean
 
 check: build vet test race
 
@@ -102,6 +102,21 @@ bench-plancache:
 # epoch invalidation under DDL/ANALYZE churn, stmt-cache clock sweeps.
 race-plancache:
 	$(GO) test -race -count=1 -run 'PlanCache|StmtCache|ExplainCached' ./internal/sqldb
+
+# The -race paged-storage suite: buffer-pool pin/evict/flush races, the
+# concurrent-churn workload on a 4-frame pool with a 1ms checkpointer,
+# and every crash/recovery scenario including the torn-page sweep.
+race-pager:
+	$(GO) test -race -count=1 ./internal/sqldb/pager
+	$(GO) test -race -count=1 -run 'TestPaged' ./internal/sqldb
+
+# Paged-storage benchmarks: cold-start recovery on a 100k-commit store
+# (full WAL replay vs checkpoint + tail; acceptance bar >=10x less WAL
+# replayed) and point reads against a pool 3x smaller than the heap;
+# recorded in BENCH_sqldb.json.
+bench-pager:
+	$(GO) test -run '^$$' -bench 'BenchmarkColdStart' -benchtime 5x ./internal/sqldb -v | tee bench-pager.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkLargerThanPool' -benchtime 2s ./internal/sqldb | tee -a bench-pager.txt
 
 clean:
 	$(GO) clean ./...

@@ -30,6 +30,8 @@ import (
 func main() {
 	data := flag.String("data", "", "WAL file to open (empty = scratch in-memory database)")
 	sync := flag.String("sync", "every", "WAL sync policy: every, group, never")
+	poolPages := flag.Int("pool-pages", 0, "open a paged store: buffer-pool capacity in pages, matching the daemon's -pool-pages (0 = plain WAL store; required to inspect a store the daemon ran paged)")
+	pageSize := flag.Int("page-size", 0, "paged store: page size for a newly created page file (0 = pager default; an existing file's own size wins)")
 	flag.Parse()
 
 	var db *sqldb.DB
@@ -38,7 +40,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("cj2sql: %v", err)
 		}
-		db, err = sqldb.Open(sqldb.Options{VFS: sqldb.OSVFS{}, Path: *data, Sync: policy})
+		db, err = sqldb.Open(sqldb.Options{VFS: sqldb.OSVFS{}, Path: *data, Sync: policy, PoolPages: *poolPages, PageSize: *pageSize})
 		if err != nil {
 			log.Fatalf("cj2sql: %v", err)
 		}

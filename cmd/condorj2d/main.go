@@ -39,6 +39,9 @@ func main() {
 	groupDelay := flag.Duration("group-delay", 0, "sync=group: how long a solo group leader waits for companion commits before fsyncing (0 = rely on natural batching)")
 	groupMaxBytes := flag.Int("group-max-bytes", 0, "sync=group: cap on log bytes per group flush (0 = unlimited)")
 	gcBatch := flag.Int("gc-batch", 0, "MVCC: max version-GC records reclaimed per commit sweep (0 = default 64)")
+	poolPages := flag.Int("pool-pages", 0, "paged storage: buffer-pool capacity in pages; rows live in a page file and restart replays only the WAL tail past the last checkpoint (0 = rows stay in the WAL-replayed heap)")
+	pageSize := flag.Int("page-size", 0, "paged storage: page size in bytes for a newly created page file (0 = pager default; an existing file's own size wins)")
+	ckptEvery := flag.Duration("checkpoint-interval", 0, "paged storage: background fuzzy-checkpoint cadence; flushes dirty pages without quiescing writers and truncates the WAL (0 = checkpoint only at clean shutdown)")
 	stmtTimeout := flag.Duration("stmt-timeout", 0, "default per-statement deadline when a request carries none (0 = none; config key stmt_timeout_ms overrides)")
 	lockTimeout := flag.Duration("lock-timeout", 0, "max time one statement may block in a lock wait (0 = forever; config key lock_timeout_ms overrides)")
 	grace := flag.Duration("shutdown-grace", 10*time.Second, "how long shutdown drains in-flight requests before cancelling their statements")
@@ -65,19 +68,28 @@ func main() {
 			log.Fatalf("condorj2d: %v", err)
 		}
 		engine, err = sqldb.Open(sqldb.Options{
-			VFS:           sqldb.OSVFS{},
-			Path:          *data,
-			Sync:          policy,
-			GroupDelay:    *groupDelay,
-			GroupMaxBytes: *groupMaxBytes,
-			GCBatch:       *gcBatch,
-			StmtTimeout:   *stmtTimeout,
-			LockTimeout:   *lockTimeout,
+			VFS:                sqldb.OSVFS{},
+			Path:               *data,
+			Sync:               policy,
+			GroupDelay:         *groupDelay,
+			GroupMaxBytes:      *groupMaxBytes,
+			GCBatch:            *gcBatch,
+			StmtTimeout:        *stmtTimeout,
+			LockTimeout:        *lockTimeout,
+			PoolPages:          *poolPages,
+			PageSize:           *pageSize,
+			CheckpointInterval: *ckptEvery,
 		})
 		if err != nil {
 			log.Fatalf("condorj2d: opening database: %v", err)
 		}
-		log.Printf("recovered database from %s (sync=%s)", *data, *sync)
+		if *poolPages > 0 {
+			bs := engine.BufferPoolStats()
+			log.Printf("recovered database from %s (sync=%s, paged: %d-page pool, checkpoint LSN %d)",
+				*data, *sync, bs.Frames, bs.CheckpointLSN)
+		} else {
+			log.Printf("recovered database from %s (sync=%s)", *data, *sync)
+		}
 	}
 	cas, err := core.New(core.Options{Engine: engine, PoolSize: *pool, Follower: *follow != ""})
 	if err != nil {
@@ -188,6 +200,19 @@ func main() {
 		ws := cas.WALStats()
 		log.Printf("wal: %d commits, %d fsyncs (%.3f fsyncs/commit), max group %d",
 			ws.Commits, ws.Syncs, ws.FsyncsPerCommit(), ws.MaxGroup)
+	}
+	if *poolPages > 0 {
+		bs := cas.BufferPoolStats()
+		fetches := bs.Hits + bs.Misses
+		hitRate := 0.0
+		if fetches > 0 {
+			hitRate = float64(bs.Hits) / float64(fetches)
+		}
+		log.Printf("bufferpool: %d/%d frames resident (%d dirty), %d hits + %d misses (%.1f%% hit rate), %d evictions (%d dirty write-backs), %d checkpoints (%d errors, LSN %d)",
+			bs.Resident, bs.Frames, bs.Dirty, bs.Hits, bs.Misses, 100*hitRate, bs.Evictions, bs.DirtyWrites, bs.Checkpoints, bs.CheckpointErrors, bs.CheckpointLSN)
+		if bs.Failed != "" {
+			log.Printf("bufferpool: page storage FAILED: %s", bs.Failed)
+		}
 	}
 	vs := cas.VersionStats()
 	log.Printf("mvcc: %d snapshot reads (lock-free), %d versions stamped, %d pruned, %d slots + %d entries reclaimed, %d GC pending",

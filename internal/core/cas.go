@@ -366,6 +366,33 @@ func (c *CAS) WALSnapshot() metrics.WALSnapshot {
 	}
 }
 
+// BufferPoolStats snapshots the embedded engine's paged-storage counters
+// (buffer-pool traffic, pager I/O, checkpoint progress) for operators and
+// experiments; zeros when the engine runs without paged storage.
+func (c *CAS) BufferPoolStats() sqldb.BufferPoolStats { return c.Engine.BufferPoolStats() }
+
+// BufferPoolSnapshot converts the engine's buffer-pool counters into the
+// metrics layer's form, ready for metrics.BufferPoolMonitor.Observe — the
+// bridge the experiment harness uses to chart cache behaviour next to
+// commit throughput when the working set outgrows the pool.
+func (c *CAS) BufferPoolSnapshot() metrics.BufferPoolSnapshot {
+	s := c.Engine.BufferPoolStats()
+	return metrics.BufferPoolSnapshot{
+		Frames:      s.Frames,
+		Resident:    s.Resident,
+		Dirty:       s.Dirty,
+		Pinned:      s.Pinned,
+		Hits:        s.Hits,
+		Misses:      s.Misses,
+		Evictions:   s.Evictions,
+		DirtyWrites: s.DirtyWrites,
+		PageReads:   s.PageReads,
+		PageWrites:  s.PageWrites,
+		Syncs:       s.Syncs,
+		Checkpoints: s.Checkpoints,
+	}
+}
+
 // HTTPHandler serves both external interfaces: the web services endpoint
 // under /services and the pool web site under /.
 func (c *CAS) HTTPHandler() http.Handler {

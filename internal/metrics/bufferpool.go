@@ -1,0 +1,96 @@
+package metrics
+
+import "time"
+
+// Buffer-pool accounting. The paged storage engine exports cumulative
+// counters (fetch hits and misses, evictions, dirty write-backs, pager
+// I/O, checkpoints); BufferPoolMonitor differences successive snapshots
+// into the same interval-bucketed series the CPU, lock, and WAL
+// accounting use, so cache behaviour under a working set larger than the
+// pool can be charted next to commit throughput when sizing the pool.
+
+// BufferPoolSnapshot is one reading of the paged storage engine's
+// cumulative buffer-pool counters. It mirrors sqldb.BufferPoolStats
+// without importing it, keeping this package dependency-free.
+type BufferPoolSnapshot struct {
+	// Frames is the pool capacity; Resident/Dirty/Pinned describe its
+	// occupancy at the instant of the snapshot (gauges, not counters).
+	Frames   int
+	Resident int
+	Dirty    int
+	Pinned   int
+	// Hits and Misses count Fetch outcomes; Evictions counts frames
+	// reassigned, DirtyWrites the eviction write-backs among them.
+	Hits        uint64
+	Misses      uint64
+	Evictions   uint64
+	DirtyWrites uint64
+	// PageReads/PageWrites/Syncs count pager-level I/O calls.
+	PageReads  uint64
+	PageWrites uint64
+	Syncs      uint64
+	// Checkpoints counts completed fuzzy checkpoints.
+	Checkpoints uint64
+}
+
+// BufferPoolMonitor buckets buffer-pool deltas by sampling interval.
+// Like CPUAccount and WALMonitor, it is not safe for concurrent use;
+// simulations and pollers drive it from a single goroutine.
+type BufferPoolMonitor struct {
+	hits      *Counter
+	misses    *Counter
+	evictions *Counter
+	writes    *Counter
+	last      BufferPoolSnapshot
+	haveLast  bool
+}
+
+// NewBufferPoolMonitor creates a monitor whose series start at start
+// with the given bucket width.
+func NewBufferPoolMonitor(start time.Time, interval time.Duration) *BufferPoolMonitor {
+	return &BufferPoolMonitor{
+		hits:      NewCounter(start, interval),
+		misses:    NewCounter(start, interval),
+		evictions: NewCounter(start, interval),
+		writes:    NewCounter(start, interval),
+	}
+}
+
+// Observe records a snapshot taken at instant at, attributing the change
+// since the previous snapshot to at's interval. The first observation
+// establishes the baseline.
+func (m *BufferPoolMonitor) Observe(at time.Time, snap BufferPoolSnapshot) {
+	if m.haveLast {
+		m.hits.Add(at, int(snap.Hits-m.last.Hits))
+		m.misses.Add(at, int(snap.Misses-m.last.Misses))
+		m.evictions.Add(at, int(snap.Evictions-m.last.Evictions))
+		m.writes.Add(at, int(snap.DirtyWrites-m.last.DirtyWrites))
+	}
+	m.last = snap
+	m.haveLast = true
+}
+
+// Hits is the per-interval fetch-hit series.
+func (m *BufferPoolMonitor) Hits() *Counter { return m.hits }
+
+// Misses is the per-interval fetch-miss series.
+func (m *BufferPoolMonitor) Misses() *Counter { return m.misses }
+
+// Evictions is the per-interval frame-reassignment series.
+func (m *BufferPoolMonitor) Evictions() *Counter { return m.evictions }
+
+// DirtyWrites is the per-interval eviction write-back series.
+func (m *BufferPoolMonitor) DirtyWrites() *Counter { return m.writes }
+
+// HitRate reports the fraction of fetches served from the pool over
+// everything observed so far (1.0 = every fetch hit resident memory).
+func (m *BufferPoolMonitor) HitRate() float64 {
+	if !m.haveLast {
+		return 0
+	}
+	total := m.last.Hits + m.last.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(m.last.Hits) / float64(total)
+}

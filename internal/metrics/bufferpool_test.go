@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBufferPoolMonitorDifferencesSnapshots(t *testing.T) {
+	start := time.Date(2006, 10, 1, 0, 0, 0, 0, time.UTC)
+	m := NewBufferPoolMonitor(start, time.Minute)
+
+	// Baseline: no deltas recorded.
+	m.Observe(start, BufferPoolSnapshot{Hits: 50, Misses: 50, Evictions: 10, DirtyWrites: 5})
+	if got := m.Hits().Total(); got != 0 {
+		t.Fatalf("baseline observation recorded %d hits, want 0", got)
+	}
+
+	// A warm interval: mostly hits, a little eviction churn.
+	m.Observe(start.Add(time.Minute), BufferPoolSnapshot{
+		Hits: 950, Misses: 100, Evictions: 40, DirtyWrites: 25,
+		Frames: 64, Resident: 64, Dirty: 8, Pinned: 2,
+	})
+	m.Observe(start.Add(2*time.Minute), BufferPoolSnapshot{
+		Hits: 1050, Misses: 150, Evictions: 60, DirtyWrites: 30,
+		Frames: 64, Resident: 64, Dirty: 4, Pinned: 0,
+	})
+
+	if got := m.Hits().Total(); got != 1000 {
+		t.Fatalf("hits total = %d, want 1000", got)
+	}
+	if got := m.Misses().Total(); got != 100 {
+		t.Fatalf("misses total = %d, want 100", got)
+	}
+	if got := m.Evictions().Total(); got != 50 {
+		t.Fatalf("evictions total = %d, want 50", got)
+	}
+	if got := m.DirtyWrites().Total(); got != 25 {
+		t.Fatalf("dirty writes total = %d, want 25", got)
+	}
+	if got := m.HitRate(); got != float64(1050)/1200 {
+		t.Fatalf("hit rate = %v, want %v", got, float64(1050)/1200)
+	}
+}
+
+func TestBufferPoolMonitorEmpty(t *testing.T) {
+	m := NewBufferPoolMonitor(time.Now(), time.Second)
+	if got := m.HitRate(); got != 0 {
+		t.Fatalf("hit rate with no observations = %v", got)
+	}
+	m.Observe(time.Now(), BufferPoolSnapshot{})
+	if got := m.HitRate(); got != 0 {
+		t.Fatalf("hit rate with zero traffic = %v", got)
+	}
+}

@@ -73,6 +73,20 @@ type Options struct {
 	// with ErrLockTimeout (0 = wait forever). Runtime-settable with
 	// SetLockTimeout.
 	LockTimeout time.Duration
+	// PoolPages, when positive, enables page-based durable storage:
+	// committed rows are written through to fixed-size pages behind a
+	// buffer pool of this many frames, fuzzy checkpoints truncate the
+	// WAL, and recovery replays only the tail above the last checkpoint.
+	// Requires a RandomAccessVFS in VFS. Zero keeps the log-only layout.
+	PoolPages int
+	// PageSize is the page size in bytes for a newly created page file
+	// (0 = pager.DefaultPageSize). An existing store's own page size is
+	// authoritative.
+	PageSize int
+	// CheckpointInterval is the background fuzzy-checkpoint period under
+	// paged storage (0 = no background checkpointer; Checkpoint and the
+	// final checkpoint in Close still run).
+	CheckpointInterval time.Duration
 }
 
 // DB is an embedded database engine instance. It is safe for concurrent
@@ -87,6 +101,9 @@ type DB struct {
 	tables map[string]*table
 	locks  *lockManager
 	wal    *wal
+	// store is the paged-storage engine (nil unless Options.PoolPages > 0):
+	// pager, buffer pool, and fuzzy-checkpoint state (see paged.go).
+	store  *pageStore
 	nextTx atomic.Uint64
 	nowFn  func() time.Time
 	hook   atomic.Pointer[StatsHook]
@@ -215,32 +232,67 @@ func Open(opts Options) (*DB, error) {
 				return nil, fmt.Errorf("sqldb: repairing torn WAL tail: %w", err)
 			}
 		}
-		if err := db.recover(parseWAL(data)); err != nil {
+		if opts.PoolPages > 0 {
+			rvfs, ok := opts.VFS.(RandomAccessVFS)
+			if !ok {
+				return nil, fmt.Errorf("sqldb: Options.PoolPages requires a RandomAccessVFS")
+			}
+			st, meta, err := openPageStore(rvfs, opts.Path, opts.PageSize, opts.PoolPages)
+			if err != nil {
+				return nil, err
+			}
+			db.store = st
+			if err := db.recoverPaged(meta, parseWAL(data)); err != nil {
+				st.close()
+				return nil, err
+			}
+		} else if err := db.recover(parseWAL(data)); err != nil {
 			return nil, err
 		}
 		w, err := openWAL(opts.VFS, opts.Path, opts.Sync, opts.GroupDelay, opts.GroupMaxBytes)
 		if err != nil {
+			if db.store != nil {
+				db.store.close()
+			}
 			return nil, err
 		}
 		// Resume the LSN horizon past everything the log already holds,
 		// whether this node wrote those groups itself or applied them as
-		// a replication follower.
+		// a replication follower — and, under paged storage, past the
+		// truncated prefix the checkpoint LSN covers.
 		w.setRecoveredLSN(db.replApplied.Load())
 		db.wal = w
+		if db.store != nil && opts.CheckpointInterval > 0 {
+			db.startCheckpointer(opts.CheckpointInterval)
+		}
 	}
 	return db, nil
 }
 
 // Close shuts the database down. In-flight transactions are waited for.
+// Under paged storage a final fuzzy checkpoint runs first, so a clean
+// shutdown leaves an empty WAL tail and the next open replays nothing.
 func (db *DB) Close() error {
 	if !db.closed.CompareAndSwap(false, true) {
 		return nil
 	}
 	db.txLive.Wait()
-	if db.wal != nil {
-		return db.wal.close()
+	var err error
+	if db.store != nil {
+		db.store.stopCheckpointer()
+		if cerr := db.fuzzyCheckpoint(true); cerr != nil {
+			err = cerr
+		}
+		if serr := db.store.close(); serr != nil && err == nil {
+			err = serr
+		}
 	}
-	return nil
+	if db.wal != nil {
+		if werr := db.wal.close(); werr != nil && err == nil {
+			err = werr
+		}
+	}
+	return err
 }
 
 // SetStatsHook installs a hook observing every executed statement.
@@ -889,7 +941,15 @@ func (db *DB) applyDDL(stmt Statement, tx *Tx) error {
 		}
 		schema := s.Schema
 		schema.Name = name
-		db.tables[name] = newTable(schema)
+		tbl := newTable(schema)
+		// Paged storage: every table gets a permanent, never-reused ID and
+		// its own page heap. During meta recovery the caller assigns the
+		// checkpointed IDs itself (st.recovering).
+		if db.store != nil && !db.store.recovering {
+			tbl.tableID = db.store.nextTableID.Add(1)
+			tbl.heap = newPagedHeap(db.store, tbl.tableID)
+		}
+		db.tables[name] = tbl
 		if tx != nil {
 			tx.recordDDL(schema.DDL())
 		}
@@ -926,6 +986,9 @@ func (db *DB) applyDDL(stmt Statement, tx *Tx) error {
 		// the same name builds a fresh table, so the only way stale plans
 		// notice the drop is through the dropped table's own epoch.
 		tbl.schemaEpoch.Add(1)
+		if tbl.heap != nil {
+			tbl.heap.drop()
+		}
 		if tx != nil {
 			tx.recordDDL("DROP TABLE " + name)
 		}
@@ -999,9 +1062,14 @@ func (db *DB) Schema(name string) (TableSchema, bool) {
 	return tbl.schema, true
 }
 
-// Checkpoint rewrites the WAL as a snapshot of current committed state,
-// bounding recovery time. It briefly locks out writers.
+// Checkpoint bounds recovery time. Under paged storage it runs one fuzzy
+// checkpoint — dirty pages flushed, meta written, WAL truncated — without
+// quiescing writers. Otherwise it rewrites the WAL as a snapshot of
+// current committed state, briefly locking out writers.
 func (db *DB) Checkpoint() error {
+	if db.store != nil {
+		return db.fuzzyCheckpoint(false)
+	}
 	if db.wal == nil {
 		return nil
 	}

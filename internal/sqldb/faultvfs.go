@@ -2,6 +2,7 @@ package sqldb
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -33,6 +34,7 @@ type FaultVFS struct {
 	writeBudget int64
 
 	syncs, syncFails, writes, writeFails, tornWrites atomic.Int64
+	pageReads, pageWrites                            atomic.Int64
 }
 
 // NewFaultVFS wraps inner with no faults armed.
@@ -62,6 +64,10 @@ type FaultVFSStats struct {
 	Writes     int64
 	WriteFails int64
 	TornWrites int64
+	// PageReads/PageWrites count random-access (page file) I/O calls,
+	// a subset of the totals above for writes.
+	PageReads  int64
+	PageWrites int64
 }
 
 // Stats snapshots what was injected so far.
@@ -72,6 +78,8 @@ func (v *FaultVFS) Stats() FaultVFSStats {
 		Writes:     v.writes.Load(),
 		WriteFails: v.writeFails.Load(),
 		TornWrites: v.tornWrites.Load(),
+		PageReads:  v.pageReads.Load(),
+		PageWrites: v.pageWrites.Load(),
 	}
 }
 
@@ -126,6 +134,67 @@ func (f faultFile) Sync() error {
 
 func (f faultFile) Close() error { return f.inner.Close() }
 
+// faultRandomFile injects the same write-budget tearing and armed sync
+// failures into random-access page files, so eviction write-backs,
+// checkpoint flushes, and the double-write buffer are all torturable
+// exactly like the WAL's append path.
+type faultRandomFile struct {
+	vfs   *FaultVFS
+	inner RandomFile
+}
+
+func (f faultRandomFile) ReadAt(p []byte, off int64) (int, error) {
+	f.vfs.pageReads.Add(1)
+	return f.inner.ReadAt(p, off)
+}
+
+func (f faultRandomFile) WriteAt(p []byte, off int64) (int, error) {
+	v := f.vfs
+	v.writes.Add(1)
+	v.pageWrites.Add(1)
+	v.mu.Lock()
+	budget := v.writeBudget
+	if budget >= 0 {
+		if int64(len(p)) <= budget {
+			v.writeBudget = budget - int64(len(p))
+			budget = -1 // fits, write through
+		} else {
+			v.writeBudget = 0
+		}
+	}
+	v.mu.Unlock()
+	if budget < 0 {
+		return f.inner.WriteAt(p, off)
+	}
+	// Torn page write: the prefix that fits lands, then ENOSPC.
+	if budget > 0 {
+		v.tornWrites.Add(1)
+		if n, err := f.inner.WriteAt(p[:budget], off); err != nil {
+			return n, err
+		}
+	}
+	v.writeFails.Add(1)
+	return int(budget), ErrNoSpace
+}
+
+func (f faultRandomFile) Sync() error {
+	v := f.vfs
+	v.syncs.Add(1)
+	v.mu.Lock()
+	fail := v.failSyncs > 0
+	if fail {
+		v.failSyncs--
+	}
+	v.mu.Unlock()
+	if fail {
+		v.syncFails.Add(1)
+		return ErrSyncFailed
+	}
+	return f.inner.Sync()
+}
+
+func (f faultRandomFile) Close() error { return f.inner.Close() }
+
 // Create implements VFS.
 func (v *FaultVFS) Create(name string) (File, error) {
 	f, err := v.Inner.Create(name)
@@ -133,6 +202,20 @@ func (v *FaultVFS) Create(name string) (File, error) {
 		return nil, err
 	}
 	return faultFile{vfs: v, inner: f}, nil
+}
+
+// OpenRandom implements RandomAccessVFS when the inner VFS does,
+// wrapping page files with the same fault injection.
+func (v *FaultVFS) OpenRandom(name string) (RandomFile, error) {
+	ra, ok := v.Inner.(RandomAccessVFS)
+	if !ok {
+		return nil, fmt.Errorf("faultvfs: inner VFS %T has no random access", v.Inner)
+	}
+	f, err := ra.OpenRandom(name)
+	if err != nil {
+		return nil, err
+	}
+	return faultRandomFile{vfs: v, inner: f}, nil
 }
 
 // Open implements VFS.

@@ -88,10 +88,32 @@ var fuzzCols = []struct{ name, typ string }{
 	{"f", "FLOAT"},
 }
 
+// newJoinFuzzDB opens the engine a fuzz case runs against: in-memory by
+// default, or — with JOINFUZZ_POOL_PAGES=n — paged storage over a MemVFS
+// with an n-frame pool, so the differential sweep doubles as an
+// eviction-correctness test when the pool is tiny.
+func newJoinFuzzDB(t *testing.T) *DB {
+	t.Helper()
+	s := os.Getenv("JOINFUZZ_POOL_PAGES")
+	if s == "" {
+		return New()
+	}
+	pool, err := strconv.Atoi(s)
+	if err != nil || pool <= 0 {
+		t.Fatalf("JOINFUZZ_POOL_PAGES=%q: want a positive integer", s)
+	}
+	db, err := Open(Options{VFS: NewMemVFS(), Path: "joinfuzz.db", PoolPages: pool, PageSize: 1024})
+	if err != nil {
+		t.Fatalf("Open paged: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
 func runJoinFuzzCase(t *testing.T, seed int64) PlannerStats {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	db := New()
+	db := newJoinFuzzDB(t)
 	var script []string
 	run := func(sql string) {
 		script = append(script, sql)

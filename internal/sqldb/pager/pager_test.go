@@ -1,0 +1,383 @@
+package pager
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// memFile is a minimal in-memory random-access file for tests.
+type memFile struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (m *memFile) ReadAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if off >= int64(len(m.buf)) {
+		return 0, errors.New("EOF")
+	}
+	n := copy(p, m.buf[off:])
+	if n < len(p) {
+		return n, errors.New("EOF")
+	}
+	return n, nil
+}
+
+func (m *memFile) WriteAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	end := off + int64(len(p))
+	if int64(len(m.buf)) < end {
+		m.buf = append(m.buf, make([]byte, end-int64(len(m.buf)))...)
+	}
+	copy(m.buf[off:end], p)
+	return len(p), nil
+}
+
+func (m *memFile) Sync() error  { return nil }
+func (m *memFile) Close() error { return nil }
+
+func newTestPager(t *testing.T, pageSize int) (*Pager, *memFile, *memFile) {
+	t.Helper()
+	main, dwb := &memFile{}, &memFile{}
+	p, err := New(main, dwb, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, main, dwb
+}
+
+func fillPage(p *Pager, tag byte) []byte {
+	buf := make([]byte, p.PageSize())
+	for i := CheckHeader; i < len(buf); i++ {
+		buf[i] = tag
+	}
+	return buf
+}
+
+func TestPagerRoundTrip(t *testing.T) {
+	p, _, _ := newTestPager(t, 1024)
+	a, b := p.Allocate(), p.Allocate()
+	if a != 1 || b != 2 {
+		t.Fatalf("allocate: got %d, %d", a, b)
+	}
+	if err := p.WriteBatch([]BatchPage{{a, fillPage(p, 0xAA)}, {b, fillPage(p, 0xBB)}}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1024)
+	empty, err := p.ReadPage(a, buf)
+	if err != nil || empty {
+		t.Fatalf("read a: empty=%v err=%v", empty, err)
+	}
+	if buf[CheckHeader] != 0xAA || buf[1023] != 0xAA {
+		t.Fatalf("page a content wrong: % x", buf[:8])
+	}
+	if empty, err := p.ReadPage(b, buf); err != nil || empty {
+		t.Fatalf("read b: empty=%v err=%v", empty, err)
+	}
+	// An allocated-but-never-written page reads back empty.
+	c := p.Allocate()
+	if empty, err := p.ReadPage(c, buf); err != nil || !empty {
+		t.Fatalf("read unwritten: empty=%v err=%v", empty, err)
+	}
+}
+
+func TestPagerChecksumDetectsCorruption(t *testing.T) {
+	p, main, _ := newTestPager(t, 512)
+	pid := p.Allocate()
+	if err := p.WriteBatch([]BatchPage{{pid, fillPage(p, 0x11)}}); err != nil {
+		t.Fatal(err)
+	}
+	main.mu.Lock()
+	main.buf[100] ^= 0xFF
+	main.mu.Unlock()
+	buf := make([]byte, 512)
+	if _, err := p.ReadPage(pid, buf); !errors.Is(err, ErrCorruptPage) {
+		t.Fatalf("want ErrCorruptPage, got %v", err)
+	}
+}
+
+func TestPagerFreeReuse(t *testing.T) {
+	p, _, _ := newTestPager(t, 512)
+	a := p.Allocate()
+	_ = p.Allocate()
+	p.Free(a)
+	if got := p.Allocate(); got != a {
+		t.Fatalf("freed page not reused: got %d want %d", got, a)
+	}
+	next, free := p.AllocState()
+	if next != 3 || len(free) != 0 {
+		t.Fatalf("alloc state: next=%d free=%v", next, free)
+	}
+}
+
+func TestPagerTornWriteRepair(t *testing.T) {
+	// Simulate every prefix length of a torn in-place page write: the
+	// double-write buffer is complete (it was synced first), the main
+	// page is cut mid-write. RecoverTorn must restore the full image.
+	pageSize := 512
+	for cut := 0; cut <= pageSize; cut += 64 {
+		p, main, dwb := newTestPager(t, pageSize)
+		pid := p.Allocate()
+		if err := p.WriteBatch([]BatchPage{{pid, fillPage(p, 0x55)}}); err != nil {
+			t.Fatal(err)
+		}
+		good := append([]byte(nil), main.buf...)
+		newImg := fillPage(p, 0x77)
+		if err := p.WriteBatch([]BatchPage{{pid, newImg}}); err != nil {
+			t.Fatal(err)
+		}
+		// Tear the in-place write: first `cut` bytes of the new image
+		// landed, the rest still holds the old image.
+		main.mu.Lock()
+		torn := append([]byte(nil), good...)
+		copy(torn[:cut], main.buf[:cut])
+		main.buf = torn
+		main.mu.Unlock()
+
+		reopened, err := New(main, dwb, pageSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reopened.RecoverTorn(); err != nil {
+			t.Fatalf("cut=%d: RecoverTorn: %v", cut, err)
+		}
+		buf := make([]byte, pageSize)
+		if empty, err := reopened.ReadPage(pid, buf); err != nil || empty {
+			t.Fatalf("cut=%d: after repair: empty=%v err=%v", cut, empty, err)
+		}
+		// The contract is "some complete image": an untorn old image
+		// (cut=0) stays, anything actually torn repairs to the new one.
+		if got := buf[CheckHeader]; got != 0x77 && !(cut == 0 && got == 0x55) {
+			t.Fatalf("cut=%d: repaired to wrong image: %x", cut, got)
+		}
+	}
+}
+
+func TestPagerTornToZerosRepair(t *testing.T) {
+	p, main, dwb := newTestPager(t, 512)
+	pid := p.Allocate()
+	if err := p.WriteBatch([]BatchPage{{pid, fillPage(p, 0x42)}}); err != nil {
+		t.Fatal(err)
+	}
+	main.mu.Lock()
+	for i := range main.buf {
+		main.buf[i] = 0
+	}
+	main.mu.Unlock()
+	reopened, _ := New(main, dwb, 512)
+	n, err := reopened.RecoverTorn()
+	if err != nil || n != 1 {
+		t.Fatalf("repaired=%d err=%v", n, err)
+	}
+	buf := make([]byte, 512)
+	if empty, err := reopened.ReadPage(pid, buf); err != nil || empty || buf[CheckHeader] != 0x42 {
+		t.Fatalf("after repair: empty=%v err=%v byte=%x", empty, err, buf[CheckHeader])
+	}
+}
+
+func TestPagerRecoverTornIgnoresGarbageDWB(t *testing.T) {
+	p, _, dwb := newTestPager(t, 512)
+	pid := p.Allocate()
+	if err := p.WriteBatch([]BatchPage{{pid, fillPage(p, 0x10)}}); err != nil {
+		t.Fatal(err)
+	}
+	// Scribble a bogus entry count; recovery must not touch good pages.
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], 0xFFFFFFFF)
+	dwb.WriteAt(hdr[:], 0)
+	if n, err := p.RecoverTorn(); err != nil || n != 0 {
+		t.Fatalf("repaired=%d err=%v", n, err)
+	}
+}
+
+func TestPoolFetchHitMissEvict(t *testing.T) {
+	p, _, _ := newTestPager(t, 512)
+	bp := NewPool(p, 4)
+	var pids []PageID
+	for i := 0; i < 8; i++ {
+		pid, f, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Lock()
+		copy(f.Data()[CheckHeader:], fmt.Sprintf("page-%d", i))
+		f.Unlock()
+		bp.Unpin(f, true)
+		pids = append(pids, pid)
+	}
+	// All 8 pages must read back correctly through a 4-frame pool.
+	for i, pid := range pids {
+		f, err := bp.Fetch(pid)
+		if err != nil {
+			t.Fatalf("fetch %d: %v", pid, err)
+		}
+		f.RLock()
+		got := string(f.Data()[CheckHeader : CheckHeader+7])
+		f.RUnlock()
+		bp.Unpin(f, false)
+		want := fmt.Sprintf("page-%d", i)
+		if got[:len(want)] != want {
+			t.Fatalf("page %d: got %q want %q", pid, got, want)
+		}
+	}
+	st := bp.Stats()
+	if st.Evictions == 0 || st.DirtyWrites == 0 {
+		t.Fatalf("expected evictions and dirty writes, got %+v", st)
+	}
+	if st.Resident > 4 {
+		t.Fatalf("resident %d exceeds pool size 4", st.Resident)
+	}
+}
+
+func TestPoolPinnedNeverEvicted(t *testing.T) {
+	p, _, _ := newTestPager(t, 512)
+	bp := NewPool(p, 3)
+	var pinned []*Frame
+	var pids []PageID
+	for i := 0; i < 3; i++ {
+		pid, f, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pinned = append(pinned, f)
+		pids = append(pids, pid)
+	}
+	// Every frame is pinned: a new page must fail, not evict.
+	if _, _, err := bp.NewPage(); err == nil {
+		t.Fatal("NewPage succeeded with every frame pinned")
+	}
+	// The pinned frames must still hold their pages.
+	for i, f := range pinned {
+		if f.PID() != pids[i] {
+			t.Fatalf("pinned frame %d was reused: pid %d want %d", i, f.PID(), pids[i])
+		}
+	}
+	bp.Unpin(pinned[0], true)
+	if _, _, err := bp.NewPage(); err != nil {
+		t.Fatalf("NewPage after one unpin: %v", err)
+	}
+}
+
+func TestPoolScanResistance(t *testing.T) {
+	// A re-referenced page must survive a sweep of once-touched pages
+	// larger than the pool: cold insertion means scan pages evict each
+	// other while the hot page's ref bit protects it.
+	p, _, _ := newTestPager(t, 512)
+	bp := NewPool(p, 4)
+	hot, f, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(f, true)
+	for i := 0; i < 20; i++ {
+		pid, nf, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp.Unpin(nf, true)
+		if nf, err = bp.Fetch(pid); err != nil {
+			t.Fatal(err)
+		}
+		bp.Unpin(nf, false)
+		// Keep the hot page referenced.
+		hf, err := bp.Fetch(hot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp.Unpin(hf, false)
+	}
+	before := bp.Stats().Hits
+	hf, err := bp.Fetch(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.Unpin(hf, false)
+	if bp.Stats().Hits != before+1 {
+		t.Fatal("hot page was evicted by the scan")
+	}
+}
+
+func TestPoolConcurrentHammer(t *testing.T) {
+	p, _, _ := newTestPager(t, 512)
+	bp := NewPool(p, 8)
+	const pages = 32
+	var pids [pages]PageID
+	for i := 0; i < pages; i++ {
+		pid, f, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.LittleEndian.PutUint64(f.Data()[CheckHeader:], uint64(i))
+		bp.Unpin(f, true)
+		pids[i] = pid
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				k := (seed*7 + i*13) % pages
+				f, err := bp.Fetch(pids[k])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				f.RLock()
+				got := binary.LittleEndian.Uint64(f.Data()[CheckHeader:])
+				f.RUnlock()
+				if got != uint64(k) {
+					errCh <- fmt.Errorf("page %d read %d", k, got)
+					bp.Unpin(f, false)
+					return
+				}
+				if i%5 == 0 {
+					f.Lock()
+					binary.LittleEndian.PutUint64(f.Data()[CheckHeader:], uint64(k))
+					f.Unlock()
+					bp.Unpin(f, true)
+				} else {
+					bp.Unpin(f, false)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if st := bp.Stats(); st.Pinned != 0 {
+		t.Fatalf("leaked pins: %+v", st)
+	}
+}
+
+func TestPoolFlushPersists(t *testing.T) {
+	main, dwb := &memFile{}, &memFile{}
+	p, _ := New(main, dwb, 512)
+	bp := NewPool(p, 8)
+	pid, f, _ := bp.NewPage()
+	copy(f.Data()[CheckHeader:], "durable")
+	bp.Unpin(f, true)
+	if n, err := bp.FlushAll(); err != nil || n != 1 {
+		t.Fatalf("flush: n=%d err=%v", n, err)
+	}
+	// Reopen over the same files: the image must be there.
+	p2, _ := New(main, dwb, 512)
+	p2.SetAllocState(2, nil)
+	buf := make([]byte, 512)
+	if empty, err := p2.ReadPage(pid, buf); err != nil || empty {
+		t.Fatalf("reread: empty=%v err=%v", empty, err)
+	}
+	if !bytes.HasPrefix(buf[CheckHeader:], []byte("durable")) {
+		t.Fatalf("content lost: %q", buf[CheckHeader:CheckHeader+8])
+	}
+}

@@ -285,6 +285,12 @@ func (db *DB) ApplyCommitted(batches []CommittedBatch) error {
 		groups[i] = recs
 	}
 	if db.wal != nil {
+		// Register every LSN as in-flight BEFORE appendRaw advances the
+		// durable LSN: a fuzzy checkpoint must not pass an LSN that is
+		// durable in the log but not yet applied to pages.
+		for _, b := range todo {
+			db.wal.registerInflight(b.LSN)
+		}
 		var buf bytes.Buffer
 		for _, b := range todo {
 			buf.Write(b.Data)
@@ -297,8 +303,14 @@ func (db *DB) ApplyCommitted(batches []CommittedBatch) error {
 	}
 	for i, b := range todo {
 		if err := db.applyGroup(b.LSN, groups[i]); err != nil {
+			// Leave the failed group (and any after it) registered: a
+			// checkpoint wedging below an unapplied durable LSN is safe;
+			// truncating its records away would not be.
 			db.replApplyErrors.Add(1)
 			return err
+		}
+		if db.wal != nil {
+			db.wal.unregisterInflight(b.LSN)
 		}
 	}
 	db.maybeGC()
@@ -338,7 +350,7 @@ func decodeBatch(b CommittedBatch) ([]walRecord, error) {
 // plans on this follower are invalidated by shipped CREATE/DROP
 // INDEX/TABLE exactly as they are by local DDL (plancache.go).
 func (db *DB) applyGroup(lsn uint64, recs []walRecord) error {
-	var versions []*rowVersion
+	var versions []stampEntry
 	var gcs []gcRecord
 	wm := db.watermark.Load()
 	for i := range recs {
@@ -364,7 +376,7 @@ func (db *DB) applyGroup(lsn uint64, recs []walRecord) error {
 			if err != nil {
 				return fmt.Errorf("sqldb: follower apply: %w", err)
 			}
-			versions = append(versions, v)
+			versions = append(versions, stampEntry{v: v, tbl: tbl, rid: r.rid})
 		case walUpdate:
 			tbl, err := db.lookupTable(r.table)
 			if err != nil {
@@ -374,7 +386,7 @@ func (db *DB) applyGroup(lsn uint64, recs []walRecord) error {
 			if err != nil {
 				return fmt.Errorf("sqldb: follower apply: %w", err)
 			}
-			versions = append(versions, v)
+			versions = append(versions, stampEntry{v: v, tbl: tbl, rid: r.rid})
 			if len(orphaned) > 0 {
 				gcs = append(gcs, gcRecord{table: r.table, rid: r.rid, entries: orphaned})
 			}
@@ -387,16 +399,20 @@ func (db *DB) applyGroup(lsn uint64, recs []walRecord) error {
 			if err != nil {
 				return fmt.Errorf("sqldb: follower apply: %w", err)
 			}
-			versions = append(versions, v)
+			versions = append(versions, stampEntry{v: v, tbl: tbl, rid: r.rid})
 			gcs = append(gcs, gcRecord{table: r.table, rid: r.rid, tombstone: true, entries: orphaned})
 		default:
 			return fmt.Errorf("sqldb: follower apply: unexpected record op %d at lsn %d", r.op, lsn)
 		}
 	}
+	// Paged storage: write the group's versions through to heap pages
+	// before stamping (same ordering argument as the leader commit path;
+	// groups apply in LSN order, so same-rid records land in commit order).
+	db.pageWriteThrough(versions)
 	db.commitMu.Lock()
 	ts := db.clock.Load() + 1
-	for _, v := range versions {
-		v.begin.Store(ts)
+	for _, e := range versions {
+		e.v.begin.Store(ts)
 	}
 	if len(gcs) > 0 {
 		for i := range gcs {

@@ -209,9 +209,9 @@ func (op *scanOp) nextFull() (*rowBatch, error) {
 		for ; rid < end; rid++ {
 			var row []Value
 			if q.snapRead {
-				row = tbl.rows[rid].visibleAt(q.snapTS)
+				row = tbl.resolve(tbl.rows[rid].visibleVersion(q.snapTS))
 			} else {
-				row = tbl.rows[rid].currentFor(q.tx.id)
+				row = tbl.resolve(tbl.rows[rid].currentVersion(q.tx.id))
 			}
 			if row != nil {
 				op.outRids = append(op.outRids, rid)

@@ -1,6 +1,7 @@
 package sqldb
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 )
@@ -18,6 +19,8 @@ type SlowVFS struct {
 	SyncDelay time.Duration
 	// WriteDelay is slept on every File.Write before delegating.
 	WriteDelay time.Duration
+	// ReadDelay is slept on every random-access ReadAt (page faults).
+	ReadDelay time.Duration
 
 	syncs atomic.Int64
 }
@@ -46,6 +49,50 @@ func (f slowFile) Sync() error {
 }
 
 func (f slowFile) Close() error { return f.inner.Close() }
+
+// slowRandomFile injects the same latency into random-access page-file
+// I/O, so eviction and checkpoint costs are as observable as fsyncs.
+type slowRandomFile struct {
+	vfs   *SlowVFS
+	inner RandomFile
+}
+
+func (f slowRandomFile) ReadAt(p []byte, off int64) (int, error) {
+	if f.vfs.ReadDelay > 0 {
+		time.Sleep(f.vfs.ReadDelay)
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+func (f slowRandomFile) WriteAt(p []byte, off int64) (int, error) {
+	if f.vfs.WriteDelay > 0 {
+		time.Sleep(f.vfs.WriteDelay)
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+func (f slowRandomFile) Sync() error {
+	if f.vfs.SyncDelay > 0 {
+		time.Sleep(f.vfs.SyncDelay)
+	}
+	f.vfs.syncs.Add(1)
+	return f.inner.Sync()
+}
+
+func (f slowRandomFile) Close() error { return f.inner.Close() }
+
+// OpenRandom implements RandomAccessVFS when the inner VFS does.
+func (s *SlowVFS) OpenRandom(name string) (RandomFile, error) {
+	ra, ok := s.Inner.(RandomAccessVFS)
+	if !ok {
+		return nil, fmt.Errorf("slowvfs: inner VFS %T has no random access", s.Inner)
+	}
+	f, err := ra.OpenRandom(name)
+	if err != nil {
+		return nil, err
+	}
+	return slowRandomFile{vfs: s, inner: f}, nil
+}
 
 // Create implements VFS.
 func (s *SlowVFS) Create(name string) (File, error) {

@@ -35,6 +35,13 @@ type table struct {
 	nextAuto int64
 	indexes  []*index
 
+	// Paged storage (Options.PoolPages > 0): committed versions' row bytes
+	// live in heap page records and versions carry only a pageLoc. heap is
+	// nil in the default in-memory mode. tableID is the table's permanent,
+	// never-reused page-ownership ID.
+	heap    *pagedHeap
+	tableID uint32
+
 	// Planner statistics (see stats.go). statRows is the live row count at
 	// the last ANALYZE; distinct-key estimates scale by the ratio of the
 	// current count to it, so estimates drift with the data between
@@ -92,6 +99,35 @@ func newTable(schema TableSchema) *table {
 	return t
 }
 
+// resolve materializes a version's row: nil for "no row" (no version, or
+// a delete tombstone), the in-memory data when present (default mode, and
+// uncommitted versions in paged mode), else the page record named by
+// v.loc. A paged read failure also yields nil — and records a sticky
+// error on the store (readRow does both).
+func (t *table) resolve(v *rowVersion) []Value {
+	if v == nil || v.isTomb() {
+		return nil
+	}
+	if v.data != nil {
+		return v.data
+	}
+	if t.heap != nil {
+		return t.heap.readRow(v.loc)
+	}
+	return nil
+}
+
+// eraseLocs erases pruned versions' page records. Safe to call with the
+// table latch held: the pool layer never acquires table latches, so no
+// lock cycle — just potential page I/O under the latch, which only GC
+// and chain pruning pay.
+func (t *table) eraseLocs(freed []pageLoc) {
+	if t.heap == nil || len(freed) == 0 {
+		return
+	}
+	t.heap.eraseAll(freed)
+}
+
 func colNames(s TableSchema, idxs []int) []string {
 	names := make([]string, len(idxs))
 	for i, c := range idxs {
@@ -128,14 +164,14 @@ func (t *table) addIndexLocked(is IndexSchema, asOf uint64) error {
 	for rid, slot := range t.rows {
 		checkedLive := false
 		for v := slot.head.Load(); v != nil; v = v.prev.Load() {
-			if v.data != nil {
+			if row := t.resolve(v); row != nil {
 				if !checkedLive {
-					if err := t.checkUnique(ix, v.data, int64(rid)); err != nil {
+					if err := t.checkUnique(ix, row, int64(rid)); err != nil {
 						return err
 					}
 					checkedLive = true
 				}
-				ix.tree.insert(ix.entryKey(v.data, int64(rid)), int64(rid))
+				ix.tree.insert(ix.entryKey(row, int64(rid)), int64(rid))
 			}
 			if v.begin.Load() != 0 {
 				break // newest committed version reached
@@ -282,11 +318,11 @@ func (t *table) checkUnique(ix *index, row []Value, rid int64) error {
 		if rid2 == rid || len(k) != len(lk)+1 {
 			return true
 		}
-		head := t.rows[rid2].head.Load()
-		if head == nil || head.data == nil {
+		headRow := t.resolve(t.rows[rid2].head.Load())
+		if headRow == nil {
 			return true // reclaimed slot or tombstoned row: key is free
 		}
-		if k2, ok := ix.logicalKey(head.data); ok && compareKeys(k2, lk) == 0 {
+		if k2, ok := ix.logicalKey(headRow); ok && compareKeys(k2, lk) == 0 {
 			conflict = true
 			return false
 		}
@@ -359,7 +395,7 @@ func (t *table) currentRow(rid int64, txn uint64) []Value {
 	if s == nil {
 		return nil
 	}
-	return s.currentFor(txn)
+	return t.resolve(s.currentVersion(txn))
 }
 
 // visibleRow is the snapshot read of a row as of commit timestamp ts.
@@ -368,7 +404,7 @@ func (t *table) visibleRow(rid int64, ts uint64) []Value {
 	if s == nil {
 		return nil
 	}
-	return s.visibleAt(ts)
+	return t.resolve(s.visibleVersion(ts))
 }
 
 // entryMatches reports whether k is row's own entry under ix — the guard
@@ -392,19 +428,23 @@ func (t *table) deleteRow(rid int64, txn uint64, watermark uint64) ([]Value, *ro
 	}
 	s := t.rows[rid]
 	cur := s.currentVersion(txn)
-	if cur == nil || cur.data == nil {
+	if cur == nil || cur.isTomb() {
 		return nil, nil, nil, fmt.Errorf("sqldb: delete: no row %d in %s", rid, t.schema.Name)
 	}
-	old := cur.data
+	old := t.resolve(cur)
+	if old == nil {
+		return nil, nil, nil, fmt.Errorf("sqldb: delete: row %d of %s is unreadable", rid, t.schema.Name)
+	}
 	entries := make([]gcEntry, 0, len(t.indexes))
 	for _, ix := range t.indexes {
 		entries = append(entries, gcEntry{index: ix.schema.Name, key: ix.entryKey(old, rid)})
 	}
-	tomb := &rowVersion{txn: txn}
+	tomb := &rowVersion{txn: txn, flags: verTomb}
 	tomb.prev.Store(s.head.Load())
 	s.head.Store(tomb)
-	s.pruneBelow(watermark)
+	_, freed := s.pruneBelow(watermark)
 	t.liveRows.Add(-1)
+	t.eraseLocs(freed)
 	return old, tomb, entries, nil
 }
 
@@ -427,11 +467,15 @@ func (t *table) updateRow(rid int64, newRow []Value, txn uint64, watermark uint6
 	}
 	s := t.rows[rid]
 	cur := s.currentVersion(txn)
-	if cur == nil || cur.data == nil {
+	if cur == nil || cur.isTomb() {
 		t.latch.RUnlock()
 		return nil, nil, nil, fmt.Errorf("sqldb: update: no row %d in %s", rid, t.schema.Name)
 	}
-	old := cur.data
+	old := t.resolve(cur)
+	if old == nil {
+		t.latch.RUnlock()
+		return nil, nil, nil, fmt.Errorf("sqldb: update: row %d of %s is unreadable", rid, t.schema.Name)
+	}
 	keysChanged := false
 	for _, ix := range t.indexes {
 		if compareKeys(ix.entryKey(old, rid), ix.entryKey(newRow, rid)) != 0 {
@@ -443,7 +487,8 @@ func (t *table) updateRow(rid int64, newRow []Value, txn uint64, watermark uint6
 		v := &rowVersion{data: newRow, txn: txn}
 		v.prev.Store(s.head.Load())
 		s.head.Store(v)
-		s.pruneBelow(watermark)
+		_, freed := s.pruneBelow(watermark)
+		t.eraseLocs(freed)
 		t.latch.RUnlock()
 		return old, v, nil, nil
 	}
@@ -456,10 +501,13 @@ func (t *table) updateRow(rid int64, newRow []Value, txn uint64, watermark uint6
 	defer t.latch.Unlock()
 	s = t.rows[rid]
 	cur = s.currentVersion(txn)
-	if cur == nil || cur.data == nil {
+	if cur == nil || cur.isTomb() {
 		return nil, nil, nil, fmt.Errorf("sqldb: update: no row %d in %s", rid, t.schema.Name)
 	}
-	old = cur.data
+	old = t.resolve(cur)
+	if old == nil {
+		return nil, nil, nil, fmt.Errorf("sqldb: update: row %d of %s is unreadable", rid, t.schema.Name)
+	}
 	var orphaned []gcEntry
 	for _, ix := range t.indexes {
 		ko := ix.entryKey(old, rid)
@@ -481,7 +529,8 @@ func (t *table) updateRow(rid int64, newRow []Value, txn uint64, watermark uint6
 	v := &rowVersion{data: newRow, txn: txn}
 	v.prev.Store(s.head.Load())
 	s.head.Store(v)
-	s.pruneBelow(watermark)
+	_, freed := s.pruneBelow(watermark)
+	t.eraseLocs(freed)
 	return old, v, orphaned, nil
 }
 
@@ -512,7 +561,7 @@ func (t *table) popVersion(rid int64, txn uint64) (*rowVersion, bool, error) {
 func (t *table) removeEntryIfUnclaimed(ix *index, k Key, rid int64) bool {
 	if rid >= 0 && rid < int64(len(t.rows)) {
 		for v := t.rows[rid].head.Load(); v != nil; v = v.prev.Load() {
-			if v.data != nil && ix.entryMatches(k, v.data, rid) {
+			if row := t.resolve(v); row != nil && ix.entryMatches(k, row, rid) {
 				return false
 			}
 		}
@@ -544,7 +593,7 @@ func (t *table) rollbackDelete(rid int64, txn uint64) error {
 	defer t.latch.Unlock()
 	s := t.rows[rid]
 	head := s.head.Load()
-	if head == nil || head.begin.Load() != 0 || head.txn != txn || head.data != nil {
+	if head == nil || head.begin.Load() != 0 || head.txn != txn || !head.isTomb() {
 		return fmt.Errorf("sqldb: rollback: slot %d of %s holds no uncommitted tombstone", rid, t.schema.Name)
 	}
 	s.head.Store(head.prev.Load())
@@ -558,7 +607,9 @@ func (t *table) rollbackDelete(rid int64, txn uint64) error {
 func (t *table) rollbackPopLocked(rid int64, txn uint64, mayFree bool) error {
 	s := t.rows[rid]
 	head := s.head.Load()
-	if head == nil || head.begin.Load() != 0 || head.txn != txn || head.data == nil {
+	// An uncommitted non-tombstone version always carries data in memory
+	// (versions are paged out only at commit), so head.data is safe below.
+	if head == nil || head.begin.Load() != 0 || head.txn != txn || head.isTomb() {
 		return fmt.Errorf("sqldb: rollback: slot %d of %s has no uncommitted version of txn %d", rid, t.schema.Name, txn)
 	}
 	s.head.Store(head.prev.Load())
@@ -583,7 +634,8 @@ func (t *table) gcProcess(rec *gcRecord, watermark uint64) (pruned, entriesRemov
 		return 0, 0, 0
 	}
 	s := t.rows[rec.rid]
-	pruned = s.pruneBelow(watermark)
+	pruned, freed := s.pruneBelow(watermark)
+	t.eraseLocs(freed)
 	for _, e := range rec.entries {
 		ix := t.findIndex(e.index)
 		if ix == nil {
@@ -598,9 +650,15 @@ func (t *table) gcProcess(rec *gcRecord, watermark uint64) (pruned, entriesRemov
 		// itself below the watermark (re-check: a rollback or unprocessed
 		// newer record may have changed the picture since enqueue).
 		head := s.head.Load()
-		if head != nil && head.data == nil && head.prev.Load() == nil {
+		if head != nil && head.isTomb() && head.prev.Load() == nil {
 			if b := head.begin.Load(); b != 0 && b <= watermark {
 				s.head.Store(nil)
+				// The tombstone's own page record may only be erased once
+				// the erasure of the data records it shadows is durable —
+				// defer it past the next checkpoint (resurrection hazard).
+				if head.loc.pid != 0 && t.heap != nil {
+					t.heap.store.queueTombErase(t.heap, head.loc)
+				}
 				t.free = append(t.free, rec.rid)
 				slotsFreed++
 			}
@@ -681,6 +739,124 @@ func (t *table) replayDelete(rid int64) error {
 	return nil
 }
 
+// noteAutoLocked advances the autoincrement counter past row's values.
+// Caller holds the exclusive latch.
+func (t *table) noteAutoLocked(row []Value) {
+	for ci := range t.schema.Columns {
+		if t.schema.Columns[ci].AutoIncrement && !row[ci].IsNull() && row[ci].Int64() >= t.nextAuto {
+			t.nextAuto = row[ci].Int64() + 1
+		}
+	}
+}
+
+// pagedPlace publishes a base row recovered from the page scan: a single
+// committed version whose bytes stay on the page (paged recovery only;
+// single-threaded). Base rows are stamped with ts so the commit clock can
+// start just above them.
+func (t *table) pagedPlace(rid int64, row []Value, loc pageLoc, ts uint64) {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	for int64(len(t.rows)) <= rid {
+		t.rows = append(t.rows, &rowSlot{})
+	}
+	v := &rowVersion{loc: loc}
+	v.begin.Store(ts)
+	t.rows[rid].head.Store(v)
+	t.liveRows.Add(1)
+	for _, ix := range t.indexes {
+		ix.tree.insert(ix.entryKey(row, rid), rid)
+	}
+	t.noteAutoLocked(row)
+}
+
+// pagedReplayUpsert applies one WAL-tail insert or update during paged
+// recovery. The tail overlaps the checkpoint (fuzzy checkpoints flush
+// pages dirtied by commits above the barrier too), so replay is an
+// idempotent upsert: an existing record for the rid is superseded — its
+// index entries fixed and its page record erased — and the replayed row
+// is written through to a page with a fresh sequence number.
+func (t *table) pagedReplayUpsert(rid int64, row []Value, ts uint64) error {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	for int64(len(t.rows)) <= rid {
+		t.rows = append(t.rows, &rowSlot{})
+	}
+	s := t.rows[rid]
+	if head := s.head.Load(); head != nil {
+		old := t.resolve(head)
+		for _, ix := range t.indexes {
+			kn := ix.entryKey(row, rid)
+			if old != nil {
+				if ko := ix.entryKey(old, rid); compareKeys(ko, kn) != 0 {
+					ix.tree.delete(ko)
+					ix.tree.insert(kn, rid)
+				}
+			} else {
+				ix.tree.insert(kn, rid)
+			}
+		}
+		if head.loc.pid != 0 {
+			t.heap.erase(head.loc)
+		}
+	} else {
+		for _, ix := range t.indexes {
+			ix.tree.insert(ix.entryKey(row, rid), rid)
+		}
+		t.liveRows.Add(1)
+	}
+	loc, err := t.heap.writeRow(rid, row, false)
+	if err != nil {
+		return err
+	}
+	v := &rowVersion{loc: loc}
+	v.begin.Store(ts)
+	s.head.Store(v)
+	t.noteAutoLocked(row)
+	return nil
+}
+
+// pagedReplayDelete applies one WAL-tail delete during paged recovery:
+// flat removal of the row, its entries, and its page record. No
+// tombstone is written — after recovery completes, the WAL tail covering
+// this delete is only truncated by a checkpoint, which flushes the
+// erasure first. Idempotent: a missing row (the checkpoint already saw
+// the delete) is a no-op.
+func (t *table) pagedReplayDelete(rid int64) {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	if rid < 0 || rid >= int64(len(t.rows)) {
+		return
+	}
+	s := t.rows[rid]
+	head := s.head.Load()
+	if head == nil {
+		return
+	}
+	if old := t.resolve(head); old != nil {
+		for _, ix := range t.indexes {
+			ix.tree.delete(ix.entryKey(old, rid))
+		}
+		t.liveRows.Add(-1)
+	}
+	if head.loc.pid != 0 {
+		t.heap.erase(head.loc)
+	}
+	s.head.Store(nil)
+}
+
+// rebuildFreeList reconstructs the slot free list after paged recovery
+// (autoincrement counters were advanced inline as rows were placed).
+func (t *table) rebuildFreeList() {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	t.free = t.free[:0]
+	for rid := int64(0); rid < int64(len(t.rows)); rid++ {
+		if t.rows[rid].head.Load() == nil {
+			t.free = append(t.free, rid)
+		}
+	}
+}
+
 // applyInsert publishes a replicated insert as an unstamped committed
 // version (follower apply; the caller stamps it under the commit mutex).
 // Unlike placeRow it is MVCC-safe against concurrent snapshot readers: a
@@ -694,7 +870,7 @@ func (t *table) applyInsert(rid int64, row []Value) (*rowVersion, error) {
 		t.rows = append(t.rows, &rowSlot{})
 	}
 	s := t.rows[rid]
-	if head := s.head.Load(); head != nil && head.data != nil {
+	if head := s.head.Load(); head != nil && !head.isTomb() {
 		return nil, fmt.Errorf("sqldb: apply: insert into live slot %d of %s", rid, t.schema.Name)
 	}
 	v := &rowVersion{data: row}
@@ -718,10 +894,13 @@ func (t *table) applyUpdate(rid int64, newRow []Value, watermark uint64) (*rowVe
 	}
 	s := t.rows[rid]
 	cur := s.currentVersion(0)
-	if cur == nil || cur.data == nil {
+	if cur == nil || cur.isTomb() {
 		return nil, nil, fmt.Errorf("sqldb: apply: update of deleted row %d in %s", rid, t.schema.Name)
 	}
-	old := cur.data
+	old := t.resolve(cur)
+	if old == nil {
+		return nil, nil, fmt.Errorf("sqldb: apply: update of unreadable row %d in %s", rid, t.schema.Name)
+	}
 	var orphaned []gcEntry
 	for _, ix := range t.indexes {
 		ko := ix.entryKey(old, rid)
@@ -735,7 +914,8 @@ func (t *table) applyUpdate(rid int64, newRow []Value, watermark uint64) (*rowVe
 	v := &rowVersion{data: newRow}
 	v.prev.Store(s.head.Load())
 	s.head.Store(v)
-	s.pruneBelow(watermark)
+	_, freed := s.pruneBelow(watermark)
+	t.eraseLocs(freed)
 	return v, orphaned, nil
 }
 
@@ -749,18 +929,22 @@ func (t *table) applyDelete(rid int64, watermark uint64) (*rowVersion, []gcEntry
 	}
 	s := t.rows[rid]
 	cur := s.currentVersion(0)
-	if cur == nil || cur.data == nil {
+	if cur == nil || cur.isTomb() {
 		return nil, nil, fmt.Errorf("sqldb: apply: delete of deleted row %d in %s", rid, t.schema.Name)
 	}
-	old := cur.data
+	old := t.resolve(cur)
+	if old == nil {
+		return nil, nil, fmt.Errorf("sqldb: apply: delete of unreadable row %d in %s", rid, t.schema.Name)
+	}
 	entries := make([]gcEntry, 0, len(t.indexes))
 	for _, ix := range t.indexes {
 		entries = append(entries, gcEntry{index: ix.schema.Name, key: ix.entryKey(old, rid)})
 	}
-	tomb := &rowVersion{}
+	tomb := &rowVersion{flags: verTomb}
 	tomb.prev.Store(s.head.Load())
 	s.head.Store(tomb)
-	s.pruneBelow(watermark)
+	_, freed := s.pruneBelow(watermark)
+	t.eraseLocs(freed)
 	t.liveRows.Add(-1)
 	return tomb, entries, nil
 }
@@ -781,12 +965,12 @@ func (t *table) rebuildAfterReplay() {
 			continue
 		}
 		for _, s := range t.rows {
-			v := s.head.Load()
-			if v == nil || v.data == nil {
+			row := t.resolve(s.head.Load())
+			if row == nil {
 				continue
 			}
-			if !v.data[ci].IsNull() && v.data[ci].Int64() >= t.nextAuto {
-				t.nextAuto = v.data[ci].Int64() + 1
+			if !row[ci].IsNull() && row[ci].Int64() >= t.nextAuto {
+				t.nextAuto = row[ci].Int64() + 1
 			}
 		}
 	}
@@ -802,7 +986,7 @@ const fullScanBatch = 512
 // committed). fn returning false stops. The latch is taken in batches.
 func (t *table) scanLatest(txn uint64, fn func(rid int64, row []Value) bool) {
 	t.scanSlots(func(rid int64, s *rowSlot) []Value {
-		return s.currentFor(txn)
+		return t.resolve(s.currentVersion(txn))
 	}, fn)
 }
 
@@ -810,7 +994,7 @@ func (t *table) scanLatest(txn uint64, fn func(rid int64, row []Value) bool) {
 // slot order, without touching the lock manager.
 func (t *table) scanSnapshot(ts uint64, fn func(rid int64, row []Value) bool) {
 	t.scanSlots(func(rid int64, s *rowSlot) []Value {
-		return s.visibleAt(ts)
+		return t.resolve(s.visibleVersion(ts))
 	}, fn)
 }
 

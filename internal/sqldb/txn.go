@@ -529,6 +529,15 @@ type undoRecord struct {
 	rid   int64
 }
 
+// stampEntry is one version awaiting its commit stamp, with enough
+// context (table, rid) for the paged commit path to write the version's
+// row through to a heap page first.
+type stampEntry struct {
+	v   *rowVersion
+	tbl *table
+	rid int64
+}
+
 // Tx is an in-flight transaction. A Tx is not safe for concurrent use by
 // multiple goroutines.
 type Tx struct {
@@ -541,8 +550,8 @@ type Tx struct {
 	done     bool
 	undo     []undoRecord
 	redo     []walRecord
-	locked   []lockTarget  // resources this txn holds or queues on
-	versions []*rowVersion // versions to stamp at commit
+	locked   []lockTarget // resources this txn holds or queues on
+	versions []stampEntry // versions to stamp at commit
 	gcPend   []gcRecord    // reclamation work to queue at commit
 	implicit bool          // autocommit wrapper
 }
@@ -622,10 +631,12 @@ func (tx *Tx) CommitContext(ctx context.Context) error {
 	}
 	tx.done = true
 	var err error
+	var lsn uint64
 	if tx.db.wal != nil && len(tx.redo) > 0 {
-		err = tx.db.wal.commit(ctx, tx.id, tx.redo)
+		lsn, err = tx.db.wal.commit(ctx, tx.id, tx.redo)
 		if err != nil && IsCancellation(err) {
 			// Retracted before any write reached the log: abort cleanly.
+			// lsn is 0 here — nothing was registered in-flight.
 			tx.db.commitRetractions.Add(1)
 			tx.popVersions()
 			tx.db.locks.releaseAll(tx)
@@ -633,12 +644,19 @@ func (tx *Tx) CommitContext(ctx context.Context) error {
 			return fmt.Errorf("sqldb: commit: %w", err)
 		}
 	}
+	// Paged storage: write each version's row through to its table's heap
+	// pages before stamping. The transaction still holds its row X locks,
+	// so same-rid record sequence order equals commit order; the stamp's
+	// release/acquire on begin publishes loc to every future reader. This
+	// runs even when the WAL sync failed (the engine stamps such commits —
+	// the group may be durable), keeping pages coherent with memory.
+	tx.db.pageWriteThrough(tx.versions)
 	if len(tx.versions) > 0 {
 		db := tx.db
 		db.commitMu.Lock()
 		ts := db.clock.Load() + 1
-		for _, v := range tx.versions {
-			v.begin.Store(ts)
+		for _, e := range tx.versions {
+			e.v.begin.Store(ts)
 		}
 		if len(tx.gcPend) > 0 {
 			for i := range tx.gcPend {
@@ -654,6 +672,11 @@ func (tx *Tx) CommitContext(ctx context.Context) error {
 	}
 	tx.db.locks.releaseAll(tx)
 	tx.db.finishTx(tx)
+	if tx.db.wal != nil {
+		// The commit's effects are applied (or abandoned): release the
+		// in-flight registration so checkpoints may pass this LSN.
+		tx.db.wal.unregisterInflight(lsn)
+	}
 	if len(tx.versions) > 0 {
 		tx.db.maybeGC()
 	}
@@ -724,7 +747,7 @@ func (tx *Tx) insertRow(tbl *table, row []Value) (int64, error) {
 		tbl.releaseSlot(rid)
 		return 0, err
 	}
-	tx.versions = append(tx.versions, ver)
+	tx.versions = append(tx.versions, stampEntry{v: ver, tbl: tbl, rid: rid})
 	tx.undo = append(tx.undo, undoRecord{op: walInsert, table: tbl.schema.Name, rid: rid})
 	tx.redo = append(tx.redo, walRecord{op: walInsert, table: tbl.schema.Name, rid: rid, row: row})
 	return rid, nil
@@ -743,7 +766,7 @@ func (tx *Tx) deleteRow(tbl *table, rid int64) error {
 	if err != nil {
 		return err
 	}
-	tx.versions = append(tx.versions, tomb)
+	tx.versions = append(tx.versions, stampEntry{v: tomb, tbl: tbl, rid: rid})
 	tx.gcPend = append(tx.gcPend, gcRecord{table: tbl.schema.Name, rid: rid, tombstone: true, entries: orphans})
 	tx.undo = append(tx.undo, undoRecord{op: walDelete, table: tbl.schema.Name, rid: rid})
 	tx.redo = append(tx.redo, walRecord{op: walDelete, table: tbl.schema.Name, rid: rid})
@@ -762,7 +785,7 @@ func (tx *Tx) updateRow(tbl *table, rid int64, newRow []Value) error {
 	if err != nil {
 		return err
 	}
-	tx.versions = append(tx.versions, ver)
+	tx.versions = append(tx.versions, stampEntry{v: ver, tbl: tbl, rid: rid})
 	if len(orphans) > 0 {
 		tx.gcPend = append(tx.gcPend, gcRecord{table: tbl.schema.Name, rid: rid, entries: orphans})
 	}

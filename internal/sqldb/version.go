@@ -23,16 +23,34 @@ import (
 // fast path; index entries orphaned by deletes and key-changing updates
 // drain through a commit-ordered GC queue (see db.runGC).
 
+// verTomb marks a delete tombstone version.
+const verTomb = 1 << 0
+
 // rowVersion is one version of one row. data is immutable after
-// publication; nil data marks a delete tombstone. begin is the creator's
-// commit timestamp (0 while uncommitted) and is the only field written
-// after publication besides prev, which GC may clip to nil.
+// publication; the verTomb flag marks a delete tombstone (no data,
+// ever). begin is the creator's commit timestamp (0 while uncommitted).
+//
+// Under paged storage (Options.PoolPages > 0) a committed version's row
+// bytes live in a page record named by loc, and data is nil: the commit
+// path writes the record and clears data before stamping begin, so the
+// release/acquire pair on begin orders the loc publication for every
+// snapshot reader (a reader only dereferences a version it observed
+// stamped, or its own — same goroutine). Readers materialize through
+// table.resolve. In the default in-memory mode loc stays zero and data
+// is authoritative. After publication the only mutable fields are
+// begin, prev (GC may clip it), and the commit path's one-time
+// data/loc handoff described above.
 type rowVersion struct {
 	data  []Value
+	loc   pageLoc
 	txn   uint64 // creating transaction (self-visibility before commit)
+	flags uint8
 	begin atomic.Uint64
 	prev  atomic.Pointer[rowVersion]
 }
+
+// isTomb reports whether the version is a delete tombstone.
+func (v *rowVersion) isTomb() bool { return v.flags&verTomb != 0 }
 
 // rowSlot is one heap slot: an atomically replaceable version-chain head.
 // Slots are allocated once and recycled through the table free list after
@@ -41,33 +59,24 @@ type rowSlot struct {
 	head atomic.Pointer[rowVersion]
 }
 
-// visibleAt returns the row data visible to a snapshot taken at ts, or
-// nil when no version is visible (never inserted, inserted later, or
-// deleted at or before ts). Versions are stamped before the commit clock
-// advances, so any version with begin == 0 was committed — if at all —
-// after every snapshot that could be probing this chain.
-func (s *rowSlot) visibleAt(ts uint64) []Value {
+// visibleVersion returns the version visible to a snapshot taken at ts,
+// or nil when none is (never inserted, or inserted later). The returned
+// version may be a tombstone — the row was deleted at or before ts.
+// Versions are stamped before the commit clock advances, so any version
+// with begin == 0 was committed — if at all — after every snapshot that
+// could be probing this chain.
+func (s *rowSlot) visibleVersion(ts uint64) *rowVersion {
 	for v := s.head.Load(); v != nil; v = v.prev.Load() {
 		if b := v.begin.Load(); b != 0 && b <= ts {
-			return v.data
+			return v
 		}
 	}
 	return nil
 }
 
-// currentFor returns the row data a 2PL transaction reads: its own
-// uncommitted version if it has one, else the newest committed version.
-// nil means no live row (absent or tombstoned).
-func (s *rowSlot) currentFor(txn uint64) []Value {
-	for v := s.head.Load(); v != nil; v = v.prev.Load() {
-		if v.begin.Load() != 0 || v.txn == txn {
-			return v.data
-		}
-	}
-	return nil
-}
-
-// currentVersion is currentFor returning the version itself.
+// currentVersion returns the version a 2PL transaction reads: its own
+// uncommitted version if it has one, else the newest committed one. The
+// returned version may be a tombstone.
 func (s *rowSlot) currentVersion(txn uint64) *rowVersion {
 	for v := s.head.Load(); v != nil; v = v.prev.Load() {
 		if v.begin.Load() != 0 || v.txn == txn {
@@ -81,20 +90,27 @@ func (s *rowSlot) currentVersion(txn uint64) *rowVersion {
 // stamped at or below the watermark: every older version is shadowed by
 // it for all current and future snapshots. Safe under the shared latch —
 // prev is atomic and concurrent readers that already walked past the clip
-// point keep their references alive through ordinary GC.
-func (s *rowSlot) pruneBelow(watermark uint64) (pruned uint64) {
+// point keep their references alive through ordinary GC. Under paged
+// storage the unlinked versions' page records are dead too (no version
+// references them, and the surviving newer record — on disk or covered
+// by the WAL tail — shadows them at recovery); their locations are
+// returned for the caller to erase.
+func (s *rowSlot) pruneBelow(watermark uint64) (pruned uint64, freed []pageLoc) {
 	for v := s.head.Load(); v != nil; v = v.prev.Load() {
 		if b := v.begin.Load(); b != 0 && b <= watermark {
 			for old := v.prev.Load(); old != nil; old = old.prev.Load() {
 				pruned++
+				if old.loc.pid != 0 {
+					freed = append(freed, old.loc)
+				}
 			}
 			if pruned > 0 {
 				v.prev.Store(nil)
 			}
-			return pruned
+			return pruned, freed
 		}
 	}
-	return 0
+	return 0, nil
 }
 
 // gcEntry names one index entry (full entry key, rid tiebreaker

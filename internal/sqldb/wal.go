@@ -82,14 +82,40 @@ type File interface {
 	Sync() error
 }
 
-// MemVFS is an in-memory VFS for tests and simulations.
-type MemVFS struct {
-	mu    sync.Mutex
-	files map[string]*bytes.Buffer
+// RandomFile is a random-access file: what the page store needs beyond
+// the WAL's append-only File. It satisfies pager.File.
+type RandomFile interface {
+	io.ReaderAt
+	io.WriterAt
+	io.Closer
+	// Sync forces written data to stable storage.
+	Sync() error
 }
 
+// RandomAccessVFS is implemented by VFSes that can open random-access
+// files. Paged storage (Options.PoolPages > 0) requires one; the
+// built-in MemVFS, OSVFS, FaultVFS, and SlowVFS all qualify.
+type RandomAccessVFS interface {
+	VFS
+	// OpenRandom opens name for random-access reads and writes,
+	// creating it if absent.
+	OpenRandom(name string) (RandomFile, error)
+}
+
+// MemVFS is an in-memory VFS for tests and simulations. Files are byte
+// blobs supporting both the append-only WAL interface and the
+// random-access page-file interface (OpenRandom).
+type MemVFS struct {
+	mu    sync.Mutex
+	files map[string]*memBlob
+}
+
+// memBlob is one in-memory file's contents. The blob pointer is shared
+// by every open handle; MemVFS.mu guards the byte slice.
+type memBlob struct{ data []byte }
+
 // NewMemVFS creates an empty in-memory file system.
-func NewMemVFS() *MemVFS { return &MemVFS{files: make(map[string]*bytes.Buffer)} }
+func NewMemVFS() *MemVFS { return &MemVFS{files: make(map[string]*memBlob)} }
 
 type memFile struct {
 	vfs  *MemVFS
@@ -99,21 +125,55 @@ type memFile struct {
 func (f *memFile) Write(p []byte) (int, error) {
 	f.vfs.mu.Lock()
 	defer f.vfs.mu.Unlock()
-	buf, ok := f.vfs.files[f.name]
+	blob, ok := f.vfs.files[f.name]
 	if !ok {
 		return 0, fmt.Errorf("sqldb: write to removed file %s", f.name)
 	}
-	return buf.Write(p)
+	blob.data = append(blob.data, p...)
+	return len(p), nil
 }
 
 func (f *memFile) Sync() error  { return nil }
 func (f *memFile) Close() error { return nil }
 
+// memRandomFile is a random-access handle onto a MemVFS blob.
+type memRandomFile struct {
+	vfs  *MemVFS
+	blob *memBlob
+}
+
+func (f *memRandomFile) ReadAt(p []byte, off int64) (int, error) {
+	f.vfs.mu.Lock()
+	defer f.vfs.mu.Unlock()
+	if off >= int64(len(f.blob.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, f.blob.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *memRandomFile) WriteAt(p []byte, off int64) (int, error) {
+	f.vfs.mu.Lock()
+	defer f.vfs.mu.Unlock()
+	end := off + int64(len(p))
+	if int64(len(f.blob.data)) < end {
+		f.blob.data = append(f.blob.data, make([]byte, end-int64(len(f.blob.data)))...)
+	}
+	copy(f.blob.data[off:end], p)
+	return len(p), nil
+}
+
+func (f *memRandomFile) Sync() error  { return nil }
+func (f *memRandomFile) Close() error { return nil }
+
 // Create implements VFS.
 func (m *MemVFS) Create(name string) (File, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.files[name] = &bytes.Buffer{}
+	m.files[name] = &memBlob{}
 	return &memFile{vfs: m, name: name}, nil
 }
 
@@ -122,31 +182,44 @@ func (m *MemVFS) Open(name string) (File, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, ok := m.files[name]; !ok {
-		m.files[name] = &bytes.Buffer{}
+		m.files[name] = &memBlob{}
 	}
 	return &memFile{vfs: m, name: name}, nil
+}
+
+// OpenRandom implements RandomAccessVFS: a read-write random-access
+// handle, creating the file if absent.
+func (m *MemVFS) OpenRandom(name string) (RandomFile, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	blob, ok := m.files[name]
+	if !ok {
+		blob = &memBlob{}
+		m.files[name] = blob
+	}
+	return &memRandomFile{vfs: m, blob: blob}, nil
 }
 
 // ReadFile implements VFS.
 func (m *MemVFS) ReadFile(name string) ([]byte, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	buf, ok := m.files[name]
+	blob, ok := m.files[name]
 	if !ok {
 		return nil, nil
 	}
-	return append([]byte(nil), buf.Bytes()...), nil
+	return append([]byte(nil), blob.data...), nil
 }
 
 // Rename implements VFS.
 func (m *MemVFS) Rename(oldname, newname string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	buf, ok := m.files[oldname]
+	blob, ok := m.files[oldname]
 	if !ok {
 		return fmt.Errorf("sqldb: rename: no file %s", oldname)
 	}
-	m.files[newname] = buf
+	m.files[newname] = blob
 	delete(m.files, oldname)
 	return nil
 }
@@ -190,6 +263,14 @@ func (OSVFS) Open(name string) (File, error) {
 		return nil, err
 	}
 	return osFile{f}, nil
+}
+
+// OpenRandom implements RandomAccessVFS.
+func (OSVFS) OpenRandom(name string) (RandomFile, error) {
+	if err := os.MkdirAll(filepath.Dir(name), 0o755); err != nil {
+		return nil, err
+	}
+	return os.OpenFile(name, os.O_CREATE|os.O_RDWR, 0o644)
 }
 
 // ReadFile implements VFS.
@@ -298,6 +379,7 @@ func (s WALStats) FsyncsPerCommit() float64 {
 type walBatch struct {
 	data []byte
 	txn  uint64
+	lsn  uint64 // sealed by the flusher under w.mu, before done is signalled
 	done chan error
 	lead chan struct{}
 }
@@ -366,6 +448,23 @@ type wal struct {
 	taps      map[*ReplicationTap]struct{}
 	servedLSN atomic.Uint64 // newest LSN handed to CommittedSince callers
 
+	// In-flight commit registry: LSNs whose group is (or may be) durable
+	// in the log but whose effects have not yet been applied to the
+	// engine's state (version stamping; page write-through under paged
+	// storage). A fuzzy checkpoint must not declare a checkpoint LSN at
+	// or above an in-flight commit — its effects would be neither in the
+	// flushed pages nor in the kept WAL tail. Registration happens before
+	// durableLSN publishes the LSN (so barrier readers that load
+	// durableLSN first can never miss an in-flight LSN at or below it);
+	// the committer unregisters after applying, success or failure.
+	inflMu   sync.Mutex
+	inflight map[uint64]struct{}
+
+	// truncLSN is the newest LSN removed from the log file by a fuzzy
+	// checkpoint's tail truncation. Followers this far behind can no
+	// longer be served from the file and must re-seed.
+	truncLSN atomic.Uint64
+
 	// Pipeline counters (see WALStats).
 	commits    atomic.Uint64
 	syncs      atomic.Uint64
@@ -381,7 +480,100 @@ func openWAL(vfs VFS, name string, policy SyncPolicy, maxDelay time.Duration, ma
 	if err != nil {
 		return nil, err
 	}
-	return &wal{vfs: vfs, name: name, file: f, policy: policy, maxDelay: maxDelay, maxBytes: maxBytes}, nil
+	return &wal{vfs: vfs, name: name, file: f, policy: policy, maxDelay: maxDelay, maxBytes: maxBytes, inflight: make(map[uint64]struct{})}, nil
+}
+
+// registerInflight marks lsn durable-but-unapplied. Called with w.mu
+// held (or otherwise ordered before durableLSN publishes lsn).
+func (w *wal) registerInflight(lsn uint64) {
+	w.inflMu.Lock()
+	w.inflight[lsn] = struct{}{}
+	w.inflMu.Unlock()
+}
+
+// unregisterInflight marks lsn applied (or abandoned). lsn 0 is a no-op.
+func (w *wal) unregisterInflight(lsn uint64) {
+	if lsn == 0 {
+		return
+	}
+	w.inflMu.Lock()
+	delete(w.inflight, lsn)
+	w.inflMu.Unlock()
+}
+
+// checkpointBarrier returns the newest LSN every one of whose
+// predecessors (itself included) is both durable and fully applied —
+// the highest safe checkpoint LSN. Loading durableLSN before scanning
+// the registry is what makes the result safe: any commit with lsn ≤
+// the loaded durableLSN registered before that store, so if it is
+// absent from the registry now, it has been applied.
+func (w *wal) checkpointBarrier() uint64 {
+	durable := w.durableLSN.Load()
+	w.inflMu.Lock()
+	defer w.inflMu.Unlock()
+	barrier := durable
+	for lsn := range w.inflight {
+		if lsn <= barrier {
+			barrier = lsn - 1
+		}
+	}
+	return barrier
+}
+
+// truncateThrough cuts every committed group with LSN ≤ ckptLSN off the
+// front of the log (their effects are durable in the checkpointed
+// pages). LSN numbering continues uninterrupted — only file content
+// shrinks. Groups are whole: the cut lands exactly after the last
+// commit marker at or below ckptLSN, which file order guarantees is
+// before any marker above it.
+func (w *wal) truncateThrough(ckptLSN uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.dirty {
+		if err := w.repairLocked(); err != nil {
+			return err
+		}
+	}
+	data, err := w.vfs.ReadFile(w.name)
+	if err != nil {
+		return fmt.Errorf("sqldb: wal truncate: %w", err)
+	}
+	cut, truncated := 0, uint64(0)
+	off := 0
+	for off+4 <= len(data) {
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if off+4+n+4 > len(data) {
+			break
+		}
+		payload := data[off+4 : off+4+n]
+		if crc32.Checksum(payload, walCRC) != binary.LittleEndian.Uint32(data[off+4+n:]) {
+			break
+		}
+		r, ok := decodeRecord(payload)
+		if !ok {
+			break
+		}
+		off += 4 + n + 4
+		if r.op == walCommit {
+			if r.lsn > ckptLSN {
+				break
+			}
+			cut, truncated = off, r.lsn
+		}
+	}
+	if cut == 0 {
+		return nil
+	}
+	if err := w.replaceLocked(append([]byte(nil), data[cut:]...)); err != nil {
+		return fmt.Errorf("sqldb: wal truncate: %w", err)
+	}
+	for {
+		cur := w.truncLSN.Load()
+		if truncated <= cur || w.truncLSN.CompareAndSwap(cur, truncated) {
+			break
+		}
+	}
+	return nil
 }
 
 // stats snapshots the pipeline counters.
@@ -421,10 +613,16 @@ func (w *wal) observeGroup(n int) {
 // group-commit wait: a batch still queued when ctx fires is retracted
 // (nothing written) and the mapped context error returned; a batch
 // already drained into a flush rides it to the real outcome.
-func (w *wal) commit(ctx context.Context, txn uint64, recs []walRecord) error {
+//
+// On success the group's LSN is returned, registered in the in-flight
+// registry; the caller MUST unregisterInflight it once the commit's
+// effects are applied. A nonzero LSN may come back even with an error
+// (the marker reached the file but the sync failed) — the caller
+// unregisters on that path too.
+func (w *wal) commit(ctx context.Context, txn uint64, recs []walRecord) (uint64, error) {
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
-			return mapCtxErr(err) // nothing written yet: cancel is free
+			return 0, mapCtxErr(err) // nothing written yet: cancel is free
 		}
 	}
 	// Encode outside any lock: serialization is pure CPU work and must not
@@ -443,7 +641,7 @@ func (w *wal) commit(ctx context.Context, txn uint64, recs []walRecord) error {
 	if w.dirty {
 		if err := w.repairLocked(); err != nil {
 			w.mu.Unlock()
-			return err
+			return 0, err
 		}
 	}
 	lsn := w.nextLSN + 1
@@ -451,9 +649,10 @@ func (w *wal) commit(ctx context.Context, txn uint64, recs []walRecord) error {
 	if _, err := w.file.Write(buf.Bytes()); err != nil {
 		w.dirty = true
 		w.mu.Unlock()
-		return err
+		return 0, err
 	}
 	w.nextLSN = lsn
+	w.registerInflight(lsn)
 	w.bytes.Add(uint64(buf.Len()))
 	var err error
 	if w.policy == SyncEveryCommit {
@@ -466,11 +665,11 @@ func (w *wal) commit(ctx context.Context, txn uint64, recs []walRecord) error {
 	w.mu.Unlock()
 	w.observeGroup(1)
 	if err != nil {
-		return err
+		return lsn, err
 	}
 	w.publishCommitted([]CommittedBatch{{LSN: lsn, Data: buf.Bytes()}})
 	w.commits.Add(1)
-	return nil
+	return lsn, nil
 }
 
 // commitGroup enqueues one transaction's batch and blocks until a group
@@ -482,7 +681,7 @@ func (w *wal) commit(ctx context.Context, txn uint64, recs []walRecord) error {
 // is what amortizes the fsync across concurrent transactions. Leadership
 // passes batch to batch: a finishing leader appoints the head of the
 // remaining queue, whose committer wakes and flushes the next group.
-func (w *wal) commitGroup(ctx context.Context, data []byte, txn uint64) error {
+func (w *wal) commitGroup(ctx context.Context, data []byte, txn uint64) (uint64, error) {
 	start := time.Now()
 	b := &walBatch{data: data, txn: txn, done: make(chan error, 1), lead: make(chan struct{}, 1)}
 	w.gmu.Lock()
@@ -512,7 +711,9 @@ func (w *wal) commitGroup(ctx context.Context, data []byte, txn uint64) error {
 		break
 	}
 	w.commitWait.Add(time.Since(start).Nanoseconds())
-	return err
+	// b.lsn was sealed (and registered in-flight) by the flusher before
+	// done was signalled; a batch retracted while still queued keeps 0.
+	return b.lsn, err
 }
 
 // lead flushes one group off the queue, then appoints the next queued
@@ -629,6 +830,8 @@ func (w *wal) flushGroup() {
 			start := buf.Len()
 			buf.Write(qb.data)
 			w.nextLSN++
+			qb.lsn = w.nextLSN
+			w.registerInflight(qb.lsn)
 			appendRecord(&buf, &walRecord{op: walCommit, txn: qb.txn, lsn: w.nextLSN})
 			published = append(published, CommittedBatch{LSN: w.nextLSN, Data: buf.Bytes()[start:]})
 		}
